@@ -1,0 +1,35 @@
+//! Scratch probe for explorer feasibility measurements (not part of the
+//! public API surface; see `blunt-bench` for the real experiment harness).
+use blunt_abd::scenarios::*;
+use blunt_programs::weakener::is_bad;
+use blunt_sim::explore::{sure_win, worst_case_prob, ExploreBudget};
+use std::time::Instant;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "f1".into());
+    let states: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000_000);
+    let budget = ExploreBudget::with_max_states(states).fingerprinted();
+    match mode.strip_prefix('f').and_then(|k| k.parse::<u32>().ok()) {
+        Some(k) => {
+            let t = Instant::now();
+            match worst_case_prob(&weakener_abd_fused(k), &is_bad, &budget) {
+                Ok((p, s)) => println!(
+                    "fused k={k}: exact worst = {p} ({:.4}) states={} hits={} depth={} in {:?}",
+                    p.to_f64(), s.states, s.memo_hits, s.max_depth, t.elapsed()
+                ),
+                Err(e) => println!("fused k={k}: {e} in {:?}", t.elapsed()),
+            }
+        }
+        None if mode == "sure1" => {
+            let t = Instant::now();
+            match sure_win(&weakener_abd(1), &is_bad, &budget) {
+                Ok((w, s)) => println!("unfused k=1 sure_win={w} states={} in {:?}", s.states, t.elapsed()),
+                Err(e) => println!("unfused k=1: {e} in {:?}", t.elapsed()),
+            }
+        }
+        None => eprintln!("usage: probe f<k>|sure1 [states]"),
+    }
+}

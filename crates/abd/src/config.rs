@@ -1,0 +1,131 @@
+//! Per-register configuration: atomic baseline, multi-writer `ABD^k`, or
+//! single-writer `ABD^k`.
+
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+
+/// How one register object is implemented.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectKind {
+    /// An atomic register: every invocation takes effect and returns in a
+    /// single indivisible step. This is the `O_a` baseline of
+    /// Proposition 2.2.
+    Atomic,
+    /// The ABD register with `k` query-phase iterations (Algorithm 4).
+    ///
+    /// - `k = 1` is the untransformed Algorithm 3: a single query phase and
+    ///   **no** object random step;
+    /// - `writer: None` is the multi-writer variant: both `Read` and `Write`
+    ///   run the (iterated) query phase;
+    /// - `writer: Some(p)` is the original single-writer ABD: only `p` may
+    ///   write, and its `Write` skips the query phase entirely (empty
+    ///   preamble), stamping values with a local sequence counter. Reads
+    ///   still run the iterated query phase.
+    Abd {
+        /// Number of preamble (query phase) iterations, `k ≥ 1`.
+        k: u32,
+        /// Designated writer for the single-writer variant.
+        writer: Option<Pid>,
+    },
+}
+
+/// Configuration of one register object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ObjectConfig {
+    /// Implementation choice.
+    pub kind: ObjectKind,
+    /// Initial register value.
+    pub initial: Val,
+}
+
+impl ObjectConfig {
+    /// An atomic register with the given initial value.
+    #[must_use]
+    pub fn atomic(initial: Val) -> ObjectConfig {
+        ObjectConfig {
+            kind: ObjectKind::Atomic,
+            initial,
+        }
+    }
+
+    /// A multi-writer `ABD^k` register with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn abd(k: u32, initial: Val) -> ObjectConfig {
+        assert!(k >= 1, "ABD^k requires k ≥ 1");
+        ObjectConfig {
+            kind: ObjectKind::Abd { k, writer: None },
+            initial,
+        }
+    }
+
+    /// A single-writer `ABD^k` register owned by `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn abd_single_writer(k: u32, writer: Pid, initial: Val) -> ObjectConfig {
+        assert!(k >= 1, "ABD^k requires k ≥ 1");
+        ObjectConfig {
+            kind: ObjectKind::Abd {
+                k,
+                writer: Some(writer),
+            },
+            initial,
+        }
+    }
+
+    /// Returns `true` for atomic configurations.
+    #[must_use]
+    pub fn is_atomic(&self) -> bool {
+        matches!(self.kind, ObjectKind::Atomic)
+    }
+
+    /// The iteration count `k` (1 for atomic objects, which have no
+    /// preamble to iterate).
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        match self.kind {
+            ObjectKind::Atomic => 1,
+            ObjectKind::Abd { k, .. } => k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify_correctly() {
+        assert!(ObjectConfig::atomic(Val::Nil).is_atomic());
+        assert!(!ObjectConfig::abd(2, Val::Nil).is_atomic());
+        assert_eq!(ObjectConfig::abd(3, Val::Nil).iterations(), 3);
+        assert_eq!(ObjectConfig::atomic(Val::Nil).iterations(), 1);
+        let sw = ObjectConfig::abd_single_writer(2, Pid(0), Val::Int(-1));
+        assert_eq!(
+            sw.kind,
+            ObjectKind::Abd {
+                k: 2,
+                writer: Some(Pid(0))
+            }
+        );
+        assert_eq!(sw.initial, Val::Int(-1));
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_iterations_panics() {
+        let _ = ObjectConfig::abd(0, Val::Nil);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_iterations_single_writer_panics() {
+        let _ = ObjectConfig::abd_single_writer(0, Pid(0), Val::Nil);
+    }
+}

@@ -1,0 +1,163 @@
+//! The ABD wire protocol.
+//!
+//! All registers of a system share one network; messages carry the
+//! [`ObjId`] of the register instance they belong to. Sequence numbers (`sn`)
+//! identify the message exchange (query phase iteration or update phase)
+//! they answer, so that late replies to a superseded exchange are recognized
+//! and discarded — exactly the "reply msgs *to this query msg*" bookkeeping
+//! of lines 8/16 in Algorithm 3.
+
+use crate::ts::Ts;
+use blunt_core::ids::ObjId;
+use blunt_core::value::Val;
+use std::fmt;
+
+/// A message of the ABD protocol.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AbdMsg {
+    /// `⟨"query", sn⟩` — ask a server for its current (value, timestamp).
+    Query {
+        /// Register instance.
+        obj: ObjId,
+        /// Exchange identifier.
+        sn: u32,
+    },
+    /// `⟨"reply", val, ts, sn⟩` — a server's answer to a query.
+    Reply {
+        /// Register instance.
+        obj: ObjId,
+        /// Exchange this reply answers.
+        sn: u32,
+        /// The server's current value.
+        val: Val,
+        /// Its timestamp.
+        ts: Ts,
+    },
+    /// `⟨"update", val, ts, sn⟩` — install (val, ts) if newer.
+    Update {
+        /// Register instance.
+        obj: ObjId,
+        /// Exchange identifier.
+        sn: u32,
+        /// Value to install.
+        val: Val,
+        /// Its timestamp.
+        ts: Ts,
+    },
+    /// `⟨"ack", sn⟩` — acknowledges an update.
+    Ack {
+        /// Register instance.
+        obj: ObjId,
+        /// Exchange this ack answers.
+        sn: u32,
+    },
+}
+
+impl AbdMsg {
+    /// The register instance this message belongs to.
+    #[must_use]
+    pub fn obj(&self) -> ObjId {
+        match self {
+            AbdMsg::Query { obj, .. }
+            | AbdMsg::Reply { obj, .. }
+            | AbdMsg::Update { obj, .. }
+            | AbdMsg::Ack { obj, .. } => *obj,
+        }
+    }
+
+    /// The exchange identifier.
+    #[must_use]
+    pub fn sn(&self) -> u32 {
+        match self {
+            AbdMsg::Query { sn, .. }
+            | AbdMsg::Reply { sn, .. }
+            | AbdMsg::Update { sn, .. }
+            | AbdMsg::Ack { sn, .. } => *sn,
+        }
+    }
+
+    /// Returns `true` for the message kinds that can never change the
+    /// receiver's protocol state once the exchange `sn` is no longer
+    /// current: queries (whose reply would be ignored), replies, and acks.
+    /// `Update` messages are *never* stale — a late update still installs
+    /// its value at the receiving server.
+    #[must_use]
+    pub fn is_stale_sensitive(&self) -> bool {
+        !matches!(self, AbdMsg::Update { .. })
+    }
+}
+
+impl fmt::Display for AbdMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbdMsg::Query { obj, sn } => write!(f, "query#{sn}[{obj}]"),
+            AbdMsg::Reply { obj, sn, val, ts } => {
+                write!(f, "reply#{sn}[{obj}]({val}, {ts})")
+            }
+            AbdMsg::Update { obj, sn, val, ts } => {
+                write!(f, "update#{sn}[{obj}]({val}, {ts})")
+            }
+            AbdMsg::Ack { obj, sn } => write!(f, "ack#{sn}[{obj}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ids::Pid;
+
+    #[test]
+    fn accessors() {
+        let m = AbdMsg::Reply {
+            obj: ObjId(1),
+            sn: 7,
+            val: Val::Int(3),
+            ts: Ts::new(2, Pid(1)),
+        };
+        assert_eq!(m.obj(), ObjId(1));
+        assert_eq!(m.sn(), 7);
+    }
+
+    #[test]
+    fn staleness_classification() {
+        let q = AbdMsg::Query { obj: ObjId(0), sn: 0 };
+        let u = AbdMsg::Update {
+            obj: ObjId(0),
+            sn: 0,
+            val: Val::Int(1),
+            ts: Ts::ZERO,
+        };
+        let a = AbdMsg::Ack { obj: ObjId(0), sn: 0 };
+        assert!(q.is_stale_sensitive());
+        assert!(a.is_stale_sensitive());
+        assert!(!u.is_stale_sensitive(), "updates always take effect");
+    }
+
+    #[test]
+    fn messages_are_totally_ordered_for_canonical_queues() {
+        let mut v = [AbdMsg::Ack { obj: ObjId(0), sn: 2 },
+            AbdMsg::Query { obj: ObjId(1), sn: 0 },
+            AbdMsg::Query { obj: ObjId(0), sn: 1 }];
+        v.sort();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            AbdMsg::Query { obj: ObjId(0), sn: 3 }.to_string(),
+            "query#3[obj0]"
+        );
+        assert_eq!(
+            AbdMsg::Update {
+                obj: ObjId(0),
+                sn: 1,
+                val: Val::Int(0),
+                ts: Ts::new(1, Pid(0)),
+            }
+            .to_string(),
+            "update#1[obj0](0, (1, 0))"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Ready-made system configurations for the paper's ABD case study
+//! (Appendix A).
+//!
+//! All scenarios run Algorithm 1 (the weakener) with register `R` in a
+//! configurable implementation. Register `C` defaults to atomic: the paper's
+//! adversary gains nothing from `C`'s implementation (it only needs `p2` to
+//! read the coin *after* the flip, which holds in every complete schedule),
+//! and keeping `C` atomic shrinks the exploration state space. The
+//! full-ABD configuration is available for cross-checking.
+
+use crate::config::ObjectConfig;
+use crate::system::{AbdSystem, AbdSystemDef};
+use blunt_core::value::Val;
+use blunt_programs::weakener;
+
+/// The weakener with explicit configurations for `R` and `C`.
+#[must_use]
+pub fn weakener_system(r: ObjectConfig, c: ObjectConfig) -> AbdSystem {
+    AbdSystem::new(AbdSystemDef {
+        program: weakener::weakener(),
+        objects: vec![r, c],
+        purge_stale: true,
+        fused_rpc: false,
+    })
+}
+
+/// The weakener with `R = ABD^k`, `C` atomic, and the fused-RPC reduction
+/// enabled — the configuration used for exact exploration. Values computed
+/// on this game are lower bounds on the unrestricted adversary's power (see
+/// [`AbdSystemDef::fused_rpc`]).
+#[must_use]
+pub fn weakener_abd_fused(k: u32) -> AbdSystem {
+    AbdSystem::new(AbdSystemDef {
+        program: weakener::weakener(),
+        objects: vec![
+            ObjectConfig::abd(k, Val::Nil),
+            ObjectConfig::atomic(Val::Int(-1)),
+        ],
+        purge_stale: true,
+        fused_rpc: true,
+    })
+}
+
+/// `P(O_a)`: both registers atomic (Appendix A.1; bad probability exactly
+/// 1/2 under the optimal adversary).
+#[must_use]
+pub fn weakener_atomic() -> AbdSystem {
+    weakener_system(
+        ObjectConfig::atomic(Val::Nil),
+        ObjectConfig::atomic(Val::Int(-1)),
+    )
+}
+
+/// `P(O^k)` with `R = ABD^k` (multi-writer) and `C` atomic.
+///
+/// `k = 1` is `P(O)` — the plain ABD configuration of Appendix A.2 where the
+/// Figure 1 adversary forces nontermination with probability 1.
+#[must_use]
+pub fn weakener_abd(k: u32) -> AbdSystem {
+    weakener_system(
+        ObjectConfig::abd(k, Val::Nil),
+        ObjectConfig::atomic(Val::Int(-1)),
+    )
+}
+
+/// Both `R` and `C` implemented as `ABD^k` — the literal configuration of
+/// Appendix A (larger state space; used for cross-checks).
+#[must_use]
+pub fn weakener_abd_full(k: u32) -> AbdSystem {
+    weakener_system(
+        ObjectConfig::abd(k, Val::Nil),
+        ObjectConfig::abd(k, Val::Int(-1)),
+    )
+}
+
+/// The weakener with `R = ABD^k` and purging disabled (for validating that
+/// the stale-message purge does not change probabilities).
+#[must_use]
+pub fn weakener_abd_no_purge(k: u32) -> AbdSystem {
+    AbdSystem::new(AbdSystemDef {
+        program: weakener::weakener(),
+        objects: vec![
+            ObjectConfig::abd(k, Val::Nil),
+            ObjectConfig::atomic(Val::Int(-1)),
+        ],
+        purge_stale: false,
+        fused_rpc: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ratio::Ratio;
+    use blunt_programs::weakener::is_bad;
+    use blunt_sim::explore::{worst_case_prob, ExploreBudget};
+    use blunt_sim::kernel::run;
+    use blunt_sim::rng::{SplitMix64, Tape};
+    use blunt_sim::sched::{FirstEnabled, RandomScheduler};
+    use blunt_sim::system::System;
+
+    #[test]
+    fn atomic_weakener_runs_to_completion() {
+        let report = run(
+            weakener_atomic(),
+            &mut FirstEnabled,
+            &mut Tape::new(vec![0]),
+            true,
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(report.random_draws.len(), 1);
+        // All three of p2's reads returned.
+        assert!(report.outcome.len() >= 3);
+    }
+
+    #[test]
+    fn abd_weakener_runs_under_many_random_schedules() {
+        for seed in 0..50 {
+            let report = run(
+                weakener_abd(1),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                10_000,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(report.outcome.len() >= 3, "seed {seed}: incomplete outcome");
+        }
+    }
+
+    #[test]
+    fn abd2_weakener_takes_object_random_steps() {
+        let mut saw_object_random = false;
+        for seed in 0..20 {
+            let report = run(
+                weakener_abd(2),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                true,
+                20_000,
+            )
+            .unwrap();
+            if report.trace.object_random_count() > 0 {
+                saw_object_random = true;
+            }
+        }
+        assert!(saw_object_random, "ABD² must flip object coins");
+    }
+
+    #[test]
+    fn abd1_weakener_takes_no_object_random_steps() {
+        for seed in 0..20 {
+            let report = run(
+                weakener_abd(1),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                true,
+                10_000,
+            )
+            .unwrap();
+            assert_eq!(
+                report.trace.object_random_count(),
+                0,
+                "ABD¹ must behave exactly like plain ABD"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_weakener_worst_case_is_exactly_one_half() {
+        // Appendix A.1: with atomic registers p2 fails to terminate with
+        // probability at most 1/2, and the adversary can achieve 1/2.
+        let (p, stats) = worst_case_prob(
+            &weakener_atomic(),
+            &is_bad,
+            &ExploreBudget::with_max_states(1_000_000),
+        )
+        .unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+        assert!(stats.states > 10);
+    }
+
+    #[test]
+    fn crash_of_one_process_does_not_block_abd() {
+        // Crash p0 before it does anything; p2's reads must still complete
+        // (quorum 2 of {p1, p2} survives). p1 keeps running, so the coin is
+        // written and p2 decides.
+        use blunt_sim::system::Effects;
+        let mut sys = weakener_abd(1);
+        let mut fx = Effects::silent();
+        sys.crash(blunt_core::ids::Pid(0), &mut fx);
+        let report = run(
+            sys,
+            &mut RandomScheduler::new(7),
+            &mut SplitMix64::new(7),
+            false,
+            10_000,
+        )
+        .unwrap();
+        assert!(report.outcome.len() >= 3);
+    }
+
+    #[test]
+    fn message_complexity_grows_linearly_in_k() {
+        // Each query iteration is one broadcast of n queries answered by n
+        // replies; the update phase is independent of k.
+        let deliveries = |k: u32| {
+            let report = run(
+                weakener_abd(k),
+                &mut FirstEnabled,
+                &mut Tape::new(vec![0, 0, 0, 0, 0, 0, 0, 0]),
+                true,
+                50_000,
+            )
+            .unwrap();
+            report.trace.delivery_count()
+        };
+        let d1 = deliveries(1);
+        let d2 = deliveries(2);
+        let d4 = deliveries(4);
+        assert!(d2 > d1, "k = 2 must deliver more messages than k = 1");
+        assert!(d4 > d2, "k = 4 must deliver more messages than k = 2");
+    }
+
+    #[test]
+    fn full_abd_configuration_also_completes() {
+        for seed in 0..20 {
+            let report = run(
+                weakener_abd_full(1),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                20_000,
+            )
+            .unwrap();
+            assert!(report.outcome.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn purge_does_not_change_outcomes_under_fixed_schedules() {
+        // The same deterministic scheduler and tape must produce the same
+        // outcome with and without purging (purged messages are inert).
+        for seed in 0..10 {
+            let with = run(
+                weakener_abd(2),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                50_000,
+            )
+            .unwrap();
+            let without = run(
+                weakener_abd_no_purge(2),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                50_000,
+            );
+            // Note: schedules are index-based, so the two runs may diverge
+            // in *which* messages are delivered when the queues differ; we
+            // only require both to complete and produce a decided outcome.
+            let without = without.unwrap();
+            assert!(with.outcome.len() >= 3);
+            assert!(without.outcome.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn enabled_events_are_nonempty_until_done() {
+        let mut sys = weakener_abd(1);
+        let mut fx = blunt_sim::system::Effects::silent();
+        let mut enabled = Vec::new();
+        let mut rng = SplitMix64::new(3);
+        use blunt_sim::rng::RandomSource;
+        for _ in 0..10_000 {
+            match sys.status() {
+                blunt_sim::system::Status::Done => return,
+                blunt_sim::system::Status::AwaitingRandom { choices, .. } => {
+                    let c = rng.draw(choices);
+                    sys.supply_random(c, &mut fx);
+                }
+                blunt_sim::system::Status::Running => {
+                    sys.enabled(&mut enabled);
+                    assert!(!enabled.is_empty(), "running system with no events");
+                    let i = rng.draw(enabled.len());
+                    let ev = enabled[i];
+                    sys.apply(&ev, &mut fx);
+                }
+            }
+        }
+        panic!("weakener did not finish in 10k steps");
+    }
+}

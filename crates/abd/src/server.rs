@@ -1,0 +1,133 @@
+//! The server role of ABD (lines 11–12 and 18–20 of Algorithm 3).
+//!
+//! Every process runs one server per register instance. The two handlers
+//! encode the paper's effect-freedom split in their receivers:
+//!
+//! - [`ServerState::reply`] (query handler) takes **`&self`** — answering a
+//!   query cannot change the server, which is why the query phase is an
+//!   effect-free preamble and may be iterated;
+//! - [`ServerState::absorb`] (update handler) takes **`&mut self`** — it is
+//!   the single place where register state changes.
+
+use crate::msg::AbdMsg;
+use crate::ts::Ts;
+use blunt_core::ids::ObjId;
+use blunt_core::value::Val;
+
+/// One server's replica state for one register: the latest value and its
+/// timestamp.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ServerState {
+    val: Val,
+    ts: Ts,
+}
+
+impl ServerState {
+    /// A replica holding `initial` with timestamp `(0, 0)`.
+    #[must_use]
+    pub fn new(initial: Val) -> ServerState {
+        ServerState {
+            val: initial,
+            ts: Ts::ZERO,
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn val(&self) -> &Val {
+        &self.val
+    }
+
+    /// The current timestamp.
+    #[must_use]
+    pub fn ts(&self) -> Ts {
+        self.ts
+    }
+
+    /// Handles `⟨"query", sn⟩`: builds the reply carrying the current
+    /// (value, timestamp). Effect-free by construction (`&self`).
+    #[must_use]
+    pub fn reply(&self, obj: ObjId, sn: u32) -> AbdMsg {
+        AbdMsg::Reply {
+            obj,
+            sn,
+            val: self.val.clone(),
+            ts: self.ts,
+        }
+    }
+
+    /// Handles `⟨"update", v, u, sn⟩`: installs `(v, u)` iff `u` is newer
+    /// than the stored timestamp (line 19). Returns `true` if the state
+    /// changed.
+    pub fn absorb(&mut self, val: Val, ts: Ts) -> bool {
+        if ts > self.ts {
+            self.val = val;
+            self.ts = ts;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ids::Pid;
+
+    #[test]
+    fn new_server_holds_initial_at_ts_zero() {
+        let s = ServerState::new(Val::Nil);
+        assert_eq!(*s.val(), Val::Nil);
+        assert_eq!(s.ts(), Ts::ZERO);
+    }
+
+    #[test]
+    fn reply_reflects_current_state_without_mutation() {
+        let s = ServerState::new(Val::Int(5));
+        let before = s.clone();
+        let m = s.reply(ObjId(2), 9);
+        assert_eq!(
+            m,
+            AbdMsg::Reply {
+                obj: ObjId(2),
+                sn: 9,
+                val: Val::Int(5),
+                ts: Ts::ZERO,
+            }
+        );
+        assert_eq!(s, before, "query handling is effect-free");
+    }
+
+    #[test]
+    fn absorb_installs_only_newer_timestamps() {
+        let mut s = ServerState::new(Val::Nil);
+        assert!(s.absorb(Val::Int(1), Ts::new(1, Pid(1))));
+        assert_eq!(*s.val(), Val::Int(1));
+
+        // An older or equal timestamp is ignored.
+        assert!(!s.absorb(Val::Int(9), Ts::new(1, Pid(1))));
+        assert!(!s.absorb(Val::Int(9), Ts::new(0, Pid(0))));
+        assert_eq!(*s.val(), Val::Int(1));
+
+        // Same integer, larger pid wins (lexicographic tie-break).
+        assert!(s.absorb(Val::Int(2), Ts::new(1, Pid(2))));
+        assert_eq!(*s.val(), Val::Int(2));
+        assert_eq!(s.ts(), Ts::new(1, Pid(2)));
+    }
+
+    #[test]
+    fn absorb_is_idempotent_and_monotone() {
+        let mut s = ServerState::new(Val::Nil);
+        let updates = [
+            (Val::Int(1), Ts::new(1, Pid(0))),
+            (Val::Int(2), Ts::new(2, Pid(0))),
+            (Val::Int(1), Ts::new(1, Pid(0))), // replayed duplicate
+        ];
+        for (v, t) in updates {
+            s.absorb(v, t);
+        }
+        assert_eq!(*s.val(), Val::Int(2));
+        assert_eq!(s.ts(), Ts::new(2, Pid(0)));
+    }
+}

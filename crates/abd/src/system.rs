@@ -1,0 +1,596 @@
+//! The composed message-passing system: a randomized program running over a
+//! set of registers (atomic / `ABD^k` / single-writer `ABD^k`) on one shared
+//! network.
+//!
+//! [`AbdSystem`] implements [`blunt_sim::System`], so it can be driven by
+//! any scheduler (including the scripted Figure 1 adversary) and explored
+//! exhaustively for exact worst-case probabilities. Every process plays two
+//! roles, exactly as in the paper's model: it executes its program code
+//! *and* acts as a server replica for every ABD register.
+//!
+//! # State-space reductions (soundness-preserving)
+//!
+//! - Local program computation is bundled with the next visible step
+//!   (see `blunt-programs`): local steps commute with everything.
+//! - With [`AbdSystemDef::purge_stale`] (default on), messages that can no
+//!   longer affect any process's behaviour — replies/acks to a superseded
+//!   exchange, queries whose reply would be ignored — are dropped from the
+//!   network as soon as they become stale. Delivering such a message is a
+//!   no-op for every process's protocol state, so removing these
+//!   "stutter moves" changes no outcome probability; it only collapses
+//!   states that are bisimilar. `Update` messages are **never** purged:
+//!   a late update still installs its value at a server.
+
+use crate::client::{AckEffect, ActiveOp, OpKind, Phase, ReplyEffect};
+use crate::config::{ObjectConfig, ObjectKind};
+use crate::msg::AbdMsg;
+use crate::server::ServerState;
+use crate::ts::Ts;
+use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+use blunt_programs::{ProgCmd, ProgState, ProgramDef};
+use blunt_sim::network::Network;
+use blunt_sim::system::{Effects, RandomKind, Status, System};
+use blunt_sim::trace::TraceEvent;
+use std::rc::Rc;
+
+/// The immutable definition of a composed system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AbdSystemDef {
+    /// The randomized program.
+    pub program: ProgramDef,
+    /// One configuration per object id used by the program.
+    pub objects: Vec<ObjectConfig>,
+    /// Enable the stale-message purge reduction (see module docs).
+    pub purge_stale: bool,
+    /// Fuse request/response pairs into single adversary events: delivering
+    /// a `query` to a server immediately delivers its `reply` back to the
+    /// client, and delivering an `update` immediately delivers its `ack`.
+    ///
+    /// Every fused schedule is realizable in the unfused game (deliver the
+    /// request, then immediately its response), so worst-case probabilities
+    /// computed on the fused game are **lower bounds** on the true
+    /// adversary's power — and the Figure 1 adversary never delays a
+    /// response after its request, so it is expressible in the fused game.
+    /// The reduction shrinks the explorable state space by removing all
+    /// reply/ack in-flight states.
+    pub fused_rpc: bool,
+}
+
+impl AbdSystemDef {
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.program.process_count()
+    }
+
+    /// The majority quorum `⌈(n+1)/2⌉` used by query and update phases.
+    #[must_use]
+    pub fn quorum(&self) -> u32 {
+        (self.n() as u32) / 2 + 1
+    }
+}
+
+/// Whose `random(V)` instruction the system is suspended at.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Awaiting {
+    /// A program random step (e.g. the weakener's coin flip).
+    Program { pid: Pid, choices: usize },
+    /// An object random step (`j := random([1..k])` in `ABD^k`).
+    Object { pid: Pid, choices: usize },
+}
+
+/// A schedulable event of the composed system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbdEvent {
+    /// Process `pid` takes its next program step (invocation, termination).
+    Prog(Pid),
+    /// Deliver the in-flight message at the given network slot.
+    Deliver(usize),
+}
+
+/// The composed system state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AbdSystem {
+    def: Rc<AbdSystemDef>,
+    prog: ProgState,
+    net: Network<AbdMsg>,
+    /// `servers[obj][pid]` — replica state (empty for atomic objects).
+    servers: Vec<Vec<ServerState>>,
+    /// State of atomic objects (`Val::Nil` placeholder for ABD objects).
+    atomics: Vec<Val>,
+    /// At most one in-flight register operation per process.
+    clients: Vec<Option<ActiveOp>>,
+    /// Per-process exchange-number allocators.
+    sn_counters: Vec<u32>,
+    /// Per-object local sequence counters for single-writer writes.
+    writer_seqs: Vec<i64>,
+    awaiting: Option<Awaiting>,
+    /// Per-process invocation counters. Invocation ids are
+    /// `pid << 32 | counter`: numbering is local to each process, so states
+    /// reached along different interleavings of *other* processes' steps
+    /// still hash equal — a prerequisite for memoization to merge them.
+    inv_counters: Vec<u32>,
+}
+
+impl AbdSystem {
+    /// Builds the initial state of a composed system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program invokes an object id with no configuration, or
+    /// uses a method other than `Read`/`Write` (registers only here; see
+    /// `blunt-registers` for snapshots).
+    #[must_use]
+    pub fn new(def: AbdSystemDef) -> AbdSystem {
+        let n = def.n();
+        // Validate the program's object references.
+        for p in 0..n {
+            for instr in def.program.code(Pid(p as u32)) {
+                if let blunt_programs::Instr::Invoke { obj, method, .. } = instr {
+                    assert!(
+                        obj.index() < def.objects.len(),
+                        "program invokes unconfigured object {obj}"
+                    );
+                    assert!(
+                        *method == MethodId::READ || *method == MethodId::WRITE,
+                        "AbdSystem implements registers; got method {method}"
+                    );
+                }
+            }
+        }
+        let servers = def
+            .objects
+            .iter()
+            .map(|cfg| match cfg.kind {
+                ObjectKind::Atomic => Vec::new(),
+                ObjectKind::Abd { .. } => {
+                    (0..n).map(|_| ServerState::new(cfg.initial.clone())).collect()
+                }
+            })
+            .collect();
+        let atomics = def
+            .objects
+            .iter()
+            .map(|cfg| match cfg.kind {
+                ObjectKind::Atomic => cfg.initial.clone(),
+                ObjectKind::Abd { .. } => Val::Nil,
+            })
+            .collect();
+        let prog = ProgState::new(&def.program);
+        let objects = def.objects.len();
+        AbdSystem {
+            def: Rc::new(def),
+            prog,
+            net: Network::new(n),
+            servers,
+            atomics,
+            clients: vec![None; n],
+            sn_counters: vec![0; n],
+            writer_seqs: vec![0; objects],
+            awaiting: None,
+            inv_counters: vec![0; n],
+        }
+    }
+
+    /// The system definition.
+    #[must_use]
+    pub fn def(&self) -> &AbdSystemDef {
+        &self.def
+    }
+
+    /// The network (for assertions and message-complexity measurements).
+    #[must_use]
+    pub fn net(&self) -> &Network<AbdMsg> {
+        &self.net
+    }
+
+    /// The program state (for assertions in tests).
+    #[must_use]
+    pub fn prog(&self) -> &ProgState {
+        &self.prog
+    }
+
+    /// Crashes process `pid`: it takes no further steps, messages to it are
+    /// never delivered, and any operation it had in flight is abandoned.
+    ///
+    /// ABD tolerates any minority of crashes; tests drive this directly
+    /// (crashes are not adversary events during exploration).
+    pub fn crash(&mut self, pid: Pid, fx: &mut Effects) {
+        self.prog.crash(pid);
+        self.net.crash(pid);
+        self.clients[pid.index()] = None;
+        fx.push(TraceEvent::Crash { pid });
+        self.purge();
+    }
+
+    fn fresh_inv(&mut self, pid: Pid) -> InvId {
+        let c = &mut self.inv_counters[pid.index()];
+        *c += 1;
+        InvId((u64::from(pid.0) << 32) | u64::from(*c))
+    }
+
+    fn fresh_sn(&mut self, pid: Pid) -> u32 {
+        let c = &mut self.sn_counters[pid.index()];
+        *c += 1;
+        *c
+    }
+
+    /// Removes messages that can no longer affect any process (module docs).
+    fn purge(&mut self) {
+        if !self.def.purge_stale {
+            return;
+        }
+        let clients = &self.clients;
+        let net = &mut self.net;
+        let crashed: Vec<bool> = (0..clients.len())
+            .map(|p| net.is_crashed(Pid(p as u32)))
+            .collect();
+        net.purge(|env| {
+            if crashed[env.dst.index()] {
+                return false; // undeliverable forever
+            }
+            if !env.msg.is_stale_sensitive() {
+                return true; // updates always matter
+            }
+            let owner = match env.msg {
+                AbdMsg::Query { .. } => env.src, // reply would go back to src
+                _ => env.dst,
+            };
+            match &clients[owner.index()] {
+                Some(op) => op.current_sn() == Some(env.msg.sn()),
+                None => false,
+            }
+        });
+    }
+
+    fn handle_invoke(
+        &mut self,
+        pid: Pid,
+        obj: ObjId,
+        method: MethodId,
+        arg: Val,
+        site: blunt_core::ids::CallSite,
+        fx: &mut Effects,
+    ) {
+        let inv = self.fresh_inv(pid);
+        fx.push_with(|| TraceEvent::Call {
+            inv,
+            pid,
+            obj,
+            method,
+            arg: arg.clone(),
+            site,
+        });
+        let cfg = self.def.objects[obj.index()].clone();
+        match cfg.kind {
+            ObjectKind::Atomic => {
+                // Atomic objects execute in a single indivisible step: the
+                // invocation returns before any other event is scheduled.
+                let ret = match method {
+                    MethodId::READ => self.atomics[obj.index()].clone(),
+                    MethodId::WRITE => {
+                        self.atomics[obj.index()] = arg;
+                        Val::Nil
+                    }
+                    other => panic!("atomic register: unsupported method {other}"),
+                };
+                fx.push_with(|| TraceEvent::Return {
+                    inv,
+                    pid,
+                    val: ret.clone(),
+                });
+                self.prog.on_return(pid, ret);
+            }
+            ObjectKind::Abd { k, writer } => match method {
+                MethodId::WRITE if writer == Some(pid) => {
+                    // Single-writer fast path: empty preamble; stamp with the
+                    // local sequence counter and go straight to the update
+                    // phase.
+                    self.writer_seqs[obj.index()] += 1;
+                    let ts = Ts::new(self.writer_seqs[obj.index()], pid);
+                    let sn = self.fresh_sn(pid);
+                    let op = ActiveOp::start_sw_write(inv, obj, arg.clone(), sn);
+                    self.clients[pid.index()] = Some(op);
+                    self.net.broadcast(
+                        pid,
+                        AbdMsg::Update {
+                            obj,
+                            sn,
+                            val: arg,
+                            ts,
+                        },
+                    );
+                }
+                MethodId::WRITE if writer.is_some() => {
+                    panic!("process {pid} writes single-writer register {obj} owned by {:?}", writer)
+                }
+                MethodId::READ | MethodId::WRITE => {
+                    let kind = if method == MethodId::READ {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write(arg)
+                    };
+                    let sn = self.fresh_sn(pid);
+                    let op = ActiveOp::start(inv, obj, kind, k, sn);
+                    self.clients[pid.index()] = Some(op);
+                    self.net.broadcast(pid, AbdMsg::Query { obj, sn });
+                }
+                other => panic!("ABD register: unsupported method {other}"),
+            },
+        }
+    }
+
+    fn handle_prog_step(&mut self, pid: Pid, fx: &mut Effects) {
+        let def = Rc::clone(&self.def);
+        match self.prog.step(&def.program, pid) {
+            ProgCmd::Invoke {
+                site,
+                obj,
+                method,
+                arg,
+            } => self.handle_invoke(pid, obj, method, arg, site, fx),
+            ProgCmd::Random { choices } => {
+                self.awaiting = Some(Awaiting::Program { pid, choices });
+            }
+            ProgCmd::Halted => {
+                fx.push(TraceEvent::Internal {
+                    pid,
+                    label: "halt".into(),
+                });
+            }
+            ProgCmd::Looping => {
+                fx.push(TraceEvent::Internal {
+                    pid,
+                    label: "loop forever".into(),
+                });
+            }
+        }
+    }
+
+    fn complete_op(&mut self, pid: Pid, ret: Val, fx: &mut Effects) {
+        let op = self.clients[pid.index()]
+            .take()
+            .expect("completing without an active op");
+        fx.push_with(|| TraceEvent::Return {
+            inv: op.inv,
+            pid,
+            val: ret.clone(),
+        });
+        self.prog.on_return(pid, ret);
+    }
+
+    fn handle_deliver(&mut self, slot: usize, fx: &mut Effects) {
+        let env = self.net.take(slot);
+        let (src, dst) = (env.src, env.dst);
+        fx.push_with(|| TraceEvent::Deliver {
+            src,
+            dst,
+            label: env.msg.to_string(),
+        });
+        match env.msg {
+            AbdMsg::Query { obj, sn } => {
+                let reply = self.servers[obj.index()][dst.index()].reply(obj, sn);
+                if self.def.fused_rpc {
+                    // The response travels back in the same adversary event.
+                    let AbdMsg::Reply { obj, sn, val, ts } = reply else {
+                        unreachable!("server replies with Reply");
+                    };
+                    fx.push_with(|| TraceEvent::Deliver {
+                        src: dst,
+                        dst: src,
+                        label: format!("reply#{sn}[{obj}] (fused)"),
+                    });
+                    self.handle_reply(src, dst, obj, sn, &val, ts, fx);
+                } else {
+                    self.net.send(dst, src, reply);
+                }
+            }
+            AbdMsg::Reply { obj, sn, val, ts } => {
+                self.handle_reply(dst, src, obj, sn, &val, ts, fx);
+            }
+            AbdMsg::Update { obj, sn, val, ts } => {
+                self.servers[obj.index()][dst.index()].absorb(val, ts);
+                if self.def.fused_rpc {
+                    fx.push_with(|| TraceEvent::Deliver {
+                        src: dst,
+                        dst: src,
+                        label: format!("ack#{sn}[{obj}] (fused)"),
+                    });
+                    self.handle_ack(src, dst, obj, sn, fx);
+                } else {
+                    self.net.send(dst, src, AbdMsg::Ack { obj, sn });
+                }
+            }
+            AbdMsg::Ack { obj, sn } => {
+                self.handle_ack(dst, src, obj, sn, fx);
+            }
+        }
+    }
+
+    /// Feeds a query reply (from `server`) to the client at `client`.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_reply(
+        &mut self,
+        client: Pid,
+        server: Pid,
+        obj: ObjId,
+        sn: u32,
+        val: &Val,
+        ts: Ts,
+        fx: &mut Effects,
+    ) {
+        let quorum = self.def.quorum();
+        let Some(op) = self.clients[client.index()].as_mut() else {
+            return;
+        };
+        if op.obj != obj {
+            return;
+        }
+        let effect = op.on_reply(
+            server,
+            sn,
+            val,
+            ts,
+            quorum,
+            client,
+            &mut self.sn_counters[client.index()],
+        );
+        let inv = op.inv;
+        match effect {
+            ReplyEffect::Ignored | ReplyEffect::Counted => {}
+            ReplyEffect::NextQuery { iteration, sn } => {
+                fx.push(TraceEvent::PreamblePassed {
+                    inv,
+                    pid: client,
+                    iteration,
+                });
+                self.net.broadcast(client, AbdMsg::Query { obj, sn });
+            }
+            ReplyEffect::NeedChoice { iteration, choices } => {
+                fx.push(TraceEvent::PreamblePassed {
+                    inv,
+                    pid: client,
+                    iteration,
+                });
+                self.awaiting = Some(Awaiting::Object {
+                    pid: client,
+                    choices: choices as usize,
+                });
+            }
+            ReplyEffect::StartUpdate {
+                iteration,
+                sn,
+                val,
+                ts,
+            } => {
+                fx.push(TraceEvent::PreamblePassed {
+                    inv,
+                    pid: client,
+                    iteration,
+                });
+                self.net.broadcast(client, AbdMsg::Update { obj, sn, val, ts });
+            }
+        }
+    }
+
+    /// Feeds an update ack (from `server`) to the client at `client`.
+    fn handle_ack(&mut self, client: Pid, server: Pid, obj: ObjId, sn: u32, fx: &mut Effects) {
+        let quorum = self.def.quorum();
+        let Some(op) = self.clients[client.index()].as_mut() else {
+            return;
+        };
+        if op.obj != obj {
+            return;
+        }
+        match op.on_ack(server, sn, quorum) {
+            AckEffect::Ignored | AckEffect::Counted => {}
+            AckEffect::Complete { ret } => {
+                self.complete_op(client, ret, fx);
+            }
+        }
+    }
+
+    /// Returns `true` if process `pid`'s active operation is in some query
+    /// phase (its preamble), i.e. its linearization point is not yet fixed.
+    #[must_use]
+    pub fn in_preamble(&self, pid: Pid) -> bool {
+        matches!(
+            &self.clients[pid.index()],
+            Some(ActiveOp {
+                phase: Phase::Query { .. } | Phase::AwaitChoice,
+                ..
+            })
+        )
+    }
+}
+
+impl System for AbdSystem {
+    type Event = AbdEvent;
+
+    fn process_count(&self) -> usize {
+        self.def.n()
+    }
+
+    fn enabled(&self, out: &mut Vec<AbdEvent>) {
+        out.clear();
+        if self.status() != Status::Running {
+            return;
+        }
+        for p in 0..self.def.n() {
+            let pid = Pid(p as u32);
+            if self.prog.can_step(pid) {
+                out.push(AbdEvent::Prog(pid));
+            }
+        }
+        for slot in self.net.deliverable() {
+            out.push(AbdEvent::Deliver(slot));
+        }
+    }
+
+    fn apply(&mut self, ev: &AbdEvent, fx: &mut Effects) {
+        debug_assert_eq!(self.status(), Status::Running);
+        match ev {
+            AbdEvent::Prog(pid) => self.handle_prog_step(*pid, fx),
+            AbdEvent::Deliver(slot) => self.handle_deliver(*slot, fx),
+        }
+        self.purge();
+    }
+
+    fn supply_random(&mut self, choice: usize, fx: &mut Effects) {
+        match self.awaiting.take() {
+            Some(Awaiting::Program { pid, choices }) => {
+                assert!(choice < choices, "random choice out of range");
+                fx.push(TraceEvent::ProgramRandom {
+                    pid,
+                    choices,
+                    chosen: choice,
+                });
+                self.prog.on_random(pid, choice);
+            }
+            Some(Awaiting::Object { pid, choices }) => {
+                assert!(choice < choices, "random choice out of range");
+                let op = self.clients[pid.index()]
+                    .as_mut()
+                    .expect("object random step without an active op");
+                let inv = op.inv;
+                let obj = op.obj;
+                fx.push(TraceEvent::ObjectRandom {
+                    pid,
+                    inv,
+                    choices,
+                    chosen: choice,
+                });
+                let (sn, val, ts) =
+                    op.choose(choice, pid, &mut self.sn_counters[pid.index()]);
+                self.net.broadcast(pid, AbdMsg::Update { obj, sn, val, ts });
+            }
+            None => panic!("supply_random while not awaiting randomness"),
+        }
+        self.purge();
+    }
+
+    fn status(&self) -> Status {
+        if self.prog.is_done(&self.def.program) {
+            return Status::Done;
+        }
+        match self.awaiting {
+            Some(Awaiting::Program { pid, choices }) => Status::AwaitingRandom {
+                pid,
+                choices,
+                kind: RandomKind::Program,
+            },
+            Some(Awaiting::Object { pid, choices }) => Status::AwaitingRandom {
+                pid,
+                choices,
+                kind: RandomKind::Object,
+            },
+            None => Status::Running,
+        }
+    }
+
+    fn outcome(&self) -> Outcome {
+        self.prog.outcome()
+    }
+}

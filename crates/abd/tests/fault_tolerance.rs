@@ -1,0 +1,199 @@
+//! ABD's raison d'être: tolerating any minority of crash failures
+//! (Attiya–Bar-Noy–Dolev). These tests run a five-process system, crash up
+//! to two processes (a minority) at various points, and check that every
+//! surviving operation still completes with linearizable results.
+
+use blunt_abd::config::ObjectConfig;
+use blunt_abd::system::{AbdSystem, AbdSystemDef};
+use blunt_core::ids::{MethodId, ObjId, Pid};
+use blunt_core::spec::RegisterSpec;
+use blunt_core::value::Val;
+use blunt_lincheck::wgl::check_linearizable;
+use blunt_programs::{Expr, Instr, ProgramDef};
+use blunt_sim::kernel::run;
+use blunt_sim::rng::SplitMix64;
+use blunt_sim::sched::RandomScheduler;
+use blunt_sim::system::Effects;
+
+
+/// p0 writes 7 then 9; p4 reads twice; p1–p3 only serve.
+fn five_process_program() -> ProgramDef {
+    let write = |v: i64| Instr::Invoke {
+        line: 1,
+        obj: ObjId(0),
+        method: MethodId::WRITE,
+        arg: Expr::int(v),
+        bind: None,
+    };
+    let read = |bind: u8| Instr::Invoke {
+        line: 2,
+        obj: ObjId(0),
+        method: MethodId::READ,
+        arg: Expr::Const(Val::Nil),
+        bind: Some(bind),
+    };
+    ProgramDef::new(
+        "five-proc",
+        vec![
+            vec![write(7), write(9), Instr::Halt],
+            vec![Instr::Halt],
+            vec![Instr::Halt],
+            vec![Instr::Halt],
+            vec![read(0), read(1), Instr::Halt],
+        ],
+        vec![0, 0, 0, 0, 2],
+        0,
+        vec![Pid(0), Pid(4)],
+    )
+}
+
+fn system(k: u32) -> AbdSystem {
+    AbdSystem::new(AbdSystemDef {
+        program: five_process_program(),
+        objects: vec![ObjectConfig::abd(k, Val::Nil)],
+        purge_stale: true,
+        fused_rpc: false,
+    })
+}
+
+fn run_with_crashes(mut sys: AbdSystem, crashed: &[Pid], seed: u64) -> blunt_sim::kernel::RunReport {
+    let mut fx = Effects::silent();
+    for &p in crashed {
+        sys.crash(p, &mut fx);
+    }
+    run(
+        sys,
+        &mut RandomScheduler::new(seed),
+        &mut SplitMix64::new(seed),
+        true,
+        200_000,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}, crashed {crashed:?}: {e}"))
+}
+
+#[test]
+fn survives_any_minority_crashed_up_front() {
+    // Crash every 2-subset of the pure servers {p1, p2, p3}.
+    let pairs = [
+        [Pid(1), Pid(2)],
+        [Pid(1), Pid(3)],
+        [Pid(2), Pid(3)],
+    ];
+    for crashed in pairs {
+        for seed in 0..10 {
+            let report = run_with_crashes(system(1), &crashed, seed);
+            let h = report.trace.history().project(ObjId(0));
+            assert!(
+                check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
+                "crashed {crashed:?} seed {seed}: non-linearizable:\n{h}"
+            );
+            // Both of p4's reads completed.
+            assert!(report
+                .outcome
+                .get(&blunt_core::ids::CallSite::new(Pid(4), 2, 1))
+                .is_some());
+        }
+    }
+}
+
+#[test]
+fn survives_minority_crashes_with_iterated_preambles() {
+    for k in [2u32, 3] {
+        for seed in 0..10 {
+            let report = run_with_crashes(system(k), &[Pid(1), Pid(3)], seed);
+            let h = report.trace.history().project(ObjId(0));
+            assert!(
+                check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
+                "k = {k} seed {seed}: non-linearizable:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn second_read_sees_at_least_as_much_as_the_first() {
+    // With the writer writing 7 then 9 sequentially, p4's reads must be
+    // monotone: (⊥|7|9) then ≥ the first — never 9 then 7.
+    let rank = |v: &Val| match v {
+        Val::Nil => 0,
+        Val::Int(7) => 1,
+        Val::Int(9) => 2,
+        other => panic!("unexpected read value {other}"),
+    };
+    for seed in 0..30 {
+        let report = run_with_crashes(system(1), &[Pid(2), Pid(3)], seed);
+        let u1 = report
+            .outcome
+            .get(&blunt_core::ids::CallSite::new(Pid(4), 2, 0))
+            .unwrap();
+        let u2 = report
+            .outcome
+            .get(&blunt_core::ids::CallSite::new(Pid(4), 2, 1))
+            .unwrap();
+        assert!(
+            rank(u2) >= rank(u1),
+            "seed {seed}: new/old inversion {u1} then {u2}"
+        );
+    }
+}
+
+#[test]
+fn crash_mid_run_after_partial_progress() {
+    // Drive the system a bounded number of steps, crash a server, then let
+    // a random scheduler finish the run.
+    use blunt_sim::system::{Status, System};
+    use blunt_sim::trace::Trace;
+    for seed in 0..10 {
+        let mut sys = system(1);
+        // Record the manual pre-crash phase too, so the checked history is
+        // the complete execution.
+        let mut fx = Effects::recording();
+        let mut pre = Trace::new();
+        let mut enabled = Vec::new();
+        use blunt_sim::rng::RandomSource;
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..12 {
+            match sys.status() {
+                Status::Running => {
+                    sys.enabled(&mut enabled);
+                    if enabled.is_empty() {
+                        break;
+                    }
+                    let ev = enabled[rng.draw(enabled.len())];
+                    sys.apply(&ev, &mut fx);
+                }
+                Status::AwaitingRandom { choices, .. } => {
+                    let c = rng.draw(choices);
+                    sys.supply_random(c, &mut fx);
+                }
+                Status::Done => break,
+            }
+            pre.extend(fx.take());
+        }
+        sys.crash(Pid(2), &mut fx);
+        pre.extend(fx.take());
+        let report = run(
+            sys,
+            &mut RandomScheduler::new(seed ^ 1),
+            &mut SplitMix64::new(seed ^ 2),
+            true,
+            200_000,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        pre.extend(report.trace.events().to_vec());
+        let h = pre.history().project(ObjId(0));
+        assert!(
+            check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
+            "seed {seed}: non-linearizable after mid-run crash:\n{h}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "stuck")]
+fn majority_crash_blocks_progress() {
+    // Crashing a majority (3 of 5) removes every quorum: the run must get
+    // stuck rather than return wrong answers.
+    let report = run_with_crashes(system(1), &[Pid(1), Pid(2), Pid(3)], 0);
+    let _ = report;
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for ABD: randomly generated register programs over
+//! randomly seeded schedules always produce linearizable histories —
+//! multi-writer and single-writer, fused and unfused, purged and unpurged,
+//! for every `k`.
+
+use blunt_abd::config::ObjectConfig;
+use blunt_abd::system::{AbdSystem, AbdSystemDef};
+use blunt_core::ids::{MethodId, ObjId, Pid};
+use blunt_core::spec::RegisterSpec;
+use blunt_core::value::Val;
+use blunt_lincheck::wgl::check_linearizable;
+use blunt_programs::{Expr, Instr, ProgramDef};
+use blunt_sim::kernel::run;
+use blunt_sim::rng::SplitMix64;
+use blunt_sim::sched::RandomScheduler;
+use proptest::prelude::*;
+
+const N: usize = 3;
+
+#[derive(Clone, Copy, Debug)]
+enum PlannedOp {
+    Read,
+    Write(i64),
+}
+
+fn planned_ops() -> impl Strategy<Value = Vec<Vec<PlannedOp>>> {
+    let op = prop_oneof![
+        Just(PlannedOp::Read),
+        (0i64..6).prop_map(PlannedOp::Write),
+    ];
+    prop::collection::vec(prop::collection::vec(op, 0..4), N..=N)
+}
+
+fn program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> ProgramDef {
+    let codes = plans
+        .iter()
+        .enumerate()
+        .map(|(p, plan)| {
+            let mut code = Vec::new();
+            for op in plan {
+                let instr = match op {
+                    PlannedOp::Write(v)
+                        if writer_only.is_none_or(|w| w == Pid(p as u32)) =>
+                    {
+                        Instr::Invoke {
+                            line: 1,
+                            obj: ObjId(0),
+                            method: MethodId::WRITE,
+                            arg: Expr::int(*v),
+                            bind: None,
+                        }
+                    }
+                    _ => Instr::Invoke {
+                        line: 1,
+                        obj: ObjId(0),
+                        method: MethodId::READ,
+                        arg: Expr::Const(Val::Nil),
+                        bind: None,
+                    },
+                };
+                code.push(instr);
+            }
+            code.push(Instr::Halt);
+            code
+        })
+        .collect();
+    ProgramDef::new("proptest-abd", codes, vec![0; N], 0, vec![])
+}
+
+fn check(sys: AbdSystem, seed: u64) -> Result<(), TestCaseError> {
+    let report = run(
+        sys,
+        &mut RandomScheduler::new(seed),
+        &mut SplitMix64::new(seed ^ 0xBEEF),
+        true,
+        500_000,
+    )
+    .map_err(|e| TestCaseError::fail(format!("run failed: {e}")))?;
+    let h = report.trace.history().project(ObjId(0));
+    prop_assert!(
+        check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
+        "non-linearizable ABD history (seed {seed}):\n{h}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn multi_writer_abd_random_programs_linearizable(
+        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000,
+        fused in prop::bool::ANY, purge in prop::bool::ANY
+    ) {
+        let sys = AbdSystem::new(AbdSystemDef {
+            program: program(&plans, None),
+            objects: vec![ObjectConfig::abd(k, Val::Nil)],
+            purge_stale: purge,
+            fused_rpc: fused,
+        });
+        check(sys, seed)?;
+    }
+
+    #[test]
+    fn single_writer_abd_random_programs_linearizable(
+        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
+    ) {
+        let sys = AbdSystem::new(AbdSystemDef {
+            program: program(&plans, Some(Pid(0))),
+            objects: vec![ObjectConfig::abd_single_writer(k, Pid(0), Val::Nil)],
+            purge_stale: true,
+            fused_rpc: false,
+        });
+        check(sys, seed)?;
+    }
+
+    #[test]
+    fn object_random_steps_appear_only_for_k_above_one(
+        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
+    ) {
+        let sys = AbdSystem::new(AbdSystemDef {
+            program: program(&plans, None),
+            objects: vec![ObjectConfig::abd(k, Val::Nil)],
+            purge_stale: true,
+            fused_rpc: false,
+        });
+        let report = run(
+            sys,
+            &mut RandomScheduler::new(seed),
+            &mut SplitMix64::new(seed),
+            true,
+            500_000,
+        )
+        .unwrap();
+        let coins = report.trace.object_random_count();
+        if k == 1 {
+            prop_assert_eq!(coins, 0, "ABD¹ must be identical to ABD");
+        } else {
+            // One object coin per completed R-operation.
+            let completed = report
+                .trace
+                .history()
+                .project(ObjId(0))
+                .invocations()
+                .iter()
+                .filter(|r| r.ret.is_some())
+                .count();
+            prop_assert_eq!(coins, completed);
+        }
+    }
+
+    #[test]
+    fn preamble_markers_count_matches_k(
+        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
+    ) {
+        let sys = AbdSystem::new(AbdSystemDef {
+            program: program(&plans, None),
+            objects: vec![ObjectConfig::abd(k, Val::Nil)],
+            purge_stale: true,
+            fused_rpc: false,
+        });
+        let report = run(
+            sys,
+            &mut RandomScheduler::new(seed),
+            &mut SplitMix64::new(seed),
+            true,
+            500_000,
+        )
+        .unwrap();
+        let completed = report
+            .trace
+            .history()
+            .invocations()
+            .iter()
+            .filter(|r| r.ret.is_some())
+            .count();
+        let markers = report
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, blunt_sim::trace::TraceEvent::PreamblePassed { .. }))
+            .count();
+        // Every completed op ran exactly k query iterations.
+        prop_assert_eq!(markers, completed * k as usize);
+    }
+}

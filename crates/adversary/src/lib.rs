@@ -1,0 +1,19 @@
+//! Adversary strategies against linearizable implementations.
+//!
+//! This crate turns the paper's Appendix A into executable artifacts:
+//!
+//! - [`fig1`] — the exact strong adversary of Figure 1, as a scripted
+//!   schedule (one per coin value) that forces the weakener's `p2` to loop
+//!   forever against plain ABD;
+//! - [`search`] — empirical adversary lower bounds: exact game values on the
+//!   fused game, plus Monte Carlo sweeps under random scheduling for
+//!   comparison;
+//! - [`report`] — the Appendix A probability table with paper-vs-measured
+//!   columns, used by the experiments harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig1;
+pub mod report;
+pub mod search;

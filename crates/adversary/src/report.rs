@@ -1,0 +1,105 @@
+//! The Appendix A results table: paper claims vs. measured values.
+
+use blunt_core::bound::blunting_bound;
+use blunt_core::ratio::Ratio;
+use std::fmt;
+
+/// One row of the case-study table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Configuration label (e.g. "atomic", "ABD¹", "ABD²").
+    pub config: String,
+    /// The paper's claim about the bad-outcome probability.
+    pub paper: String,
+    /// The measured value (exact game value or bound), if computed.
+    pub measured: Option<Ratio>,
+    /// How the measurement was obtained.
+    pub method: String,
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let measured = self
+            .measured
+            .map_or_else(|| "—".to_string(), |m| format!("{m} ({:.4})", m.to_f64()));
+        write!(
+            f,
+            "{:<10} | {:<28} | {:<18} | {}",
+            self.config, self.paper, measured, self.method
+        )
+    }
+}
+
+/// The paper's claimed values for the weakener case study.
+#[must_use]
+pub fn paper_claims() -> Vec<(String, String)> {
+    vec![
+        ("atomic".into(), "bad ≤ 1/2 (A.1)".into()),
+        ("ABD¹".into(), "bad = 1 (A.2, Fig. 1)".into()),
+        (
+            "ABD²".into(),
+            "bad ≤ 7/8 (Thm 4.2); ≤ 5/8 (A.3.2)".into(),
+        ),
+    ]
+}
+
+/// The Theorem 4.2 generic bound instantiated for the weakener
+/// (`n = 3`, `r = 1`, `Prob[O_a] = 1/2`, `Prob[O] = 1`).
+#[must_use]
+pub fn weakener_theorem_bound(k: u32) -> Ratio {
+    blunting_bound(Ratio::new(1, 2), Ratio::ONE, 3, 1, k)
+}
+
+/// Renders a table of rows with a header.
+#[must_use]
+pub fn render_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} | {:<28} | {:<18} | {}\n",
+        "config", "paper", "measured", "method"
+    ));
+    out.push_str(&"-".repeat(86));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_bound_for_the_case_study() {
+        assert_eq!(weakener_theorem_bound(1), Ratio::ONE);
+        assert_eq!(weakener_theorem_bound(2), Ratio::new(7, 8));
+        assert_eq!(weakener_theorem_bound(4), Ratio::new(23, 32));
+        // Monotone decreasing toward 1/2.
+        let mut prev = Ratio::ONE;
+        for k in 1..=64 {
+            let b = weakener_theorem_bound(k);
+            assert!(b <= prev);
+            assert!(b >= Ratio::new(1, 2));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows: Vec<Row> = paper_claims()
+            .into_iter()
+            .map(|(config, paper)| Row {
+                config,
+                paper,
+                measured: Some(Ratio::new(5, 8)),
+                method: "test".into(),
+            })
+            .collect();
+        let table = render_table(&rows);
+        assert_eq!(table.lines().count(), 2 + rows.len());
+        assert!(table.contains("ABD²"));
+        assert!(table.contains("5/8"));
+    }
+}

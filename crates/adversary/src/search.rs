@@ -1,0 +1,130 @@
+//! Adversary power measurements for the weakener case study.
+//!
+//! Three measurement modes, in decreasing strength:
+//!
+//! 1. [`exact_worst_atomic`] / [`exact_worst_fused`] — exact game values by
+//!    exhaustive expectimax. The atomic game is exact outright; the fused
+//!    game gives a certified **lower bound** on the unrestricted strong
+//!    adversary (every fused schedule is realizable unfused);
+//! 2. [`certain_win_unfused`] — the Boolean sure-win check on the full
+//!    (unfused) game, used to certify `Prob[bad] = 1` for plain ABD;
+//! 3. [`oblivious_estimate`] — Monte Carlo frequency under uniformly random
+//!    scheduling, showing how far a *non*-adversarial environment is from
+//!    the worst case.
+
+use blunt_abd::scenarios::{weakener_abd, weakener_abd_fused, weakener_atomic};
+use blunt_core::ratio::Ratio;
+use blunt_programs::weakener::is_bad;
+use blunt_sim::explore::{sure_win, worst_case_prob, ExploreBudget, ExploreError, ExploreStats};
+use blunt_sim::kernel::RunError;
+use blunt_sim::montecarlo::{estimate, Estimate};
+use blunt_sim::sched::RandomScheduler;
+
+/// Exact `Prob[P(O_a) → B]` for the weakener over atomic registers
+/// (expected: exactly 1/2, Appendix A.1).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the budget runs out (the
+/// atomic game is small; the default budget is ample).
+pub fn exact_worst_atomic(
+    budget: &ExploreBudget,
+) -> Result<(Ratio, ExploreStats), ExploreError> {
+    worst_case_prob(&weakener_atomic(), &is_bad, budget)
+}
+
+/// Exact worst-case bad probability on the **fused** `ABD^k` game — a
+/// certified lower bound on the unrestricted adversary's power (expected:
+/// 1 for `k = 1`, 5/8 for `k = 2`).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the budget runs out.
+pub fn exact_worst_fused(
+    k: u32,
+    budget: &ExploreBudget,
+) -> Result<(Ratio, ExploreStats), ExploreError> {
+    worst_case_prob(&weakener_abd_fused(k), &is_bad, budget)
+}
+
+/// Whether the unrestricted adversary can force the bad outcome surely
+/// against `ABD^k` (expected: `true` for `k = 1`, Appendix A.2; `false`
+/// for `k ≥ 2` — the content of the blunting theorem on this program).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the budget runs out — the
+/// `k = 1` check needs on the order of 10⁷ states.
+pub fn certain_win_unfused(
+    k: u32,
+    budget: &ExploreBudget,
+) -> Result<(bool, ExploreStats), ExploreError> {
+    sure_win(&weakener_abd(k), &is_bad, budget)
+}
+
+/// Monte Carlo estimate of the bad-outcome frequency for `ABD^k` under
+/// uniformly random scheduling.
+///
+/// # Errors
+///
+/// Propagates kernel [`RunError`]s (none are expected for these systems).
+pub fn oblivious_estimate(k: u32, trials: usize, seed: u64) -> Result<Estimate, RunError> {
+    estimate(
+        || weakener_abd(k),
+        RandomScheduler::new,
+        is_bad,
+        trials,
+        seed,
+        200_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_game_value_is_half() {
+        let (p, _) = exact_worst_atomic(&ExploreBudget::default()).unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+    }
+
+    #[test]
+    #[ignore = "≈15 s release / minutes debug: exact fused k = 1 value; run with --ignored"]
+    fn fused_k1_value_is_one() {
+        // The fused game already contains the Figure 1 attack.
+        let (p, stats) =
+            exact_worst_fused(1, &ExploreBudget::with_max_states(5_000_000)).unwrap();
+        assert_eq!(p, Ratio::ONE);
+        assert!(stats.states > 100_000);
+    }
+
+    #[test]
+    #[ignore = "about a minute: the ABD² headline (exact 5/8); run with --ignored"]
+    fn fused_k2_value_is_five_eighths() {
+        let (p, _) =
+            exact_worst_fused(2, &ExploreBudget::with_max_states(20_000_000)).unwrap();
+        assert_eq!(p, Ratio::new(5, 8));
+    }
+
+    #[test]
+    #[ignore = "several minutes: exhaustive sure-win proof on the unfused game"]
+    fn unfused_k1_certain_win() {
+        let (w, _) =
+            certain_win_unfused(1, &ExploreBudget::with_max_states(50_000_000)).unwrap();
+        assert!(w);
+    }
+
+    #[test]
+    fn oblivious_environment_is_far_from_the_worst_case() {
+        // Under random scheduling the weakener over ABD almost always
+        // terminates — the 100% nontermination of Figure 1 is genuinely
+        // adversarial, not typical.
+        let est = oblivious_estimate(1, 400, 42).unwrap();
+        assert!(
+            est.mean() < 0.55,
+            "random scheduling should not approach the adversarial value 1 (got {})",
+            est.mean()
+        );
+    }
+}

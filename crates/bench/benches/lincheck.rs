@@ -1,0 +1,85 @@
+//! Benchmarks for the linearizability checkers (experiments E6/E7).
+
+use blunt_abd::scenarios::weakener_abd;
+use blunt_bench::seeded_history;
+use blunt_core::history::History;
+use blunt_core::ids::{MethodId, ObjId};
+use blunt_core::spec::RegisterSpec;
+use blunt_core::value::Val;
+use blunt_lincheck::strong::check_strong;
+use blunt_lincheck::tree::ExecTree;
+use blunt_lincheck::wgl::check_linearizable;
+use blunt_sim::kernel::run;
+use blunt_sim::rng::Tape;
+use blunt_sim::trace::Trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sample_histories(count: u64) -> Vec<History> {
+    (0..count)
+        .map(|s| seeded_history(weakener_abd(2), s, ObjId(0), 300_000))
+        .collect()
+}
+
+fn bench_wgl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lincheck/wgl");
+    let spec = RegisterSpec::new(Val::Nil);
+    let histories = sample_histories(16);
+    g.bench_function("abd2_weakener_histories", |b| {
+        b.iter(|| {
+            for h in &histories {
+                assert!(check_linearizable(black_box(h), &spec).is_ok());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn fig1_traces() -> Vec<Trace> {
+    (0..2usize)
+        .map(|coin| {
+            run(
+                weakener_abd(1),
+                &mut blunt_adversary::fig1::fig1_script(coin),
+                &mut Tape::new(vec![coin]),
+                true,
+                10_000,
+            )
+            .unwrap()
+            .trace
+        })
+        .collect()
+}
+
+fn bench_strong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lincheck/strong");
+    let traces = fig1_traces();
+    let spec = RegisterSpec::new(Val::Nil);
+    g.bench_function("fig1_tree_refutation_pi0", |b| {
+        let tree = ExecTree::build(&traces, ObjId(0), |_| false);
+        b.iter(|| assert!(!check_strong(black_box(&tree), &spec)));
+    });
+    g.bench_function("fig1_tree_tail_pi_abd", |b| {
+        let tree = ExecTree::build(&traces, ObjId(0), |m| {
+            m == MethodId::READ || m == MethodId::WRITE
+        });
+        b.iter(|| assert!(check_strong(black_box(&tree), &spec)));
+    });
+    g.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lincheck/tree-build");
+    let traces = fig1_traces();
+    for n in [2usize, 8, 16] {
+        // Repeat the two traces to simulate larger sampled forests.
+        let many: Vec<Trace> = traces.iter().cycle().take(n).cloned().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &many, |b, many| {
+            b.iter(|| ExecTree::build(black_box(many), ObjId(0), |_| false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wgl, bench_strong, bench_tree_build);
+criterion_main!(benches);

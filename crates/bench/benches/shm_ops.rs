@@ -1,0 +1,177 @@
+//! Per-operation cost of the shared-memory constructions and the network
+//! substrate — the microbenchmarks behind experiment E8's shared-memory
+//! columns.
+
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+use blunt_registers::israeli_li::{self, IlOp};
+use blunt_registers::shm::{CellSpec, Shm, ShmLayout};
+use blunt_registers::snapshot::{self, SnapshotOp};
+use blunt_registers::twophase::{IterEffect, IteratedOp, ShmOp};
+use blunt_registers::vitanyi_awerbuch::{self, VaOp};
+use blunt_sim::network::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 3;
+
+fn snapshot_layout() -> (ShmLayout, Shm) {
+    let mut l = ShmLayout::new();
+    for i in 0..N {
+        l.push(CellSpec::single_writer(
+            Pid(i as u32),
+            N,
+            snapshot::make_cell(Val::Nil, 0, vec![Val::Nil; N]),
+            format!("M[{i}]"),
+        ));
+    }
+    let m = l.initial_memory();
+    (l, m)
+}
+
+fn va_layout() -> (ShmLayout, Shm) {
+    let mut l = ShmLayout::new();
+    for i in 0..N {
+        l.push(CellSpec::single_writer(
+            Pid(i as u32),
+            N,
+            vitanyi_awerbuch::make_cell(Val::Nil, 0, 0),
+            format!("Val[{i}]"),
+        ));
+    }
+    let m = l.initial_memory();
+    (l, m)
+}
+
+fn il_layout() -> (ShmLayout, Shm) {
+    let mut l = ShmLayout::new();
+    for i in 0..N {
+        l.push(CellSpec::single_reader(
+            Pid(0),
+            Pid(i as u32),
+            israeli_li::make_cell(Val::Nil, 0),
+            format!("Val[{i}]"),
+        ));
+    }
+    for i in 0..N {
+        for j in 0..N {
+            l.push(CellSpec::single_reader(
+                Pid(i as u32),
+                Pid(j as u32),
+                israeli_li::make_cell(Val::Nil, 0),
+                format!("Report[{i}][{j}]"),
+            ));
+        }
+    }
+    let m = l.initial_memory();
+    (l, m)
+}
+
+fn drive<O: ShmOp>(mut op: IteratedOp<O>, shm: &mut Shm, layout: &ShmLayout) -> Val {
+    loop {
+        match op.step(shm, layout) {
+            IterEffect::Complete(v) => return v,
+            IterEffect::NeedChoice { .. } => op.choose(0),
+            _ => {}
+        }
+    }
+}
+
+fn bench_ops_vs_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm/op-vs-k");
+    for k in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("snapshot-scan", k), &k, |b, &k| {
+            let (l, mut m) = snapshot_layout();
+            b.iter(|| {
+                drive(
+                    IteratedOp::new(SnapshotOp::scan(Pid(2), 0, N), black_box(k)),
+                    &mut m,
+                    &l,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("va-read", k), &k, |b, &k| {
+            let (l, mut m) = va_layout();
+            b.iter(|| {
+                drive(
+                    IteratedOp::new(VaOp::read(Pid(2), 0, N), black_box(k)),
+                    &mut m,
+                    &l,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("il-read", k), &k, |b, &k| {
+            let (l, mut m) = il_layout();
+            b.iter(|| {
+                drive(
+                    IteratedOp::new(IlOp::read(Pid(2), 0, N), black_box(k)),
+                    &mut m,
+                    &l,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm/write-ops");
+    g.bench_function("va-write", |b| {
+        let (l, mut m) = va_layout();
+        b.iter(|| {
+            drive(
+                IteratedOp::new(VaOp::write(Pid(0), 0, N, Val::Int(7)), 1),
+                &mut m,
+                &l,
+            )
+        });
+    });
+    g.bench_function("il-write", |b| {
+        let (l, mut m) = il_layout();
+        let mut seq = 0i64;
+        b.iter(|| {
+            seq += 1;
+            drive(
+                IteratedOp::new(IlOp::write(Pid(0), 0, N, Val::Int(7), seq), 1),
+                &mut m,
+                &l,
+            )
+        });
+    });
+    g.bench_function("snapshot-update", |b| {
+        let (l, mut m) = snapshot_layout();
+        let mut seq = 0i64;
+        b.iter(|| {
+            seq += 1;
+            drive(
+                IteratedOp::new(
+                    SnapshotOp::update(Pid(0), 0, N, 0, Val::Int(7), seq, false),
+                    1,
+                ),
+                &mut m,
+                &l,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm/network-substrate");
+    g.bench_function("broadcast-deliver-roundtrip", |b| {
+        b.iter(|| {
+            let mut net: Network<u32> = Network::new(8);
+            for i in 0..8u32 {
+                net.broadcast(Pid(i % 8), black_box(i));
+            }
+            while let Some(&slot) = net.deliverable().first() {
+                let _ = net.take(slot);
+            }
+            net
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops_vs_k, bench_write_ops, bench_network);
+criterion_main!(benches);

@@ -1,0 +1,538 @@
+//! Regenerates every quantitative claim of the paper (see the experiment
+//! index in `DESIGN.md`). Each experiment prints its table and the combined
+//! markdown summary is written to `target/experiments/summary.md`.
+//!
+//! ```sh
+//! cargo run --release -p blunt-bench --bin experiments            # default set
+//! cargo run --release -p blunt-bench --bin experiments -- e1 e5   # selection
+//! cargo run --release -p blunt-bench --bin experiments -- --heavy # + slow proofs
+//! ```
+//!
+//! Runtimes (release): default set ≈ 2–3 minutes (dominated by the exact
+//! fused k = 1, 2 games); `--heavy` adds the fused k = 3 game (~5 min) and
+//! the exhaustive unfused sure-win proof (~4 min).
+
+use blunt_abd::config::ObjectConfig;
+use blunt_abd::scenarios as abds;
+use blunt_abd::system::{AbdSystem, AbdSystemDef};
+use blunt_adversary::fig1::fig1_script;
+use blunt_adversary::report::weakener_theorem_bound;
+use blunt_adversary::search;
+use blunt_bench::{seeded_history, seeded_run, Table};
+use blunt_core::bound::bound_curve;
+use blunt_core::ids::{MethodId, ObjId};
+use blunt_core::ratio::Ratio;
+use blunt_core::spec::{RegisterSpec, SnapshotSpec};
+use blunt_core::value::Val;
+use blunt_lincheck::strong::check_strong;
+use blunt_lincheck::tree::ExecTree;
+use blunt_lincheck::wgl::check_linearizable;
+use blunt_programs::{ghw, round_based, weakener};
+use blunt_registers::scenarios as shms;
+use blunt_sim::explore::{sure_win, worst_case_prob, ExploreBudget};
+use blunt_sim::kernel::run;
+use blunt_sim::rng::Tape;
+use blunt_sim::trace::Trace;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Ctx {
+    heavy: bool,
+    summary: String,
+}
+
+impl Ctx {
+    fn section(&mut self, title: &str) {
+        println!("\n================================================================");
+        println!("{title}");
+        println!("================================================================");
+        let _ = writeln!(self.summary, "\n## {title}\n");
+    }
+
+    fn emit(&mut self, text: &str, md: &str) {
+        println!("{text}");
+        let _ = writeln!(self.summary, "{md}");
+    }
+
+    fn table(&mut self, t: &Table) {
+        println!("{}", t.to_text());
+        let _ = writeln!(self.summary, "{}", t.to_markdown());
+    }
+}
+
+fn fmt_ratio(r: Ratio) -> String {
+    format!("{r} ({:.4})", r.to_f64())
+}
+
+/// E1 — Appendix A.1: atomic registers, exact adversarial value 1/2.
+fn e1(ctx: &mut Ctx) {
+    ctx.section("E1  Atomic registers: exact worst-case bad probability (App. A.1)");
+    let t0 = Instant::now();
+    let (p, stats) = search::exact_worst_atomic(&ExploreBudget::default()).unwrap();
+    let (best, _) = blunt_sim::explore::best_case_prob(
+        &abds::weakener_atomic(),
+        &weakener::is_bad,
+        &ExploreBudget::default(),
+    )
+    .unwrap();
+    let mut t = Table::new(["quantity", "paper", "measured"]);
+    t.row(["Prob[bad], atomic, worst adversary".into(), "≤ 1/2, attained".into(), fmt_ratio(p)]);
+    t.row(["Prob[bad], atomic, best scheduler".into(), "—".into(), fmt_ratio(best)]);
+    ctx.table(&t);
+    ctx.emit(
+        &format!("({} states, {:?})", stats.states, t0.elapsed()),
+        &format!("*{} states explored in {:?}.*", stats.states, t0.elapsed()),
+    );
+    assert_eq!(p, Ratio::new(1, 2));
+}
+
+/// E2 — Appendix A.2 / Figure 1: plain ABD, nontermination forced surely.
+fn e2(ctx: &mut Ctx) {
+    ctx.section("E2  Plain ABD: the Figure 1 adversary forces nontermination (App. A.2)");
+    let mut t = Table::new(["coin", "u1", "u2", "c", "p2 loops?"]);
+    for coin in 0..2usize {
+        let report = run(
+            abds::weakener_abd(1),
+            &mut fig1_script(coin),
+            &mut Tape::new(vec![coin]),
+            true,
+            10_000,
+        )
+        .unwrap();
+        let get = |s| report.outcome.get(&s).map_or("—".into(), ToString::to_string);
+        let bad = weakener::is_bad(&report.outcome);
+        t.row([
+            coin.to_string(),
+            get(weakener::site_u1()),
+            get(weakener::site_u2()),
+            get(weakener::site_c()),
+            bad.to_string(),
+        ]);
+        assert!(bad);
+    }
+    ctx.table(&t);
+    ctx.emit(
+        "Scripted Figure 1 schedule wins for BOTH coin values ⇒ Prob[bad] = 1.",
+        "Scripted Figure 1 schedule wins for **both** coin values ⇒ `Prob[bad] = 1`.",
+    );
+
+    // Independent exact certificates.
+    let t0 = Instant::now();
+    let (p, stats) = search::exact_worst_fused(1, &ExploreBudget::with_max_states(5_000_000))
+        .unwrap();
+    ctx.emit(
+        &format!(
+            "Exact fused-game value for k = 1: {p} ({} states, {:?}).",
+            stats.states,
+            t0.elapsed()
+        ),
+        &format!(
+            "Exact fused-game value for k = 1: **{p}** ({} states, {:?}).",
+            stats.states,
+            t0.elapsed()
+        ),
+    );
+    assert_eq!(p, Ratio::ONE);
+
+    if ctx.heavy {
+        let t0 = Instant::now();
+        let (w, stats) = sure_win(
+            &abds::weakener_abd(1),
+            &weakener::is_bad,
+            &ExploreBudget::with_max_states(50_000_000).fingerprinted(),
+        )
+        .unwrap();
+        ctx.emit(
+            &format!(
+                "Exhaustive UNFUSED sure-win proof: {w} ({} states, {:?}).",
+                stats.states,
+                t0.elapsed()
+            ),
+            &format!(
+                "Exhaustive unfused sure-win proof: **{w}** ({} states, {:?}).",
+                stats.states,
+                t0.elapsed()
+            ),
+        );
+        assert!(w);
+    }
+}
+
+/// E3/E4 — the ABD^k table: theorem bound vs exact game values.
+fn e3_e4(ctx: &mut Ctx) {
+    ctx.section("E3/E4  ABD^k: Theorem 4.2 bound vs exact game values (App. A.3)");
+    let mut t = Table::new([
+        "k",
+        "Thm 4.2 bound",
+        "paper detailed",
+        "measured exact (fused)",
+        "states",
+        "time",
+    ]);
+    let ks: Vec<u32> = if ctx.heavy { vec![1, 2, 3] } else { vec![1, 2] };
+    for k in ks {
+        let t0 = Instant::now();
+        let budget = ExploreBudget::with_max_states(150_000_000).fingerprinted();
+        let (p, stats) = search::exact_worst_fused(k, &budget).unwrap();
+        let detailed = match k {
+            1 => "= 1".to_string(),
+            2 => "≤ 5/8".to_string(),
+            _ => "—".to_string(),
+        };
+        t.row([
+            k.to_string(),
+            fmt_ratio(weakener_theorem_bound(k)),
+            detailed,
+            fmt_ratio(p),
+            stats.states.to_string(),
+            format!("{:?}", t0.elapsed()),
+        ]);
+        assert!(p <= weakener_theorem_bound(k), "bound violated at k = {k}");
+        if k == 2 {
+            assert_eq!(p, Ratio::new(5, 8), "the 5/8 of App. A.3.2 is tight");
+        }
+    }
+    ctx.table(&t);
+    ctx.emit(
+        "Measured values follow (k² + 1)/(2k²): 1, 5/8, 5/9, … — the paper's \
+         specialized 5/8 bound is TIGHT, and the generic Theorem 4.2 bound \
+         (7/8 at k = 2) is sound but loose on this program.",
+        "Measured values follow `(k² + 1)/(2k²)`: 1, 5/8, 5/9, … — the paper's \
+         specialized 5/8 bound is **tight**, and the generic Theorem 4.2 bound \
+         (7/8 at k = 2) is sound but loose on this program.",
+    );
+}
+
+/// E5 — Theorem 4.2 bound curves.
+fn e5(ctx: &mut Ctx) {
+    ctx.section("E5  Theorem 4.2 bound curves (bad ≤ bound; Pa = 1/2, P = 1)");
+    let mut t = Table::new(["n", "r", "k=1", "k=2", "k=4", "k=8", "k=16", "k=64"]);
+    for n in [2u32, 3, 4, 8] {
+        for r in [1u32, 2, 4] {
+            let curve = bound_curve(Ratio::new(1, 2), Ratio::ONE, n, r, 64);
+            let at = |k: u32| curve[(k - 1) as usize].bound.to_string();
+            t.row([
+                n.to_string(),
+                r.to_string(),
+                at(1),
+                at(2),
+                at(4),
+                at(8),
+                at(16),
+                at(64),
+            ]);
+        }
+    }
+    ctx.table(&t);
+}
+
+/// E6 — linearizability sweep: every implementation, many schedules.
+fn e6(ctx: &mut Ctx) {
+    ctx.section("E6  Linearizability of sampled histories (Theorem 4.1 equivalence)");
+    let seeds = 30u64;
+    let mut t = Table::new(["implementation", "schedules", "linearizable"]);
+    let reg = RegisterSpec::new(Val::Nil);
+    let check_reg = |name: &str, mk: &dyn Fn() -> AbdSystem, t: &mut Table| {
+        let ok = (0..seeds).all(|s| {
+            check_linearizable(&seeded_history(mk(), s, ObjId(0), 300_000), &reg).is_ok()
+        });
+        t.row([name.into(), seeds.to_string(), ok.to_string()]);
+        assert!(ok, "{name}: non-linearizable history found");
+    };
+    check_reg("ABD (k = 1)", &|| abds::weakener_abd(1), &mut t);
+    check_reg("ABD²", &|| abds::weakener_abd(2), &mut t);
+    check_reg("ABD³", &|| abds::weakener_abd(3), &mut t);
+    check_reg("ABD² (fused)", &|| abds::weakener_abd_fused(2), &mut t);
+
+    for (name, k) in [("Vitányi–Awerbuch (k = 1)", 1u32), ("VA²", 2)] {
+        let ok = (0..seeds).all(|s| {
+            check_linearizable(
+                &seeded_history(shms::weakener_va(k), s, ObjId(0), 300_000),
+                &reg,
+            )
+            .is_ok()
+        });
+        t.row([name.into(), seeds.to_string(), ok.to_string()]);
+        assert!(ok);
+    }
+    for (name, k) in [("Israeli–Li (k = 1)", 1u32), ("IL²", 2)] {
+        let ok = (0..seeds).all(|s| {
+            check_linearizable(
+                &seeded_history(shms::sw_weakener_il(k), s, ObjId(0), 300_000),
+                &reg,
+            )
+            .is_ok()
+        });
+        t.row([name.into(), seeds.to_string(), ok.to_string()]);
+        assert!(ok);
+    }
+    let snap = SnapshotSpec::new(3, Val::Nil);
+    for (name, k) in [("Afek snapshot (k = 1)", 1u32), ("snapshot²", 2)] {
+        let ok = (0..seeds).all(|s| {
+            check_linearizable(
+                &seeded_history(shms::ghw_snapshot(k), s, ObjId(0), 300_000),
+                &snap,
+            )
+            .is_ok()
+        });
+        t.row([name.into(), seeds.to_string(), ok.to_string()]);
+        assert!(ok);
+    }
+    ctx.table(&t);
+}
+
+/// E7 — strong vs tail-strong linearizability on real Figure 1 traces.
+fn e7(ctx: &mut Ctx) {
+    ctx.section("E7  Strong vs tail strong linearizability (Thm 5.1 on real traces)");
+    let traces: Vec<Trace> = (0..2usize)
+        .map(|coin| {
+            run(
+                abds::weakener_abd(1),
+                &mut fig1_script(coin),
+                &mut Tape::new(vec![coin]),
+                true,
+                10_000,
+            )
+            .unwrap()
+            .trace
+        })
+        .collect();
+    let reg = RegisterSpec::new(Val::Nil);
+    let tree_pi0 = ExecTree::build(&traces, ObjId(0), |_| false);
+    let strong = check_strong(&tree_pi0, &reg);
+    let tree_pi = ExecTree::build(&traces, ObjId(0), |m| {
+        m == MethodId::READ || m == MethodId::WRITE
+    });
+    let tail = check_strong(&tree_pi, &reg);
+    let mut t = Table::new(["property", "paper", "measured on Fig. 1 tree"]);
+    t.row([
+        "strongly linearizable (Π₀)".into(),
+        "impossible for ABD".into(),
+        strong.to_string(),
+    ]);
+    t.row([
+        "tail strongly linearizable (Π_ABD)".into(),
+        "Theorem 5.1: yes".into(),
+        tail.to_string(),
+    ]);
+    ctx.table(&t);
+    assert!(!strong && tail);
+    ctx.emit(
+        &format!(
+            "(execution tree: {} nodes from the two Figure 1 branches)",
+            tree_pi0.len()
+        ),
+        &format!(
+            "*Execution tree: {} nodes from the two Figure 1 branches.*",
+            tree_pi0.len()
+        ),
+    );
+}
+
+/// E8 — the cost of blunting: messages and steps per run vs k.
+fn e8(ctx: &mut Ctx) {
+    ctx.section("E8  Cost of blunting: messages / events per weakener run vs k");
+    let mut t = Table::new(["k", "deliveries (mean)", "events (mean)", "object coins"]);
+    for k in [1u32, 2, 4, 8, 16] {
+        let seeds = 20u64;
+        let (mut deliv, mut steps, mut coins) = (0usize, 0usize, 0usize);
+        for s in 0..seeds {
+            let r = seeded_run(abds::weakener_abd(k), s, 2_000_000);
+            deliv += r.trace.delivery_count();
+            steps += r.steps;
+            coins += r.trace.object_random_count();
+        }
+        t.row([
+            k.to_string(),
+            format!("{:.1}", deliv as f64 / seeds as f64),
+            format!("{:.1}", steps as f64 / seeds as f64),
+            format!("{:.1}", coins as f64 / seeds as f64),
+        ]);
+    }
+    ctx.table(&t);
+    ctx.emit(
+        "Message cost grows linearly in k (one query exchange per iteration); \
+         the update phase is k-independent.",
+        "Message cost grows linearly in `k` (one query exchange per iteration); \
+         the update phase is `k`-independent.",
+    );
+}
+
+/// E9 — shared-memory constructions: exact values.
+fn e9(ctx: &mut Ctx) {
+    ctx.section("E9  Shared-memory constructions: exact adversarial values");
+    let budget = ExploreBudget::with_max_states(5_000_000);
+    let mut t = Table::new(["system", "program", "exact worst Prob[bad]"]);
+    let cases: Vec<(&str, &str, Ratio)> = vec![
+        (
+            "atomic snapshot",
+            "snapshot-weakener",
+            worst_case_prob(&shms::ghw_atomic(), &ghw::is_bad, &budget).unwrap().0,
+        ),
+        (
+            "Afek snapshot (k = 1)",
+            "snapshot-weakener",
+            worst_case_prob(&shms::ghw_snapshot(1), &ghw::is_bad, &budget).unwrap().0,
+        ),
+        (
+            "Afek snapshot²",
+            "snapshot-weakener",
+            worst_case_prob(&shms::ghw_snapshot(2), &ghw::is_bad, &budget).unwrap().0,
+        ),
+        (
+            "atomic register",
+            "weakener",
+            worst_case_prob(&shms::weakener_shm_atomic(), &weakener::is_bad, &budget)
+                .unwrap()
+                .0,
+        ),
+        (
+            "Vitányi–Awerbuch (k = 1)",
+            "weakener",
+            worst_case_prob(&shms::weakener_va(1), &weakener::is_bad, &budget).unwrap().0,
+        ),
+        (
+            "Vitányi–Awerbuch²",
+            "weakener",
+            worst_case_prob(&shms::weakener_va(2), &weakener::is_bad, &budget).unwrap().0,
+        ),
+        (
+            "Israeli–Li (k = 1)",
+            "sw-weakener",
+            worst_case_prob(&shms::sw_weakener_il(1), &weakener::is_bad, &budget)
+                .unwrap()
+                .0,
+        ),
+        (
+            "Israeli–Li²",
+            "sw-weakener",
+            worst_case_prob(&shms::sw_weakener_il(2), &weakener::is_bad, &budget)
+                .unwrap()
+                .0,
+        ),
+    ];
+    for (sys, prog, p) in cases {
+        t.row([sys.into(), prog.into(), fmt_ratio(p)]);
+    }
+    ctx.table(&t);
+    ctx.emit(
+        "Finding: on weakener-style programs these register-based constructions \
+         show NO adversarial amplification (all exactly 1/2 = atomic). The ABD \
+         amplification exploits the adversary's post-flip choice of WHICH \
+         quorum answers a query; shared-memory reads have no such choice — \
+         each read returns the current cell value. This matches the paper: it \
+         proves these objects tail strongly linearizable (E7) and the \
+         transformation applicable, but the weakener-specific amplification is \
+         a message-passing phenomenon.",
+        "**Finding:** on weakener-style programs these register-based \
+         constructions show *no* adversarial amplification (all exactly 1/2 = \
+         atomic). The ABD amplification exploits the adversary's post-flip \
+         choice of *which quorum answers a query*; shared-memory reads have no \
+         such choice. This matches the paper: it proves these objects tail \
+         strongly linearizable (E7) and the transformation applicable, but the \
+         weakener-specific amplification is a message-passing phenomenon.",
+    );
+}
+
+/// E10 — the round-based extension (Section 7).
+fn e10(ctx: &mut Ctx) {
+    ctx.section("E10  Round-based programs (Section 7: pick k > T·s)");
+    let mut t = Table::new(["T", "exact atomic value", "expected 2^-T"]);
+    for rounds in 1..=3u32 {
+        let objects = (0..round_based::object_count(rounds))
+            .map(|i| {
+                if i % 2 == 0 {
+                    ObjectConfig::atomic(Val::Nil)
+                } else {
+                    ObjectConfig::atomic(Val::Int(-1))
+                }
+            })
+            .collect();
+        let sys = AbdSystem::new(AbdSystemDef {
+            program: round_based::round_based(rounds),
+            objects,
+            purge_stale: true,
+            fused_rpc: false,
+        });
+        let bad = move |o: &blunt_core::outcome::Outcome| round_based::is_bad(rounds, o);
+        let (p, _) = worst_case_prob(&sys, &bad, &ExploreBudget::with_max_states(30_000_000))
+            .unwrap();
+        let expected = Ratio::new(1, 1 << rounds);
+        t.row([rounds.to_string(), fmt_ratio(p), expected.to_string()]);
+        assert_eq!(p, expected);
+    }
+    ctx.table(&t);
+
+    let mut t = Table::new(["T", "k", "Thm 4.2 bound (r = T, n = 3)"]);
+    for rounds in [1u32, 2, 4] {
+        let pa = Ratio::new(1, i128::from(1u32 << rounds));
+        for k in [rounds, rounds + 1, 2 * rounds, 4 * rounds] {
+            t.row([
+                rounds.to_string(),
+                k.to_string(),
+                blunt_core::bound::blunting_bound(pa, Ratio::ONE, 3, rounds, k).to_string(),
+            ]);
+        }
+    }
+    ctx.table(&t);
+    ctx.emit(
+        "With k ≤ T·s the bound is vacuous (= 1); k > T·s starts paying off — \
+         the paper's Section 7 recommendation.",
+        "With `k ≤ T·s` the bound is vacuous (= 1); `k > T·s` starts paying \
+         off — the paper's Section 7 recommendation.",
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let heavy = args.iter().any(|a| a == "--heavy");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    let mut ctx = Ctx {
+        heavy,
+        summary: String::from(
+            "# Experiment results (regenerated by `blunt-bench/experiments`)\n",
+        ),
+    };
+
+    let t0 = Instant::now();
+    if want("e1") {
+        e1(&mut ctx);
+    }
+    if want("e2") {
+        e2(&mut ctx);
+    }
+    if want("e3") || want("e4") {
+        e3_e4(&mut ctx);
+    }
+    if want("e5") {
+        e5(&mut ctx);
+    }
+    if want("e6") {
+        e6(&mut ctx);
+    }
+    if want("e7") {
+        e7(&mut ctx);
+    }
+    if want("e8") {
+        e8(&mut ctx);
+    }
+    if want("e9") {
+        e9(&mut ctx);
+    }
+    if want("e10") {
+        e10(&mut ctx);
+    }
+
+    println!("\nTotal: {:?}", t0.elapsed());
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let path = dir.join("summary.md");
+    std::fs::write(&path, &ctx.summary).expect("write summary");
+    println!("Markdown summary written to {}", path.display());
+}

@@ -1,0 +1,142 @@
+//! Shared helpers for the experiment harness and benchmarks.
+//!
+//! The `experiments` binary (`cargo run --release -p blunt-bench --bin
+//! experiments`) regenerates every quantitative claim indexed in
+//! `DESIGN.md`/`EXPERIMENTS.md`; the criterion benches measure the cost of
+//! the moving parts (exploration, checking, per-operation protocol cost).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use blunt_core::history::History;
+use blunt_core::ids::ObjId;
+use blunt_sim::kernel::{run, RunReport};
+use blunt_sim::rng::SplitMix64;
+use blunt_sim::sched::RandomScheduler;
+use blunt_sim::system::System;
+
+/// Runs `sys` under a seeded random schedule and returns the report.
+///
+/// # Panics
+///
+/// Panics if the run errors (these systems always complete).
+pub fn seeded_run<S: System>(sys: S, seed: u64, max_steps: usize) -> RunReport {
+    run(
+        sys,
+        &mut RandomScheduler::new(seed),
+        &mut SplitMix64::new(seed ^ 0x5EED),
+        true,
+        max_steps,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+}
+
+/// Extracts the history of one object from a seeded run.
+///
+/// # Panics
+///
+/// Panics if the run errors.
+pub fn seeded_history<S: System>(sys: S, seed: u64, obj: ObjId, max_steps: usize) -> History {
+    seeded_run(sys, seed, max_steps).trace.history().project(obj)
+}
+
+/// Simple aligned-table printer for experiment outputs.
+#[derive(Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = &'static str>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().collect());
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as an aligned plain-text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_abd::scenarios::weakener_abd;
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let a = seeded_run(weakener_abd(1), 3, 100_000);
+        let b = seeded_run(weakener_abd(1), 3, 100_000);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn seeded_history_projects_single_object() {
+        let h = seeded_history(weakener_abd(1), 5, ObjId(0), 100_000);
+        assert!(h.is_well_formed());
+        assert_eq!(h.objects(), vec![ObjId(0)]);
+    }
+
+    #[test]
+    fn table_renders_both_formats() {
+        let mut t = Table::new(["k", "bound"]);
+        t.row(["1".into(), "1".into()]);
+        t.row(["2".into(), "7/8".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| k | bound |"));
+        assert!(md.lines().count() == 4);
+        let txt = t.to_text();
+        assert!(txt.contains("7/8"));
+    }
+}

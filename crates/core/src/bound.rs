@@ -1,0 +1,274 @@
+//! The quantitative blunting bound — Theorem 4.2 and Lemma 4.5.
+//!
+//! Theorem 4.2 states that for a program with `n ≥ 1` processes and at most
+//! `r ≥ 1` program random steps, using preamble-iterated objects `O^k`:
+//!
+//! ```text
+//! Prob[O^k] ≤ Prob[O_a] + [1 − ((max{0, k−r})/k)^(n−1)] · (Prob[O] − Prob[O_a])
+//! ```
+//!
+//! This module computes the bound exactly over [`Ratio`]s and provides the
+//! sweep generators that regenerate the paper's bound-curve "figures"
+//! (experiment E5 in `DESIGN.md`).
+
+use crate::ratio::Ratio;
+
+/// Lemma 4.5: a lower bound on `Prob[X]`, the probability that every object
+/// random step selects a randomization-free preamble iteration:
+///
+/// ```text
+/// Prob[X] ≥ ((max{0, k − r}) / k)^(n−1)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the transformation requires `k ≥ 1`).
+///
+/// ```
+/// use blunt_core::bound::prob_x_lower_bound;
+/// use blunt_core::ratio::Ratio;
+/// // Weakener case study: n = 3, r = 1, k = 2 ⇒ (1/2)² = 1/4.
+/// assert_eq!(prob_x_lower_bound(3, 1, 2), Ratio::new(1, 4));
+/// ```
+#[must_use]
+pub fn prob_x_lower_bound(n: u32, r: u32, k: u32) -> Ratio {
+    assert!(k >= 1, "the preamble-iterating transformation requires k ≥ 1");
+    if n <= 1 {
+        // With a single process there are no other processes whose preamble
+        // iterations can overlap a random step: Prob[X] = 1.
+        return Ratio::ONE;
+    }
+    let numer = k.saturating_sub(r);
+    Ratio::new(i128::from(numer), i128::from(k)).pow(n - 1)
+}
+
+/// The *adversary-advantage fraction* of Theorem 4.2:
+/// `1 − ((max{0, k−r})/k)^(n−1)` — the coefficient multiplying
+/// `Prob[O] − Prob[O_a]`.
+///
+/// It is `1` whenever `k ≤ r` (the adversary loses nothing) and tends to `0`
+/// as `k → ∞` (the adversary is fully blunted).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn adversary_advantage(n: u32, r: u32, k: u32) -> Ratio {
+    prob_x_lower_bound(n, r, k).complement()
+}
+
+/// Theorem 4.2: the upper bound on `Prob[O^k]` given the atomic probability
+/// `Prob[O_a]`, the linearizable probability `Prob[O]`, and the parameters
+/// `n`, `r`, `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, if either probability is outside `[0, 1]`, or if
+/// `p_lin < p_atomic` (which would contradict Proposition 2.2).
+///
+/// ```
+/// use blunt_core::bound::blunting_bound;
+/// use blunt_core::ratio::Ratio;
+/// // Appendix A.3.1: 1/2 + (1 − (1/2)²)·(1 − 1/2) = 7/8, i.e. termination ≥ 1/8.
+/// let b = blunting_bound(Ratio::new(1, 2), Ratio::ONE, 3, 1, 2);
+/// assert_eq!(b, Ratio::new(7, 8));
+/// ```
+#[must_use]
+pub fn blunting_bound(p_atomic: Ratio, p_lin: Ratio, n: u32, r: u32, k: u32) -> Ratio {
+    assert!(p_atomic.is_probability(), "Prob[O_a] must be in [0, 1]");
+    assert!(p_lin.is_probability(), "Prob[O] must be in [0, 1]");
+    assert!(
+        p_lin >= p_atomic,
+        "Prob[O] ≥ Prob[O_a] must hold (Proposition 2.2)"
+    );
+    p_atomic + adversary_advantage(n, r, k) * (p_lin - p_atomic)
+}
+
+/// The smallest `k` such that the adversary-advantage fraction is at most
+/// `epsilon`, or `None` if `epsilon` is not achievable (`epsilon < 0`) or no
+/// `k ≤ max_k` suffices.
+///
+/// Exposes the paper's trade-off between time complexity (grows with `k`)
+/// and bad-outcome probability (shrinks with `k`) as a planning API.
+///
+/// ```
+/// use blunt_core::bound::min_iterations_for_advantage;
+/// use blunt_core::ratio::Ratio;
+/// // n = 3, r = 1: advantage(k) = 1 − ((k−1)/k)²; advantage(8) = 15/64 ≤ 1/4.
+/// assert_eq!(
+///     min_iterations_for_advantage(3, 1, Ratio::new(1, 4), 1024),
+///     Some(8)
+/// );
+/// ```
+#[must_use]
+pub fn min_iterations_for_advantage(
+    n: u32,
+    r: u32,
+    epsilon: Ratio,
+    max_k: u32,
+) -> Option<u32> {
+    if epsilon < Ratio::ZERO {
+        return None;
+    }
+    // advantage is non-increasing in k, so a linear scan (or binary search)
+    // over k is correct; sweeps here are small so a scan keeps it simple.
+    (1..=max_k).find(|&k| adversary_advantage(n, r, k) <= epsilon)
+}
+
+/// One point of a bound-curve sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BoundPoint {
+    /// Number of preamble iterations.
+    pub k: u32,
+    /// Number of processes.
+    pub n: u32,
+    /// Maximum number of program random steps.
+    pub r: u32,
+    /// Lemma 4.5 lower bound on `Prob[X]`.
+    pub prob_x: Ratio,
+    /// Theorem 4.2 advantage fraction `1 − Prob[X]`.
+    pub advantage: Ratio,
+    /// Theorem 4.2 upper bound on `Prob[O^k]`.
+    pub bound: Ratio,
+}
+
+/// Generates the Theorem 4.2 bound curve for fixed `(n, r, p_atomic, p_lin)`
+/// over `k = 1..=k_max` (experiment E5).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`blunting_bound`].
+#[must_use]
+pub fn bound_curve(
+    p_atomic: Ratio,
+    p_lin: Ratio,
+    n: u32,
+    r: u32,
+    k_max: u32,
+) -> Vec<BoundPoint> {
+    (1..=k_max)
+        .map(|k| {
+            let prob_x = prob_x_lower_bound(n, r, k);
+            BoundPoint {
+                k,
+                n,
+                r,
+                prob_x,
+                advantage: prob_x.complement(),
+                bound: blunting_bound(p_atomic, p_lin, n, r, k),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half() -> Ratio {
+        Ratio::new(1, 2)
+    }
+
+    #[test]
+    fn lemma_4_5_weakener_numbers() {
+        // n = 3, r = 1.
+        assert_eq!(prob_x_lower_bound(3, 1, 1), Ratio::ZERO); // k ≤ r
+        assert_eq!(prob_x_lower_bound(3, 1, 2), Ratio::new(1, 4));
+        assert_eq!(prob_x_lower_bound(3, 1, 4), Ratio::new(9, 16));
+    }
+
+    #[test]
+    fn k_le_r_gives_no_blunting() {
+        for k in 1..=3 {
+            assert_eq!(
+                blunting_bound(half(), Ratio::ONE, 4, 3, k),
+                Ratio::ONE,
+                "k = {k} ≤ r = 3 must give the unbounded linearizable probability"
+            );
+        }
+    }
+
+    #[test]
+    fn single_process_has_no_adversary_advantage() {
+        assert_eq!(prob_x_lower_bound(1, 5, 1), Ratio::ONE);
+        assert_eq!(
+            blunting_bound(half(), Ratio::ONE, 1, 5, 1),
+            half(),
+            "with n = 1 the bound collapses to the atomic probability"
+        );
+    }
+
+    #[test]
+    fn appendix_a_3_1_bound_is_seven_eighths() {
+        let b = blunting_bound(half(), Ratio::ONE, 3, 1, 2);
+        assert_eq!(b, Ratio::new(7, 8));
+        // Termination probability is therefore at least 1/8.
+        assert_eq!(b.complement(), Ratio::new(1, 8));
+    }
+
+    #[test]
+    fn bound_is_monotone_decreasing_in_k() {
+        let curve = bound_curve(half(), Ratio::ONE, 3, 1, 64);
+        for w in curve.windows(2) {
+            assert!(w[1].bound <= w[0].bound, "bound must not increase with k");
+        }
+        assert_eq!(curve[0].bound, Ratio::ONE);
+        assert!(curve[63].bound < Ratio::new(9, 16));
+    }
+
+    #[test]
+    fn bound_is_monotone_increasing_in_n_and_r() {
+        for k in 2..=16 {
+            let base = blunting_bound(half(), Ratio::ONE, 3, 1, k);
+            assert!(blunting_bound(half(), Ratio::ONE, 4, 1, k) >= base);
+            assert!(blunting_bound(half(), Ratio::ONE, 3, 2, k) >= base);
+        }
+    }
+
+    #[test]
+    fn bound_approaches_atomic_probability() {
+        let b = blunting_bound(half(), Ratio::ONE, 3, 1, 4096);
+        assert!(b - half() < Ratio::new(1, 1000));
+        assert!(b >= half(), "bound never drops below the atomic probability");
+    }
+
+    #[test]
+    fn bound_equals_atomic_when_lin_equals_atomic() {
+        // Strongly linearizable objects: Prob[O] = Prob[O_a] (Theorem 2.3);
+        // the transformation can neither help nor hurt.
+        let b = blunting_bound(half(), half(), 5, 3, 2);
+        assert_eq!(b, half());
+    }
+
+    #[test]
+    fn min_iterations_scan_matches_direct_check() {
+        let eps = Ratio::new(1, 10);
+        let k = min_iterations_for_advantage(4, 2, eps, 4096).unwrap();
+        assert!(adversary_advantage(4, 2, k) <= eps);
+        assert!(adversary_advantage(4, 2, k - 1) > eps);
+    }
+
+    #[test]
+    fn min_iterations_returns_none_when_unreachable() {
+        assert_eq!(
+            min_iterations_for_advantage(3, 1, Ratio::new(-1, 2), 64),
+            None
+        );
+        assert_eq!(
+            min_iterations_for_advantage(64, 32, Ratio::new(1, 1_000_000), 2),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_iterations_panics() {
+        let _ = prob_x_lower_bound(3, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Proposition 2.2")]
+    fn inverted_probabilities_panic() {
+        let _ = blunting_bound(Ratio::ONE, half(), 3, 1, 2);
+    }
+}

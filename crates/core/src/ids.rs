@@ -1,0 +1,184 @@
+//! Identifier newtypes used throughout the workspace.
+//!
+//! The paper identifies method invocations both by an opaque unique identifier
+//! `i` (used in call/return actions) and, when relating outcomes across
+//! executions, by a *syntactic* identifier: a triple of process id, control
+//! point (line number) and occurrence count (Section 2.3). [`InvId`] plays the
+//! first role and [`CallSite`] the second.
+
+use std::fmt;
+
+/// A process identifier.
+///
+/// Processes are numbered densely from zero within a system; the adversary's
+/// schedule (Section 2.4) is a sequence of these.
+///
+/// ```
+/// use blunt_core::ids::Pid;
+/// let p = Pid(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Returns the process index as a `usize`, for indexing into dense tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A shared-object identifier within a program.
+///
+/// A program `P(O)` uses a finite set of shared objects; each is addressed by
+/// an `ObjId` so that outcomes and traces can name the object an invocation
+/// targeted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Returns the object index as a `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// A unique identifier of a single method invocation within one execution.
+///
+/// Each transition labeled by a call action carries a fresh `InvId`; the
+/// matching return action carries the same one (well-formedness, Section 2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct InvId(pub u64);
+
+impl fmt::Display for InvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv{}", self.0)
+    }
+}
+
+/// A method name within an object's interface.
+///
+/// Interpreting the numeric payload is up to each object implementation; the
+/// conventional assignments used across this workspace are exported as
+/// constants ([`MethodId::READ`], [`MethodId::WRITE`], [`MethodId::SCAN`],
+/// [`MethodId::UPDATE`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MethodId(pub u16);
+
+impl MethodId {
+    /// Register `Read()` / the read-like method of an object.
+    pub const READ: MethodId = MethodId(0);
+    /// Register `Write(v)` / the write-like method of an object.
+    pub const WRITE: MethodId = MethodId(1);
+    /// Snapshot `Scan()`.
+    pub const SCAN: MethodId = MethodId(2);
+    /// Snapshot `Update(v)`.
+    pub const UPDATE: MethodId = MethodId(3);
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MethodId::READ => write!(f, "Read"),
+            MethodId::WRITE => write!(f, "Write"),
+            MethodId::SCAN => write!(f, "Scan"),
+            MethodId::UPDATE => write!(f, "Update"),
+            MethodId(other) => write!(f, "m{other}"),
+        }
+    }
+}
+
+/// The *syntactic* identity of an invocation: which process invoked it, at
+/// which control point of the program text, for the which-th time.
+///
+/// Outcomes (Section 2.3) map `CallSite`s to return values so that outcomes of
+/// different executions of the same program can be compared.
+///
+/// ```
+/// use blunt_core::ids::{CallSite, Pid};
+/// let s = CallSite::new(Pid(2), 6, 0);
+/// assert_eq!(s.to_string(), "p2@L6#0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CallSite {
+    /// Invoking process.
+    pub pid: Pid,
+    /// Control point (line number) in the program text.
+    pub line: u16,
+    /// Zero-based occurrence count of this control point (for loops).
+    pub occurrence: u16,
+}
+
+impl CallSite {
+    /// Creates a call site.
+    #[must_use]
+    pub fn new(pid: Pid, line: u16, occurrence: u16) -> Self {
+        CallSite {
+            pid,
+            line,
+            occurrence,
+        }
+    }
+}
+
+impl fmt::Display for CallSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@L{}#{}", self.pid, self.line, self.occurrence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pid_display_and_index() {
+        assert_eq!(Pid(0).to_string(), "p0");
+        assert_eq!(Pid(7).index(), 7);
+    }
+
+    #[test]
+    fn method_display_names() {
+        assert_eq!(MethodId::READ.to_string(), "Read");
+        assert_eq!(MethodId::WRITE.to_string(), "Write");
+        assert_eq!(MethodId::SCAN.to_string(), "Scan");
+        assert_eq!(MethodId::UPDATE.to_string(), "Update");
+        assert_eq!(MethodId(9).to_string(), "m9");
+    }
+
+    #[test]
+    fn call_sites_order_by_pid_then_line_then_occurrence() {
+        let mut set = BTreeSet::new();
+        set.insert(CallSite::new(Pid(1), 3, 0));
+        set.insert(CallSite::new(Pid(0), 9, 2));
+        set.insert(CallSite::new(Pid(0), 9, 1));
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(v[0], CallSite::new(Pid(0), 9, 1));
+        assert_eq!(v[1], CallSite::new(Pid(0), 9, 2));
+        assert_eq!(v[2], CallSite::new(Pid(1), 3, 0));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        assert_ne!(InvId(1), InvId(2));
+        assert_eq!(ObjId(3).index(), 3);
+        assert_eq!(ObjId(3).to_string(), "obj3");
+        assert_eq!(InvId(5).to_string(), "inv5");
+    }
+}

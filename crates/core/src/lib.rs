@@ -1,0 +1,50 @@
+//! Core types for the *blunting* reproduction.
+//!
+//! This crate contains the model-level vocabulary of the paper
+//! *"Blunting an Adversary Against Randomized Concurrent Programs with
+//! Linearizable Implementations"* (Attiya, Enea, Welch; PODC 2022):
+//!
+//! - [`ids`] — newtypes for processes, objects, invocations and call sites;
+//! - [`value`] — the domain of values `𝕍` exchanged with shared objects;
+//! - [`ratio`] — exact rational arithmetic, so every probability and bound in
+//!   the paper is reproduced *exactly* rather than with floating point;
+//! - [`history`] — call/return actions and histories (Section 2.1);
+//! - [`spec`] — sequential specifications (atomic objects, Section 2.2);
+//! - [`preamble`] — preamble mappings `Π` (Section 3);
+//! - [`bound`] — the quantitative bound of Theorem 4.2 and Lemma 4.5;
+//! - [`outcome`] — program outcomes and distributions over them (Section 2.3).
+//!
+//! # Example
+//!
+//! Evaluate the Theorem 4.2 bound for the weakener case study (Appendix A.3.1):
+//! with `n = 3` processes, `r = 1` program random step, `k = 2` preamble
+//! iterations, atomic bad-outcome probability 1/2 and linearizable bad-outcome
+//! probability 1, the bound on the bad outcome is 7/8 (so termination ≥ 1/8):
+//!
+//! ```
+//! use blunt_core::ratio::Ratio;
+//! use blunt_core::bound::blunting_bound;
+//!
+//! let bound = blunting_bound(Ratio::new(1, 2), Ratio::new(1, 1), 3, 1, 2);
+//! assert_eq!(bound, Ratio::new(7, 8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod history;
+pub mod ids;
+pub mod outcome;
+pub mod preamble;
+pub mod ratio;
+pub mod spec;
+pub mod value;
+
+pub use bound::{blunting_bound, prob_x_lower_bound};
+pub use history::{Action, History};
+pub use ids::{CallSite, InvId, MethodId, ObjId, Pid};
+pub use outcome::{Dist, Outcome};
+pub use ratio::Ratio;
+pub use spec::SequentialSpec;
+pub use value::Val;

@@ -1,0 +1,320 @@
+//! Program outcomes and exact distributions over them (Section 2.3).
+//!
+//! The *outcome* of a program execution maps shared-object invocations —
+//! identified syntactically by [`CallSite`] — to the values they returned.
+//! An adversary defines a probability distribution over outcomes; the paper's
+//! quantities `Prob[P(O)‖A → B]` are probabilities of outcome *sets* `B`
+//! under such distributions. [`Dist`] keeps these distributions exact.
+
+use crate::ids::CallSite;
+use crate::ratio::Ratio;
+use crate::value::Val;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of a program execution: invocation site → return value.
+///
+/// Sites that did not return in an execution are simply absent, matching the
+/// paper's treatment of pending invocations.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Outcome {
+    map: BTreeMap<CallSite, Val>,
+}
+
+impl Outcome {
+    /// An empty outcome (no invocation returned).
+    #[must_use]
+    pub fn new() -> Outcome {
+        Outcome::default()
+    }
+
+    /// Records that the invocation at `site` returned `val`.
+    pub fn record(&mut self, site: CallSite, val: Val) {
+        self.map.insert(site, val);
+    }
+
+    /// The value returned at `site`, if it returned.
+    #[must_use]
+    pub fn get(&self, site: &CallSite) -> Option<&Val> {
+        self.map.get(site)
+    }
+
+    /// Number of recorded returns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no invocation returned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over (site, value) pairs in site order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CallSite, &Val)> {
+        self.map.iter()
+    }
+}
+
+impl FromIterator<(CallSite, Val)> for Outcome {
+    fn from_iter<I: IntoIterator<Item = (CallSite, Val)>>(iter: I) -> Outcome {
+        Outcome {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (site, val)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{site}↦{val}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An exact, finitely-supported probability distribution.
+///
+/// Invariant: weights are positive and sum to at most one (sub-distributions
+/// arise mid-construction; [`Dist::is_proper`] checks totality).
+///
+/// ```
+/// use blunt_core::outcome::Dist;
+/// use blunt_core::ratio::Ratio;
+///
+/// let d = Dist::uniform(vec![0, 1]);
+/// assert_eq!(d.prob_of(|x| *x == 0), Ratio::new(1, 2));
+/// assert!(d.is_proper());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dist<T: Ord> {
+    weights: BTreeMap<T, Ratio>,
+}
+
+impl<T: Ord> Default for Dist<T> {
+    fn default() -> Self {
+        Dist {
+            weights: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> Dist<T> {
+    /// The empty sub-distribution (total mass zero).
+    #[must_use]
+    pub fn new() -> Dist<T> {
+        Dist::default()
+    }
+
+    /// The point distribution on `value`.
+    #[must_use]
+    pub fn point(value: T) -> Dist<T> {
+        let mut d = Dist::new();
+        d.add(value, Ratio::ONE);
+        d
+    }
+
+    /// The uniform distribution over the given values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn uniform(values: Vec<T>) -> Dist<T> {
+        assert!(!values.is_empty(), "uniform distribution over empty set");
+        let w = Ratio::new(1, values.len() as i128);
+        let mut d = Dist::new();
+        for v in values {
+            d.add(v, w);
+        }
+        d
+    }
+
+    /// Adds probability mass to a value (merging with existing mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative.
+    pub fn add(&mut self, value: T, weight: Ratio) {
+        assert!(weight >= Ratio::ZERO, "negative probability mass");
+        if weight == Ratio::ZERO {
+            return;
+        }
+        *self.weights.entry(value).or_insert(Ratio::ZERO) += weight;
+    }
+
+    /// Total probability mass.
+    #[must_use]
+    pub fn total(&self) -> Ratio {
+        self.weights.values().copied().sum()
+    }
+
+    /// Returns `true` if the total mass is exactly one.
+    #[must_use]
+    pub fn is_proper(&self) -> bool {
+        self.total() == Ratio::ONE
+    }
+
+    /// Probability of the event defined by `pred`:
+    /// `Prob[outcome ∈ B]` where `B = {x : pred(x)}`.
+    pub fn prob_of<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Ratio {
+        self.weights
+            .iter()
+            .filter(|(v, _)| pred(v))
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// The probability mass on one specific value.
+    #[must_use]
+    pub fn mass(&self, value: &T) -> Ratio {
+        self.weights.get(value).copied().unwrap_or(Ratio::ZERO)
+    }
+
+    /// Mixes another distribution into this one, scaled by `factor`
+    /// (used to average over random-step branches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    pub fn mix(&mut self, other: &Dist<T>, factor: Ratio) {
+        assert!(factor >= Ratio::ZERO, "negative mixture factor");
+        for (v, w) in &other.weights {
+            self.add(v.clone(), *w * factor);
+        }
+    }
+
+    /// Maps the support through `f`, merging collisions.
+    #[must_use]
+    pub fn map<U: Ord + Clone, F: FnMut(&T) -> U>(&self, mut f: F) -> Dist<U> {
+        let mut out = Dist::new();
+        for (v, w) in &self.weights {
+            out.add(f(v), *w);
+        }
+        out
+    }
+
+    /// Iterates over (value, weight) pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, Ratio)> {
+        self.weights.iter().map(|(v, w)| (v, *w))
+    }
+
+    /// Number of values with positive mass.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl<T: Ord + Clone + fmt::Display> fmt::Display for Dist<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (v, w)) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}: {w}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Pid;
+
+    fn site(line: u16) -> CallSite {
+        CallSite::new(Pid(2), line, 0)
+    }
+
+    #[test]
+    fn outcome_records_and_reads_back() {
+        let mut o = Outcome::new();
+        o.record(site(6), Val::Int(1));
+        o.record(site(7), Val::Int(0));
+        assert_eq!(o.get(&site(6)), Some(&Val::Int(1)));
+        assert_eq!(o.get(&site(9)), None);
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn outcome_display_and_ordering() {
+        let o: Outcome = vec![(site(7), Val::Int(0)), (site(6), Val::Int(1))]
+            .into_iter()
+            .collect();
+        let s = o.to_string();
+        // Sites print in order regardless of insertion order.
+        assert!(s.find("L6").unwrap() < s.find("L7").unwrap());
+    }
+
+    #[test]
+    fn point_distribution_is_proper() {
+        let d = Dist::point(42);
+        assert!(d.is_proper());
+        assert_eq!(d.mass(&42), Ratio::ONE);
+        assert_eq!(d.mass(&0), Ratio::ZERO);
+    }
+
+    #[test]
+    fn uniform_splits_mass_evenly() {
+        let d = Dist::uniform(vec!['a', 'b', 'c', 'd']);
+        assert_eq!(d.mass(&'a'), Ratio::new(1, 4));
+        assert!(d.is_proper());
+        assert_eq!(d.prob_of(|c| *c < 'c'), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn uniform_merges_duplicates() {
+        let d = Dist::uniform(vec![1, 1, 2, 3]);
+        assert_eq!(d.mass(&1), Ratio::new(1, 2));
+        assert!(d.is_proper());
+        assert_eq!(d.support_size(), 3);
+    }
+
+    #[test]
+    fn mix_averages_branches() {
+        // Model a fair coin whose branches give point distributions.
+        let mut d = Dist::new();
+        d.mix(&Dist::point("heads"), Ratio::new(1, 2));
+        d.mix(&Dist::point("tails"), Ratio::new(1, 2));
+        assert!(d.is_proper());
+        assert_eq!(d.mass(&"heads"), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn map_merges_collisions() {
+        let d = Dist::uniform(vec![1, 2, 3, 4]);
+        let parity = d.map(|x| x % 2);
+        assert_eq!(parity.mass(&0), Ratio::new(1, 2));
+        assert_eq!(parity.support_size(), 2);
+    }
+
+    #[test]
+    fn zero_mass_is_not_stored() {
+        let mut d: Dist<u8> = Dist::new();
+        d.add(1, Ratio::ZERO);
+        assert_eq!(d.support_size(), 0);
+        assert_eq!(d.total(), Ratio::ZERO);
+        assert!(!d.is_proper());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative probability mass")]
+    fn negative_mass_panics() {
+        let mut d: Dist<u8> = Dist::new();
+        d.add(1, Ratio::new(-1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn uniform_over_empty_panics() {
+        let _: Dist<u8> = Dist::uniform(vec![]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Preamble mappings `Π` (Section 3 of the paper).
+//!
+//! A preamble mapping associates each method of an object with the control
+//! point that ends its *preamble* — the effect-free prefix that the
+//! preamble-iterating transformation (Section 4.1) repeats `k` times.
+//!
+//! In this workspace, protocol implementations are explicit step machines, so
+//! "control points" are phase markers rather than literal line numbers. The
+//! implementations emit a `PreamblePassed` trace event at the moment the
+//! mapped control point is executed; the tail-strong-linearizability checker
+//! consumes those events to decide which executions are Π-complete.
+
+use crate::ids::MethodId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A control point (line number) within a method body.
+///
+/// `ControlPoint(0)` is the initial control point `ℓ₀`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ControlPoint(pub u16);
+
+impl ControlPoint {
+    /// The initial control point `ℓ₀` (the call transition itself).
+    pub const INITIAL: ControlPoint = ControlPoint(0);
+}
+
+impl fmt::Display for ControlPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A preamble mapping `Π`: method → last control point of its preamble.
+///
+/// Methods absent from the map implicitly have the trivial preamble `ℓ₀`
+/// (empty preamble), matching the paper's convention that strong
+/// linearizability is tail strong linearizability w.r.t. `Π₀`.
+///
+/// ```
+/// use blunt_core::preamble::{ControlPoint, PreambleMapping};
+/// use blunt_core::ids::MethodId;
+///
+/// let pi = PreambleMapping::abd();
+/// assert_eq!(pi.of(MethodId::READ), ControlPoint(22));
+/// assert_eq!(pi.of(MethodId::WRITE), ControlPoint(26));
+/// assert!(PreambleMapping::trivial().is_trivial());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PreambleMapping {
+    map: BTreeMap<MethodId, ControlPoint>,
+}
+
+impl PreambleMapping {
+    /// The trivial mapping `Π₀` (every preamble is empty); tail strong
+    /// linearizability w.r.t. `Π₀` is exactly strong linearizability.
+    #[must_use]
+    pub fn trivial() -> Self {
+        PreambleMapping::default()
+    }
+
+    /// Builds a mapping from explicit pairs.
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (MethodId, ControlPoint)>>(pairs: I) -> Self {
+        PreambleMapping {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The mapping `Π_ABD` of Theorem 5.1: `Read` and `Write` end their
+    /// preambles at the control points where the result of `queryPhase` is
+    /// assigned (Lines 22 and 26 of Algorithm 3).
+    #[must_use]
+    pub fn abd() -> Self {
+        PreambleMapping::from_pairs([
+            (MethodId::READ, ControlPoint(22)),
+            (MethodId::WRITE, ControlPoint(26)),
+        ])
+    }
+
+    /// The mapping for the Afek et al. snapshot (Section 5.2): `Scan`'s
+    /// preamble ends just before it returns; `Update`'s preamble is empty
+    /// (the paper notes it may be extended up to the end of its embedded
+    /// scan — see [`PreambleMapping::snapshot_extended`]).
+    #[must_use]
+    pub fn snapshot() -> Self {
+        PreambleMapping::from_pairs([(MethodId::SCAN, ControlPoint(99))])
+    }
+
+    /// The extended snapshot mapping in which `Update`'s preamble covers its
+    /// embedded scan (Section 5.2's remark); larger preambles give more
+    /// blunting at more cost.
+    #[must_use]
+    pub fn snapshot_extended() -> Self {
+        PreambleMapping::from_pairs([
+            (MethodId::SCAN, ControlPoint(99)),
+            (MethodId::UPDATE, ControlPoint(50)),
+        ])
+    }
+
+    /// The mapping for the Vitányi–Awerbuch multi-writer register
+    /// (Section 5.3): the read's preamble ends just before it returns, the
+    /// write's just before the write to `Val[i]`.
+    #[must_use]
+    pub fn vitanyi_awerbuch() -> Self {
+        PreambleMapping::from_pairs([
+            (MethodId::READ, ControlPoint(99)),
+            (MethodId::WRITE, ControlPoint(40)),
+        ])
+    }
+
+    /// The mapping for the Israeli–Li multi-reader register (Section 5.4):
+    /// the read's preamble ends just before its first write to `Report`; the
+    /// write's preamble is empty.
+    #[must_use]
+    pub fn israeli_li() -> Self {
+        PreambleMapping::from_pairs([(MethodId::READ, ControlPoint(60))])
+    }
+
+    /// The preamble end point of a method (`ℓ₀` if unmapped).
+    #[must_use]
+    pub fn of(&self, method: MethodId) -> ControlPoint {
+        self.map
+            .get(&method)
+            .copied()
+            .unwrap_or(ControlPoint::INITIAL)
+    }
+
+    /// Returns `true` if every method has an empty preamble (this is `Π₀`).
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.map.values().all(|&c| c == ControlPoint::INITIAL)
+    }
+
+    /// Iterates over the explicitly mapped (method, control point) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, ControlPoint)> + '_ {
+        self.map.iter().map(|(m, c)| (*m, *c))
+    }
+
+    /// Union of two mappings over disjoint method sets (`Π₁ ∪ … ∪ Πₘ` in
+    /// Theorem 3.1, locality). Later entries win on collision.
+    #[must_use]
+    pub fn union(&self, other: &PreambleMapping) -> PreambleMapping {
+        let mut map = self.map.clone();
+        map.extend(other.map.iter().map(|(m, c)| (*m, *c)));
+        PreambleMapping { map }
+    }
+}
+
+impl fmt::Display for PreambleMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Π{{")?;
+        for (i, (m, c)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}↦{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_mapping_sends_everything_to_initial() {
+        let pi = PreambleMapping::trivial();
+        assert_eq!(pi.of(MethodId::READ), ControlPoint::INITIAL);
+        assert_eq!(pi.of(MethodId(200)), ControlPoint::INITIAL);
+        assert!(pi.is_trivial());
+    }
+
+    #[test]
+    fn abd_mapping_matches_theorem_5_1() {
+        let pi = PreambleMapping::abd();
+        assert_eq!(pi.of(MethodId::READ), ControlPoint(22));
+        assert_eq!(pi.of(MethodId::WRITE), ControlPoint(26));
+        assert!(!pi.is_trivial());
+    }
+
+    #[test]
+    fn snapshot_extended_adds_update_preamble() {
+        let base = PreambleMapping::snapshot();
+        let ext = PreambleMapping::snapshot_extended();
+        assert_eq!(base.of(MethodId::UPDATE), ControlPoint::INITIAL);
+        assert_ne!(ext.of(MethodId::UPDATE), ControlPoint::INITIAL);
+    }
+
+    #[test]
+    fn union_is_locality_composition() {
+        let u = PreambleMapping::abd().union(&PreambleMapping::snapshot());
+        assert_eq!(u.of(MethodId::READ), ControlPoint(22));
+        assert_eq!(u.of(MethodId::SCAN), ControlPoint(99));
+    }
+
+    #[test]
+    fn display_lists_pairs() {
+        let s = PreambleMapping::abd().to_string();
+        assert!(s.contains("Read↦ℓ22"));
+        assert!(s.contains("Write↦ℓ26"));
+    }
+
+    #[test]
+    fn explicit_trivial_entries_count_as_trivial() {
+        let pi =
+            PreambleMapping::from_pairs([(MethodId::READ, ControlPoint::INITIAL)]);
+        assert!(pi.is_trivial());
+        assert_eq!(pi.iter().count(), 1);
+    }
+}

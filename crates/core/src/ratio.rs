@@ -1,0 +1,349 @@
+//! Exact rational arithmetic.
+//!
+//! Every probability in the paper — the 1/2, 0, 1/8, 3/8, 5/8 of the ABD case
+//! study and the `((k−r)/k)^{n−1}` factor of Lemma 4.5 — is a rational with a
+//! small denominator. Reproducing them exactly (rather than with `f64`) lets
+//! the test suite assert paper identities as equalities.
+//!
+//! [`Ratio`] is a reduced fraction over `i128`. All arithmetic reduces
+//! eagerly; with the magnitudes used in this workspace (denominators are
+//! products of small `k` values) overflow is not reachable, but arithmetic is
+//! checked in debug builds regardless.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number, always stored in lowest terms with a positive
+/// denominator.
+///
+/// ```
+/// use blunt_core::ratio::Ratio;
+/// let third = Ratio::new(1, 3);
+/// assert_eq!(third + third + third, Ratio::ONE);
+/// assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+/// assert!(Ratio::new(3, 8) < Ratio::new(1, 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Ratio {
+    num: i128,
+    den: i128, // invariant: den > 0 and gcd(|num|, den) == 1
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates the rational `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let (num, den) = (num * sign, den * sign);
+        let g = gcd(num.abs(), den);
+        if g == 0 {
+            Ratio { num: 0, den: 1 }
+        } else {
+            Ratio {
+                num: num / g,
+                den: den / g,
+            }
+        }
+    }
+
+    /// Creates the rational `n / 1`.
+    #[must_use]
+    pub fn from_int(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The numerator (of the reduced form; sign lives here).
+    #[must_use]
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (of the reduced form; always positive).
+    #[must_use]
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Converts to `f64`, for reporting only (never used in proofs/tests of
+    /// exact identities).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Raises to a non-negative integer power by repeated squaring.
+    ///
+    /// ```
+    /// use blunt_core::ratio::Ratio;
+    /// assert_eq!(Ratio::new(1, 2).pow(3), Ratio::new(1, 8));
+    /// assert_eq!(Ratio::new(2, 3).pow(0), Ratio::ONE);
+    /// ```
+    #[must_use]
+    pub fn pow(self, mut exp: u32) -> Ratio {
+        let mut base = self;
+        let mut acc = Ratio::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base = base * base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `1 − self` (the complement of a probability).
+    #[must_use]
+    pub fn complement(self) -> Ratio {
+        Ratio::ONE - self
+    }
+
+    /// Returns `true` if the value lies in the closed interval `[0, 1]`.
+    #[must_use]
+    pub fn is_probability(self) -> bool {
+        self >= Ratio::ZERO && self <= Ratio::ONE
+    }
+
+    /// The smaller of two rationals.
+    #[must_use]
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    #[must_use]
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The absolute value.
+    #[must_use]
+    pub fn abs(self) -> Ratio {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// The reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[must_use]
+    pub fn recip(self) -> Ratio {
+        assert!(self.num != 0, "reciprocal of zero");
+        Ratio::new(self.den, self.num)
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Ratio {
+        Ratio::from_int(n)
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(n: u32) -> Ratio {
+        Ratio::from_int(i128::from(n))
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division by zero rational");
+        Ratio::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, Add::add)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, -7), Ratio::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let half = Ratio::new(1, 2);
+        let third = Ratio::new(1, 3);
+        assert_eq!(half + third, Ratio::new(5, 6));
+        assert_eq!(half - third, Ratio::new(1, 6));
+        assert_eq!(half * third, Ratio::new(1, 6));
+        assert_eq!(half / third, Ratio::new(3, 2));
+        assert_eq!(-half, Ratio::new(-1, 2));
+        assert_eq!(half.recip(), Ratio::from_int(2));
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        assert!(Ratio::new(3, 8) < Ratio::new(1, 2));
+        assert!(Ratio::new(5, 8) > Ratio::new(1, 2));
+        assert_eq!(Ratio::new(3, 8).max(Ratio::new(5, 8)), Ratio::new(5, 8));
+        assert_eq!(Ratio::new(3, 8).min(Ratio::new(5, 8)), Ratio::new(3, 8));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+    }
+
+    #[test]
+    fn pow_and_complement() {
+        assert_eq!(Ratio::new(1, 2).pow(3), Ratio::new(1, 8));
+        assert_eq!(Ratio::new(3, 4).complement(), Ratio::new(1, 4));
+        assert_eq!(Ratio::new(7, 8).pow(1), Ratio::new(7, 8));
+    }
+
+    #[test]
+    fn probability_range() {
+        assert!(Ratio::new(5, 8).is_probability());
+        assert!(Ratio::ZERO.is_probability());
+        assert!(Ratio::ONE.is_probability());
+        assert!(!Ratio::new(9, 8).is_probability());
+        assert!(!Ratio::new(-1, 8).is_probability());
+    }
+
+    #[test]
+    fn sum_and_assign_ops() {
+        let total: Ratio = (1..=4).map(|d| Ratio::new(1, d)).sum();
+        assert_eq!(total, Ratio::new(25, 12));
+        let mut x = Ratio::new(1, 2);
+        x += Ratio::new(1, 4);
+        x -= Ratio::new(1, 8);
+        x *= Ratio::from_int(2);
+        assert_eq!(x, Ratio::new(5, 4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ratio::new(5, 8).to_string(), "5/8");
+        assert_eq!(Ratio::from_int(3).to_string(), "3");
+        assert_eq!(Ratio::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn f64_conversion_is_close() {
+        assert!((Ratio::new(5, 8).to_f64() - 0.625).abs() < 1e-12);
+    }
+}

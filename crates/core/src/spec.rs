@@ -1,0 +1,304 @@
+//! Sequential specifications — the atomic objects of Section 2.2.
+//!
+//! A sequential specification is a deterministic state machine over
+//! ([`MethodId`], [`Val`]) operations. The linearizability checkers ask
+//! whether a concurrent history can be permuted into a sequential history
+//! that this state machine accepts; the simulator uses the same state
+//! machines directly as *atomic* objects (every invocation returns
+//! immediately), which is how `P(O_a)` is executed.
+
+use crate::ids::MethodId;
+use crate::value::Val;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A deterministic sequential specification.
+///
+/// `apply` returns `None` when the method/argument pair is outside the
+/// object's interface (malformed operation), which checkers treat as
+/// non-linearizable.
+pub trait SequentialSpec {
+    /// The abstract state of the atomic object.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// Applies one operation, returning the successor state and return value.
+    fn apply(&self, state: &Self::State, method: MethodId, arg: &Val) -> Option<(Self::State, Val)>;
+}
+
+/// A read/write register initialized to a given value.
+///
+/// `Read()` returns the current value; `Write(v)` replaces it and returns
+/// [`Val::Nil`].
+///
+/// ```
+/// use blunt_core::spec::{RegisterSpec, SequentialSpec};
+/// use blunt_core::ids::MethodId;
+/// use blunt_core::value::Val;
+///
+/// let spec = RegisterSpec::new(Val::Nil);
+/// let s0 = spec.init();
+/// let (s1, _) = spec.apply(&s0, MethodId::WRITE, &Val::Int(7)).unwrap();
+/// let (_, v) = spec.apply(&s1, MethodId::READ, &Val::Nil).unwrap();
+/// assert_eq!(v, Val::Int(7));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegisterSpec {
+    initial: Val,
+}
+
+impl RegisterSpec {
+    /// A register with the given initial value.
+    #[must_use]
+    pub fn new(initial: Val) -> Self {
+        RegisterSpec { initial }
+    }
+}
+
+impl Default for RegisterSpec {
+    fn default() -> Self {
+        RegisterSpec::new(Val::Nil)
+    }
+}
+
+impl SequentialSpec for RegisterSpec {
+    type State = Val;
+
+    fn init(&self) -> Val {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &Val, method: MethodId, arg: &Val) -> Option<(Val, Val)> {
+        match method {
+            MethodId::READ => Some((state.clone(), state.clone())),
+            MethodId::WRITE => Some((arg.clone(), Val::Nil)),
+            _ => None,
+        }
+    }
+}
+
+/// An `n`-component atomic snapshot object (Section 5.2).
+///
+/// `Update(v)` invoked with argument `Pair(i, v)` writes `v` into component
+/// `i`; `Scan()` returns the whole component vector as a [`Val::Tuple`].
+///
+/// The pairing of the updater index into the argument keeps the operation
+/// alphabet uniform across objects; the simulator's per-process API hides it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotSpec {
+    components: usize,
+    initial: Val,
+}
+
+impl SnapshotSpec {
+    /// A snapshot with `components` cells, each initialized to `initial`.
+    #[must_use]
+    pub fn new(components: usize, initial: Val) -> Self {
+        SnapshotSpec {
+            components,
+            initial,
+        }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+impl SequentialSpec for SnapshotSpec {
+    type State = Vec<Val>;
+
+    fn init(&self) -> Vec<Val> {
+        vec![self.initial.clone(); self.components]
+    }
+
+    fn apply(&self, state: &Vec<Val>, method: MethodId, arg: &Val) -> Option<(Vec<Val>, Val)> {
+        match method {
+            MethodId::SCAN => Some((state.clone(), Val::Tuple(state.clone()))),
+            MethodId::UPDATE => {
+                let (idx, v) = arg.as_pair()?;
+                let i = usize::try_from(idx.as_int()?).ok()?;
+                if i >= self.components {
+                    return None;
+                }
+                let mut next = state.clone();
+                next[i] = v.clone();
+                Some((next, Val::Nil))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A max-register: `Write(v)` raises the stored value to `max(current, v)`,
+/// `Read()` returns it. Mentioned in Section 6 as the one object with a known
+/// wait-free strongly-linearizable implementation (in bounded form).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MaxRegisterSpec;
+
+impl SequentialSpec for MaxRegisterSpec {
+    type State = i64;
+
+    fn init(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &i64, method: MethodId, arg: &Val) -> Option<(i64, Val)> {
+        match method {
+            MethodId::READ => Some((*state, Val::Int(*state))),
+            MethodId::WRITE => {
+                let v = arg.as_int()?;
+                Some(((*state).max(v), Val::Nil))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A monotone counter: `Write(_)` increments, `Read()` returns the count.
+/// Used in tests exercising the checker on a second object family.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CounterSpec;
+
+impl SequentialSpec for CounterSpec {
+    type State = i64;
+
+    fn init(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &i64, method: MethodId, arg: &Val) -> Option<(i64, Val)> {
+        match method {
+            MethodId::READ => Some((*state, Val::Int(*state))),
+            MethodId::WRITE => {
+                let _ = arg;
+                Some((*state + 1, Val::Nil))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Runs a sequence of operations through a specification from its initial
+/// state, returning the produced return values, or `None` if some operation
+/// is malformed.
+///
+/// This is the "atomic object" executor used by tests and by the
+/// equivalence-checking harness of Theorem 4.1.
+pub fn run_sequential<S: SequentialSpec>(
+    spec: &S,
+    ops: &[(MethodId, Val)],
+) -> Option<Vec<Val>> {
+    let mut state = spec.init();
+    let mut out = Vec::with_capacity(ops.len());
+    for (m, a) in ops {
+        let (next, ret) = spec.apply(&state, *m, a)?;
+        state = next;
+        out.push(ret);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_reads_latest_write() {
+        let spec = RegisterSpec::default();
+        let rets = run_sequential(
+            &spec,
+            &[
+                (MethodId::READ, Val::Nil),
+                (MethodId::WRITE, Val::Int(3)),
+                (MethodId::READ, Val::Nil),
+                (MethodId::WRITE, Val::Int(5)),
+                (MethodId::READ, Val::Nil),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            rets,
+            vec![Val::Nil, Val::Nil, Val::Int(3), Val::Nil, Val::Int(5)]
+        );
+    }
+
+    #[test]
+    fn register_rejects_unknown_method() {
+        let spec = RegisterSpec::default();
+        assert!(spec.apply(&spec.init(), MethodId::SCAN, &Val::Nil).is_none());
+    }
+
+    #[test]
+    fn snapshot_scan_sees_updates() {
+        let spec = SnapshotSpec::new(3, Val::Nil);
+        let s0 = spec.init();
+        let (s1, _) = spec
+            .apply(
+                &s0,
+                MethodId::UPDATE,
+                &Val::pair(Val::Int(1), Val::Int(42)),
+            )
+            .unwrap();
+        let (_, view) = spec.apply(&s1, MethodId::SCAN, &Val::Nil).unwrap();
+        assert_eq!(
+            view,
+            Val::Tuple(vec![Val::Nil, Val::Int(42), Val::Nil])
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_out_of_range_component() {
+        let spec = SnapshotSpec::new(2, Val::Nil);
+        assert!(spec
+            .apply(
+                &spec.init(),
+                MethodId::UPDATE,
+                &Val::pair(Val::Int(2), Val::Int(0))
+            )
+            .is_none());
+        assert!(spec
+            .apply(&spec.init(), MethodId::UPDATE, &Val::Int(0))
+            .is_none());
+    }
+
+    #[test]
+    fn max_register_is_monotone() {
+        let spec = MaxRegisterSpec;
+        let rets = run_sequential(
+            &spec,
+            &[
+                (MethodId::WRITE, Val::Int(5)),
+                (MethodId::WRITE, Val::Int(3)),
+                (MethodId::READ, Val::Nil),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rets[2], Val::Int(5));
+    }
+
+    #[test]
+    fn counter_counts_writes() {
+        let spec = CounterSpec;
+        let rets = run_sequential(
+            &spec,
+            &[
+                (MethodId::WRITE, Val::Nil),
+                (MethodId::WRITE, Val::Nil),
+                (MethodId::READ, Val::Nil),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rets[2], Val::Int(2));
+    }
+
+    #[test]
+    fn run_sequential_propagates_malformed_ops() {
+        let spec = RegisterSpec::default();
+        assert!(run_sequential(&spec, &[(MethodId::SCAN, Val::Nil)]).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! The domain of values `𝕍` exchanged with shared objects.
+//!
+//! Arguments and return values of every method in the workspace are drawn from
+//! the single recursive type [`Val`]. Keeping a single closed domain (rather
+//! than a generic parameter) is what lets the simulator hash and memoize whole
+//! system states, which the exact adversary search depends on.
+
+use std::fmt;
+
+/// A value in the domain `𝕍`.
+///
+/// - `Nil` is the paper's `⊥` (e.g. the initial value of register `R` in
+///   Algorithm 1);
+/// - `Int` covers register contents, process ids written as values, and
+///   timestamp integers;
+/// - `Pair` covers (value, timestamp)-style composites;
+/// - `Tuple` covers snapshot views and other fixed-width vectors.
+///
+/// ```
+/// use blunt_core::value::Val;
+/// let v = Val::pair(Val::Int(1), Val::Int(7));
+/// assert_eq!(v.to_string(), "(1, 7)");
+/// assert!(Val::Nil < Val::Int(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Val {
+    /// The undefined/initial value `⊥`.
+    #[default]
+    Nil,
+    /// An integer value.
+    Int(i64),
+    /// An ordered pair.
+    Pair(Box<(Val, Val)>),
+    /// A fixed-width tuple (e.g. a snapshot view).
+    Tuple(Vec<Val>),
+}
+
+impl Val {
+    /// Convenience constructor for a pair.
+    #[must_use]
+    pub fn pair(a: Val, b: Val) -> Val {
+        Val::Pair(Box::new((a, b)))
+    }
+
+    /// Returns the integer payload, if this value is an `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this value is `⊥`.
+    #[must_use]
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Val::Nil)
+    }
+
+    /// Returns the components of a pair, if this value is a `Pair`.
+    #[must_use]
+    pub fn as_pair(&self) -> Option<(&Val, &Val)> {
+        match self {
+            Val::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements of a tuple, if this value is a `Tuple`.
+    #[must_use]
+    pub fn as_tuple(&self) -> Option<&[Val]> {
+        match self {
+            Val::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(i: i64) -> Val {
+        Val::Int(i)
+    }
+}
+
+impl From<u32> for Val {
+    fn from(i: u32) -> Val {
+        Val::Int(i64::from(i))
+    }
+}
+
+impl FromIterator<Val> for Val {
+    fn from_iter<I: IntoIterator<Item = Val>>(iter: I) -> Val {
+        Val::Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Nil => write!(f, "⊥"),
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+            Val::Tuple(t) => {
+                write!(f, "[")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_default_and_smallest() {
+        assert_eq!(Val::default(), Val::Nil);
+        assert!(Val::Nil < Val::Int(i64::MIN));
+        assert!(Val::Nil.is_nil());
+        assert!(!Val::Int(0).is_nil());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Val::Int(4).as_int(), Some(4));
+        assert_eq!(Val::Nil.as_int(), None);
+        let p = Val::pair(Val::Int(1), Val::Nil);
+        assert_eq!(p.as_pair(), Some((&Val::Int(1), &Val::Nil)));
+        assert_eq!(Val::Int(0).as_pair(), None);
+        let t: Val = vec![Val::Int(1), Val::Int(2)].into_iter().collect();
+        assert_eq!(t.as_tuple(), Some(&[Val::Int(1), Val::Int(2)][..]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Val::Nil.to_string(), "⊥");
+        assert_eq!(Val::Int(-3).to_string(), "-3");
+        assert_eq!(
+            Val::Tuple(vec![Val::Nil, Val::Int(2)]).to_string(),
+            "[⊥, 2]"
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_on_mixed_shapes() {
+        let mut vs = [Val::Tuple(vec![]),
+            Val::Int(9),
+            Val::Nil,
+            Val::pair(Val::Int(0), Val::Int(0))];
+        vs.sort();
+        assert_eq!(vs[0], Val::Nil);
+    }
+
+    #[test]
+    fn conversions_from_integers() {
+        assert_eq!(Val::from(5i64), Val::Int(5));
+        assert_eq!(Val::from(5u32), Val::Int(5));
+    }
+}

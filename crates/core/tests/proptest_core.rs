@@ -1,0 +1,190 @@
+//! Property-based tests for the core types: exact rational arithmetic, the
+//! Theorem 4.2 bound, distributions, and history structure.
+
+use blunt_core::bound::{adversary_advantage, blunting_bound, prob_x_lower_bound};
+use blunt_core::history::{Action, History};
+use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
+use blunt_core::outcome::Dist;
+use blunt_core::ratio::Ratio;
+use blunt_core::value::Val;
+use proptest::prelude::*;
+
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-20i128..=20, 1i128..=20).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+fn probability() -> impl Strategy<Value = Ratio> {
+    (0i128..=16, 16i128..=16).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ratio_addition_is_commutative_and_associative(
+        a in small_ratio(), b in small_ratio(), c in small_ratio()
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn ratio_multiplication_distributes_over_addition(
+        a in small_ratio(), b in small_ratio(), c in small_ratio()
+    ) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn ratio_subtraction_inverts_addition(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn ratio_order_is_compatible_with_addition(
+        a in small_ratio(), b in small_ratio(), c in small_ratio()
+    ) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+
+    #[test]
+    fn ratio_pow_is_homomorphic(a in small_ratio(), e1 in 0u32..6, e2 in 0u32..6) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn ratio_min_max_bracket(a in small_ratio(), b in small_ratio()) {
+        prop_assert!(a.min(b) <= a.max(b));
+        prop_assert_eq!(a.min(b) + a.max(b), a + b);
+    }
+
+    #[test]
+    fn prob_x_bound_is_a_probability_and_monotone_in_k(
+        n in 1u32..10, r in 1u32..10, k in 1u32..40
+    ) {
+        let p = prob_x_lower_bound(n, r, k);
+        prop_assert!(p.is_probability());
+        prop_assert!(prob_x_lower_bound(n, r, k + 1) >= p);
+        prop_assert_eq!(adversary_advantage(n, r, k), p.complement());
+    }
+
+    #[test]
+    fn blunting_bound_brackets_between_atomic_and_linearizable(
+        pa in probability(), delta in probability(),
+        n in 1u32..8, r in 1u32..6, k in 1u32..32
+    ) {
+        // pl = pa + delta·(1 − pa) ∈ [pa, 1].
+        let pl = pa + delta * pa.complement();
+        let b = blunting_bound(pa, pl, n, r, k);
+        prop_assert!(b >= pa, "bound below atomic");
+        prop_assert!(b <= pl, "bound above linearizable");
+        if k <= r && n >= 2 {
+            // With at least one other process the adversary keeps its full
+            // advantage while k ≤ r; with n = 1 the exponent n − 1 = 0
+            // collapses the bound to the atomic probability regardless.
+            prop_assert_eq!(b, pl);
+        }
+    }
+
+    #[test]
+    fn blunting_bound_is_monotone_in_each_argument(
+        pa in probability(), delta in probability(),
+        n in 1u32..8, r in 1u32..6, k in 1u32..32
+    ) {
+        let pl = pa + delta * pa.complement();
+        let b = blunting_bound(pa, pl, n, r, k);
+        prop_assert!(blunting_bound(pa, pl, n, r, k + 1) <= b);
+        prop_assert!(blunting_bound(pa, pl, n + 1, r, k) >= b);
+        prop_assert!(blunting_bound(pa, pl, n, r + 1, k) >= b);
+    }
+
+    #[test]
+    fn uniform_distributions_are_proper(vals in prop::collection::vec(0u8..50, 1..20)) {
+        let d = Dist::uniform(vals.clone());
+        prop_assert!(d.is_proper());
+        // The mass of any value is a multiple of 1/len, so its reduced
+        // denominator divides len.
+        for (_, w) in d.iter() {
+            prop_assert_eq!((vals.len() as i128) % w.denom(), 0);
+        }
+    }
+
+    #[test]
+    fn dist_map_preserves_total_mass(vals in prop::collection::vec(0u8..50, 1..20)) {
+        let d = Dist::uniform(vals);
+        let mapped = d.map(|v| v % 3);
+        prop_assert_eq!(mapped.total(), d.total());
+    }
+
+    #[test]
+    fn complement_probabilities_sum_to_one(p in probability()) {
+        prop_assert_eq!(p + p.complement(), Ratio::ONE);
+    }
+}
+
+fn arbitrary_history() -> impl Strategy<Value = History> {
+    // Sequences of (call, maybe-return) over a few invocations/objects.
+    prop::collection::vec((0u64..6, 0u32..3, prop::bool::ANY), 0..12).prop_map(|ops| {
+        let mut h = History::new();
+        let mut called = std::collections::BTreeSet::new();
+        let mut returned = std::collections::BTreeSet::new();
+        for (inv, obj, do_return) in ops {
+            if !called.contains(&inv) {
+                h.push(Action::Call {
+                    inv: InvId(inv),
+                    pid: Pid((inv % 3) as u32),
+                    obj: ObjId(obj),
+                    method: MethodId::READ,
+                    arg: Val::Nil,
+                });
+                called.insert(inv);
+            } else if do_return && !returned.contains(&inv) {
+                h.push(Action::Return {
+                    inv: InvId(inv),
+                    val: Val::Int(inv as i64),
+                });
+                returned.insert(inv);
+            }
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_histories_are_well_formed(h in arbitrary_history()) {
+        prop_assert!(h.is_well_formed());
+    }
+
+    #[test]
+    fn projection_preserves_well_formedness_and_partitions(h in arbitrary_history()) {
+        let mut total = 0;
+        for obj in h.objects() {
+            let p = h.project(obj);
+            prop_assert!(p.is_well_formed());
+            total += p.len();
+        }
+        prop_assert_eq!(total, h.len());
+    }
+
+    #[test]
+    fn prefixes_are_prefixes(h in arbitrary_history(), cut in 0usize..12) {
+        let cut = cut.min(h.len());
+        let p = h.prefix(cut);
+        prop_assert!(p.is_prefix_of(&h));
+        prop_assert!(p.is_well_formed());
+    }
+
+    #[test]
+    fn pending_plus_returned_equals_called(h in arbitrary_history()) {
+        let recs = h.invocations();
+        let returned = recs.iter().filter(|r| r.ret.is_some()).count();
+        prop_assert_eq!(h.pending().len() + returned, recs.len());
+    }
+}

@@ -1,0 +1,216 @@
+//! Static program definitions.
+//!
+//! A [`ProgramDef`] is the immutable text of a program `P`: one instruction
+//! vector per process, variable counts, and the analysis-relevant metadata —
+//! the bound `r` on program random steps (Theorem 4.2) and the set of
+//! *decider* processes whose termination fixes the observable outcome.
+
+use crate::instr::Instr;
+use blunt_core::ids::Pid;
+use std::fmt;
+
+/// The immutable definition of a randomized concurrent program.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProgramDef {
+    name: &'static str,
+    codes: Vec<Vec<Instr>>,
+    var_counts: Vec<u8>,
+    random_bound: u32,
+    deciders: Vec<Pid>,
+}
+
+impl ProgramDef {
+    /// Creates a program definition.
+    ///
+    /// - `codes[p]` is process `p`'s instruction vector;
+    /// - `var_counts[p]` is the number of local variables of process `p`
+    ///   (all initialized to `⊥`);
+    /// - `random_bound` is `r`, the maximum number of *program* random steps
+    ///   over all executions (declared; validated against the static count
+    ///   for straight-line code);
+    /// - `deciders`: once every decider has halted, looped, or crashed, the
+    ///   program's observable outcome is fixed and the execution counts as
+    ///   complete. Pass an empty vector to require all processes to finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` and `var_counts` disagree in length, if a decider
+    /// is out of range, or if a jump target is out of range.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        codes: Vec<Vec<Instr>>,
+        var_counts: Vec<u8>,
+        random_bound: u32,
+        deciders: Vec<Pid>,
+    ) -> ProgramDef {
+        assert_eq!(
+            codes.len(),
+            var_counts.len(),
+            "one variable count per process required"
+        );
+        assert!(!codes.is_empty(), "a program needs at least one process");
+        for d in &deciders {
+            assert!(d.index() < codes.len(), "decider {d} out of range");
+        }
+        for (p, code) in codes.iter().enumerate() {
+            for (i, instr) in code.iter().enumerate() {
+                let target = match instr {
+                    Instr::Jump { target } | Instr::JumpIfNot { target, .. } => Some(*target),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    assert!(
+                        t <= code.len(),
+                        "process {p} instruction {i}: jump target {t} out of range"
+                    );
+                }
+            }
+        }
+        ProgramDef {
+            name,
+            codes,
+            var_counts,
+            random_bound,
+            deciders,
+        }
+    }
+
+    /// The program's name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of processes (`n` in Theorem 4.2).
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Process `pid`'s code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn code(&self, pid: Pid) -> &[Instr] {
+        &self.codes[pid.index()]
+    }
+
+    /// Process `pid`'s variable count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn var_count(&self, pid: Pid) -> u8 {
+        self.var_counts[pid.index()]
+    }
+
+    /// The declared bound `r` on program random steps.
+    #[must_use]
+    pub fn random_bound(&self) -> u32 {
+        self.random_bound
+    }
+
+    /// The decider processes (empty = all processes must finish).
+    #[must_use]
+    pub fn deciders(&self) -> &[Pid] {
+        &self.deciders
+    }
+
+    /// The number of `Random` instructions appearing statically in the text;
+    /// for straight-line programs (no backward jumps) this equals the exact
+    /// maximum number of program random steps.
+    #[must_use]
+    pub fn static_random_count(&self) -> u32 {
+        self.codes
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, Instr::Random { .. }))
+            .count() as u32
+    }
+}
+
+impl fmt::Display for ProgramDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} (r ≤ {}):", self.name, self.random_bound)?;
+        for (p, code) in self.codes.iter().enumerate() {
+            writeln!(f, "  p{p}:")?;
+            for (i, instr) in code.iter().enumerate() {
+                writeln!(f, "    {i:3}: {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn tiny() -> ProgramDef {
+        ProgramDef::new(
+            "tiny",
+            vec![vec![
+                Instr::Random {
+                    line: 1,
+                    choices: 2,
+                    bind: 0,
+                },
+                Instr::Halt,
+            ]],
+            vec![1],
+            1,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn accessors_report_structure() {
+        let p = tiny();
+        assert_eq!(p.name(), "tiny");
+        assert_eq!(p.process_count(), 1);
+        assert_eq!(p.var_count(Pid(0)), 1);
+        assert_eq!(p.random_bound(), 1);
+        assert_eq!(p.static_random_count(), 1);
+        assert_eq!(p.code(Pid(0)).len(), 2);
+        assert!(p.deciders().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "variable count per process")]
+    fn mismatched_var_counts_panic() {
+        let _ = ProgramDef::new("bad", vec![vec![Instr::Halt]], vec![], 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_decider_panics() {
+        let _ = ProgramDef::new("bad", vec![vec![Instr::Halt]], vec![0], 0, vec![Pid(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "jump target")]
+    fn bad_jump_target_panics() {
+        let _ = ProgramDef::new(
+            "bad",
+            vec![vec![Instr::JumpIfNot {
+                cond: Expr::int(1),
+                target: 9,
+            }]],
+            vec![0],
+            0,
+            vec![],
+        );
+    }
+
+    #[test]
+    fn display_shows_instructions() {
+        let s = tiny().to_string();
+        assert!(s.contains("program tiny"));
+        assert!(s.contains("x0 := random(2)"));
+    }
+}

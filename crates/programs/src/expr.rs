@@ -1,0 +1,310 @@
+//! The expression language for local computation.
+//!
+//! Local computation in the paper's programs is deliberately minimal — the
+//! weakener needs equality tests, boolean conjunction, and `1 − c`. The
+//! language here covers exactly the constructs the reproduced programs use,
+//! plus tuple indexing for snapshot views.
+
+use blunt_core::value::Val;
+use std::fmt;
+
+/// An expression over a process's local variables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A literal value.
+    Const(Val),
+    /// The local variable with the given index.
+    Var(u8),
+    /// `1 − e` (for integer `e`); the weakener's "other side of the coin".
+    OneMinus(Box<Expr>),
+    /// Structural equality, yielding `Int(1)` or `Int(0)`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Logical conjunction of integer truth values (non-zero = true).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction of integer truth values.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation of an integer truth value.
+    Not(Box<Expr>),
+    /// Component `i` of a tuple value (e.g. a snapshot view).
+    TupleGet(Box<Expr>, usize),
+}
+
+/// Why evaluation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A variable index beyond the process's variable count.
+    UnboundVar(u8),
+    /// An operator applied to a value of the wrong shape.
+    TypeMismatch {
+        /// The operator that failed.
+        op: &'static str,
+        /// The offending value.
+        value: Val,
+    },
+    /// Tuple index out of range.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Tuple length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable x{v}"),
+            EvalError::TypeMismatch { op, value } => {
+                write!(f, "operator {op} applied to incompatible value {value}")
+            }
+            EvalError::IndexOutOfRange { index, len } => {
+                write!(f, "tuple index {index} out of range for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// Shorthand for a constant integer.
+    #[must_use]
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Val::Int(i))
+    }
+
+    /// Shorthand for a variable reference.
+    #[must_use]
+    pub fn var(i: u8) -> Expr {
+        Expr::Var(i)
+    }
+
+    /// Shorthand for equality.
+    #[must_use]
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand for conjunction.
+    #[must_use]
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand for disjunction.
+    #[must_use]
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand for `1 − e`.
+    #[must_use]
+    pub fn one_minus(e: Expr) -> Expr {
+        Expr::OneMinus(Box::new(e))
+    }
+
+    /// Shorthand for negation.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator impl
+    #[must_use]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Shorthand for tuple indexing.
+    #[must_use]
+    pub fn get(e: Expr, index: usize) -> Expr {
+        Expr::TupleGet(Box::new(e), index)
+    }
+
+    /// Evaluates the expression against a variable environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for unbound variables, shape mismatches, or
+    /// out-of-range tuple indices.
+    pub fn eval(&self, vars: &[Val]) -> Result<Val, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(i) => vars
+                .get(*i as usize)
+                .cloned()
+                .ok_or(EvalError::UnboundVar(*i)),
+            Expr::OneMinus(e) => {
+                let v = e.eval(vars)?;
+                match v.as_int() {
+                    Some(i) => Ok(Val::Int(1 - i)),
+                    None => Err(EvalError::TypeMismatch {
+                        op: "1 − _",
+                        value: v,
+                    }),
+                }
+            }
+            Expr::Eq(a, b) => {
+                let va = a.eval(vars)?;
+                let vb = b.eval(vars)?;
+                Ok(Val::Int(i64::from(va == vb)))
+            }
+            Expr::And(a, b) => {
+                let va = truth(a.eval(vars)?, "and")?;
+                // Short-circuit like the source programs would.
+                if !va {
+                    return Ok(Val::Int(0));
+                }
+                let vb = truth(b.eval(vars)?, "and")?;
+                Ok(Val::Int(i64::from(vb)))
+            }
+            Expr::Or(a, b) => {
+                let va = truth(a.eval(vars)?, "or")?;
+                if va {
+                    return Ok(Val::Int(1));
+                }
+                let vb = truth(b.eval(vars)?, "or")?;
+                Ok(Val::Int(i64::from(vb)))
+            }
+            Expr::Not(e) => {
+                let v = truth(e.eval(vars)?, "not")?;
+                Ok(Val::Int(i64::from(!v)))
+            }
+            Expr::TupleGet(e, index) => {
+                let v = e.eval(vars)?;
+                match v.as_tuple() {
+                    Some(t) => t.get(*index).cloned().ok_or(EvalError::IndexOutOfRange {
+                        index: *index,
+                        len: t.len(),
+                    }),
+                    None => Err(EvalError::TypeMismatch {
+                        op: "tuple-get",
+                        value: v,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression as a truth value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if evaluation fails or yields a non-integer.
+    pub fn eval_bool(&self, vars: &[Val]) -> Result<bool, EvalError> {
+        truth(self.eval(vars)?, "condition")
+    }
+}
+
+fn truth(v: Val, op: &'static str) -> Result<bool, EvalError> {
+    match v.as_int() {
+        Some(i) => Ok(i != 0),
+        None => Err(EvalError::TypeMismatch { op, value: v }),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(i) => write!(f, "x{i}"),
+            Expr::OneMinus(e) => write!(f, "(1 - {e})"),
+            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expr::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Expr::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Expr::Not(e) => write!(f, "¬{e}"),
+            Expr::TupleGet(e, i) => write!(f, "{e}[{i}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let vars = vec![Val::Int(7), Val::Nil];
+        assert_eq!(Expr::int(3).eval(&vars).unwrap(), Val::Int(3));
+        assert_eq!(Expr::var(0).eval(&vars).unwrap(), Val::Int(7));
+        assert_eq!(Expr::var(1).eval(&vars).unwrap(), Val::Nil);
+        assert_eq!(Expr::var(9).eval(&vars), Err(EvalError::UnboundVar(9)));
+    }
+
+    #[test]
+    fn weakener_condition_shape() {
+        // (u1 = c) ∧ (u2 = 1 − c), with u1 = x0, u2 = x1, c = x2.
+        let cond = Expr::and(
+            Expr::eq(Expr::var(0), Expr::var(2)),
+            Expr::eq(Expr::var(1), Expr::one_minus(Expr::var(2))),
+        );
+        let looping = vec![Val::Int(0), Val::Int(1), Val::Int(0)];
+        assert!(cond.eval_bool(&looping).unwrap());
+        let fine = vec![Val::Int(0), Val::Int(1), Val::Int(1)];
+        assert!(!cond.eval_bool(&fine).unwrap());
+        // ⊥ never equals an integer, so reads that missed both writes fail
+        // the test and the process terminates.
+        let bottom = vec![Val::Nil, Val::Int(1), Val::Int(0)];
+        assert!(!cond.eval_bool(&bottom).unwrap());
+    }
+
+    #[test]
+    fn and_short_circuits() {
+        // Right side would error (1 − ⊥), but the left side is false.
+        let e = Expr::and(
+            Expr::int(0),
+            Expr::eq(Expr::int(0), Expr::one_minus(Expr::Const(Val::Nil))),
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Val::Int(0));
+    }
+
+    #[test]
+    fn one_minus_requires_integer() {
+        let e = Expr::one_minus(Expr::Const(Val::Nil));
+        assert!(matches!(
+            e.eval(&[]),
+            Err(EvalError::TypeMismatch { op: "1 − _", .. })
+        ));
+    }
+
+    #[test]
+    fn not_inverts_truth() {
+        assert_eq!(Expr::not(Expr::int(0)).eval(&[]).unwrap(), Val::Int(1));
+        assert_eq!(Expr::not(Expr::int(5)).eval(&[]).unwrap(), Val::Int(0));
+    }
+
+    #[test]
+    fn or_short_circuits_and_normalizes() {
+        let e = Expr::or(
+            Expr::int(7),
+            Expr::one_minus(Expr::Const(Val::Nil)), // would error if evaluated
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Val::Int(1));
+        assert_eq!(
+            Expr::or(Expr::int(0), Expr::int(0)).eval(&[]).unwrap(),
+            Val::Int(0)
+        );
+    }
+
+    #[test]
+    fn tuple_get_indexes_views() {
+        let vars = vec![Val::Tuple(vec![Val::Int(10), Val::Int(20)])];
+        assert_eq!(
+            Expr::get(Expr::var(0), 1).eval(&vars).unwrap(),
+            Val::Int(20)
+        );
+        assert_eq!(
+            Expr::get(Expr::var(0), 5).eval(&vars),
+            Err(EvalError::IndexOutOfRange { index: 5, len: 2 })
+        );
+        assert!(matches!(
+            Expr::get(Expr::int(1), 0).eval(&vars),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let cond = Expr::and(
+            Expr::eq(Expr::var(0), Expr::var(2)),
+            Expr::eq(Expr::var(1), Expr::one_minus(Expr::var(2))),
+        );
+        assert_eq!(cond.to_string(), "((x0 = x2) ∧ (x1 = (1 - x2)))");
+        assert!(EvalError::UnboundVar(3).to_string().contains("x3"));
+    }
+}

@@ -1,0 +1,246 @@
+//! A weakener-style program over an atomic **snapshot** object — the
+//! Golab–Higham–Woelfel scenario (Section 6 of the paper).
+//!
+//! GHW's original observation was that the Afek et al. snapshot, although
+//! linearizable, lets a strong adversary bias the outcome distribution of a
+//! randomized program. This module expresses that scenario in the same shape
+//! as Algorithm 1:
+//!
+//! - `p0` marks its snapshot component: `Update(0, 1)`;
+//! - `p1` marks its component, flips a coin `c`, writes `c` to register `C`;
+//! - `p2` takes two scans `s1`, `s2` and reads `C`; it **loops forever** iff
+//!   the first scan saw exactly the component of process `c` and the second
+//!   scan saw both components:
+//!
+//! ```text
+//! bad  ⇔  (s1 = [1, ⊥] ∧ c = 0 ∨ s1 = [⊥, 1] ∧ c = 1) ∧ s2 = [1, 1]
+//! ```
+//!
+//! With an atomic snapshot the adversary must commit to `s1`'s position
+//! before the flip and wins with probability exactly 1/2; with the Afek
+//! et al. implementation it can keep `p2`'s scan unresolved across the flip
+//! and do better. The exact values are computed by the explorer in
+//! `blunt-registers`' tests and the experiments harness.
+
+use crate::def::ProgramDef;
+use crate::expr::Expr;
+use crate::instr::Instr;
+use blunt_core::ids::{CallSite, MethodId, ObjId, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+
+/// The two-component snapshot object (`p0` owns component 0, `p1` owns 1).
+pub const S: ObjId = ObjId(0);
+/// The coin register written by `p1` and read by `p2`.
+pub const C: ObjId = ObjId(1);
+
+/// `p2`'s first scan (`s1`).
+#[must_use]
+pub fn site_s1() -> CallSite {
+    CallSite::new(Pid(2), 6, 0)
+}
+
+/// `p2`'s second scan (`s2`).
+#[must_use]
+pub fn site_s2() -> CallSite {
+    CallSite::new(Pid(2), 6, 1)
+}
+
+/// `p2`'s read of `C`.
+#[must_use]
+pub fn site_c() -> CallSite {
+    CallSite::new(Pid(2), 6, 2)
+}
+
+fn seen(view: Expr, comp: usize) -> Expr {
+    Expr::eq(Expr::get(view, comp), Expr::int(1))
+}
+
+fn unseen(view: Expr, comp: usize) -> Expr {
+    Expr::eq(Expr::get(view, comp), Expr::Const(Val::Nil))
+}
+
+/// The loop condition over `p2`'s variables `x0 = s1`, `x1 = s2`, `x2 = c`.
+#[must_use]
+pub fn loop_condition() -> Expr {
+    let s1_only_p0 = Expr::and(seen(Expr::var(0), 0), unseen(Expr::var(0), 1));
+    let s1_only_p1 = Expr::and(unseen(Expr::var(0), 0), seen(Expr::var(0), 1));
+    let s2_both = Expr::and(seen(Expr::var(1), 0), seen(Expr::var(1), 1));
+    let c_is = |i: i64| Expr::eq(Expr::var(2), Expr::int(i));
+    Expr::and(
+        Expr::or(
+            Expr::and(s1_only_p0, c_is(0)),
+            Expr::and(s1_only_p1, c_is(1)),
+        ),
+        s2_both,
+    )
+}
+
+/// Builds the snapshot weakener as a [`ProgramDef`].
+#[must_use]
+pub fn snapshot_weakener() -> ProgramDef {
+    let p0 = vec![
+        Instr::Invoke {
+            line: 3,
+            obj: S,
+            method: MethodId::UPDATE,
+            arg: Expr::Const(Val::pair(Val::Int(0), Val::Int(1))),
+            bind: None,
+        },
+        Instr::Halt,
+    ];
+    let p1 = vec![
+        Instr::Invoke {
+            line: 3,
+            obj: S,
+            method: MethodId::UPDATE,
+            arg: Expr::Const(Val::pair(Val::Int(1), Val::Int(1))),
+            bind: None,
+        },
+        Instr::Random {
+            line: 4,
+            choices: 2,
+            bind: 0,
+        },
+        Instr::Invoke {
+            line: 4,
+            obj: C,
+            method: MethodId::WRITE,
+            arg: Expr::var(0),
+            bind: None,
+        },
+        Instr::Halt,
+    ];
+    let p2 = vec![
+        Instr::Invoke {
+            line: 6,
+            obj: S,
+            method: MethodId::SCAN,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(0),
+        },
+        Instr::Invoke {
+            line: 6,
+            obj: S,
+            method: MethodId::SCAN,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(1),
+        },
+        Instr::Invoke {
+            line: 6,
+            obj: C,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(2),
+        },
+        Instr::JumpIfNot {
+            cond: loop_condition(),
+            target: 5,
+        },
+        Instr::LoopForever,
+        Instr::Halt,
+    ];
+    ProgramDef::new(
+        "snapshot-weakener",
+        vec![p0, p1, p2],
+        vec![0, 1, 3],
+        1,
+        vec![Pid(2)],
+    )
+}
+
+/// The bad-outcome predicate matching [`loop_condition`].
+#[must_use]
+pub fn is_bad(outcome: &Outcome) -> bool {
+    let (Some(s1), Some(s2), Some(c)) = (
+        outcome.get(&site_s1()).and_then(Val::as_tuple),
+        outcome.get(&site_s2()).and_then(Val::as_tuple),
+        outcome.get(&site_c()).and_then(Val::as_int),
+    ) else {
+        return false;
+    };
+    if s1.len() < 2 || s2.len() < 2 {
+        // Views carry one component per process; only the writers'
+        // components (0 and 1) matter.
+        return false;
+    }
+    let one = Val::Int(1);
+    let s1_only = |i: usize| s1[i] == one && s1[1 - i] == Val::Nil;
+    let s2_both = s2[0] == one && s2[1] == one;
+    ((s1_only(0) && c == 0) || (s1_only(1) && c == 1)) && s2_both
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ProgCmd, ProgState};
+
+    fn view(a: Val, b: Val) -> Val {
+        Val::Tuple(vec![a, b])
+    }
+
+    #[test]
+    fn program_shape() {
+        let def = snapshot_weakener();
+        assert_eq!(def.process_count(), 3);
+        assert_eq!(def.random_bound(), 1);
+        assert_eq!(def.deciders(), &[Pid(2)]);
+    }
+
+    #[test]
+    fn bad_predicate_cases() {
+        let mut o = Outcome::new();
+        o.record(site_s1(), view(Val::Int(1), Val::Nil));
+        o.record(site_s2(), view(Val::Int(1), Val::Int(1)));
+        o.record(site_c(), Val::Int(0));
+        assert!(is_bad(&o));
+
+        let mut o = Outcome::new();
+        o.record(site_s1(), view(Val::Nil, Val::Int(1)));
+        o.record(site_s2(), view(Val::Int(1), Val::Int(1)));
+        o.record(site_c(), Val::Int(1));
+        assert!(is_bad(&o));
+
+        // Wrong coin side.
+        let mut o = Outcome::new();
+        o.record(site_s1(), view(Val::Int(1), Val::Nil));
+        o.record(site_s2(), view(Val::Int(1), Val::Int(1)));
+        o.record(site_c(), Val::Int(1));
+        assert!(!is_bad(&o));
+
+        // Second scan incomplete.
+        let mut o = Outcome::new();
+        o.record(site_s1(), view(Val::Int(1), Val::Nil));
+        o.record(site_s2(), view(Val::Int(1), Val::Nil));
+        o.record(site_c(), Val::Int(0));
+        assert!(!is_bad(&o));
+
+        // Empty first scan.
+        let mut o = Outcome::new();
+        o.record(site_s1(), view(Val::Nil, Val::Nil));
+        o.record(site_s2(), view(Val::Int(1), Val::Int(1)));
+        o.record(site_c(), Val::Int(0));
+        assert!(!is_bad(&o));
+
+        assert!(!is_bad(&Outcome::new()));
+    }
+
+    #[test]
+    fn loop_condition_agrees_with_predicate_via_interpreter() {
+        // Feed p2 the bad values by hand; it must loop.
+        let def = snapshot_weakener();
+        let mut st = ProgState::new(&def);
+        for val in [
+            view(Val::Nil, Val::Int(1)),
+            view(Val::Int(1), Val::Int(1)),
+            Val::Int(1),
+        ] {
+            match st.step(&def, Pid(2)) {
+                ProgCmd::Invoke { .. } => st.on_return(Pid(2), val),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(st.step(&def, Pid(2)), ProgCmd::Looping);
+        assert!(is_bad(&st.outcome()));
+    }
+}

@@ -1,0 +1,169 @@
+//! The flat instruction set interpreted by [`crate::state::ProgState`].
+//!
+//! Control flow is flattened to jumps so that a process's dynamic state is a
+//! single program counter — cheap to clone and hash. Instructions split into
+//! *local* ones (assignments and jumps), which the interpreter executes
+//! eagerly, and *visible* ones (object invocations, random steps,
+//! termination), which are scheduling points for the adversary.
+//!
+//! Bundling local computation with the following visible step is a standard
+//! partial-order reduction: local steps touch only process-private variables,
+//! so they commute with every step of every other process and scheduling them
+//! separately cannot change any outcome distribution.
+
+use crate::expr::Expr;
+use blunt_core::ids::{MethodId, ObjId};
+use std::fmt;
+
+/// One instruction of a process's code.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `x[var] := expr` (local).
+    Assign {
+        /// Destination variable.
+        var: u8,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// Unconditional jump (local).
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Jump to `target` iff `cond` evaluates to false (local).
+    JumpIfNot {
+        /// Condition.
+        cond: Expr,
+        /// Target instruction index when the condition is false.
+        target: usize,
+    },
+    /// Invoke `method(arg)` on object `obj`; when the invocation returns,
+    /// optionally bind the return value (visible).
+    Invoke {
+        /// Program line number, used to build the outcome's [`blunt_core::ids::CallSite`].
+        line: u16,
+        /// Target object.
+        obj: ObjId,
+        /// Method to invoke.
+        method: MethodId,
+        /// Argument expression, evaluated at invocation time.
+        arg: Expr,
+        /// Variable that receives the return value, if any.
+        bind: Option<u8>,
+    },
+    /// `x[bind] := random({0, …, choices−1})` — a *program* random step
+    /// (visible).
+    Random {
+        /// Program line number (for trace readability).
+        line: u16,
+        /// Number of equiprobable alternatives.
+        choices: usize,
+        /// Variable that receives the drawn value as an `Int`.
+        bind: u8,
+    },
+    /// Terminate this process (visible).
+    Halt,
+    /// Diverge: the process loops forever; its mode becomes absorbing
+    /// (visible). This is the weakener's bad branch.
+    LoopForever,
+}
+
+impl Instr {
+    /// Returns `true` for instructions the interpreter executes eagerly
+    /// without yielding to the scheduler.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(
+            self,
+            Instr::Assign { .. } | Instr::Jump { .. } | Instr::JumpIfNot { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Assign { var, expr } => write!(f, "x{var} := {expr}"),
+            Instr::Jump { target } => write!(f, "goto {target}"),
+            Instr::JumpIfNot { cond, target } => write!(f, "unless {cond} goto {target}"),
+            Instr::Invoke {
+                line,
+                obj,
+                method,
+                arg,
+                bind,
+            } => {
+                if let Some(b) = bind {
+                    write!(f, "x{b} := {obj}.{method}({arg})  // L{line}")
+                } else {
+                    write!(f, "{obj}.{method}({arg})  // L{line}")
+                }
+            }
+            Instr::Random {
+                line,
+                choices,
+                bind,
+            } => write!(f, "x{bind} := random({choices})  // L{line}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::LoopForever => write!(f, "loop forever"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::value::Val;
+
+    #[test]
+    fn locality_classification() {
+        assert!(Instr::Assign {
+            var: 0,
+            expr: Expr::int(1)
+        }
+        .is_local());
+        assert!(Instr::Jump { target: 0 }.is_local());
+        assert!(Instr::JumpIfNot {
+            cond: Expr::int(1),
+            target: 0
+        }
+        .is_local());
+        assert!(!Instr::Halt.is_local());
+        assert!(!Instr::LoopForever.is_local());
+        assert!(!Instr::Random {
+            line: 4,
+            choices: 2,
+            bind: 0
+        }
+        .is_local());
+        assert!(!Instr::Invoke {
+            line: 3,
+            obj: ObjId(0),
+            method: MethodId::WRITE,
+            arg: Expr::Const(Val::Int(0)),
+            bind: None,
+        }
+        .is_local());
+    }
+
+    #[test]
+    fn display_round_trips_the_reader() {
+        let i = Instr::Invoke {
+            line: 6,
+            obj: ObjId(0),
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(2),
+        };
+        assert_eq!(i.to_string(), "x2 := obj0.Read(⊥)  // L6");
+        assert_eq!(
+            Instr::Random {
+                line: 4,
+                choices: 2,
+                bind: 1
+            }
+            .to_string(),
+            "x1 := random(2)  // L4"
+        );
+    }
+}

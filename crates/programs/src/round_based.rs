@@ -1,0 +1,235 @@
+//! The round-based program family from the paper's discussion (Section 7).
+//!
+//! Many randomized algorithms proceed in rounds, with a fixed number `s` of
+//! random steps per round and high-probability termination within `T`
+//! rounds. The paper observes that for such programs the transformation can
+//! be applied with `k > T·s`. This module provides a concrete family:
+//! `T` independent copies of the weakener, one per round, each with its own
+//! pair of registers. `p2` loops forever only if the weakener condition
+//! holds in **every** round, so with atomic registers the bad probability is
+//! at most `(1/2)^T`.
+
+use crate::def::ProgramDef;
+use crate::expr::Expr;
+use crate::instr::Instr;
+use crate::weakener;
+use blunt_core::ids::{CallSite, MethodId, ObjId, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+
+/// The register `R_t` of round `t`.
+#[must_use]
+pub fn reg_r(round: u32) -> ObjId {
+    ObjId(2 * round)
+}
+
+/// The register `C_t` of round `t`.
+#[must_use]
+pub fn reg_c(round: u32) -> ObjId {
+    ObjId(2 * round + 1)
+}
+
+/// `p2`'s reads in round `t`: `(u1, u2, c)` call sites.
+#[must_use]
+pub fn round_sites(round: u32) -> (CallSite, CallSite, CallSite) {
+    let base = (3 * round) as u16;
+    (
+        CallSite::new(Pid(2), 6, base),
+        CallSite::new(Pid(2), 6, base + 1),
+        CallSite::new(Pid(2), 6, base + 2),
+    )
+}
+
+/// Builds the `rounds`-round weakener. Each round `t` uses registers
+/// [`reg_r`]`(t)` and [`reg_c`]`(t)`; `p1` takes one random step per round,
+/// so the program has `r = rounds` random steps (`s = 1`).
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn round_based(rounds: u32) -> ProgramDef {
+    assert!(rounds >= 1, "a round-based program needs at least one round");
+    let mut p0 = Vec::new();
+    let mut p1 = Vec::new();
+    let mut p2 = Vec::new();
+
+    // p2's variables: x0 = u1, x1 = u2, x2 = c, x3 = running conjunction.
+    p2.push(Instr::Assign {
+        var: 3,
+        expr: Expr::int(1),
+    });
+
+    for t in 0..rounds {
+        p0.push(Instr::Invoke {
+            line: 3,
+            obj: reg_r(t),
+            method: MethodId::WRITE,
+            arg: Expr::int(0),
+            bind: None,
+        });
+        p1.push(Instr::Invoke {
+            line: 3,
+            obj: reg_r(t),
+            method: MethodId::WRITE,
+            arg: Expr::int(1),
+            bind: None,
+        });
+        p1.push(Instr::Random {
+            line: 4,
+            choices: 2,
+            bind: 0,
+        });
+        p1.push(Instr::Invoke {
+            line: 4,
+            obj: reg_c(t),
+            method: MethodId::WRITE,
+            arg: Expr::var(0),
+            bind: None,
+        });
+        for (bind, obj, method) in [
+            (0u8, reg_r(t), MethodId::READ),
+            (1u8, reg_r(t), MethodId::READ),
+            (2u8, reg_c(t), MethodId::READ),
+        ] {
+            p2.push(Instr::Invoke {
+                line: 6,
+                obj,
+                method,
+                arg: Expr::Const(Val::Nil),
+                bind: Some(bind),
+            });
+        }
+        p2.push(Instr::Assign {
+            var: 3,
+            expr: Expr::and(Expr::var(3), weakener::loop_condition()),
+        });
+    }
+    p0.push(Instr::Halt);
+    p1.push(Instr::Halt);
+    let end = p2.len() + 2;
+    p2.push(Instr::JumpIfNot {
+        cond: Expr::var(3),
+        target: end,
+    });
+    p2.push(Instr::LoopForever);
+    p2.push(Instr::Halt);
+
+    ProgramDef::new(
+        "round-based-weakener",
+        vec![p0, p1, p2],
+        vec![0, 1, 4],
+        rounds,
+        vec![Pid(2)],
+    )
+}
+
+/// The bad-outcome predicate: the weakener condition holds in **all**
+/// `rounds` rounds.
+#[must_use]
+pub fn is_bad(rounds: u32, outcome: &Outcome) -> bool {
+    (0..rounds).all(|t| {
+        let (su1, su2, sc) = round_sites(t);
+        let (Some(u1), Some(u2), Some(c)) = (
+            outcome.get(&su1).and_then(Val::as_int),
+            outcome.get(&su2).and_then(Val::as_int),
+            outcome.get(&sc).and_then(Val::as_int),
+        ) else {
+            return false;
+        };
+        u1 == c && u2 == 1 - c
+    })
+}
+
+/// Number of shared objects the `rounds`-round program uses.
+#[must_use]
+pub fn object_count(rounds: u32) -> usize {
+    (2 * rounds) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ProgCmd, ProgState};
+
+    #[test]
+    fn one_round_matches_the_plain_weakener_structure() {
+        let def = round_based(1);
+        assert_eq!(def.process_count(), 3);
+        assert_eq!(def.random_bound(), 1);
+        assert_eq!(def.static_random_count(), 1);
+        assert_eq!(object_count(1), 2);
+    }
+
+    #[test]
+    fn rounds_scale_random_steps_and_objects() {
+        let def = round_based(4);
+        assert_eq!(def.random_bound(), 4);
+        assert_eq!(def.static_random_count(), 4);
+        assert_eq!(object_count(4), 8);
+        assert_ne!(reg_r(0), reg_c(0));
+        assert_ne!(reg_r(1), reg_c(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let _ = round_based(0);
+    }
+
+    #[test]
+    fn bad_requires_every_round() {
+        let mut o = Outcome::new();
+        for t in 0..2 {
+            let (su1, su2, sc) = round_sites(t);
+            o.record(su1, Val::Int(0));
+            o.record(su2, Val::Int(1));
+            o.record(sc, Val::Int(0));
+        }
+        assert!(is_bad(2, &o));
+
+        // Break round 1.
+        let (_, _, sc) = round_sites(1);
+        o.record(sc, Val::Int(1));
+        assert!(!is_bad(2, &o));
+    }
+
+    #[test]
+    fn interpreter_runs_two_rounds_to_looping() {
+        let rounds = 2;
+        let def = round_based(rounds);
+        let mut st = ProgState::new(&def);
+        // Feed p2 bad values in both rounds.
+        for _ in 0..rounds {
+            for val in [Val::Int(0), Val::Int(1), Val::Int(0)] {
+                match st.step(&def, Pid(2)) {
+                    ProgCmd::Invoke { .. } => st.on_return(Pid(2), val),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(st.step(&def, Pid(2)), ProgCmd::Looping);
+        assert!(is_bad(rounds, &st.outcome()));
+    }
+
+    #[test]
+    fn interpreter_halts_when_a_round_is_good() {
+        let rounds = 2;
+        let def = round_based(rounds);
+        let mut st = ProgState::new(&def);
+        let feeds = [
+            [Val::Int(0), Val::Int(1), Val::Int(0)], // bad round
+            [Val::Int(1), Val::Int(1), Val::Int(0)], // good round
+        ];
+        for round in &feeds {
+            for val in round {
+                match st.step(&def, Pid(2)) {
+                    ProgCmd::Invoke { .. } => st.on_return(Pid(2), val.clone()),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(st.step(&def, Pid(2)), ProgCmd::Halted);
+        assert!(!is_bad(rounds, &st.outcome()));
+    }
+}

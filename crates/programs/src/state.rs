@@ -1,0 +1,492 @@
+//! The program interpreter: per-process dynamic state and stepping.
+//!
+//! [`ProgState`] is the mutable half of a program (the immutable half being
+//! [`ProgramDef`]). Composed systems own one `ProgState` and drive it:
+//!
+//! - [`ProgState::can_step`] tells the system whether a process-step event
+//!   should be enabled for a process;
+//! - [`ProgState::step`] executes local instructions eagerly and returns the
+//!   next *visible* command ([`ProgCmd`]) — an object invocation, a program
+//!   random step, or termination;
+//! - [`ProgState::on_return`] / [`ProgState::on_random`] resume a process
+//!   once the environment has produced the awaited value.
+
+use crate::def::ProgramDef;
+use crate::instr::Instr;
+use blunt_core::ids::{CallSite, MethodId, ObjId, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+
+/// Safety fuel for local-instruction chains inside a single `step` call; a
+/// program whose local computation runs longer than this without a visible
+/// step is considered buggy.
+const LOCAL_FUEL: usize = 10_000;
+
+/// What a process is currently doing.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProcMode {
+    /// Ready to take its next step.
+    Ready,
+    /// Blocked on a pending object invocation.
+    AwaitReturn {
+        /// Variable receiving the return value, if any.
+        bind: Option<u8>,
+        /// The invocation's call site (for the outcome map).
+        site: CallSite,
+    },
+    /// Blocked on a `random(V)` draw.
+    AwaitRandom {
+        /// Variable receiving the drawn value.
+        bind: u8,
+        /// Number of alternatives.
+        choices: usize,
+    },
+    /// Terminated normally.
+    Halted,
+    /// Diverged (`loop forever`) — absorbing.
+    Looping,
+    /// Crashed — absorbing, takes no further steps.
+    Crashed,
+}
+
+impl ProcMode {
+    /// Returns `true` for absorbing modes (the process will never step
+    /// again).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            ProcMode::Halted | ProcMode::Looping | ProcMode::Crashed
+        )
+    }
+}
+
+/// The visible command produced by one program step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProgCmd {
+    /// Invoke `method(arg)` on `obj`; the process blocks until
+    /// [`ProgState::on_return`].
+    Invoke {
+        /// Call site identifying this invocation in outcomes.
+        site: CallSite,
+        /// Target object.
+        obj: ObjId,
+        /// Method.
+        method: MethodId,
+        /// Evaluated argument.
+        arg: Val,
+    },
+    /// A program random step; the process blocks until
+    /// [`ProgState::on_random`].
+    Random {
+        /// Number of equiprobable alternatives.
+        choices: usize,
+    },
+    /// The process terminated.
+    Halted,
+    /// The process diverged.
+    Looping,
+}
+
+/// Per-process dynamic state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ProcState {
+    pc: usize,
+    vars: Vec<Val>,
+    mode: ProcMode,
+    /// Occurrence counters per program line, for outcome call sites.
+    occurrences: Vec<(u16, u16)>,
+}
+
+impl ProcState {
+    fn next_occurrence(&mut self, line: u16) -> u16 {
+        match self.occurrences.binary_search_by_key(&line, |e| e.0) {
+            Ok(i) => {
+                let occ = self.occurrences[i].1;
+                self.occurrences[i].1 += 1;
+                occ
+            }
+            Err(i) => {
+                self.occurrences.insert(i, (line, 1));
+                0
+            }
+        }
+    }
+}
+
+/// The dynamic state of a whole program.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProgState {
+    procs: Vec<ProcState>,
+    outcome: Outcome,
+}
+
+impl ProgState {
+    /// The initial state of `def`: every process at instruction 0 with all
+    /// variables `⊥`.
+    #[must_use]
+    pub fn new(def: &ProgramDef) -> ProgState {
+        let procs = (0..def.process_count())
+            .map(|p| ProcState {
+                pc: 0,
+                vars: vec![Val::Nil; def.var_count(Pid(p as u32)) as usize],
+                mode: ProcMode::Ready,
+                occurrences: Vec::new(),
+            })
+            .collect();
+        ProgState {
+            procs,
+            outcome: Outcome::new(),
+        }
+    }
+
+    /// The current mode of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn mode(&self, pid: Pid) -> &ProcMode {
+        &self.procs[pid.index()].mode
+    }
+
+    /// Returns `true` if process `pid` has a step to take.
+    #[must_use]
+    pub fn can_step(&self, pid: Pid) -> bool {
+        self.procs[pid.index()].mode == ProcMode::Ready
+    }
+
+    /// Executes process `pid` up to (and including) its next visible
+    /// instruction and returns the corresponding command.
+    ///
+    /// Local instructions (assignments, jumps) are executed eagerly: they
+    /// touch only process-private state and therefore commute with all other
+    /// processes' steps, so giving the adversary separate scheduling power
+    /// over them cannot change any outcome distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not `Ready`, if expression evaluation fails
+    /// (a malformed program), or if local fuel runs out (a local infinite
+    /// loop).
+    pub fn step(&mut self, def: &ProgramDef, pid: Pid) -> ProgCmd {
+        let proc = &mut self.procs[pid.index()];
+        assert_eq!(
+            proc.mode,
+            ProcMode::Ready,
+            "step on non-ready process {pid}"
+        );
+        let code = def.code(pid);
+        for _ in 0..LOCAL_FUEL {
+            if proc.pc >= code.len() {
+                proc.mode = ProcMode::Halted;
+                return ProgCmd::Halted;
+            }
+            let instr = &code[proc.pc];
+            match instr {
+                Instr::Assign { var, expr } => {
+                    let v = expr
+                        .eval(&proc.vars)
+                        .unwrap_or_else(|e| panic!("{pid} pc {}: {e}", proc.pc));
+                    proc.vars[*var as usize] = v;
+                    proc.pc += 1;
+                }
+                Instr::Jump { target } => {
+                    proc.pc = *target;
+                }
+                Instr::JumpIfNot { cond, target } => {
+                    let t = cond
+                        .eval_bool(&proc.vars)
+                        .unwrap_or_else(|e| panic!("{pid} pc {}: {e}", proc.pc));
+                    proc.pc = if t { proc.pc + 1 } else { *target };
+                }
+                Instr::Invoke {
+                    line,
+                    obj,
+                    method,
+                    arg,
+                    bind,
+                } => {
+                    let argv = arg
+                        .eval(&proc.vars)
+                        .unwrap_or_else(|e| panic!("{pid} pc {}: {e}", proc.pc));
+                    let occ = proc.next_occurrence(*line);
+                    let site = CallSite::new(pid, *line, occ);
+                    proc.mode = ProcMode::AwaitReturn { bind: *bind, site };
+                    proc.pc += 1;
+                    return ProgCmd::Invoke {
+                        site,
+                        obj: *obj,
+                        method: *method,
+                        arg: argv,
+                    };
+                }
+                Instr::Random {
+                    line: _,
+                    choices,
+                    bind,
+                } => {
+                    proc.mode = ProcMode::AwaitRandom {
+                        bind: *bind,
+                        choices: *choices,
+                    };
+                    proc.pc += 1;
+                    return ProgCmd::Random { choices: *choices };
+                }
+                Instr::Halt => {
+                    proc.mode = ProcMode::Halted;
+                    return ProgCmd::Halted;
+                }
+                Instr::LoopForever => {
+                    proc.mode = ProcMode::Looping;
+                    return ProgCmd::Looping;
+                }
+            }
+        }
+        panic!("{pid}: local fuel exhausted — local infinite loop in program");
+    }
+
+    /// Delivers the return value of the pending invocation at `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not awaiting a return.
+    pub fn on_return(&mut self, pid: Pid, val: Val) {
+        let proc = &mut self.procs[pid.index()];
+        match proc.mode.clone() {
+            ProcMode::AwaitReturn { bind, site } => {
+                self.outcome.record(site, val.clone());
+                if let Some(b) = bind {
+                    proc.vars[b as usize] = val;
+                }
+                proc.mode = ProcMode::Ready;
+            }
+            other => panic!("on_return for {pid} in mode {other:?}"),
+        }
+    }
+
+    /// Delivers a drawn random value to `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not awaiting randomness or the choice is out of
+    /// range.
+    pub fn on_random(&mut self, pid: Pid, choice: usize) {
+        let proc = &mut self.procs[pid.index()];
+        match proc.mode.clone() {
+            ProcMode::AwaitRandom { bind, choices } => {
+                assert!(choice < choices, "random choice out of range");
+                proc.vars[bind as usize] = Val::Int(choice as i64);
+                proc.mode = ProcMode::Ready;
+            }
+            other => panic!("on_random for {pid} in mode {other:?}"),
+        }
+    }
+
+    /// Marks `pid` as crashed (absorbing).
+    pub fn crash(&mut self, pid: Pid) {
+        self.procs[pid.index()].mode = ProcMode::Crashed;
+    }
+
+    /// Returns `true` once the observable outcome is fixed: every decider
+    /// (or, with no declared deciders, every process) is terminal.
+    #[must_use]
+    pub fn is_done(&self, def: &ProgramDef) -> bool {
+        if def.deciders().is_empty() {
+            self.procs.iter().all(|p| p.mode.is_terminal())
+        } else {
+            def.deciders()
+                .iter()
+                .all(|d| self.procs[d.index()].mode.is_terminal())
+        }
+    }
+
+    /// The outcome accumulated so far (final once [`ProgState::is_done`]).
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        self.outcome.clone()
+    }
+
+    /// A process's local variables (for assertions in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn vars(&self, pid: Pid) -> &[Val] {
+        &self.procs[pid.index()].vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn toy_def() -> ProgramDef {
+        // p0: x0 := random(2); x1 := obj0.Read(); if (x0 = x1) loop else halt
+        ProgramDef::new(
+            "toy",
+            vec![vec![
+                Instr::Random {
+                    line: 1,
+                    choices: 2,
+                    bind: 0,
+                },
+                Instr::Invoke {
+                    line: 2,
+                    obj: ObjId(0),
+                    method: MethodId::READ,
+                    arg: Expr::Const(Val::Nil),
+                    bind: Some(1),
+                },
+                Instr::JumpIfNot {
+                    cond: Expr::eq(Expr::var(0), Expr::var(1)),
+                    target: 4,
+                },
+                Instr::LoopForever,
+                Instr::Halt,
+            ]],
+            vec![2],
+            1,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn full_walk_through_looping_branch() {
+        let def = toy_def();
+        let mut st = ProgState::new(&def);
+        assert!(st.can_step(Pid(0)));
+
+        let cmd = st.step(&def, Pid(0));
+        assert_eq!(cmd, ProgCmd::Random { choices: 2 });
+        assert!(!st.can_step(Pid(0)));
+        st.on_random(Pid(0), 1);
+
+        let cmd = st.step(&def, Pid(0));
+        match cmd {
+            ProgCmd::Invoke {
+                site, obj, method, ..
+            } => {
+                assert_eq!(site, CallSite::new(Pid(0), 2, 0));
+                assert_eq!(obj, ObjId(0));
+                assert_eq!(method, MethodId::READ);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        st.on_return(Pid(0), Val::Int(1));
+        assert_eq!(st.vars(Pid(0)), &[Val::Int(1), Val::Int(1)]);
+
+        let cmd = st.step(&def, Pid(0));
+        assert_eq!(cmd, ProgCmd::Looping);
+        assert!(st.is_done(&def));
+        assert_eq!(
+            st.outcome().get(&CallSite::new(Pid(0), 2, 0)),
+            Some(&Val::Int(1))
+        );
+    }
+
+    #[test]
+    fn halting_branch_when_values_differ() {
+        let def = toy_def();
+        let mut st = ProgState::new(&def);
+        st.step(&def, Pid(0));
+        st.on_random(Pid(0), 1);
+        st.step(&def, Pid(0));
+        st.on_return(Pid(0), Val::Int(0));
+        assert_eq!(st.step(&def, Pid(0)), ProgCmd::Halted);
+        assert_eq!(*st.mode(Pid(0)), ProcMode::Halted);
+    }
+
+    #[test]
+    fn occurrences_distinguish_repeated_lines() {
+        let def = ProgramDef::new(
+            "twice",
+            vec![vec![
+                Instr::Invoke {
+                    line: 6,
+                    obj: ObjId(0),
+                    method: MethodId::READ,
+                    arg: Expr::Const(Val::Nil),
+                    bind: None,
+                },
+                Instr::Invoke {
+                    line: 6,
+                    obj: ObjId(0),
+                    method: MethodId::READ,
+                    arg: Expr::Const(Val::Nil),
+                    bind: None,
+                },
+                Instr::Halt,
+            ]],
+            vec![0],
+            0,
+            vec![],
+        );
+        let mut st = ProgState::new(&def);
+        let c1 = st.step(&def, Pid(0));
+        st.on_return(Pid(0), Val::Int(0));
+        let c2 = st.step(&def, Pid(0));
+        st.on_return(Pid(0), Val::Int(1));
+        let (s1, s2) = match (c1, c2) {
+            (ProgCmd::Invoke { site: a, .. }, ProgCmd::Invoke { site: b, .. }) => (a, b),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(s1, CallSite::new(Pid(0), 6, 0));
+        assert_eq!(s2, CallSite::new(Pid(0), 6, 1));
+        assert_eq!(st.outcome().len(), 2);
+    }
+
+    #[test]
+    fn crash_is_terminal_and_blocks_stepping() {
+        let def = toy_def();
+        let mut st = ProgState::new(&def);
+        st.crash(Pid(0));
+        assert!(!st.can_step(Pid(0)));
+        assert!(st.is_done(&def));
+        assert!(st.mode(Pid(0)).is_terminal());
+    }
+
+    #[test]
+    fn deciders_gate_doneness() {
+        let def = ProgramDef::new(
+            "two",
+            vec![vec![Instr::Halt], vec![Instr::Halt]],
+            vec![0, 0],
+            0,
+            vec![Pid(1)],
+        );
+        let mut st = ProgState::new(&def);
+        assert!(!st.is_done(&def));
+        st.step(&def, Pid(1));
+        assert!(st.is_done(&def), "only the decider must finish");
+        assert!(st.can_step(Pid(0)), "p0 may still run");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ready")]
+    fn stepping_blocked_process_panics() {
+        let def = toy_def();
+        let mut st = ProgState::new(&def);
+        st.step(&def, Pid(0)); // now awaiting random
+        st.step(&def, Pid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_random_choice_panics() {
+        let def = toy_def();
+        let mut st = ProgState::new(&def);
+        st.step(&def, Pid(0));
+        st.on_random(Pid(0), 2);
+    }
+
+    #[test]
+    fn implicit_halt_at_end_of_code() {
+        let def = ProgramDef::new("empty", vec![vec![]], vec![0], 0, vec![]);
+        let mut st = ProgState::new(&def);
+        assert_eq!(st.step(&def, Pid(0)), ProgCmd::Halted);
+        assert!(st.is_done(&def));
+    }
+}

@@ -1,0 +1,341 @@
+//! The weakener program — Algorithm 1 of the paper.
+//!
+//! Three processes share two registers, `R` (written by `p0` and `p1`, read
+//! by `p2`) and `C` (written by `p1`, read by `p2`):
+//!
+//! ```text
+//! Initially: R = ⊥, C = −1
+//! p_i, i ∈ {0, 1}:  R := i;  if (i = 1) then C := flip fair coin (0 or 1)
+//! p2:               u1 := R; u2 := R; c := C
+//!                   if ((u1 = c) ∧ (u2 = 1 − c)) then loop forever
+//!                   else terminate
+//! ```
+//!
+//! The *bad* outcome set `B` is the set of outcomes whose return values make
+//! `p2` loop forever. With atomic registers `Prob[B] = 1/2` exactly
+//! (Appendix A.1); with ABD registers a strong adversary forces `Prob[B] = 1`
+//! (Appendix A.2, Figure 1); with ABD² the paper bounds `Prob[B] ≤ 7/8`
+//! generically (Theorem 4.2) and `≤ 5/8` by the specialized analysis of
+//! Appendix A.3.2.
+
+use crate::def::ProgramDef;
+use crate::expr::Expr;
+use crate::instr::Instr;
+use blunt_core::ids::{CallSite, MethodId, ObjId, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+
+/// The register `R` written by `p0`/`p1` and read twice by `p2`.
+pub const R: ObjId = ObjId(0);
+/// The register `C` carrying the coin flip from `p1` to `p2`.
+pub const C: ObjId = ObjId(1);
+
+/// `p2`'s first read of `R` (`u1`).
+#[must_use]
+pub fn site_u1() -> CallSite {
+    CallSite::new(Pid(2), 6, 0)
+}
+
+/// `p2`'s second read of `R` (`u2`).
+#[must_use]
+pub fn site_u2() -> CallSite {
+    CallSite::new(Pid(2), 6, 1)
+}
+
+/// `p2`'s read of `C` (`c`).
+#[must_use]
+pub fn site_c() -> CallSite {
+    CallSite::new(Pid(2), 6, 2)
+}
+
+/// The weakener condition `(u1 = c) ∧ (u2 = 1 − c)` over `p2`'s variables
+/// `x0 = u1`, `x1 = u2`, `x2 = c`.
+#[must_use]
+pub fn loop_condition() -> Expr {
+    Expr::and(
+        Expr::eq(Expr::var(0), Expr::var(2)),
+        Expr::eq(Expr::var(1), Expr::one_minus(Expr::var(2))),
+    )
+}
+
+/// Builds Algorithm 1 as a [`ProgramDef`].
+///
+/// `p2` is the sole decider: once it halts or loops, the outcome is fixed
+/// (any still-pending write by `p0`/`p1` can no longer change which outcome
+/// set the execution landed in).
+#[must_use]
+pub fn weakener() -> ProgramDef {
+    let p0 = vec![
+        Instr::Invoke {
+            line: 3,
+            obj: R,
+            method: MethodId::WRITE,
+            arg: Expr::int(0),
+            bind: None,
+        },
+        Instr::Halt,
+    ];
+    let p1 = vec![
+        Instr::Invoke {
+            line: 3,
+            obj: R,
+            method: MethodId::WRITE,
+            arg: Expr::int(1),
+            bind: None,
+        },
+        Instr::Random {
+            line: 4,
+            choices: 2,
+            bind: 0,
+        },
+        Instr::Invoke {
+            line: 4,
+            obj: C,
+            method: MethodId::WRITE,
+            arg: Expr::var(0),
+            bind: None,
+        },
+        Instr::Halt,
+    ];
+    let p2 = vec![
+        Instr::Invoke {
+            line: 6,
+            obj: R,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(0),
+        },
+        Instr::Invoke {
+            line: 6,
+            obj: R,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(1),
+        },
+        Instr::Invoke {
+            line: 6,
+            obj: C,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(2),
+        },
+        Instr::JumpIfNot {
+            cond: loop_condition(),
+            target: 5,
+        },
+        Instr::LoopForever,
+        Instr::Halt,
+    ];
+    ProgramDef::new(
+        "weakener",
+        vec![p0, p1, p2],
+        vec![0, 1, 3],
+        1,
+        vec![Pid(2)],
+    )
+}
+
+/// A single-writer variant of the weakener, for register constructions with
+/// a designated writer (the Israeli–Li register of Section 5.4, the
+/// original single-writer ABD): `p0` writes 0 and then 1 to `R`
+/// sequentially; `p1` flips the coin and publishes it through `C`; `p2`
+/// behaves exactly as in Algorithm 1.
+///
+/// The adversarial structure is preserved — `p2` loops iff its two reads
+/// straddle `p0`'s second write on exactly the side the coin predicts — so
+/// the same blunting comparison (atomic vs. implementation vs.
+/// implementation`^k`) applies. The bad-outcome predicate is [`is_bad`],
+/// unchanged.
+#[must_use]
+pub fn sw_weakener() -> ProgramDef {
+    let p0 = vec![
+        Instr::Invoke {
+            line: 3,
+            obj: R,
+            method: MethodId::WRITE,
+            arg: Expr::int(0),
+            bind: None,
+        },
+        Instr::Invoke {
+            line: 3,
+            obj: R,
+            method: MethodId::WRITE,
+            arg: Expr::int(1),
+            bind: None,
+        },
+        Instr::Halt,
+    ];
+    let p1 = vec![
+        Instr::Random {
+            line: 4,
+            choices: 2,
+            bind: 0,
+        },
+        Instr::Invoke {
+            line: 4,
+            obj: C,
+            method: MethodId::WRITE,
+            arg: Expr::var(0),
+            bind: None,
+        },
+        Instr::Halt,
+    ];
+    let p2 = vec![
+        Instr::Invoke {
+            line: 6,
+            obj: R,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(0),
+        },
+        Instr::Invoke {
+            line: 6,
+            obj: R,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(1),
+        },
+        Instr::Invoke {
+            line: 6,
+            obj: C,
+            method: MethodId::READ,
+            arg: Expr::Const(Val::Nil),
+            bind: Some(2),
+        },
+        Instr::JumpIfNot {
+            cond: loop_condition(),
+            target: 5,
+        },
+        Instr::LoopForever,
+        Instr::Halt,
+    ];
+    ProgramDef::new(
+        "sw-weakener",
+        vec![p0, p1, p2],
+        vec![0, 1, 3],
+        1,
+        vec![Pid(2)],
+    )
+}
+
+/// The bad-outcome predicate `B`: the values read by `p2` satisfy
+/// `u1 = c ∧ u2 = 1 − c`, i.e. `p2` loops forever.
+///
+/// Outcomes in which some read did not return are not in `B` (the paper's
+/// adversaries use complete schedules, so this is a non-case; it is handled
+/// for robustness).
+#[must_use]
+pub fn is_bad(outcome: &Outcome) -> bool {
+    let (Some(u1), Some(u2), Some(c)) = (
+        outcome.get(&site_u1()).and_then(Val::as_int),
+        outcome.get(&site_u2()).and_then(Val::as_int),
+        outcome.get(&site_c()).and_then(Val::as_int),
+    ) else {
+        return false;
+    };
+    u1 == c && u2 == 1 - c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ProgCmd, ProgState};
+
+    #[test]
+    fn program_shape_matches_algorithm_1() {
+        let def = weakener();
+        assert_eq!(def.process_count(), 3);
+        assert_eq!(def.random_bound(), 1);
+        assert_eq!(def.static_random_count(), 1);
+        assert_eq!(def.deciders(), &[Pid(2)]);
+    }
+
+    #[test]
+    fn bad_predicate_matches_loop_condition() {
+        // u1 = 0, u2 = 1, c = 0  →  bad (p2 loops).
+        let mut o = Outcome::new();
+        o.record(site_u1(), Val::Int(0));
+        o.record(site_u2(), Val::Int(1));
+        o.record(site_c(), Val::Int(0));
+        assert!(is_bad(&o));
+
+        // u1 = 1, u2 = 0, c = 1  →  bad (the symmetric case).
+        let mut o = Outcome::new();
+        o.record(site_u1(), Val::Int(1));
+        o.record(site_u2(), Val::Int(0));
+        o.record(site_c(), Val::Int(1));
+        assert!(is_bad(&o));
+
+        // Equal reads can never be bad.
+        let mut o = Outcome::new();
+        o.record(site_u1(), Val::Int(1));
+        o.record(site_u2(), Val::Int(1));
+        o.record(site_c(), Val::Int(1));
+        assert!(!is_bad(&o));
+
+        // A ⊥ read can never be bad.
+        let mut o = Outcome::new();
+        o.record(site_u1(), Val::Nil);
+        o.record(site_u2(), Val::Int(1));
+        o.record(site_c(), Val::Int(0));
+        assert!(!is_bad(&o));
+
+        // Missing reads are not bad.
+        assert!(!is_bad(&Outcome::new()));
+    }
+
+    #[test]
+    fn interpreter_walk_reproduces_looping_branch() {
+        // Drive p2 by hand: reads return 0, 1 and the coin read returns 0 —
+        // the Figure 1 Case-1 values — and the process must loop.
+        let def = weakener();
+        let mut st = ProgState::new(&def);
+        for val in [Val::Int(0), Val::Int(1), Val::Int(0)] {
+            match st.step(&def, Pid(2)) {
+                ProgCmd::Invoke { .. } => st.on_return(Pid(2), val),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(st.step(&def, Pid(2)), ProgCmd::Looping);
+        assert!(st.is_done(&def));
+        assert!(is_bad(&st.outcome()));
+    }
+
+    #[test]
+    fn interpreter_walk_reproduces_halting_branch() {
+        let def = weakener();
+        let mut st = ProgState::new(&def);
+        for val in [Val::Int(1), Val::Int(1), Val::Int(1)] {
+            match st.step(&def, Pid(2)) {
+                ProgCmd::Invoke { .. } => st.on_return(Pid(2), val),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(st.step(&def, Pid(2)), ProgCmd::Halted);
+        assert!(!is_bad(&st.outcome()));
+    }
+
+    #[test]
+    fn p1_flips_exactly_one_coin() {
+        let def = weakener();
+        let mut st = ProgState::new(&def);
+        match st.step(&def, Pid(1)) {
+            ProgCmd::Invoke { obj, .. } => {
+                assert_eq!(obj, R);
+                st.on_return(Pid(1), Val::Nil);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(st.step(&def, Pid(1)), ProgCmd::Random { choices: 2 });
+        st.on_random(Pid(1), 1);
+        match st.step(&def, Pid(1)) {
+            ProgCmd::Invoke { obj, arg, .. } => {
+                assert_eq!(obj, C);
+                assert_eq!(arg, Val::Int(1), "coin value is written to C");
+                st.on_return(Pid(1), Val::Nil);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(st.step(&def, Pid(1)), ProgCmd::Halted);
+    }
+}

@@ -1,0 +1,310 @@
+//! The Israeli–Li single-writer multi-reader register from single-reader
+//! registers (Section 5.4 of the paper).
+//!
+//! Memory layout for `n` processes with designated writer `w`:
+//!
+//! - `Val[i]` for every process `i`: written by `w`, read **only** by `i`
+//!   (single-reader);
+//! - `Report[i][j]`: written by reader `i`, read only by reader `j` — the
+//!   gossip matrix through which readers forward what they returned.
+//!
+//! All cells hold `(value, seq)` pairs.
+//!
+//! - `Write(v)`: write `(v, seq+1)` into every `Val[i]` — the preamble is
+//!   **empty** (the write has no effect-free prefix to iterate);
+//! - `Read` at `i`: read `Val[i]` and column `i` of `Report` (the
+//!   preamble), pick the pair with the largest sequence number, then write
+//!   it to row `i` of `Report` (the tail) and return the value.
+
+use crate::shm::{CellId, Shm, ShmLayout};
+use crate::twophase::{PreambleStatus, ShmOp};
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+
+fn parse_cell(v: &Val) -> (Val, i64) {
+    let t = v.as_tuple().expect("IL cell holds a pair");
+    (t[0].clone(), t[1].as_int().expect("IL seq is an integer"))
+}
+
+/// Builds a cell pair `(value, seq)`.
+#[must_use]
+pub fn make_cell(value: Val, seq: i64) -> Val {
+    Val::Tuple(vec![value, Val::Int(seq)])
+}
+
+/// Cell index helpers for the Israeli–Li layout rooted at `base` for `n`
+/// processes: `Val[i]` at `base + i`, `Report[i][j]` at `base + n + i·n + j`.
+#[must_use]
+pub fn val_cell(base: usize, i: usize) -> CellId {
+    CellId(base + i)
+}
+
+/// See [`val_cell`].
+#[must_use]
+pub fn report_cell(base: usize, n: usize, i: usize, j: usize) -> CellId {
+    CellId(base + n + i * n + j)
+}
+
+/// A `Read` or `Write` on the Israeli–Li register.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct IlOp {
+    pid: Pid,
+    base: usize,
+    n: usize,
+    /// `Some((v, seq))` for writes.
+    write: Option<(Val, i64)>,
+    /// Preamble/tail progress cursor.
+    idx: usize,
+    /// Best (value, seq) observed by the preamble.
+    best: Option<(Val, i64)>,
+    /// Chosen locals.
+    chosen: Option<(Val, i64)>,
+}
+
+impl IlOp {
+    /// A `Read` by `pid`.
+    #[must_use]
+    pub fn read(pid: Pid, base: usize, n: usize) -> IlOp {
+        IlOp {
+            pid,
+            base,
+            n,
+            write: None,
+            idx: 0,
+            best: None,
+            chosen: None,
+        }
+    }
+
+    /// A `Write(v)` with sequence number `seq` (allocated by the writer).
+    #[must_use]
+    pub fn write(pid: Pid, base: usize, n: usize, v: Val, seq: i64) -> IlOp {
+        IlOp {
+            pid,
+            base,
+            n,
+            write: Some((v, seq)),
+            idx: 0,
+            best: None,
+            chosen: None,
+        }
+    }
+
+    /// The sequence of cells a reader reads: own `Val`, then own `Report`
+    /// column (skipping its own row).
+    fn read_targets(&self) -> Vec<CellId> {
+        let me = self.pid.index();
+        let mut cells = vec![val_cell(self.base, me)];
+        for j in 0..self.n {
+            if j != me {
+                cells.push(report_cell(self.base, self.n, j, me));
+            }
+        }
+        cells
+    }
+
+    /// The cells a reader's tail writes: own `Report` row.
+    fn write_targets(&self) -> Vec<CellId> {
+        let me = self.pid.index();
+        (0..self.n)
+            .filter(|&j| j != me)
+            .map(|j| report_cell(self.base, self.n, me, j))
+            .collect()
+    }
+}
+
+impl ShmOp for IlOp {
+    type Locals = (Val, i64);
+
+    fn preamble_is_empty(&self) -> bool {
+        self.write.is_some()
+    }
+
+    fn empty_locals(&self) -> (Val, i64) {
+        (Val::Nil, 0)
+    }
+
+    fn preamble_step(&mut self, shm: &Shm, layout: &ShmLayout) -> PreambleStatus<(Val, i64)> {
+        let targets = self.read_targets();
+        let (v, s) = parse_cell(&shm.read(layout, targets[self.idx], self.pid));
+        let better = match &self.best {
+            None => true,
+            Some((_, bs)) => s > *bs,
+        };
+        if better {
+            self.best = Some((v, s));
+        }
+        self.idx += 1;
+        if self.idx == targets.len() {
+            PreambleStatus::Done(self.best.clone().expect("at least one cell read"))
+        } else {
+            PreambleStatus::Step
+        }
+    }
+
+    fn reset_preamble(&mut self) {
+        self.idx = 0;
+        self.best = None;
+    }
+
+    fn start_tail(&mut self, locals: (Val, i64)) {
+        self.chosen = Some(locals);
+        self.idx = 0;
+    }
+
+    fn tail_step(&mut self, shm: &mut Shm, layout: &ShmLayout) -> Option<Val> {
+        match &self.write {
+            // Writer: install (v, seq) into every Val[i], one per step.
+            Some((v, seq)) => {
+                let cell = val_cell(self.base, self.idx);
+                shm.write(layout, cell, self.pid, make_cell(v.clone(), *seq));
+                self.idx += 1;
+                (self.idx == self.n).then_some(Val::Nil)
+            }
+            // Reader: forward the chosen pair through own Report row, then
+            // return the value.
+            None => {
+                let (v, s) = self.chosen.clone().expect("tail after start_tail");
+                let targets = self.write_targets();
+                if self.idx < targets.len() {
+                    shm.write(layout, targets[self.idx], self.pid, make_cell(v, s));
+                    self.idx += 1;
+                    (self.idx == targets.len()).then_some(
+                        self.chosen.clone().expect("chosen set").0,
+                    )
+                } else {
+                    // Degenerate n = 1 case: nothing to report.
+                    Some(v)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shm::{CellSpec, ShmLayout};
+    use crate::twophase::{IterEffect, IteratedOp};
+
+    const WRITER: Pid = Pid(0);
+
+    fn setup(n: usize) -> (ShmLayout, Shm) {
+        let mut l = ShmLayout::new();
+        for i in 0..n {
+            l.push(CellSpec::single_reader(
+                WRITER,
+                Pid(i as u32),
+                make_cell(Val::Nil, 0),
+                format!("Val[{i}]"),
+            ));
+        }
+        for i in 0..n {
+            for j in 0..n {
+                l.push(CellSpec::single_reader(
+                    Pid(i as u32),
+                    Pid(j as u32),
+                    make_cell(Val::Nil, 0),
+                    format!("Report[{i}][{j}]"),
+                ));
+            }
+        }
+        let m = l.initial_memory();
+        (l, m)
+    }
+
+    fn run(op: &mut IteratedOp<IlOp>, shm: &mut Shm, l: &ShmLayout) -> Val {
+        for _ in 0..200 {
+            match op.step(shm, l) {
+                IterEffect::Complete(v) => return v,
+                IterEffect::NeedChoice { .. } => op.choose(0),
+                _ => {}
+            }
+        }
+        panic!("operation did not complete");
+    }
+
+    #[test]
+    fn fresh_read_returns_initial() {
+        let (l, mut m) = setup(3);
+        let mut r = IteratedOp::new(IlOp::read(Pid(2), 0, 3), 1);
+        assert_eq!(run(&mut r, &mut m, &l), Val::Nil);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (l, mut m) = setup(3);
+        let mut w = IteratedOp::new(IlOp::write(WRITER, 0, 3, Val::Int(4), 1), 1);
+        assert_eq!(run(&mut w, &mut m, &l), Val::Nil);
+        for reader in 1..3u32 {
+            let mut r = IteratedOp::new(IlOp::read(Pid(reader), 0, 3), 1);
+            assert_eq!(run(&mut r, &mut m, &l), Val::Int(4));
+        }
+    }
+
+    #[test]
+    fn reader_gossip_prevents_new_old_inversion_between_readers() {
+        let (l, mut m) = setup(3);
+        // The writer installs value 1 only at reader 1's Val cell so far
+        // (a partial write).
+        let mut w = IteratedOp::new(IlOp::write(WRITER, 0, 3, Val::Int(1), 1), 1);
+        w.step(&mut m, &l); // writes Val[0]
+        w.step(&mut m, &l); // writes Val[1]
+        // Reader 1 reads now: sees (1, 1) and reports it.
+        let mut r1 = IteratedOp::new(IlOp::read(Pid(1), 0, 3), 1);
+        assert_eq!(run(&mut r1, &mut m, &l), Val::Int(1));
+        // Reader 2's Val[2] is still old, but reader 1's report reaches it.
+        let mut r2 = IteratedOp::new(IlOp::read(Pid(2), 0, 3), 1);
+        assert_eq!(run(&mut r2, &mut m, &l), Val::Int(1));
+    }
+
+    #[test]
+    fn write_preamble_is_empty_and_uniterated() {
+        let op = IlOp::write(WRITER, 0, 3, Val::Int(1), 1);
+        assert!(op.preamble_is_empty());
+        let (l, mut m) = setup(3);
+        let mut wrapped = IteratedOp::new(op, 8);
+        let mut steps = 0;
+        loop {
+            match wrapped.step(&mut m, &l) {
+                IterEffect::Complete(_) => break,
+                IterEffect::NeedChoice { .. } => panic!("writes must not branch"),
+                _ => steps += 1,
+            }
+        }
+        assert_eq!(steps, 2, "a write takes exactly n base steps");
+    }
+
+    #[test]
+    fn reads_have_nontrivial_preamble() {
+        let op = IlOp::read(Pid(1), 0, 3);
+        assert!(!op.preamble_is_empty());
+        assert_eq!(op.read_targets().len(), 3);
+        assert_eq!(op.write_targets().len(), 2);
+    }
+
+    #[test]
+    fn k2_read_can_return_the_older_iteration() {
+        let (l, mut m) = setup(2);
+        let mut r = IteratedOp::new(IlOp::read(Pid(1), 0, 2), 2);
+        // Iteration 1 over the fresh state (2 reads: Val[1], Report[0][1]).
+        r.step(&mut m, &l);
+        r.step(&mut m, &l);
+        // Writer completes a write between iterations.
+        let mut w = IteratedOp::new(IlOp::write(WRITER, 0, 2, Val::Int(7), 1), 1);
+        run(&mut w, &mut m, &l);
+        // Iteration 2 sees the write; then the choice resolves to 0.
+        r.step(&mut m, &l);
+        match r.step(&mut m, &l) {
+            IterEffect::NeedChoice { choices: 2, .. } => r.choose(0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Tail: one report write, then return of the OLD value.
+        let v = loop {
+            if let IterEffect::Complete(v) = r.step(&mut m, &l) {
+                break v;
+            }
+        };
+        assert_eq!(v, Val::Nil);
+    }
+}

@@ -1,0 +1,215 @@
+//! Ready-made shared-memory system configurations for the paper's
+//! shared-memory case studies (Sections 5.2–5.4).
+
+use crate::system::{ShmObjectConfig, ShmSystem, ShmSystemDef};
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+use blunt_programs::{ghw, weakener};
+
+/// The snapshot weakener (`blunt_programs::ghw`) with an **atomic**
+/// snapshot and an atomic coin register — the `P(O_a)` baseline.
+#[must_use]
+pub fn ghw_atomic() -> ShmSystem {
+    ShmSystem::new(ShmSystemDef {
+        program: ghw::snapshot_weakener(),
+        objects: vec![
+            ShmObjectConfig::AtomicSnapshot {
+                components: 3,
+                initial: Val::Nil,
+            },
+            ShmObjectConfig::AtomicRegister {
+                initial: Val::Int(-1),
+            },
+        ],
+    })
+}
+
+/// The snapshot weakener over the Afek et al. snapshot iterated `k` times
+/// (`k = 1` is the untransformed construction of Section 5.2).
+#[must_use]
+pub fn ghw_snapshot(k: u32) -> ShmSystem {
+    ShmSystem::new(ShmSystemDef {
+        program: ghw::snapshot_weakener(),
+        objects: vec![
+            ShmObjectConfig::Snapshot {
+                k,
+                components: 3,
+                initial: Val::Nil,
+                update_preamble: false,
+            },
+            ShmObjectConfig::AtomicRegister {
+                initial: Val::Int(-1),
+            },
+        ],
+    })
+}
+
+/// The weakener (Algorithm 1) with `R` a Vitányi–Awerbuch register iterated
+/// `k` times and `C` atomic.
+#[must_use]
+pub fn weakener_va(k: u32) -> ShmSystem {
+    ShmSystem::new(ShmSystemDef {
+        program: weakener::weakener(),
+        objects: vec![
+            ShmObjectConfig::VitanyiAwerbuch {
+                k,
+                initial: Val::Nil,
+            },
+            ShmObjectConfig::AtomicRegister {
+                initial: Val::Int(-1),
+            },
+        ],
+    })
+}
+
+/// The weakener with both registers atomic, in the shared-memory system
+/// (sanity baseline; equivalent to the message-passing atomic scenario).
+#[must_use]
+pub fn weakener_shm_atomic() -> ShmSystem {
+    ShmSystem::new(ShmSystemDef {
+        program: weakener::weakener(),
+        objects: vec![
+            ShmObjectConfig::AtomicRegister { initial: Val::Nil },
+            ShmObjectConfig::AtomicRegister {
+                initial: Val::Int(-1),
+            },
+        ],
+    })
+}
+
+/// The single-writer weakener with `R` an Israeli–Li register (writer
+/// `p0`) iterated `k` times and `C` atomic.
+#[must_use]
+pub fn sw_weakener_il(k: u32) -> ShmSystem {
+    ShmSystem::new(ShmSystemDef {
+        program: weakener::sw_weakener(),
+        objects: vec![
+            ShmObjectConfig::IsraeliLi {
+                k,
+                writer: Pid(0),
+                initial: Val::Nil,
+            },
+            ShmObjectConfig::AtomicRegister {
+                initial: Val::Int(-1),
+            },
+        ],
+    })
+}
+
+/// The single-writer weakener with `R` atomic — the baseline for
+/// [`sw_weakener_il`].
+#[must_use]
+pub fn sw_weakener_atomic() -> ShmSystem {
+    ShmSystem::new(ShmSystemDef {
+        program: weakener::sw_weakener(),
+        objects: vec![
+            ShmObjectConfig::AtomicRegister { initial: Val::Nil },
+            ShmObjectConfig::AtomicRegister {
+                initial: Val::Int(-1),
+            },
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ratio::Ratio;
+    use blunt_sim::explore::{worst_case_prob, ExploreBudget};
+    use blunt_sim::kernel::run;
+    use blunt_sim::rng::SplitMix64;
+    use blunt_sim::sched::RandomScheduler;
+
+    fn completes(mk: impl Fn() -> ShmSystem, seeds: u64) {
+        for seed in 0..seeds {
+            let report = run(
+                mk(),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                100_000,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(report.outcome.len() >= 3, "seed {seed}: incomplete outcome");
+        }
+    }
+
+    #[test]
+    fn all_scenarios_complete_under_random_schedules() {
+        completes(ghw_atomic, 30);
+        completes(|| ghw_snapshot(1), 30);
+        completes(|| ghw_snapshot(2), 20);
+        completes(|| weakener_va(1), 30);
+        completes(|| weakener_va(2), 20);
+        completes(weakener_shm_atomic, 30);
+        completes(|| sw_weakener_il(1), 30);
+        completes(|| sw_weakener_il(2), 20);
+        completes(sw_weakener_atomic, 30);
+    }
+
+    #[test]
+    fn shm_atomic_weakener_worst_case_is_one_half() {
+        let (p, _) = worst_case_prob(
+            &weakener_shm_atomic(),
+            &blunt_programs::weakener::is_bad,
+            &ExploreBudget::with_max_states(1_000_000),
+        )
+        .unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn k_iterated_scenarios_take_object_random_steps() {
+        let mut saw = false;
+        for seed in 0..20 {
+            let report = run(
+                weakener_va(2),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                true,
+                100_000,
+            )
+            .unwrap();
+            saw |= report.trace.object_random_count() > 0;
+        }
+        assert!(saw, "VA² must flip object coins");
+    }
+
+    #[test]
+    fn untransformed_scenarios_take_no_object_random_steps() {
+        for seed in 0..10 {
+            for sys in [ghw_snapshot(1), weakener_va(1), sw_weakener_il(1)] {
+                let report = run(
+                    sys,
+                    &mut RandomScheduler::new(seed),
+                    &mut SplitMix64::new(seed),
+                    true,
+                    100_000,
+                )
+                .unwrap();
+                assert_eq!(report.trace.object_random_count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn il_writes_are_never_iterated() {
+        // Even with k = 8, IL writes have empty preambles: the only object
+        // random steps come from p2's reads (k = 8 choices each).
+        for seed in 0..10 {
+            let report = run(
+                sw_weakener_il(8),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                true,
+                200_000,
+            )
+            .unwrap();
+            for ev in report.trace.events() {
+                if let blunt_sim::trace::TraceEvent::ObjectRandom { pid, .. } = ev {
+                    assert_eq!(*pid, Pid(2), "only the reader takes object coins");
+                }
+            }
+        }
+    }
+}

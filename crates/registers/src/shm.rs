@@ -1,0 +1,241 @@
+//! The shared-memory substrate: an array of atomic base registers with
+//! per-cell access control.
+//!
+//! Base registers "execute in a single indivisible step" (Section 2.1): one
+//! scheduled event of the composed system performs exactly one cell read or
+//! write. Access control materializes the constructions' assumptions —
+//! *single-writer* registers for the snapshot and Vitányi–Awerbuch
+//! constructions, *single-reader* registers for Israeli–Li — and turns an
+//! implementation that violates its register discipline into a panic
+//! instead of a silent wrong answer.
+
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+use std::fmt;
+
+/// Index of a base register.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CellId(pub usize);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell{}", self.0)
+    }
+}
+
+/// Static per-cell access rights (part of the immutable system definition).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CellSpec {
+    /// Bitmask of processes allowed to write.
+    pub writers: u64,
+    /// Bitmask of processes allowed to read.
+    pub readers: u64,
+    /// Initial contents.
+    pub initial: Val,
+    /// Debug label (e.g. `"M[2]"`, `"Report[1][0]"`).
+    pub label: String,
+}
+
+impl CellSpec {
+    /// A cell writable by `writers` and readable by `readers`.
+    #[must_use]
+    pub fn new(writers: &[Pid], readers: &[Pid], initial: Val, label: String) -> CellSpec {
+        CellSpec {
+            writers: mask(writers),
+            readers: mask(readers),
+            initial,
+            label,
+        }
+    }
+
+    /// A multi-reader cell with a single writer.
+    #[must_use]
+    pub fn single_writer(writer: Pid, n: usize, initial: Val, label: String) -> CellSpec {
+        CellSpec {
+            writers: 1 << writer.index(),
+            readers: all_mask(n),
+            initial,
+            label,
+        }
+    }
+
+    /// A single-writer single-reader cell.
+    #[must_use]
+    pub fn single_reader(writer: Pid, reader: Pid, initial: Val, label: String) -> CellSpec {
+        CellSpec {
+            writers: 1 << writer.index(),
+            readers: 1 << reader.index(),
+            initial,
+            label,
+        }
+    }
+}
+
+fn mask(pids: &[Pid]) -> u64 {
+    pids.iter().fold(0, |m, p| m | (1 << p.index()))
+}
+
+fn all_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// The immutable memory layout: cell specifications in cell-id order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ShmLayout {
+    cells: Vec<CellSpec>,
+}
+
+impl ShmLayout {
+    /// An empty layout.
+    #[must_use]
+    pub fn new() -> ShmLayout {
+        ShmLayout::default()
+    }
+
+    /// Appends a cell and returns its id.
+    pub fn push(&mut self, spec: CellSpec) -> CellId {
+        self.cells.push(spec);
+        CellId(self.cells.len() - 1)
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if no cells are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell specification accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn spec(&self, id: CellId) -> &CellSpec {
+        &self.cells[id.0]
+    }
+
+    /// Builds the initial memory for this layout.
+    #[must_use]
+    pub fn initial_memory(&self) -> Shm {
+        Shm {
+            cells: self.cells.iter().map(|c| c.initial.clone()).collect(),
+        }
+    }
+}
+
+/// The mutable memory: one value per cell.
+///
+/// Reads and writes check the layout's access rights; a violation is a bug
+/// in a register construction and panics.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Shm {
+    cells: Vec<Val>,
+}
+
+impl Shm {
+    /// Atomically reads `cell` as process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` lacks read access or the cell does not exist.
+    #[must_use]
+    pub fn read(&self, layout: &ShmLayout, cell: CellId, pid: Pid) -> Val {
+        let spec = layout.spec(cell);
+        assert!(
+            spec.readers & (1 << pid.index()) != 0,
+            "{pid} reads {} ({}) without permission",
+            cell,
+            spec.label
+        );
+        self.cells[cell.0].clone()
+    }
+
+    /// Atomically writes `cell` as process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` lacks write access or the cell does not exist.
+    pub fn write(&mut self, layout: &ShmLayout, cell: CellId, pid: Pid, val: Val) {
+        let spec = layout.spec(cell);
+        assert!(
+            spec.writers & (1 << pid.index()) != 0,
+            "{pid} writes {} ({}) without permission",
+            cell,
+            spec.label
+        );
+        self.cells[cell.0] = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ShmLayout {
+        let mut l = ShmLayout::new();
+        l.push(CellSpec::single_writer(Pid(0), 3, Val::Nil, "M[0]".into()));
+        l.push(CellSpec::single_reader(
+            Pid(0),
+            Pid(2),
+            Val::Int(7),
+            "V[2]".into(),
+        ));
+        l
+    }
+
+    #[test]
+    fn initial_memory_matches_layout() {
+        let l = layout();
+        let m = l.initial_memory();
+        assert_eq!(m.read(&l, CellId(0), Pid(1)), Val::Nil);
+        assert_eq!(m.read(&l, CellId(1), Pid(2)), Val::Int(7));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn writes_take_effect() {
+        let l = layout();
+        let mut m = l.initial_memory();
+        m.write(&l, CellId(0), Pid(0), Val::Int(3));
+        assert_eq!(m.read(&l, CellId(0), Pid(2)), Val::Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "without permission")]
+    fn single_writer_violation_panics() {
+        let l = layout();
+        let mut m = l.initial_memory();
+        m.write(&l, CellId(0), Pid(1), Val::Int(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "without permission")]
+    fn single_reader_violation_panics() {
+        let l = layout();
+        let m = l.initial_memory();
+        let _ = m.read(&l, CellId(1), Pid(1));
+    }
+
+    #[test]
+    fn masks_cover_declared_processes() {
+        let spec = CellSpec::new(
+            &[Pid(0), Pid(2)],
+            &[Pid(1)],
+            Val::Nil,
+            "x".into(),
+        );
+        assert_eq!(spec.writers, 0b101);
+        assert_eq!(spec.readers, 0b010);
+    }
+}

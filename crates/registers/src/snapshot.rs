@@ -1,0 +1,450 @@
+//! The Afek–Attiya–Dolev–Gafni–Merritt–Shavit atomic snapshot from
+//! single-writer registers (Section 5.2 of the paper).
+//!
+//! Memory layout: one single-writer cell `M[i]` per component, holding a
+//! triple `(data, seq, view)` — the component value, the writer's sequence
+//! number, and the view embedded by the writer's most recent `Update`.
+//!
+//! - `Scan` repeatedly *collects* (reads all cells, one base step each);
+//!   it returns after a **clean double collect** (two successive collects
+//!   with equal sequence numbers), or **borrows** the embedded view of a
+//!   process it has seen move twice.
+//! - `Update(v)` at component `i` performs an embedded scan and then writes
+//!   `(v, seq+1, view)` into `M[i]` in a single base step.
+//!
+//! Preamble mapping (Section 5.2): `Scan`'s preamble extends to just before
+//! its return — the whole collect loop is effect-free (reads only, enforced
+//! here by `&Shm`). `Update`'s preamble is empty by default; the *extended*
+//! mapping (`update_preamble = true`) stretches it over the embedded scan,
+//! which the paper notes is also valid since an update linearizes only at
+//! its write.
+
+use crate::shm::{CellId, Shm, ShmLayout};
+use crate::twophase::{PreambleStatus, ShmOp};
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+
+/// Parses a cell triple `(data, seq, view)`.
+fn parse_cell(v: &Val) -> (Val, i64, Vec<Val>) {
+    let t = v.as_tuple().expect("snapshot cell holds a triple");
+    let data = t[0].clone();
+    let seq = t[1].as_int().expect("snapshot seq is an integer");
+    let view = t[2].as_tuple().expect("snapshot view is a tuple").to_vec();
+    (data, seq, view)
+}
+
+/// Builds a cell triple.
+#[must_use]
+pub fn make_cell(data: Val, seq: i64, view: Vec<Val>) -> Val {
+    Val::Tuple(vec![data, Val::Int(seq), Val::Tuple(view)])
+}
+
+/// The collect-loop engine shared by `Scan` and `Update`'s embedded scan.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ScanMachine {
+    /// First cell of the snapshot's region.
+    base: usize,
+    /// Number of components.
+    comps: usize,
+    /// Next cell index to read within the current collect.
+    idx: usize,
+    /// The previous complete collect, if any.
+    prev: Option<Vec<(Val, i64, Vec<Val>)>>,
+    /// The collect being accumulated.
+    cur: Vec<(Val, i64, Vec<Val>)>,
+    /// How often each component was seen to move.
+    moved: Vec<u8>,
+}
+
+impl ScanMachine {
+    /// A fresh scan over cells `base..base+comps`.
+    #[must_use]
+    pub fn new(base: usize, comps: usize) -> ScanMachine {
+        ScanMachine {
+            base,
+            comps,
+            idx: 0,
+            prev: None,
+            cur: Vec::new(),
+            moved: vec![0; comps],
+        }
+    }
+
+    /// One base read; returns the scan's view when it completes.
+    pub fn step(&mut self, shm: &Shm, layout: &ShmLayout, pid: Pid) -> Option<Vec<Val>> {
+        let cell = CellId(self.base + self.idx);
+        self.cur.push(parse_cell(&shm.read(layout, cell, pid)));
+        self.idx += 1;
+        if self.idx < self.comps {
+            return None;
+        }
+        // A collect just completed.
+        let cur = std::mem::take(&mut self.cur);
+        self.idx = 0;
+        let Some(prev) = self.prev.take() else {
+            self.prev = Some(cur);
+            return None;
+        };
+        if prev
+            .iter()
+            .zip(cur.iter())
+            .all(|(a, b)| a.1 == b.1)
+        {
+            // Clean double collect: return the direct view.
+            return Some(cur.into_iter().map(|(d, _, _)| d).collect());
+        }
+        for j in 0..self.comps {
+            if prev[j].1 != cur[j].1 {
+                if self.moved[j] >= 1 {
+                    // Component j moved twice during this scan: its embedded
+                    // view was written entirely within our timespan — borrow
+                    // it.
+                    return Some(cur[j].2.clone());
+                }
+                self.moved[j] += 1;
+            }
+        }
+        self.prev = Some(cur);
+        None
+    }
+}
+
+/// A `Scan` or `Update` operation on the snapshot.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SnapshotOp {
+    /// `Scan()`.
+    Scan {
+        /// Invoking process.
+        pid: Pid,
+        /// Collect engine (the preamble).
+        scan: ScanMachine,
+        /// The chosen view, installed by `start_tail`.
+        view: Option<Vec<Val>>,
+    },
+    /// `Update(component, value)`.
+    Update {
+        /// Invoking process.
+        pid: Pid,
+        /// First cell of the region.
+        base: usize,
+        /// Number of components.
+        comps: usize,
+        /// Component to write (must be writable by `pid`).
+        component: usize,
+        /// New value.
+        value: Val,
+        /// This writer's next sequence number.
+        seq: i64,
+        /// Whether the embedded scan is part of the preamble (the extended
+        /// mapping of Section 5.2) or of the tail (the default mapping).
+        scan_in_preamble: bool,
+        /// Embedded scan engine.
+        scan: ScanMachine,
+        /// The view to embed, once known.
+        view: Option<Vec<Val>>,
+        /// Set once the final write has happened.
+        written: bool,
+    },
+}
+
+impl SnapshotOp {
+    /// A new `Scan` over cells `base..base+comps`.
+    #[must_use]
+    pub fn scan(pid: Pid, base: usize, comps: usize) -> SnapshotOp {
+        SnapshotOp::Scan {
+            pid,
+            scan: ScanMachine::new(base, comps),
+            view: None,
+        }
+    }
+
+    /// A new `Update` writing `value` to `component` with sequence number
+    /// `seq`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn update(
+        pid: Pid,
+        base: usize,
+        comps: usize,
+        component: usize,
+        value: Val,
+        seq: i64,
+        scan_in_preamble: bool,
+    ) -> SnapshotOp {
+        SnapshotOp::Update {
+            pid,
+            base,
+            comps,
+            component,
+            value,
+            seq,
+            scan_in_preamble,
+            scan: ScanMachine::new(base, comps),
+            view: None,
+            written: false,
+        }
+    }
+}
+
+impl ShmOp for SnapshotOp {
+    /// `Some(view)` — for scans, the view to return; for updates, the view
+    /// to embed. `None` for updates whose embedded scan runs in the tail.
+    type Locals = Option<Vec<Val>>;
+
+    fn preamble_is_empty(&self) -> bool {
+        matches!(
+            self,
+            SnapshotOp::Update {
+                scan_in_preamble: false,
+                ..
+            }
+        )
+    }
+
+    fn empty_locals(&self) -> Option<Vec<Val>> {
+        None
+    }
+
+    fn preamble_step(
+        &mut self,
+        shm: &Shm,
+        layout: &ShmLayout,
+    ) -> PreambleStatus<Option<Vec<Val>>> {
+        match self {
+            SnapshotOp::Scan { pid, scan, .. } => match scan.step(shm, layout, *pid) {
+                Some(view) => PreambleStatus::Done(Some(view)),
+                None => PreambleStatus::Step,
+            },
+            SnapshotOp::Update {
+                pid,
+                scan,
+                scan_in_preamble,
+                ..
+            } => {
+                assert!(
+                    *scan_in_preamble,
+                    "preamble step on an update with an empty preamble"
+                );
+                match scan.step(shm, layout, *pid) {
+                    Some(view) => PreambleStatus::Done(Some(view)),
+                    None => PreambleStatus::Step,
+                }
+            }
+        }
+    }
+
+    fn reset_preamble(&mut self) {
+        match self {
+            SnapshotOp::Scan { scan, .. } | SnapshotOp::Update { scan, .. } => {
+                let (base, comps) = (scan.base, scan.comps);
+                *scan = ScanMachine::new(base, comps);
+            }
+        }
+    }
+
+    fn start_tail(&mut self, locals: Option<Vec<Val>>) {
+        match self {
+            SnapshotOp::Scan { view, .. } => {
+                *view = Some(locals.expect("scan preamble produces a view"));
+            }
+            SnapshotOp::Update { view, .. } => *view = locals,
+        }
+    }
+
+    fn tail_step(&mut self, shm: &mut Shm, layout: &ShmLayout) -> Option<Val> {
+        match self {
+            // A scan's tail is just its return.
+            SnapshotOp::Scan { view, .. } => {
+                Some(Val::Tuple(view.clone().expect("tail after start_tail")))
+            }
+            SnapshotOp::Update {
+                pid,
+                base,
+                component,
+                value,
+                seq,
+                scan,
+                view,
+                written,
+                ..
+            } => {
+                assert!(!*written, "update stepped past its write");
+                // Run the embedded scan in the tail if the preamble did not.
+                let v = match view {
+                    Some(v) => v.clone(),
+                    None => match scan.step(shm, layout, *pid) {
+                        Some(v) => {
+                            *view = Some(v.clone());
+                            return None; // the write is the next step
+                        }
+                        None => return None,
+                    },
+                };
+                let cell = CellId(*base + *component);
+                shm.write(layout, cell, *pid, make_cell(value.clone(), *seq, v));
+                *written = true;
+                Some(Val::Nil)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shm::{CellSpec, ShmLayout};
+    use crate::twophase::{IterEffect, IteratedOp};
+
+    fn setup(comps: usize) -> (ShmLayout, Shm) {
+        let mut l = ShmLayout::new();
+        for i in 0..comps {
+            l.push(CellSpec::single_writer(
+                Pid(i as u32),
+                comps.max(3),
+                make_cell(Val::Nil, 0, vec![Val::Nil; comps]),
+                format!("M[{i}]"),
+            ));
+        }
+        let m = l.initial_memory();
+        (l, m)
+    }
+
+    fn run_to_completion(op: &mut IteratedOp<SnapshotOp>, shm: &mut Shm, l: &ShmLayout) -> Val {
+        for _ in 0..1000 {
+            match op.step(shm, l) {
+                IterEffect::Complete(v) => return v,
+                IterEffect::NeedChoice { .. } => op.choose(0),
+                _ => {}
+            }
+        }
+        panic!("operation did not complete");
+    }
+
+    #[test]
+    fn solo_scan_returns_initial_view() {
+        let (l, mut m) = setup(2);
+        let mut op = IteratedOp::new(SnapshotOp::scan(Pid(2), 0, 2), 1);
+        let v = run_to_completion(&mut op, &mut m, &l);
+        assert_eq!(v, Val::Tuple(vec![Val::Nil, Val::Nil]));
+    }
+
+    #[test]
+    fn update_then_scan_sees_the_value() {
+        let (l, mut m) = setup(2);
+        let mut up = IteratedOp::new(
+            SnapshotOp::update(Pid(0), 0, 2, 0, Val::Int(7), 1, false),
+            1,
+        );
+        assert_eq!(run_to_completion(&mut up, &mut m, &l), Val::Nil);
+        let mut sc = IteratedOp::new(SnapshotOp::scan(Pid(2), 0, 2), 1);
+        let v = run_to_completion(&mut sc, &mut m, &l);
+        assert_eq!(v, Val::Tuple(vec![Val::Int(7), Val::Nil]));
+    }
+
+    #[test]
+    fn interleaved_writer_forces_extra_collects_and_borrowing() {
+        // Drive a scan step-by-step while component 0 keeps moving: after
+        // seeing it move twice, the scan borrows the embedded view.
+        let (l, mut m) = setup(2);
+        let mut sc = IteratedOp::new(SnapshotOp::scan(Pid(2), 0, 2), 1);
+
+        let embedded = vec![Val::Int(42), Val::Int(43)];
+        let mut seq = 1;
+        let mut write = |mem: &mut Shm, view: Vec<Val>| {
+            mem.write(
+                &l,
+                CellId(0),
+                Pid(0),
+                make_cell(Val::Int(seq), seq, view),
+            );
+            seq += 1;
+        };
+
+        // First collect (2 reads).
+        sc.step(&mut m, &l);
+        sc.step(&mut m, &l);
+        // Writer moves once before the second collect.
+        write(&mut m, vec![Val::Nil, Val::Nil]);
+        sc.step(&mut m, &l);
+        sc.step(&mut m, &l);
+        // Writer moves again, embedding a recognizable view.
+        write(&mut m, embedded.clone());
+        // Third collect observes the second move: borrow the embedded view.
+        let mut result = None;
+        for _ in 0..10 {
+            match sc.step(&mut m, &l) {
+                IterEffect::PreamblePassed { .. } => {}
+                IterEffect::Complete(v) => {
+                    result = Some(v);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(result, Some(Val::Tuple(embedded)));
+    }
+
+    #[test]
+    fn update_with_preamble_scan_marks_preamble() {
+        let (l, mut m) = setup(2);
+        let mut up = IteratedOp::new(
+            SnapshotOp::update(Pid(1), 0, 2, 1, Val::Int(5), 1, true),
+            1,
+        );
+        let mut saw_preamble = false;
+        for _ in 0..100 {
+            match up.step(&mut m, &l) {
+                IterEffect::PreamblePassed { .. } => saw_preamble = true,
+                IterEffect::Complete(v) => {
+                    assert_eq!(v, Val::Nil);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_preamble, "extended-preamble update must mark Π");
+        let (data, seq, _) = parse_cell(&m.read(&l, CellId(1), Pid(1)));
+        assert_eq!(data, Val::Int(5));
+        assert_eq!(seq, 1);
+    }
+
+    #[test]
+    fn default_update_has_empty_preamble() {
+        let op = SnapshotOp::update(Pid(0), 0, 2, 0, Val::Int(1), 1, false);
+        assert!(op.preamble_is_empty());
+        // Wrapping with any k leaves it unchanged: no choice is ever needed.
+        let (l, mut m) = setup(2);
+        let mut wrapped = IteratedOp::new(op, 4);
+        let mut completed = false;
+        for _ in 0..100 {
+            match wrapped.step(&mut m, &l) {
+                IterEffect::Complete(_) => {
+                    completed = true;
+                    break;
+                }
+                IterEffect::NeedChoice { .. } => panic!("empty preamble must not branch"),
+                _ => {}
+            }
+        }
+        assert!(completed);
+    }
+
+    #[test]
+    fn scan_k2_requests_a_choice_between_iterations() {
+        let (l, mut m) = setup(2);
+        let mut sc = IteratedOp::new(SnapshotOp::scan(Pid(2), 0, 2), 2);
+        let mut chosen = false;
+        for _ in 0..100 {
+            match sc.step(&mut m, &l) {
+                IterEffect::NeedChoice { choices, .. } => {
+                    assert_eq!(choices, 2);
+                    sc.choose(1);
+                    chosen = true;
+                }
+                IterEffect::Complete(_) => break,
+                _ => {}
+            }
+        }
+        assert!(chosen);
+    }
+}

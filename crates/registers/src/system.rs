@@ -1,0 +1,547 @@
+//! The composed shared-memory system: a randomized program over a set of
+//! register/snapshot objects (atomic baselines or the step-machine
+//! constructions of this crate), implementing [`blunt_sim::System`].
+//!
+//! Scheduling granularity is one base-register access per adversary event
+//! (`Obj(pid)` steps process `pid`'s active operation by one access), which
+//! is exactly the interleaving power the paper's adversary has over
+//! shared-memory implementations.
+
+use crate::israeli_li::{self, IlOp};
+use crate::shm::{CellSpec, Shm, ShmLayout};
+use crate::snapshot::{self, SnapshotOp};
+use crate::twophase::{IterEffect, IteratedOp};
+use crate::vitanyi_awerbuch::{self, VaOp};
+use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+use blunt_programs::{ProgCmd, ProgState, ProgramDef};
+use blunt_sim::system::{Effects, RandomKind, Status, System};
+use blunt_sim::trace::TraceEvent;
+use std::rc::Rc;
+
+/// Configuration of one shared object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ShmObjectConfig {
+    /// An atomic register (the `O_a` baseline).
+    AtomicRegister {
+        /// Initial value.
+        initial: Val,
+    },
+    /// An atomic snapshot (the `O_a` baseline for snapshot programs).
+    AtomicSnapshot {
+        /// Number of components.
+        components: usize,
+        /// Initial component value.
+        initial: Val,
+    },
+    /// The Afek et al. snapshot, preamble-iterated `k` times.
+    Snapshot {
+        /// Preamble iterations (`k = 1` = the untransformed construction).
+        k: u32,
+        /// Number of components (component `i` is writable by process `i`).
+        components: usize,
+        /// Initial component value.
+        initial: Val,
+        /// Use the extended preamble mapping that covers `Update`'s
+        /// embedded scan (Section 5.2's remark).
+        update_preamble: bool,
+    },
+    /// The Vitányi–Awerbuch MWMR register, preamble-iterated `k` times.
+    VitanyiAwerbuch {
+        /// Preamble iterations.
+        k: u32,
+        /// Initial value.
+        initial: Val,
+    },
+    /// The Israeli–Li SWMR register, preamble-iterated `k` times.
+    IsraeliLi {
+        /// Preamble iterations (applies to reads; writes have empty
+        /// preambles).
+        k: u32,
+        /// The designated writer.
+        writer: Pid,
+        /// Initial value.
+        initial: Val,
+    },
+}
+
+/// The immutable definition of a composed shared-memory system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ShmSystemDef {
+    /// The randomized program.
+    pub program: ProgramDef,
+    /// One configuration per object id.
+    pub objects: Vec<ShmObjectConfig>,
+}
+
+/// Definition plus derived layout (built once, shared via `Rc`).
+#[derive(PartialEq, Eq, Hash, Debug)]
+struct Built {
+    def: ShmSystemDef,
+    layout: ShmLayout,
+    /// First cell of each object's region (`usize::MAX` for atomic objects).
+    bases: Vec<usize>,
+}
+
+/// A schedulable event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ShmEvent {
+    /// Process `pid` takes its next program step.
+    Prog(Pid),
+    /// Process `pid` executes one base access of its active operation.
+    Obj(Pid),
+}
+
+/// Whose random instruction the system is suspended at.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Awaiting {
+    Program { pid: Pid, choices: usize },
+    Object { pid: Pid, choices: usize },
+}
+
+/// An active operation at a process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum OpImpl {
+    Snap(IteratedOp<SnapshotOp>),
+    Va(IteratedOp<VaOp>),
+    Il(IteratedOp<IlOp>),
+}
+
+impl OpImpl {
+    fn step(&mut self, shm: &mut Shm, layout: &ShmLayout) -> IterEffect {
+        match self {
+            OpImpl::Snap(op) => op.step(shm, layout),
+            OpImpl::Va(op) => op.step(shm, layout),
+            OpImpl::Il(op) => op.step(shm, layout),
+        }
+    }
+
+    fn choose(&mut self, choice: usize) {
+        match self {
+            OpImpl::Snap(op) => op.choose(choice),
+            OpImpl::Va(op) => op.choose(choice),
+            OpImpl::Il(op) => op.choose(choice),
+        }
+    }
+
+    fn in_preamble(&self) -> bool {
+        match self {
+            OpImpl::Snap(op) => op.in_preamble(),
+            OpImpl::Va(op) => op.in_preamble(),
+            OpImpl::Il(op) => op.in_preamble(),
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Client {
+    inv: InvId,
+    obj: ObjId,
+    op: OpImpl,
+}
+
+/// The composed shared-memory system state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ShmSystem {
+    built: Rc<Built>,
+    prog: ProgState,
+    shm: Shm,
+    /// State of atomic registers (`Val::Nil` placeholder otherwise).
+    atomic_regs: Vec<Val>,
+    /// State of atomic snapshots (empty otherwise).
+    atomic_snaps: Vec<Vec<Val>>,
+    clients: Vec<Option<Client>>,
+    /// Per-object per-process sequence counters (snapshot updaters, the
+    /// Israeli–Li writer).
+    seqs: Vec<Vec<i64>>,
+    awaiting: Option<Awaiting>,
+    inv_counters: Vec<u32>,
+}
+
+impl ShmSystem {
+    /// Builds the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program references an unconfigured object, a
+    /// non-writer writes an Israeli–Li register at runtime, or a snapshot
+    /// component is out of range at runtime.
+    #[must_use]
+    pub fn new(def: ShmSystemDef) -> ShmSystem {
+        let n = def.program.process_count();
+        let mut layout = ShmLayout::new();
+        let mut bases = Vec::with_capacity(def.objects.len());
+        for (oid, cfg) in def.objects.iter().enumerate() {
+            match cfg {
+                ShmObjectConfig::AtomicRegister { .. }
+                | ShmObjectConfig::AtomicSnapshot { .. } => bases.push(usize::MAX),
+                ShmObjectConfig::Snapshot {
+                    components,
+                    initial,
+                    ..
+                } => {
+                    let base = layout.len();
+                    for i in 0..*components {
+                        layout.push(CellSpec::single_writer(
+                            Pid(i as u32),
+                            n,
+                            snapshot::make_cell(
+                                initial.clone(),
+                                0,
+                                vec![initial.clone(); *components],
+                            ),
+                            format!("S{oid}.M[{i}]"),
+                        ));
+                    }
+                    bases.push(base);
+                }
+                ShmObjectConfig::VitanyiAwerbuch { initial, .. } => {
+                    let base = layout.len();
+                    for i in 0..n {
+                        layout.push(CellSpec::single_writer(
+                            Pid(i as u32),
+                            n,
+                            vitanyi_awerbuch::make_cell(initial.clone(), 0, 0),
+                            format!("R{oid}.Val[{i}]"),
+                        ));
+                    }
+                    bases.push(base);
+                }
+                ShmObjectConfig::IsraeliLi {
+                    writer, initial, ..
+                } => {
+                    let base = layout.len();
+                    for i in 0..n {
+                        layout.push(CellSpec::single_reader(
+                            *writer,
+                            Pid(i as u32),
+                            israeli_li::make_cell(initial.clone(), 0),
+                            format!("R{oid}.Val[{i}]"),
+                        ));
+                    }
+                    for i in 0..n {
+                        for j in 0..n {
+                            layout.push(CellSpec::single_reader(
+                                Pid(i as u32),
+                                Pid(j as u32),
+                                israeli_li::make_cell(initial.clone(), 0),
+                                format!("R{oid}.Report[{i}][{j}]"),
+                            ));
+                        }
+                    }
+                    bases.push(base);
+                }
+            }
+        }
+        let atomic_regs = def
+            .objects
+            .iter()
+            .map(|c| match c {
+                ShmObjectConfig::AtomicRegister { initial } => initial.clone(),
+                _ => Val::Nil,
+            })
+            .collect();
+        let atomic_snaps = def
+            .objects
+            .iter()
+            .map(|c| match c {
+                ShmObjectConfig::AtomicSnapshot {
+                    components,
+                    initial,
+                } => vec![initial.clone(); *components],
+                _ => Vec::new(),
+            })
+            .collect();
+        let prog = ProgState::new(&def.program);
+        let objects = def.objects.len();
+        let shm = layout.initial_memory();
+        ShmSystem {
+            built: Rc::new(Built { def, layout, bases }),
+            prog,
+            shm,
+            atomic_regs,
+            atomic_snaps,
+            clients: vec![None; n],
+            seqs: vec![vec![0; n]; objects],
+            awaiting: None,
+            inv_counters: vec![0; n],
+        }
+    }
+
+    /// The program state (for assertions in tests).
+    #[must_use]
+    pub fn prog(&self) -> &ProgState {
+        &self.prog
+    }
+
+    /// Returns `true` if `pid`'s active operation is still in its preamble.
+    #[must_use]
+    pub fn in_preamble(&self, pid: Pid) -> bool {
+        self.clients[pid.index()]
+            .as_ref()
+            .is_some_and(|c| c.op.in_preamble())
+    }
+
+    fn fresh_inv(&mut self, pid: Pid) -> InvId {
+        let c = &mut self.inv_counters[pid.index()];
+        *c += 1;
+        InvId((u64::from(pid.0) << 32) | u64::from(*c))
+    }
+
+    fn handle_invoke(
+        &mut self,
+        pid: Pid,
+        obj: ObjId,
+        method: MethodId,
+        arg: Val,
+        site: blunt_core::ids::CallSite,
+        fx: &mut Effects,
+    ) {
+        let inv = self.fresh_inv(pid);
+        fx.push_with(|| TraceEvent::Call {
+            inv,
+            pid,
+            obj,
+            method,
+            arg: arg.clone(),
+            site,
+        });
+        let n = self.built.def.program.process_count();
+        let cfg = self.built.def.objects[obj.index()].clone();
+        let base = self.built.bases[obj.index()];
+        let op = match (&cfg, method) {
+            (ShmObjectConfig::AtomicRegister { .. }, MethodId::READ) => {
+                let v = self.atomic_regs[obj.index()].clone();
+                self.finish_atomic(pid, inv, v, fx);
+                return;
+            }
+            (ShmObjectConfig::AtomicRegister { .. }, MethodId::WRITE) => {
+                self.atomic_regs[obj.index()] = arg;
+                self.finish_atomic(pid, inv, Val::Nil, fx);
+                return;
+            }
+            (ShmObjectConfig::AtomicSnapshot { .. }, MethodId::SCAN) => {
+                let v = Val::Tuple(self.atomic_snaps[obj.index()].clone());
+                self.finish_atomic(pid, inv, v, fx);
+                return;
+            }
+            (ShmObjectConfig::AtomicSnapshot { components, .. }, MethodId::UPDATE) => {
+                let (idx, v) = parse_update_arg(&arg, *components);
+                self.atomic_snaps[obj.index()][idx] = v;
+                self.finish_atomic(pid, inv, Val::Nil, fx);
+                return;
+            }
+            (
+                ShmObjectConfig::Snapshot { k, components, .. },
+                MethodId::SCAN,
+            ) => OpImpl::Snap(IteratedOp::new(
+                SnapshotOp::scan(pid, base, *components),
+                *k,
+            )),
+            (
+                ShmObjectConfig::Snapshot {
+                    k,
+                    components,
+                    update_preamble,
+                    ..
+                },
+                MethodId::UPDATE,
+            ) => {
+                let (idx, v) = parse_update_arg(&arg, *components);
+                let seq = &mut self.seqs[obj.index()][pid.index()];
+                *seq += 1;
+                OpImpl::Snap(IteratedOp::new(
+                    SnapshotOp::update(pid, base, *components, idx, v, *seq, *update_preamble),
+                    *k,
+                ))
+            }
+            (ShmObjectConfig::VitanyiAwerbuch { k, .. }, MethodId::READ) => {
+                OpImpl::Va(IteratedOp::new(VaOp::read(pid, base, n), *k))
+            }
+            (ShmObjectConfig::VitanyiAwerbuch { k, .. }, MethodId::WRITE) => {
+                OpImpl::Va(IteratedOp::new(VaOp::write(pid, base, n, arg), *k))
+            }
+            (ShmObjectConfig::IsraeliLi { k, .. }, MethodId::READ) => {
+                OpImpl::Il(IteratedOp::new(IlOp::read(pid, base, n), *k))
+            }
+            (ShmObjectConfig::IsraeliLi { k, writer, .. }, MethodId::WRITE) => {
+                assert_eq!(
+                    *writer, pid,
+                    "process {pid} writes Israeli–Li register {obj} owned by {writer}"
+                );
+                let seq = &mut self.seqs[obj.index()][pid.index()];
+                *seq += 1;
+                OpImpl::Il(IteratedOp::new(IlOp::write(pid, base, n, arg, *seq), *k))
+            }
+            (cfg, m) => panic!("object {obj} ({cfg:?}) does not implement {m}"),
+        };
+        self.clients[pid.index()] = Some(Client { inv, obj, op });
+    }
+
+    fn finish_atomic(&mut self, pid: Pid, inv: InvId, ret: Val, fx: &mut Effects) {
+        fx.push_with(|| TraceEvent::Return {
+            inv,
+            pid,
+            val: ret.clone(),
+        });
+        self.prog.on_return(pid, ret);
+    }
+
+    fn handle_prog_step(&mut self, pid: Pid, fx: &mut Effects) {
+        let built = Rc::clone(&self.built);
+        match self.prog.step(&built.def.program, pid) {
+            ProgCmd::Invoke {
+                site,
+                obj,
+                method,
+                arg,
+            } => self.handle_invoke(pid, obj, method, arg, site, fx),
+            ProgCmd::Random { choices } => {
+                self.awaiting = Some(Awaiting::Program { pid, choices });
+            }
+            ProgCmd::Halted => fx.push(TraceEvent::Internal {
+                pid,
+                label: "halt".into(),
+            }),
+            ProgCmd::Looping => fx.push(TraceEvent::Internal {
+                pid,
+                label: "loop forever".into(),
+            }),
+        }
+    }
+
+    fn handle_obj_step(&mut self, pid: Pid, fx: &mut Effects) {
+        let built = Rc::clone(&self.built);
+        let client = self.clients[pid.index()]
+            .as_mut()
+            .expect("Obj event without an active operation");
+        let inv = client.inv;
+        match client.op.step(&mut self.shm, &built.layout) {
+            IterEffect::Continue => {
+                fx.push_with(|| TraceEvent::Internal {
+                    pid,
+                    label: "base access".into(),
+                });
+            }
+            IterEffect::PreamblePassed { iteration } => {
+                fx.push(TraceEvent::PreamblePassed {
+                    inv,
+                    pid,
+                    iteration,
+                });
+            }
+            IterEffect::NeedChoice { choices, iteration } => {
+                fx.push(TraceEvent::PreamblePassed {
+                    inv,
+                    pid,
+                    iteration,
+                });
+                self.awaiting = Some(Awaiting::Object {
+                    pid,
+                    choices: choices as usize,
+                });
+            }
+            IterEffect::Complete(ret) => {
+                fx.push_with(|| TraceEvent::Return {
+                    inv,
+                    pid,
+                    val: ret.clone(),
+                });
+                self.clients[pid.index()] = None;
+                self.prog.on_return(pid, ret);
+            }
+        }
+    }
+}
+
+fn parse_update_arg(arg: &Val, components: usize) -> (usize, Val) {
+    let (idx, v) = arg.as_pair().expect("Update takes a (component, value) pair");
+    let i = usize::try_from(idx.as_int().expect("component index is an integer"))
+        .expect("component index is non-negative");
+    assert!(i < components, "component {i} out of range");
+    (i, v.clone())
+}
+
+impl System for ShmSystem {
+    type Event = ShmEvent;
+
+    fn process_count(&self) -> usize {
+        self.built.def.program.process_count()
+    }
+
+    fn enabled(&self, out: &mut Vec<ShmEvent>) {
+        out.clear();
+        if self.status() != Status::Running {
+            return;
+        }
+        for p in 0..self.process_count() {
+            let pid = Pid(p as u32);
+            if self.prog.can_step(pid) {
+                out.push(ShmEvent::Prog(pid));
+            }
+            if self.clients[p].is_some() {
+                out.push(ShmEvent::Obj(pid));
+            }
+        }
+    }
+
+    fn apply(&mut self, ev: &ShmEvent, fx: &mut Effects) {
+        debug_assert_eq!(self.status(), Status::Running);
+        match ev {
+            ShmEvent::Prog(pid) => self.handle_prog_step(*pid, fx),
+            ShmEvent::Obj(pid) => self.handle_obj_step(*pid, fx),
+        }
+    }
+
+    fn supply_random(&mut self, choice: usize, fx: &mut Effects) {
+        match self.awaiting.take() {
+            Some(Awaiting::Program { pid, choices }) => {
+                assert!(choice < choices, "random choice out of range");
+                fx.push(TraceEvent::ProgramRandom {
+                    pid,
+                    choices,
+                    chosen: choice,
+                });
+                self.prog.on_random(pid, choice);
+            }
+            Some(Awaiting::Object { pid, choices }) => {
+                assert!(choice < choices, "random choice out of range");
+                let client = self.clients[pid.index()]
+                    .as_mut()
+                    .expect("object random step without an active operation");
+                fx.push(TraceEvent::ObjectRandom {
+                    pid,
+                    inv: client.inv,
+                    choices,
+                    chosen: choice,
+                });
+                client.op.choose(choice);
+            }
+            None => panic!("supply_random while not awaiting randomness"),
+        }
+    }
+
+    fn status(&self) -> Status {
+        if self.prog.is_done(&self.built.def.program) {
+            return Status::Done;
+        }
+        match self.awaiting {
+            Some(Awaiting::Program { pid, choices }) => Status::AwaitingRandom {
+                pid,
+                choices,
+                kind: RandomKind::Program,
+            },
+            Some(Awaiting::Object { pid, choices }) => Status::AwaitingRandom {
+                pid,
+                choices,
+                kind: RandomKind::Object,
+            },
+            None => Status::Running,
+        }
+    }
+
+    fn outcome(&self) -> Outcome {
+        self.prog.outcome()
+    }
+}

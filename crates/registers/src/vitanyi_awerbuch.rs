@@ -1,0 +1,238 @@
+//! The Vitányi–Awerbuch multi-writer multi-reader register from
+//! single-writer registers (Section 5.3 of the paper).
+//!
+//! Memory layout: one single-writer cell `Val[i]` per process, holding
+//! `(value, t, wpid)` — a value and its timestamp, a `(t, pid)` pair
+//! ordered lexicographically.
+//!
+//! - `Read`: read all `Val[j]` (one base step each), return the value with
+//!   the largest timestamp. Preamble: all of it, up to just before the
+//!   return (reads only).
+//! - `Write(v)` at `i`: read all `Val[j]`, compute `t' = max t + 1`, then
+//!   write `(v, t', i)` into `Val[i]`. Preamble: the reads; tail: the
+//!   single write.
+
+use crate::shm::{CellId, Shm, ShmLayout};
+use crate::twophase::{PreambleStatus, ShmOp};
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+
+fn parse_cell(v: &Val) -> (Val, i64, i64) {
+    let t = v.as_tuple().expect("VA cell holds a triple");
+    (
+        t[0].clone(),
+        t[1].as_int().expect("VA t is an integer"),
+        t[2].as_int().expect("VA pid is an integer"),
+    )
+}
+
+/// Builds a cell triple `(value, t, wpid)`.
+#[must_use]
+pub fn make_cell(value: Val, t: i64, wpid: i64) -> Val {
+    Val::Tuple(vec![value, Val::Int(t), Val::Int(wpid)])
+}
+
+/// A `Read` or `Write` on the Vitányi–Awerbuch register.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct VaOp {
+    pid: Pid,
+    base: usize,
+    n: usize,
+    /// `None` for reads, `Some(v)` for writes.
+    write_value: Option<Val>,
+    /// Next cell to read in the preamble.
+    idx: usize,
+    /// Best (value, t, wpid) so far.
+    best: Option<(Val, i64, i64)>,
+    /// Chosen locals, installed by `start_tail`.
+    chosen: Option<(Val, i64, i64)>,
+}
+
+impl VaOp {
+    /// A `Read` by `pid` over cells `base..base+n`.
+    #[must_use]
+    pub fn read(pid: Pid, base: usize, n: usize) -> VaOp {
+        VaOp {
+            pid,
+            base,
+            n,
+            write_value: None,
+            idx: 0,
+            best: None,
+            chosen: None,
+        }
+    }
+
+    /// A `Write(v)` by `pid` over cells `base..base+n`.
+    #[must_use]
+    pub fn write(pid: Pid, base: usize, n: usize, v: Val) -> VaOp {
+        VaOp {
+            pid,
+            base,
+            n,
+            write_value: Some(v),
+            idx: 0,
+            best: None,
+            chosen: None,
+        }
+    }
+}
+
+impl ShmOp for VaOp {
+    /// The maximum-timestamp triple observed by the preamble.
+    type Locals = (Val, i64, i64);
+
+    fn preamble_step(
+        &mut self,
+        shm: &Shm,
+        layout: &ShmLayout,
+    ) -> PreambleStatus<(Val, i64, i64)> {
+        let cell = CellId(self.base + self.idx);
+        let (v, t, w) = parse_cell(&shm.read(layout, cell, self.pid));
+        let better = match &self.best {
+            None => true,
+            Some((_, bt, bw)) => (t, w) > (*bt, *bw),
+        };
+        if better {
+            self.best = Some((v, t, w));
+        }
+        self.idx += 1;
+        if self.idx == self.n {
+            PreambleStatus::Done(self.best.clone().expect("n ≥ 1 cells read"))
+        } else {
+            PreambleStatus::Step
+        }
+    }
+
+    fn reset_preamble(&mut self) {
+        self.idx = 0;
+        self.best = None;
+    }
+
+    fn start_tail(&mut self, locals: (Val, i64, i64)) {
+        self.chosen = Some(locals);
+    }
+
+    fn tail_step(&mut self, shm: &mut Shm, layout: &ShmLayout) -> Option<Val> {
+        let (v, t, _w) = self.chosen.clone().expect("tail after start_tail");
+        match &self.write_value {
+            // Read: return the chosen value (the return control point).
+            None => Some(v),
+            // Write: install (v, max t + 1, pid) into own cell.
+            Some(wv) => {
+                let cell = CellId(self.base + self.pid.index());
+                shm.write(
+                    layout,
+                    cell,
+                    self.pid,
+                    make_cell(wv.clone(), t + 1, i64::from(self.pid.0)),
+                );
+                Some(Val::Nil)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shm::{CellSpec, ShmLayout};
+    use crate::twophase::{IterEffect, IteratedOp};
+
+    fn setup(n: usize) -> (ShmLayout, Shm) {
+        let mut l = ShmLayout::new();
+        for i in 0..n {
+            l.push(CellSpec::single_writer(
+                Pid(i as u32),
+                n,
+                make_cell(Val::Nil, 0, 0),
+                format!("Val[{i}]"),
+            ));
+        }
+        let m = l.initial_memory();
+        (l, m)
+    }
+
+    fn run(op: &mut IteratedOp<VaOp>, shm: &mut Shm, l: &ShmLayout) -> Val {
+        for _ in 0..100 {
+            match op.step(shm, l) {
+                IterEffect::Complete(v) => return v,
+                IterEffect::NeedChoice { .. } => op.choose(0),
+                _ => {}
+            }
+        }
+        panic!("operation did not complete");
+    }
+
+    #[test]
+    fn read_of_fresh_register_returns_initial() {
+        let (l, mut m) = setup(3);
+        let mut r = IteratedOp::new(VaOp::read(Pid(2), 0, 3), 1);
+        assert_eq!(run(&mut r, &mut m, &l), Val::Nil);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (l, mut m) = setup(3);
+        let mut w = IteratedOp::new(VaOp::write(Pid(0), 0, 3, Val::Int(9)), 1);
+        assert_eq!(run(&mut w, &mut m, &l), Val::Nil);
+        let mut r = IteratedOp::new(VaOp::read(Pid(2), 0, 3), 1);
+        assert_eq!(run(&mut r, &mut m, &l), Val::Int(9));
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_by_timestamp_then_pid() {
+        let (l, mut m) = setup(3);
+        // Both writers read the fresh state (max t = 0) and both install
+        // t = 1; the higher pid wins the lexicographic tie-break.
+        let mut w0 = IteratedOp::new(VaOp::write(Pid(0), 0, 3, Val::Int(0)), 1);
+        let mut w1 = IteratedOp::new(VaOp::write(Pid(1), 0, 3, Val::Int(1)), 1);
+        // Interleave the preambles fully before either write.
+        for _ in 0..3 {
+            w0.step(&mut m, &l);
+            w1.step(&mut m, &l);
+        }
+        // Both tails.
+        w0.step(&mut m, &l);
+        w1.step(&mut m, &l);
+        let mut r = IteratedOp::new(VaOp::read(Pid(2), 0, 3), 1);
+        assert_eq!(run(&mut r, &mut m, &l), Val::Int(1));
+    }
+
+    #[test]
+    fn sequential_writes_monotonically_increase_timestamps() {
+        let (l, mut m) = setup(2);
+        for (pid, v) in [(0u32, 1i64), (1, 2), (0, 3)] {
+            let mut w =
+                IteratedOp::new(VaOp::write(Pid(pid), 0, 2, Val::Int(v)), 1);
+            run(&mut w, &mut m, &l);
+        }
+        let mut r = IteratedOp::new(VaOp::read(Pid(1), 0, 2), 1);
+        assert_eq!(run(&mut r, &mut m, &l), Val::Int(3));
+    }
+
+    #[test]
+    fn k2_read_requests_choice_and_uses_it() {
+        let (l, mut m) = setup(2);
+        let mut r = IteratedOp::new(VaOp::read(Pid(1), 0, 2), 2);
+        // First iteration sees the initial state.
+        r.step(&mut m, &l);
+        r.step(&mut m, &l);
+        // A write lands between iterations.
+        let mut w = IteratedOp::new(VaOp::write(Pid(0), 0, 2, Val::Int(5)), 1);
+        run(&mut w, &mut m, &l);
+        // Second iteration sees the write.
+        r.step(&mut m, &l);
+        match r.step(&mut m, &l) {
+            IterEffect::NeedChoice { choices: 2, .. } => {}
+            other => panic!("expected choice request, got {other:?}"),
+        }
+        // Choosing iteration 0 returns the old value — the blunting
+        // mechanism in action.
+        r.choose(0);
+        match r.step(&mut m, &l) {
+            IterEffect::Complete(v) => assert_eq!(v, Val::Nil),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the shared-memory constructions: randomly
+//! generated straight-line programs (random operations, arguments, and
+//! process assignments) run under randomly seeded schedules must always
+//! produce linearizable histories — for the base constructions and for
+//! every `k`-iterated version.
+//!
+//! Programs being *data* (`blunt_programs::ProgramDef`) is what makes this
+//! possible: proptest synthesizes the program, the simulator executes it,
+//! the checker validates the emitted history.
+
+use blunt_core::ids::{MethodId, ObjId, Pid};
+use blunt_core::spec::{RegisterSpec, SnapshotSpec};
+use blunt_core::value::Val;
+use blunt_lincheck::wgl::check_linearizable;
+use blunt_programs::{Expr, Instr, ProgramDef};
+use blunt_registers::system::{ShmObjectConfig, ShmSystem, ShmSystemDef};
+use blunt_sim::kernel::run;
+use blunt_sim::rng::SplitMix64;
+use blunt_sim::sched::RandomScheduler;
+use proptest::prelude::*;
+
+const N: usize = 3;
+
+/// A randomly planned register operation.
+#[derive(Clone, Copy, Debug)]
+enum PlannedOp {
+    Read,
+    Write(i64),
+}
+
+fn planned_ops() -> impl Strategy<Value = Vec<Vec<PlannedOp>>> {
+    let op = prop_oneof![
+        Just(PlannedOp::Read),
+        (0i64..6).prop_map(PlannedOp::Write),
+    ];
+    prop::collection::vec(prop::collection::vec(op, 0..4), N..=N)
+}
+
+fn register_program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> ProgramDef {
+    let codes = plans
+        .iter()
+        .enumerate()
+        .map(|(p, plan)| {
+            let mut code = Vec::new();
+            for op in plan {
+                match op {
+                    PlannedOp::Read => code.push(Instr::Invoke {
+                        line: 1,
+                        obj: ObjId(0),
+                        method: MethodId::READ,
+                        arg: Expr::Const(Val::Nil),
+                        bind: None,
+                    }),
+                    PlannedOp::Write(v) => {
+                        // In single-writer mode only the designated writer
+                        // writes; others read instead.
+                        let is_writer =
+                            writer_only.is_none_or(|w| w == Pid(p as u32));
+                        if is_writer {
+                            code.push(Instr::Invoke {
+                                line: 1,
+                                obj: ObjId(0),
+                                method: MethodId::WRITE,
+                                arg: Expr::int(*v),
+                                bind: None,
+                            });
+                        } else {
+                            code.push(Instr::Invoke {
+                                line: 1,
+                                obj: ObjId(0),
+                                method: MethodId::READ,
+                                arg: Expr::Const(Val::Nil),
+                                bind: None,
+                            });
+                        }
+                    }
+                }
+            }
+            code.push(Instr::Halt);
+            code
+        })
+        .collect();
+    ProgramDef::new("proptest-register", codes, vec![0; N], 0, vec![])
+}
+
+fn snapshot_program(plans: &[Vec<PlannedOp>]) -> ProgramDef {
+    let codes = plans
+        .iter()
+        .enumerate()
+        .map(|(p, plan)| {
+            let mut code = Vec::new();
+            for op in plan {
+                match op {
+                    PlannedOp::Read => code.push(Instr::Invoke {
+                        line: 1,
+                        obj: ObjId(0),
+                        method: MethodId::SCAN,
+                        arg: Expr::Const(Val::Nil),
+                        bind: None,
+                    }),
+                    PlannedOp::Write(v) => code.push(Instr::Invoke {
+                        line: 1,
+                        obj: ObjId(0),
+                        method: MethodId::UPDATE,
+                        arg: Expr::Const(Val::pair(Val::Int(p as i64), Val::Int(*v))),
+                        bind: None,
+                    }),
+                }
+            }
+            code.push(Instr::Halt);
+            code
+        })
+        .collect();
+    ProgramDef::new("proptest-snapshot", codes, vec![0; N], 0, vec![])
+}
+
+fn check_history(sys: ShmSystem, seed: u64, spec_kind: SpecKind) -> Result<(), TestCaseError> {
+    let report = run(
+        sys,
+        &mut RandomScheduler::new(seed),
+        &mut SplitMix64::new(seed ^ 0xF00D),
+        true,
+        500_000,
+    )
+    .map_err(|e| TestCaseError::fail(format!("run failed: {e}")))?;
+    let h = report.trace.history().project(ObjId(0));
+    let ok = match spec_kind {
+        SpecKind::Register => check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
+        SpecKind::Snapshot => check_linearizable(&h, &SnapshotSpec::new(N, Val::Nil)).is_ok(),
+    };
+    prop_assert!(ok, "non-linearizable history (seed {seed}):\n{h}");
+    Ok(())
+}
+
+#[derive(Clone, Copy)]
+enum SpecKind {
+    Register,
+    Snapshot,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn vitanyi_awerbuch_random_programs_linearizable(
+        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
+    ) {
+        let sys = ShmSystem::new(ShmSystemDef {
+            program: register_program(&plans, None),
+            objects: vec![ShmObjectConfig::VitanyiAwerbuch { k, initial: Val::Nil }],
+        });
+        check_history(sys, seed, SpecKind::Register)?;
+    }
+
+    #[test]
+    fn israeli_li_random_programs_linearizable(
+        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
+    ) {
+        let sys = ShmSystem::new(ShmSystemDef {
+            program: register_program(&plans, Some(Pid(0))),
+            objects: vec![ShmObjectConfig::IsraeliLi {
+                k,
+                writer: Pid(0),
+                initial: Val::Nil,
+            }],
+        });
+        check_history(sys, seed, SpecKind::Register)?;
+    }
+
+    #[test]
+    fn snapshot_random_programs_linearizable(
+        plans in planned_ops(), k in 1u32..3, seed in 0u64..10_000,
+        update_preamble in prop::bool::ANY
+    ) {
+        let sys = ShmSystem::new(ShmSystemDef {
+            program: snapshot_program(&plans),
+            objects: vec![ShmObjectConfig::Snapshot {
+                k,
+                components: N,
+                initial: Val::Nil,
+                update_preamble,
+            }],
+        });
+        check_history(sys, seed, SpecKind::Snapshot)?;
+    }
+
+    #[test]
+    fn atomic_baselines_random_programs_linearizable(
+        plans in planned_ops(), seed in 0u64..10_000
+    ) {
+        let sys = ShmSystem::new(ShmSystemDef {
+            program: register_program(&plans, None),
+            objects: vec![ShmObjectConfig::AtomicRegister { initial: Val::Nil }],
+        });
+        check_history(sys, seed, SpecKind::Register)?;
+        let sys = ShmSystem::new(ShmSystemDef {
+            program: snapshot_program(&plans),
+            objects: vec![ShmObjectConfig::AtomicSnapshot {
+                components: N,
+                initial: Val::Nil,
+            }],
+        });
+        check_history(sys, seed, SpecKind::Snapshot)?;
+    }
+}

@@ -1,0 +1,581 @@
+//! Exact worst-case adversary probabilities by memoized expectimax.
+//!
+//! The paper defines `Prob[P(O) → B]` as the supremum of
+//! `Prob[P(O)‖A → B]` over all strong adversaries `A` (Section 2.4). For the
+//! finite systems in this workspace that supremum is the value of a finite
+//! **expectimax game**:
+//!
+//! - at a `Running` state, the adversary picks the enabled event that
+//!   *maximizes* the probability of reaching `B` — adversary scheduling
+//!   decisions may depend on the entire state, including all random values
+//!   drawn so far, which is exactly the strong-adversary information model;
+//! - at an `AwaitingRandom` state, the value is the *uniform average* over
+//!   the `|V|` branches — the adversary cannot see the future coin;
+//! - at a `Done` state, the value is 1 if the outcome is in `B`, else 0.
+//!
+//! Values are exact [`Ratio`]s. States are memoized (the same global state
+//! reached along different interleavings has the same game value), which is
+//! what makes exhaustive exploration of protocol-level interleavings
+//! feasible.
+
+use crate::system::{Effects, Status, System};
+use blunt_core::outcome::Outcome;
+use blunt_core::ratio::Ratio;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Resource limits for an exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExploreBudget {
+    /// Maximum number of distinct states to evaluate.
+    pub max_states: usize,
+    /// Memoize on 128-bit state fingerprints instead of full states.
+    ///
+    /// Cuts memo memory by roughly an order of magnitude, at the cost of a
+    /// (cryptographically negligible for these state counts, but nonzero)
+    /// hash-collision probability: with `N` distinct states the expected
+    /// number of colliding pairs is about `N²/2¹²⁹`. Use for large sweeps;
+    /// keep the exact memo for headline numbers.
+    pub fingerprint: bool,
+}
+
+impl Default for ExploreBudget {
+    fn default() -> Self {
+        ExploreBudget {
+            max_states: 5_000_000,
+            fingerprint: false,
+        }
+    }
+}
+
+impl ExploreBudget {
+    /// A budget of `max_states` distinct states.
+    #[must_use]
+    pub fn with_max_states(max_states: usize) -> ExploreBudget {
+        ExploreBudget {
+            max_states,
+            fingerprint: false,
+        }
+    }
+
+    /// Switches to fingerprint memoization (see [`ExploreBudget::fingerprint`]).
+    #[must_use]
+    pub fn fingerprinted(mut self) -> ExploreBudget {
+        self.fingerprint = true;
+        self
+    }
+}
+
+/// A 128-bit state fingerprint from two independently-salted hashes.
+fn fingerprint_of<S: std::hash::Hash>(s: &S) -> u128 {
+    use std::hash::Hasher;
+    let mut h1 = std::collections::hash_map::DefaultHasher::new();
+    h1.write_u8(0x5a);
+    s.hash(&mut h1);
+    let mut h2 = std::collections::hash_map::DefaultHasher::new();
+    h2.write_u64(0x1234_5678_9abc_def0);
+    s.hash(&mut h2);
+    (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
+}
+
+/// A memo table keyed either by full states or by fingerprints.
+enum Memo<S, V> {
+    Exact(HashMap<S, V>),
+    Finger(HashMap<u128, V>),
+}
+
+impl<S: System, V: Copy> Memo<S, V> {
+    fn new(fingerprint: bool) -> Memo<S, V> {
+        if fingerprint {
+            Memo::Finger(HashMap::new())
+        } else {
+            Memo::Exact(HashMap::new())
+        }
+    }
+
+    fn get(&self, s: &S) -> Option<V> {
+        match self {
+            Memo::Exact(m) => m.get(s).copied(),
+            Memo::Finger(m) => m.get(&fingerprint_of(s)).copied(),
+        }
+    }
+
+    fn insert(&mut self, s: &S, v: V) {
+        match self {
+            Memo::Exact(m) => {
+                m.insert(s.clone(), v);
+            }
+            Memo::Finger(m) => {
+                m.insert(fingerprint_of(s), v);
+            }
+        }
+    }
+}
+
+/// Exploration failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExploreError {
+    /// The state budget was exhausted before the value was determined.
+    BudgetExceeded {
+        /// States evaluated before giving up.
+        explored: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::BudgetExceeded { explored } => {
+                write!(f, "exploration budget exceeded after {explored} states")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+/// Statistics from an exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct states evaluated.
+    pub states: usize,
+    /// Memoization hits (re-converging interleavings).
+    pub memo_hits: usize,
+    /// Maximum recursion depth reached (longest execution prefix).
+    pub max_depth: usize,
+}
+
+/// Whether the scheduler is adversarial or benevolent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Objective {
+    Maximize,
+    Minimize,
+}
+
+struct Explorer<'a, S: System, F: ?Sized> {
+    bad: &'a F,
+    budget: ExploreBudget,
+    objective: Objective,
+    memo: Memo<S, Ratio>,
+    stats: ExploreStats,
+}
+
+impl<'a, S, F> Explorer<'a, S, F>
+where
+    S: System,
+    F: Fn(&Outcome) -> bool + ?Sized,
+{
+    fn value(&mut self, sys: &S, depth: usize) -> Result<Ratio, ExploreError> {
+        if let Some(v) = self.memo.get(sys) {
+            self.stats.memo_hits += 1;
+            return Ok(v);
+        }
+        if self.stats.states >= self.budget.max_states {
+            return Err(ExploreError::BudgetExceeded {
+                explored: self.stats.states,
+            });
+        }
+        self.stats.states += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        let mut fx = Effects::silent();
+        let v = match sys.status() {
+            Status::Done => {
+                if (self.bad)(&sys.outcome()) {
+                    Ratio::ONE
+                } else {
+                    Ratio::ZERO
+                }
+            }
+            Status::AwaitingRandom { choices, .. } => {
+                debug_assert!(choices >= 1);
+                let mut total = Ratio::ZERO;
+                for c in 0..choices {
+                    let mut next = sys.clone();
+                    next.supply_random(c, &mut fx);
+                    total += self.value(&next, depth + 1)?;
+                }
+                total / Ratio::from_int(choices as i128)
+            }
+            Status::Running => {
+                let mut enabled = Vec::new();
+                sys.enabled(&mut enabled);
+                assert!(
+                    !enabled.is_empty(),
+                    "System contract violation: Running with no enabled events"
+                );
+                let mut best: Option<Ratio> = None;
+                for ev in &enabled {
+                    let mut next = sys.clone();
+                    next.apply(ev, &mut fx);
+                    let v = self.value(&next, depth + 1)?;
+                    let better = match (self.objective, best) {
+                        (_, None) => true,
+                        (Objective::Maximize, Some(b)) => v > b,
+                        (Objective::Minimize, Some(b)) => v < b,
+                    };
+                    if better {
+                        best = Some(v);
+                    }
+                    // The value of any strategy is in [0, 1]; stop early at
+                    // the extremum.
+                    match (self.objective, best) {
+                        (Objective::Maximize, Some(b)) if b == Ratio::ONE => break,
+                        (Objective::Minimize, Some(b)) if b == Ratio::ZERO => break,
+                        _ => {}
+                    }
+                }
+                best.expect("non-empty enabled set")
+            }
+        };
+        self.memo.insert(sys, v);
+        Ok(v)
+    }
+}
+
+fn explore<S, F>(
+    sys: &S,
+    bad: &F,
+    budget: &ExploreBudget,
+    objective: Objective,
+) -> Result<(Ratio, ExploreStats), ExploreError>
+where
+    S: System,
+    F: Fn(&Outcome) -> bool + ?Sized,
+{
+    let mut ex = Explorer {
+        bad,
+        budget: *budget,
+        objective,
+        memo: Memo::new(budget.fingerprint),
+        stats: ExploreStats::default(),
+    };
+    let v = ex.value(sys, 0)?;
+    Ok((v, ex.stats))
+}
+
+/// Computes `Prob[P(O) → B]` — the **exact worst-case** probability of the
+/// outcome set `B` (defined by the predicate `bad`) over all strong
+/// adversaries.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the state budget runs out.
+///
+/// # Panics
+///
+/// Panics if the system violates the progress contract (`Running` with no
+/// enabled events).
+///
+/// ```
+/// use blunt_sim::{worst_case_prob, ExploreBudget};
+/// use blunt_sim::toy::TwoCoinGame;
+/// use blunt_core::ratio::Ratio;
+///
+/// // Two independent fair coins match with probability 1/2 — and no
+/// // adversary can change that.
+/// let (p, stats) = worst_case_prob(
+///     &TwoCoinGame::new(),
+///     &TwoCoinGame::is_bad,
+///     &ExploreBudget::default(),
+/// ).unwrap();
+/// assert_eq!(p, Ratio::new(1, 2));
+/// assert!(stats.states > 0);
+/// ```
+pub fn worst_case_prob<S, F>(
+    sys: &S,
+    bad: &F,
+    budget: &ExploreBudget,
+) -> Result<(Ratio, ExploreStats), ExploreError>
+where
+    S: System,
+    F: Fn(&Outcome) -> bool + ?Sized,
+{
+    explore(sys, bad, budget, Objective::Maximize)
+}
+
+/// Computes the **best-case** probability of `B` — the value under the most
+/// *benevolent* scheduler. The spread between [`worst_case_prob`] and this
+/// value quantifies how much of the bad-outcome probability is adversarial.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the state budget runs out.
+pub fn best_case_prob<S, F>(
+    sys: &S,
+    bad: &F,
+    budget: &ExploreBudget,
+) -> Result<(Ratio, ExploreStats), ExploreError>
+where
+    S: System,
+    F: Fn(&Outcome) -> bool + ?Sized,
+{
+    explore(sys, bad, budget, Objective::Minimize)
+}
+
+/// Decides whether the adversary can force the bad outcome **with
+/// probability one** — i.e. whether `Prob[P(O) → B] = 1`.
+///
+/// This is a Boolean AND–OR reachability question, much cheaper than the
+/// exact expectimax: an adversary node is a *sure win* iff **some** child is
+/// (OR), a random node iff **all** children are (AND: the adversary must win
+/// for every coin outcome), a terminal node iff its outcome is bad. Used to
+/// certify the paper's Appendix A.2 claim (plain ABD: nontermination forced
+/// surely) on the full game rather than a single witness schedule.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the state budget runs out.
+///
+/// # Panics
+///
+/// Panics if the system violates the progress contract.
+pub fn sure_win<S, F>(
+    sys: &S,
+    bad: &F,
+    budget: &ExploreBudget,
+) -> Result<(bool, ExploreStats), ExploreError>
+where
+    S: System,
+    F: Fn(&Outcome) -> bool + ?Sized,
+{
+    struct BoolExplorer<'a, S: System, F: ?Sized> {
+        bad: &'a F,
+        budget: ExploreBudget,
+        memo: Memo<S, bool>,
+        stats: ExploreStats,
+    }
+    impl<'a, S, F> BoolExplorer<'a, S, F>
+    where
+        S: System,
+        F: Fn(&Outcome) -> bool + ?Sized,
+    {
+        fn wins(&mut self, sys: &S, depth: usize) -> Result<bool, ExploreError> {
+            if let Some(v) = self.memo.get(sys) {
+                self.stats.memo_hits += 1;
+                return Ok(v);
+            }
+            if self.stats.states >= self.budget.max_states {
+                return Err(ExploreError::BudgetExceeded {
+                    explored: self.stats.states,
+                });
+            }
+            self.stats.states += 1;
+            self.stats.max_depth = self.stats.max_depth.max(depth);
+            let mut fx = Effects::silent();
+            let v = match sys.status() {
+                Status::Done => (self.bad)(&sys.outcome()),
+                Status::AwaitingRandom { choices, .. } => {
+                    let mut all = true;
+                    for c in 0..choices {
+                        let mut next = sys.clone();
+                        next.supply_random(c, &mut fx);
+                        if !self.wins(&next, depth + 1)? {
+                            all = false;
+                            break;
+                        }
+                    }
+                    all
+                }
+                Status::Running => {
+                    let mut enabled = Vec::new();
+                    sys.enabled(&mut enabled);
+                    assert!(!enabled.is_empty(), "Running with no enabled events");
+                    let mut any = false;
+                    for ev in &enabled {
+                        let mut next = sys.clone();
+                        next.apply(ev, &mut fx);
+                        if self.wins(&next, depth + 1)? {
+                            any = true;
+                            break;
+                        }
+                    }
+                    any
+                }
+            };
+            self.memo.insert(sys, v);
+            Ok(v)
+        }
+    }
+    let mut ex = BoolExplorer {
+        bad,
+        budget: *budget,
+        memo: Memo::new(budget.fingerprint),
+        stats: ExploreStats::default(),
+    };
+    let v = ex.wins(sys, 0)?;
+    Ok((v, ex.stats))
+}
+
+/// Enumerates the set of outcomes reachable under *any* adversary and *any*
+/// random values — the program's outcome set of Proposition 2.1.
+///
+/// Theorem 4.1 (`O^k ≡ O`) and Proposition 2.1 together predict that a
+/// program has the **same outcome set** over equivalent objects; comparing
+/// the sets returned here for `P(O_a)`, `P(O)` and `P(O^k)` tests that
+/// prediction directly.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BudgetExceeded`] if the state budget runs out.
+///
+/// # Panics
+///
+/// Panics if the system violates the progress contract.
+pub fn reachable_outcomes<S: System>(
+    sys: &S,
+    budget: &ExploreBudget,
+) -> Result<(std::collections::BTreeSet<Outcome>, ExploreStats), ExploreError> {
+    let mut seen: Memo<S, ()> = Memo::new(budget.fingerprint);
+    let mut outcomes = std::collections::BTreeSet::new();
+    let mut stats = ExploreStats::default();
+    let mut stack = vec![(sys.clone(), 0usize)];
+    let mut fx = Effects::silent();
+    while let Some((cur, depth)) = stack.pop() {
+        if seen.get(&cur).is_some() {
+            stats.memo_hits += 1;
+            continue;
+        }
+        if stats.states >= budget.max_states {
+            return Err(ExploreError::BudgetExceeded {
+                explored: stats.states,
+            });
+        }
+        stats.states += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+        seen.insert(&cur, ());
+        match cur.status() {
+            Status::Done => {
+                outcomes.insert(cur.outcome());
+            }
+            Status::AwaitingRandom { choices, .. } => {
+                for c in 0..choices {
+                    let mut next = cur.clone();
+                    next.supply_random(c, &mut fx);
+                    stack.push((next, depth + 1));
+                }
+            }
+            Status::Running => {
+                let mut enabled = Vec::new();
+                cur.enabled(&mut enabled);
+                assert!(!enabled.is_empty(), "Running with no enabled events");
+                for ev in &enabled {
+                    let mut next = cur.clone();
+                    next.apply(ev, &mut fx);
+                    stack.push((next, depth + 1));
+                }
+            }
+        }
+    }
+    Ok((outcomes, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{BranchGame, TwoCoinGame};
+
+    #[test]
+    fn branch_game_worst_is_half_best_is_zero() {
+        let budget = ExploreBudget::default();
+        let (worst, _) =
+            worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
+        let (best, _) =
+            best_case_prob(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
+        assert_eq!(worst, Ratio::new(1, 2));
+        assert_eq!(best, Ratio::ZERO);
+    }
+
+    #[test]
+    fn two_coin_game_has_no_adversarial_spread() {
+        let budget = ExploreBudget::default();
+        let (worst, _) =
+            worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
+        let (best, _) =
+            best_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
+        assert_eq!(worst, Ratio::new(1, 2));
+        assert_eq!(best, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn sure_win_matches_exact_values() {
+        let budget = ExploreBudget::default();
+        // BranchGame: worst case 1/2 < 1, so no sure win.
+        let (w, _) = sure_win(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
+        assert!(!w);
+        // But the *good* outcome can be forced surely (take Safe).
+        let good = |o: &Outcome| !BranchGame::is_bad(o);
+        let (w, _) = sure_win(&BranchGame::new(), &good, &budget).unwrap();
+        assert!(w);
+        // TwoCoinGame: nothing is sure.
+        let (w, _) = sure_win(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
+        assert!(!w);
+    }
+
+    #[test]
+    fn reachable_outcomes_enumerates_all_leaves() {
+        let (outs, stats) =
+            reachable_outcomes(&TwoCoinGame::new(), &ExploreBudget::default()).unwrap();
+        // Four coin combinations → four distinct outcomes.
+        assert_eq!(outs.len(), 4);
+        assert!(stats.states > 4);
+        let bad: usize = outs.iter().filter(|o| TwoCoinGame::is_bad(o)).count();
+        assert_eq!(bad, 2);
+
+        let (outs, _) =
+            reachable_outcomes(&BranchGame::new(), &ExploreBudget::default()).unwrap();
+        // Safe (good), risky-good, risky-bad — but safe and risky-good
+        // record different values? Safe records Int(0) (bad=false), risky
+        // with coin 0 also records Int(0): they collapse. So 2 outcomes.
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_memo_reproduces_exact_values() {
+        let exact = ExploreBudget::default();
+        let finger = ExploreBudget::default().fingerprinted();
+        let (a, _) = worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &exact).unwrap();
+        let (b, _) = worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &finger).unwrap();
+        assert_eq!(a, b);
+        let (a, _) =
+            worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &exact).unwrap();
+        let (b, _) =
+            worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &finger).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let budget = ExploreBudget::with_max_states(1);
+        let err = worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget)
+            .unwrap_err();
+        assert!(matches!(err, ExploreError::BudgetExceeded { .. }));
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn stats_track_depth_and_states() {
+        let (_, stats) = worst_case_prob(
+            &TwoCoinGame::new(),
+            &TwoCoinGame::is_bad,
+            &ExploreBudget::default(),
+        )
+        .unwrap();
+        // Path: step, coin, step, coin, done = depth ≥ 4.
+        assert!(stats.max_depth >= 4);
+        assert!(stats.states >= 5);
+    }
+
+    #[test]
+    fn complementary_predicates_sum_to_one_without_adversary_power() {
+        // For TwoCoinGame every adversary yields the same distribution, so
+        // worst(bad) + best(!bad) = 1.
+        let budget = ExploreBudget::default();
+        let (p_bad, _) =
+            worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
+        let not_bad = |o: &Outcome| !TwoCoinGame::is_bad(o);
+        let (p_good_best, _) = best_case_prob(&TwoCoinGame::new(), &not_bad, &budget).unwrap();
+        assert_eq!(p_bad + p_good_best, Ratio::ONE);
+    }
+}

@@ -1,0 +1,269 @@
+//! The execution kernel: runs a [`System`] to completion under a scheduler
+//! and a random source, producing a [`RunReport`].
+//!
+//! One kernel run is one execution `e[P(O), v⃗, s⃗]` of the paper: the random
+//! source supplies `v⃗`, the scheduler supplies `s⃗`.
+
+use crate::rng::RandomSource;
+use crate::sched::Scheduler;
+use crate::system::{Effects, Status, System};
+use crate::trace::Trace;
+use blunt_core::outcome::Outcome;
+use std::error::Error;
+use std::fmt;
+
+/// Why a run failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The step limit was reached before the program completed.
+    StepLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The system reported `Running` but had no enabled events — a violation
+    /// of the [`System`] contract (or an over-aggressive crash pattern that
+    /// destroyed the quorum a protocol needs).
+    Stuck {
+        /// Steps executed before the system got stuck.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimit { limit } => {
+                write!(f, "step limit of {limit} reached before completion")
+            }
+            RunError::Stuck { steps } => {
+                write!(f, "system stuck with no enabled events after {steps} steps")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The result of one complete run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The final outcome of the execution.
+    pub outcome: Outcome,
+    /// The recorded trace (empty if tracing was disabled).
+    pub trace: Trace,
+    /// Number of scheduled events applied.
+    pub steps: usize,
+    /// The observed random sequence `v⃗` (one entry per `random(V)` step).
+    pub random_draws: Vec<usize>,
+}
+
+/// Runs `sys` to completion.
+///
+/// - `sched` resolves every scheduling choice (the adversary);
+/// - `rng` resolves every `random(V)` step;
+/// - `tracing` enables trace recording;
+/// - `max_steps` bounds the number of scheduled events.
+///
+/// # Errors
+///
+/// Returns [`RunError::StepLimit`] if the bound is hit and
+/// [`RunError::Stuck`] if the system violates the progress contract.
+///
+/// ```
+/// use blunt_sim::kernel::run;
+/// use blunt_sim::rng::Tape;
+/// use blunt_sim::sched::FirstEnabled;
+/// use blunt_sim::toy::TwoCoinGame;
+///
+/// let report = run(
+///     TwoCoinGame::new(),
+///     &mut FirstEnabled,
+///     &mut Tape::new(vec![1, 0]),
+///     true,
+///     100,
+/// ).unwrap();
+/// assert_eq!(report.random_draws, vec![1, 0]);
+/// assert!(!TwoCoinGame::is_bad(&report.outcome));
+/// ```
+pub fn run<S, Sch, R>(
+    mut sys: S,
+    sched: &mut Sch,
+    rng: &mut R,
+    tracing: bool,
+    max_steps: usize,
+) -> Result<RunReport, RunError>
+where
+    S: System,
+    Sch: Scheduler<S>,
+    R: RandomSource,
+{
+    let mut fx = if tracing {
+        Effects::recording()
+    } else {
+        Effects::silent()
+    };
+    let mut trace = Trace::new();
+    let mut enabled = Vec::new();
+    let mut steps = 0usize;
+    let mut random_draws = Vec::new();
+
+    loop {
+        match sys.status() {
+            Status::Done => {
+                break;
+            }
+            Status::AwaitingRandom { choices, .. } => {
+                let choice = rng.draw(choices);
+                random_draws.push(choice);
+                sys.supply_random(choice, &mut fx);
+            }
+            Status::Running => {
+                if steps >= max_steps {
+                    return Err(RunError::StepLimit { limit: max_steps });
+                }
+                sys.enabled(&mut enabled);
+                if enabled.is_empty() {
+                    return Err(RunError::Stuck { steps });
+                }
+                let idx = sched.pick(&sys, &enabled);
+                debug_assert!(idx < enabled.len(), "scheduler returned bad index");
+                let ev = enabled[idx].clone();
+                sys.apply(&ev, &mut fx);
+                steps += 1;
+            }
+        }
+        if tracing {
+            trace.extend(fx.take());
+        }
+    }
+    if tracing {
+        trace.extend(fx.take());
+    }
+
+    Ok(RunReport {
+        outcome: sys.outcome(),
+        trace,
+        steps,
+        random_draws,
+    })
+}
+
+/// Runs `sys` under a scripted random tape and scheduler, asserting
+/// completion — a convenience for replaying known executions in tests.
+///
+/// # Panics
+///
+/// Panics if the run errors.
+pub fn replay<S, Sch, R>(sys: S, sched: &mut Sch, rng: &mut R, max_steps: usize) -> RunReport
+where
+    S: System,
+    Sch: Scheduler<S>,
+    R: RandomSource,
+{
+    run(sys, sched, rng, true, max_steps).expect("replay failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{SplitMix64, Tape};
+    use crate::sched::{FirstEnabled, RandomScheduler, ScriptedScheduler};
+    use crate::toy::{BranchGame, BranchMove, TwoCoinGame};
+
+    #[test]
+    fn first_enabled_takes_risky_branch() {
+        // Risky is listed first; with tape [1] the outcome is bad.
+        let report = run(
+            BranchGame::new(),
+            &mut FirstEnabled,
+            &mut Tape::new(vec![1]),
+            true,
+            10,
+        )
+        .unwrap();
+        assert!(BranchGame::is_bad(&report.outcome));
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.trace.program_random_count(), 1);
+    }
+
+    #[test]
+    fn scripted_safe_branch_is_never_bad() {
+        let mut sched: ScriptedScheduler<BranchMove> =
+            ScriptedScheduler::new(vec![Box::new(|evs: &[BranchMove]| {
+                evs.iter().position(|e| *e == BranchMove::Safe)
+            })]);
+        let report = run(
+            BranchGame::new(),
+            &mut sched,
+            &mut Tape::new(vec![]),
+            false,
+            10,
+        )
+        .unwrap();
+        assert!(!BranchGame::is_bad(&report.outcome));
+        assert!(report.random_draws.is_empty());
+    }
+
+    #[test]
+    fn two_coin_game_draws_two_values() {
+        let report = run(
+            TwoCoinGame::new(),
+            &mut FirstEnabled,
+            &mut Tape::new(vec![0, 1]),
+            true,
+            10,
+        )
+        .unwrap();
+        assert_eq!(report.random_draws, vec![0, 1]);
+        assert!(!TwoCoinGame::is_bad(&report.outcome));
+        assert_eq!(report.steps, 2);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let err = run(
+            TwoCoinGame::new(),
+            &mut FirstEnabled,
+            &mut SplitMix64::new(0),
+            false,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::StepLimit { limit: 1 });
+        assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn random_scheduler_runs_are_reproducible_per_seed() {
+        let a = run(
+            BranchGame::new(),
+            &mut RandomScheduler::new(5),
+            &mut SplitMix64::new(5),
+            false,
+            10,
+        )
+        .unwrap();
+        let b = run(
+            BranchGame::new(),
+            &mut RandomScheduler::new(5),
+            &mut SplitMix64::new(5),
+            false,
+            10,
+        )
+        .unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.random_draws, b.random_draws);
+    }
+
+    #[test]
+    fn replay_returns_trace() {
+        let report = replay(
+            TwoCoinGame::new(),
+            &mut FirstEnabled,
+            &mut Tape::new(vec![1, 1]),
+            10,
+        );
+        assert!(TwoCoinGame::is_bad(&report.outcome));
+        assert_eq!(report.trace.program_random_count(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic simulation substrate for asynchronous concurrent systems
+//! under a **strong adversary**.
+//!
+//! The paper's execution model (Section 2) is an interleaving semantics: an
+//! execution is a sequence of atomic steps — message deliveries, base-object
+//! accesses, local computation, `random(V)` samples — chosen by an adversary
+//! that observes everything, including past random values. This crate makes
+//! that model executable:
+//!
+//! - [`system`] defines the [`system::System`] trait: a concurrent
+//!   system is a cloneable, hashable state machine exposing its *enabled*
+//!   steps; applying a step may suspend the system at a uniform random choice
+//!   (`Status::AwaitingRandom`), which is exactly where probability enters;
+//! - [`network`] is the asynchronous message-passing substrate (in-flight
+//!   message multiset, crash faults, canonical ordering for state hashing);
+//! - [`sched`] contains schedulers, i.e. adversaries: random, fixed-priority,
+//!   and fully scripted schedules;
+//! - [`rng`] provides deterministic random sources (a splitmix generator and
+//!   replayable tapes) for resolving `random(V)` steps outside of exhaustive
+//!   exploration;
+//! - [`trace`] records executions and renders Figure-1-style timelines;
+//! - [`kernel`] runs a system to completion under a scheduler;
+//! - [`explore`] computes `Prob[P(O) → B] = max_A Prob[P(O)‖A → B]`
+//!   **exactly** by memoized expectimax over the game tree (adversary nodes
+//!   maximize, random nodes average uniformly) — the strong adversary of
+//!   Section 2.4 is precisely the maximizing player of this game;
+//! - [`montecarlo`] estimates outcome probabilities under a fixed scheduler
+//!   by repeated deterministic runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod kernel;
+pub mod montecarlo;
+pub mod network;
+pub mod rng;
+pub mod sched;
+pub mod system;
+pub mod toy;
+pub mod trace;
+
+pub use explore::{
+    best_case_prob, reachable_outcomes, sure_win, worst_case_prob, ExploreBudget, ExploreError,
+    ExploreStats,
+};
+pub use kernel::{run, RunReport};
+pub use network::{Envelope, Network};
+pub use rng::{RandomSource, SplitMix64, Tape};
+pub use sched::{FirstEnabled, RandomScheduler, Scheduler, ScriptedScheduler};
+pub use system::{Effects, RandomKind, Status, System};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,186 @@
+//! Monte Carlo estimation of outcome probabilities under a fixed scheduler
+//! family.
+//!
+//! Where the exact explorer is infeasible (or as an independent check of it),
+//! [`estimate`] runs a system many times under per-trial seeded schedulers
+//! and random sources and reports the empirical frequency of the bad outcome
+//! with a Wilson confidence interval.
+
+use crate::kernel::{run, RunError};
+use crate::rng::SplitMix64;
+use crate::sched::Scheduler;
+use crate::system::System;
+use blunt_core::outcome::Outcome;
+
+/// An empirical estimate of an event probability.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Estimate {
+    /// Trials in which the event occurred.
+    pub successes: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl Estimate {
+    /// The point estimate `successes / trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(self.trials > 0, "estimate with zero trials");
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// The Wilson score interval at normal quantile `z` (e.g. `1.96` for a
+    /// 95% interval). Preferred over the naive normal interval because the
+    /// estimated probabilities here are frequently near 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        assert!(self.trials > 0, "estimate with zero trials");
+        let n = self.trials as f64;
+        let p = self.mean();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+/// Estimates `Prob[bad]` over `trials` runs.
+///
+/// - `make_system()` produces a fresh system per trial;
+/// - `make_scheduler(seed)` produces the trial's scheduler (pass a
+///   constructor like `RandomScheduler::new` for an oblivious environment);
+/// - `bad` is the outcome-set predicate `B`;
+/// - random steps are resolved by a per-trial [`SplitMix64`] derived from
+///   `base_seed`, so the whole estimate is reproducible.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] encountered (step limit or stuck).
+pub fn estimate<S, Sch, F, MS, MSch>(
+    make_system: MS,
+    make_scheduler: MSch,
+    bad: F,
+    trials: usize,
+    base_seed: u64,
+    max_steps: usize,
+) -> Result<Estimate, RunError>
+where
+    S: System,
+    Sch: Scheduler<S>,
+    F: Fn(&Outcome) -> bool,
+    MS: Fn() -> S,
+    MSch: Fn(u64) -> Sch,
+{
+    let mut successes = 0usize;
+    for t in 0..trials {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t as u64);
+        let mut sched = make_scheduler(seed);
+        let mut rng = SplitMix64::new(seed ^ 0xD1B5_4A32_D192_ED03);
+        let report = run(make_system(), &mut sched, &mut rng, false, max_steps)?;
+        if bad(&report.outcome) {
+            successes += 1;
+        }
+    }
+    Ok(Estimate { successes, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{FirstEnabled, RandomScheduler};
+    use crate::toy::{BranchGame, TwoCoinGame};
+
+    #[test]
+    fn two_coin_estimate_is_near_half() {
+        let est = estimate(
+            TwoCoinGame::new,
+            RandomScheduler::new,
+            TwoCoinGame::is_bad,
+            4_000,
+            11,
+            100,
+        )
+        .unwrap();
+        let (lo, hi) = est.wilson_interval(3.0);
+        assert!(lo <= 0.5 && 0.5 <= hi, "interval [{lo}, {hi}] misses 0.5");
+    }
+
+    #[test]
+    fn first_enabled_on_branch_game_always_goes_risky() {
+        // FirstEnabled always picks Risky, so the frequency estimates the
+        // coin: about 1/2.
+        let est = estimate(
+            BranchGame::new,
+            |_| FirstEnabled,
+            BranchGame::is_bad,
+            2_000,
+            7,
+            100,
+        )
+        .unwrap();
+        let m = est.mean();
+        assert!((0.4..0.6).contains(&m), "mean {m} far from 0.5");
+    }
+
+    #[test]
+    fn estimate_is_reproducible() {
+        let a = estimate(
+            TwoCoinGame::new,
+            RandomScheduler::new,
+            TwoCoinGame::is_bad,
+            500,
+            3,
+            100,
+        )
+        .unwrap();
+        let b = estimate(
+            TwoCoinGame::new,
+            RandomScheduler::new,
+            TwoCoinGame::is_bad,
+            500,
+            3,
+            100,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wilson_interval_is_clamped_and_ordered() {
+        let e = Estimate {
+            successes: 0,
+            trials: 10,
+        };
+        let (lo, hi) = e.wilson_interval(1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 1.0);
+        let e = Estimate {
+            successes: 10,
+            trials: 10,
+        };
+        let (lo, hi) = e.wilson_interval(1.96);
+        assert!(lo > 0.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn zero_trials_mean_panics() {
+        let _ = Estimate {
+            successes: 0,
+            trials: 0,
+        }
+        .mean();
+    }
+}

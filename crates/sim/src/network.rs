@@ -1,0 +1,268 @@
+//! The asynchronous message-passing substrate.
+//!
+//! Messages in transit form a multiset; the adversary decides which in-flight
+//! message is delivered next, in any order (no FIFO guarantee — the Figure 1
+//! adversary depends on reordering replies). Processes can crash; a crashed
+//! process takes no further steps and messages addressed to it are never
+//! delivered (they remain undeliverable rather than being dropped, which
+//! keeps `apply` monotone and states canonical).
+//!
+//! The multiset is kept **sorted** so that two network states with the same
+//! in-flight messages are equal and hash identically — a requirement for the
+//! explorer's memoization to collapse equivalent interleavings.
+
+use blunt_core::ids::Pid;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A message in flight from `src` to `dst`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub src: Pid,
+    /// Addressee.
+    pub dst: Pid,
+    /// Payload.
+    pub msg: M,
+}
+
+/// The network: a canonically ordered multiset of in-flight envelopes plus
+/// the crash set.
+///
+/// ```
+/// use blunt_sim::network::Network;
+/// use blunt_core::ids::Pid;
+///
+/// let mut net: Network<u8> = Network::new(3);
+/// net.broadcast(Pid(0), 7);           // includes a self-addressed copy
+/// assert_eq!(net.in_flight(), 3);
+/// let slots = net.deliverable();
+/// assert_eq!(slots.len(), 3);
+/// let env = net.take(slots[0]);
+/// assert_eq!(env.msg, 7);
+/// assert_eq!(net.in_flight(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Network<M> {
+    /// Sorted multiset of in-flight envelopes.
+    queue: Vec<Envelope<M>>,
+    /// Bitmask of crashed processes.
+    crashed: u64,
+    /// Number of processes.
+    n: usize,
+}
+
+impl<M: Clone + Ord + Hash + Debug> Network<M> {
+    /// An empty network over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds 64 (the crash mask width).
+    #[must_use]
+    pub fn new(n: usize) -> Network<M> {
+        assert!((1..=64).contains(&n), "network supports 1..=64 processes");
+        Network {
+            queue: Vec::new(),
+            crashed: 0,
+            n,
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of messages in flight (including undeliverable ones addressed
+    /// to crashed processes).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends one message, preserving canonical order.
+    ///
+    /// Sends from crashed processes are ignored (a crashed process takes no
+    /// steps, so this is belt-and-braces for protocol code).
+    pub fn send(&mut self, src: Pid, dst: Pid, msg: M) {
+        if self.is_crashed(src) {
+            return;
+        }
+        let env = Envelope { src, dst, msg };
+        let pos = self.queue.partition_point(|e| *e <= env);
+        self.queue.insert(pos, env);
+    }
+
+    /// Broadcasts a message from `src` to **all** processes, including `src`
+    /// itself — the ABD convention (a process answers its own queries).
+    pub fn broadcast(&mut self, src: Pid, msg: M) {
+        for d in 0..self.n {
+            self.send(src, Pid(d as u32), msg.clone());
+        }
+    }
+
+    /// Indices of deliverable envelopes, with duplicates collapsed: if two
+    /// identical envelopes are in flight, delivering either yields the same
+    /// successor state, so only the first index is reported. Envelopes
+    /// addressed to crashed processes are omitted.
+    #[must_use]
+    pub fn deliverable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut prev: Option<&Envelope<M>> = None;
+        for (i, e) in self.queue.iter().enumerate() {
+            if self.is_crashed(e.dst) {
+                continue;
+            }
+            if prev != Some(e) {
+                out.push(i);
+            }
+            prev = Some(e);
+        }
+        out
+    }
+
+    /// Looks at a deliverable envelope without removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn peek(&self, index: usize) -> &Envelope<M> {
+        &self.queue[index]
+    }
+
+    /// Removes and returns the envelope at `index` (as reported by
+    /// [`Network::deliverable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn take(&mut self, index: usize) -> Envelope<M> {
+        self.queue.remove(index)
+    }
+
+    /// Crashes a process: it is removed from the deliverable set forever.
+    pub fn crash(&mut self, pid: Pid) {
+        self.crashed |= 1u64 << pid.index();
+    }
+
+    /// Returns `true` if `pid` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, pid: Pid) -> bool {
+        self.crashed & (1u64 << pid.index()) != 0
+    }
+
+    /// Number of crashed processes.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.crashed.count_ones() as usize
+    }
+
+    /// Iterates over all in-flight envelopes in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
+        self.queue.iter()
+    }
+
+    /// Retains only the envelopes for which `keep` returns `true`.
+    ///
+    /// Used by protocol layers to drop messages that have become
+    /// semantically inert (e.g. replies to a superseded ABD exchange) — a
+    /// soundness-preserving state-space reduction for the explorer.
+    pub fn purge<F: FnMut(&Envelope<M>) -> bool>(&mut self, keep: F) {
+        self.queue.retain(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_keeps_queue_sorted() {
+        let mut net: Network<u8> = Network::new(4);
+        net.send(Pid(3), Pid(0), 9);
+        net.send(Pid(0), Pid(1), 5);
+        net.send(Pid(0), Pid(1), 3);
+        let msgs: Vec<_> = net.iter().cloned().collect();
+        assert!(msgs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(net.in_flight(), 3);
+    }
+
+    #[test]
+    fn equal_contents_hash_equal_regardless_of_send_order() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+
+        let mut a: Network<u8> = Network::new(2);
+        a.send(Pid(0), Pid(1), 1);
+        a.send(Pid(1), Pid(0), 2);
+        let mut b: Network<u8> = Network::new(2);
+        b.send(Pid(1), Pid(0), 2);
+        b.send(Pid(0), Pid(1), 1);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn deliverable_deduplicates_identical_envelopes() {
+        let mut net: Network<u8> = Network::new(2);
+        net.send(Pid(0), Pid(1), 1);
+        net.send(Pid(0), Pid(1), 1);
+        net.send(Pid(0), Pid(1), 2);
+        assert_eq!(net.in_flight(), 3);
+        assert_eq!(net.deliverable().len(), 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut net: Network<u8> = Network::new(3);
+        net.broadcast(Pid(1), 7);
+        let dsts: Vec<_> = net.iter().map(|e| e.dst).collect();
+        assert_eq!(dsts, vec![Pid(0), Pid(1), Pid(2)]);
+        assert!(net.iter().all(|e| e.src == Pid(1)));
+    }
+
+    #[test]
+    fn crashed_destination_is_not_deliverable() {
+        let mut net: Network<u8> = Network::new(2);
+        net.send(Pid(0), Pid(1), 1);
+        net.send(Pid(1), Pid(0), 2);
+        net.crash(Pid(1));
+        let slots = net.deliverable();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(net.peek(slots[0]).dst, Pid(0));
+        assert!(net.is_crashed(Pid(1)));
+        assert_eq!(net.crash_count(), 1);
+    }
+
+    #[test]
+    fn crashed_source_sends_nothing() {
+        let mut net: Network<u8> = Network::new(2);
+        net.crash(Pid(0));
+        net.send(Pid(0), Pid(1), 1);
+        net.broadcast(Pid(0), 2);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn take_removes_exactly_one_copy() {
+        let mut net: Network<u8> = Network::new(2);
+        net.send(Pid(0), Pid(1), 1);
+        net.send(Pid(0), Pid(1), 1);
+        let slots = net.deliverable();
+        let env = net.take(slots[0]);
+        assert_eq!(env.msg, 1);
+        assert_eq!(net.in_flight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_process_network_panics() {
+        let _: Network<u8> = Network::new(0);
+    }
+}

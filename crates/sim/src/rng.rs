@@ -1,0 +1,240 @@
+//! Deterministic random sources.
+//!
+//! `random(V)` steps are resolved in one of three ways:
+//!
+//! - the **explorer** branches over all `|V|` alternatives exactly — no
+//!   random source involved;
+//! - the **kernel** resolves them from a [`RandomSource`]: either a seeded
+//!   [`SplitMix64`] generator (Monte Carlo) or a replayable [`Tape`]
+//!   (reproducing one specific execution, e.g. one branch of Figure 1).
+//!
+//! Every source is `Clone` and fully deterministic so that executions are
+//! replayable from `(seed/tape, schedule)` — the paper's
+//! `e[P(O), v⃗, s⃗]` notation made concrete.
+
+/// A source of uniformly distributed choice indices.
+pub trait RandomSource {
+    /// Draws a value uniformly from `0..choices`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `choices == 0`, and a [`Tape`] panics when
+    /// exhausted or when a recorded value is out of range.
+    fn draw(&mut self, choices: usize) -> usize;
+}
+
+/// The splitmix64 generator: tiny, fast, deterministic, dependency-free.
+///
+/// Not cryptographic — it resolves simulated coin flips, nothing more.
+///
+/// ```
+/// use blunt_sim::rng::{RandomSource, SplitMix64};
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// let xs: Vec<usize> = (0..8).map(|_| a.draw(6)).collect();
+/// let ys: Vec<usize> = (0..8).map(|_| b.draw(6)).collect();
+/// assert_eq!(xs, ys);
+/// assert!(xs.iter().all(|&x| x < 6));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Advances the generator and returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    fn draw(&mut self, choices: usize) -> usize {
+        assert!(choices > 0, "draw from empty choice set");
+        // Rejection sampling for exact uniformity.
+        let choices_u = choices as u64;
+        let zone = u64::MAX - (u64::MAX % choices_u);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return (x % choices_u) as usize;
+            }
+        }
+    }
+}
+
+/// A fixed tape of pre-recorded random values — the paper's sequence `v⃗`.
+///
+/// Drawing consumes the tape from the front; each recorded value must be in
+/// range for the `choices` at its position. Tapes make specific probability-
+/// space points executable: the two branches of the Figure 1 case analysis
+/// are the tapes `[0]` and `[1]`.
+///
+/// ```
+/// use blunt_sim::rng::{RandomSource, Tape};
+/// let mut t = Tape::new(vec![1, 0]);
+/// assert_eq!(t.draw(2), 1);
+/// assert_eq!(t.draw(3), 0);
+/// assert!(t.is_exhausted());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Tape {
+    values: Vec<usize>,
+    cursor: usize,
+}
+
+impl Tape {
+    /// A tape replaying the given values in order.
+    #[must_use]
+    pub fn new(values: Vec<usize>) -> Tape {
+        Tape { values, cursor: 0 }
+    }
+
+    /// Returns `true` if every value has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.values.len()
+    }
+
+    /// Number of values not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.values.len() - self.cursor
+    }
+}
+
+impl RandomSource for Tape {
+    fn draw(&mut self, choices: usize) -> usize {
+        assert!(choices > 0, "draw from empty choice set");
+        assert!(
+            self.cursor < self.values.len(),
+            "random tape exhausted after {} values",
+            self.values.len()
+        );
+        let v = self.values[self.cursor];
+        assert!(
+            v < choices,
+            "tape value {v} out of range for {choices} choices at position {}",
+            self.cursor
+        );
+        self.cursor += 1;
+        v
+    }
+}
+
+/// A source that records every drawn value, wrapping another source.
+///
+/// Used to capture the observed random sequence of an execution so that it
+/// can be replayed exactly with a [`Tape`].
+#[derive(Clone, Debug)]
+pub struct Recording<R> {
+    inner: R,
+    log: Vec<usize>,
+}
+
+impl<R: RandomSource> Recording<R> {
+    /// Wraps a source.
+    #[must_use]
+    pub fn new(inner: R) -> Recording<R> {
+        Recording {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The values drawn so far, in order.
+    #[must_use]
+    pub fn log(&self) -> &[usize] {
+        &self.log
+    }
+
+    /// Unwraps into the recorded tape.
+    #[must_use]
+    pub fn into_tape(self) -> Tape {
+        Tape::new(self.log)
+    }
+}
+
+impl<R: RandomSource> RandomSource for Recording<R> {
+    fn draw(&mut self, choices: usize) -> usize {
+        let v = self.inner.draw(choices);
+        self.log.push(v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let xa: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn splitmix_draw_is_roughly_uniform() {
+        let mut g = SplitMix64::new(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[g.draw(4)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty choice set")]
+    fn draw_zero_choices_panics() {
+        SplitMix64::new(0).draw(0);
+    }
+
+    #[test]
+    fn tape_replays_and_reports_remaining() {
+        let mut t = Tape::new(vec![0, 1, 2]);
+        assert_eq!(t.remaining(), 3);
+        assert_eq!(t.draw(1), 0);
+        assert_eq!(t.draw(2), 1);
+        assert_eq!(t.remaining(), 1);
+        assert!(!t.is_exhausted());
+        assert_eq!(t.draw(3), 2);
+        assert!(t.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "tape exhausted")]
+    fn exhausted_tape_panics() {
+        Tape::new(vec![]).draw(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tape_value_panics() {
+        Tape::new(vec![5]).draw(2);
+    }
+
+    #[test]
+    fn recording_captures_the_observed_sequence() {
+        let mut r = Recording::new(SplitMix64::new(3));
+        let drawn: Vec<usize> = (0..5).map(|_| r.draw(10)).collect();
+        assert_eq!(r.log(), &drawn[..]);
+        let mut replay = r.into_tape();
+        let replayed: Vec<usize> = (0..5).map(|_| replay.draw(10)).collect();
+        assert_eq!(replayed, drawn);
+    }
+}

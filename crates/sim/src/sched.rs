@@ -1,0 +1,189 @@
+//! Schedulers — executable adversaries.
+//!
+//! A scheduler resolves the *scheduling* nondeterminism of a [`System`]: at
+//! every `Running` point it picks one of the enabled events. Because it
+//! receives the whole system state, a scheduler is a **strong** adversary in
+//! the paper's sense — it sees every random value drawn so far (they are part
+//! of the state) but not future ones.
+//!
+//! Three reusable schedulers live here; protocol-specific adversaries (such
+//! as the Figure 1 schedule) are built in `blunt-adversary` on top of
+//! [`ScriptedScheduler`].
+
+use crate::rng::{RandomSource, SplitMix64};
+use crate::system::System;
+use std::collections::VecDeque;
+
+/// A strong adversary: picks the index of the next event to apply.
+pub trait Scheduler<S: System> {
+    /// Chooses an index into `enabled` (which is non-empty).
+    fn pick(&mut self, sys: &S, enabled: &[S::Event]) -> usize;
+}
+
+/// The deterministic scheduler that always applies the first enabled event.
+///
+/// Because [`crate::network::Network`] keeps messages in canonical order,
+/// `FirstEnabled` yields a fixed, reproducible (generally uninteresting)
+/// execution — useful as a smoke-test adversary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FirstEnabled;
+
+impl<S: System> Scheduler<S> for FirstEnabled {
+    fn pick(&mut self, _sys: &S, _enabled: &[S::Event]) -> usize {
+        0
+    }
+}
+
+/// A uniformly random scheduler, seeded for reproducibility.
+///
+/// Random scheduling approximates a "fair, oblivious" environment; comparing
+/// outcome frequencies under `RandomScheduler` against the exact worst case
+/// from the explorer shows how much of the bad-outcome probability is
+/// genuinely *adversarial*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RandomScheduler {
+    rng: SplitMix64,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> RandomScheduler {
+        RandomScheduler {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl<S: System> Scheduler<S> for RandomScheduler {
+    fn pick(&mut self, _sys: &S, enabled: &[S::Event]) -> usize {
+        self.rng.draw(enabled.len())
+    }
+}
+
+/// A matcher examining the enabled events and optionally selecting one.
+pub type EventMatcher<E> = Box<dyn FnMut(&[E]) -> Option<usize>>;
+
+/// A scheduler that follows a script of [`EventMatcher`]s, then falls back to
+/// first-enabled.
+///
+/// Each matcher is consulted once, in order, with the currently enabled
+/// events; it returns the index of the event to schedule. Scripts encode
+/// hand-constructed adversarial executions — the reproduction of the paper's
+/// Figure 1 is a `ScriptedScheduler` whose matchers select specific message
+/// deliveries.
+///
+/// # Panics
+///
+/// [`Scheduler::pick`] panics if a matcher returns `None` (the scripted event
+/// is not enabled — the script no longer corresponds to the system) or an
+/// out-of-range index. Failing loudly is deliberate: a silently-diverging
+/// script would invalidate the experiment it encodes.
+pub struct ScriptedScheduler<E> {
+    script: VecDeque<EventMatcher<E>>,
+    consumed: usize,
+}
+
+impl<E> ScriptedScheduler<E> {
+    /// Creates a scheduler from a script of matchers.
+    #[must_use]
+    pub fn new(script: Vec<EventMatcher<E>>) -> ScriptedScheduler<E> {
+        ScriptedScheduler {
+            script: script.into(),
+            consumed: 0,
+        }
+    }
+
+    /// Number of script entries already consumed.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Returns `true` if the script has been fully consumed (subsequent picks
+    /// fall back to first-enabled).
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.script.is_empty()
+    }
+}
+
+impl<S: System> Scheduler<S> for ScriptedScheduler<S::Event> {
+    fn pick(&mut self, _sys: &S, enabled: &[S::Event]) -> usize {
+        match self.script.pop_front() {
+            Some(mut matcher) => {
+                self.consumed += 1;
+                let idx = matcher(enabled).unwrap_or_else(|| {
+                    panic!(
+                        "scripted scheduler: entry {} matched no enabled event; enabled = {:?}",
+                        self.consumed, enabled
+                    )
+                });
+                assert!(
+                    idx < enabled.len(),
+                    "scripted scheduler: entry {} returned out-of-range index {idx}",
+                    self.consumed
+                );
+                idx
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::BranchGame;
+
+    #[test]
+    fn first_enabled_picks_zero() {
+        let sys = BranchGame::new();
+        let mut enabled = Vec::new();
+        sys.enabled(&mut enabled);
+        let mut s = FirstEnabled;
+        assert_eq!(Scheduler::<BranchGame>::pick(&mut s, &sys, &enabled), 0);
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let sys = BranchGame::new();
+        let mut enabled = Vec::new();
+        sys.enabled(&mut enabled);
+        let mut a = RandomScheduler::new(9);
+        let mut b = RandomScheduler::new(9);
+        for _ in 0..10 {
+            assert_eq!(
+                Scheduler::<BranchGame>::pick(&mut a, &sys, &enabled),
+                Scheduler::<BranchGame>::pick(&mut b, &sys, &enabled)
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_scheduler_follows_script_then_falls_back() {
+        let sys = BranchGame::new();
+        let mut enabled = Vec::new();
+        sys.enabled(&mut enabled);
+        let mut s: ScriptedScheduler<_> =
+            ScriptedScheduler::new(vec![Box::new(|evs: &[_]| {
+                (evs.len() > 1).then_some(1)
+            })]);
+        assert!(!s.is_exhausted());
+        assert_eq!(Scheduler::<BranchGame>::pick(&mut s, &sys, &enabled), 1);
+        assert!(s.is_exhausted());
+        assert_eq!(s.consumed(), 1);
+        assert_eq!(Scheduler::<BranchGame>::pick(&mut s, &sys, &enabled), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched no enabled event")]
+    fn scripted_scheduler_panics_on_mismatch() {
+        let sys = BranchGame::new();
+        let mut enabled = Vec::new();
+        sys.enabled(&mut enabled);
+        let mut s: ScriptedScheduler<_> =
+            ScriptedScheduler::new(vec![Box::new(|_: &[_]| None)]);
+        let _ = Scheduler::<BranchGame>::pick(&mut s, &sys, &enabled);
+    }
+}

@@ -1,0 +1,201 @@
+//! The [`System`] trait — the contract between concurrent systems and the
+//! adversary.
+//!
+//! A system is a *deterministic* state machine whose nondeterminism is fully
+//! externalized into two channels:
+//!
+//! 1. **scheduling**: at every point the system exposes a finite set of
+//!    enabled events; the adversary (scheduler or exhaustive explorer) picks
+//!    which one happens next;
+//! 2. **randomness**: applying an event may suspend the system at a
+//!    `random(V)` instruction ([`Status::AwaitingRandom`]); the environment
+//!    supplies a uniformly-distributed choice index to resume it.
+//!
+//! This split realizes the paper's strong-adversary model (Section 2.4): the
+//! adversary observes the complete state — including all random values drawn
+//! so far, since they are folded into the state — but cannot see the future:
+//! the choice of the next event is made before the next random value exists.
+
+use blunt_core::ids::Pid;
+use blunt_core::outcome::Outcome;
+use crate::trace::TraceEvent;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Which kind of `random(V)` instruction suspended the system.
+///
+/// The distinction matters for the analysis of Theorem 4.2: *program* random
+/// steps are the `r` steps of the original program `P(O)`; *object* random
+/// steps are the iteration choices introduced by the preamble-iterating
+/// transformation (Algorithm 2) and are not counted in `r`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RandomKind {
+    /// A random step of the program text itself (e.g. the coin flip on
+    /// Line 4 of Algorithm 1).
+    Program,
+    /// The `j := random([1..k])` step inside a transformed object `O^k`.
+    Object,
+}
+
+/// The execution status of a system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Status {
+    /// At least one event is (or may become) enabled.
+    Running,
+    /// The system is suspended at a `random(V)` instruction of process `pid`
+    /// with `choices = |V|` equiprobable alternatives; call
+    /// [`System::supply_random`] to resume. While suspended, no other event
+    /// may be scheduled — sampling is a single atomic step.
+    AwaitingRandom {
+        /// The process executing the random instruction.
+        pid: Pid,
+        /// Number of equiprobable alternatives, `|V| ≥ 1`.
+        choices: usize,
+        /// Program or object randomness.
+        kind: RandomKind,
+    },
+    /// The program has terminated (or reached a decided absorbing state such
+    /// as the weakener's `loop forever`); the outcome is final.
+    Done,
+}
+
+/// Side-effect collector passed to [`System::apply`] and
+/// [`System::supply_random`].
+///
+/// Trace events are returned through this collector rather than stored in the
+/// system state, so that states stay small and hashable for the exhaustive
+/// explorer (which runs with tracing disabled).
+#[derive(Debug, Default)]
+pub struct Effects {
+    tracing: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl Effects {
+    /// A collector that discards all events (used by the explorer).
+    #[must_use]
+    pub fn silent() -> Effects {
+        Effects {
+            tracing: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// A collector that records events (used by the kernel).
+    #[must_use]
+    pub fn recording() -> Effects {
+        Effects {
+            tracing: true,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Records one trace event (no-op when tracing is disabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.tracing {
+            self.trace.push(ev);
+        }
+    }
+
+    /// Records a lazily-built trace event, avoiding construction cost when
+    /// tracing is disabled.
+    pub fn push_with<F: FnOnce() -> TraceEvent>(&mut self, f: F) {
+        if self.tracing {
+            self.trace.push(f());
+        }
+    }
+
+    /// Returns `true` if events are being recorded.
+    #[must_use]
+    pub fn is_tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+/// A concurrent system driven by an external adversary.
+///
+/// # Contract
+///
+/// - `enabled` must be empty iff `status()` is `Done` **or**
+///   `AwaitingRandom` (while suspended, the only legal move is
+///   `supply_random`). For `Running` systems it must be non-empty: systems
+///   model *complete* schedules (Section 2.4), so a running system that can
+///   never progress is a bug in the system, not a reachable configuration.
+/// - `apply` must only be called with an event from the current `enabled`
+///   set and only while `Running`.
+/// - `supply_random` must only be called while `AwaitingRandom { choices }`,
+///   with `choice < choices`.
+/// - Determinism: from equal states, equal event/choice sequences must
+///   produce equal states. The explorer's memoization is sound only under
+///   this condition; `Clone + Eq + Hash` on `Self` define state identity.
+pub trait System: Clone + Eq + Hash {
+    /// One schedulable atomic step (a process step or a message delivery).
+    type Event: Clone + Debug;
+
+    /// Number of processes in the system (`n` in Theorem 4.2).
+    fn process_count(&self) -> usize;
+
+    /// Collects the currently enabled events into `out` (cleared first).
+    fn enabled(&self, out: &mut Vec<Self::Event>);
+
+    /// Applies one enabled event.
+    fn apply(&mut self, ev: &Self::Event, fx: &mut Effects);
+
+    /// Resumes from an `AwaitingRandom` suspension with the given uniformly
+    /// drawn choice index.
+    fn supply_random(&mut self, choice: usize, fx: &mut Effects);
+
+    /// The current status.
+    fn status(&self) -> Status;
+
+    /// The outcome of the execution so far (final once `Done`).
+    fn outcome(&self) -> Outcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_silent_discards() {
+        let mut fx = Effects::silent();
+        fx.push(TraceEvent::Crash { pid: Pid(0) });
+        fx.push_with(|| TraceEvent::Crash { pid: Pid(1) });
+        assert!(fx.take().is_empty());
+        assert!(!fx.is_tracing());
+    }
+
+    #[test]
+    fn effects_recording_collects_in_order() {
+        let mut fx = Effects::recording();
+        fx.push(TraceEvent::Crash { pid: Pid(0) });
+        fx.push_with(|| TraceEvent::Crash { pid: Pid(1) });
+        let evs = fx.take();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0], TraceEvent::Crash { pid: Pid(0) }));
+        assert!(matches!(evs[1], TraceEvent::Crash { pid: Pid(1) }));
+        // take() drains.
+        assert!(fx.take().is_empty());
+    }
+
+    #[test]
+    fn status_is_hashable_and_comparable() {
+        let a = Status::AwaitingRandom {
+            pid: Pid(1),
+            choices: 2,
+            kind: RandomKind::Program,
+        };
+        let b = Status::AwaitingRandom {
+            pid: Pid(1),
+            choices: 2,
+            kind: RandomKind::Object,
+        };
+        assert_ne!(a, b);
+        assert_eq!(Status::Done, Status::Done);
+    }
+}

@@ -1,0 +1,282 @@
+//! Tiny example systems used in tests, documentation, and benchmarks.
+//!
+//! These games exercise every part of the [`crate::System`] contract
+//! — adversary choice, program randomness, termination — with state spaces
+//! small enough to verify by hand.
+
+use crate::system::{Effects, RandomKind, Status, System};
+use crate::trace::TraceEvent;
+use blunt_core::ids::{CallSite, Pid};
+use blunt_core::outcome::Outcome;
+use blunt_core::value::Val;
+
+/// A one-shot adversary-vs-coin game.
+///
+/// The adversary chooses between two events:
+///
+/// - `Risky`: the process flips a fair coin; the outcome is *bad* iff the
+///   coin shows 1 — bad with probability 1/2;
+/// - `Safe`: the game ends immediately with a good outcome.
+///
+/// Hence the worst-case (adversarial) probability of the bad outcome is 1/2
+/// and the best case is 0 — the minimal example where scheduling power
+/// matters.
+///
+/// ```
+/// use blunt_sim::toy::{BranchGame, BranchMove};
+/// use blunt_sim::{worst_case_prob, ExploreBudget};
+/// use blunt_core::ratio::Ratio;
+///
+/// let (p, _) = worst_case_prob(
+///     &BranchGame::new(),
+///     &BranchGame::is_bad,
+///     &ExploreBudget::default(),
+/// ).unwrap();
+/// assert_eq!(p, Ratio::new(1, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BranchGame {
+    state: BranchState,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum BranchState {
+    Start,
+    Flipping,
+    Done { bad: bool },
+}
+
+/// Moves of [`BranchGame`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchMove {
+    /// Flip the coin; bad iff it lands 1.
+    Risky,
+    /// End the game with a good outcome.
+    Safe,
+}
+
+impl BranchGame {
+    /// A fresh game.
+    #[must_use]
+    pub fn new() -> BranchGame {
+        BranchGame {
+            state: BranchState::Start,
+        }
+    }
+
+    /// The bad-outcome predicate for this game.
+    #[must_use]
+    pub fn is_bad(outcome: &Outcome) -> bool {
+        outcome.get(&BranchGame::site()) == Some(&Val::Int(1))
+    }
+
+    fn site() -> CallSite {
+        CallSite::new(Pid(0), 1, 0)
+    }
+}
+
+impl Default for BranchGame {
+    fn default() -> Self {
+        BranchGame::new()
+    }
+}
+
+impl System for BranchGame {
+    type Event = BranchMove;
+
+    fn process_count(&self) -> usize {
+        1
+    }
+
+    fn enabled(&self, out: &mut Vec<BranchMove>) {
+        out.clear();
+        if self.state == BranchState::Start {
+            out.push(BranchMove::Risky);
+            out.push(BranchMove::Safe);
+        }
+    }
+
+    fn apply(&mut self, ev: &BranchMove, _fx: &mut Effects) {
+        assert_eq!(self.state, BranchState::Start, "apply in non-Running state");
+        self.state = match ev {
+            BranchMove::Risky => BranchState::Flipping,
+            BranchMove::Safe => BranchState::Done { bad: false },
+        };
+    }
+
+    fn supply_random(&mut self, choice: usize, fx: &mut Effects) {
+        assert_eq!(self.state, BranchState::Flipping);
+        fx.push(TraceEvent::ProgramRandom {
+            pid: Pid(0),
+            choices: 2,
+            chosen: choice,
+        });
+        self.state = BranchState::Done { bad: choice == 1 };
+    }
+
+    fn status(&self) -> Status {
+        match self.state {
+            BranchState::Start => Status::Running,
+            BranchState::Flipping => Status::AwaitingRandom {
+                pid: Pid(0),
+                choices: 2,
+                kind: RandomKind::Program,
+            },
+            BranchState::Done { .. } => Status::Done,
+        }
+    }
+
+    fn outcome(&self) -> Outcome {
+        let mut o = Outcome::new();
+        if let BranchState::Done { bad } = self.state {
+            o.record(BranchGame::site(), Val::Int(i64::from(bad)));
+        }
+        o
+    }
+}
+
+/// A two-coin matching game with **no** adversary power.
+///
+/// Two fair coins are flipped in sequence (the adversary's only "choice" is
+/// the single enabled `Step` event between them); the outcome is bad iff the
+/// coins match. Bad probability is exactly 1/2 under every adversary — the
+/// baseline case where worst and best coincide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TwoCoinGame {
+    phase: u8,
+    first: Option<bool>,
+    second: Option<bool>,
+}
+
+/// The only move of [`TwoCoinGame`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepMove;
+
+impl TwoCoinGame {
+    /// A fresh game.
+    #[must_use]
+    pub fn new() -> TwoCoinGame {
+        TwoCoinGame {
+            phase: 0,
+            first: None,
+            second: None,
+        }
+    }
+
+    /// Bad-outcome predicate: the two coins match.
+    #[must_use]
+    pub fn is_bad(outcome: &Outcome) -> bool {
+        let a = outcome.get(&CallSite::new(Pid(0), 1, 0));
+        let b = outcome.get(&CallSite::new(Pid(0), 2, 0));
+        a.is_some() && a == b
+    }
+}
+
+impl Default for TwoCoinGame {
+    fn default() -> Self {
+        TwoCoinGame::new()
+    }
+}
+
+impl System for TwoCoinGame {
+    type Event = StepMove;
+
+    fn process_count(&self) -> usize {
+        1
+    }
+
+    fn enabled(&self, out: &mut Vec<StepMove>) {
+        out.clear();
+        // Phases 0 and 2 are scheduling points; 1 and 3 await randomness.
+        if self.phase == 0 || self.phase == 2 {
+            out.push(StepMove);
+        }
+    }
+
+    fn apply(&mut self, _ev: &StepMove, _fx: &mut Effects) {
+        assert!(self.phase == 0 || self.phase == 2);
+        self.phase += 1;
+    }
+
+    fn supply_random(&mut self, choice: usize, fx: &mut Effects) {
+        fx.push(TraceEvent::ProgramRandom {
+            pid: Pid(0),
+            choices: 2,
+            chosen: choice,
+        });
+        match self.phase {
+            1 => self.first = Some(choice == 1),
+            3 => self.second = Some(choice == 1),
+            _ => panic!("supply_random in non-flipping phase"),
+        }
+        self.phase += 1;
+    }
+
+    fn status(&self) -> Status {
+        match self.phase {
+            0 | 2 => Status::Running,
+            1 | 3 => Status::AwaitingRandom {
+                pid: Pid(0),
+                choices: 2,
+                kind: RandomKind::Program,
+            },
+            _ => Status::Done,
+        }
+    }
+
+    fn outcome(&self) -> Outcome {
+        let mut o = Outcome::new();
+        if let Some(a) = self.first {
+            o.record(CallSite::new(Pid(0), 1, 0), Val::Int(i64::from(a)));
+        }
+        if let Some(b) = self.second {
+            o.record(CallSite::new(Pid(0), 2, 0), Val::Int(i64::from(b)));
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_game_moves_and_status() {
+        let mut g = BranchGame::new();
+        assert_eq!(g.status(), Status::Running);
+        let mut evs = Vec::new();
+        g.enabled(&mut evs);
+        assert_eq!(evs, vec![BranchMove::Risky, BranchMove::Safe]);
+
+        let mut fx = Effects::silent();
+        g.apply(&BranchMove::Safe, &mut fx);
+        assert_eq!(g.status(), Status::Done);
+        assert!(!BranchGame::is_bad(&g.outcome()));
+    }
+
+    #[test]
+    fn branch_game_risky_path_awaits_random() {
+        let mut g = BranchGame::new();
+        let mut fx = Effects::silent();
+        g.apply(&BranchMove::Risky, &mut fx);
+        assert!(matches!(g.status(), Status::AwaitingRandom { choices: 2, .. }));
+        g.supply_random(1, &mut fx);
+        assert_eq!(g.status(), Status::Done);
+        assert!(BranchGame::is_bad(&g.outcome()));
+    }
+
+    #[test]
+    fn two_coin_game_runs_to_completion() {
+        let mut g = TwoCoinGame::new();
+        let mut fx = Effects::silent();
+        let mut evs = Vec::new();
+        g.enabled(&mut evs);
+        g.apply(&StepMove, &mut fx);
+        g.supply_random(0, &mut fx);
+        g.enabled(&mut evs);
+        g.apply(&StepMove, &mut fx);
+        g.supply_random(0, &mut fx);
+        assert_eq!(g.status(), Status::Done);
+        assert!(TwoCoinGame::is_bad(&g.outcome())); // 0 == 0: matched.
+    }
+}

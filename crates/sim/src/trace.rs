@@ -1,0 +1,379 @@
+//! Execution traces and Figure-1-style timeline rendering.
+//!
+//! A [`Trace`] is the externally visible record of one execution: call and
+//! return actions (forming the history, Section 2.1), message deliveries,
+//! random steps, preamble-boundary markers, and crashes. Traces feed the
+//! linearizability checkers (via [`Trace::history`]) and the pretty printer
+//! that reproduces the style of the paper's Figure 1.
+
+use blunt_core::history::{Action, History};
+use blunt_core::ids::{CallSite, InvId, MethodId, ObjId, Pid};
+use blunt_core::value::Val;
+use std::fmt;
+
+/// One observable event of an execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A method invocation began (a call transition).
+    Call {
+        /// Unique invocation id.
+        inv: InvId,
+        /// Invoking process.
+        pid: Pid,
+        /// Target object.
+        obj: ObjId,
+        /// Method.
+        method: MethodId,
+        /// Argument.
+        arg: Val,
+        /// Syntactic call site in the program.
+        site: CallSite,
+    },
+    /// A method invocation returned (a return transition).
+    Return {
+        /// Invocation id.
+        inv: InvId,
+        /// Process.
+        pid: Pid,
+        /// Returned value.
+        val: Val,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Sender.
+        src: Pid,
+        /// Receiver.
+        dst: Pid,
+        /// Human-readable payload description.
+        label: String,
+    },
+    /// A process took an internal protocol step.
+    Internal {
+        /// Process.
+        pid: Pid,
+        /// Step description.
+        label: String,
+    },
+    /// An invocation passed the control point `Π(M)` ending its preamble
+    /// (possibly one of `k` iterations in a transformed object).
+    PreamblePassed {
+        /// Invocation id.
+        inv: InvId,
+        /// Process.
+        pid: Pid,
+        /// Which preamble iteration just completed (1-based).
+        iteration: u32,
+    },
+    /// A *program* random step (`random(V)` in the program text).
+    ProgramRandom {
+        /// Process.
+        pid: Pid,
+        /// `|V|`.
+        choices: usize,
+        /// The drawn index.
+        chosen: usize,
+    },
+    /// An *object* random step (the iteration choice inside `O^k`).
+    ObjectRandom {
+        /// Process.
+        pid: Pid,
+        /// Invocation the choice belongs to.
+        inv: InvId,
+        /// `k`.
+        choices: usize,
+        /// The drawn iteration index (0-based).
+        chosen: usize,
+    },
+    /// A process crashed.
+    Crash {
+        /// Process.
+        pid: Pid,
+    },
+}
+
+impl TraceEvent {
+    /// The process this event belongs to (the receiver, for deliveries).
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        match self {
+            TraceEvent::Call { pid, .. }
+            | TraceEvent::Return { pid, .. }
+            | TraceEvent::Internal { pid, .. }
+            | TraceEvent::PreamblePassed { pid, .. }
+            | TraceEvent::ProgramRandom { pid, .. }
+            | TraceEvent::ObjectRandom { pid, .. }
+            | TraceEvent::Crash { pid } => *pid,
+            TraceEvent::Deliver { dst, .. } => *dst,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Call {
+                pid,
+                obj,
+                method,
+                arg,
+                inv,
+                ..
+            } => write!(f, "{pid}: call {method}({arg}) on {obj} [{inv}]"),
+            TraceEvent::Return { pid, val, inv } => {
+                write!(f, "{pid}: return {val} [{inv}]")
+            }
+            TraceEvent::Deliver { src, dst, label } => {
+                write!(f, "{dst}: deliver {label} from {src}")
+            }
+            TraceEvent::Internal { pid, label } => write!(f, "{pid}: {label}"),
+            TraceEvent::PreamblePassed {
+                pid,
+                inv,
+                iteration,
+            } => write!(f, "{pid}: preamble #{iteration} done [{inv}]"),
+            TraceEvent::ProgramRandom {
+                pid,
+                choices,
+                chosen,
+            } => write!(f, "{pid}: random({choices}) -> {chosen} (program)"),
+            TraceEvent::ObjectRandom {
+                pid,
+                inv,
+                choices,
+                chosen,
+            } => write!(f, "{pid}: random({choices}) -> {chosen} (object, {inv})"),
+            TraceEvent::Crash { pid } => write!(f, "{pid}: CRASH"),
+        }
+    }
+}
+
+/// The trace of one execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends events.
+    pub fn extend(&mut self, events: Vec<TraceEvent>) {
+        self.events.extend(events);
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Projects the trace onto its call/return actions — the history of the
+    /// execution (Section 2.1).
+    #[must_use]
+    pub fn history(&self) -> History {
+        let mut h = History::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Call {
+                    inv,
+                    pid,
+                    obj,
+                    method,
+                    arg,
+                    ..
+                } => h.push(Action::Call {
+                    inv: *inv,
+                    pid: *pid,
+                    obj: *obj,
+                    method: *method,
+                    arg: arg.clone(),
+                }),
+                TraceEvent::Return { inv, val, .. } => h.push(Action::Return {
+                    inv: *inv,
+                    val: val.clone(),
+                }),
+                _ => {}
+            }
+        }
+        h
+    }
+
+    /// Number of message deliveries (a proxy for message complexity; used by
+    /// the cost-vs-`k` experiment E8).
+    #[must_use]
+    pub fn delivery_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+            .count()
+    }
+
+    /// Number of program random steps taken.
+    #[must_use]
+    pub fn program_random_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProgramRandom { .. }))
+            .count()
+    }
+
+    /// Number of object random steps taken (introduced by `O^k`).
+    #[must_use]
+    pub fn object_random_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ObjectRandom { .. }))
+            .count()
+    }
+
+    /// Renders a per-process timeline in the style of the paper's Figure 1:
+    /// one column per process, time flowing downward.
+    #[must_use]
+    pub fn timeline(&self, n: usize) -> String {
+        let width = 30usize;
+        let mut out = String::new();
+        for p in 0..n {
+            let cell = format!("p{p}");
+            out.push_str(&format!("{cell:^width$}"));
+        }
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str(&format!("{:-^width$}", ""));
+        }
+        out.push('\n');
+        for ev in &self.events {
+            let col = ev.pid().index().min(n - 1);
+            let text = ev.to_string();
+            // Strip the leading "pX: " for compactness; the column encodes it.
+            let text = text.split_once(": ").map_or(text.as_str(), |x| x.1);
+            let mut text = text.to_string();
+            if text.len() > width - 2 {
+                text.truncate(width - 3);
+                text.push('…');
+            }
+            for p in 0..n {
+                if p == col {
+                    out.push_str(&format!("{text:^width$}"));
+                } else {
+                    out.push_str(&format!("{:^width$}", "·"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            writeln!(f, "{i:4}  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.extend(vec![
+            TraceEvent::Call {
+                inv: InvId(0),
+                pid: Pid(0),
+                obj: ObjId(0),
+                method: MethodId::WRITE,
+                arg: Val::Int(0),
+                site: CallSite::new(Pid(0), 3, 0),
+            },
+            TraceEvent::Deliver {
+                src: Pid(0),
+                dst: Pid(1),
+                label: "query".into(),
+            },
+            TraceEvent::ProgramRandom {
+                pid: Pid(1),
+                choices: 2,
+                chosen: 1,
+            },
+            TraceEvent::ObjectRandom {
+                pid: Pid(0),
+                inv: InvId(0),
+                choices: 2,
+                chosen: 0,
+            },
+            TraceEvent::PreamblePassed {
+                inv: InvId(0),
+                pid: Pid(0),
+                iteration: 1,
+            },
+            TraceEvent::Return {
+                inv: InvId(0),
+                pid: Pid(0),
+                val: Val::Nil,
+            },
+        ]);
+        t
+    }
+
+    #[test]
+    fn history_projects_calls_and_returns() {
+        let h = sample_trace().history();
+        assert_eq!(h.len(), 2);
+        assert!(h.is_well_formed());
+        assert!(h.is_sequential());
+    }
+
+    #[test]
+    fn counters_count_their_kinds() {
+        let t = sample_trace();
+        assert_eq!(t.delivery_count(), 1);
+        assert_eq!(t.program_random_count(), 1);
+        assert_eq!(t.object_random_count(), 1);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_event_plus_header() {
+        let t = sample_trace();
+        let tl = t.timeline(3);
+        assert_eq!(tl.lines().count(), 2 + t.len());
+        assert!(tl.contains("query"));
+    }
+
+    #[test]
+    fn display_numbers_events() {
+        let s = sample_trace().to_string();
+        assert!(s.contains("   0  p0: call Write(0) on obj0"));
+        assert!(s.contains("random(2) -> 1 (program)"));
+    }
+
+    #[test]
+    fn event_pid_uses_receiver_for_deliveries() {
+        let ev = TraceEvent::Deliver {
+            src: Pid(0),
+            dst: Pid(2),
+            label: "x".into(),
+        };
+        assert_eq!(ev.pid(), Pid(2));
+    }
+}

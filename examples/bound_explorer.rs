@@ -1,0 +1,60 @@
+//! Explore the Theorem 4.2 bound landscape: how many preamble iterations
+//! buy how much blunting, across process counts and random-step budgets
+//! (the paper's time-complexity/probability trade-off, Sections 4.2 & 7).
+//!
+//! ```sh
+//! cargo run --example bound_explorer            # default grid
+//! cargo run --example bound_explorer -- 5 3 64  # n r k_max
+//! ```
+
+use blunting::core::bound::{bound_curve, min_iterations_for_advantage};
+use blunting::core::ratio::Ratio;
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (n, r, k_max) = match args[..] {
+        [n, r, k] => (n, r, k),
+        _ => (3, 1, 16),
+    };
+
+    let pa = Ratio::new(1, 2);
+    let pl = Ratio::ONE;
+    println!("Theorem 4.2 for n = {n} processes, r = {r} program random steps,");
+    println!("Prob[O_a] = {pa}, Prob[O] = {pl}:\n");
+    println!("{:>4} | {:>12} | {:>12} | {:>12}", "k", "Prob[X] ≥", "advantage", "bound ≤");
+    println!("{}", "-".repeat(52));
+    for point in bound_curve(pa, pl, n, r, k_max) {
+        println!(
+            "{:>4} | {:>12} | {:>12} | {:>12}",
+            point.k,
+            point.prob_x.to_string(),
+            point.advantage.to_string(),
+            point.bound.to_string(),
+        );
+    }
+
+    println!("\nIterations needed to cap the adversary's advantage:");
+    for (num, den) in [(1i128, 2i128), (1, 4), (1, 10), (1, 100)] {
+        let eps = Ratio::new(num, den);
+        match min_iterations_for_advantage(n, r, eps, 1_000_000) {
+            Some(k) => println!("  advantage ≤ {eps:<6} needs k = {k}"),
+            None => println!("  advantage ≤ {eps:<6} not reachable below k = 10⁶"),
+        }
+    }
+
+    println!("\nAnd across system sizes (advantage ≤ 1/10):");
+    println!("{:>4} | k needed for r = 1, 2, 4, 8", "n");
+    for n in [2u32, 3, 4, 8, 16] {
+        let ks: Vec<String> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&r| {
+                min_iterations_for_advantage(n, r, Ratio::new(1, 10), 1_000_000)
+                    .map_or("∞".into(), |k| k.to_string())
+            })
+            .collect();
+        println!("{:>4} | {}", n, ks.join(", "));
+    }
+}

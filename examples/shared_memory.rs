@@ -1,0 +1,83 @@
+//! Tour of the shared-memory constructions (Sections 5.2–5.4): run the
+//! snapshot, Vitányi–Awerbuch, and Israeli–Li implementations under random
+//! schedules, check the resulting histories with the linearizability
+//! checker, and compare exact adversarial values against atomic baselines.
+//!
+//! ```sh
+//! cargo run --release --example shared_memory
+//! ```
+
+use blunting::core::ids::ObjId;
+use blunting::core::spec::{RegisterSpec, SnapshotSpec};
+use blunting::core::value::Val;
+use blunting::lincheck::wgl::check_linearizable;
+use blunting::registers::scenarios::{
+    ghw_atomic, ghw_snapshot, sw_weakener_il, weakener_va,
+};
+use blunting::sim::explore::{worst_case_prob, ExploreBudget};
+use blunting::sim::kernel::run;
+use blunting::sim::rng::SplitMix64;
+use blunting::sim::sched::RandomScheduler;
+
+fn main() {
+    // 1. The Afek et al. snapshot under the snapshot weakener.
+    println!("== Afek et al. snapshot (Section 5.2) ==");
+    let report = run(
+        ghw_snapshot(2),
+        &mut RandomScheduler::new(3),
+        &mut SplitMix64::new(3),
+        true,
+        100_000,
+    )
+    .unwrap();
+    println!("one snapshot² execution: outcome {}", report.outcome);
+    let h = report.trace.history().project(ObjId(0));
+    let ok = check_linearizable(&h, &SnapshotSpec::new(3, Val::Nil)).is_ok();
+    println!("history linearizable w.r.t. the snapshot spec: {ok}");
+    assert!(ok);
+
+    let budget = ExploreBudget::with_max_states(2_000_000);
+    let bad = blunting::programs::ghw::is_bad;
+    let (pa, _) = worst_case_prob(&ghw_atomic(), &bad, &budget).unwrap();
+    let (p1, _) = worst_case_prob(&ghw_snapshot(1), &bad, &budget).unwrap();
+    let (p2, _) = worst_case_prob(&ghw_snapshot(2), &bad, &budget).unwrap();
+    println!("exact adversarial bad probability: atomic {pa}, snapshot {p1}, snapshot² {p2}");
+    println!("(single-update-per-process programs give this snapshot no leverage —");
+    println!(" the ABD amplification needs the quorum freedom of message passing;");
+    println!(" see EXPERIMENTS.md, experiment E9.)\n");
+
+    // 2. Vitányi–Awerbuch under the weakener.
+    println!("== Vitányi–Awerbuch MWMR register (Section 5.3) ==");
+    let wbad = blunting::programs::weakener::is_bad;
+    let (v1, _) = worst_case_prob(&weakener_va(1), &wbad, &budget).unwrap();
+    let (v2, _) = worst_case_prob(&weakener_va(2), &wbad, &budget).unwrap();
+    println!("exact adversarial bad probability: VA {v1}, VA² {v2}");
+    let report = run(
+        weakener_va(2),
+        &mut RandomScheduler::new(9),
+        &mut SplitMix64::new(9),
+        true,
+        100_000,
+    )
+    .unwrap();
+    let h = report.trace.history().project(ObjId(0));
+    assert!(check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok());
+    println!("sampled VA² history linearizable: true\n");
+
+    // 3. Israeli–Li under the single-writer weakener.
+    println!("== Israeli–Li SWMR register (Section 5.4) ==");
+    let (i1, _) = worst_case_prob(&sw_weakener_il(1), &wbad, &budget).unwrap();
+    let (i2, _) = worst_case_prob(&sw_weakener_il(2), &wbad, &budget).unwrap();
+    println!("exact adversarial bad probability: IL {i1}, IL² {i2}");
+    let report = run(
+        sw_weakener_il(2),
+        &mut RandomScheduler::new(5),
+        &mut SplitMix64::new(5),
+        true,
+        100_000,
+    )
+    .unwrap();
+    let h = report.trace.history().project(ObjId(0));
+    assert!(check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok());
+    println!("sampled IL² history linearizable: true");
+}

@@ -1,0 +1,45 @@
+//! **blunting** — a reproduction of *"Blunting an Adversary Against
+//! Randomized Concurrent Programs with Linearizable Implementations"*
+//! (Attiya, Enea, Welch; PODC 2022) as a workspace of Rust crates.
+//!
+//! This façade crate re-exports the whole workspace under stable names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `blunt-core` | histories, sequential specifications, preamble mappings, exact rationals, the Theorem 4.2 bound |
+//! | [`sim`] | `blunt-sim` | the adversary-driven simulation substrate and the exact expectimax explorer |
+//! | [`programs`] | `blunt-programs` | randomized programs as data; the weakener (Algorithm 1) and friends |
+//! | [`abd`] | `blunt-abd` | the ABD register, `ABD^k`, and composed message-passing systems |
+//! | [`registers`] | `blunt-registers` | shared-memory constructions (Afek snapshot, Vitányi–Awerbuch, Israeli–Li) and the generic preamble-iterating combinator |
+//! | [`lincheck`] | `blunt-lincheck` | linearizability / strong / tail-strong / write-strong checkers |
+//! | [`adversary`] | `blunt-adversary` | the scripted Figure 1 adversary and adversary-power measurements |
+//!
+//! # Example
+//!
+//! The paper's Appendix A.1 claim — with atomic registers, the weakener's
+//! bad-outcome probability is exactly 1/2 under the optimal strong
+//! adversary — computed as an exact game value:
+//!
+//! ```
+//! use blunting::abd::scenarios::weakener_atomic;
+//! use blunting::core::ratio::Ratio;
+//! use blunting::programs::weakener::is_bad;
+//! use blunting::sim::explore::{worst_case_prob, ExploreBudget};
+//!
+//! let (p, _) = worst_case_prob(&weakener_atomic(), &is_bad,
+//!                              &ExploreBudget::default()).unwrap();
+//! assert_eq!(p, Ratio::new(1, 2));
+//! ```
+//!
+//! See the repository `README.md`, `DESIGN.md`, and `EXPERIMENTS.md` for the
+//! full map, and `examples/` for runnable tours.
+
+#![forbid(unsafe_code)]
+
+pub use blunt_abd as abd;
+pub use blunt_adversary as adversary;
+pub use blunt_core as core;
+pub use blunt_lincheck as lincheck;
+pub use blunt_programs as programs;
+pub use blunt_registers as registers;
+pub use blunt_sim as sim;

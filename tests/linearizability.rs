@@ -1,0 +1,251 @@
+//! Cross-crate integration: every implementation in the workspace produces
+//! only linearizable histories (experiment E6 — Theorem 4.1's equivalence
+//! of `O^k` and `O` at the level of observable histories).
+//!
+//! Each test runs a composed system under many seeded random schedules,
+//! projects the trace's history per object (linearizability is local), and
+//! checks it with the Wing–Gong–Lowe search against the object's sequential
+//! specification.
+
+use blunting::core::history::History;
+use blunting::core::ids::ObjId;
+use blunting::core::spec::{RegisterSpec, SnapshotSpec};
+use blunting::core::value::Val;
+use blunting::lincheck::wgl::check_linearizable;
+use blunting::sim::kernel::run;
+use blunting::sim::rng::SplitMix64;
+use blunting::sim::sched::RandomScheduler;
+use blunting::sim::system::System;
+use blunting::sim::trace::Trace;
+
+fn history_for<S: System>(sys: S, seed: u64, max_steps: usize) -> Trace {
+    run(
+        sys,
+        &mut RandomScheduler::new(seed),
+        &mut SplitMix64::new(seed ^ 0xABCD),
+        true,
+        max_steps,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+    .trace
+}
+
+fn assert_register_linearizable(h: &History, what: &str, seed: u64) {
+    let spec = RegisterSpec::new(Val::Nil);
+    assert!(
+        check_linearizable(h, &spec).is_ok(),
+        "{what} (seed {seed}): non-linearizable register history:\n{h}"
+    );
+}
+
+#[test]
+fn abd_histories_are_linearizable() {
+    for k in [1u32, 2, 3] {
+        for seed in 0..40 {
+            let trace = history_for(
+                blunting::abd::scenarios::weakener_abd(k),
+                seed,
+                100_000,
+            );
+            let h = trace.history().project(ObjId(0));
+            assert_register_linearizable(&h, &format!("ABD^{k} on R"), seed);
+        }
+    }
+}
+
+#[test]
+fn abd_fused_histories_are_linearizable() {
+    for seed in 0..40 {
+        let trace = history_for(
+            blunting::abd::scenarios::weakener_abd_fused(2),
+            seed,
+            100_000,
+        );
+        let h = trace.history().project(ObjId(0));
+        assert_register_linearizable(&h, "fused ABD² on R", seed);
+    }
+}
+
+#[test]
+fn abd_full_configuration_both_registers_linearizable() {
+    for seed in 0..25 {
+        let trace = history_for(
+            blunting::abd::scenarios::weakener_abd_full(2),
+            seed,
+            200_000,
+        );
+        let h = trace.history();
+        for obj in h.objects() {
+            let proj = h.project(obj);
+            // C is initialized to −1; use the matching spec per object.
+            let initial = if obj == ObjId(1) { Val::Int(-1) } else { Val::Nil };
+            let spec = RegisterSpec::new(initial);
+            assert!(
+                check_linearizable(&proj, &spec).is_ok(),
+                "full ABD² {obj} (seed {seed}): non-linearizable:\n{proj}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_writer_abd_histories_are_linearizable() {
+    use blunting::abd::config::ObjectConfig;
+    use blunting::abd::system::{AbdSystem, AbdSystemDef};
+    use blunting::core::ids::Pid;
+    use blunting::programs::weakener::sw_weakener;
+
+    for k in [1u32, 2] {
+        for seed in 0..30 {
+            let sys = AbdSystem::new(AbdSystemDef {
+                program: sw_weakener(),
+                objects: vec![
+                    ObjectConfig::abd_single_writer(k, Pid(0), Val::Nil),
+                    ObjectConfig::atomic(Val::Int(-1)),
+                ],
+                purge_stale: true,
+                fused_rpc: false,
+            });
+            let trace = history_for(sys, seed, 100_000);
+            let h = trace.history().project(ObjId(0));
+            assert_register_linearizable(&h, &format!("SW-ABD^{k} on R"), seed);
+        }
+    }
+}
+
+#[test]
+fn vitanyi_awerbuch_histories_are_linearizable() {
+    for k in [1u32, 2] {
+        for seed in 0..40 {
+            let trace = history_for(
+                blunting::registers::scenarios::weakener_va(k),
+                seed,
+                200_000,
+            );
+            let h = trace.history().project(ObjId(0));
+            assert_register_linearizable(&h, &format!("VA^{k} on R"), seed);
+        }
+    }
+}
+
+#[test]
+fn israeli_li_histories_are_linearizable() {
+    for k in [1u32, 2] {
+        for seed in 0..40 {
+            let trace = history_for(
+                blunting::registers::scenarios::sw_weakener_il(k),
+                seed,
+                200_000,
+            );
+            let h = trace.history().project(ObjId(0));
+            assert_register_linearizable(&h, &format!("IL^{k} on R"), seed);
+        }
+    }
+}
+
+#[test]
+fn snapshot_histories_are_linearizable() {
+    for k in [1u32, 2] {
+        for seed in 0..40 {
+            let trace = history_for(
+                blunting::registers::scenarios::ghw_snapshot(k),
+                seed,
+                200_000,
+            );
+            let h = trace.history().project(ObjId(0));
+            let spec = SnapshotSpec::new(3, Val::Nil);
+            assert!(
+                check_linearizable(&h, &spec).is_ok(),
+                "snapshot^{k} (seed {seed}): non-linearizable:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_with_extended_update_preamble_is_linearizable() {
+    use blunting::programs::ghw;
+    use blunting::registers::system::{ShmObjectConfig, ShmSystem, ShmSystemDef};
+
+    for seed in 0..30 {
+        let sys = ShmSystem::new(ShmSystemDef {
+            program: ghw::snapshot_weakener(),
+            objects: vec![
+                ShmObjectConfig::Snapshot {
+                    k: 2,
+                    components: 3,
+                    initial: Val::Nil,
+                    update_preamble: true,
+                },
+                ShmObjectConfig::AtomicRegister {
+                    initial: Val::Int(-1),
+                },
+            ],
+        });
+        let trace = history_for(sys, seed, 200_000);
+        let h = trace.history().project(ObjId(0));
+        let spec = SnapshotSpec::new(3, Val::Nil);
+        assert!(
+            check_linearizable(&h, &spec).is_ok(),
+            "snapshot² (extended Π) seed {seed}: non-linearizable:\n{h}"
+        );
+    }
+}
+
+#[test]
+fn fig1_adversarial_histories_are_linearizable_too() {
+    // Even the worst adversary cannot break linearizability — only strong
+    // linearizability. The Figure 1 executions must pass the WGL check.
+    use blunting::adversary::fig1::fig1_script;
+    use blunting::sim::rng::Tape;
+
+    for coin in 0..2usize {
+        let report = run(
+            blunting::abd::scenarios::weakener_abd(1),
+            &mut fig1_script(coin),
+            &mut Tape::new(vec![coin]),
+            true,
+            10_000,
+        )
+        .unwrap();
+        let h = report.trace.history().project(ObjId(0));
+        assert_register_linearizable(&h, &format!("Figure 1 (coin {coin})"), coin as u64);
+    }
+}
+
+#[test]
+fn round_based_histories_are_linearizable_per_round_register() {
+    use blunting::abd::config::ObjectConfig;
+    use blunting::abd::system::{AbdSystem, AbdSystemDef};
+    use blunting::programs::round_based;
+
+    let rounds = 2;
+    for seed in 0..15 {
+        let objects = (0..round_based::object_count(rounds))
+            .map(|i| {
+                if i % 2 == 0 {
+                    ObjectConfig::abd(2, Val::Nil)
+                } else {
+                    ObjectConfig::atomic(Val::Int(-1))
+                }
+            })
+            .collect();
+        let sys = AbdSystem::new(AbdSystemDef {
+            program: round_based::round_based(rounds),
+            objects,
+            purge_stale: true,
+            fused_rpc: false,
+        });
+        let trace = history_for(sys, seed, 300_000);
+        let h = trace.history();
+        for obj in h.objects() {
+            let initial = if obj.0 % 2 == 1 { Val::Int(-1) } else { Val::Nil };
+            let proj = h.project(obj);
+            let spec = RegisterSpec::new(initial);
+            assert!(
+                check_linearizable(&proj, &spec).is_ok(),
+                "round-based {obj} (seed {seed}): non-linearizable:\n{proj}"
+            );
+        }
+    }
+}
