@@ -18,7 +18,11 @@ fn main() {
             match worst_case_prob(&weakener_abd_fused(k), &is_bad, &budget) {
                 Ok((p, s)) => println!(
                     "fused k={k}: exact worst = {p} ({:.4}) states={} hits={} depth={} in {:?}",
-                    p.to_f64(), s.states, s.memo_hits, s.max_depth, t.elapsed()
+                    p.to_f64(),
+                    s.states,
+                    s.memo_hits,
+                    s.max_depth,
+                    t.elapsed()
                 ),
                 Err(e) => println!("fused k={k}: {e} in {:?}", t.elapsed()),
             }
@@ -26,7 +30,11 @@ fn main() {
         None if mode == "sure1" => {
             let t = Instant::now();
             match sure_win(&weakener_abd(1), &is_bad, &budget) {
-                Ok((w, s)) => println!("unfused k=1 sure_win={w} states={} in {:?}", s.states, t.elapsed()),
+                Ok((w, s)) => println!(
+                    "unfused k=1 sure_win={w} states={} in {:?}",
+                    s.states,
+                    t.elapsed()
+                ),
                 Err(e) => println!("unfused k=1: {e} in {:?}", t.elapsed()),
             }
         }

@@ -282,12 +282,7 @@ impl ActiveOp {
     }
 
     /// Computes the update-phase payload from the chosen query result.
-    fn begin_update(
-        &self,
-        choice: usize,
-        me: Pid,
-        sn_counter: &mut u32,
-    ) -> (u32, Val, Ts, Val) {
+    fn begin_update(&self, choice: usize, me: Pid, sn_counter: &mut u32) -> (u32, Val, Ts, Val) {
         let (qv, qts) = self.results[choice].clone();
         *sn_counter += 1;
         let sn = *sn_counter;
@@ -342,14 +337,7 @@ mod tests {
     const QUORUM: u32 = 2;
     const ME: Pid = Pid(0);
 
-    fn reply(
-        op: &mut ActiveOp,
-        src: u32,
-        sn: u32,
-        val: Val,
-        ts: Ts,
-        ctr: &mut u32,
-    ) -> ReplyEffect {
+    fn reply(op: &mut ActiveOp, src: u32, sn: u32, val: Val, ts: Ts, ctr: &mut u32) -> ReplyEffect {
         op.on_reply(Pid(src), sn, &val, ts, QUORUM, ME, ctr)
     }
 

@@ -121,14 +121,20 @@ mod tests {
 
     #[test]
     fn staleness_classification() {
-        let q = AbdMsg::Query { obj: ObjId(0), sn: 0 };
+        let q = AbdMsg::Query {
+            obj: ObjId(0),
+            sn: 0,
+        };
         let u = AbdMsg::Update {
             obj: ObjId(0),
             sn: 0,
             val: Val::Int(1),
             ts: Ts::ZERO,
         };
-        let a = AbdMsg::Ack { obj: ObjId(0), sn: 0 };
+        let a = AbdMsg::Ack {
+            obj: ObjId(0),
+            sn: 0,
+        };
         assert!(q.is_stale_sensitive());
         assert!(a.is_stale_sensitive());
         assert!(!u.is_stale_sensitive(), "updates always take effect");
@@ -136,9 +142,20 @@ mod tests {
 
     #[test]
     fn messages_are_totally_ordered_for_canonical_queues() {
-        let mut v = [AbdMsg::Ack { obj: ObjId(0), sn: 2 },
-            AbdMsg::Query { obj: ObjId(1), sn: 0 },
-            AbdMsg::Query { obj: ObjId(0), sn: 1 }];
+        let mut v = [
+            AbdMsg::Ack {
+                obj: ObjId(0),
+                sn: 2,
+            },
+            AbdMsg::Query {
+                obj: ObjId(1),
+                sn: 0,
+            },
+            AbdMsg::Query {
+                obj: ObjId(0),
+                sn: 1,
+            },
+        ];
         v.sort();
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -146,7 +163,11 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(
-            AbdMsg::Query { obj: ObjId(0), sn: 3 }.to_string(),
+            AbdMsg::Query {
+                obj: ObjId(0),
+                sn: 3
+            }
+            .to_string(),
             "query#3[obj0]"
         );
         assert_eq!(

@@ -145,9 +145,9 @@ impl AbdSystem {
             .iter()
             .map(|cfg| match cfg.kind {
                 ObjectKind::Atomic => Vec::new(),
-                ObjectKind::Abd { .. } => {
-                    (0..n).map(|_| ServerState::new(cfg.initial.clone())).collect()
-                }
+                ObjectKind::Abd { .. } => (0..n)
+                    .map(|_| ServerState::new(cfg.initial.clone()))
+                    .collect(),
             })
             .collect();
         let atomics = def
@@ -255,6 +255,9 @@ impl AbdSystem {
         fx: &mut Effects,
     ) {
         let inv = self.fresh_inv(pid);
+        // Aggregated over every explorer branch (global registry; see
+        // `blunt_sim::network` for the rationale).
+        blunt_obs::static_counter!("abd.ops.started").inc();
         fx.push_with(|| TraceEvent::Call {
             inv,
             pid,
@@ -304,7 +307,10 @@ impl AbdSystem {
                     );
                 }
                 MethodId::WRITE if writer.is_some() => {
-                    panic!("process {pid} writes single-writer register {obj} owned by {:?}", writer)
+                    panic!(
+                        "process {pid} writes single-writer register {obj} owned by {:?}",
+                        writer
+                    )
                 }
                 MethodId::READ | MethodId::WRITE => {
                     let kind = if method == MethodId::READ {
@@ -353,6 +359,7 @@ impl AbdSystem {
         let op = self.clients[pid.index()]
             .take()
             .expect("completing without an active op");
+        blunt_obs::static_counter!("abd.ops.completed").inc();
         fx.push_with(|| TraceEvent::Return {
             inv: op.inv,
             pid,
@@ -369,6 +376,14 @@ impl AbdSystem {
             dst,
             label: env.msg.to_string(),
         });
+        // One macro call site per message kind: `static_counter!` caches a
+        // single handle per site, so the name must be a per-site literal.
+        match env.msg {
+            AbdMsg::Query { .. } => blunt_obs::static_counter!("abd.deliver.query").inc(),
+            AbdMsg::Reply { .. } => blunt_obs::static_counter!("abd.deliver.reply").inc(),
+            AbdMsg::Update { .. } => blunt_obs::static_counter!("abd.deliver.update").inc(),
+            AbdMsg::Ack { .. } => blunt_obs::static_counter!("abd.deliver.ack").inc(),
+        }
         match env.msg {
             AbdMsg::Query { obj, sn } => {
                 let reply = self.servers[obj.index()][dst.index()].reply(obj, sn);
@@ -438,6 +453,11 @@ impl AbdSystem {
             &mut self.sn_counters[client.index()],
         );
         let inv = op.inv;
+        if !matches!(effect, ReplyEffect::Ignored | ReplyEffect::Counted) {
+            // Every non-trivial effect marks a completed query quorum — one
+            // preamble round-trip of the paper's `ABD^k`.
+            blunt_obs::static_counter!("abd.quorum.query_rounds").inc();
+        }
         match effect {
             ReplyEffect::Ignored | ReplyEffect::Counted => {}
             ReplyEffect::NextQuery { iteration, sn } => {
@@ -470,7 +490,8 @@ impl AbdSystem {
                     pid: client,
                     iteration,
                 });
-                self.net.broadcast(client, AbdMsg::Update { obj, sn, val, ts });
+                self.net
+                    .broadcast(client, AbdMsg::Update { obj, sn, val, ts });
             }
         }
     }
@@ -487,6 +508,7 @@ impl AbdSystem {
         match op.on_ack(server, sn, quorum) {
             AckEffect::Ignored | AckEffect::Counted => {}
             AckEffect::Complete { ret } => {
+                blunt_obs::static_counter!("abd.quorum.update_rounds").inc();
                 self.complete_op(client, ret, fx);
             }
         }
@@ -562,8 +584,7 @@ impl System for AbdSystem {
                     choices,
                     chosen: choice,
                 });
-                let (sn, val, ts) =
-                    op.choose(choice, pid, &mut self.sn_counters[pid.index()]);
+                let (sn, val, ts) = op.choose(choice, pid, &mut self.sn_counters[pid.index()]);
                 self.net.broadcast(pid, AbdMsg::Update { obj, sn, val, ts });
             }
             None => panic!("supply_random while not awaiting randomness"),

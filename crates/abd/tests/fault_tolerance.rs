@@ -15,7 +15,6 @@ use blunt_sim::rng::SplitMix64;
 use blunt_sim::sched::RandomScheduler;
 use blunt_sim::system::Effects;
 
-
 /// p0 writes 7 then 9; p4 reads twice; p1–p3 only serve.
 fn five_process_program() -> ProgramDef {
     let write = |v: i64| Instr::Invoke {
@@ -56,7 +55,11 @@ fn system(k: u32) -> AbdSystem {
     })
 }
 
-fn run_with_crashes(mut sys: AbdSystem, crashed: &[Pid], seed: u64) -> blunt_sim::kernel::RunReport {
+fn run_with_crashes(
+    mut sys: AbdSystem,
+    crashed: &[Pid],
+    seed: u64,
+) -> blunt_sim::kernel::RunReport {
     let mut fx = Effects::silent();
     for &p in crashed {
         sys.crash(p, &mut fx);
@@ -74,11 +77,7 @@ fn run_with_crashes(mut sys: AbdSystem, crashed: &[Pid], seed: u64) -> blunt_sim
 #[test]
 fn survives_any_minority_crashed_up_front() {
     // Crash every 2-subset of the pure servers {p1, p2, p3}.
-    let pairs = [
-        [Pid(1), Pid(2)],
-        [Pid(1), Pid(3)],
-        [Pid(2), Pid(3)],
-    ];
+    let pairs = [[Pid(1), Pid(2)], [Pid(1), Pid(3)], [Pid(2), Pid(3)]];
     for crashed in pairs {
         for seed in 0..10 {
             let report = run_with_crashes(system(1), &crashed, seed);

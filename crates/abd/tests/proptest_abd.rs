@@ -1,7 +1,8 @@
-//! Property-based tests for ABD: randomly generated register programs over
+//! Randomized tests for ABD: randomly generated register programs over
 //! randomly seeded schedules always produce linearizable histories —
 //! multi-writer and single-writer, fused and unfused, purged and unpurged,
-//! for every `k`.
+//! for every `k`. Cases come from a seeded SplitMix64, so the suite is
+//! deterministic and dependency-free.
 
 use blunt_abd::config::ObjectConfig;
 use blunt_abd::system::{AbdSystem, AbdSystemDef};
@@ -13,9 +14,9 @@ use blunt_programs::{Expr, Instr, ProgramDef};
 use blunt_sim::kernel::run;
 use blunt_sim::rng::SplitMix64;
 use blunt_sim::sched::RandomScheduler;
-use proptest::prelude::*;
 
 const N: usize = 3;
+const CASES: u64 = 32;
 
 #[derive(Clone, Copy, Debug)]
 enum PlannedOp {
@@ -23,12 +24,23 @@ enum PlannedOp {
     Write(i64),
 }
 
-fn planned_ops() -> impl Strategy<Value = Vec<Vec<PlannedOp>>> {
-    let op = prop_oneof![
-        Just(PlannedOp::Read),
-        (0i64..6).prop_map(PlannedOp::Write),
-    ];
-    prop::collection::vec(prop::collection::vec(op, 0..4), N..=N)
+/// `N` processes, each with 0..4 ops, each a read or a write of 0..6 —
+/// the same shape the proptest strategy generated.
+fn planned_ops(rng: &mut SplitMix64) -> Vec<Vec<PlannedOp>> {
+    (0..N)
+        .map(|_| {
+            let len = (rng.next_u64() % 4) as usize;
+            (0..len)
+                .map(|_| {
+                    if rng.next_u64() & 1 == 0 {
+                        PlannedOp::Read
+                    } else {
+                        PlannedOp::Write((rng.next_u64() % 6) as i64)
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> ProgramDef {
@@ -39,9 +51,7 @@ fn program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> ProgramDef {
             let mut code = Vec::new();
             for op in plan {
                 let instr = match op {
-                    PlannedOp::Write(v)
-                        if writer_only.is_none_or(|w| w == Pid(p as u32)) =>
-                    {
+                    PlannedOp::Write(v) if writer_only.is_none_or(|w| w == Pid(p as u32)) => {
                         Instr::Invoke {
                             line: 1,
                             obj: ObjId(0),
@@ -67,7 +77,7 @@ fn program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> ProgramDef {
     ProgramDef::new("proptest-abd", codes, vec![0; N], 0, vec![])
 }
 
-fn check(sys: AbdSystem, seed: u64) -> Result<(), TestCaseError> {
+fn check(sys: AbdSystem, seed: u64) {
     let report = run(
         sys,
         &mut RandomScheduler::new(seed),
@@ -75,49 +85,57 @@ fn check(sys: AbdSystem, seed: u64) -> Result<(), TestCaseError> {
         true,
         500_000,
     )
-    .map_err(|e| TestCaseError::fail(format!("run failed: {e}")))?;
+    .unwrap_or_else(|e| panic!("run failed (seed {seed}): {e}"));
     let h = report.trace.history().project(ObjId(0));
-    prop_assert!(
+    assert!(
         check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
         "non-linearizable ABD history (seed {seed}):\n{h}"
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn multi_writer_abd_random_programs_linearizable(
-        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000,
-        fused in prop::bool::ANY, purge in prop::bool::ANY
-    ) {
+#[test]
+fn multi_writer_abd_random_programs_linearizable() {
+    let mut rng = SplitMix64::new(0xABD0_0001);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 3) as u32;
+        let seed = rng.next_u64() % 10_000;
+        let fused = rng.next_u64() & 1 == 1;
+        let purge = rng.next_u64() & 1 == 1;
         let sys = AbdSystem::new(AbdSystemDef {
             program: program(&plans, None),
             objects: vec![ObjectConfig::abd(k, Val::Nil)],
             purge_stale: purge,
             fused_rpc: fused,
         });
-        check(sys, seed)?;
+        check(sys, seed);
     }
+}
 
-    #[test]
-    fn single_writer_abd_random_programs_linearizable(
-        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
-    ) {
+#[test]
+fn single_writer_abd_random_programs_linearizable() {
+    let mut rng = SplitMix64::new(0xABD0_0002);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 3) as u32;
+        let seed = rng.next_u64() % 10_000;
         let sys = AbdSystem::new(AbdSystemDef {
             program: program(&plans, Some(Pid(0))),
             objects: vec![ObjectConfig::abd_single_writer(k, Pid(0), Val::Nil)],
             purge_stale: true,
             fused_rpc: false,
         });
-        check(sys, seed)?;
+        check(sys, seed);
     }
+}
 
-    #[test]
-    fn object_random_steps_appear_only_for_k_above_one(
-        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
-    ) {
+#[test]
+fn object_random_steps_appear_only_for_k_above_one() {
+    let mut rng = SplitMix64::new(0xABD0_0003);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 3) as u32;
+        let seed = rng.next_u64() % 10_000;
         let sys = AbdSystem::new(AbdSystemDef {
             program: program(&plans, None),
             objects: vec![ObjectConfig::abd(k, Val::Nil)],
@@ -134,7 +152,7 @@ proptest! {
         .unwrap();
         let coins = report.trace.object_random_count();
         if k == 1 {
-            prop_assert_eq!(coins, 0, "ABD¹ must be identical to ABD");
+            assert_eq!(coins, 0, "ABD¹ must be identical to ABD");
         } else {
             // One object coin per completed R-operation.
             let completed = report
@@ -145,14 +163,18 @@ proptest! {
                 .iter()
                 .filter(|r| r.ret.is_some())
                 .count();
-            prop_assert_eq!(coins, completed);
+            assert_eq!(coins, completed);
         }
     }
+}
 
-    #[test]
-    fn preamble_markers_count_matches_k(
-        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
-    ) {
+#[test]
+fn preamble_markers_count_matches_k() {
+    let mut rng = SplitMix64::new(0xABD0_0004);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 3) as u32;
+        let seed = rng.next_u64() % 10_000;
         let sys = AbdSystem::new(AbdSystemDef {
             program: program(&plans, None),
             objects: vec![ObjectConfig::abd(k, Val::Nil)],
@@ -181,6 +203,6 @@ proptest! {
             .filter(|e| matches!(e, blunt_sim::trace::TraceEvent::PreamblePassed { .. }))
             .count();
         // Every completed op ran exactly k query iterations.
-        prop_assert_eq!(markers, completed * k as usize);
+        assert_eq!(markers, completed * k as usize);
     }
 }

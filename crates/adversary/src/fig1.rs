@@ -79,6 +79,7 @@ impl AbdScript {
     /// Creates a scheduler from a step list.
     #[must_use]
     pub fn new(steps: Vec<Step>) -> AbdScript {
+        blunt_obs::static_counter!("adversary.fig1.scripts_built").inc();
         AbdScript {
             steps: steps.into(),
             consumed: 0,
@@ -95,17 +96,24 @@ impl AbdScript {
 impl Scheduler<AbdSystem> for AbdScript {
     fn pick(&mut self, sys: &AbdSystem, enabled: &[AbdEvent]) -> usize {
         let Some(step) = self.steps.pop_front() else {
+            blunt_obs::static_counter!("adversary.fig1.fallback_picks").inc();
             return 0;
         };
         self.consumed += 1;
+        blunt_obs::static_counter!("adversary.fig1.scripted_picks").inc();
         let found = enabled.iter().position(|ev| match (step, ev) {
             (Step::Prog(pid), AbdEvent::Prog(p)) => *p == pid,
-            (Step::Deliver { src, dst, kind, obj }, AbdEvent::Deliver(slot)) => {
+            (
+                Step::Deliver {
+                    src,
+                    dst,
+                    kind,
+                    obj,
+                },
+                AbdEvent::Deliver(slot),
+            ) => {
                 let env = sys.net().peek(*slot);
-                env.src == src
-                    && env.dst == dst
-                    && env.msg.obj() == obj
-                    && kind.matches(&env.msg)
+                env.src == src && env.dst == dst && env.msg.obj() == obj && kind.matches(&env.msg)
             }
             _ => false,
         });
@@ -383,8 +391,8 @@ mod tests {
             10_000,
         )
         .unwrap();
-        use blunt_programs::weakener::{site_c, site_u1, site_u2};
         use blunt_core::value::Val;
+        use blunt_programs::weakener::{site_c, site_u1, site_u2};
         assert_eq!(report.outcome.get(&site_u1()), Some(&Val::Int(0)));
         assert_eq!(report.outcome.get(&site_u2()), Some(&Val::Int(1)));
         assert_eq!(report.outcome.get(&site_c()), Some(&Val::Int(0)));
@@ -401,8 +409,8 @@ mod tests {
             10_000,
         )
         .unwrap();
-        use blunt_programs::weakener::{site_c, site_u1, site_u2};
         use blunt_core::value::Val;
+        use blunt_programs::weakener::{site_c, site_u1, site_u2};
         assert_eq!(report.outcome.get(&site_u1()), Some(&Val::Int(1)));
         assert_eq!(report.outcome.get(&site_u2()), Some(&Val::Int(0)));
         assert_eq!(report.outcome.get(&site_c()), Some(&Val::Int(1)));

@@ -36,10 +36,7 @@ pub fn paper_claims() -> Vec<(String, String)> {
     vec![
         ("atomic".into(), "bad ≤ 1/2 (A.1)".into()),
         ("ABD¹".into(), "bad = 1 (A.2, Fig. 1)".into()),
-        (
-            "ABD²".into(),
-            "bad ≤ 7/8 (Thm 4.2); ≤ 5/8 (A.3.2)".into(),
-        ),
+        ("ABD²".into(), "bad ≤ 7/8 (Thm 4.2); ≤ 5/8 (A.3.2)".into()),
     ]
 }
 

@@ -27,10 +27,14 @@ use blunt_sim::sched::RandomScheduler;
 ///
 /// Returns [`ExploreError::BudgetExceeded`] if the budget runs out (the
 /// atomic game is small; the default budget is ample).
-pub fn exact_worst_atomic(
-    budget: &ExploreBudget,
-) -> Result<(Ratio, ExploreStats), ExploreError> {
-    worst_case_prob(&weakener_atomic(), &is_bad, budget)
+pub fn exact_worst_atomic(budget: &ExploreBudget) -> Result<(Ratio, ExploreStats), ExploreError> {
+    let out = blunt_obs::timed("adversary.search.atomic", || {
+        worst_case_prob(&weakener_atomic(), &is_bad, budget)
+    });
+    if let Ok((_, stats)) = &out {
+        stats.publish("adversary.search");
+    }
+    out
 }
 
 /// Exact worst-case bad probability on the **fused** `ABD^k` game — a
@@ -44,7 +48,13 @@ pub fn exact_worst_fused(
     k: u32,
     budget: &ExploreBudget,
 ) -> Result<(Ratio, ExploreStats), ExploreError> {
-    worst_case_prob(&weakener_abd_fused(k), &is_bad, budget)
+    let out = blunt_obs::timed("adversary.search.fused", || {
+        worst_case_prob(&weakener_abd_fused(k), &is_bad, budget)
+    });
+    if let Ok((_, stats)) = &out {
+        stats.publish("adversary.search");
+    }
+    out
 }
 
 /// Whether the unrestricted adversary can force the bad outcome surely
@@ -59,7 +69,13 @@ pub fn certain_win_unfused(
     k: u32,
     budget: &ExploreBudget,
 ) -> Result<(bool, ExploreStats), ExploreError> {
-    sure_win(&weakener_abd(k), &is_bad, budget)
+    let out = blunt_obs::timed("adversary.search.sure_win", || {
+        sure_win(&weakener_abd(k), &is_bad, budget)
+    });
+    if let Ok((_, stats)) = &out {
+        stats.publish("adversary.search");
+    }
+    out
 }
 
 /// Monte Carlo estimate of the bad-outcome frequency for `ABD^k` under
@@ -93,8 +109,7 @@ mod tests {
     #[ignore = "≈15 s release / minutes debug: exact fused k = 1 value; run with --ignored"]
     fn fused_k1_value_is_one() {
         // The fused game already contains the Figure 1 attack.
-        let (p, stats) =
-            exact_worst_fused(1, &ExploreBudget::with_max_states(5_000_000)).unwrap();
+        let (p, stats) = exact_worst_fused(1, &ExploreBudget::with_max_states(5_000_000)).unwrap();
         assert_eq!(p, Ratio::ONE);
         assert!(stats.states > 100_000);
     }
@@ -102,16 +117,14 @@ mod tests {
     #[test]
     #[ignore = "about a minute: the ABD² headline (exact 5/8); run with --ignored"]
     fn fused_k2_value_is_five_eighths() {
-        let (p, _) =
-            exact_worst_fused(2, &ExploreBudget::with_max_states(20_000_000)).unwrap();
+        let (p, _) = exact_worst_fused(2, &ExploreBudget::with_max_states(20_000_000)).unwrap();
         assert_eq!(p, Ratio::new(5, 8));
     }
 
     #[test]
     #[ignore = "several minutes: exhaustive sure-win proof on the unfused game"]
     fn unfused_k1_certain_win() {
-        let (w, _) =
-            certain_win_unfused(1, &ExploreBudget::with_max_states(50_000_000)).unwrap();
+        let (w, _) = certain_win_unfused(1, &ExploreBudget::with_max_states(50_000_000)).unwrap();
         assert!(w);
     }
 

@@ -1,96 +1,72 @@
 //! The time-complexity side of the paper's trade-off (Sections 4.2 & 7,
 //! experiment E8): the cost of one weakener run grows with the number of
 //! preamble iterations `k`.
+//!
+//! Run with `cargo bench -p blunt-bench --bench cost_vs_k`.
 
 use blunt_abd::scenarios::{weakener_abd, weakener_abd_fused};
+use blunt_bench::timing::bench;
 use blunt_registers::scenarios::{sw_weakener_il, weakener_va};
 use blunt_sim::kernel::run;
 use blunt_sim::rng::SplitMix64;
 use blunt_sim::sched::RandomScheduler;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_abd_run_vs_k(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cost/abd-weakener-run");
+fn main() {
     for k in [1u32, 2, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run(
-                    black_box(weakener_abd(k)),
-                    &mut RandomScheduler::new(seed),
-                    &mut SplitMix64::new(seed),
-                    false,
-                    2_000_000,
-                )
-                .unwrap()
-            });
+        let mut seed = 0u64;
+        bench(&format!("cost/abd-weakener-run/{k}"), || {
+            seed += 1;
+            run(
+                black_box(weakener_abd(k)),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                2_000_000,
+            )
+            .unwrap();
         });
     }
-    g.finish();
-}
 
-fn bench_fused_abd_run_vs_k(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cost/fused-abd-weakener-run");
     for k in [1u32, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run(
-                    black_box(weakener_abd_fused(k)),
-                    &mut RandomScheduler::new(seed),
-                    &mut SplitMix64::new(seed),
-                    false,
-                    2_000_000,
-                )
-                .unwrap()
-            });
+        let mut seed = 0u64;
+        bench(&format!("cost/fused-abd-weakener-run/{k}"), || {
+            seed += 1;
+            run(
+                black_box(weakener_abd_fused(k)),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                2_000_000,
+            )
+            .unwrap();
         });
     }
-    g.finish();
-}
 
-fn bench_shm_runs_vs_k(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cost/shm-weakener-run");
     for k in [1u32, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("va", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run(
-                    black_box(weakener_va(k)),
-                    &mut RandomScheduler::new(seed),
-                    &mut SplitMix64::new(seed),
-                    false,
-                    2_000_000,
-                )
-                .unwrap()
-            });
+        let mut seed = 0u64;
+        bench(&format!("cost/shm-weakener-run/va/{k}"), || {
+            seed += 1;
+            run(
+                black_box(weakener_va(k)),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                2_000_000,
+            )
+            .unwrap();
         });
-        g.bench_with_input(BenchmarkId::new("il", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run(
-                    black_box(sw_weakener_il(k)),
-                    &mut RandomScheduler::new(seed),
-                    &mut SplitMix64::new(seed),
-                    false,
-                    2_000_000,
-                )
-                .unwrap()
-            });
+        let mut seed = 0u64;
+        bench(&format!("cost/shm-weakener-run/il/{k}"), || {
+            seed += 1;
+            run(
+                black_box(sw_weakener_il(k)),
+                &mut RandomScheduler::new(seed),
+                &mut SplitMix64::new(seed),
+                false,
+                2_000_000,
+            )
+            .unwrap();
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_abd_run_vs_k,
-    bench_fused_abd_run_vs_k,
-    bench_shm_runs_vs_k
-);
-criterion_main!(benches);

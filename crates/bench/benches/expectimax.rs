@@ -1,114 +1,78 @@
 //! Benchmarks for the exact adversary explorer — the performance-critical
 //! piece behind experiments E1–E4 (DESIGN.md, design decision 1).
+//!
+//! Run with `cargo bench -p blunt-bench --bench expectimax`.
 
 use blunt_abd::scenarios::{weakener_abd_fused, weakener_atomic};
+use blunt_bench::timing::bench;
 use blunt_programs::weakener::is_bad;
 use blunt_sim::explore::{best_case_prob, worst_case_prob, ExploreBudget};
 use blunt_sim::toy::{BranchGame, TwoCoinGame};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_toy_games(c: &mut Criterion) {
-    let mut g = c.benchmark_group("expectimax/toy");
-    g.bench_function("branch_game", |b| {
-        b.iter(|| {
-            worst_case_prob(
-                black_box(&BranchGame::new()),
-                &BranchGame::is_bad,
-                &ExploreBudget::default(),
-            )
-            .unwrap()
-        });
+fn main() {
+    // Toy games.
+    bench("expectimax/toy/branch_game", || {
+        worst_case_prob(
+            black_box(&BranchGame::new()),
+            &BranchGame::is_bad,
+            &ExploreBudget::default(),
+        )
+        .unwrap();
     });
-    g.bench_function("two_coin_game", |b| {
-        b.iter(|| {
-            worst_case_prob(
-                black_box(&TwoCoinGame::new()),
-                &TwoCoinGame::is_bad,
-                &ExploreBudget::default(),
-            )
-            .unwrap()
-        });
+    bench("expectimax/toy/two_coin_game", || {
+        worst_case_prob(
+            black_box(&TwoCoinGame::new()),
+            &TwoCoinGame::is_bad,
+            &ExploreBudget::default(),
+        )
+        .unwrap();
     });
-    g.finish();
-}
 
-fn bench_atomic_weakener(c: &mut Criterion) {
-    let mut g = c.benchmark_group("expectimax/atomic-weakener");
-    g.sample_size(20);
-    g.bench_function("worst_case", |b| {
-        b.iter(|| {
-            worst_case_prob(
-                black_box(&weakener_atomic()),
-                &is_bad,
-                &ExploreBudget::default(),
-            )
-            .unwrap()
-        });
+    // Atomic weakener, worst and best case.
+    bench("expectimax/atomic-weakener/worst_case", || {
+        worst_case_prob(
+            black_box(&weakener_atomic()),
+            &is_bad,
+            &ExploreBudget::default(),
+        )
+        .unwrap();
     });
-    g.bench_function("best_case", |b| {
-        b.iter(|| {
-            best_case_prob(
-                black_box(&weakener_atomic()),
-                &is_bad,
-                &ExploreBudget::default(),
-            )
-            .unwrap()
-        });
+    bench("expectimax/atomic-weakener/best_case", || {
+        best_case_prob(
+            black_box(&weakener_atomic()),
+            &is_bad,
+            &ExploreBudget::default(),
+        )
+        .unwrap();
     });
-    g.finish();
-}
 
-fn bench_memo_modes(c: &mut Criterion) {
     // Fingerprint vs exact memoization on the same (small) game; the
     // trade-off motivating ExploreBudget::fingerprinted.
-    let mut g = c.benchmark_group("expectimax/memo-mode");
-    g.sample_size(20);
-    g.bench_function("exact_memo", |b| {
-        b.iter(|| {
-            worst_case_prob(
-                black_box(&weakener_atomic()),
-                &is_bad,
-                &ExploreBudget::with_max_states(1_000_000),
-            )
-            .unwrap()
-        });
+    bench("expectimax/memo-mode/exact_memo", || {
+        worst_case_prob(
+            black_box(&weakener_atomic()),
+            &is_bad,
+            &ExploreBudget::with_max_states(1_000_000),
+        )
+        .unwrap();
     });
-    g.bench_function("fingerprint_memo", |b| {
-        b.iter(|| {
-            worst_case_prob(
-                black_box(&weakener_atomic()),
-                &is_bad,
-                &ExploreBudget::with_max_states(1_000_000).fingerprinted(),
-            )
-            .unwrap()
-        });
+    bench("expectimax/memo-mode/fingerprint_memo", || {
+        worst_case_prob(
+            black_box(&weakener_atomic()),
+            &is_bad,
+            &ExploreBudget::with_max_states(1_000_000).fingerprinted(),
+        )
+        .unwrap();
     });
-    g.finish();
-}
 
-fn bench_fused_partial(c: &mut Criterion) {
     // A budget-capped partial exploration of the fused ABD game: measures
     // raw state-expansion throughput (states/second) on the real system.
-    let mut g = c.benchmark_group("expectimax/fused-abd-partial");
-    g.sample_size(10);
-    g.bench_function("k1_40k_states", |b| {
-        b.iter(|| {
-            let _ = worst_case_prob(
-                black_box(&weakener_abd_fused(1)),
-                &is_bad,
-                &ExploreBudget::with_max_states(40_000),
-            );
-        });
+    bench("expectimax/fused-abd-partial/k1_40k_states", || {
+        let _ = worst_case_prob(
+            black_box(&weakener_abd_fused(1)),
+            &is_bad,
+            &ExploreBudget::with_max_states(40_000),
+        );
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_toy_games,
-    bench_atomic_weakener,
-    bench_memo_modes,
-    bench_fused_partial
-);
-criterion_main!(benches);

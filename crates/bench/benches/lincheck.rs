@@ -1,7 +1,10 @@
 //! Benchmarks for the linearizability checkers (experiments E6/E7).
+//!
+//! Run with `cargo bench -p blunt-bench --bench lincheck`.
 
 use blunt_abd::scenarios::weakener_abd;
 use blunt_bench::seeded_history;
+use blunt_bench::timing::bench;
 use blunt_core::history::History;
 use blunt_core::ids::{MethodId, ObjId};
 use blunt_core::spec::RegisterSpec;
@@ -12,27 +15,12 @@ use blunt_lincheck::wgl::check_linearizable;
 use blunt_sim::kernel::run;
 use blunt_sim::rng::Tape;
 use blunt_sim::trace::Trace;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn sample_histories(count: u64) -> Vec<History> {
     (0..count)
         .map(|s| seeded_history(weakener_abd(2), s, ObjId(0), 300_000))
         .collect()
-}
-
-fn bench_wgl(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lincheck/wgl");
-    let spec = RegisterSpec::new(Val::Nil);
-    let histories = sample_histories(16);
-    g.bench_function("abd2_weakener_histories", |b| {
-        b.iter(|| {
-            for h in &histories {
-                assert!(check_linearizable(black_box(h), &spec).is_ok());
-            }
-        });
-    });
-    g.finish();
 }
 
 fn fig1_traces() -> Vec<Trace> {
@@ -51,35 +39,33 @@ fn fig1_traces() -> Vec<Trace> {
         .collect()
 }
 
-fn bench_strong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lincheck/strong");
-    let traces = fig1_traces();
+fn main() {
     let spec = RegisterSpec::new(Val::Nil);
-    g.bench_function("fig1_tree_refutation_pi0", |b| {
-        let tree = ExecTree::build(&traces, ObjId(0), |_| false);
-        b.iter(|| assert!(!check_strong(black_box(&tree), &spec)));
-    });
-    g.bench_function("fig1_tree_tail_pi_abd", |b| {
-        let tree = ExecTree::build(&traces, ObjId(0), |m| {
-            m == MethodId::READ || m == MethodId::WRITE
-        });
-        b.iter(|| assert!(check_strong(black_box(&tree), &spec)));
-    });
-    g.finish();
-}
 
-fn bench_tree_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lincheck/tree-build");
+    let histories = sample_histories(16);
+    bench("lincheck/wgl/abd2_weakener_histories", || {
+        for h in &histories {
+            assert!(check_linearizable(black_box(h), &spec).is_ok());
+        }
+    });
+
     let traces = fig1_traces();
+    let tree_pi0 = ExecTree::build(&traces, ObjId(0), |_| false);
+    bench("lincheck/strong/fig1_tree_refutation_pi0", || {
+        assert!(!check_strong(black_box(&tree_pi0), &spec));
+    });
+    let tree_abd = ExecTree::build(&traces, ObjId(0), |m| {
+        m == MethodId::READ || m == MethodId::WRITE
+    });
+    bench("lincheck/strong/fig1_tree_tail_pi_abd", || {
+        assert!(check_strong(black_box(&tree_abd), &spec));
+    });
+
     for n in [2usize, 8, 16] {
         // Repeat the two traces to simulate larger sampled forests.
         let many: Vec<Trace> = traces.iter().cycle().take(n).cloned().collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &many, |b, many| {
-            b.iter(|| ExecTree::build(black_box(many), ObjId(0), |_| false));
+        bench(&format!("lincheck/tree-build/{n}"), || {
+            ExecTree::build(black_box(&many), ObjId(0), |_| false);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_wgl, bench_strong, bench_tree_build);
-criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! Per-operation cost of the shared-memory constructions and the network
 //! substrate — the microbenchmarks behind experiment E8's shared-memory
 //! columns.
+//!
+//! Run with `cargo bench -p blunt-bench --bench shm_ops`.
 
+use blunt_bench::timing::bench;
 use blunt_core::ids::Pid;
 use blunt_core::value::Val;
 use blunt_registers::israeli_li::{self, IlOp};
@@ -10,7 +13,6 @@ use blunt_registers::snapshot::{self, SnapshotOp};
 use blunt_registers::twophase::{IterEffect, IteratedOp, ShmOp};
 use blunt_registers::vitanyi_awerbuch::{self, VaOp};
 use blunt_sim::network::Network;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 const N: usize = 3;
@@ -77,71 +79,66 @@ fn drive<O: ShmOp>(mut op: IteratedOp<O>, shm: &mut Shm, layout: &ShmLayout) -> 
     }
 }
 
-fn bench_ops_vs_k(c: &mut Criterion) {
-    let mut g = c.benchmark_group("shm/op-vs-k");
+fn main() {
     for k in [1u32, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("snapshot-scan", k), &k, |b, &k| {
+        {
             let (l, mut m) = snapshot_layout();
-            b.iter(|| {
+            bench(&format!("shm/op-vs-k/snapshot-scan/{k}"), || {
                 drive(
                     IteratedOp::new(SnapshotOp::scan(Pid(2), 0, N), black_box(k)),
                     &mut m,
                     &l,
-                )
+                );
             });
-        });
-        g.bench_with_input(BenchmarkId::new("va-read", k), &k, |b, &k| {
+        }
+        {
             let (l, mut m) = va_layout();
-            b.iter(|| {
+            bench(&format!("shm/op-vs-k/va-read/{k}"), || {
                 drive(
                     IteratedOp::new(VaOp::read(Pid(2), 0, N), black_box(k)),
                     &mut m,
                     &l,
-                )
+                );
             });
-        });
-        g.bench_with_input(BenchmarkId::new("il-read", k), &k, |b, &k| {
+        }
+        {
             let (l, mut m) = il_layout();
-            b.iter(|| {
+            bench(&format!("shm/op-vs-k/il-read/{k}"), || {
                 drive(
                     IteratedOp::new(IlOp::read(Pid(2), 0, N), black_box(k)),
                     &mut m,
                     &l,
-                )
+                );
             });
-        });
+        }
     }
-    g.finish();
-}
 
-fn bench_write_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("shm/write-ops");
-    g.bench_function("va-write", |b| {
+    {
         let (l, mut m) = va_layout();
-        b.iter(|| {
+        bench("shm/write-ops/va-write", || {
             drive(
                 IteratedOp::new(VaOp::write(Pid(0), 0, N, Val::Int(7)), 1),
                 &mut m,
                 &l,
-            )
+            );
         });
-    });
-    g.bench_function("il-write", |b| {
+    }
+    {
         let (l, mut m) = il_layout();
         let mut seq = 0i64;
-        b.iter(|| {
+        bench("shm/write-ops/il-write", || {
             seq += 1;
             drive(
                 IteratedOp::new(IlOp::write(Pid(0), 0, N, Val::Int(7), seq), 1),
                 &mut m,
                 &l,
-            )
+            );
         });
-    });
-    g.bench_function("snapshot-update", |b| {
+    }
+    {
         let (l, mut m) = snapshot_layout();
         let mut seq = 0i64;
-        b.iter(|| {
+        bench("shm/write-ops/snapshot-update", || {
             seq += 1;
             drive(
                 IteratedOp::new(
@@ -150,28 +147,18 @@ fn bench_write_ops(c: &mut Criterion) {
                 ),
                 &mut m,
                 &l,
-            )
+            );
         });
-    });
-    g.finish();
-}
+    }
 
-fn bench_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("shm/network-substrate");
-    g.bench_function("broadcast-deliver-roundtrip", |b| {
-        b.iter(|| {
-            let mut net: Network<u32> = Network::new(8);
-            for i in 0..8u32 {
-                net.broadcast(Pid(i % 8), black_box(i));
-            }
-            while let Some(&slot) = net.deliverable().first() {
-                let _ = net.take(slot);
-            }
-            net
-        });
+    bench("shm/network-substrate/broadcast-deliver-roundtrip", || {
+        let mut net: Network<u32> = Network::new(8);
+        for i in 0..8u32 {
+            net.broadcast(Pid(i % 8), black_box(i));
+        }
+        while let Some(&slot) = net.deliverable().first() {
+            let _ = net.take(slot);
+        }
+        black_box(&net);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_ops_vs_k, bench_write_ops, bench_network);
-criterion_main!(benches);

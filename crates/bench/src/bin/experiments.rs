@@ -1,6 +1,8 @@
 //! Regenerates every quantitative claim of the paper (see the experiment
-//! index in `DESIGN.md`). Each experiment prints its table and the combined
-//! markdown summary is written to `target/experiments/summary.md`.
+//! index in `DESIGN.md`). Each experiment prints its table; the combined
+//! markdown summary is written to `target/experiments/summary.md` and the
+//! accumulated observability metrics to `target/experiments/metrics.jsonl`
+//! (schema: `docs/OBS_SCHEMA.md`).
 //!
 //! ```sh
 //! cargo run --release -p blunt-bench --bin experiments            # default set
@@ -76,8 +78,16 @@ fn e1(ctx: &mut Ctx) {
     )
     .unwrap();
     let mut t = Table::new(["quantity", "paper", "measured"]);
-    t.row(["Prob[bad], atomic, worst adversary".into(), "≤ 1/2, attained".into(), fmt_ratio(p)]);
-    t.row(["Prob[bad], atomic, best scheduler".into(), "—".into(), fmt_ratio(best)]);
+    t.row([
+        "Prob[bad], atomic, worst adversary".into(),
+        "≤ 1/2, attained".into(),
+        fmt_ratio(p),
+    ]);
+    t.row([
+        "Prob[bad], atomic, best scheduler".into(),
+        "—".into(),
+        fmt_ratio(best),
+    ]);
     ctx.table(&t);
     ctx.emit(
         &format!("({} states, {:?})", stats.states, t0.elapsed()),
@@ -99,7 +109,12 @@ fn e2(ctx: &mut Ctx) {
             10_000,
         )
         .unwrap();
-        let get = |s| report.outcome.get(&s).map_or("—".into(), ToString::to_string);
+        let get = |s| {
+            report
+                .outcome
+                .get(&s)
+                .map_or("—".into(), ToString::to_string)
+        };
         let bad = weakener::is_bad(&report.outcome);
         t.row([
             coin.to_string(),
@@ -118,8 +133,8 @@ fn e2(ctx: &mut Ctx) {
 
     // Independent exact certificates.
     let t0 = Instant::now();
-    let (p, stats) = search::exact_worst_fused(1, &ExploreBudget::with_max_states(5_000_000))
-        .unwrap();
+    let (p, stats) =
+        search::exact_worst_fused(1, &ExploreBudget::with_max_states(5_000_000)).unwrap();
     ctx.emit(
         &format!(
             "Exact fused-game value for k = 1: {p} ({} states, {:?}).",
@@ -233,9 +248,8 @@ fn e6(ctx: &mut Ctx) {
     let mut t = Table::new(["implementation", "schedules", "linearizable"]);
     let reg = RegisterSpec::new(Val::Nil);
     let check_reg = |name: &str, mk: &dyn Fn() -> AbdSystem, t: &mut Table| {
-        let ok = (0..seeds).all(|s| {
-            check_linearizable(&seeded_history(mk(), s, ObjId(0), 300_000), &reg).is_ok()
-        });
+        let ok = (0..seeds)
+            .all(|s| check_linearizable(&seeded_history(mk(), s, ObjId(0), 300_000), &reg).is_ok());
         t.row([name.into(), seeds.to_string(), ok.to_string()]);
         assert!(ok, "{name}: non-linearizable history found");
     };
@@ -367,17 +381,23 @@ fn e9(ctx: &mut Ctx) {
         (
             "atomic snapshot",
             "snapshot-weakener",
-            worst_case_prob(&shms::ghw_atomic(), &ghw::is_bad, &budget).unwrap().0,
+            worst_case_prob(&shms::ghw_atomic(), &ghw::is_bad, &budget)
+                .unwrap()
+                .0,
         ),
         (
             "Afek snapshot (k = 1)",
             "snapshot-weakener",
-            worst_case_prob(&shms::ghw_snapshot(1), &ghw::is_bad, &budget).unwrap().0,
+            worst_case_prob(&shms::ghw_snapshot(1), &ghw::is_bad, &budget)
+                .unwrap()
+                .0,
         ),
         (
             "Afek snapshot²",
             "snapshot-weakener",
-            worst_case_prob(&shms::ghw_snapshot(2), &ghw::is_bad, &budget).unwrap().0,
+            worst_case_prob(&shms::ghw_snapshot(2), &ghw::is_bad, &budget)
+                .unwrap()
+                .0,
         ),
         (
             "atomic register",
@@ -389,12 +409,16 @@ fn e9(ctx: &mut Ctx) {
         (
             "Vitányi–Awerbuch (k = 1)",
             "weakener",
-            worst_case_prob(&shms::weakener_va(1), &weakener::is_bad, &budget).unwrap().0,
+            worst_case_prob(&shms::weakener_va(1), &weakener::is_bad, &budget)
+                .unwrap()
+                .0,
         ),
         (
             "Vitányi–Awerbuch²",
             "weakener",
-            worst_case_prob(&shms::weakener_va(2), &weakener::is_bad, &budget).unwrap().0,
+            worst_case_prob(&shms::weakener_va(2), &weakener::is_bad, &budget)
+                .unwrap()
+                .0,
         ),
         (
             "Israeli–Li (k = 1)",
@@ -455,8 +479,8 @@ fn e10(ctx: &mut Ctx) {
             fused_rpc: false,
         });
         let bad = move |o: &blunt_core::outcome::Outcome| round_based::is_bad(rounds, o);
-        let (p, _) = worst_case_prob(&sys, &bad, &ExploreBudget::with_max_states(30_000_000))
-            .unwrap();
+        let (p, _) =
+            worst_case_prob(&sys, &bad, &ExploreBudget::with_max_states(30_000_000)).unwrap();
         let expected = Ratio::new(1, 1 << rounds);
         t.row([rounds.to_string(), fmt_ratio(p), expected.to_string()]);
         assert_eq!(p, expected);
@@ -495,9 +519,7 @@ fn main() {
 
     let mut ctx = Ctx {
         heavy,
-        summary: String::from(
-            "# Experiment results (regenerated by `blunt-bench/experiments`)\n",
-        ),
+        summary: String::from("# Experiment results (regenerated by `blunt-bench/experiments`)\n"),
     };
 
     let t0 = Instant::now();
@@ -535,4 +557,17 @@ fn main() {
     let path = dir.join("summary.md");
     std::fs::write(&path, &ctx.summary).expect("write summary");
     println!("Markdown summary written to {}", path.display());
+
+    // Every metric accumulated across the experiments, one JSONL record per
+    // metric (schema: docs/OBS_SCHEMA.md).
+    let metrics_path = dir.join("metrics.jsonl");
+    let mut sink = blunt_obs::JsonlSink::create(&metrics_path).expect("create metrics.jsonl");
+    for record in blunt_obs::snapshot().to_jsonl_records() {
+        blunt_obs::Recorder::record(&mut sink, &record);
+    }
+    println!(
+        "Metrics written to {} ({} records)",
+        metrics_path.display(),
+        sink.lines()
+    );
 }

@@ -2,8 +2,9 @@
 //!
 //! The `experiments` binary (`cargo run --release -p blunt-bench --bin
 //! experiments`) regenerates every quantitative claim indexed in
-//! `DESIGN.md`/`EXPERIMENTS.md`; the criterion benches measure the cost of
-//! the moving parts (exploration, checking, per-operation protocol cost).
+//! `DESIGN.md`/`EXPERIMENTS.md`; the benches under `benches/` measure the
+//! cost of the moving parts (exploration, checking, per-operation protocol
+//! cost) using the self-contained [`timing`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,7 +38,71 @@ pub fn seeded_run<S: System>(sys: S, seed: u64, max_steps: usize) -> RunReport {
 ///
 /// Panics if the run errors.
 pub fn seeded_history<S: System>(sys: S, seed: u64, obj: ObjId, max_steps: usize) -> History {
-    seeded_run(sys, seed, max_steps).trace.history().project(obj)
+    seeded_run(sys, seed, max_steps)
+        .trace
+        .history()
+        .project(obj)
+}
+
+/// A minimal self-contained wall-clock benchmark harness.
+///
+/// The container has no external benchmark framework, so the `benches/`
+/// binaries (`harness = false`) drive this instead: warm up, calibrate an
+/// iteration count for a fixed time budget, measure, and print one line per
+/// benchmark. Each measurement is also recorded under the global
+/// `blunt-obs` timer `bench.<name>` so a metrics snapshot taken after a
+/// bench run carries the numbers.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// One benchmark result.
+    #[derive(Clone, Debug)]
+    pub struct Measurement {
+        /// Benchmark name as printed.
+        pub name: String,
+        /// Measured iterations (after warmup).
+        pub iters: u64,
+        /// Mean wall time per iteration, in nanoseconds.
+        pub ns_per_iter: f64,
+    }
+
+    /// Runs `f` with the default ~200 ms measurement budget.
+    pub fn bench(name: &str, f: impl FnMut()) -> Measurement {
+        bench_with_budget(name, Duration::from_millis(200), f)
+    }
+
+    /// Warm up, calibrate an iteration count that fills `budget`, measure,
+    /// print one aligned line, and record the span under `bench.<name>`.
+    pub fn bench_with_budget(name: &str, budget: Duration, mut f: impl FnMut()) -> Measurement {
+        // Warmup + calibration: time a single iteration.
+        f();
+        let t0 = Instant::now();
+        f();
+        let one = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (budget.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let total = start.elapsed();
+        blunt_obs::timer(&format!("bench.{name}")).record(total / iters as u32);
+
+        let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        let (scaled, unit) = if ns_per_iter >= 1e6 {
+            (ns_per_iter / 1e6, "ms")
+        } else if ns_per_iter >= 1e3 {
+            (ns_per_iter / 1e3, "µs")
+        } else {
+            (ns_per_iter, "ns")
+        };
+        println!("{name:<52} {iters:>8} iters  {scaled:>10.3} {unit}/iter");
+        Measurement {
+            name: name.to_string(),
+            iters,
+            ns_per_iter,
+        }
+    }
 }
 
 /// Simple aligned-table printer for experiment outputs.

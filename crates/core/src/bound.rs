@@ -32,7 +32,10 @@ use crate::ratio::Ratio;
 /// ```
 #[must_use]
 pub fn prob_x_lower_bound(n: u32, r: u32, k: u32) -> Ratio {
-    assert!(k >= 1, "the preamble-iterating transformation requires k ≥ 1");
+    assert!(
+        k >= 1,
+        "the preamble-iterating transformation requires k ≥ 1"
+    );
     if n <= 1 {
         // With a single process there are no other processes whose preamble
         // iterations can overlap a random step: Prob[X] = 1.
@@ -101,12 +104,7 @@ pub fn blunting_bound(p_atomic: Ratio, p_lin: Ratio, n: u32, r: u32, k: u32) -> 
 /// );
 /// ```
 #[must_use]
-pub fn min_iterations_for_advantage(
-    n: u32,
-    r: u32,
-    epsilon: Ratio,
-    max_k: u32,
-) -> Option<u32> {
+pub fn min_iterations_for_advantage(n: u32, r: u32, epsilon: Ratio, max_k: u32) -> Option<u32> {
     if epsilon < Ratio::ZERO {
         return None;
     }
@@ -139,13 +137,7 @@ pub struct BoundPoint {
 ///
 /// Panics under the same conditions as [`blunting_bound`].
 #[must_use]
-pub fn bound_curve(
-    p_atomic: Ratio,
-    p_lin: Ratio,
-    n: u32,
-    r: u32,
-    k_max: u32,
-) -> Vec<BoundPoint> {
+pub fn bound_curve(p_atomic: Ratio, p_lin: Ratio, n: u32, r: u32, k_max: u32) -> Vec<BoundPoint> {
     (1..=k_max)
         .map(|k| {
             let prob_x = prob_x_lower_bound(n, r, k);
@@ -229,7 +221,10 @@ mod tests {
     fn bound_approaches_atomic_probability() {
         let b = blunting_bound(half(), Ratio::ONE, 3, 1, 4096);
         assert!(b - half() < Ratio::new(1, 1000));
-        assert!(b >= half(), "bound never drops below the atomic probability");
+        assert!(
+            b >= half(),
+            "bound never drops below the atomic probability"
+        );
     }
 
     #[test]

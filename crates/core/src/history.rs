@@ -415,12 +415,9 @@ mod tests {
 
     #[test]
     fn prefix_relation() {
-        let h: History = vec![
-            call(0, 0, MethodId::WRITE, Val::Int(1)),
-            ret(0, Val::Nil),
-        ]
-        .into_iter()
-        .collect();
+        let h: History = vec![call(0, 0, MethodId::WRITE, Val::Int(1)), ret(0, Val::Nil)]
+            .into_iter()
+            .collect();
         let p = h.prefix(1);
         assert!(p.is_prefix_of(&h));
         assert!(!h.is_prefix_of(&p));
@@ -445,12 +442,9 @@ mod tests {
 
     #[test]
     fn display_is_line_per_action() {
-        let h: History = vec![
-            call(0, 0, MethodId::WRITE, Val::Int(1)),
-            ret(0, Val::Nil),
-        ]
-        .into_iter()
-        .collect();
+        let h: History = vec![call(0, 0, MethodId::WRITE, Val::Int(1)), ret(0, Val::Nil)]
+            .into_iter()
+            .collect();
         let s = h.to_string();
         assert!(s.contains("call Write(1)_inv0"));
         assert!(s.contains("ret ⊥_inv0"));

@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn explicit_trivial_entries_count_as_trivial() {
-        let pi =
-            PreambleMapping::from_pairs([(MethodId::READ, ControlPoint::INITIAL)]);
+        let pi = PreambleMapping::from_pairs([(MethodId::READ, ControlPoint::INITIAL)]);
         assert!(pi.is_trivial());
         assert_eq!(pi.iter().count(), 1);
     }

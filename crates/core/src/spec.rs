@@ -25,7 +25,8 @@ pub trait SequentialSpec {
     fn init(&self) -> Self::State;
 
     /// Applies one operation, returning the successor state and return value.
-    fn apply(&self, state: &Self::State, method: MethodId, arg: &Val) -> Option<(Self::State, Val)>;
+    fn apply(&self, state: &Self::State, method: MethodId, arg: &Val)
+        -> Option<(Self::State, Val)>;
 }
 
 /// A read/write register initialized to a given value.
@@ -189,10 +190,7 @@ impl SequentialSpec for CounterSpec {
 ///
 /// This is the "atomic object" executor used by tests and by the
 /// equivalence-checking harness of Theorem 4.1.
-pub fn run_sequential<S: SequentialSpec>(
-    spec: &S,
-    ops: &[(MethodId, Val)],
-) -> Option<Vec<Val>> {
+pub fn run_sequential<S: SequentialSpec>(spec: &S, ops: &[(MethodId, Val)]) -> Option<Vec<Val>> {
     let mut state = spec.init();
     let mut out = Vec::with_capacity(ops.len());
     for (m, a) in ops {
@@ -230,7 +228,9 @@ mod tests {
     #[test]
     fn register_rejects_unknown_method() {
         let spec = RegisterSpec::default();
-        assert!(spec.apply(&spec.init(), MethodId::SCAN, &Val::Nil).is_none());
+        assert!(spec
+            .apply(&spec.init(), MethodId::SCAN, &Val::Nil)
+            .is_none());
     }
 
     #[test]
@@ -238,17 +238,10 @@ mod tests {
         let spec = SnapshotSpec::new(3, Val::Nil);
         let s0 = spec.init();
         let (s1, _) = spec
-            .apply(
-                &s0,
-                MethodId::UPDATE,
-                &Val::pair(Val::Int(1), Val::Int(42)),
-            )
+            .apply(&s0, MethodId::UPDATE, &Val::pair(Val::Int(1), Val::Int(42)))
             .unwrap();
         let (_, view) = spec.apply(&s1, MethodId::SCAN, &Val::Nil).unwrap();
-        assert_eq!(
-            view,
-            Val::Tuple(vec![Val::Nil, Val::Int(42), Val::Nil])
-        );
+        assert_eq!(view, Val::Tuple(vec![Val::Nil, Val::Int(42), Val::Nil]));
     }
 
     #[test]

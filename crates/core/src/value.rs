@@ -149,10 +149,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_on_mixed_shapes() {
-        let mut vs = [Val::Tuple(vec![]),
+        let mut vs = [
+            Val::Tuple(vec![]),
             Val::Int(9),
             Val::Nil,
-            Val::pair(Val::Int(0), Val::Int(0))];
+            Val::pair(Val::Int(0), Val::Int(0)),
+        ];
         vs.sort();
         assert_eq!(vs[0], Val::Nil);
     }

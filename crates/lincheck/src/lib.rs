@@ -31,6 +31,6 @@ pub mod wgl;
 pub mod wsl;
 
 pub use strong::check_strong;
-pub use wsl::check_wsl;
 pub use tree::{ExecTree, NodeId};
 pub use wgl::{check_linearizable, LinResult};
+pub use wsl::check_wsl;

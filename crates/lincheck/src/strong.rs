@@ -68,6 +68,11 @@ fn ops_of(history: &History) -> Vec<OpView> {
 struct Checker<'a, S: SequentialSpec> {
     tree: &'a ExecTree,
     spec: &'a S,
+    /// Tree nodes visited / extension-search states tried, in `Cell`s
+    /// because the AND–OR recursion takes `&self`; flushed to the global
+    /// registry once per [`check_strong`] call.
+    nodes_visited: std::cell::Cell<u64>,
+    extensions_tried: std::cell::Cell<u64>,
 }
 
 impl<'a, S: SequentialSpec> Checker<'a, S> {
@@ -75,14 +80,17 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
     /// linearization `sigma` — ordered (invocation, destined return value)
     /// pairs — committed by the nearest complete ancestor, and the spec
     /// state after `sigma`.
-    fn node_ok(&self, id: NodeId, sigma: &[(InvId, blunt_core::value::Val)], state: &S::State) -> bool {
+    fn node_ok(
+        &self,
+        id: NodeId,
+        sigma: &[(InvId, blunt_core::value::Val)],
+        state: &S::State,
+    ) -> bool {
+        self.nodes_visited.set(self.nodes_visited.get() + 1);
         let node = self.tree.node(id);
         if !node.complete {
             // f is not defined here; children inherit sigma directly.
-            return node
-                .children
-                .iter()
-                .all(|&c| self.node_ok(c, sigma, state));
+            return node.children.iter().all(|&c| self.node_ok(c, sigma, state));
         }
         let history = self.tree.history_at(id);
         let ops = ops_of(&history);
@@ -113,6 +121,7 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
         placed: BTreeSet<InvId>,
         state: S::State,
     ) -> bool {
+        self.extensions_tried.set(self.extensions_tried.get() + 1);
         let node = self.tree.node(id);
         // May we stop extending here? Only if every completed op is placed.
         let all_completed_placed = ops
@@ -169,8 +178,18 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
 /// w.r.t. Π.
 #[must_use]
 pub fn check_strong<S: SequentialSpec>(tree: &ExecTree, spec: &S) -> bool {
-    let checker = Checker { tree, spec };
-    checker.node_ok(tree.root(), &[], &spec.init())
+    let checker = Checker {
+        tree,
+        spec,
+        nodes_visited: std::cell::Cell::new(0),
+        extensions_tried: std::cell::Cell::new(0),
+    };
+    let ok = checker.node_ok(tree.root(), &[], &spec.init());
+    blunt_obs::static_counter!("lincheck.strong.checks").inc();
+    blunt_obs::static_counter!("lincheck.strong.nodes_visited").add(checker.nodes_visited.get());
+    blunt_obs::static_counter!("lincheck.strong.extensions_tried")
+        .add(checker.extensions_tried.get());
+    ok
 }
 
 #[cfg(test)]

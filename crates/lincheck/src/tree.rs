@@ -169,6 +169,10 @@ impl ExecTree {
                 cursor = tree.child_for(cursor, &ev, action, complete);
             }
         }
+        blunt_obs::static_counter!("lincheck.tree.builds").inc();
+        blunt_obs::static_counter!("lincheck.tree.traces_merged").add(traces.len() as u64);
+        blunt_obs::static_counter!("lincheck.tree.nodes_built").add(tree.nodes.len() as u64);
+        blunt_obs::static_gauge!("lincheck.tree.nodes_hwm").record_max(tree.nodes.len() as i64);
         tree
     }
 
@@ -366,8 +370,16 @@ mod tests {
             choices: 2,
             chosen,
         };
-        let t1 = trace(vec![call_ev(0, 0, MethodId::READ), coin(0), ret_ev(0, Val::Nil)]);
-        let t2 = trace(vec![call_ev(0, 0, MethodId::READ), coin(1), ret_ev(0, Val::Nil)]);
+        let t1 = trace(vec![
+            call_ev(0, 0, MethodId::READ),
+            coin(0),
+            ret_ev(0, Val::Nil),
+        ]);
+        let t2 = trace(vec![
+            call_ev(0, 0, MethodId::READ),
+            coin(1),
+            ret_ev(0, Val::Nil),
+        ]);
         let tree = ExecTree::build(&[t1, t2], ObjId(0), |_| false);
         assert_eq!(tree.leaves().len(), 2, "coin branches must not merge");
     }

@@ -46,6 +46,12 @@ struct Search<'a, S: SequentialSpec> {
     ops: Vec<Op>,
     /// Failed (linearized-mask, dropped-mask, state) combinations.
     seen: HashSet<(u64, u64, S::State)>,
+    /// Search nodes entered (accumulated locally, flushed to the global
+    /// registry once per check — a per-node atomic would dominate the
+    /// search's own work).
+    states: u64,
+    /// Nodes cut off by the memoization table.
+    memo_prunes: u64,
 }
 
 impl<'a, S: SequentialSpec> Search<'a, S> {
@@ -59,10 +65,12 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
         witness: &mut Vec<InvId>,
     ) -> bool {
         let done = linearized | dropped;
+        self.states += 1;
         if done == (1u64 << self.ops.len()) - 1 {
             return true;
         }
         if !self.seen.insert((linearized, dropped, state.clone())) {
+            self.memo_prunes += 1;
             return false;
         }
         // Frontier: the earliest return position among unplaced completed
@@ -86,9 +94,7 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
                 continue;
             }
             // Try linearizing op i next.
-            if let Some((next, val)) =
-                self.spec.apply(state, op.rec.method, &op.rec.arg)
-            {
+            if let Some((next, val)) = self.spec.apply(state, op.rec.method, &op.rec.arg) {
                 let matches = match &op.rec.ret {
                     Some(actual) => *actual == val,
                     None => true, // pending: destined value is free
@@ -102,9 +108,7 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
                 }
             }
             // If pending, also try dropping it.
-            if self.ops[i].ret_pos.is_none()
-                && self.go(linearized, dropped | bit, state, witness)
-            {
+            if self.ops[i].ret_pos.is_none() && self.go(linearized, dropped | bit, state, witness) {
                 return true;
             }
         }
@@ -152,9 +156,16 @@ pub fn check_linearizable<S: SequentialSpec>(history: &History, spec: &S) -> Lin
         spec,
         ops,
         seen: HashSet::new(),
+        states: 0,
+        memo_prunes: 0,
     };
     let mut witness = Vec::new();
-    if search.go(0, 0, &spec.init(), &mut witness) {
+    let ok = search.go(0, 0, &spec.init(), &mut witness);
+    blunt_obs::static_counter!("lincheck.wgl.checks").inc();
+    blunt_obs::static_counter!("lincheck.wgl.states").add(search.states);
+    blunt_obs::static_counter!("lincheck.wgl.memo_prunes").add(search.memo_prunes);
+    blunt_obs::static_gauge!("lincheck.wgl.states_hwm").record_max(search.states as i64);
+    if ok {
         LinResult::Linearizable(witness)
     } else {
         LinResult::NotLinearizable
@@ -200,10 +211,7 @@ mod tests {
         .into_iter()
         .collect();
         let r = check_linearizable(&h, &reg());
-        assert_eq!(
-            r,
-            LinResult::Linearizable(vec![InvId(0), InvId(1)])
-        );
+        assert_eq!(r, LinResult::Linearizable(vec![InvId(0), InvId(1)]));
     }
 
     #[test]
@@ -326,7 +334,10 @@ mod tests {
     #[test]
     fn empty_history_is_linearizable() {
         let h = History::new();
-        assert_eq!(check_linearizable(&h, &reg()), LinResult::Linearizable(vec![]));
+        assert_eq!(
+            check_linearizable(&h, &reg()),
+            LinResult::Linearizable(vec![])
+        );
     }
 
     #[test]

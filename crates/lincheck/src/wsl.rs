@@ -68,6 +68,9 @@ struct Checker<'a, S: SequentialSpec> {
     tree: &'a ExecTree,
     spec: &'a S,
     is_write: WritePredicate,
+    /// DFS states tried, in a `Cell` because the recursion takes `&self`;
+    /// flushed to the global registry once per [`check_wsl`] call.
+    states_tried: std::cell::Cell<u64>,
 }
 
 impl<'a, S: SequentialSpec> Checker<'a, S> {
@@ -107,6 +110,7 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
         committed_used: usize,
         writes_emitted: &mut Vec<InvId>,
     ) -> bool {
+        self.states_tried.set(self.states_tried.get() + 1);
         // Stop condition: all completed ops placed AND the full committed
         // write prefix consumed — then this linearization candidate is
         // valid for the node; try the children with the emitted write order.
@@ -182,17 +186,17 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
 /// Note: unlike [`crate::strong::check_strong`], completeness flags are
 /// ignored — WSL is defined over all executions.
 #[must_use]
-pub fn check_wsl<S: SequentialSpec>(
-    tree: &ExecTree,
-    spec: &S,
-    is_write: WritePredicate,
-) -> bool {
+pub fn check_wsl<S: SequentialSpec>(tree: &ExecTree, spec: &S, is_write: WritePredicate) -> bool {
     let checker = Checker {
         tree,
         spec,
         is_write,
+        states_tried: std::cell::Cell::new(0),
     };
-    checker.node_ok(tree.root(), &[])
+    let ok = checker.node_ok(tree.root(), &[]);
+    blunt_obs::static_counter!("lincheck.wsl.checks").inc();
+    blunt_obs::static_counter!("lincheck.wsl.states_tried").add(checker.states_tried.get());
+    ok
 }
 
 /// The conventional write predicate for registers.

@@ -1,0 +1,737 @@
+//! Metric primitives and the registry that owns them.
+//!
+//! All primitives are lock-free atomics behind `Arc` handles: a handle is
+//! obtained once (a mutex-guarded name lookup) and then incremented with
+//! plain atomic operations, cheap enough to stay enabled in release builds
+//! and on the explorer's hot paths. Values survive [`Registry::reset`] as
+//! zeroed metrics — handles cached by instrumented code stay valid.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of histogram buckets: one per power of two, plus the zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge: a value that can move in both directions, with a
+/// `fetch_max` for high-water marks.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger — a high-water mark.
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state of a histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram over `u64` samples with fixed log₂-scale buckets.
+///
+/// Bucket `0` holds the sample `0`; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)`. The top bucket (index 64) therefore holds
+/// `[2^63, u64::MAX]` — every `u64` has a bucket, including `u64::MAX`.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The bucket index for a sample (see [`Histogram`]).
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The smallest sample that lands in bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= HISTOGRAM_BUCKETS`.
+#[must_use]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let core = &*self.0;
+        core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.min.fetch_min(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current histogram state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                core.min.load(Ordering::Relaxed)
+            },
+            max: core.max.load(Ordering::Relaxed),
+            buckets: core
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let c = b.load(Ordering::Relaxed);
+                    (c > 0).then_some((bucket_lower_bound(i), c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Shared state of a timer.
+#[derive(Debug, Default)]
+pub(crate) struct TimerCore {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl TimerCore {
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A wall-time accumulator for span-style timing scopes.
+#[derive(Clone, Debug)]
+pub struct Timer(Arc<TimerCore>);
+
+impl Timer {
+    /// Records one elapsed duration.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.0.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of spans recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current timer state.
+    #[must_use]
+    pub fn snapshot(&self) -> TimerSnapshot {
+        TimerSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            total_ns: self.0.total_ns.load(Ordering::Relaxed),
+            max_ns: self.0.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of one timer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TimerSnapshot {
+    /// Number of spans.
+    pub count: u64,
+    /// Total wall time across spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A named collection of metrics.
+///
+/// Most code uses the process-wide registry via the crate-level free
+/// functions; tests construct private registries for isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    timers: Mutex<BTreeMap<String, Timer>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.counters.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.gauges.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.histograms.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Histogram(Arc::new(HistogramCore::new())))
+            .clone()
+    }
+
+    /// The timer named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned.
+    pub fn timer(&self, name: &str) -> Timer {
+        let mut m = self.timers.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Timer(Arc::new(TimerCore::default())))
+            .clone()
+    }
+
+    /// Zeroes every metric **in place**: handles cached by instrumented code
+    /// remain valid and keep writing to the same (now zeroed) metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry mutex is poisoned.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.0.reset();
+        }
+        for t in self.timers.lock().unwrap().values() {
+            t.0.reset();
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of every metric (each metric
+    /// is read atomically; the set is read under the registry locks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry mutex is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            timers: self
+                .timers
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], renderable as a human
+/// table or as JSON.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Snapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Timers, sorted by name.
+    pub timers: Vec<(String, TimerSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Returns `true` if no metric has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.timers.is_empty()
+    }
+
+    /// Renders an aligned human-readable table, one metric per line.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (k, v) in &self.counters {
+            rows.push((k.clone(), v.to_string()));
+        }
+        for (k, v) in &self.gauges {
+            rows.push((format!("{k} (gauge)"), v.to_string()));
+        }
+        for (k, h) in &self.histograms {
+            rows.push((
+                format!("{k} (hist)"),
+                format!(
+                    "count={} sum={} min={} max={} mean={:.1}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean()
+                ),
+            ));
+        }
+        for (k, t) in &self.timers {
+            rows.push((
+                format!("{k} (timer)"),
+                format!(
+                    "count={} total={:.3}ms max={:.3}ms",
+                    t.count,
+                    t.total_ns as f64 / 1e6,
+                    t.max_ns as f64 / 1e6
+                ),
+            ));
+        }
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in rows {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        out
+    }
+
+    /// Serializes every metric as one JSON object (see `docs/OBS_SCHEMA.md`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), histogram_json(h)))
+                        .collect(),
+                ),
+            ),
+            (
+                "timers".into(),
+                Json::Obj(
+                    self.timers
+                        .iter()
+                        .map(|(k, t)| {
+                            (
+                                k.clone(),
+                                Json::Obj(vec![
+                                    ("count".into(), Json::UInt(t.count)),
+                                    ("total_ns".into(), Json::UInt(t.total_ns)),
+                                    ("max_ns".into(), Json::UInt(t.max_ns)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The per-metric JSONL records of this snapshot, one [`Json`] object
+    /// per metric, in `metric` record form (see `docs/OBS_SCHEMA.md`).
+    #[must_use]
+    pub fn to_jsonl_records(&self) -> Vec<Json> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push(Json::Obj(vec![
+                ("type".into(), Json::Str("counter".into())),
+                ("name".into(), Json::Str(k.clone())),
+                ("value".into(), Json::UInt(*v)),
+            ]));
+        }
+        for (k, v) in &self.gauges {
+            out.push(Json::Obj(vec![
+                ("type".into(), Json::Str("gauge".into())),
+                ("name".into(), Json::Str(k.clone())),
+                ("value".into(), Json::Int(*v)),
+            ]));
+        }
+        for (k, h) in &self.histograms {
+            let mut obj = vec![
+                ("type".into(), Json::Str("histogram".into())),
+                ("name".into(), Json::Str(k.clone())),
+            ];
+            if let Json::Obj(fields) = histogram_json(h) {
+                obj.extend(fields);
+            }
+            out.push(Json::Obj(obj));
+        }
+        for (k, t) in &self.timers {
+            out.push(Json::Obj(vec![
+                ("type".into(), Json::Str("timer".into())),
+                ("name".into(), Json::Str(k.clone())),
+                ("count".into(), Json::UInt(t.count)),
+                ("total_ns".into(), Json::UInt(t.total_ns)),
+                ("max_ns".into(), Json::UInt(t.max_ns)),
+            ]));
+        }
+        out
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::UInt(h.count)),
+        ("sum".into(), Json::UInt(h.sum)),
+        ("min".into(), Json::UInt(h.min)),
+        ("max".into(), Json::UInt(h.max)),
+        (
+            "buckets".into(),
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|(lo, c)| Json::Arr(vec![Json::UInt(*lo), Json::UInt(*c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_get() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name, same counter.
+        assert_eq!(r.counter("x").get(), 5);
+        assert_eq!(r.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauges_set_add_and_record_max() {
+        let r = Registry::new();
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.record_max(5);
+        assert_eq!(g.get(), 7, "record_max must not lower the gauge");
+        g.record_max(40);
+        assert_eq!(g.get(), 40);
+    }
+
+    #[test]
+    fn histogram_bucketing_edge_cases() {
+        // The two extreme samples of the issue checklist: 0 and u64::MAX.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(64), 1 << 63);
+
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.sum, u64::MAX); // 0 + MAX
+        assert_eq!(s.buckets, vec![(0, 1), (1 << 63, 1)]);
+    }
+
+    #[test]
+    fn every_sample_has_exactly_one_bucket() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < HISTOGRAM_BUCKETS);
+            assert!(bucket_lower_bound(i) <= v);
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert!(v < bucket_lower_bound(i + 1), "sample {v} above bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let r = Registry::new();
+        let s = r.histogram("h").snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_many_threads() {
+        let r = Registry::new();
+        let c = r.counter("concurrent");
+        let h = r.histogram("concurrent.h");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i % 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.snapshot().max, 6);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_keeps_handles_valid() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        let t = r.timer("t");
+        c.add(3);
+        g.set(-2);
+        h.record(9);
+        t.record(Duration::from_millis(1));
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(t.count(), 0);
+        // Old handles still write to the registry.
+        c.inc();
+        assert_eq!(r.counter("c").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_renders_table_and_json() {
+        let r = Registry::new();
+        r.counter("a.count").add(2);
+        r.gauge("b.depth").set(5);
+        r.histogram("c.sizes").record(100);
+        r.timer("d.time").record(Duration::from_micros(1500));
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.count"), Some(2));
+        assert_eq!(s.gauge("b.depth"), Some(5));
+        assert!(!s.is_empty());
+        let table = s.to_table();
+        assert!(table.contains("a.count"));
+        assert!(table.contains("b.depth (gauge)"));
+        assert!(table.contains("c.sizes (hist)"));
+        assert!(table.contains("d.time (timer)"));
+        let json = s.to_json().to_string();
+        assert!(json.contains("\"a.count\":2"));
+        assert!(json.contains("\"histograms\""));
+        // One JSONL record per metric.
+        assert_eq!(s.to_jsonl_records().len(), 4);
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let r = Registry::new();
+        let t = r.timer("t");
+        t.record(Duration::from_nanos(10));
+        t.record(Duration::from_nanos(30));
+        let s = t.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 40);
+        assert_eq!(s.max_ns, 30);
+    }
+}

@@ -1,0 +1,168 @@
+//! Structured-record sinks: the [`Recorder`] trait plus JSONL and
+//! in-memory implementations.
+//!
+//! A recorder receives a stream of [`Json`] objects — trace events,
+//! scheduler decisions, per-run summaries, metric snapshots — and
+//! persists them one per line ("JSONL"). The schema of the records the
+//! workspace emits is documented in `docs/OBS_SCHEMA.md`.
+
+use crate::json::Json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A sink for structured observability records.
+pub trait Recorder {
+    /// Appends one record.
+    fn record(&mut self, record: &Json);
+
+    /// Flushes any buffered records to stable storage. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// A [`Recorder`] that appends records to a file, one compact JSON object
+/// per line (JSON Lines).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory or file creation.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(&path)?),
+            path,
+            lines: 0,
+        })
+    }
+
+    /// The path this sink writes to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&mut self, record: &Json) {
+        // I/O errors on a metrics sink must never take down the run;
+        // a short metrics file is diagnosable, a crashed experiment is not.
+        let _ = writeln!(self.out, "{record}");
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A [`Recorder`] that keeps records in memory — for tests and for
+/// programmatic inspection.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct VecSink {
+    /// The records received, in order.
+    pub records: Vec<Json>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl Recorder for VecSink {
+    fn record(&mut self, record: &Json) {
+        self.records.push(record.clone());
+    }
+}
+
+/// Parses a JSONL document: one JSON value per non-empty line.
+///
+/// # Errors
+///
+/// Returns the first line's [`crate::json::JsonError`] (with the 1-based
+/// line number prepended to the message) on malformed input.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, crate::json::JsonError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(v) => out.push(v),
+            Err(mut e) => {
+                e.msg = format!("line {}: {}", i + 1, e.msg);
+                return Err(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink = VecSink::new();
+        sink.record(&Json::Int(1));
+        sink.record(&Json::Str("two".into()));
+        sink.flush();
+        assert_eq!(sink.records, vec![Json::Int(1), Json::Str("two".into())]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("blunt-obs-test");
+        let path = dir.join("sink.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Json::Obj(vec![("a".into(), Json::UInt(1))]));
+        sink.record(&Json::Obj(vec![("b".into(), Json::Str("x\ny".into()))]));
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.path(), path.as_path());
+        drop(sink); // flush
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = parse_jsonl(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(records[1].get("b").and_then(Json::as_str), Some("x\ny"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blank_lines_and_reports_line_numbers() {
+        let records = parse_jsonl("1\n\n  \n2\n").unwrap();
+        assert_eq!(records, vec![Json::Int(1), Json::Int(2)]);
+        let err = parse_jsonl("1\nnot json\n").unwrap_err();
+        assert!(err.msg.contains("line 2"), "got: {}", err.msg);
+    }
+}

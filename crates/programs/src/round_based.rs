@@ -49,7 +49,10 @@ pub fn round_sites(round: u32) -> (CallSite, CallSite, CallSite) {
 /// Panics if `rounds == 0`.
 #[must_use]
 pub fn round_based(rounds: u32) -> ProgramDef {
-    assert!(rounds >= 1, "a round-based program needs at least one round");
+    assert!(
+        rounds >= 1,
+        "a round-based program needs at least one round"
+    );
     let mut p0 = Vec::new();
     let mut p1 = Vec::new();
     let mut p2 = Vec::new();

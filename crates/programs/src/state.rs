@@ -170,6 +170,9 @@ impl ProgState {
     /// (a malformed program), or if local fuel runs out (a local infinite
     /// loop).
     pub fn step(&mut self, def: &ProgramDef, pid: Pid) -> ProgCmd {
+        // Aggregated over every explorer branch (global registry; see
+        // `blunt_sim::network` for the rationale).
+        blunt_obs::static_counter!("prog.steps").inc();
         let proc = &mut self.procs[pid.index()];
         assert_eq!(
             proc.mode,

@@ -126,13 +126,7 @@ pub fn weakener() -> ProgramDef {
         Instr::LoopForever,
         Instr::Halt,
     ];
-    ProgramDef::new(
-        "weakener",
-        vec![p0, p1, p2],
-        vec![0, 1, 3],
-        1,
-        vec![Pid(2)],
-    )
+    ProgramDef::new("weakener", vec![p0, p1, p2], vec![0, 1, 3], 1, vec![Pid(2)])
 }
 
 /// A single-writer variant of the weakener, for register constructions with

@@ -7,20 +7,61 @@ use std::time::Instant;
 
 fn main() {
     let budget = ExploreBudget::with_max_states(40_000_000);
-    let cases: Vec<(&str, Box<dyn Fn() -> blunt_registers::ShmSystem>, Box<dyn Fn(&blunt_core::outcome::Outcome) -> bool>)> = vec![
-        ("ghw atomic", Box::new(ghw_atomic), Box::new(blunt_programs::ghw::is_bad)),
-        ("ghw snapshot k=1", Box::new(|| ghw_snapshot(1)), Box::new(blunt_programs::ghw::is_bad)),
-        ("ghw snapshot k=2", Box::new(|| ghw_snapshot(2)), Box::new(blunt_programs::ghw::is_bad)),
-        ("weakener VA k=1", Box::new(|| weakener_va(1)), Box::new(blunt_programs::weakener::is_bad)),
-        ("weakener VA k=2", Box::new(|| weakener_va(2)), Box::new(blunt_programs::weakener::is_bad)),
-        ("sw-weakener atomic", Box::new(sw_weakener_atomic), Box::new(blunt_programs::weakener::is_bad)),
-        ("sw-weakener IL k=1", Box::new(|| sw_weakener_il(1)), Box::new(blunt_programs::weakener::is_bad)),
-        ("sw-weakener IL k=2", Box::new(|| sw_weakener_il(2)), Box::new(blunt_programs::weakener::is_bad)),
+    let cases: Vec<(
+        &str,
+        Box<dyn Fn() -> blunt_registers::ShmSystem>,
+        Box<dyn Fn(&blunt_core::outcome::Outcome) -> bool>,
+    )> = vec![
+        (
+            "ghw atomic",
+            Box::new(ghw_atomic),
+            Box::new(blunt_programs::ghw::is_bad),
+        ),
+        (
+            "ghw snapshot k=1",
+            Box::new(|| ghw_snapshot(1)),
+            Box::new(blunt_programs::ghw::is_bad),
+        ),
+        (
+            "ghw snapshot k=2",
+            Box::new(|| ghw_snapshot(2)),
+            Box::new(blunt_programs::ghw::is_bad),
+        ),
+        (
+            "weakener VA k=1",
+            Box::new(|| weakener_va(1)),
+            Box::new(blunt_programs::weakener::is_bad),
+        ),
+        (
+            "weakener VA k=2",
+            Box::new(|| weakener_va(2)),
+            Box::new(blunt_programs::weakener::is_bad),
+        ),
+        (
+            "sw-weakener atomic",
+            Box::new(sw_weakener_atomic),
+            Box::new(blunt_programs::weakener::is_bad),
+        ),
+        (
+            "sw-weakener IL k=1",
+            Box::new(|| sw_weakener_il(1)),
+            Box::new(blunt_programs::weakener::is_bad),
+        ),
+        (
+            "sw-weakener IL k=2",
+            Box::new(|| sw_weakener_il(2)),
+            Box::new(blunt_programs::weakener::is_bad),
+        ),
     ];
     for (name, mk, bad) in cases {
         let t = Instant::now();
         match worst_case_prob(&mk(), bad.as_ref(), &budget) {
-            Ok((p, s)) => println!("{name}: worst = {p} ({:.4}) states={} in {:?}", p.to_f64(), s.states, t.elapsed()),
+            Ok((p, s)) => println!(
+                "{name}: worst = {p} ({:.4}) states={} in {:?}",
+                p.to_f64(),
+                s.states,
+                t.elapsed()
+            ),
             Err(e) => println!("{name}: {e} in {:?}", t.elapsed()),
         }
     }

@@ -169,9 +169,8 @@ impl ShmOp for IlOp {
                 if self.idx < targets.len() {
                     shm.write(layout, targets[self.idx], self.pid, make_cell(v, s));
                     self.idx += 1;
-                    (self.idx == targets.len()).then_some(
-                        self.chosen.clone().expect("chosen set").0,
-                    )
+                    (self.idx == targets.len())
+                        .then_some(self.chosen.clone().expect("chosen set").0)
                 } else {
                     // Degenerate n = 1 case: nothing to report.
                     Some(v)
@@ -250,7 +249,7 @@ mod tests {
         let mut w = IteratedOp::new(IlOp::write(WRITER, 0, 3, Val::Int(1), 1), 1);
         w.step(&mut m, &l); // writes Val[0]
         w.step(&mut m, &l); // writes Val[1]
-        // Reader 1 reads now: sees (1, 1) and reports it.
+                            // Reader 1 reads now: sees (1, 1) and reports it.
         let mut r1 = IteratedOp::new(IlOp::read(Pid(1), 0, 3), 1);
         assert_eq!(run(&mut r1, &mut m, &l), Val::Int(1));
         // Reader 2's Val[2] is still old, but reader 1's report reaches it.

@@ -229,12 +229,7 @@ mod tests {
 
     #[test]
     fn masks_cover_declared_processes() {
-        let spec = CellSpec::new(
-            &[Pid(0), Pid(2)],
-            &[Pid(1)],
-            Val::Nil,
-            "x".into(),
-        );
+        let spec = CellSpec::new(&[Pid(0), Pid(2)], &[Pid(1)], Val::Nil, "x".into());
         assert_eq!(spec.writers, 0b101);
         assert_eq!(spec.readers, 0b010);
     }

@@ -85,11 +85,7 @@ impl ScanMachine {
             self.prev = Some(cur);
             return None;
         };
-        if prev
-            .iter()
-            .zip(cur.iter())
-            .all(|(a, b)| a.1 == b.1)
-        {
+        if prev.iter().zip(cur.iter()).all(|(a, b)| a.1 == b.1) {
             // Clean double collect: return the direct view.
             return Some(cur.into_iter().map(|(d, _, _)| d).collect());
         }
@@ -205,11 +201,7 @@ impl ShmOp for SnapshotOp {
         None
     }
 
-    fn preamble_step(
-        &mut self,
-        shm: &Shm,
-        layout: &ShmLayout,
-    ) -> PreambleStatus<Option<Vec<Val>>> {
+    fn preamble_step(&mut self, shm: &Shm, layout: &ShmLayout) -> PreambleStatus<Option<Vec<Val>>> {
         match self {
             SnapshotOp::Scan { pid, scan, .. } => match scan.step(shm, layout, *pid) {
                 Some(view) => PreambleStatus::Done(Some(view)),
@@ -351,12 +343,7 @@ mod tests {
         let embedded = vec![Val::Int(42), Val::Int(43)];
         let mut seq = 1;
         let mut write = |mem: &mut Shm, view: Vec<Val>| {
-            mem.write(
-                &l,
-                CellId(0),
-                Pid(0),
-                make_cell(Val::Int(seq), seq, view),
-            );
+            mem.write(&l, CellId(0), Pid(0), make_cell(Val::Int(seq), seq, view));
             seq += 1;
         };
 
@@ -387,10 +374,7 @@ mod tests {
     #[test]
     fn update_with_preamble_scan_marks_preamble() {
         let (l, mut m) = setup(2);
-        let mut up = IteratedOp::new(
-            SnapshotOp::update(Pid(1), 0, 2, 1, Val::Int(5), 1, true),
-            1,
-        );
+        let mut up = IteratedOp::new(SnapshotOp::update(Pid(1), 0, 2, 1, Val::Int(5), 1, true), 1);
         let mut saw_preamble = false;
         for _ in 0..100 {
             match up.step(&mut m, &l) {

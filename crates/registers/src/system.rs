@@ -174,8 +174,9 @@ impl ShmSystem {
         let mut bases = Vec::with_capacity(def.objects.len());
         for (oid, cfg) in def.objects.iter().enumerate() {
             match cfg {
-                ShmObjectConfig::AtomicRegister { .. }
-                | ShmObjectConfig::AtomicSnapshot { .. } => bases.push(usize::MAX),
+                ShmObjectConfig::AtomicRegister { .. } | ShmObjectConfig::AtomicSnapshot { .. } => {
+                    bases.push(usize::MAX)
+                }
                 ShmObjectConfig::Snapshot {
                     components,
                     initial,
@@ -299,6 +300,9 @@ impl ShmSystem {
         fx: &mut Effects,
     ) {
         let inv = self.fresh_inv(pid);
+        // Aggregated over every explorer branch (global registry; see
+        // `blunt_sim::network` for the rationale).
+        blunt_obs::static_counter!("shm.ops.started").inc();
         fx.push_with(|| TraceEvent::Call {
             inv,
             pid,
@@ -332,13 +336,9 @@ impl ShmSystem {
                 self.finish_atomic(pid, inv, Val::Nil, fx);
                 return;
             }
-            (
-                ShmObjectConfig::Snapshot { k, components, .. },
-                MethodId::SCAN,
-            ) => OpImpl::Snap(IteratedOp::new(
-                SnapshotOp::scan(pid, base, *components),
-                *k,
-            )),
+            (ShmObjectConfig::Snapshot { k, components, .. }, MethodId::SCAN) => OpImpl::Snap(
+                IteratedOp::new(SnapshotOp::scan(pid, base, *components), *k),
+            ),
             (
                 ShmObjectConfig::Snapshot {
                     k,
@@ -417,6 +417,7 @@ impl ShmSystem {
             .as_mut()
             .expect("Obj event without an active operation");
         let inv = client.inv;
+        blunt_obs::static_counter!("shm.base_steps").inc();
         match client.op.step(&mut self.shm, &built.layout) {
             IterEffect::Continue => {
                 fx.push_with(|| TraceEvent::Internal {
@@ -443,6 +444,7 @@ impl ShmSystem {
                 });
             }
             IterEffect::Complete(ret) => {
+                blunt_obs::static_counter!("shm.ops.completed").inc();
                 fx.push_with(|| TraceEvent::Return {
                     inv,
                     pid,
@@ -456,7 +458,9 @@ impl ShmSystem {
 }
 
 fn parse_update_arg(arg: &Val, components: usize) -> (usize, Val) {
-    let (idx, v) = arg.as_pair().expect("Update takes a (component, value) pair");
+    let (idx, v) = arg
+        .as_pair()
+        .expect("Update takes a (component, value) pair");
     let i = usize::try_from(idx.as_int().expect("component index is an integer"))
         .expect("component index is non-negative");
     assert!(i < components, "component {i} out of range");

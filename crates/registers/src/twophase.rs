@@ -159,30 +159,28 @@ impl<O: ShmOp> IteratedOp<O> {
     /// Panics if called while awaiting the random choice.
     pub fn step(&mut self, shm: &mut Shm, layout: &ShmLayout) -> IterEffect {
         match self.stage.clone() {
-            IterStage::Preamble { iter } => {
-                match self.inner.preamble_step(shm, layout) {
-                    PreambleStatus::Step => IterEffect::Continue,
-                    PreambleStatus::Done(locals) => {
-                        self.results.push(locals);
-                        if iter < self.k {
-                            self.inner.reset_preamble();
-                            self.stage = IterStage::Preamble { iter: iter + 1 };
-                            IterEffect::PreamblePassed { iteration: iter }
-                        } else if self.k > 1 {
-                            self.stage = IterStage::AwaitChoice;
-                            IterEffect::NeedChoice {
-                                choices: self.k,
-                                iteration: iter,
-                            }
-                        } else {
-                            let locals = self.results[0].clone();
-                            self.inner.start_tail(locals);
-                            self.stage = IterStage::Tail;
-                            IterEffect::PreamblePassed { iteration: iter }
+            IterStage::Preamble { iter } => match self.inner.preamble_step(shm, layout) {
+                PreambleStatus::Step => IterEffect::Continue,
+                PreambleStatus::Done(locals) => {
+                    self.results.push(locals);
+                    if iter < self.k {
+                        self.inner.reset_preamble();
+                        self.stage = IterStage::Preamble { iter: iter + 1 };
+                        IterEffect::PreamblePassed { iteration: iter }
+                    } else if self.k > 1 {
+                        self.stage = IterStage::AwaitChoice;
+                        IterEffect::NeedChoice {
+                            choices: self.k,
+                            iteration: iter,
                         }
+                    } else {
+                        let locals = self.results[0].clone();
+                        self.inner.start_tail(locals);
+                        self.stage = IterStage::Tail;
+                        IterEffect::PreamblePassed { iteration: iter }
                     }
                 }
-            }
+            },
             IterStage::AwaitChoice => {
                 panic!("stepping an operation that awaits its random choice")
             }
@@ -271,7 +269,12 @@ mod tests {
 
     fn setup() -> (ShmLayout, Shm) {
         let mut l = ShmLayout::new();
-        l.push(CellSpec::single_writer(Pid(1), 2, Val::Int(7), "src".into()));
+        l.push(CellSpec::single_writer(
+            Pid(1),
+            2,
+            Val::Int(7),
+            "src".into(),
+        ));
         l.push(CellSpec::single_writer(Pid(0), 2, Val::Nil, "dst".into()));
         let m = l.initial_memory();
         (l, m)
@@ -282,7 +285,10 @@ mod tests {
         let (l, mut m) = setup();
         let mut op = IteratedOp::new(CopyOp::new(), 1);
         assert!(op.in_preamble());
-        assert_eq!(op.step(&mut m, &l), IterEffect::PreamblePassed { iteration: 1 });
+        assert_eq!(
+            op.step(&mut m, &l),
+            IterEffect::PreamblePassed { iteration: 1 }
+        );
         assert!(!op.in_preamble());
         assert_eq!(op.step(&mut m, &l), IterEffect::Complete(Val::Int(7)));
         assert_eq!(m.read(&l, CellId(1), Pid(1)), Val::Int(7));
@@ -292,10 +298,16 @@ mod tests {
     fn k3_iterates_then_requests_choice() {
         let (l, mut m) = setup();
         let mut op = IteratedOp::new(CopyOp::new(), 3);
-        assert_eq!(op.step(&mut m, &l), IterEffect::PreamblePassed { iteration: 1 });
+        assert_eq!(
+            op.step(&mut m, &l),
+            IterEffect::PreamblePassed { iteration: 1 }
+        );
         // Change the source between iterations: results differ per iteration.
         m.write(&l, CellId(0), Pid(1), Val::Int(8));
-        assert_eq!(op.step(&mut m, &l), IterEffect::PreamblePassed { iteration: 2 });
+        assert_eq!(
+            op.step(&mut m, &l),
+            IterEffect::PreamblePassed { iteration: 2 }
+        );
         m.write(&l, CellId(0), Pid(1), Val::Int(9));
         assert_eq!(
             op.step(&mut m, &l),

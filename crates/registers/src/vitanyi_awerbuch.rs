@@ -82,11 +82,7 @@ impl ShmOp for VaOp {
     /// The maximum-timestamp triple observed by the preamble.
     type Locals = (Val, i64, i64);
 
-    fn preamble_step(
-        &mut self,
-        shm: &Shm,
-        layout: &ShmLayout,
-    ) -> PreambleStatus<(Val, i64, i64)> {
+    fn preamble_step(&mut self, shm: &Shm, layout: &ShmLayout) -> PreambleStatus<(Val, i64, i64)> {
         let cell = CellId(self.base + self.idx);
         let (v, t, w) = parse_cell(&shm.read(layout, cell, self.pid));
         let better = match &self.best {
@@ -203,8 +199,7 @@ mod tests {
     fn sequential_writes_monotonically_increase_timestamps() {
         let (l, mut m) = setup(2);
         for (pid, v) in [(0u32, 1i64), (1, 2), (0, 3)] {
-            let mut w =
-                IteratedOp::new(VaOp::write(Pid(pid), 0, 2, Val::Int(v)), 1);
+            let mut w = IteratedOp::new(VaOp::write(Pid(pid), 0, 2, Val::Int(v)), 1);
             run(&mut w, &mut m, &l);
         }
         let mut r = IteratedOp::new(VaOp::read(Pid(1), 0, 2), 1);

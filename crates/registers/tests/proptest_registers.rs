@@ -1,12 +1,12 @@
-//! Property-based tests for the shared-memory constructions: randomly
+//! Randomized tests for the shared-memory constructions: randomly
 //! generated straight-line programs (random operations, arguments, and
 //! process assignments) run under randomly seeded schedules must always
 //! produce linearizable histories — for the base constructions and for
 //! every `k`-iterated version.
 //!
 //! Programs being *data* (`blunt_programs::ProgramDef`) is what makes this
-//! possible: proptest synthesizes the program, the simulator executes it,
-//! the checker validates the emitted history.
+//! possible: a seeded SplitMix64 synthesizes the program, the simulator
+//! executes it, the checker validates the emitted history.
 
 use blunt_core::ids::{MethodId, ObjId, Pid};
 use blunt_core::spec::{RegisterSpec, SnapshotSpec};
@@ -17,9 +17,9 @@ use blunt_registers::system::{ShmObjectConfig, ShmSystem, ShmSystemDef};
 use blunt_sim::kernel::run;
 use blunt_sim::rng::SplitMix64;
 use blunt_sim::sched::RandomScheduler;
-use proptest::prelude::*;
 
 const N: usize = 3;
+const CASES: u64 = 32;
 
 /// A randomly planned register operation.
 #[derive(Clone, Copy, Debug)]
@@ -28,12 +28,23 @@ enum PlannedOp {
     Write(i64),
 }
 
-fn planned_ops() -> impl Strategy<Value = Vec<Vec<PlannedOp>>> {
-    let op = prop_oneof![
-        Just(PlannedOp::Read),
-        (0i64..6).prop_map(PlannedOp::Write),
-    ];
-    prop::collection::vec(prop::collection::vec(op, 0..4), N..=N)
+/// Per-process plans: `N` processes, each with 0..4 ops, each op a read or
+/// a write of 0..6 — the same shape the proptest strategy generated.
+fn planned_ops(rng: &mut SplitMix64) -> Vec<Vec<PlannedOp>> {
+    (0..N)
+        .map(|_| {
+            let len = (rng.next_u64() % 4) as usize;
+            (0..len)
+                .map(|_| {
+                    if rng.next_u64() & 1 == 0 {
+                        PlannedOp::Read
+                    } else {
+                        PlannedOp::Write((rng.next_u64() % 6) as i64)
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn register_program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> ProgramDef {
@@ -54,8 +65,7 @@ fn register_program(plans: &[Vec<PlannedOp>], writer_only: Option<Pid>) -> Progr
                     PlannedOp::Write(v) => {
                         // In single-writer mode only the designated writer
                         // writes; others read instead.
-                        let is_writer =
-                            writer_only.is_none_or(|w| w == Pid(p as u32));
+                        let is_writer = writer_only.is_none_or(|w| w == Pid(p as u32));
                         if is_writer {
                             code.push(Instr::Invoke {
                                 line: 1,
@@ -114,7 +124,13 @@ fn snapshot_program(plans: &[Vec<PlannedOp>]) -> ProgramDef {
     ProgramDef::new("proptest-snapshot", codes, vec![0; N], 0, vec![])
 }
 
-fn check_history(sys: ShmSystem, seed: u64, spec_kind: SpecKind) -> Result<(), TestCaseError> {
+#[derive(Clone, Copy)]
+enum SpecKind {
+    Register,
+    Snapshot,
+}
+
+fn check_history(sys: ShmSystem, seed: u64, spec_kind: SpecKind) {
     let report = run(
         sys,
         &mut RandomScheduler::new(seed),
@@ -122,40 +138,40 @@ fn check_history(sys: ShmSystem, seed: u64, spec_kind: SpecKind) -> Result<(), T
         true,
         500_000,
     )
-    .map_err(|e| TestCaseError::fail(format!("run failed: {e}")))?;
+    .unwrap_or_else(|e| panic!("run failed (seed {seed}): {e}"));
     let h = report.trace.history().project(ObjId(0));
     let ok = match spec_kind {
         SpecKind::Register => check_linearizable(&h, &RegisterSpec::new(Val::Nil)).is_ok(),
         SpecKind::Snapshot => check_linearizable(&h, &SnapshotSpec::new(N, Val::Nil)).is_ok(),
     };
-    prop_assert!(ok, "non-linearizable history (seed {seed}):\n{h}");
-    Ok(())
+    assert!(ok, "non-linearizable history (seed {seed}):\n{h}");
 }
 
-#[derive(Clone, Copy)]
-enum SpecKind {
-    Register,
-    Snapshot,
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn vitanyi_awerbuch_random_programs_linearizable(
-        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
-    ) {
+#[test]
+fn vitanyi_awerbuch_random_programs_linearizable() {
+    let mut rng = SplitMix64::new(0x2E60_0001);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 3) as u32;
+        let seed = rng.next_u64() % 10_000;
         let sys = ShmSystem::new(ShmSystemDef {
             program: register_program(&plans, None),
-            objects: vec![ShmObjectConfig::VitanyiAwerbuch { k, initial: Val::Nil }],
+            objects: vec![ShmObjectConfig::VitanyiAwerbuch {
+                k,
+                initial: Val::Nil,
+            }],
         });
-        check_history(sys, seed, SpecKind::Register)?;
+        check_history(sys, seed, SpecKind::Register);
     }
+}
 
-    #[test]
-    fn israeli_li_random_programs_linearizable(
-        plans in planned_ops(), k in 1u32..4, seed in 0u64..10_000
-    ) {
+#[test]
+fn israeli_li_random_programs_linearizable() {
+    let mut rng = SplitMix64::new(0x2E60_0002);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 3) as u32;
+        let seed = rng.next_u64() % 10_000;
         let sys = ShmSystem::new(ShmSystemDef {
             program: register_program(&plans, Some(Pid(0))),
             objects: vec![ShmObjectConfig::IsraeliLi {
@@ -164,14 +180,18 @@ proptest! {
                 initial: Val::Nil,
             }],
         });
-        check_history(sys, seed, SpecKind::Register)?;
+        check_history(sys, seed, SpecKind::Register);
     }
+}
 
-    #[test]
-    fn snapshot_random_programs_linearizable(
-        plans in planned_ops(), k in 1u32..3, seed in 0u64..10_000,
-        update_preamble in prop::bool::ANY
-    ) {
+#[test]
+fn snapshot_random_programs_linearizable() {
+    let mut rng = SplitMix64::new(0x2E60_0003);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let k = 1 + (rng.next_u64() % 2) as u32;
+        let seed = rng.next_u64() % 10_000;
+        let update_preamble = rng.next_u64() & 1 == 1;
         let sys = ShmSystem::new(ShmSystemDef {
             program: snapshot_program(&plans),
             objects: vec![ShmObjectConfig::Snapshot {
@@ -181,18 +201,21 @@ proptest! {
                 update_preamble,
             }],
         });
-        check_history(sys, seed, SpecKind::Snapshot)?;
+        check_history(sys, seed, SpecKind::Snapshot);
     }
+}
 
-    #[test]
-    fn atomic_baselines_random_programs_linearizable(
-        plans in planned_ops(), seed in 0u64..10_000
-    ) {
+#[test]
+fn atomic_baselines_random_programs_linearizable() {
+    let mut rng = SplitMix64::new(0x2E60_0004);
+    for _ in 0..CASES {
+        let plans = planned_ops(&mut rng);
+        let seed = rng.next_u64() % 10_000;
         let sys = ShmSystem::new(ShmSystemDef {
             program: register_program(&plans, None),
             objects: vec![ShmObjectConfig::AtomicRegister { initial: Val::Nil }],
         });
-        check_history(sys, seed, SpecKind::Register)?;
+        check_history(sys, seed, SpecKind::Register);
         let sys = ShmSystem::new(ShmSystemDef {
             program: snapshot_program(&plans),
             objects: vec![ShmObjectConfig::AtomicSnapshot {
@@ -200,6 +223,6 @@ proptest! {
                 initial: Val::Nil,
             }],
         });
-        check_history(sys, seed, SpecKind::Snapshot)?;
+        check_history(sys, seed, SpecKind::Snapshot);
     }
 }

@@ -144,6 +144,41 @@ pub struct ExploreStats {
     pub memo_hits: usize,
     /// Maximum recursion depth reached (longest execution prefix).
     pub max_depth: usize,
+    /// Outgoing edges generated across all evaluated states (scheduler
+    /// choices plus random branches) — `transitions / states` is the mean
+    /// branching factor of the game.
+    pub transitions: usize,
+}
+
+impl ExploreStats {
+    /// Mean branching factor of the explored game (0.0 when empty).
+    #[must_use]
+    pub fn branching_factor(&self) -> f64 {
+        if self.states == 0 {
+            0.0
+        } else {
+            self.transitions as f64 / self.states as f64
+        }
+    }
+
+    /// Adds these statistics to the global metrics under `prefix`:
+    /// `<prefix>.solves`, `.states`, `.memo_hits`, `.transitions` (counters)
+    /// and `<prefix>.max_depth_hwm` (high-water gauge).
+    ///
+    /// The explorer accumulates locally and flushes once per solve so the
+    /// recursion itself carries no metric overhead.
+    pub fn publish(&self, prefix: &str) {
+        let g = blunt_obs::global();
+        g.counter(&format!("{prefix}.solves")).inc();
+        g.counter(&format!("{prefix}.states"))
+            .add(self.states as u64);
+        g.counter(&format!("{prefix}.memo_hits"))
+            .add(self.memo_hits as u64);
+        g.counter(&format!("{prefix}.transitions"))
+            .add(self.transitions as u64);
+        g.gauge(&format!("{prefix}.max_depth_hwm"))
+            .record_max(self.max_depth as i64);
+    }
 }
 
 /// Whether the scheduler is adversarial or benevolent.
@@ -190,6 +225,7 @@ where
             }
             Status::AwaitingRandom { choices, .. } => {
                 debug_assert!(choices >= 1);
+                self.stats.transitions += choices;
                 let mut total = Ratio::ZERO;
                 for c in 0..choices {
                     let mut next = sys.clone();
@@ -205,6 +241,7 @@ where
                     !enabled.is_empty(),
                     "System contract violation: Running with no enabled events"
                 );
+                self.stats.transitions += enabled.len();
                 let mut best: Option<Ratio> = None;
                 for ev in &enabled {
                     let mut next = sys.clone();
@@ -252,6 +289,7 @@ where
         stats: ExploreStats::default(),
     };
     let v = ex.value(sys, 0)?;
+    ex.stats.publish("sim.explore");
     Ok((v, ex.stats))
 }
 
@@ -367,6 +405,7 @@ where
             let v = match sys.status() {
                 Status::Done => (self.bad)(&sys.outcome()),
                 Status::AwaitingRandom { choices, .. } => {
+                    self.stats.transitions += choices;
                     let mut all = true;
                     for c in 0..choices {
                         let mut next = sys.clone();
@@ -382,6 +421,7 @@ where
                     let mut enabled = Vec::new();
                     sys.enabled(&mut enabled);
                     assert!(!enabled.is_empty(), "Running with no enabled events");
+                    self.stats.transitions += enabled.len();
                     let mut any = false;
                     for ev in &enabled {
                         let mut next = sys.clone();
@@ -405,6 +445,7 @@ where
         stats: ExploreStats::default(),
     };
     let v = ex.wins(sys, 0)?;
+    ex.stats.publish("sim.explore");
     Ok((v, ex.stats))
 }
 
@@ -450,6 +491,7 @@ pub fn reachable_outcomes<S: System>(
                 outcomes.insert(cur.outcome());
             }
             Status::AwaitingRandom { choices, .. } => {
+                stats.transitions += choices;
                 for c in 0..choices {
                     let mut next = cur.clone();
                     next.supply_random(c, &mut fx);
@@ -460,6 +502,7 @@ pub fn reachable_outcomes<S: System>(
                 let mut enabled = Vec::new();
                 cur.enabled(&mut enabled);
                 assert!(!enabled.is_empty(), "Running with no enabled events");
+                stats.transitions += enabled.len();
                 for ev in &enabled {
                     let mut next = cur.clone();
                     next.apply(ev, &mut fx);
@@ -468,6 +511,7 @@ pub fn reachable_outcomes<S: System>(
             }
         }
     }
+    stats.publish("sim.explore");
     Ok((outcomes, stats))
 }
 
@@ -479,10 +523,8 @@ mod tests {
     #[test]
     fn branch_game_worst_is_half_best_is_zero() {
         let budget = ExploreBudget::default();
-        let (worst, _) =
-            worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
-        let (best, _) =
-            best_case_prob(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
+        let (worst, _) = worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
+        let (best, _) = best_case_prob(&BranchGame::new(), &BranchGame::is_bad, &budget).unwrap();
         assert_eq!(worst, Ratio::new(1, 2));
         assert_eq!(best, Ratio::ZERO);
     }
@@ -492,8 +534,7 @@ mod tests {
         let budget = ExploreBudget::default();
         let (worst, _) =
             worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
-        let (best, _) =
-            best_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
+        let (best, _) = best_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap();
         assert_eq!(worst, Ratio::new(1, 2));
         assert_eq!(best, Ratio::new(1, 2));
     }
@@ -523,8 +564,7 @@ mod tests {
         let bad: usize = outs.iter().filter(|o| TwoCoinGame::is_bad(o)).count();
         assert_eq!(bad, 2);
 
-        let (outs, _) =
-            reachable_outcomes(&BranchGame::new(), &ExploreBudget::default()).unwrap();
+        let (outs, _) = reachable_outcomes(&BranchGame::new(), &ExploreBudget::default()).unwrap();
         // Safe (good), risky-good, risky-bad — but safe and risky-good
         // record different values? Safe records Int(0) (bad=false), risky
         // with coin 0 also records Int(0): they collapse. So 2 outcomes.
@@ -538,18 +578,15 @@ mod tests {
         let (a, _) = worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &exact).unwrap();
         let (b, _) = worst_case_prob(&BranchGame::new(), &BranchGame::is_bad, &finger).unwrap();
         assert_eq!(a, b);
-        let (a, _) =
-            worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &exact).unwrap();
-        let (b, _) =
-            worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &finger).unwrap();
+        let (a, _) = worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &exact).unwrap();
+        let (b, _) = worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &finger).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn budget_exhaustion_reports_error() {
         let budget = ExploreBudget::with_max_states(1);
-        let err = worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget)
-            .unwrap_err();
+        let err = worst_case_prob(&TwoCoinGame::new(), &TwoCoinGame::is_bad, &budget).unwrap_err();
         assert!(matches!(err, ExploreError::BudgetExceeded { .. }));
         assert!(err.to_string().contains("budget"));
     }

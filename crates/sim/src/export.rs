@@ -1,0 +1,371 @@
+//! Structured (JSONL) export and import of traces and run summaries.
+//!
+//! This module is the bridge between the simulator's [`Trace`] type and the
+//! `blunt-obs` record layer: every [`TraceEvent`] converts losslessly to and
+//! from a [`Json`] object, so a recorded execution can be written with a
+//! [`blunt_obs::JsonlSink`], parsed back, and compared for equality (the
+//! round-trip is tested in `tests/trace_roundtrip.rs`). The record schema is
+//! documented in `docs/OBS_SCHEMA.md`.
+
+use crate::kernel::RunReport;
+use crate::trace::{Trace, TraceEvent};
+use blunt_core::ids::{CallSite, InvId, MethodId, ObjId, Pid};
+use blunt_core::value::Val;
+use blunt_obs::{Json, Recorder};
+
+/// Serializes a [`Val`] as a tagged JSON value: `null` for `Nil`, a number
+/// for `Int`, `{"pair":[a,b]}` and `{"tuple":[...]}` for composites.
+#[must_use]
+pub fn val_to_json(v: &Val) -> Json {
+    match v {
+        Val::Nil => Json::Null,
+        Val::Int(i) => Json::Int(*i),
+        Val::Pair(p) => Json::Obj(vec![(
+            "pair".into(),
+            Json::Arr(vec![val_to_json(&p.0), val_to_json(&p.1)]),
+        )]),
+        Val::Tuple(t) => Json::Obj(vec![(
+            "tuple".into(),
+            Json::Arr(t.iter().map(val_to_json).collect()),
+        )]),
+    }
+}
+
+/// Parses a [`Val`] back from [`val_to_json`] form; `None` on malformed
+/// input.
+#[must_use]
+pub fn val_from_json(j: &Json) -> Option<Val> {
+    match j {
+        Json::Null => Some(Val::Nil),
+        Json::Int(_) | Json::UInt(_) => j.as_i64().map(Val::Int),
+        Json::Obj(_) => {
+            if let Some(pair) = j.get("pair").and_then(Json::as_arr) {
+                let [a, b] = pair else { return None };
+                Some(Val::pair(val_from_json(a)?, val_from_json(b)?))
+            } else if let Some(tuple) = j.get("tuple").and_then(Json::as_arr) {
+                tuple
+                    .iter()
+                    .map(val_from_json)
+                    .collect::<Option<Vec<_>>>()
+                    .map(Val::Tuple)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn obj(kind: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("type".to_string(), Json::Str("event".into())),
+        ("kind".to_string(), Json::Str(kind.into())),
+    ];
+    pairs.extend(fields);
+    Json::Obj(pairs)
+}
+
+/// Serializes one [`TraceEvent`] as an `event` record.
+#[must_use]
+pub fn event_to_json(ev: &TraceEvent) -> Json {
+    let u = |v: u64| Json::UInt(v);
+    match ev {
+        TraceEvent::Call {
+            inv,
+            pid,
+            obj: o,
+            method,
+            arg,
+            site,
+        } => obj(
+            "call",
+            vec![
+                ("inv".into(), u(inv.0)),
+                ("pid".into(), u(u64::from(pid.0))),
+                ("obj".into(), u(u64::from(o.0))),
+                ("method".into(), u(u64::from(method.0))),
+                ("arg".into(), val_to_json(arg)),
+                (
+                    "site".into(),
+                    Json::Arr(vec![
+                        u(u64::from(site.pid.0)),
+                        u(u64::from(site.line)),
+                        u(u64::from(site.occurrence)),
+                    ]),
+                ),
+            ],
+        ),
+        TraceEvent::Return { inv, pid, val } => obj(
+            "return",
+            vec![
+                ("inv".into(), u(inv.0)),
+                ("pid".into(), u(u64::from(pid.0))),
+                ("val".into(), val_to_json(val)),
+            ],
+        ),
+        TraceEvent::Deliver { src, dst, label } => obj(
+            "deliver",
+            vec![
+                ("src".into(), u(u64::from(src.0))),
+                ("dst".into(), u(u64::from(dst.0))),
+                ("label".into(), Json::Str(label.clone())),
+            ],
+        ),
+        TraceEvent::Internal { pid, label } => obj(
+            "internal",
+            vec![
+                ("pid".into(), u(u64::from(pid.0))),
+                ("label".into(), Json::Str(label.clone())),
+            ],
+        ),
+        TraceEvent::PreamblePassed {
+            inv,
+            pid,
+            iteration,
+        } => obj(
+            "preamble_passed",
+            vec![
+                ("inv".into(), u(inv.0)),
+                ("pid".into(), u(u64::from(pid.0))),
+                ("iteration".into(), u(u64::from(*iteration))),
+            ],
+        ),
+        TraceEvent::ProgramRandom {
+            pid,
+            choices,
+            chosen,
+        } => obj(
+            "program_random",
+            vec![
+                ("pid".into(), u(u64::from(pid.0))),
+                ("choices".into(), u(*choices as u64)),
+                ("chosen".into(), u(*chosen as u64)),
+            ],
+        ),
+        TraceEvent::ObjectRandom {
+            pid,
+            inv,
+            choices,
+            chosen,
+        } => obj(
+            "object_random",
+            vec![
+                ("pid".into(), u(u64::from(pid.0))),
+                ("inv".into(), u(inv.0)),
+                ("choices".into(), u(*choices as u64)),
+                ("chosen".into(), u(*chosen as u64)),
+            ],
+        ),
+        TraceEvent::Crash { pid } => obj("crash", vec![("pid".into(), u(u64::from(pid.0)))]),
+    }
+}
+
+/// Parses a [`TraceEvent`] back from an `event` record; `None` on malformed
+/// input or an unknown `kind`.
+#[must_use]
+pub fn event_from_json(j: &Json) -> Option<TraceEvent> {
+    if j.get("type").and_then(Json::as_str) != Some("event") {
+        return None;
+    }
+    let pid = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .map(Pid)
+    };
+    let inv = || j.get("inv").and_then(Json::as_u64).map(InvId);
+    let label = |key: &str| j.get(key).and_then(Json::as_str).map(str::to_string);
+    let count = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .and_then(|v| usize::try_from(v).ok())
+    };
+    match j.get("kind").and_then(Json::as_str)? {
+        "call" => {
+            let site = j.get("site").and_then(Json::as_arr)?;
+            let [sp, sl, so] = site else { return None };
+            Some(TraceEvent::Call {
+                inv: inv()?,
+                pid: pid("pid")?,
+                obj: ObjId(u32::try_from(j.get("obj").and_then(Json::as_u64)?).ok()?),
+                method: MethodId(u16::try_from(j.get("method").and_then(Json::as_u64)?).ok()?),
+                arg: val_from_json(j.get("arg")?)?,
+                site: CallSite::new(
+                    Pid(u32::try_from(sp.as_u64()?).ok()?),
+                    u16::try_from(sl.as_u64()?).ok()?,
+                    u16::try_from(so.as_u64()?).ok()?,
+                ),
+            })
+        }
+        "return" => Some(TraceEvent::Return {
+            inv: inv()?,
+            pid: pid("pid")?,
+            val: val_from_json(j.get("val")?)?,
+        }),
+        "deliver" => Some(TraceEvent::Deliver {
+            src: pid("src")?,
+            dst: pid("dst")?,
+            label: label("label")?,
+        }),
+        "internal" => Some(TraceEvent::Internal {
+            pid: pid("pid")?,
+            label: label("label")?,
+        }),
+        "preamble_passed" => Some(TraceEvent::PreamblePassed {
+            inv: inv()?,
+            pid: pid("pid")?,
+            iteration: u32::try_from(j.get("iteration").and_then(Json::as_u64)?).ok()?,
+        }),
+        "program_random" => Some(TraceEvent::ProgramRandom {
+            pid: pid("pid")?,
+            choices: count("choices")?,
+            chosen: count("chosen")?,
+        }),
+        "object_random" => Some(TraceEvent::ObjectRandom {
+            pid: pid("pid")?,
+            inv: inv()?,
+            choices: count("choices")?,
+            chosen: count("chosen")?,
+        }),
+        "crash" => Some(TraceEvent::Crash { pid: pid("pid")? }),
+        _ => None,
+    }
+}
+
+/// Writes every event of `trace` to `rec`, one `event` record per event.
+pub fn record_trace(trace: &Trace, rec: &mut dyn Recorder) {
+    for ev in trace.events() {
+        rec.record(&event_to_json(ev));
+    }
+}
+
+/// Reassembles a [`Trace`] from a stream of records, ignoring records that
+/// are not `event`s (e.g. interleaved `metric` or `run_summary` lines).
+#[must_use]
+pub fn trace_from_records(records: &[Json]) -> Option<Trace> {
+    let mut t = Trace::new();
+    let mut events = Vec::new();
+    for r in records {
+        if r.get("type").and_then(Json::as_str) == Some("event") {
+            events.push(event_from_json(r)?);
+        }
+    }
+    t.extend(events);
+    Some(t)
+}
+
+/// Serializes a [`RunReport`] as a `run_summary` record: outcome, steps,
+/// random draws, and the per-event-kind counts of [`Trace::summary`].
+#[must_use]
+pub fn run_summary_json(label: &str, report: &RunReport) -> Json {
+    let s = report.trace.summary();
+    let u = |v: usize| Json::UInt(v as u64);
+    Json::Obj(vec![
+        ("type".into(), Json::Str("run_summary".into())),
+        ("label".into(), Json::Str(label.into())),
+        ("outcome".into(), Json::Str(report.outcome.to_string())),
+        ("steps".into(), u(report.steps)),
+        (
+            "random_draws".into(),
+            Json::Arr(report.random_draws.iter().map(|&d| u(d)).collect()),
+        ),
+        ("calls".into(), u(s.calls)),
+        ("returns".into(), u(s.returns)),
+        ("deliveries".into(), u(s.deliveries)),
+        ("internals".into(), u(s.internals)),
+        ("preambles_passed".into(), u(s.preambles_passed)),
+        ("program_randoms".into(), u(s.program_randoms)),
+        ("object_randoms".into(), u(s.object_randoms)),
+        ("crashes".into(), u(s.crashes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn val_round_trips() {
+        for v in [
+            Val::Nil,
+            Val::Int(-3),
+            Val::pair(Val::Int(1), Val::Nil),
+            Val::Tuple(vec![Val::Int(0), Val::pair(Val::Int(2), Val::Int(3))]),
+        ] {
+            let j = val_to_json(&v);
+            let text = j.to_string();
+            let back = val_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, v, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = vec![
+            TraceEvent::Call {
+                inv: InvId(4),
+                pid: Pid(1),
+                obj: ObjId(0),
+                method: MethodId::WRITE,
+                arg: Val::Int(9),
+                site: CallSite::new(Pid(1), 7, 2),
+            },
+            TraceEvent::Return {
+                inv: InvId(4),
+                pid: Pid(1),
+                val: Val::pair(Val::Int(1), Val::Int(2)),
+            },
+            TraceEvent::Deliver {
+                src: Pid(0),
+                dst: Pid(2),
+                label: "query sn=3 \"quoted\"".into(),
+            },
+            TraceEvent::Internal {
+                pid: Pid(2),
+                label: "phase2".into(),
+            },
+            TraceEvent::PreamblePassed {
+                inv: InvId(4),
+                pid: Pid(1),
+                iteration: 2,
+            },
+            TraceEvent::ProgramRandom {
+                pid: Pid(0),
+                choices: 2,
+                chosen: 1,
+            },
+            TraceEvent::ObjectRandom {
+                pid: Pid(0),
+                inv: InvId(4),
+                choices: 3,
+                chosen: 0,
+            },
+            TraceEvent::Crash { pid: Pid(2) },
+        ];
+        for ev in &events {
+            let text = event_to_json(ev).to_string();
+            let back = event_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, ev, "round trip of {text}");
+        }
+        // Whole-trace reassembly, with a foreign record interleaved.
+        let mut records: Vec<Json> = events.iter().map(event_to_json).collect();
+        records.insert(
+            3,
+            Json::Obj(vec![("type".into(), Json::Str("metric".into()))]),
+        );
+        let mut t = Trace::new();
+        t.extend(events);
+        assert_eq!(trace_from_records(&records).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_not_mangled() {
+        assert!(
+            event_from_json(&Json::parse(r#"{"type":"event","kind":"warp"}"#).unwrap()).is_none()
+        );
+        assert!(
+            event_from_json(&Json::parse(r#"{"type":"event","kind":"crash"}"#).unwrap()).is_none()
+        );
+        assert!(event_from_json(&Json::parse(r#"{"kind":"crash","pid":0}"#).unwrap()).is_none());
+    }
+}

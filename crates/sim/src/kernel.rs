@@ -140,6 +140,11 @@ where
         trace.extend(fx.take());
     }
 
+    blunt_obs::static_counter!("sim.kernel.runs").inc();
+    blunt_obs::static_counter!("sim.kernel.steps").add(steps as u64);
+    blunt_obs::static_counter!("sim.kernel.random_draws").add(random_draws.len() as u64);
+    blunt_obs::static_histogram!("sim.kernel.steps_per_run").record(steps as u64);
+
     Ok(RunReport {
         outcome: sys.outcome(),
         trace,

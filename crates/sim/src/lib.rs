@@ -25,12 +25,15 @@
 //!   maximize, random nodes average uniformly) — the strong adversary of
 //!   Section 2.4 is precisely the maximizing player of this game;
 //! - [`montecarlo`] estimates outcome probabilities under a fixed scheduler
-//!   by repeated deterministic runs.
+//!   by repeated deterministic runs;
+//! - [`export`] serializes traces and run summaries to the JSONL record
+//!   schema of `blunt-obs` (see `docs/OBS_SCHEMA.md`), losslessly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod export;
 pub mod kernel;
 pub mod montecarlo;
 pub mod network;
@@ -44,9 +47,10 @@ pub use explore::{
     best_case_prob, reachable_outcomes, sure_win, worst_case_prob, ExploreBudget, ExploreError,
     ExploreStats,
 };
+pub use export::{event_from_json, event_to_json, record_trace, run_summary_json};
 pub use kernel::{run, RunReport};
 pub use network::{Envelope, Network};
 pub use rng::{RandomSource, SplitMix64, Tape};
 pub use sched::{FirstEnabled, RandomScheduler, Scheduler, ScriptedScheduler};
 pub use system::{Effects, RandomKind, Status, System};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceSummary};

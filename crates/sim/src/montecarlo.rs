@@ -92,6 +92,9 @@ where
             successes += 1;
         }
     }
+    blunt_obs::static_counter!("sim.montecarlo.estimates").inc();
+    blunt_obs::static_counter!("sim.montecarlo.trials").add(trials as u64);
+    blunt_obs::static_counter!("sim.montecarlo.bad_outcomes").add(successes as u64);
     Ok(Estimate { successes, trials })
 }
 

@@ -92,6 +92,12 @@ impl<M: Clone + Ord + Hash + Debug> Network<M> {
         let env = Envelope { src, dst, msg };
         let pos = self.queue.partition_point(|e| *e <= env);
         self.queue.insert(pos, env);
+        // Counters aggregate over every state the network passes through —
+        // including clones visited by the explorer, which is the point: they
+        // expose the total message volume behind a verdict. They live in the
+        // global registry, never in `self`, so `Eq`/`Hash` stay structural.
+        blunt_obs::static_counter!("sim.net.sends").inc();
+        blunt_obs::static_gauge!("sim.net.in_flight_hwm").record_max(self.queue.len() as i64);
     }
 
     /// Broadcasts a message from `src` to **all** processes, including `src`
@@ -139,6 +145,7 @@ impl<M: Clone + Ord + Hash + Debug> Network<M> {
     ///
     /// Panics if `index` is out of range.
     pub fn take(&mut self, index: usize) -> Envelope<M> {
+        blunt_obs::static_counter!("sim.net.deliveries").inc();
         self.queue.remove(index)
     }
 

@@ -30,6 +30,7 @@ pub struct FirstEnabled;
 
 impl<S: System> Scheduler<S> for FirstEnabled {
     fn pick(&mut self, _sys: &S, _enabled: &[S::Event]) -> usize {
+        blunt_obs::static_counter!("sim.sched.picks.first_enabled").inc();
         0
     }
 }
@@ -57,6 +58,8 @@ impl RandomScheduler {
 
 impl<S: System> Scheduler<S> for RandomScheduler {
     fn pick(&mut self, _sys: &S, enabled: &[S::Event]) -> usize {
+        blunt_obs::static_counter!("sim.sched.picks.random").inc();
+        blunt_obs::static_histogram!("sim.sched.branching").record(enabled.len() as u64);
         self.rng.draw(enabled.len())
     }
 }
@@ -110,6 +113,7 @@ impl<E> ScriptedScheduler<E> {
 
 impl<S: System> Scheduler<S> for ScriptedScheduler<S::Event> {
     fn pick(&mut self, _sys: &S, enabled: &[S::Event]) -> usize {
+        blunt_obs::static_counter!("sim.sched.picks.scripted").inc();
         match self.script.pop_front() {
             Some(mut matcher) => {
                 self.consumed += 1;
@@ -166,9 +170,7 @@ mod tests {
         let mut enabled = Vec::new();
         sys.enabled(&mut enabled);
         let mut s: ScriptedScheduler<_> =
-            ScriptedScheduler::new(vec![Box::new(|evs: &[_]| {
-                (evs.len() > 1).then_some(1)
-            })]);
+            ScriptedScheduler::new(vec![Box::new(|evs: &[_]| (evs.len() > 1).then_some(1))]);
         assert!(!s.is_exhausted());
         assert_eq!(Scheduler::<BranchGame>::pick(&mut s, &sys, &enabled), 1);
         assert!(s.is_exhausted());
@@ -182,8 +184,7 @@ mod tests {
         let sys = BranchGame::new();
         let mut enabled = Vec::new();
         sys.enabled(&mut enabled);
-        let mut s: ScriptedScheduler<_> =
-            ScriptedScheduler::new(vec![Box::new(|_: &[_]| None)]);
+        let mut s: ScriptedScheduler<_> = ScriptedScheduler::new(vec![Box::new(|_: &[_]| None)]);
         let _ = Scheduler::<BranchGame>::pick(&mut s, &sys, &enabled);
     }
 }

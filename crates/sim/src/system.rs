@@ -16,9 +16,9 @@
 //! so far, since they are folded into the state — but cannot see the future:
 //! the choice of the next event is made before the next random value exists.
 
+use crate::trace::TraceEvent;
 use blunt_core::ids::Pid;
 use blunt_core::outcome::Outcome;
-use crate::trace::TraceEvent;
 use std::fmt::Debug;
 use std::hash::Hash;
 

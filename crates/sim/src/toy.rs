@@ -259,7 +259,10 @@ mod tests {
         let mut g = BranchGame::new();
         let mut fx = Effects::silent();
         g.apply(&BranchMove::Risky, &mut fx);
-        assert!(matches!(g.status(), Status::AwaitingRandom { choices: 2, .. }));
+        assert!(matches!(
+            g.status(),
+            Status::AwaitingRandom { choices: 2, .. }
+        ));
         g.supply_random(1, &mut fx);
         assert_eq!(g.status(), Status::Done);
         assert!(BranchGame::is_bad(&g.outcome()));

@@ -214,32 +214,45 @@ impl Trace {
         h
     }
 
+    /// Per-event-kind counts over the whole trace, computed in one pass.
+    #[must_use]
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Call { .. } => s.calls += 1,
+                TraceEvent::Return { .. } => s.returns += 1,
+                TraceEvent::Deliver { .. } => s.deliveries += 1,
+                TraceEvent::Internal { .. } => s.internals += 1,
+                TraceEvent::PreamblePassed { .. } => s.preambles_passed += 1,
+                TraceEvent::ProgramRandom { .. } => s.program_randoms += 1,
+                TraceEvent::ObjectRandom { .. } => s.object_randoms += 1,
+                TraceEvent::Crash { .. } => s.crashes += 1,
+            }
+        }
+        s
+    }
+
     /// Number of message deliveries (a proxy for message complexity; used by
-    /// the cost-vs-`k` experiment E8).
+    /// the cost-vs-`k` experiment E8). Shorthand for
+    /// [`Trace::summary`]`().deliveries`.
     #[must_use]
     pub fn delivery_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
-            .count()
+        self.summary().deliveries
     }
 
-    /// Number of program random steps taken.
+    /// Number of program random steps taken. Shorthand for
+    /// [`Trace::summary`]`().program_randoms`.
     #[must_use]
     pub fn program_random_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::ProgramRandom { .. }))
-            .count()
+        self.summary().program_randoms
     }
 
-    /// Number of object random steps taken (introduced by `O^k`).
+    /// Number of object random steps taken (introduced by `O^k`). Shorthand
+    /// for [`Trace::summary`]`().object_randoms`.
     #[must_use]
     pub fn object_random_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::ObjectRandom { .. }))
-            .count()
+        self.summary().object_randoms
     }
 
     /// Renders a per-process timeline in the style of the paper's Figure 1:
@@ -286,6 +299,42 @@ impl fmt::Display for Trace {
             writeln!(f, "{i:4}  {ev}")?;
         }
         Ok(())
+    }
+}
+
+/// Per-event-kind counts of one [`Trace`] (see [`Trace::summary`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TraceSummary {
+    /// Method invocations.
+    pub calls: usize,
+    /// Method returns.
+    pub returns: usize,
+    /// Message deliveries.
+    pub deliveries: usize,
+    /// Internal protocol steps.
+    pub internals: usize,
+    /// Preamble-boundary markers.
+    pub preambles_passed: usize,
+    /// Program random steps.
+    pub program_randoms: usize,
+    /// Object random steps.
+    pub object_randoms: usize,
+    /// Process crashes.
+    pub crashes: usize,
+}
+
+impl TraceSummary {
+    /// Total events counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.calls
+            + self.returns
+            + self.deliveries
+            + self.internals
+            + self.preambles_passed
+            + self.program_randoms
+            + self.object_randoms
+            + self.crashes
     }
 }
 
@@ -350,6 +399,28 @@ mod tests {
         assert_eq!(t.object_random_count(), 1);
         assert_eq!(t.len(), 6);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn summary_counts_every_kind_once() {
+        let mut t = sample_trace();
+        t.extend(vec![
+            TraceEvent::Internal {
+                pid: Pid(1),
+                label: "ack".into(),
+            },
+            TraceEvent::Crash { pid: Pid(2) },
+        ]);
+        let s = t.summary();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.deliveries, 1);
+        assert_eq!(s.internals, 1);
+        assert_eq!(s.preambles_passed, 1);
+        assert_eq!(s.program_randoms, 1);
+        assert_eq!(s.object_randoms, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.total(), t.len());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Golden-file round-trip of a recorded [`Trace`] through the JSONL
+//! export layer: a deterministic run is serialized, compared byte-for-byte
+//! against a checked-in golden file, parsed back, and reassembled into an
+//! equal `Trace`.
+//!
+//! Regenerate the golden file with `BLESS=1 cargo test -p blunt-sim`.
+
+use blunt_obs::{parse_jsonl, JsonlSink, Recorder, VecSink};
+use blunt_sim::export::{record_trace, run_summary_json, trace_from_records};
+use blunt_sim::kernel::run;
+use blunt_sim::rng::Tape;
+use blunt_sim::sched::FirstEnabled;
+use blunt_sim::toy::TwoCoinGame;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/two_coin.jsonl");
+
+fn recorded_run() -> blunt_sim::kernel::RunReport {
+    run(
+        TwoCoinGame::new(),
+        &mut FirstEnabled,
+        &mut Tape::new(vec![1, 0]),
+        true,
+        100,
+    )
+    .expect("deterministic toy run completes")
+}
+
+fn render(report: &blunt_sim::kernel::RunReport) -> String {
+    let mut sink = VecSink::new();
+    record_trace(&report.trace, &mut sink);
+    sink.record(&run_summary_json("two_coin", report));
+    let mut out = String::new();
+    for r in &sink.records {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn recorded_trace_matches_golden_file_and_round_trips() {
+    let report = recorded_run();
+    let rendered = render(&report);
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file exists (BLESS=1 to create)");
+    assert_eq!(
+        rendered, golden,
+        "serialized trace drifted from golden file"
+    );
+
+    // Parse the golden text back and reassemble the trace; the run_summary
+    // line must be skipped, and every event must survive unchanged.
+    let records = parse_jsonl(&golden).expect("golden parses");
+    let back = trace_from_records(&records).expect("events deserialize");
+    assert_eq!(back, report.trace);
+
+    // The trailing summary record agrees with the trace's own summary.
+    let summary = records.last().expect("summary record");
+    assert_eq!(
+        summary.get("type").and_then(blunt_obs::Json::as_str),
+        Some("run_summary")
+    );
+    assert_eq!(
+        summary
+            .get("program_randoms")
+            .and_then(blunt_obs::Json::as_u64),
+        Some(report.trace.summary().program_randoms as u64)
+    );
+}
+
+#[test]
+fn jsonl_sink_file_round_trips_a_recorded_trace() {
+    let report = recorded_run();
+    let path = std::env::temp_dir().join(format!(
+        "blunt_sim_trace_roundtrip_{}.jsonl",
+        std::process::id()
+    ));
+    {
+        let mut sink = JsonlSink::create(&path).expect("create sink");
+        record_trace(&report.trace, &mut sink);
+    } // Drop flushes.
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let records = parse_jsonl(&text).expect("file parses");
+    let back = trace_from_records(&records).expect("events deserialize");
+    assert_eq!(back, report.trace);
+    let _ = std::fs::remove_file(&path);
+}

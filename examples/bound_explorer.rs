@@ -24,7 +24,10 @@ fn main() {
     let pl = Ratio::ONE;
     println!("Theorem 4.2 for n = {n} processes, r = {r} program random steps,");
     println!("Prob[O_a] = {pa}, Prob[O] = {pl}:\n");
-    println!("{:>4} | {:>12} | {:>12} | {:>12}", "k", "Prob[X] ≥", "advantage", "bound ≤");
+    println!(
+        "{:>4} | {:>12} | {:>12} | {:>12}",
+        "k", "Prob[X] ≥", "advantage", "bound ≤"
+    );
     println!("{}", "-".repeat(52));
     for point in bound_curve(pa, pl, n, r, k_max) {
         println!(

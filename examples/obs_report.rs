@@ -1,0 +1,152 @@
+//! End-to-end observability report: exercises every instrumented subsystem
+//! — simulator kernel/scheduler, adversary search, linearizability
+//! checkers, and the ABD system — then prints the full metrics snapshot and
+//! writes it as JSONL.
+//!
+//! ```sh
+//! cargo run --release --example obs_report
+//! ```
+//!
+//! The run also demonstrates that the expectimax counters are
+//! deterministic: the Figure-1-scale search is solved twice and the
+//! per-solve node/memo-hit deltas must match exactly.
+
+use blunt_abd::scenarios::weakener_abd;
+use blunt_adversary::fig1::fig1_script;
+use blunt_adversary::search;
+use blunt_core::ids::ObjId;
+use blunt_core::spec::RegisterSpec;
+use blunt_core::value::Val;
+use blunt_lincheck::strong::check_strong;
+use blunt_lincheck::tree::ExecTree;
+use blunt_lincheck::wgl::check_linearizable;
+use blunt_obs::{parse_jsonl, JsonlSink, Recorder};
+use blunt_programs::weakener;
+use blunt_sim::explore::ExploreBudget;
+use blunt_sim::export::{record_trace, run_summary_json};
+use blunt_sim::kernel::run;
+use blunt_sim::rng::{SplitMix64, Tape};
+use blunt_sim::sched::RandomScheduler;
+use blunt_sim::trace::Trace;
+
+/// The explorer counters a single `exact_worst_atomic` solve adds to the
+/// global registry, read as (states, memo hits).
+fn search_counters() -> (u64, u64) {
+    let snap = blunt_obs::snapshot();
+    (
+        snap.counter("adversary.search.states").unwrap_or(0),
+        snap.counter("adversary.search.memo_hits").unwrap_or(0),
+    )
+}
+
+fn main() {
+    blunt_obs::reset();
+    let sink_path = std::path::Path::new("target/obs_report/metrics.jsonl");
+    let mut sink = JsonlSink::create(sink_path).expect("create metrics.jsonl");
+
+    // 1. The Figure 1 adversary: scripted schedules forcing nontermination
+    //    for both coin values (exercises kernel, network, ABD, fig1).
+    println!("== Figure 1 adversary (ABD^1, scripted) ==");
+    let mut fig1_traces: Vec<Trace> = Vec::new();
+    for coin in 0..2usize {
+        let report = run(
+            weakener_abd(1),
+            &mut fig1_script(coin),
+            &mut Tape::new(vec![coin]),
+            true,
+            10_000,
+        )
+        .expect("figure 1 run completes");
+        println!(
+            "  coin={coin}: bad={} steps={} deliveries={}",
+            weakener::is_bad(&report.outcome),
+            report.steps,
+            report.trace.delivery_count(),
+        );
+        record_trace(&report.trace, &mut sink);
+        sink.record(&run_summary_json(&format!("fig1.coin{coin}"), &report));
+        fig1_traces.push(report.trace);
+    }
+
+    // 2. A run under the oblivious random scheduler (exercises the
+    //    RandomScheduler pick counters and branching histogram).
+    let oblivious = run(
+        weakener_abd(1),
+        &mut RandomScheduler::new(7),
+        &mut SplitMix64::new(7),
+        true,
+        200_000,
+    )
+    .expect("oblivious run completes");
+    sink.record(&run_summary_json("oblivious.seed7", &oblivious));
+
+    // 3. Expectimax search, solved twice: counters must be identical per
+    //    solve because the explorer is deterministic.
+    println!("\n== Expectimax search (atomic weakener game, solved twice) ==");
+    let (s0, m0) = search_counters();
+    let (p1, _) = search::exact_worst_atomic(&ExploreBudget::default()).expect("solve 1");
+    let (s1, m1) = search_counters();
+    let (p2, _) = search::exact_worst_atomic(&ExploreBudget::default()).expect("solve 2");
+    let (s2, m2) = search_counters();
+    let (nodes_a, hits_a) = (s1 - s0, m1 - m0);
+    let (nodes_b, hits_b) = (s2 - s1, m2 - m1);
+    println!("  solve 1: value={p1} nodes_expanded={nodes_a} cache_hits={hits_a}");
+    println!("  solve 2: value={p2} nodes_expanded={nodes_b} cache_hits={hits_b}");
+    assert_eq!(p1, p2, "same game, same value");
+    assert_eq!(
+        (nodes_a, hits_a),
+        (nodes_b, hits_b),
+        "expectimax counters must be stable across same-seed solves"
+    );
+    println!("  counters identical across solves: OK");
+
+    // 4. Linearizability checkers on the recorded Figure 1 traces.
+    println!("\n== Linearizability checks on the Figure 1 traces ==");
+    let reg = RegisterSpec::new(Val::Nil);
+    for t in &fig1_traces {
+        assert!(check_linearizable(&t.history().project(ObjId(0)), &reg).is_ok());
+    }
+    let tree = ExecTree::build(&fig1_traces, ObjId(0), |_| false);
+    let strong = check_strong(&tree, &reg);
+    println!("  per-trace linearizable: true; tree strongly linearizable: {strong}");
+
+    // The full snapshot, as a table and as JSONL records.
+    let snap = blunt_obs::snapshot();
+    println!("\n== Metrics snapshot ==");
+    println!("{}", snap.to_table());
+    for record in snap.to_jsonl_records() {
+        sink.record(&record);
+    }
+    let lines = sink.lines();
+    sink.flush();
+    drop(sink);
+
+    // Prove the sink round-trips and that at least four subsystems counted.
+    let text = std::fs::read_to_string(sink_path).expect("read metrics.jsonl");
+    let records = parse_jsonl(&text).expect("metrics.jsonl parses");
+    assert_eq!(records.len() as u64, lines);
+    let nonzero = |name: &str| {
+        let v = snap.counter(name).unwrap_or(0);
+        assert!(v > 0, "expected nonzero counter {name}");
+        (name.to_string(), v)
+    };
+    let witnesses = [
+        nonzero("sim.sched.picks.random"),
+        nonzero("adversary.search.states"),
+        nonzero("lincheck.wgl.states"),
+        nonzero("abd.deliver.query"),
+        nonzero("sim.kernel.runs"),
+        nonzero("lincheck.strong.nodes_visited"),
+    ];
+    println!(
+        "Wrote {} records to {} ({} metrics; subsystem witnesses: {})",
+        records.len(),
+        sink_path.display(),
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.timers.len(),
+        witnesses
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+}

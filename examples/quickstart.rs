@@ -41,12 +41,8 @@ fn main() {
     );
 
     // 2. The exact adversarial value with atomic registers (Appendix A.1).
-    let (atomic, stats) = worst_case_prob(
-        &weakener_atomic(),
-        &is_bad,
-        &ExploreBudget::default(),
-    )
-    .expect("the atomic game is small");
+    let (atomic, stats) = worst_case_prob(&weakener_atomic(), &is_bad, &ExploreBudget::default())
+        .expect("the atomic game is small");
     println!("\nexact worst-case bad probability, atomic registers: {atomic}");
     println!("  ({} states explored)", stats.states);
     assert_eq!(atomic, Ratio::new(1, 2));

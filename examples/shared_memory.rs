@@ -11,9 +11,7 @@ use blunting::core::ids::ObjId;
 use blunting::core::spec::{RegisterSpec, SnapshotSpec};
 use blunting::core::value::Val;
 use blunting::lincheck::wgl::check_linearizable;
-use blunting::registers::scenarios::{
-    ghw_atomic, ghw_snapshot, sw_weakener_il, weakener_va,
-};
+use blunting::registers::scenarios::{ghw_atomic, ghw_snapshot, sw_weakener_il, weakener_va};
 use blunting::sim::explore::{worst_case_prob, ExploreBudget};
 use blunting::sim::kernel::run;
 use blunting::sim::rng::SplitMix64;

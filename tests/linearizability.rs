@@ -42,11 +42,7 @@ fn assert_register_linearizable(h: &History, what: &str, seed: u64) {
 fn abd_histories_are_linearizable() {
     for k in [1u32, 2, 3] {
         for seed in 0..40 {
-            let trace = history_for(
-                blunting::abd::scenarios::weakener_abd(k),
-                seed,
-                100_000,
-            );
+            let trace = history_for(blunting::abd::scenarios::weakener_abd(k), seed, 100_000);
             let h = trace.history().project(ObjId(0));
             assert_register_linearizable(&h, &format!("ABD^{k} on R"), seed);
         }
@@ -78,7 +74,11 @@ fn abd_full_configuration_both_registers_linearizable() {
         for obj in h.objects() {
             let proj = h.project(obj);
             // C is initialized to −1; use the matching spec per object.
-            let initial = if obj == ObjId(1) { Val::Int(-1) } else { Val::Nil };
+            let initial = if obj == ObjId(1) {
+                Val::Int(-1)
+            } else {
+                Val::Nil
+            };
             let spec = RegisterSpec::new(initial);
             assert!(
                 check_linearizable(&proj, &spec).is_ok(),
@@ -239,7 +239,11 @@ fn round_based_histories_are_linearizable_per_round_register() {
         let trace = history_for(sys, seed, 300_000);
         let h = trace.history();
         for obj in h.objects() {
-            let initial = if obj.0 % 2 == 1 { Val::Int(-1) } else { Val::Nil };
+            let initial = if obj.0 % 2 == 1 {
+                Val::Int(-1)
+            } else {
+                Val::Nil
+            };
             let proj = h.project(obj);
             let spec = RegisterSpec::new(initial);
             assert!(
