@@ -10,6 +10,11 @@
 //! cargo run --release -p blunt-bench --bin experiments -- --heavy # + slow proofs
 //! ```
 //!
+//! Flags: `--metrics-out <path>` and `--results-out <path>` redirect the
+//! JSONL metrics and the schema-versioned `BENCH_results.json` (per-phase
+//! wall-times + counter totals, consumed by the `bench-report` gate) away
+//! from their `target/experiments/` defaults.
+//!
 //! Runtimes (release): default set ≈ 2–3 minutes (dominated by the exact
 //! fused k = 1, 2 games); `--heavy` adds the fused k = 3 game (~5 min) and
 //! the exhaustive unfused sure-win proof (~4 min).
@@ -35,12 +40,16 @@ use blunt_sim::explore::{sure_win, worst_case_prob, ExploreBudget};
 use blunt_sim::kernel::run;
 use blunt_sim::rng::Tape;
 use blunt_sim::trace::Trace;
+use blunt_trace::regress::BenchResults;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 struct Ctx {
     heavy: bool,
     summary: String,
+    /// `(experiment name, wall milliseconds)` for `BENCH_results.json`.
+    phases: Vec<(String, f64)>,
 }
 
 impl Ctx {
@@ -507,48 +516,68 @@ fn e10(ctx: &mut Ctx) {
     );
 }
 
+/// Runs one experiment and records its wall-time as a named phase.
+fn run_phase(ctx: &mut Ctx, name: &str, f: fn(&mut Ctx)) {
+    let t0 = Instant::now();
+    f(ctx);
+    ctx.phases
+        .push((name.to_string(), t0.elapsed().as_secs_f64() * 1000.0));
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let heavy = args.iter().any(|a| a == "--heavy");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    let mut heavy = false;
+    let mut metrics_out = PathBuf::from("target/experiments/metrics.jsonl");
+    let mut results_out = PathBuf::from("target/experiments/BENCH_results.json");
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--heavy" => heavy = true,
+            "--metrics-out" => {
+                metrics_out = args.next().expect("--metrics-out needs a path").into();
+            }
+            "--results-out" => {
+                results_out = args.next().expect("--results-out needs a path").into();
+            }
+            other if other.starts_with("--") => panic!("unknown flag {other}"),
+            other => selected.push(other.to_string()),
+        }
+    }
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
     let mut ctx = Ctx {
         heavy,
         summary: String::from("# Experiment results (regenerated by `blunt-bench/experiments`)\n"),
+        phases: Vec::new(),
     };
 
     let t0 = Instant::now();
     if want("e1") {
-        e1(&mut ctx);
+        run_phase(&mut ctx, "e1", e1);
     }
     if want("e2") {
-        e2(&mut ctx);
+        run_phase(&mut ctx, "e2", e2);
     }
     if want("e3") || want("e4") {
-        e3_e4(&mut ctx);
+        run_phase(&mut ctx, "e3_e4", e3_e4);
     }
     if want("e5") {
-        e5(&mut ctx);
+        run_phase(&mut ctx, "e5", e5);
     }
     if want("e6") {
-        e6(&mut ctx);
+        run_phase(&mut ctx, "e6", e6);
     }
     if want("e7") {
-        e7(&mut ctx);
+        run_phase(&mut ctx, "e7", e7);
     }
     if want("e8") {
-        e8(&mut ctx);
+        run_phase(&mut ctx, "e8", e8);
     }
     if want("e9") {
-        e9(&mut ctx);
+        run_phase(&mut ctx, "e9", e9);
     }
     if want("e10") {
-        e10(&mut ctx);
+        run_phase(&mut ctx, "e10", e10);
     }
 
     println!("\nTotal: {:?}", t0.elapsed());
@@ -560,14 +589,33 @@ fn main() {
 
     // Every metric accumulated across the experiments, one JSONL record per
     // metric (schema: docs/OBS_SCHEMA.md).
-    let metrics_path = dir.join("metrics.jsonl");
-    let mut sink = blunt_obs::JsonlSink::create(&metrics_path).expect("create metrics.jsonl");
-    for record in blunt_obs::snapshot().to_jsonl_records() {
+    if let Some(parent) = metrics_out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create metrics dir");
+    }
+    let snap = blunt_obs::snapshot();
+    let mut sink = blunt_obs::JsonlSink::create(&metrics_out).expect("create metrics.jsonl");
+    for record in snap.to_jsonl_records() {
         blunt_obs::Recorder::record(&mut sink, &record);
     }
     println!(
         "Metrics written to {} ({} records)",
-        metrics_path.display(),
+        metrics_out.display(),
         sink.lines()
+    );
+
+    // The regression-gate input: phase wall-times + final counter totals
+    // (schema: docs/OBS_SCHEMA.md, `bench_results`; consumed by
+    // `bench-report`).
+    if let Some(parent) = results_out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    let results = BenchResults::from_snapshot(ctx.phases.clone(), &snap);
+    std::fs::write(&results_out, format!("{}\n", results.to_json()))
+        .expect("write BENCH_results.json");
+    println!(
+        "Bench results written to {} ({} phases, {} counters)",
+        results_out.display(),
+        results.phases.len(),
+        results.counters.len()
     );
 }

@@ -1,0 +1,112 @@
+//! End-to-end test of the `bench-report` regression gate: the compiled
+//! binary must exit nonzero under `--check` when fed a doctored
+//! `BENCH_results.json` whose counters regressed past the threshold, and
+//! cleanly otherwise.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BASELINE: &str = r#"{"type":"bench_results","schema_version":1,
+    "phases":[{"name":"e1","wall_ms":100.0}],
+    "counters":[{"name":"sim.explore.states","value":1000}]}"#;
+
+const DOCTORED: &str = r#"{"type":"bench_results","schema_version":1,
+    "phases":[{"name":"e1","wall_ms":100.0}],
+    "counters":[{"name":"sim.explore.states","value":2000}]}"#;
+
+fn write_fixture(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blunt-bench-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+fn bench_report(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-report"))
+        .args(args)
+        .output()
+        .expect("bench-report runs")
+}
+
+#[test]
+fn check_fails_on_a_doctored_regression() {
+    let baseline = write_fixture("baseline.json", BASELINE);
+    let doctored = write_fixture("doctored.json", DOCTORED);
+    let out = bench_report(&[
+        "--check",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        doctored.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "--check must exit nonzero on a 2x counter regression: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("verdict: REGRESSION"), "{stdout}");
+}
+
+#[test]
+fn identical_results_pass_and_report_only_mode_never_fails() {
+    let baseline = write_fixture("clean-baseline.json", BASELINE);
+    let same = write_fixture("clean-current.json", BASELINE);
+    let paths = [
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        same.to_str().unwrap(),
+    ];
+    let out = bench_report(&[&["--check"], &paths[..]].concat());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: OK"));
+
+    // Without --check a regression is reported but does not gate.
+    let doctored = write_fixture("report-only.json", DOCTORED);
+    let out = bench_report(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        doctored.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: REGRESSION"));
+}
+
+#[test]
+fn unreadable_input_exits_with_usage_error() {
+    let out = bench_report(&["--baseline", "/nonexistent/baseline.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = bench_report(&["--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn threshold_flag_is_honored() {
+    let baseline = write_fixture("thr-baseline.json", BASELINE);
+    let doctored = write_fixture("thr-current.json", DOCTORED);
+    let out = bench_report(&[
+        "--check",
+        "--threshold",
+        "1.5",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        doctored.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "a +150% threshold tolerates a 2x counter: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -240,6 +240,51 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile of the recorded samples, at bucket resolution.
+    ///
+    /// Returns the **lower bound** of the bucket containing the sample of
+    /// rank `⌈q · count⌉` (1-based, clamped to `[1, count]`) — i.e. the
+    /// largest value known to be `≤` the true quantile, since a log₂ bucket
+    /// only remembers that its samples lie in `[lower, 2·lower)`. Returns 0
+    /// for an empty histogram. `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return lo;
+            }
+        }
+        // Unreachable for consistent snapshots (bucket counts sum to
+        // `count`), but degrade gracefully to the top bucket.
+        self.buckets.last().map_or(0, |&(lo, _)| lo)
+    }
+
+    /// Median, at bucket resolution (see [`HistogramSnapshot::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile, at bucket resolution.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile, at bucket resolution.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
 }
 
 /// Point-in-time copy of one timer.
@@ -641,6 +686,74 @@ mod tests {
                 assert!(v < bucket_lower_bound(i + 1), "sample {v} above bucket {i}");
             }
         }
+    }
+
+    #[test]
+    fn percentiles_pin_bucket_boundary_behavior() {
+        let r = Registry::new();
+        let h = r.histogram("p");
+        // Samples 1, 2, 3, 4 land in buckets 1 ([1,2)), 2 ([2,4)) ×2,
+        // 3 ([4,8)): percentile reports the bucket *lower bound* of the
+        // rank-⌈q·n⌉ sample.
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(1, 1), (2, 2), (4, 1)]);
+        assert_eq!(s.percentile(0.0), 1); // rank clamps to 1
+        assert_eq!(s.percentile(0.25), 1); // rank 1 → bucket [1,2)
+        assert_eq!(s.p50(), 2); // rank 2 → bucket [2,4)
+        assert_eq!(s.percentile(0.75), 2); // rank 3 → still [2,4)
+        assert_eq!(s.p90(), 4); // rank 4 → bucket [4,8)
+        assert_eq!(s.p99(), 4);
+        assert_eq!(s.percentile(1.0), 4);
+
+        // A sample exactly on a power of two sits in the *upper* bucket:
+        // 2 is the lower bound of [2,4), so p50 of {1, 2} is 2... and of
+        // {1} alone is 1.
+        let h2 = r.histogram("p2");
+        h2.record(1);
+        assert_eq!(h2.snapshot().p50(), 1);
+        h2.record(2);
+        assert_eq!(h2.snapshot().p50(), 1); // rank ⌈0.5·2⌉ = 1 → bucket [1,2)
+        assert_eq!(h2.snapshot().p90(), 2); // rank 2 → bucket [2,4)
+    }
+
+    #[test]
+    fn percentiles_at_the_extremes() {
+        let r = Registry::new();
+        // Empty histogram: all percentiles are 0.
+        let empty = r.histogram("e").snapshot();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        assert_eq!(empty.percentile(1.0), 0);
+
+        // The zero bucket and the top bucket: p50 of {0, u64::MAX} is the
+        // zero bucket; p99 is the top bucket's lower bound 2^63 (bucket
+        // resolution, not the sample itself).
+        let h = r.histogram("x");
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 1 << 63);
+
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(s.percentile(-3.0), 0);
+        assert_eq!(s.percentile(7.5), 1 << 63);
+
+        // Skewed distribution: 99 zeros and one huge sample — p90 stays in
+        // the zero bucket, p99 does too (rank 99), but percentile(0.999)
+        // crosses into the top bucket.
+        let sk = r.histogram("skew");
+        for _ in 0..99 {
+            sk.record(0);
+        }
+        sk.record(1 << 40);
+        let s = sk.snapshot();
+        assert_eq!(s.p90(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.percentile(0.999), 1 << 40);
     }
 
     #[test]

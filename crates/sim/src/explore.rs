@@ -121,6 +121,12 @@ pub enum ExploreError {
         /// States evaluated before giving up.
         explored: usize,
     },
+    /// A principal-variation walk exceeded its step bound — the game graph
+    /// has a longer optimal line than the caller allowed for.
+    StepLimit {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -128,6 +134,9 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::BudgetExceeded { explored } => {
                 write!(f, "exploration budget exceeded after {explored} states")
+            }
+            ExploreError::StepLimit { limit } => {
+                write!(f, "principal variation longer than the step bound {limit}")
             }
         }
     }
@@ -188,22 +197,441 @@ enum Objective {
     Minimize,
 }
 
-struct Explorer<'a, S: System, F: ?Sized> {
+/// Which player owns a recorded game-tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchNodeKind {
+    /// A `Running` state: the adversary picks among enabled events.
+    Adversary,
+    /// An `AwaitingRandom` state: the value averages over the coin.
+    Random,
+    /// A `Done` state: the value is 0 or 1.
+    Terminal,
+}
+
+impl SearchNodeKind {
+    /// The lowercase tag used in JSONL export and renderers.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SearchNodeKind::Adversary => "adversary",
+            SearchNodeKind::Random => "random",
+            SearchNodeKind::Terminal => "terminal",
+        }
+    }
+}
+
+/// One outgoing edge of a recorded game-tree node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SearchEdge {
+    /// Human-readable label of the step (event label or `random -> c`).
+    pub label: String,
+    /// Exact value of the sub-tree behind this edge.
+    pub value: Ratio,
+    /// Id of the recorded child node; `None` if the child was a memo hit or
+    /// fell outside the node cap.
+    pub child: Option<usize>,
+    /// `true` on the edge the maximizing (or minimizing) player selects —
+    /// the first edge attaining the node value. Always `false` at random
+    /// nodes, where no player chooses.
+    pub chosen: bool,
+}
+
+/// One recorded node of the (pruned) expectimax game tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SearchNode {
+    /// Node id — the index into [`SearchTrace::nodes`], assigned in DFS
+    /// preorder, so id 0 is the root.
+    pub id: usize,
+    /// Distance from the root in game steps.
+    pub depth: usize,
+    /// Who moves at this node.
+    pub kind: SearchNodeKind,
+    /// 128-bit fingerprint of the scheduler state (see `ExploreBudget`).
+    pub digest: u128,
+    /// Exact game value of this node.
+    pub value: Ratio,
+    /// Explored outgoing edges. Early-exit pruning (stop at value 1 when
+    /// maximizing) means trailing siblings may be absent.
+    pub edges: Vec<SearchEdge>,
+}
+
+/// A recorder for the expectimax game tree explored by a [`Solver`].
+///
+/// Recording is capped at a node budget; because nodes are allocated in DFS
+/// preorder, the recorded set is always a prefix-closed subtree containing
+/// the root, and [`SearchTrace::truncated`] counts the states that fell
+/// outside the cap. The recorded tree is *pruned* exactly like the search
+/// itself: memo hits become edges without a child node, and early-exit
+/// pruning omits unexplored siblings.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SearchTrace {
+    max_nodes: usize,
+    nodes: Vec<SearchNode>,
+    /// Number of evaluated states that were not recorded (node cap).
+    pub truncated: usize,
+}
+
+impl SearchTrace {
+    /// A recorder holding at most `max_nodes` nodes.
+    #[must_use]
+    pub fn with_max_nodes(max_nodes: usize) -> SearchTrace {
+        SearchTrace {
+            max_nodes,
+            nodes: Vec::new(),
+            truncated: 0,
+        }
+    }
+
+    /// All recorded nodes, id-ordered (DFS preorder).
+    #[must_use]
+    pub fn nodes(&self) -> &[SearchNode] {
+        &self.nodes
+    }
+
+    /// The root node, if anything was recorded.
+    #[must_use]
+    pub fn root(&self) -> Option<&SearchNode> {
+        self.nodes.first()
+    }
+
+    /// Number of recorded nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serializes the tree as JSONL records: one `search_tree` header
+    /// followed by one `search_node` record per node (schema:
+    /// `docs/OBS_SCHEMA.md`).
+    #[must_use]
+    pub fn to_jsonl_records(&self) -> Vec<blunt_obs::Json> {
+        use blunt_obs::Json;
+        let ratio = |v: Ratio| Json::Str(v.to_string());
+        let mut out = Vec::with_capacity(self.nodes.len() + 1);
+        out.push(Json::Obj(vec![
+            ("type".into(), Json::Str("search_tree".into())),
+            ("nodes".into(), Json::UInt(self.nodes.len() as u64)),
+            ("truncated".into(), Json::UInt(self.truncated as u64)),
+            (
+                "root_value".into(),
+                self.root().map_or(Json::Null, |r| ratio(r.value)),
+            ),
+        ]));
+        for n in &self.nodes {
+            out.push(Json::Obj(vec![
+                ("type".into(), Json::Str("search_node".into())),
+                ("id".into(), Json::UInt(n.id as u64)),
+                ("depth".into(), Json::UInt(n.depth as u64)),
+                ("kind".into(), Json::Str(n.kind.as_str().into())),
+                ("digest".into(), Json::Str(format!("{:032x}", n.digest))),
+                ("value".into(), ratio(n.value)),
+                ("value_f".into(), Json::Float(n.value.to_f64())),
+                (
+                    "edges".into(),
+                    Json::Arr(
+                        n.edges
+                            .iter()
+                            .map(|e| {
+                                Json::Obj(vec![
+                                    ("label".into(), Json::Str(e.label.clone())),
+                                    ("value".into(), ratio(e.value)),
+                                    ("value_f".into(), Json::Float(e.value.to_f64())),
+                                    (
+                                        "child".into(),
+                                        e.child.map_or(Json::Null, |c| Json::UInt(c as u64)),
+                                    ),
+                                    ("chosen".into(), Json::Bool(e.chosen)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        out
+    }
+}
+
+/// What kind of step a principal-variation entry is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PvStepKind {
+    /// A scheduling decision: the optimizing player picked one of
+    /// `alternatives` enabled events.
+    Adversary {
+        /// Number of enabled events at the decision point.
+        alternatives: usize,
+    },
+    /// A `random(V)` step resolved by the supplied random source.
+    Random {
+        /// `|V|`.
+        choices: usize,
+        /// The drawn index.
+        chosen: usize,
+    },
+}
+
+/// One step of a principal variation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PvStep {
+    /// Human-readable label of the step taken.
+    pub label: String,
+    /// Decision or coin.
+    pub kind: PvStepKind,
+    /// Exact game value of the position *after* this step.
+    pub value: Ratio,
+}
+
+/// A principal variation: one optimal line of play through the game,
+/// extracted by [`Solver::principal_variation`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pv {
+    /// The game value at the root (before any step).
+    pub value: Ratio,
+    /// The steps of the line, in schedule order.
+    pub steps: Vec<PvStep>,
+    /// The outcome of the terminal state the line reaches.
+    pub outcome: Outcome,
+}
+
+impl Pv {
+    /// Labels of the scheduling decisions only (coin steps skipped) — the
+    /// adversary's schedule, directly comparable to a scripted adversary.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.kind, PvStepKind::Adversary { .. }))
+            .map(|s| s.label.as_str())
+            .collect()
+    }
+}
+
+/// A reusable expectimax solver over one [`System`] type.
+///
+/// Wraps the memoized recursion of [`worst_case_prob`] / [`best_case_prob`]
+/// and adds two explainability features on top of the identical search:
+///
+/// - [`Solver::record_tree`] captures the (pruned) game tree as a
+///   [`SearchTrace`];
+/// - [`Solver::principal_variation`] re-walks the solved game greedily,
+///   resolving coins with a caller-supplied [`crate::rng::RandomSource`],
+///   and returns
+///   the optimal schedule with exact sub-tree values at every step.
+///
+/// The memo table persists across calls, so extracting several principal
+/// variations (one per coin tape) after one [`Solver::solve`] is cheap.
+pub struct Solver<'a, S: System, F: ?Sized> {
     bad: &'a F,
     budget: ExploreBudget,
     objective: Objective,
     memo: Memo<S, Ratio>,
     stats: ExploreStats,
+    #[allow(clippy::type_complexity)]
+    labeler: Box<dyn Fn(&S, &S::Event) -> String + 'a>,
+    tree: Option<SearchTrace>,
+    /// Node id recorded for the state most recently evaluated by `value`
+    /// (None for memo hits and uncapped states) — lets the parent link its
+    /// edge to the child node without changing the recursion signature.
+    last_node: Option<usize>,
 }
 
-impl<'a, S, F> Explorer<'a, S, F>
+impl<'a, S, F> Solver<'a, S, F>
 where
     S: System,
     F: Fn(&Outcome) -> bool + ?Sized,
 {
+    /// A maximizing (adversarial) solver for the outcome predicate `bad`.
+    pub fn new(bad: &'a F, budget: ExploreBudget) -> Solver<'a, S, F> {
+        Solver {
+            bad,
+            budget,
+            objective: Objective::Maximize,
+            memo: Memo::new(budget.fingerprint),
+            stats: ExploreStats::default(),
+            labeler: Box::new(|_, ev| format!("{ev:?}")),
+            tree: None,
+            last_node: None,
+        }
+    }
+
+    /// Switches to the benevolent (minimizing) scheduler.
+    #[must_use]
+    pub fn minimizing(mut self) -> Self {
+        self.objective = Objective::Minimize;
+        self
+    }
+
+    /// Installs a custom event labeler used for [`SearchTrace`] edges and
+    /// principal-variation steps (default: the event's `Debug` form). The
+    /// labeler receives the state *before* the event, so it can resolve
+    /// opaque event indices (e.g. a network slot) against it.
+    #[must_use]
+    pub fn with_labeler(mut self, f: impl Fn(&S, &S::Event) -> String + 'a) -> Self {
+        self.labeler = Box::new(f);
+        self
+    }
+
+    /// Enables game-tree recording, keeping at most `max_nodes` nodes.
+    #[must_use]
+    pub fn record_tree(mut self, max_nodes: usize) -> Self {
+        self.tree = Some(SearchTrace::with_max_nodes(max_nodes));
+        self
+    }
+
+    /// Statistics accumulated so far (solve + any PV walks).
+    #[must_use]
+    pub fn stats(&self) -> ExploreStats {
+        self.stats
+    }
+
+    /// The recorded game tree, if [`Solver::record_tree`] was enabled.
+    #[must_use]
+    pub fn tree(&self) -> Option<&SearchTrace> {
+        self.tree.as_ref()
+    }
+
+    /// Takes ownership of the recorded game tree (recording stops).
+    pub fn take_tree(&mut self) -> Option<SearchTrace> {
+        self.tree.take()
+    }
+
+    /// Computes the exact game value from `sys` and publishes the
+    /// exploration statistics under `sim.explore`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::BudgetExceeded`] if the state budget runs
+    /// out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system violates the progress contract (`Running` with
+    /// no enabled events).
+    pub fn solve(&mut self, sys: &S) -> Result<Ratio, ExploreError> {
+        let v = self.value(sys, 0)?;
+        self.stats.publish("sim.explore");
+        Ok(v)
+    }
+
+    /// Extracts a principal variation: starting from `sys`, repeatedly takes
+    /// the first enabled event attaining the optimal value (the same
+    /// tie-break as the solver) and resolves every `random(V)` step with
+    /// `rng`. Different tapes yield the optimal line for each coin
+    /// sequence — together they spell out the adversary's full strategy.
+    ///
+    /// Unexplored positions encountered on the walk (early-exit pruning
+    /// skips siblings during [`Solver::solve`]) are evaluated on demand
+    /// against the shared memo, so the reported values stay exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::BudgetExceeded`] if on-demand evaluation
+    /// exhausts the state budget, and [`ExploreError::StepLimit`] if the
+    /// line exceeds `max_steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system violates the progress contract, or if `rng`
+    /// does (e.g. an exhausted [`crate::rng::Tape`]).
+    pub fn principal_variation<R: crate::rng::RandomSource>(
+        &mut self,
+        sys: &S,
+        rng: &mut R,
+        max_steps: usize,
+    ) -> Result<Pv, ExploreError> {
+        let value = self.value(sys, 0)?;
+        let mut cur = sys.clone();
+        let mut steps: Vec<PvStep> = Vec::new();
+        let mut enabled = Vec::new();
+        let mut fx = Effects::silent();
+        loop {
+            match cur.status() {
+                Status::Done => break,
+                Status::AwaitingRandom { choices, .. } => {
+                    if steps.len() >= max_steps {
+                        return Err(ExploreError::StepLimit { limit: max_steps });
+                    }
+                    let chosen = rng.draw(choices);
+                    debug_assert!(chosen < choices);
+                    let mut next = cur.clone();
+                    next.supply_random(chosen, &mut fx);
+                    let v = self.value(&next, steps.len() + 1)?;
+                    steps.push(PvStep {
+                        label: format!("random({choices}) -> {chosen}"),
+                        kind: PvStepKind::Random { choices, chosen },
+                        value: v,
+                    });
+                    cur = next;
+                }
+                Status::Running => {
+                    if steps.len() >= max_steps {
+                        return Err(ExploreError::StepLimit { limit: max_steps });
+                    }
+                    cur.enabled(&mut enabled);
+                    assert!(!enabled.is_empty(), "Running with no enabled events");
+                    let mut best: Option<(Ratio, usize, S)> = None;
+                    for (i, ev) in enabled.iter().enumerate() {
+                        let mut next = cur.clone();
+                        next.apply(ev, &mut fx);
+                        let v = self.value(&next, steps.len() + 1)?;
+                        let better = match (self.objective, &best) {
+                            (_, None) => true,
+                            (Objective::Maximize, Some((b, _, _))) => v > *b,
+                            (Objective::Minimize, Some((b, _, _))) => v < *b,
+                        };
+                        if better {
+                            best = Some((v, i, next));
+                        }
+                    }
+                    let (v, i, next) = best.expect("non-empty enabled set");
+                    steps.push(PvStep {
+                        label: (self.labeler)(&cur, &enabled[i]),
+                        kind: PvStepKind::Adversary {
+                            alternatives: enabled.len(),
+                        },
+                        value: v,
+                    });
+                    cur = next;
+                }
+            }
+        }
+        Ok(Pv {
+            value,
+            steps,
+            outcome: cur.outcome(),
+        })
+    }
+
+    /// Allocates a tree node for the state being expanded, if recording is
+    /// on and the cap allows.
+    fn open_node(&mut self, sys: &S, depth: usize, kind: SearchNodeKind) -> Option<usize> {
+        let tree = self.tree.as_mut()?;
+        if tree.nodes.len() >= tree.max_nodes {
+            tree.truncated += 1;
+            return None;
+        }
+        let id = tree.nodes.len();
+        tree.nodes.push(SearchNode {
+            id,
+            depth,
+            kind,
+            digest: fingerprint_of(sys),
+            value: Ratio::ZERO,
+            edges: Vec::new(),
+        });
+        Some(id)
+    }
+
     fn value(&mut self, sys: &S, depth: usize) -> Result<Ratio, ExploreError> {
         if let Some(v) = self.memo.get(sys) {
             self.stats.memo_hits += 1;
+            self.last_node = None;
             return Ok(v);
         }
         if self.stats.states >= self.budget.max_states {
@@ -215,26 +643,41 @@ where
         self.stats.max_depth = self.stats.max_depth.max(depth);
 
         let mut fx = Effects::silent();
-        let v = match sys.status() {
+        let mut edges: Vec<SearchEdge> = Vec::new();
+        let mut chosen_edge: Option<usize> = None;
+        let (node, v) = match sys.status() {
             Status::Done => {
-                if (self.bad)(&sys.outcome()) {
+                let node = self.open_node(sys, depth, SearchNodeKind::Terminal);
+                let v = if (self.bad)(&sys.outcome()) {
                     Ratio::ONE
                 } else {
                     Ratio::ZERO
-                }
+                };
+                (node, v)
             }
             Status::AwaitingRandom { choices, .. } => {
                 debug_assert!(choices >= 1);
+                let node = self.open_node(sys, depth, SearchNodeKind::Random);
                 self.stats.transitions += choices;
                 let mut total = Ratio::ZERO;
                 for c in 0..choices {
                     let mut next = sys.clone();
                     next.supply_random(c, &mut fx);
-                    total += self.value(&next, depth + 1)?;
+                    let cv = self.value(&next, depth + 1)?;
+                    if node.is_some() {
+                        edges.push(SearchEdge {
+                            label: format!("random -> {c}"),
+                            value: cv,
+                            child: self.last_node,
+                            chosen: false,
+                        });
+                    }
+                    total += cv;
                 }
-                total / Ratio::from_int(choices as i128)
+                (node, total / Ratio::from_int(choices as i128))
             }
             Status::Running => {
+                let node = self.open_node(sys, depth, SearchNodeKind::Adversary);
                 let mut enabled = Vec::new();
                 sys.enabled(&mut enabled);
                 assert!(
@@ -246,14 +689,23 @@ where
                 for ev in &enabled {
                     let mut next = sys.clone();
                     next.apply(ev, &mut fx);
-                    let v = self.value(&next, depth + 1)?;
+                    let cv = self.value(&next, depth + 1)?;
+                    if node.is_some() {
+                        edges.push(SearchEdge {
+                            label: (self.labeler)(sys, ev),
+                            value: cv,
+                            child: self.last_node,
+                            chosen: false,
+                        });
+                    }
                     let better = match (self.objective, best) {
                         (_, None) => true,
-                        (Objective::Maximize, Some(b)) => v > b,
-                        (Objective::Minimize, Some(b)) => v < b,
+                        (Objective::Maximize, Some(b)) => cv > b,
+                        (Objective::Minimize, Some(b)) => cv < b,
                     };
                     if better {
-                        best = Some(v);
+                        best = Some(cv);
+                        chosen_edge = Some(edges.len().saturating_sub(1));
                     }
                     // The value of any strategy is in [0, 1]; stop early at
                     // the extremum.
@@ -263,10 +715,22 @@ where
                         _ => {}
                     }
                 }
-                best.expect("non-empty enabled set")
+                (node, best.expect("non-empty enabled set"))
             }
         };
+        if let (Some(id), Some(tree)) = (node, self.tree.as_mut()) {
+            if matches!(sys.status(), Status::Running) {
+                if let Some(e) = chosen_edge {
+                    if e < edges.len() {
+                        edges[e].chosen = true;
+                    }
+                }
+            }
+            tree.nodes[id].value = v;
+            tree.nodes[id].edges = edges;
+        }
         self.memo.insert(sys, v);
+        self.last_node = node;
         Ok(v)
     }
 }
@@ -281,16 +745,10 @@ where
     S: System,
     F: Fn(&Outcome) -> bool + ?Sized,
 {
-    let mut ex = Explorer {
-        bad,
-        budget: *budget,
-        objective,
-        memo: Memo::new(budget.fingerprint),
-        stats: ExploreStats::default(),
-    };
-    let v = ex.value(sys, 0)?;
-    ex.stats.publish("sim.explore");
-    Ok((v, ex.stats))
+    let mut solver = Solver::new(bad, *budget);
+    solver.objective = objective;
+    let v = solver.solve(sys)?;
+    Ok((v, solver.stats))
 }
 
 /// Computes `Prob[P(O) → B]` — the **exact worst-case** probability of the
@@ -518,7 +976,8 @@ pub fn reachable_outcomes<S: System>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::toy::{BranchGame, TwoCoinGame};
+    use crate::rng::Tape;
+    use crate::toy::{BranchGame, GambleGame, TwoCoinGame};
 
     #[test]
     fn branch_game_worst_is_half_best_is_zero() {
@@ -602,6 +1061,144 @@ mod tests {
         // Path: step, coin, step, coin, done = depth ≥ 4.
         assert!(stats.max_depth >= 4);
         assert!(stats.states >= 5);
+    }
+
+    #[test]
+    fn solver_matches_free_function_and_records_tree() {
+        let budget = ExploreBudget::default();
+        let (free_v, free_stats) =
+            worst_case_prob(&GambleGame::new(), &GambleGame::is_bad, &budget).unwrap();
+        let mut solver = Solver::new(&GambleGame::is_bad, budget).record_tree(10_000);
+        let v = solver.solve(&GambleGame::new()).unwrap();
+        assert_eq!(v, free_v);
+        assert_eq!(v, Ratio::new(5, 8));
+        // Recording must not change the search itself.
+        assert_eq!(solver.stats().states, free_stats.states);
+
+        let tree = solver.take_tree().unwrap();
+        assert!(!tree.is_empty());
+        assert_eq!(tree.truncated, 0);
+        let root = tree.root().unwrap();
+        assert_eq!(root.id, 0);
+        assert_eq!(root.depth, 0);
+        assert_eq!(root.kind, SearchNodeKind::Adversary);
+        assert_eq!(root.value, Ratio::new(5, 8));
+        // Root has the single Flip edge, chosen, leading to the coin node.
+        assert_eq!(root.edges.len(), 1);
+        assert!(root.edges[0].chosen);
+        assert_eq!(root.edges[0].value, Ratio::new(5, 8));
+        let coin = &tree.nodes()[root.edges[0].child.unwrap()];
+        assert_eq!(coin.kind, SearchNodeKind::Random);
+        assert_eq!(coin.edges.len(), 2);
+        assert_eq!(coin.edges[0].value, Ratio::ONE);
+        assert_eq!(coin.edges[1].value, Ratio::new(1, 4));
+        assert!(coin.edges.iter().all(|e| !e.chosen));
+        // Every child id points inside the recorded tree, every recorded
+        // node is deeper than its parent.
+        for n in tree.nodes() {
+            for e in &n.edges {
+                if let Some(c) = e.child {
+                    assert!(c < tree.len());
+                    assert_eq!(tree.nodes()[c].depth, n.depth + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_trace_node_cap_keeps_prefix_and_counts_truncated() {
+        let mut solver = Solver::new(&GambleGame::is_bad, ExploreBudget::default()).record_tree(3);
+        solver.solve(&GambleGame::new()).unwrap();
+        let tree = solver.take_tree().unwrap();
+        assert_eq!(tree.len(), 3);
+        assert!(tree.truncated > 0);
+        // DFS preorder: every recorded non-root node's parent is recorded.
+        assert_eq!(tree.root().unwrap().id, 0);
+    }
+
+    #[test]
+    fn search_trace_exports_jsonl() {
+        let mut solver =
+            Solver::new(&GambleGame::is_bad, ExploreBudget::default()).record_tree(10_000);
+        solver.solve(&GambleGame::new()).unwrap();
+        let tree = solver.take_tree().unwrap();
+        let records = tree.to_jsonl_records();
+        assert_eq!(records.len(), tree.len() + 1);
+        let header = &records[0];
+        assert_eq!(
+            header.get("type").and_then(blunt_obs::Json::as_str),
+            Some("search_tree")
+        );
+        assert_eq!(
+            header.get("root_value").and_then(blunt_obs::Json::as_str),
+            Some("5/8")
+        );
+        // Every line re-parses.
+        for r in &records {
+            let text = r.to_string();
+            assert!(blunt_obs::Json::parse(&text).is_ok(), "unparsable {text}");
+        }
+    }
+
+    #[test]
+    fn principal_variation_follows_the_coin() {
+        let mut solver = Solver::new(&GambleGame::is_bad, ExploreBudget::default());
+        solver.solve(&GambleGame::new()).unwrap();
+
+        // Coin 0: the adversary takes the sure win.
+        let pv = solver
+            .principal_variation(&GambleGame::new(), &mut Tape::new(vec![0]), 100)
+            .unwrap();
+        assert_eq!(pv.value, Ratio::new(5, 8));
+        assert!(GambleGame::is_bad(&pv.outcome));
+        assert_eq!(pv.schedule(), vec!["Flip", "TakeWin"]);
+        assert_eq!(pv.steps.last().unwrap().value, Ratio::ONE);
+
+        // Coin 1: the sure loss is refused — the gamble is the optimal
+        // line; with gamble coins [1, 1] the adversary still wins.
+        let pv = solver
+            .principal_variation(&GambleGame::new(), &mut Tape::new(vec![1, 1, 1]), 100)
+            .unwrap();
+        assert_eq!(pv.schedule(), vec!["Flip", "Gamble"]);
+        assert!(GambleGame::is_bad(&pv.outcome));
+        // Value after entering the gamble is exactly 1/4.
+        let gamble_step = pv.steps.iter().find(|s| s.label == "Gamble").unwrap();
+        assert_eq!(gamble_step.value, Ratio::new(1, 4));
+
+        // Same schedule prefix, losing gamble coins: the adversary plays
+        // identically (it cannot see the future) but loses.
+        let pv = solver
+            .principal_variation(&GambleGame::new(), &mut Tape::new(vec![1, 0]), 100)
+            .unwrap();
+        assert_eq!(pv.schedule(), vec!["Flip", "Gamble"]);
+        assert!(!GambleGame::is_bad(&pv.outcome));
+    }
+
+    #[test]
+    fn principal_variation_respects_step_limit_and_labeler() {
+        let mut solver = Solver::new(&GambleGame::is_bad, ExploreBudget::default())
+            .with_labeler(|_, ev| format!("<{ev:?}>"));
+        let err = solver
+            .principal_variation(&GambleGame::new(), &mut Tape::new(vec![0]), 1)
+            .unwrap_err();
+        assert!(matches!(err, ExploreError::StepLimit { limit: 1 }));
+        assert!(err.to_string().contains("step bound"));
+        let pv = solver
+            .principal_variation(&GambleGame::new(), &mut Tape::new(vec![0]), 100)
+            .unwrap();
+        assert_eq!(pv.schedule(), vec!["<Flip>", "<TakeWin>"]);
+    }
+
+    #[test]
+    fn minimizing_solver_finds_the_benevolent_value() {
+        let mut solver = Solver::new(&BranchGame::is_bad, ExploreBudget::default()).minimizing();
+        let v = solver.solve(&BranchGame::new()).unwrap();
+        assert_eq!(v, Ratio::ZERO);
+        let pv = solver
+            .principal_variation(&BranchGame::new(), &mut Tape::new(vec![]), 100)
+            .unwrap();
+        assert_eq!(pv.schedule(), vec!["Safe"]);
+        assert!(!BranchGame::is_bad(&pv.outcome));
     }
 
     #[test]

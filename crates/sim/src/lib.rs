@@ -45,7 +45,8 @@ pub mod trace;
 
 pub use explore::{
     best_case_prob, reachable_outcomes, sure_win, worst_case_prob, ExploreBudget, ExploreError,
-    ExploreStats,
+    ExploreStats, Pv, PvStep, PvStepKind, SearchEdge, SearchNode, SearchNodeKind, SearchTrace,
+    Solver,
 };
 pub use export::{event_from_json, event_to_json, record_trace, run_summary_json};
 pub use kernel::{run, RunReport};

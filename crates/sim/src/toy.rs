@@ -236,6 +236,162 @@ impl System for TwoCoinGame {
     }
 }
 
+/// A branching gamble with exact adversarial value **5/8** — the same value
+/// as the fused `ABD²` weakener game, in a four-state toy.
+///
+/// Play: the adversary schedules the coin flip; then, *knowing the coin*,
+/// picks a branch:
+///
+/// - coin 0: choose `TakeWin` (bad surely) or `TakeLoss` (good surely) —
+///   the maximizing adversary takes the win, value 1;
+/// - coin 1: choose `TakeLoss` (good surely) or `Gamble` — the gamble is
+///   bad only if **two** further fair coins both land 1, value 1/4, which
+///   still beats the sure loss.
+///
+/// Value: `1/2·1 + 1/2·1/4 = 5/8`. The optimal move differs across the two
+/// coin branches, so a principal variation per coin tape exercises exactly
+/// the "adversary as a function of observed randomness" structure that the
+/// Figure 1 script (`blunt-adversary::fig1`) spells out for ABD — at toy
+/// scale.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GambleGame {
+    state: GambleState,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum GambleState {
+    Start,
+    Flipping,
+    CoinZero,
+    CoinOne,
+    GambleFirst,
+    GambleSecond,
+    Done { bad: bool },
+}
+
+/// Moves of [`GambleGame`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GambleMove {
+    /// Schedule the opening coin flip.
+    Flip,
+    /// End the game with a bad outcome (enabled after coin 0).
+    TakeWin,
+    /// End the game with a good outcome (enabled after either coin).
+    TakeLoss,
+    /// Enter the two-coin gamble (enabled after coin 1).
+    Gamble,
+}
+
+impl GambleGame {
+    /// A fresh game.
+    #[must_use]
+    pub fn new() -> GambleGame {
+        GambleGame {
+            state: GambleState::Start,
+        }
+    }
+
+    /// The bad-outcome predicate for this game.
+    #[must_use]
+    pub fn is_bad(outcome: &Outcome) -> bool {
+        outcome.get(&GambleGame::site()) == Some(&Val::Int(1))
+    }
+
+    fn site() -> CallSite {
+        CallSite::new(Pid(0), 9, 0)
+    }
+}
+
+impl Default for GambleGame {
+    fn default() -> Self {
+        GambleGame::new()
+    }
+}
+
+impl System for GambleGame {
+    type Event = GambleMove;
+
+    fn process_count(&self) -> usize {
+        1
+    }
+
+    fn enabled(&self, out: &mut Vec<GambleMove>) {
+        out.clear();
+        match self.state {
+            GambleState::Start => out.push(GambleMove::Flip),
+            GambleState::CoinZero => {
+                out.push(GambleMove::TakeWin);
+                out.push(GambleMove::TakeLoss);
+            }
+            GambleState::CoinOne => {
+                out.push(GambleMove::TakeLoss);
+                out.push(GambleMove::Gamble);
+            }
+            _ => {}
+        }
+    }
+
+    fn apply(&mut self, ev: &GambleMove, _fx: &mut Effects) {
+        self.state = match (self.state, ev) {
+            (GambleState::Start, GambleMove::Flip) => GambleState::Flipping,
+            (GambleState::CoinZero, GambleMove::TakeWin) => GambleState::Done { bad: true },
+            (GambleState::CoinZero | GambleState::CoinOne, GambleMove::TakeLoss) => {
+                GambleState::Done { bad: false }
+            }
+            (GambleState::CoinOne, GambleMove::Gamble) => GambleState::GambleFirst,
+            (s, e) => panic!("illegal move {e:?} in state {s:?}"),
+        };
+    }
+
+    fn supply_random(&mut self, choice: usize, fx: &mut Effects) {
+        fx.push(TraceEvent::ProgramRandom {
+            pid: Pid(0),
+            choices: 2,
+            chosen: choice,
+        });
+        self.state = match self.state {
+            GambleState::Flipping => {
+                if choice == 0 {
+                    GambleState::CoinZero
+                } else {
+                    GambleState::CoinOne
+                }
+            }
+            GambleState::GambleFirst => {
+                if choice == 1 {
+                    GambleState::GambleSecond
+                } else {
+                    GambleState::Done { bad: false }
+                }
+            }
+            GambleState::GambleSecond => GambleState::Done { bad: choice == 1 },
+            s => panic!("supply_random in non-flipping state {s:?}"),
+        };
+    }
+
+    fn status(&self) -> Status {
+        match self.state {
+            GambleState::Start | GambleState::CoinZero | GambleState::CoinOne => Status::Running,
+            GambleState::Flipping | GambleState::GambleFirst | GambleState::GambleSecond => {
+                Status::AwaitingRandom {
+                    pid: Pid(0),
+                    choices: 2,
+                    kind: RandomKind::Program,
+                }
+            }
+            GambleState::Done { .. } => Status::Done,
+        }
+    }
+
+    fn outcome(&self) -> Outcome {
+        let mut o = Outcome::new();
+        if let GambleState::Done { bad } = self.state {
+            o.record(GambleGame::site(), Val::Int(i64::from(bad)));
+        }
+        o
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +422,55 @@ mod tests {
         g.supply_random(1, &mut fx);
         assert_eq!(g.status(), Status::Done);
         assert!(BranchGame::is_bad(&g.outcome()));
+    }
+
+    #[test]
+    fn gamble_game_exact_value_is_five_eighths() {
+        use crate::explore::{worst_case_prob, ExploreBudget};
+        use blunt_core::ratio::Ratio;
+        let (p, _) = worst_case_prob(
+            &GambleGame::new(),
+            &GambleGame::is_bad,
+            &ExploreBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(p, Ratio::new(5, 8));
+    }
+
+    #[test]
+    fn gamble_game_branches_run_to_completion() {
+        let mut fx = Effects::silent();
+        // Coin 0, take the win: bad.
+        let mut g = GambleGame::new();
+        g.apply(&GambleMove::Flip, &mut fx);
+        g.supply_random(0, &mut fx);
+        let mut evs = Vec::new();
+        g.enabled(&mut evs);
+        assert_eq!(evs, vec![GambleMove::TakeWin, GambleMove::TakeLoss]);
+        g.apply(&GambleMove::TakeWin, &mut fx);
+        assert_eq!(g.status(), Status::Done);
+        assert!(GambleGame::is_bad(&g.outcome()));
+
+        // Coin 1, gamble, first gamble coin 0: good (no second coin drawn).
+        let mut g = GambleGame::new();
+        g.apply(&GambleMove::Flip, &mut fx);
+        g.supply_random(1, &mut fx);
+        g.enabled(&mut evs);
+        assert_eq!(evs, vec![GambleMove::TakeLoss, GambleMove::Gamble]);
+        g.apply(&GambleMove::Gamble, &mut fx);
+        g.supply_random(0, &mut fx);
+        assert_eq!(g.status(), Status::Done);
+        assert!(!GambleGame::is_bad(&g.outcome()));
+
+        // Coin 1, gamble, both gamble coins 1: bad.
+        let mut g = GambleGame::new();
+        g.apply(&GambleMove::Flip, &mut fx);
+        g.supply_random(1, &mut fx);
+        g.apply(&GambleMove::Gamble, &mut fx);
+        g.supply_random(1, &mut fx);
+        g.supply_random(1, &mut fx);
+        assert_eq!(g.status(), Status::Done);
+        assert!(GambleGame::is_bad(&g.outcome()));
     }
 
     #[test]

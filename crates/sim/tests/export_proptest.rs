@@ -1,0 +1,175 @@
+//! Property-style round-trip tests for `blunt_sim::export`: randomly
+//! generated traces (seeded SplitMix64, so failures replay exactly), empty
+//! traces, and maximum-size `Val` payloads all survive serialization to
+//! JSONL text and back, not just the golden-file trace.
+
+use blunt_core::ids::{CallSite, InvId, MethodId, ObjId, Pid};
+use blunt_core::value::Val;
+use blunt_obs::{parse_jsonl, VecSink};
+use blunt_sim::export::{event_from_json, event_to_json, record_trace, trace_from_records};
+use blunt_sim::rng::{RandomSource, SplitMix64};
+use blunt_sim::trace::{Trace, TraceEvent};
+
+/// A random label exercising JSON string escaping: quotes, backslashes,
+/// control characters, unicode.
+fn arb_label(g: &mut SplitMix64) -> String {
+    const ALPHABET: [&str; 10] = ["q", "#", "\"", "\\", "\n", "\t", "→", "obj", " ", "∀"];
+    let len = g.draw(12);
+    (0..len).map(|_| ALPHABET[g.draw(ALPHABET.len())]).collect()
+}
+
+fn arb_val(g: &mut SplitMix64, depth: usize) -> Val {
+    let pick = if depth == 0 { g.draw(2) } else { g.draw(4) };
+    match pick {
+        0 => Val::Nil,
+        1 => Val::Int(match g.draw(5) {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => 0,
+            3 => -1,
+            _ => g.draw(1_000_000) as i64 - 500_000,
+        }),
+        2 => Val::pair(arb_val(g, depth - 1), arb_val(g, depth - 1)),
+        _ => Val::Tuple((0..g.draw(4)).map(|_| arb_val(g, depth - 1)).collect()),
+    }
+}
+
+fn arb_pid(g: &mut SplitMix64) -> Pid {
+    Pid(g.draw(5) as u32)
+}
+
+fn arb_event(g: &mut SplitMix64) -> TraceEvent {
+    match g.draw(8) {
+        0 => TraceEvent::Call {
+            inv: InvId(g.draw(100) as u64),
+            pid: arb_pid(g),
+            obj: ObjId(g.draw(4) as u32),
+            method: if g.draw(2) == 0 {
+                MethodId::READ
+            } else {
+                MethodId::WRITE
+            },
+            arg: arb_val(g, 2),
+            site: CallSite::new(arb_pid(g), g.draw(30) as u16, g.draw(3) as u16),
+        },
+        1 => TraceEvent::Return {
+            inv: InvId(g.draw(100) as u64),
+            pid: arb_pid(g),
+            val: arb_val(g, 2),
+        },
+        2 => TraceEvent::Deliver {
+            src: arb_pid(g),
+            dst: arb_pid(g),
+            label: arb_label(g),
+        },
+        3 => TraceEvent::Internal {
+            pid: arb_pid(g),
+            label: arb_label(g),
+        },
+        4 => TraceEvent::PreamblePassed {
+            inv: InvId(g.draw(100) as u64),
+            pid: arb_pid(g),
+            iteration: g.draw(8) as u32 + 1,
+        },
+        5 => {
+            let choices = g.draw(8) + 1;
+            TraceEvent::ProgramRandom {
+                pid: arb_pid(g),
+                choices,
+                chosen: g.draw(choices),
+            }
+        }
+        6 => {
+            let choices = g.draw(8) + 1;
+            TraceEvent::ObjectRandom {
+                pid: arb_pid(g),
+                inv: InvId(g.draw(100) as u64),
+                choices,
+                chosen: g.draw(choices),
+            }
+        }
+        _ => TraceEvent::Crash { pid: arb_pid(g) },
+    }
+}
+
+fn arb_trace(g: &mut SplitMix64, max_len: usize) -> Trace {
+    let mut t = Trace::new();
+    t.extend((0..g.draw(max_len + 1)).map(|_| arb_event(g)).collect());
+    t
+}
+
+/// Serializes `t` to JSONL text and parses it back into a `Trace`.
+fn round_trip(t: &Trace) -> Trace {
+    let mut sink = VecSink::new();
+    record_trace(t, &mut sink);
+    let mut text = String::new();
+    for r in &sink.records {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    let records = parse_jsonl(&text).expect("serialized trace parses");
+    trace_from_records(&records).expect("events deserialize")
+}
+
+#[test]
+fn random_traces_round_trip() {
+    for seed in 0..200u64 {
+        let mut g = SplitMix64::new(seed);
+        let t = arb_trace(&mut g, 40);
+        assert_eq!(round_trip(&t), t, "seed {seed}");
+    }
+}
+
+#[test]
+fn empty_trace_round_trips() {
+    let t = Trace::new();
+    assert_eq!(round_trip(&t), t);
+    // No records at all — trace_from_records on the empty stream.
+    assert_eq!(trace_from_records(&[]).unwrap(), Trace::new());
+}
+
+#[test]
+fn max_size_val_payloads_round_trip() {
+    // A deep pair chain, a wide tuple, and the i64 extremes — the largest
+    // values the `Val` grammar can express at each axis.
+    let mut deep = Val::Int(i64::MIN);
+    for _ in 0..64 {
+        deep = Val::pair(deep, Val::Int(i64::MAX));
+    }
+    let wide = Val::Tuple((0..256).map(|i| Val::Int(i - 128)).collect());
+    let nested_wide = Val::Tuple(vec![deep.clone(), wide.clone(), Val::Nil]);
+    for val in [deep, wide, nested_wide] {
+        let mut t = Trace::new();
+        t.extend(vec![
+            TraceEvent::Call {
+                inv: InvId(u64::MAX),
+                pid: Pid(u32::MAX),
+                obj: ObjId(u32::MAX),
+                method: MethodId(u16::MAX),
+                arg: val.clone(),
+                site: CallSite::new(Pid(u32::MAX), u16::MAX, u16::MAX),
+            },
+            TraceEvent::Return {
+                inv: InvId(u64::MAX),
+                pid: Pid(u32::MAX),
+                val,
+            },
+        ]);
+        assert_eq!(round_trip(&t), t);
+    }
+}
+
+#[test]
+fn individual_event_json_is_stable_under_double_round_trip() {
+    // to_json ∘ from_json ∘ to_json is the identity on serialized form:
+    // pins that parsing does not normalize away information.
+    let mut g = SplitMix64::new(0xb1e55ed);
+    for _ in 0..500 {
+        let ev = arb_event(&mut g);
+        let once = event_to_json(&ev).to_string();
+        let back = event_from_json(&blunt_obs::Json::parse(&once).unwrap()).unwrap();
+        let twice = event_to_json(&back).to_string();
+        assert_eq!(once, twice);
+        assert_eq!(back, ev);
+    }
+}

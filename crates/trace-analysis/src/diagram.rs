@@ -1,0 +1,263 @@
+//! ASCII space-time diagrams: the paper's Figure 1, reproduced from a
+//! recorded [`Trace`].
+//!
+//! Processes are vertical lanes, time flows downward one recorded step per
+//! row. Operation intervals are drawn `┌ call … │ … └ return`, message
+//! deliveries as horizontal arrows from the sender's lane into the
+//! receiver's (`●──▶`), with the message text in the right margin. Random
+//! choices, preamble completions, and crashes get point markers in their
+//! lane.
+
+use std::fmt::Write as _;
+
+use blunt_sim::trace::{Trace, TraceEvent};
+
+/// Layout knobs for [`space_time`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiagramOptions {
+    /// Columns per process lane (clamped to at least 8).
+    pub lane_width: usize,
+    /// Prefix each row with the event index.
+    pub show_index: bool,
+}
+
+impl Default for DiagramOptions {
+    fn default() -> DiagramOptions {
+        DiagramOptions {
+            lane_width: 24,
+            show_index: true,
+        }
+    }
+}
+
+/// Renders `trace` as a space-time diagram over `n` process lanes.
+///
+/// The output has exactly `trace.len() + 2` lines: a lane header, a rule,
+/// then one line per event. Process ids at or above `n` are clamped into the
+/// last lane (the convention of [`Trace::timeline`]). `n` must be at least 1.
+#[must_use]
+pub fn space_time(trace: &Trace, n: usize, opts: &DiagramOptions) -> String {
+    assert!(n >= 1, "need at least one process lane");
+    blunt_obs::static_counter!("trace.diagram.renders").inc();
+    let lane_w = opts.lane_width.max(8);
+    let width = n * lane_w;
+    // The lane spine: one column after the lane edge, so arrows into lane 0
+    // still have a margin character.
+    let spine = |p: usize| p * lane_w + 1;
+    let lane = |p: blunt_core::ids::Pid| p.index().min(n - 1);
+    let gutter = if opts.show_index { 5 } else { 0 };
+
+    let mut out = String::new();
+    let mut header = vec![' '; width];
+    for p in 0..n {
+        for (k, ch) in format!("p{p}").chars().enumerate() {
+            if spine(p) + k < width {
+                header[spine(p) + k] = ch;
+            }
+        }
+    }
+    let header: String = header.into_iter().collect();
+    let _ = writeln!(out, "{:gutter$}{}", "", header.trim_end());
+    let _ = writeln!(out, "{:gutter$}{}", "", "─".repeat(width));
+
+    // Writes `text` into `row` inside lane `p`, truncating with `…` at the
+    // lane boundary so it never bleeds into the next lane.
+    let put_text = |row: &mut [char], p: usize, text: &str| {
+        let start = spine(p) + 2;
+        let end = ((p + 1) * lane_w - 1).min(row.len());
+        for (col, ch) in (start..).zip(text.chars()) {
+            if col >= end {
+                row[end - 1] = '…';
+                break;
+            }
+            row[col] = ch;
+        }
+    };
+
+    let mut open = vec![false; n];
+    for (i, ev) in trace.events().iter().enumerate() {
+        let mut row = vec![' '; width];
+        for (p, is_open) in open.iter().enumerate() {
+            if *is_open {
+                row[spine(p)] = '│';
+            }
+        }
+        let mut margin = String::new();
+        match ev {
+            TraceEvent::Call {
+                obj, method, arg, ..
+            } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '┌';
+                put_text(&mut row, p, &format!("call {method}({arg}) @{obj}"));
+                open[p] = true;
+            }
+            TraceEvent::Return { val, .. } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '└';
+                put_text(&mut row, p, &format!("ret {val}"));
+                open[p] = false;
+            }
+            TraceEvent::Deliver { src, dst, label } => {
+                let (a, b) = (spine(lane(*src)), spine(lane(*dst)));
+                if a == b {
+                    row[a] = '●';
+                    put_text(&mut row, lane(*dst), &format!("self-deliver {label}"));
+                } else {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    for cell in &mut row[lo + 1..hi] {
+                        *cell = if *cell == '│' { '┼' } else { '─' };
+                    }
+                    row[a] = '●';
+                    row[b] = if b > a { '▶' } else { '◀' };
+                    margin = format!("  {src}→{dst}: {label}");
+                }
+            }
+            TraceEvent::Internal { label, .. } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '•';
+                put_text(&mut row, p, label);
+            }
+            TraceEvent::PreamblePassed { iteration, .. } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '✓';
+                put_text(&mut row, p, &format!("preamble #{iteration}"));
+            }
+            TraceEvent::ProgramRandom {
+                choices, chosen, ..
+            } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '◇';
+                put_text(&mut row, p, &format!("random({choices})→{chosen}"));
+            }
+            TraceEvent::ObjectRandom {
+                choices, chosen, ..
+            } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '◆';
+                put_text(&mut row, p, &format!("random({choices})→{chosen} (obj)"));
+            }
+            TraceEvent::Crash { .. } => {
+                let p = lane(ev.pid());
+                row[spine(p)] = '✗';
+                put_text(&mut row, p, "CRASH");
+            }
+        }
+        let body: String = row.into_iter().collect();
+        if opts.show_index {
+            let _ = write!(out, "{i:>4} ");
+        }
+        if margin.is_empty() {
+            let _ = writeln!(out, "{}", body.trim_end());
+        } else {
+            let _ = writeln!(out, "{body}{margin}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ids::{CallSite, InvId, MethodId, ObjId, Pid};
+    use blunt_core::value::Val;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.extend(vec![
+            TraceEvent::Call {
+                inv: InvId(1),
+                pid: Pid(0),
+                obj: ObjId(0),
+                method: MethodId::WRITE,
+                arg: Val::Int(5),
+                site: CallSite::new(Pid(0), 0, 0),
+            },
+            TraceEvent::Deliver {
+                src: Pid(0),
+                dst: Pid(2),
+                label: "Update(5)".into(),
+            },
+            TraceEvent::Deliver {
+                src: Pid(2),
+                dst: Pid(0),
+                label: "Ack".into(),
+            },
+            TraceEvent::ProgramRandom {
+                pid: Pid(1),
+                choices: 2,
+                chosen: 1,
+            },
+            TraceEvent::Return {
+                inv: InvId(1),
+                pid: Pid(0),
+                val: Val::Nil,
+            },
+            TraceEvent::Crash { pid: Pid(2) },
+        ]);
+        t
+    }
+
+    #[test]
+    fn line_count_is_events_plus_header() {
+        let t = sample_trace();
+        let s = space_time(&t, 3, &DiagramOptions::default());
+        assert_eq!(s.lines().count(), t.len() + 2);
+        assert_eq!(
+            space_time(&Trace::new(), 3, &DiagramOptions::default())
+                .lines()
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn arrows_point_both_ways_and_carry_margin_labels() {
+        let s = space_time(&sample_trace(), 3, &DiagramOptions::default());
+        assert!(s.contains('▶'), "rightward delivery arrow:\n{s}");
+        assert!(s.contains('◀'), "leftward delivery arrow:\n{s}");
+        assert!(s.contains('●'), "send endpoint:\n{s}");
+        assert!(s.contains("p0→p2: Update(5)"), "margin label:\n{s}");
+        assert!(s.contains("p2→p0: Ack"), "margin label:\n{s}");
+    }
+
+    #[test]
+    fn call_interval_opens_and_closes() {
+        let s = space_time(&sample_trace(), 3, &DiagramOptions::default());
+        assert!(s.contains('┌') && s.contains('└'), "interval markers:\n{s}");
+        assert!(s.contains("call Write(5) @obj0"), "{s}");
+        // While p0's Write is open, the random step row shows its spine.
+        let random_row = s.lines().nth(5).unwrap();
+        assert!(
+            random_row.contains('│') && random_row.contains('◇'),
+            "open interval spine on {random_row:?}"
+        );
+        assert!(s.contains('✗'), "crash marker:\n{s}");
+    }
+
+    #[test]
+    fn long_labels_truncate_inside_the_lane() {
+        let mut t = Trace::new();
+        t.extend(vec![TraceEvent::Internal {
+            pid: Pid(0),
+            label: "x".repeat(100),
+        }]);
+        let s = space_time(&t, 2, &DiagramOptions::default());
+        let row = s.lines().nth(2).unwrap();
+        assert!(row.contains('…'), "truncated: {row:?}");
+        assert!(row.chars().count() <= 5 + 2 * 24);
+    }
+
+    #[test]
+    fn self_delivery_stays_in_lane() {
+        let mut t = Trace::new();
+        t.extend(vec![TraceEvent::Deliver {
+            src: Pid(1),
+            dst: Pid(1),
+            label: "echo".into(),
+        }]);
+        let s = space_time(&t, 2, &DiagramOptions::default());
+        assert!(s.contains("self-deliver echo"), "{s}");
+        assert!(!s.contains('▶') && !s.contains('◀'));
+    }
+}

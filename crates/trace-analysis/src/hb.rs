@@ -1,0 +1,401 @@
+//! Vector-clock happens-before annotation and the commutativity/race report.
+//!
+//! A recorded [`Trace`] is a *total* order — one particular schedule the
+//! adversary chose. The happens-before relation recovers the underlying
+//! *partial* order: the causality that every legal schedule must respect.
+//! Steps left unordered by happens-before are exactly the pairs the adversary
+//! was free to reorder, which is what makes a schedule an adversarial choice
+//! rather than a forced one.
+//!
+//! Edges, following the paper's Section 2 execution model:
+//!
+//! - **program order** — consecutive steps of the same process;
+//! - **message causality** — a [`TraceEvent::Deliver`] at the destination is
+//!   ordered after the *latest preceding step of the sender*. The simulator
+//!   does not record explicit send events, so this over-approximates the true
+//!   send point; the approximation is *sound* for race reporting (it can only
+//!   order more, never report a false race... conversely it may hide a race,
+//!   so the report is a lower bound on adversary freedom);
+//! - **base-object conflict order** — shared-memory base accesses (the
+//!   `"base access"` [`TraceEvent::Internal`] steps emitted by
+//!   `blunt-registers`) are serialized against each other on a single
+//!   coarse resource, because the trace does not name the individual cell.
+//!   Again conservative: more order, never less.
+//!
+//! Vector clocks are built in one forward pass (join of all predecessor
+//! clocks, then increment the stepping process's component), so
+//! `e happens-before f` iff `clock(e) ≤ clock(f)` componentwise.
+
+use std::fmt::Write as _;
+
+use blunt_core::ids::{MethodId, ObjId};
+use blunt_sim::trace::{Trace, TraceEvent};
+
+/// The `Internal` label marking a shared-memory base access (see
+/// `blunt-registers`); all such steps conflict pairwise.
+const BASE_ACCESS_LABEL: &str = "base access";
+
+/// Vector clocks for every event of one trace.
+#[derive(Clone, Debug)]
+pub struct HbAnalysis {
+    width: usize,
+    clocks: Vec<Vec<u64>>,
+}
+
+/// Annotates `trace` with vector clocks for a system of `n` processes.
+///
+/// Process ids at or above `n` are clamped into the last component, matching
+/// the convention of [`Trace::timeline`]. `n` must be at least 1.
+#[must_use]
+pub fn analyze(trace: &Trace, n: usize) -> HbAnalysis {
+    assert!(n >= 1, "need at least one process lane");
+    blunt_obs::static_counter!("trace.hb.analyses").inc();
+    let lane = |p: blunt_core::ids::Pid| p.index().min(n - 1);
+    let mut clocks: Vec<Vec<u64>> = Vec::with_capacity(trace.len());
+    let mut last_of: Vec<Option<usize>> = vec![None; n];
+    let mut last_base_access: Option<usize> = None;
+    for ev in trace.events() {
+        let me = lane(ev.pid());
+        let mut clock = vec![0u64; n];
+        let join = |clock: &mut Vec<u64>, pred: Option<usize>| {
+            if let Some(j) = pred {
+                for (c, p) in clock.iter_mut().zip(&clocks[j]) {
+                    *c = (*c).max(*p);
+                }
+            }
+        };
+        join(&mut clock, last_of[me]);
+        if let TraceEvent::Deliver { src, .. } = ev {
+            join(&mut clock, last_of[lane(*src)]);
+        }
+        let is_base =
+            matches!(ev, TraceEvent::Internal { label, .. } if label == BASE_ACCESS_LABEL);
+        if is_base {
+            join(&mut clock, last_base_access);
+        }
+        clock[me] += 1;
+        let idx = clocks.len();
+        clocks.push(clock);
+        last_of[me] = Some(idx);
+        if is_base {
+            last_base_access = Some(idx);
+        }
+    }
+    HbAnalysis { width: n, clocks }
+}
+
+impl HbAnalysis {
+    /// The number of annotated events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when the trace had no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The number of process lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.width
+    }
+
+    /// The vector clock of event `i`.
+    #[must_use]
+    pub fn clock(&self, i: usize) -> &[u64] {
+        &self.clocks[i]
+    }
+
+    /// True iff event `i` happens strictly before event `j`.
+    #[must_use]
+    pub fn ordered(&self, i: usize, j: usize) -> bool {
+        i != j
+            && self.clocks[i]
+                .iter()
+                .zip(&self.clocks[j])
+                .all(|(a, b)| a <= b)
+    }
+
+    /// True iff events `i` and `j` are causally unordered — the adversary
+    /// could have scheduled them in either order.
+    #[must_use]
+    pub fn concurrent(&self, i: usize, j: usize) -> bool {
+        i != j && !self.ordered(i, j) && !self.ordered(j, i)
+    }
+
+    /// Derives the commutativity/race report for the annotated trace.
+    #[must_use]
+    pub fn report(&self, trace: &Trace) -> HbReport {
+        let mut reorderable_adjacent = Vec::new();
+        for i in 0..self.len().saturating_sub(1) {
+            if self.concurrent(i, i + 1) {
+                reorderable_adjacent.push((i, i + 1));
+            }
+        }
+        let calls: Vec<(usize, ObjId, MethodId)> = trace
+            .events()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ev)| match ev {
+                TraceEvent::Call { obj, method, .. } => Some((i, *obj, *method)),
+                _ => None,
+            })
+            .collect();
+        let is_mutator = |m: MethodId| m != MethodId::READ && m != MethodId::SCAN;
+        let mut races = Vec::new();
+        let mut concurrent_calls = 0usize;
+        for (a, &(i, obj_i, m_i)) in calls.iter().enumerate() {
+            for &(j, obj_j, m_j) in &calls[a + 1..] {
+                if obj_i == obj_j && self.concurrent(i, j) {
+                    concurrent_calls += 1;
+                    if is_mutator(m_i) || is_mutator(m_j) {
+                        races.push(Race {
+                            first: i,
+                            second: j,
+                            obj: obj_i,
+                        });
+                    }
+                }
+            }
+        }
+        blunt_obs::counter("trace.hb.races").add(races.len() as u64);
+        blunt_obs::counter("trace.hb.reorderable").add(reorderable_adjacent.len() as u64);
+        HbReport {
+            reorderable_adjacent,
+            races,
+            concurrent_calls,
+        }
+    }
+}
+
+/// Two causally unordered operation invocations on the same object, at least
+/// one of which mutates it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// Index of the earlier (in recorded order) racing `Call` event.
+    pub first: usize,
+    /// Index of the later racing `Call` event.
+    pub second: usize,
+    /// The contended object.
+    pub obj: ObjId,
+}
+
+/// What the adversary could have reordered: the output of
+/// [`HbAnalysis::report`].
+#[derive(Clone, Debug, Default)]
+pub struct HbReport {
+    /// Adjacent event pairs `(i, i+1)` that are causally unordered — swapping
+    /// them yields another legal schedule of the same program.
+    pub reorderable_adjacent: Vec<(usize, usize)>,
+    /// Concurrent same-object call pairs with at least one mutator.
+    pub races: Vec<Race>,
+    /// All concurrent same-object call pairs, mutating or not.
+    pub concurrent_calls: usize,
+}
+
+impl HbReport {
+    /// True when the trace is sequential as far as this analysis can tell:
+    /// no races and no reorderable adjacent pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.races.is_empty() && self.reorderable_adjacent.is_empty()
+    }
+
+    /// Renders a human-readable summary, quoting the racing events from
+    /// `trace` (which must be the trace the report was derived from).
+    #[must_use]
+    pub fn summary(&self, trace: &Trace) -> String {
+        const SHOWN: usize = 12;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "happens-before report: {} race(s), {} reorderable adjacent pair(s), {} concurrent call pair(s)",
+            self.races.len(),
+            self.reorderable_adjacent.len(),
+            self.concurrent_calls,
+        );
+        for r in self.races.iter().take(SHOWN) {
+            let _ = writeln!(
+                s,
+                "  race on {}: #{} ∥ #{}  ({}  ∥  {})",
+                r.obj,
+                r.first,
+                r.second,
+                trace.events()[r.first],
+                trace.events()[r.second],
+            );
+        }
+        if self.races.len() > SHOWN {
+            let _ = writeln!(s, "  … {} more race(s)", self.races.len() - SHOWN);
+        }
+        for &(i, j) in self.reorderable_adjacent.iter().take(SHOWN) {
+            let _ = writeln!(s, "  swappable: #{i} ↔ #{j}");
+        }
+        if self.reorderable_adjacent.len() > SHOWN {
+            let _ = writeln!(
+                s,
+                "  … {} more swappable pair(s)",
+                self.reorderable_adjacent.len() - SHOWN
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ids::{CallSite, InvId, MethodId, ObjId, Pid};
+    use blunt_core::value::Val;
+
+    fn call(pid: u32, obj: u32, method: MethodId, inv: u64) -> TraceEvent {
+        TraceEvent::Call {
+            inv: InvId(inv),
+            pid: Pid(pid),
+            obj: ObjId(obj),
+            method,
+            arg: Val::Nil,
+            site: CallSite::new(Pid(pid), 0, 0),
+        }
+    }
+
+    fn ret(pid: u32, inv: u64) -> TraceEvent {
+        TraceEvent::Return {
+            inv: InvId(inv),
+            pid: Pid(pid),
+            val: Val::Nil,
+        }
+    }
+
+    #[test]
+    fn single_process_trace_is_totally_ordered() {
+        let mut t = Trace::new();
+        t.extend(vec![
+            call(0, 0, MethodId::WRITE, 1),
+            ret(0, 1),
+            call(0, 0, MethodId::READ, 2),
+            ret(0, 2),
+        ]);
+        let hb = analyze(&t, 3);
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                assert!(hb.ordered(i, j), "{i} must precede {j}");
+                assert!(!hb.concurrent(i, j));
+            }
+        }
+        let report = hb.report(&t);
+        assert!(report.is_empty(), "sequential trace must have empty report");
+        assert_eq!(report.concurrent_calls, 0);
+    }
+
+    #[test]
+    fn unrelated_processes_race_on_a_shared_object() {
+        // p0 writes obj0 while p1 reads obj0, with no messages between them:
+        // the four events form two independent chains.
+        let mut t = Trace::new();
+        t.extend(vec![
+            call(0, 0, MethodId::WRITE, 1),
+            call(1, 0, MethodId::READ, 2),
+            ret(0, 1),
+            ret(1, 2),
+        ]);
+        let hb = analyze(&t, 2);
+        assert!(hb.concurrent(0, 1));
+        assert!(hb.concurrent(2, 3));
+        assert!(hb.ordered(0, 2) && hb.ordered(1, 3));
+        let report = hb.report(&t);
+        assert_eq!(
+            report.races,
+            vec![Race {
+                first: 0,
+                second: 1,
+                obj: ObjId(0)
+            }]
+        );
+        assert!(!report.reorderable_adjacent.is_empty());
+        let text = report.summary(&t);
+        assert!(text.contains("1 race(s)"), "summary lists the race: {text}");
+    }
+
+    #[test]
+    fn two_reads_are_concurrent_but_not_a_race() {
+        let mut t = Trace::new();
+        t.extend(vec![
+            call(0, 0, MethodId::READ, 1),
+            call(1, 0, MethodId::READ, 2),
+        ]);
+        let report = analyze(&t, 2).report(&t);
+        assert!(report.races.is_empty());
+        assert_eq!(report.concurrent_calls, 1);
+        assert_eq!(report.reorderable_adjacent, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn delivery_edges_order_across_processes() {
+        // p0 steps, then p1 receives a message from p0: everything p0 did
+        // before the delivery happens-before the delivery and p1's later
+        // steps.
+        let mut t = Trace::new();
+        t.extend(vec![
+            TraceEvent::Internal {
+                pid: Pid(0),
+                label: "compute".into(),
+            },
+            TraceEvent::Deliver {
+                src: Pid(0),
+                dst: Pid(1),
+                label: "m".into(),
+            },
+            TraceEvent::Internal {
+                pid: Pid(1),
+                label: "after".into(),
+            },
+        ]);
+        let hb = analyze(&t, 2);
+        assert!(hb.ordered(0, 1));
+        assert!(hb.ordered(0, 2));
+        assert!(hb.ordered(1, 2));
+        assert!(analyze(&t, 2).report(&t).reorderable_adjacent.is_empty());
+    }
+
+    #[test]
+    fn base_accesses_conflict_even_across_processes() {
+        let ev = |pid: u32, label: &str| TraceEvent::Internal {
+            pid: Pid(pid),
+            label: label.into(),
+        };
+        let mut t = Trace::new();
+        t.extend(vec![
+            ev(0, BASE_ACCESS_LABEL),
+            ev(1, BASE_ACCESS_LABEL),
+            ev(2, "unrelated"),
+        ]);
+        let hb = analyze(&t, 3);
+        assert!(hb.ordered(0, 1), "base accesses serialize");
+        assert!(hb.concurrent(0, 2) && hb.concurrent(1, 2));
+    }
+
+    #[test]
+    fn clocks_have_the_documented_shape() {
+        let mut t = Trace::new();
+        t.extend(vec![
+            TraceEvent::Internal {
+                pid: Pid(0),
+                label: "a".into(),
+            },
+            TraceEvent::Internal {
+                pid: Pid(7),
+                label: "clamped".into(),
+            },
+        ]);
+        let hb = analyze(&t, 2);
+        assert_eq!(hb.lanes(), 2);
+        assert_eq!(hb.clock(0), &[1, 0]);
+        // Pid(7) clamps into the last lane.
+        assert_eq!(hb.clock(1), &[0, 1]);
+        assert!(hb.concurrent(0, 1));
+    }
+}

@@ -1,0 +1,134 @@
+//! Renderers for the adversary decision artifacts of
+//! `blunt_sim::explore::Solver`: the principal variation and the recorded
+//! expectimax game tree.
+
+use std::fmt::Write as _;
+
+use blunt_sim::explore::{Pv, PvStepKind, SearchTrace};
+
+/// Renders a principal variation as a numbered schedule.
+///
+/// Each line shows the exact win probability *after* the step, so the reader
+/// can watch the adversary's prospects evolve: adversary moves never decrease
+/// the value (it maximizes), coin flips resolve an average into one branch.
+#[must_use]
+pub fn render_pv(pv: &Pv) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "principal variation — value {} ({:.4})",
+        pv.value,
+        pv.value.to_f64()
+    );
+    for (i, step) in pv.steps.iter().enumerate() {
+        let tag = match &step.kind {
+            PvStepKind::Adversary { alternatives } => format!("adv/{alternatives}"),
+            PvStepKind::Random { choices, chosen } => format!("coin {chosen} of {choices}"),
+        };
+        let _ = writeln!(
+            s,
+            "{:>3}. [{:>8}] {:<14} {}",
+            i + 1,
+            step.value.to_string(),
+            tag,
+            step.label
+        );
+    }
+    let _ = writeln!(s, "outcome: {}", pv.outcome);
+    s
+}
+
+/// Renders a recorded [`SearchTrace`] as an indented tree, depth-first from
+/// the root, stopping after `max_lines` lines.
+///
+/// Chosen edges (the adversary's argmax) are marked `▸`; edges whose subtree
+/// was answered by the memo table or never expanded (pruned by early exit)
+/// have no recorded child and are marked `(memo/pruned)`.
+#[must_use]
+pub fn render_tree(tree: &SearchTrace, max_lines: usize) -> String {
+    let mut s = String::new();
+    let Some(root) = tree.root() else {
+        let _ = writeln!(s, "search tree: empty");
+        return s;
+    };
+    let _ = writeln!(
+        s,
+        "search tree — {} node(s) recorded, {} truncated, root value {}",
+        tree.len(),
+        tree.truncated,
+        root.value
+    );
+    let mut lines = 0usize;
+    render_node(tree, root.id, &mut s, &mut lines, max_lines);
+    if lines >= max_lines {
+        let _ = writeln!(s, "… (line budget reached)");
+    }
+    s
+}
+
+fn render_node(tree: &SearchTrace, id: usize, s: &mut String, lines: &mut usize, max_lines: usize) {
+    if *lines >= max_lines {
+        return;
+    }
+    let node = &tree.nodes()[id];
+    let pad = "  ".repeat(node.depth);
+    let _ = writeln!(s, "{pad}[{} {}]", node.kind.as_str(), node.value);
+    *lines += 1;
+    for edge in &node.edges {
+        if *lines >= max_lines {
+            return;
+        }
+        let mark = if edge.chosen { '▸' } else { '·' };
+        let memo = if edge.child.is_none() {
+            " (memo/pruned)"
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "{pad} {mark} {} → {}{memo}", edge.label, edge.value);
+        *lines += 1;
+        if let Some(child) = edge.child {
+            render_node(tree, child, s, lines, max_lines);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_sim::explore::{ExploreBudget, Solver};
+    use blunt_sim::rng::Tape;
+    use blunt_sim::toy::GambleGame;
+
+    #[test]
+    fn renders_the_gamble_game_pv_and_tree() {
+        let mut solver =
+            Solver::new(&GambleGame::is_bad, ExploreBudget::default()).record_tree(10_000);
+        let pv = solver
+            .principal_variation(&GambleGame::new(), &mut Tape::new(vec![1, 1, 1]), 64)
+            .expect("pv exists");
+        let text = render_pv(&pv);
+        assert!(text.contains("value 5/8"), "{text}");
+        assert!(text.contains("Flip"), "{text}");
+        assert!(text.contains("coin 1 of 2"), "{text}");
+        assert!(text.lines().count() == pv.steps.len() + 2, "{text}");
+
+        let tree = solver.take_tree().expect("tree recorded");
+        let rendered = render_tree(&tree, 200);
+        assert!(rendered.contains("root value 5/8"), "{rendered}");
+        assert!(rendered.contains("[adversary"), "{rendered}");
+        assert!(rendered.contains("[random"), "{rendered}");
+        assert!(rendered.contains('▸'), "chosen edge marked: {rendered}");
+    }
+
+    #[test]
+    fn tree_rendering_respects_the_line_budget() {
+        let mut solver =
+            Solver::new(&GambleGame::is_bad, ExploreBudget::default()).record_tree(10_000);
+        let _ = solver.solve(&GambleGame::new());
+        let tree = solver.take_tree().unwrap();
+        let rendered = render_tree(&tree, 3);
+        assert!(rendered.contains("line budget reached"), "{rendered}");
+        assert!(rendered.lines().count() <= 6, "{rendered}");
+        assert!(render_tree(&SearchTrace::with_max_nodes(0), 10).contains("empty"));
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end analysis of the paper's Figure 1 execution: record the
+//! scripted adversary's run against plain ABD, then check that the
+//! happens-before report exposes the adversary's freedom and that the
+//! space-time diagram renders the interleaving.
+
+use blunt_abd::scenarios::weakener_abd;
+use blunt_adversary::fig1::fig1_script;
+use blunt_sim::kernel::run;
+use blunt_sim::rng::Tape;
+use blunt_sim::trace::Trace;
+use blunt_trace::{analyze, space_time, DiagramOptions};
+
+const N: usize = 3;
+
+fn fig1_trace(coin: usize) -> Trace {
+    let report = run(
+        weakener_abd(1),
+        &mut fig1_script(coin),
+        &mut Tape::new(vec![coin]),
+        true,
+        10_000,
+    )
+    .expect("fig1 script runs to completion");
+    report.trace
+}
+
+#[test]
+fn fig1_interleaving_has_races_and_reorderable_steps() {
+    for coin in 0..2 {
+        let trace = fig1_trace(coin);
+        let hb = analyze(&trace, N);
+        let report = hb.report(&trace);
+        assert!(
+            !report.races.is_empty(),
+            "coin {coin}: the Figure 1 schedule overlaps operations on a shared object"
+        );
+        assert!(
+            !report.reorderable_adjacent.is_empty(),
+            "coin {coin}: the adversary had adjacent steps it could swap"
+        );
+        let text = report.summary(&trace);
+        assert!(text.contains("race"), "{text}");
+    }
+}
+
+#[test]
+fn a_single_process_slice_of_fig1_is_sequential() {
+    // Restricting the trace to one process leaves only program order: the
+    // report must be empty — no races, nothing to reorder.
+    let full = fig1_trace(0);
+    let mut solo = Trace::new();
+    solo.extend(
+        full.events()
+            .iter()
+            .filter(|ev| ev.pid() == blunt_core::ids::Pid(0))
+            .cloned()
+            .collect(),
+    );
+    assert!(!solo.is_empty(), "p0 takes steps in Figure 1");
+    let report = analyze(&solo, N).report(&solo);
+    assert!(
+        report.is_empty(),
+        "sequential trace must produce an empty report: {}",
+        report.summary(&solo)
+    );
+}
+
+#[test]
+fn fig1_space_time_diagram_renders_the_schedule() {
+    let trace = fig1_trace(1);
+    let diagram = space_time(&trace, N, &DiagramOptions::default());
+    assert_eq!(diagram.lines().count(), trace.len() + 2);
+    assert!(diagram.contains('▶') || diagram.contains('◀'), "{diagram}");
+    assert!(diagram.contains('┌') && diagram.contains('└'), "{diagram}");
+    assert!(
+        diagram.contains("loop forever"),
+        "p2's absorbing loop is visible:\n{diagram}"
+    );
+}
+
+#[test]
+fn hb_clocks_respect_the_recorded_order_of_fig1() {
+    // Sanity: happens-before is a sub-order of the recorded total order —
+    // no event may happen-before an earlier one.
+    let trace = fig1_trace(0);
+    let hb = analyze(&trace, N);
+    for i in 0..hb.len() {
+        for j in (i + 1)..hb.len() {
+            assert!(
+                !hb.ordered(j, i),
+                "event {j} cannot happen-before earlier event {i}"
+            );
+        }
+    }
+}

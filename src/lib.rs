@@ -13,6 +13,7 @@
 //! | [`registers`] | `blunt-registers` | shared-memory constructions (Afek snapshot, Vitányi–Awerbuch, Israeli–Li) and the generic preamble-iterating combinator |
 //! | [`lincheck`] | `blunt-lincheck` | linearizability / strong / tail-strong / write-strong checkers |
 //! | [`adversary`] | `blunt-adversary` | the scripted Figure 1 adversary and adversary-power measurements |
+//! | [`trace`] | `blunt-trace` | happens-before analysis, space-time diagrams, adversary decision explainability, bench regression gate |
 //!
 //! # Example
 //!
@@ -43,3 +44,4 @@ pub use blunt_lincheck as lincheck;
 pub use blunt_programs as programs;
 pub use blunt_registers as registers;
 pub use blunt_sim as sim;
+pub use blunt_trace as trace;
