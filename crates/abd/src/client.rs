@@ -19,6 +19,7 @@
 //! but returns [`ReplyEffect`]/[`AckEffect`] directives that the composed
 //! system turns into broadcasts. This keeps it unit-testable in isolation.
 
+use crate::msg::AbdMsg;
 use crate::ts::Ts;
 use blunt_core::ids::{InvId, ObjId, Pid};
 use blunt_core::value::Val;
@@ -56,6 +57,11 @@ pub enum Phase {
         responders: u64,
         /// The operation's return value.
         ret: Val,
+        /// The value being installed (kept so the update broadcast can be
+        /// retransmitted verbatim over a lossy transport).
+        val: Val,
+        /// The timestamp being installed.
+        ts: Ts,
     },
 }
 
@@ -154,20 +160,22 @@ impl ActiveOp {
 
     /// Starts a single-writer `Write` directly in its update phase (the
     /// original ABD writer has an empty preamble): the caller must broadcast
-    /// `Update { sn, val: v, ts: (seq, me) }` with the timestamp it derived
-    /// from its local sequence counter.
+    /// `Update { sn, val: v, ts }` with the timestamp it derived from its
+    /// local sequence counter.
     #[must_use]
-    pub fn start_sw_write(inv: InvId, obj: ObjId, v: Val, sn: u32) -> ActiveOp {
+    pub fn start_sw_write(inv: InvId, obj: ObjId, v: Val, ts: Ts, sn: u32) -> ActiveOp {
         ActiveOp {
             inv,
             obj,
-            kind: OpKind::Write(v),
+            kind: OpKind::Write(v.clone()),
             k: 1,
             results: Vec::new(),
             phase: Phase::Update {
                 sn,
                 responders: 0,
                 ret: Val::Nil,
+                val: v,
+                ts,
             },
         }
     }
@@ -249,6 +257,8 @@ impl ActiveOp {
                 sn,
                 responders: 0,
                 ret,
+                val: val.clone(),
+                ts,
             };
             ReplyEffect::StartUpdate {
                 iteration,
@@ -277,6 +287,8 @@ impl ActiveOp {
             sn,
             responders: 0,
             ret,
+            val: val.clone(),
+            ts,
         };
         (sn, val, ts)
     }
@@ -300,6 +312,7 @@ impl ActiveOp {
             sn,
             responders,
             ret,
+            ..
         } = &mut self.phase
         else {
             return AckEffect::Ignored;
@@ -325,6 +338,31 @@ impl ActiveOp {
     pub fn current_sn(&self) -> Option<u32> {
         match &self.phase {
             Phase::Query { sn, .. } | Phase::Update { sn, .. } => Some(*sn),
+            Phase::AwaitChoice => None,
+        }
+    }
+
+    /// The broadcast that would re-solicit the responses the operation is
+    /// currently waiting on, if any.
+    ///
+    /// Servers' handlers are idempotent per exchange (`sn` bookkeeping at the
+    /// client discards duplicate replies/acks, and re-installing the same
+    /// `(val, ts)` is a no-op), so a lossy transport may resend this message
+    /// any number of times without perturbing the protocol. `None` while the
+    /// operation awaits its object random choice — nothing is in flight.
+    #[must_use]
+    pub fn retransmission(&self) -> Option<AbdMsg> {
+        match &self.phase {
+            Phase::Query { sn, .. } => Some(AbdMsg::Query {
+                obj: self.obj,
+                sn: *sn,
+            }),
+            Phase::Update { sn, val, ts, .. } => Some(AbdMsg::Update {
+                obj: self.obj,
+                sn: *sn,
+                val: val.clone(),
+                ts: *ts,
+            }),
             Phase::AwaitChoice => None,
         }
     }
@@ -448,7 +486,7 @@ mod tests {
 
     #[test]
     fn stale_acks_are_ignored() {
-        let mut op = ActiveOp::start_sw_write(InvId(0), ObjId(0), Val::Int(1), 5);
+        let mut op = ActiveOp::start_sw_write(InvId(0), ObjId(0), Val::Int(1), Ts::new(1, ME), 5);
         assert_eq!(op.on_ack(Pid(1), 4, QUORUM), AckEffect::Ignored);
         assert_eq!(op.on_ack(Pid(1), 5, QUORUM), AckEffect::Counted);
         assert_eq!(op.on_ack(Pid(1), 5, QUORUM), AckEffect::Ignored);
@@ -480,6 +518,38 @@ mod tests {
         let mut ctr = 0u32;
         let mut op = ActiveOp::start(InvId(0), ObjId(0), OpKind::Read, 2, 0);
         let _ = op.choose(0, ME, &mut ctr);
+    }
+
+    #[test]
+    fn retransmission_replays_the_in_flight_broadcast() {
+        let mut ctr = 0u32;
+        let mut op = ActiveOp::start(InvId(0), ObjId(3), OpKind::Read, 2, 0);
+        assert_eq!(
+            op.retransmission(),
+            Some(AbdMsg::Query {
+                obj: ObjId(3),
+                sn: 0
+            }),
+            "query phase resends the query"
+        );
+
+        reply(&mut op, 0, 0, Val::Int(1), Ts::new(1, Pid(1)), &mut ctr);
+        reply(&mut op, 1, 0, Val::Nil, Ts::ZERO, &mut ctr);
+        reply(&mut op, 0, 1, Val::Int(2), Ts::new(2, Pid(1)), &mut ctr);
+        reply(&mut op, 1, 1, Val::Nil, Ts::ZERO, &mut ctr);
+        assert_eq!(op.retransmission(), None, "nothing in flight at the choice");
+
+        let (sn, val, ts) = op.choose(1, ME, &mut ctr);
+        assert_eq!(
+            op.retransmission(),
+            Some(AbdMsg::Update {
+                obj: ObjId(3),
+                sn,
+                val,
+                ts
+            }),
+            "update phase resends the chosen install"
+        );
     }
 
     #[test]

@@ -294,7 +294,7 @@ impl AbdSystem {
                     self.writer_seqs[obj.index()] += 1;
                     let ts = Ts::new(self.writer_seqs[obj.index()], pid);
                     let sn = self.fresh_sn(pid);
-                    let op = ActiveOp::start_sw_write(inv, obj, arg.clone(), sn);
+                    let op = ActiveOp::start_sw_write(inv, obj, arg.clone(), ts, sn);
                     self.clients[pid.index()] = Some(op);
                     self.net.broadcast(
                         pid,

@@ -1,0 +1,218 @@
+//! chaos — seeded soak runner for the threaded chaos runtime
+//! (`blunt_runtime`): ABD and O^k step machines on real OS threads under
+//! fault injection, with the online linearizability monitor as the oracle.
+//!
+//! ```sh
+//! cargo run --release -p blunt-bench --bin chaos                 # full soak set
+//! cargo run --release -p blunt-bench --bin chaos -- --smoke      # CI-sized
+//! cargo run --release -p blunt-bench --bin chaos -- --seed 7
+//! cargo run --release -p blunt-bench --bin chaos -- --demo-broken
+//! ```
+//!
+//! Each configuration records the deterministic counters
+//! `runtime.chaos.<cfg>.ops` and `runtime.chaos.<cfg>.violations`; the full
+//! counter snapshot plus per-config wall-times goes to the schema-versioned
+//! `BENCH_results.json` (default `target/chaos/BENCH_results.json`,
+//! `--results-out` to redirect) for the `bench-report` gate — the committed
+//! baseline pins every `violations` counter at 0, so a single violation
+//! fails `--check`.
+//!
+//! Exit status: `0` when every configuration is violation-free (or, under
+//! `--demo-broken`, when the intentionally-broken register IS caught); `1`
+//! otherwise.
+//!
+//! `--demo-broken` replaces the quorum read with an unsound single-server
+//! fast read and prints the monitor's first violation window as a
+//! space-time diagram — the "show me it actually catches bugs" mode.
+
+use blunt_runtime::{
+    run_chaos, run_shm_chaos, ChaosReport, FaultConfig, RuntimeConfig, ShmChaosConfig,
+};
+use blunt_trace::regress::BenchResults;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The named message-passing configurations: fault mixes × client counts ×
+/// preamble iterations. Smoke mode shrinks ops, not shape variety.
+fn abd_configs(smoke: bool, seed: u64) -> Vec<(String, RuntimeConfig)> {
+    let mut cfgs = Vec::new();
+    let mode = if smoke { "smoke" } else { "soak" };
+    for k in [1u32, 2] {
+        // Full fault mix at the acceptance shape (8 clients for soak).
+        let mut cfg = if smoke {
+            RuntimeConfig::smoke(seed ^ u64::from(k))
+        } else {
+            RuntimeConfig::soak(seed ^ u64::from(k), k)
+        };
+        cfg.k = k;
+        cfgs.push((format!("{mode}.abd_k{k}_chaos"), cfg));
+    }
+    // A fault-free control at the same shape (k = 1): the protocol under
+    // nothing but thread nondeterminism.
+    let mut quiet = if smoke {
+        RuntimeConfig::smoke(seed ^ 0x71)
+    } else {
+        RuntimeConfig::soak(seed ^ 0x71, 1)
+    };
+    quiet.faults = FaultConfig::none();
+    cfgs.push((format!("{mode}.abd_k1_quiet"), quiet));
+    cfgs
+}
+
+fn shm_configs(smoke: bool, seed: u64) -> Vec<(String, ShmChaosConfig)> {
+    let mode = if smoke { "smoke" } else { "soak" };
+    [1u32, 2]
+        .into_iter()
+        .map(|k| {
+            let mut cfg = ShmChaosConfig::small(seed ^ 0x5113 ^ u64::from(k), k);
+            if !smoke {
+                cfg.ops_per_thread = 2_000;
+            }
+            (format!("{mode}.va_k{k}"), cfg)
+        })
+        .collect()
+}
+
+fn record(name: &str, ops: u64, violations: u64) {
+    blunt_obs::counter(&format!("runtime.chaos.{name}.ops")).add(ops);
+    blunt_obs::counter(&format!("runtime.chaos.{name}.violations")).add(violations);
+}
+
+fn print_abd(name: &str, r: &ChaosReport) {
+    println!(
+        "{name:<24} ops {:>7}  {:>9.0} ops/s  lat p50/p99 {:>4}/{:>5} µs  \
+         retrans {:>6}  violations {}",
+        r.ops,
+        r.ops_per_sec(),
+        r.latency_us.p50(),
+        r.latency_us.percentile(0.99),
+        r.retransmissions,
+        r.monitor.violations.len(),
+    );
+    println!(
+        "{:<24} bus: offered {} dropped {} dup {} reorder {} delayed {} \
+         crash {} partition {}",
+        "",
+        r.bus.offered,
+        r.bus.dropped,
+        r.bus.duplicated,
+        r.bus.reordered,
+        r.bus.delayed,
+        r.bus.crash_dropped,
+        r.bus.partition_dropped,
+    );
+}
+
+fn demo_broken(seed: u64) -> ExitCode {
+    let mut cfg = RuntimeConfig::smoke(seed);
+    cfg.broken_reads = true;
+    cfg.read_per_mille = 400;
+    println!("demo: ABD with an unsound single-server fast read (no quorum, no write-back)\n");
+    let report = run_chaos(&cfg);
+    print_abd("broken_fast_read", &report);
+    match report.monitor.violations.first() {
+        Some(v) => {
+            println!(
+                "\nfirst violation window (object {:?}, segment {}):\n",
+                v.obj, v.segment
+            );
+            println!("{}", v.rendered);
+            println!(
+                "the monitor caught the unsound read: {} violation window(s) total",
+                report.monitor.violations.len()
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("\nchaos: the broken register was NOT caught — monitor bug");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut demo = false;
+    let mut seed: u64 = 0x0B1D_5EED;
+    let mut results_out = PathBuf::from("target/chaos/BENCH_results.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--demo-broken" => demo = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed: not a u64");
+            }
+            "--results-out" => {
+                results_out = args.next().expect("--results-out needs a path").into();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if demo {
+        return demo_broken(seed);
+    }
+
+    println!(
+        "chaos: {} set, seed {seed:#x} (replay with --seed {seed})\n",
+        if smoke { "smoke" } else { "full soak" }
+    );
+    let mut phases: Vec<(String, f64)> = Vec::new();
+    let mut dirty: Vec<String> = Vec::new();
+
+    for (name, cfg) in abd_configs(smoke, seed) {
+        let t0 = Instant::now();
+        let report = run_chaos(&cfg);
+        phases.push((name.clone(), t0.elapsed().as_secs_f64() * 1000.0));
+        print_abd(&name, &report);
+        record(&name, report.ops, report.monitor.violations.len() as u64);
+        if !report.monitor.clean() {
+            dirty.push(name);
+        }
+    }
+    for (name, cfg) in shm_configs(smoke, seed) {
+        let t0 = Instant::now();
+        let report = run_shm_chaos(&cfg);
+        phases.push((name.clone(), t0.elapsed().as_secs_f64() * 1000.0));
+        println!(
+            "{name:<24} ops {:>7}  violations {}",
+            report.ops,
+            report.monitor.violations.len()
+        );
+        record(&name, report.ops, report.monitor.violations.len() as u64);
+        if !report.monitor.clean() {
+            dirty.push(name);
+        }
+    }
+
+    // The schema-versioned gate input (docs/OBS_SCHEMA.md): per-config
+    // wall-times plus the `runtime.chaos.*` counters, seed echoed for
+    // replay. Only those counters are kept — they are deterministic for a
+    // seed, unlike e.g. the monitor's segment counts (cut placement is
+    // scheduling-dependent) or the shared `lincheck.wgl.*` totals, which
+    // would collide with the experiments baseline.
+    if let Some(parent) = results_out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    let mut results = BenchResults::from_snapshot(phases, &blunt_obs::snapshot());
+    results
+        .counters
+        .retain(|(name, _)| name.starts_with("runtime.chaos."));
+    results.seed = Some(seed);
+    std::fs::write(&results_out, format!("{}\n", results.to_json()))
+        .expect("write BENCH_results.json");
+    println!("\nbench results written to {}", results_out.display());
+
+    if dirty.is_empty() {
+        println!("verdict: all configurations linearizable (0 violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verdict: VIOLATIONS in {}", dirty.join(", "));
+        ExitCode::FAILURE
+    }
+}

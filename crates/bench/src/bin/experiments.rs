@@ -13,7 +13,11 @@
 //! Flags: `--metrics-out <path>` and `--results-out <path>` redirect the
 //! JSONL metrics and the schema-versioned `BENCH_results.json` (per-phase
 //! wall-times + counter totals, consumed by the `bench-report` gate) away
-//! from their `target/experiments/` defaults.
+//! from their `target/experiments/` defaults. `--seed <n>` offsets the
+//! seeded sweeps (E6, E8) and is echoed into `BENCH_results.json` for
+//! replay; `--threads <n>` fans those sweeps out over OS threads
+//! ([`blunt_bench::parallel_map`]) — the exact game solves (E1–E4) are
+//! single search trees and stay sequential.
 //!
 //! Runtimes (release): default set ≈ 2–3 minutes (dominated by the exact
 //! fused k = 1, 2 games); `--heavy` adds the fused k = 3 game (~5 min) and
@@ -25,7 +29,7 @@ use blunt_abd::system::{AbdSystem, AbdSystemDef};
 use blunt_adversary::fig1::fig1_script;
 use blunt_adversary::report::weakener_theorem_bound;
 use blunt_adversary::search;
-use blunt_bench::{seeded_history, seeded_run, Table};
+use blunt_bench::{parallel_map, seeded_history, seeded_run, Table};
 use blunt_core::bound::bound_curve;
 use blunt_core::ids::{MethodId, ObjId};
 use blunt_core::ratio::Ratio;
@@ -47,6 +51,10 @@ use std::time::Instant;
 
 struct Ctx {
     heavy: bool,
+    /// Base seed for the seeded sweeps (E6, E8); `--seed`.
+    seed: u64,
+    /// Worker threads for the seeded sweeps; `--threads`.
+    threads: usize,
     summary: String,
     /// `(experiment name, wall milliseconds)` for `BENCH_results.json`.
     phases: Vec<(String, f64)>,
@@ -254,11 +262,15 @@ fn e5(ctx: &mut Ctx) {
 fn e6(ctx: &mut Ctx) {
     ctx.section("E6  Linearizability of sampled histories (Theorem 4.1 equivalence)");
     let seeds = 30u64;
+    let (base, threads) = (ctx.seed, ctx.threads);
     let mut t = Table::new(["implementation", "schedules", "linearizable"]);
     let reg = RegisterSpec::new(Val::Nil);
-    let check_reg = |name: &str, mk: &dyn Fn() -> AbdSystem, t: &mut Table| {
-        let ok = (0..seeds)
-            .all(|s| check_linearizable(&seeded_history(mk(), s, ObjId(0), 300_000), &reg).is_ok());
+    let check_reg = |name: &str, mk: &(dyn Fn() -> AbdSystem + Sync), t: &mut Table| {
+        let ok = parallel_map((0..seeds).collect(), threads, |s| {
+            check_linearizable(&seeded_history(mk(), base + s, ObjId(0), 300_000), &reg).is_ok()
+        })
+        .into_iter()
+        .all(|ok| ok);
         t.row([name.into(), seeds.to_string(), ok.to_string()]);
         assert!(ok, "{name}: non-linearizable history found");
     };
@@ -268,36 +280,42 @@ fn e6(ctx: &mut Ctx) {
     check_reg("ABD² (fused)", &|| abds::weakener_abd_fused(2), &mut t);
 
     for (name, k) in [("Vitányi–Awerbuch (k = 1)", 1u32), ("VA²", 2)] {
-        let ok = (0..seeds).all(|s| {
+        let ok = parallel_map((0..seeds).collect(), threads, |s| {
             check_linearizable(
-                &seeded_history(shms::weakener_va(k), s, ObjId(0), 300_000),
+                &seeded_history(shms::weakener_va(k), base + s, ObjId(0), 300_000),
                 &reg,
             )
             .is_ok()
-        });
+        })
+        .into_iter()
+        .all(|ok| ok);
         t.row([name.into(), seeds.to_string(), ok.to_string()]);
         assert!(ok);
     }
     for (name, k) in [("Israeli–Li (k = 1)", 1u32), ("IL²", 2)] {
-        let ok = (0..seeds).all(|s| {
+        let ok = parallel_map((0..seeds).collect(), threads, |s| {
             check_linearizable(
-                &seeded_history(shms::sw_weakener_il(k), s, ObjId(0), 300_000),
+                &seeded_history(shms::sw_weakener_il(k), base + s, ObjId(0), 300_000),
                 &reg,
             )
             .is_ok()
-        });
+        })
+        .into_iter()
+        .all(|ok| ok);
         t.row([name.into(), seeds.to_string(), ok.to_string()]);
         assert!(ok);
     }
     let snap = SnapshotSpec::new(3, Val::Nil);
     for (name, k) in [("Afek snapshot (k = 1)", 1u32), ("snapshot²", 2)] {
-        let ok = (0..seeds).all(|s| {
+        let ok = parallel_map((0..seeds).collect(), threads, |s| {
             check_linearizable(
-                &seeded_history(shms::ghw_snapshot(k), s, ObjId(0), 300_000),
+                &seeded_history(shms::ghw_snapshot(k), base + s, ObjId(0), 300_000),
                 &snap,
             )
             .is_ok()
-        });
+        })
+        .into_iter()
+        .all(|ok| ok);
         t.row([name.into(), seeds.to_string(), ok.to_string()]);
         assert!(ok);
     }
@@ -358,12 +376,19 @@ fn e8(ctx: &mut Ctx) {
     let mut t = Table::new(["k", "deliveries (mean)", "events (mean)", "object coins"]);
     for k in [1u32, 2, 4, 8, 16] {
         let seeds = 20u64;
+        let per_seed = parallel_map((0..seeds).collect(), ctx.threads, |s| {
+            let r = seeded_run(abds::weakener_abd(k), ctx.seed + s, 2_000_000);
+            (
+                r.trace.delivery_count(),
+                r.steps,
+                r.trace.object_random_count(),
+            )
+        });
         let (mut deliv, mut steps, mut coins) = (0usize, 0usize, 0usize);
-        for s in 0..seeds {
-            let r = seeded_run(abds::weakener_abd(k), s, 2_000_000);
-            deliv += r.trace.delivery_count();
-            steps += r.steps;
-            coins += r.trace.object_random_count();
+        for (d, st, c) in per_seed {
+            deliv += d;
+            steps += st;
+            coins += c;
         }
         t.row([
             k.to_string(),
@@ -526,6 +551,8 @@ fn run_phase(ctx: &mut Ctx, name: &str, f: fn(&mut Ctx)) {
 
 fn main() {
     let mut heavy = false;
+    let mut seed = 0u64;
+    let mut threads = 1usize;
     let mut metrics_out = PathBuf::from("target/experiments/metrics.jsonl");
     let mut results_out = PathBuf::from("target/experiments/BENCH_results.json");
     let mut selected: Vec<String> = Vec::new();
@@ -533,6 +560,20 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--heavy" => heavy = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed: not a u64");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads: not a usize");
+            }
             "--metrics-out" => {
                 metrics_out = args.next().expect("--metrics-out needs a path").into();
             }
@@ -547,6 +588,8 @@ fn main() {
 
     let mut ctx = Ctx {
         heavy,
+        seed,
+        threads,
         summary: String::from("# Experiment results (regenerated by `blunt-bench/experiments`)\n"),
         phases: Vec::new(),
     };
@@ -609,7 +652,8 @@ fn main() {
     if let Some(parent) = results_out.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).expect("create results dir");
     }
-    let results = BenchResults::from_snapshot(ctx.phases.clone(), &snap);
+    let mut results = BenchResults::from_snapshot(ctx.phases.clone(), &snap);
+    results.seed = Some(seed);
     std::fs::write(&results_out, format!("{}\n", results.to_json()))
         .expect("write BENCH_results.json");
     println!(

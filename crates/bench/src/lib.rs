@@ -44,6 +44,51 @@ pub fn seeded_history<S: System>(sys: S, seed: u64, obj: ObjId, max_steps: usize
         .project(obj)
 }
 
+/// Maps `f` over `items` on up to `threads` OS threads, preserving input
+/// order in the output. With `threads <= 1` this degenerates to a plain
+/// sequential map — callers don't need a separate code path.
+///
+/// Used by the seeded sweeps in the `experiments` binary (`--threads`):
+/// each seed is an independent simulator run, so the sweep is embarrassingly
+/// parallel.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue").pop_front();
+                let Some((i, item)) = next else { break };
+                let r = f(item);
+                slots.lock().expect("result slots")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
 /// A minimal self-contained wall-clock benchmark harness.
 ///
 /// The container has no external benchmark framework, so the `benches/`
@@ -191,6 +236,31 @@ mod tests {
         let h = seeded_history(weakener_abd(1), 5, ObjId(0), 100_000);
         assert!(h.is_well_formed());
         assert_eq!(h.objects(), vec![ObjId(0)]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0usize, 1, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(items.clone(), threads, |x| x * x),
+                expect,
+                "threads = {threads}"
+            );
+        }
+        assert!(parallel_map(Vec::<u64>::new(), 4, |x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_matches_a_sequential_seeded_sweep() {
+        let seeds: Vec<u64> = (0..6).collect();
+        let seq: Vec<usize> = seeds
+            .iter()
+            .map(|&s| seeded_run(weakener_abd(1), s, 100_000).steps)
+            .collect();
+        let par = parallel_map(seeds, 3, |s| seeded_run(weakener_abd(1), s, 100_000).steps);
+        assert_eq!(par, seq);
     }
 
     #[test]

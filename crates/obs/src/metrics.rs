@@ -126,6 +126,14 @@ pub fn bucket_lower_bound(i: usize) -> u64 {
 }
 
 impl Histogram {
+    /// A private histogram not owned by any [`Registry`] — the per-thread
+    /// shard of a sharded recorder, combined later with
+    /// [`Histogram::merge`].
+    #[must_use]
+    pub fn unregistered() -> Histogram {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+
     /// Records one sample.
     pub fn record(&self, v: u64) {
         let core = &*self.0;
@@ -140,6 +148,36 @@ impl Histogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds every sample recorded in `other` into `self`, bucket by
+    /// bucket.
+    ///
+    /// This is the aggregation path for sharded recording: each worker
+    /// thread records into a private histogram with zero contention, and the
+    /// shards are merged once at the end. Merging is equivalent to having
+    /// recorded all samples into one histogram — counts, sums, min/max, and
+    /// therefore every bucket-resolution percentile are identical. `other`
+    /// is not modified; merging a histogram into itself doubles it.
+    pub fn merge(&self, other: &Histogram) {
+        let (dst, src) = (&*self.0, &*other.0);
+        for (d, s) in dst.buckets.iter().zip(&src.buckets) {
+            let c = s.load(Ordering::Relaxed);
+            if c > 0 {
+                d.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        let count = src.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        dst.count.fetch_add(count, Ordering::Relaxed);
+        dst.sum
+            .fetch_add(src.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        dst.min
+            .fetch_min(src.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        dst.max
+            .fetch_max(src.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// An immutable copy of the current histogram state.
@@ -754,6 +792,60 @@ mod tests {
         assert_eq!(s.p90(), 0);
         assert_eq!(s.p99(), 0);
         assert_eq!(s.percentile(0.999), 1 << 40);
+    }
+
+    #[test]
+    fn merged_shards_match_a_single_histogram_exactly() {
+        // The per-client-thread sharding pattern: 8 shards record disjoint
+        // sample streams, the shards are merged, and the result must be
+        // indistinguishable — including every percentile — from one
+        // histogram that saw all samples.
+        let reference = Histogram::unregistered();
+        let merged = Histogram::unregistered();
+        let shards: Vec<Histogram> = (0..8).map(|_| Histogram::unregistered()).collect();
+        let mut g = SplitMixLite(99);
+        for i in 0..10_000u64 {
+            let v = g.next() % (1 << 20);
+            reference.record(v);
+            shards[(i % 8) as usize].record(v);
+        }
+        for s in &shards {
+            merged.merge(s);
+        }
+        let (a, b) = (reference.snapshot(), merged.snapshot());
+        assert_eq!(a, b, "merge must be sample-order independent");
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.percentile(q), b.percentile(q), "percentile {q} drifted");
+        }
+        // Shards are untouched by the merge.
+        let shard_total: u64 = shards.iter().map(Histogram::count).sum();
+        assert_eq!(shard_total, 10_000);
+    }
+
+    /// A tiny local generator so this test has no cross-crate dependency.
+    struct SplitMixLite(u64);
+    impl SplitMixLite {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_shard_is_a_no_op() {
+        let h = Histogram::unregistered();
+        h.record(5);
+        let before = h.snapshot();
+        h.merge(&Histogram::unregistered());
+        assert_eq!(h.snapshot(), before);
+        // Empty ∪ empty stays empty (min must not become u64::MAX).
+        let e = Histogram::unregistered();
+        e.merge(&Histogram::unregistered());
+        let s = e.snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! The in-process message bus: per-node mpsc queues plus the fault
+//! injector.
+//!
+//! Every node (server or client thread) owns one `mpsc::Receiver<Envelope>`;
+//! the bus holds the matching senders. A send first consults the
+//! [`FaultPlan`] (unless the envelope is *exempt*, i.e. a retransmission or
+//! a response to one), then realizes the fate:
+//!
+//! - `Drop`/`CrashDrop`/`PartitionDrop` — the envelope vanishes;
+//! - `Duplicate` — enqueued twice back to back;
+//! - `Reorder` — held in the link until the next message on the same link
+//!   overtakes it (flushed by [`Bus::flush`] if none ever comes);
+//! - `Delay(ms)` — handed to a dedicated delayer thread that sleeps until
+//!   the deadline and then enqueues it.
+//!
+//! `std::sync::mpsc` channels are per-sender FIFO and internally
+//! linearizable, which is what makes the per-link message indexing of
+//! [`FaultPlan`] well defined.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use blunt_abd::msg::AbdMsg;
+use blunt_core::ids::Pid;
+
+use crate::fault::{Fate, FaultConfig, FaultPlan};
+
+/// One message in flight on the bus.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: Pid,
+    /// Destination node.
+    pub dst: Pid,
+    /// Protocol payload.
+    pub msg: AbdMsg,
+    /// Retransmissions (and responses to them) bypass the fault injector
+    /// and consume no fault-schedule indices, so timing-dependent retry
+    /// counts cannot perturb the seed-determined schedule.
+    pub exempt: bool,
+}
+
+/// Deterministic fault counters accumulated by a run; equal across runs
+/// with the same seed and configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BusStats {
+    /// First-transmission messages offered to the injector.
+    pub offered: u64,
+    /// Messages dropped by the random drop fault.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages swapped with their successor.
+    pub reordered: u64,
+    /// Messages held back by a delay.
+    pub delayed: u64,
+    /// Messages lost to crash blackout windows.
+    pub crash_dropped: u64,
+    /// Messages lost to partition windows.
+    pub partition_dropped: u64,
+}
+
+struct DelayedMsg {
+    due: Instant,
+    env: Envelope,
+}
+
+/// Per-link mutable state: the fate stream lives in the shared
+/// [`FaultPlan`]; this holds the reorder hold-back slot.
+struct LinkHold {
+    held: Option<Envelope>,
+}
+
+struct BusInner {
+    plan: FaultPlan,
+    stats: BusStats,
+    holds: Vec<LinkHold>,
+}
+
+/// The bus proper. Cloneable handles are not needed — threads share it via
+/// `Arc<Bus>`.
+pub struct Bus {
+    nodes: u32,
+    mailboxes: Vec<Sender<Envelope>>,
+    inner: Mutex<BusInner>,
+    delayer: Mutex<Option<Sender<DelayedMsg>>>,
+    delayer_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Bus {
+    /// Creates a bus for `nodes` processes, returning it together with one
+    /// receiver per node (index = pid).
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        cfg: FaultConfig,
+        servers: u32,
+        nodes: u32,
+    ) -> (Bus, Vec<Receiver<Envelope>>) {
+        let mut senders = Vec::with_capacity(nodes as usize);
+        let mut receivers = Vec::with_capacity(nodes as usize);
+        for _ in 0..nodes {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let bus = Bus {
+            nodes,
+            mailboxes: senders,
+            inner: Mutex::new(BusInner {
+                plan: FaultPlan::new(seed, cfg, servers, nodes),
+                stats: BusStats::default(),
+                holds: (0..nodes * nodes)
+                    .map(|_| LinkHold { held: None })
+                    .collect(),
+            }),
+            delayer: Mutex::new(None),
+            delayer_handle: Mutex::new(None),
+        };
+        bus.spawn_delayer();
+        (bus, receivers)
+    }
+
+    /// The delayer thread: a min-deadline buffer fed by `Fate::Delay`
+    /// messages, drained on deadline. Dropping the sender shuts it down
+    /// (remaining messages are flushed immediately).
+    fn spawn_delayer(&self) {
+        let (tx, rx) = mpsc::channel::<DelayedMsg>();
+        let mailboxes = self.mailboxes.clone();
+        let handle = std::thread::spawn(move || {
+            let mut pending: Vec<DelayedMsg> = Vec::new();
+            loop {
+                let timeout = pending
+                    .iter()
+                    .map(|d| d.due.saturating_duration_since(Instant::now()))
+                    .min()
+                    .unwrap_or(Duration::from_millis(50));
+                match rx.recv_timeout(timeout) {
+                    Ok(d) => pending.push(d),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        for d in pending.drain(..) {
+                            let _ = mailboxes[d.env.dst.index()].send(d.env);
+                        }
+                        return;
+                    }
+                }
+                let now = Instant::now();
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].due <= now {
+                        let d = pending.swap_remove(i);
+                        let _ = mailboxes[d.env.dst.index()].send(d.env);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        });
+        *self.delayer.lock().unwrap() = Some(tx);
+        *self.delayer_handle.lock().unwrap() = Some(handle);
+    }
+
+    fn enqueue(&self, env: Envelope) {
+        // A closed mailbox means the receiver already shut down; late
+        // messages to it are irrelevant.
+        let _ = self.mailboxes[env.dst.index()].send(env);
+    }
+
+    /// Sends `env`, applying the fault schedule to non-exempt envelopes.
+    pub fn send(&self, env: Envelope) {
+        if env.exempt {
+            self.enqueue(env);
+            return;
+        }
+        let fate = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.stats.offered += 1;
+            let fate = inner.plan.fate(env.src, env.dst);
+            match fate {
+                Fate::Drop => inner.stats.dropped += 1,
+                Fate::Duplicate => inner.stats.duplicated += 1,
+                Fate::Reorder => inner.stats.reordered += 1,
+                Fate::Delay(_) => inner.stats.delayed += 1,
+                Fate::CrashDrop => inner.stats.crash_dropped += 1,
+                Fate::PartitionDrop => inner.stats.partition_dropped += 1,
+                Fate::Deliver => {}
+            }
+            if fate == Fate::Reorder || matches!(fate, Fate::Deliver | Fate::Duplicate) {
+                // Resolve the reorder hold-back under the same lock so the
+                // swap is atomic w.r.t. concurrent senders on other links.
+                let slot = (env.src.0 * self.nodes + env.dst.0) as usize;
+                match fate {
+                    Fate::Reorder => {
+                        let prev = inner.holds[slot].held.replace(env);
+                        if let Some(p) = prev {
+                            // Two reorders in a row: the first held message
+                            // is released by the second taking its place.
+                            drop(inner);
+                            self.enqueue(p);
+                        }
+                        blunt_obs::static_counter!("runtime.bus.reordered").inc();
+                        return;
+                    }
+                    _ => {
+                        let held = inner.holds[slot].held.take();
+                        drop(inner);
+                        let dup = matches!(fate, Fate::Duplicate);
+                        self.enqueue(env.clone());
+                        if dup {
+                            self.enqueue(env);
+                        }
+                        if let Some(h) = held {
+                            // The held message is overtaken: deliver after.
+                            self.enqueue(h);
+                        }
+                        blunt_obs::static_counter!("runtime.bus.delivered").inc();
+                        return;
+                    }
+                }
+            }
+            fate
+        };
+        match fate {
+            Fate::Drop | Fate::CrashDrop | Fate::PartitionDrop => {
+                blunt_obs::static_counter!("runtime.bus.lost").inc();
+            }
+            Fate::Delay(ms) => {
+                blunt_obs::static_counter!("runtime.bus.delayed").inc();
+                let due = Instant::now() + Duration::from_millis(u64::from(ms));
+                let guard = self.delayer.lock().unwrap();
+                if let Some(tx) = guard.as_ref() {
+                    let _ = tx.send(DelayedMsg { due, env });
+                }
+            }
+            _ => unreachable!("handled under the lock"),
+        }
+    }
+
+    /// Broadcasts `msg` from `src` to every pid in `dsts`.
+    pub fn broadcast(&self, src: Pid, dsts: impl Iterator<Item = Pid>, msg: &AbdMsg, exempt: bool) {
+        for dst in dsts {
+            self.send(Envelope {
+                src,
+                dst,
+                msg: msg.clone(),
+                exempt,
+            });
+        }
+    }
+
+    /// Releases every reorder hold-back (end of run: nothing will overtake
+    /// them anymore) and flushes the delayer.
+    pub fn flush(&self) {
+        let held: Vec<Envelope> = {
+            let mut inner = self.inner.lock().unwrap();
+            inner
+                .holds
+                .iter_mut()
+                .filter_map(|h| h.held.take())
+                .collect()
+        };
+        for env in held {
+            self.enqueue(env);
+        }
+        // Dropping the delayer sender makes the thread flush and exit.
+        *self.delayer.lock().unwrap() = None;
+        if let Some(h) = self.delayer_handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// The deterministic fault counters so far.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ids::ObjId;
+
+    fn q(sn: u32) -> AbdMsg {
+        AbdMsg::Query { obj: ObjId(0), sn }
+    }
+
+    fn env(src: u32, dst: u32, sn: u32, exempt: bool) -> Envelope {
+        Envelope {
+            src: Pid(src),
+            dst: Pid(dst),
+            msg: q(sn),
+            exempt,
+        }
+    }
+
+    fn drain(rx: &Receiver<Envelope>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Ok(e) = rx.recv_timeout(Duration::from_millis(200)) {
+            out.push(e.msg.sn());
+            if out.len() > 64 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn faultless_bus_preserves_per_link_fifo() {
+        let (bus, rxs) = Bus::new(0, FaultConfig::none(), 1, 3);
+        for sn in 0..10 {
+            bus.send(env(2, 0, sn, false));
+        }
+        bus.flush();
+        drop(bus);
+        assert_eq!(drain(&rxs[0]), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exempt_messages_always_arrive_even_under_full_drop() {
+        let mut cfg = FaultConfig::none();
+        cfg.drop_per_mille = 1000;
+        let (bus, rxs) = Bus::new(0, cfg, 1, 3);
+        for sn in 0..5 {
+            bus.send(env(2, 0, sn, false));
+        }
+        for sn in 100..103 {
+            bus.send(env(2, 0, sn, true));
+        }
+        bus.flush();
+        drop(bus);
+        assert_eq!(drain(&rxs[0]), vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn duplicate_fate_delivers_twice() {
+        let mut cfg = FaultConfig::none();
+        cfg.duplicate_per_mille = 1000;
+        let (bus, rxs) = Bus::new(0, cfg, 1, 2);
+        bus.send(env(1, 0, 7, false));
+        bus.flush();
+        drop(bus);
+        assert_eq!(drain(&rxs[0]), vec![7, 7]);
+    }
+
+    #[test]
+    fn reorder_fate_swaps_with_successor_and_flush_releases_stragglers() {
+        let mut cfg = FaultConfig::none();
+        cfg.reorder_per_mille = 1000;
+        let (bus, rxs) = Bus::new(0, cfg, 1, 2);
+        // Every message is held, then released when the next one takes its
+        // slot: 0 held; 1 arrives → 0 out, 1 held; ... flush releases 4.
+        for sn in 0..5 {
+            bus.send(env(1, 0, sn, false));
+        }
+        bus.flush();
+        drop(bus);
+        assert_eq!(drain(&rxs[0]), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delayed_messages_eventually_arrive() {
+        let mut cfg = FaultConfig::none();
+        cfg.delay_per_mille = 1000;
+        cfg.max_delay_ms = 2;
+        let (bus, rxs) = Bus::new(0, cfg, 1, 2);
+        for sn in 0..8 {
+            bus.send(env(1, 0, sn, false));
+        }
+        bus.flush();
+        drop(bus);
+        let mut got = drain(&rxs[0]);
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_are_reproducible_for_a_seed() {
+        let run = || {
+            let (bus, _rxs) = Bus::new(42, FaultConfig::chaos(), 3, 6);
+            for sn in 0..400 {
+                for dst in 0..3 {
+                    bus.send(env(4, dst, sn, false));
+                }
+                bus.send(env(0, 4, sn, false));
+            }
+            bus.flush();
+            bus.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.offered, 1600);
+        assert!(a.dropped > 0 && a.delayed > 0 && a.crash_dropped > 0);
+    }
+}

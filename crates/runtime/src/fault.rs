@@ -1,0 +1,378 @@
+//! Seed-determined fault schedules.
+//!
+//! The chaos runtime's replay contract is that the *fault schedule* — which
+//! message suffers which fault — is a pure function of the run seed, even
+//! though OS thread interleavings are not. The trick is to index faults not
+//! by wall-clock time but by **per-link message counts**: the `i`-th
+//! first-transmission message on the directed link `src → dst` always meets
+//! the same fate, decided by a [`SplitMix64`] stream derived from
+//! `(seed, src, dst)`.
+//!
+//! This works because the per-link sequence of first-transmission protocol
+//! messages is itself schedule-independent (see `docs/RUNTIME.md` for the
+//! argument): clients issue a fixed broadcast sequence per operation, and a
+//! server's responses to one client follow that client's messages in
+//! per-sender FIFO order. Retransmissions are *exempt* — they bypass the
+//! injector entirely and consume no fault indices — so timing-dependent
+//! retry counts cannot shift the schedule.
+//!
+//! Crash/restart is modeled as a per-server **blackout window** in link-index
+//! space: every incoming link of a crashed server drops messages with
+//! indices inside the window (stable storage: the server's register state
+//! survives). Windows of distinct servers are staggered disjointly so a
+//! quorum is always available and every window is eventually crossed.
+
+use blunt_core::ids::Pid;
+use blunt_sim::rng::SplitMix64;
+
+/// Per-message fault probabilities and crash/partition shape knobs.
+///
+/// All rates are per-mille (‰) of first-transmission messages; they are
+/// applied in the order drop → duplicate → reorder → delay, from a single
+/// random draw per message (so enabling one fault never shifts another
+/// fault's schedule positions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultConfig {
+    /// ‰ of messages silently dropped.
+    pub drop_per_mille: u16,
+    /// ‰ of messages delivered twice.
+    pub duplicate_per_mille: u16,
+    /// ‰ of messages swapped with the next message on the same link.
+    pub reorder_per_mille: u16,
+    /// ‰ of messages held back for a random delay.
+    pub delay_per_mille: u16,
+    /// Upper bound on the injected delay, in milliseconds (≥ 1 when delays
+    /// are enabled).
+    pub max_delay_ms: u16,
+    /// Length of each crash blackout window, in link-index units. `0`
+    /// disables crashes.
+    pub crash_len: u64,
+    /// Period between successive crash cycles, in link-index units. Each
+    /// cycle crashes every server once, at staggered disjoint offsets.
+    /// Must exceed `servers × (crash_len + 1)` for the stagger to fit;
+    /// [`FaultPlan::new`] asserts this.
+    pub crash_period: u64,
+    /// Length of each partition window, in link-index units. `0` disables
+    /// partitions.
+    pub partition_len: u64,
+    /// Period between successive partition windows, in link-index units.
+    pub partition_period: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all: every message is delivered once, in order.
+    #[must_use]
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 1,
+            crash_len: 0,
+            crash_period: 1,
+            partition_len: 0,
+            partition_period: 1,
+        }
+    }
+
+    /// The standard soak mix: drops, delays, duplicates, reorders, and
+    /// periodic staggered crashes.
+    #[must_use]
+    pub fn chaos() -> FaultConfig {
+        FaultConfig {
+            drop_per_mille: 30,
+            duplicate_per_mille: 20,
+            reorder_per_mille: 20,
+            delay_per_mille: 30,
+            max_delay_ms: 3,
+            crash_len: 8,
+            crash_period: 200,
+            partition_len: 6,
+            partition_period: 150,
+        }
+    }
+}
+
+/// The fate of one first-transmission message, as decided by the plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard.
+    Drop,
+    /// Deliver twice.
+    Duplicate,
+    /// Swap with the next message on the same link.
+    Reorder,
+    /// Hold back for this many milliseconds before delivering.
+    Delay(u16),
+    /// Dropped because the destination server is inside a crash blackout
+    /// window.
+    CrashDrop,
+    /// Dropped because the link is inside a partition window.
+    PartitionDrop,
+}
+
+/// Mixes a link identity into the run seed, giving each directed link an
+/// independent random stream.
+fn link_seed(seed: u64, src: Pid, dst: Pid) -> u64 {
+    // One SplitMix64 output step keyed by (seed, src, dst): cheap, and the
+    // avalanche of the finalizer decorrelates neighboring links.
+    SplitMix64::new(seed ^ (u64::from(src.0) << 32) ^ u64::from(dst.0).wrapping_mul(0x9E37_79B9))
+        .next_u64()
+}
+
+/// The per-link fault decision stream.
+struct LinkFates {
+    rng: SplitMix64,
+    index: u64,
+}
+
+/// A seed-determined fault schedule over the links of one runtime instance.
+///
+/// The plan is consulted once per first-transmission message via
+/// [`FaultPlan::fate`]; exempt (retransmitted) messages must not be passed
+/// through it.
+pub struct FaultPlan {
+    seed: u64,
+    cfg: FaultConfig,
+    servers: u32,
+    nodes: u32,
+    links: Vec<Option<LinkFates>>,
+}
+
+impl FaultPlan {
+    /// Builds the plan for a runtime with `servers` server processes
+    /// (`Pid(0..servers)`) and `nodes` processes total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crash stagger does not fit into `crash_period` (the
+    /// windows of distinct servers would overlap, which could take a
+    /// majority down simultaneously and stall the run).
+    #[must_use]
+    pub fn new(seed: u64, cfg: FaultConfig, servers: u32, nodes: u32) -> FaultPlan {
+        if cfg.crash_len > 0 {
+            assert!(
+                u64::from(servers) * (cfg.crash_len + 1) < cfg.crash_period,
+                "crash windows must stagger disjointly within the period"
+            );
+        }
+        FaultPlan {
+            seed,
+            cfg,
+            servers,
+            nodes,
+            links: (0..nodes * nodes).map(|_| None).collect(),
+        }
+    }
+
+    /// Is link index `i` on a link into server `dst` inside a crash window?
+    ///
+    /// Within each `crash_period`, server `s` is down for the index range
+    /// `[s·(len+1), s·(len+1)+len)` — disjoint across servers by the
+    /// constructor's assertion.
+    fn crash_covers(&self, dst: Pid, i: u64) -> bool {
+        if self.cfg.crash_len == 0 || dst.0 >= self.servers {
+            return false;
+        }
+        let phase = i % self.cfg.crash_period;
+        let start = u64::from(dst.0) * (self.cfg.crash_len + 1);
+        phase >= start && phase < start + self.cfg.crash_len
+    }
+
+    /// Is link index `i` on `src → dst` inside a partition window?
+    ///
+    /// Each period has one window of `partition_len` indices; during window
+    /// `w` every node is assigned a side by a seed-derived coin, and links
+    /// crossing the cut drop. The side assignment depends only on
+    /// `(seed, window, node)`, so all links agree on the cut.
+    fn partition_covers(&self, src: Pid, dst: Pid, i: u64) -> bool {
+        if self.cfg.partition_len == 0 {
+            return false;
+        }
+        if i % self.cfg.partition_period >= self.cfg.partition_len {
+            return false;
+        }
+        let window = i / self.cfg.partition_period;
+        let side = |p: Pid| {
+            SplitMix64::new(self.seed ^ 0x5041_5254 ^ window.wrapping_mul(31) ^ u64::from(p.0))
+                .next_u64()
+                & 1
+        };
+        side(src) != side(dst)
+    }
+
+    /// Decides the fate of the next first-transmission message on
+    /// `src → dst`, advancing that link's stream.
+    pub fn fate(&mut self, src: Pid, dst: Pid) -> Fate {
+        let slot = (src.0 * self.nodes + dst.0) as usize;
+        let link = self.links[slot].get_or_insert_with(|| LinkFates {
+            rng: SplitMix64::new(link_seed(self.seed, src, dst)),
+            index: 0,
+        });
+        let i = link.index;
+        link.index += 1;
+        // One draw per message, always consumed, so every fault dimension
+        // sees the same stream positions regardless of the others' rates.
+        let r = link.rng.next_u64();
+        if self.crash_covers(dst, i) {
+            return Fate::CrashDrop;
+        }
+        if self.partition_covers(src, dst, i) {
+            return Fate::PartitionDrop;
+        }
+        let roll = (r % 1000) as u16;
+        let c = &self.cfg;
+        let mut edge = c.drop_per_mille;
+        if roll < edge {
+            return Fate::Drop;
+        }
+        edge += c.duplicate_per_mille;
+        if roll < edge {
+            return Fate::Duplicate;
+        }
+        edge += c.reorder_per_mille;
+        if roll < edge {
+            // Delays and reorders are restricted to server→client links:
+            // perturbing a *server's* arrival order would make its response
+            // sequence (and hence the reverse link's message indexing)
+            // timing-dependent, breaking the replay contract. Client-bound
+            // responses are safe to shuffle — client protocol machines are
+            // order-insensitive in their message *counts* (quorums fill in
+            // any order; stale messages are discarded by `sn`).
+            if dst.0 < self.servers {
+                return Fate::Deliver;
+            }
+            return Fate::Reorder;
+        }
+        edge += c.delay_per_mille;
+        if roll < edge {
+            if dst.0 < self.servers {
+                return Fate::Deliver;
+            }
+            // Delay amount from the draw's high bits: still one draw per
+            // message.
+            let ms = 1 + ((r >> 32) % u64::from(c.max_delay_ms.max(1))) as u16;
+            return Fate::Delay(ms);
+        }
+        Fate::Deliver
+    }
+
+    /// The first `n` fates of link `src → dst` as a pure function of the
+    /// seed — the replayability witness used by tests and `docs/RUNTIME.md`.
+    #[must_use]
+    pub fn preview(
+        seed: u64,
+        cfg: FaultConfig,
+        servers: u32,
+        nodes: u32,
+        src: Pid,
+        dst: Pid,
+        n: usize,
+    ) -> Vec<Fate> {
+        let mut plan = FaultPlan::new(seed, cfg, servers, nodes);
+        (0..n).map(|_| plan.fate(src, dst)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fates() {
+        let cfg = FaultConfig::chaos();
+        let a = FaultPlan::preview(7, cfg, 3, 11, Pid(4), Pid(1), 500);
+        let b = FaultPlan::preview(7, cfg, 3, 11, Pid(4), Pid(1), 500);
+        assert_eq!(a, b);
+        let c = FaultPlan::preview(8, cfg, 3, 11, Pid(4), Pid(1), 500);
+        assert_ne!(a, c, "a different seed must reshuffle the schedule");
+    }
+
+    #[test]
+    fn links_have_independent_streams() {
+        let cfg = FaultConfig::chaos();
+        let a = FaultPlan::preview(7, cfg, 3, 11, Pid(4), Pid(1), 200);
+        let b = FaultPlan::preview(7, cfg, 3, 11, Pid(4), Pid(2), 200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crash_windows_are_disjoint_across_servers() {
+        let cfg = FaultConfig::chaos();
+        let plan = FaultPlan::new(1, cfg, 3, 5);
+        for i in 0..3 * cfg.crash_period {
+            let down: u32 = (0..3)
+                .map(|s| u32::from(plan.crash_covers(Pid(s), i)))
+                .sum();
+            assert!(down <= 1, "at most one server down at index {i}");
+        }
+        // And each server is actually down somewhere in each period.
+        for s in 0..3 {
+            assert!(
+                (0..cfg.crash_period).any(|i| plan.crash_covers(Pid(s), i)),
+                "server {s} never crashes"
+            );
+        }
+    }
+
+    #[test]
+    fn clients_never_crash() {
+        let cfg = FaultConfig::chaos();
+        let plan = FaultPlan::new(1, cfg, 3, 5);
+        for i in 0..2 * cfg.crash_period {
+            assert!(
+                !plan.crash_covers(Pid(4), i),
+                "client pid in a crash window"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_consistently() {
+        let mut cfg = FaultConfig::none();
+        cfg.partition_len = 5;
+        cfg.partition_period = 20;
+        let plan = FaultPlan::new(3, cfg, 3, 6);
+        for i in 0..60 {
+            for a in 0..6 {
+                for b in 0..6 {
+                    assert_eq!(
+                        plan.partition_covers(Pid(a), Pid(b), i),
+                        plan.partition_covers(Pid(b), Pid(a), i),
+                        "cut must be symmetric at index {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_bound_links_never_delay_or_reorder() {
+        let mut cfg = FaultConfig::none();
+        cfg.delay_per_mille = 500;
+        cfg.reorder_per_mille = 500;
+        let to_server = FaultPlan::preview(5, cfg, 3, 5, Pid(4), Pid(0), 400);
+        assert!(to_server.iter().all(|f| *f == Fate::Deliver));
+        let to_client = FaultPlan::preview(5, cfg, 3, 5, Pid(0), Pid(4), 400);
+        assert!(to_client.iter().any(|f| matches!(f, Fate::Delay(_))));
+        assert!(to_client.contains(&Fate::Reorder));
+    }
+
+    #[test]
+    fn no_faults_config_always_delivers() {
+        let fates = FaultPlan::preview(9, FaultConfig::none(), 3, 5, Pid(3), Pid(0), 300);
+        assert!(fates.iter().all(|f| *f == Fate::Deliver));
+    }
+
+    #[test]
+    #[should_panic(expected = "stagger")]
+    fn overlapping_crash_stagger_is_rejected() {
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 50;
+        cfg.crash_period = 100;
+        let _ = FaultPlan::new(0, cfg, 3, 5);
+    }
+}

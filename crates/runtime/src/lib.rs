@@ -1,0 +1,34 @@
+//! The chaos runtime: the repo's protocol step machines on real OS threads,
+//! under seeded fault injection, with an online linearizability check.
+//!
+//! Everything else in this workspace runs inside the single-threaded
+//! deterministic simulator (`blunt_sim`), where the adversary is an explicit
+//! player. This crate turns the adversary into *measured chaos*: the same
+//! ABD client/server machines (`blunt_abd`) and shared-memory register
+//! constructions (`blunt_registers`) execute on threads connected by an
+//! in-process message [`bus`] whose [`fault`] injector — drop, delay,
+//! duplicate, reorder, partition, crash — follows a schedule that is a pure
+//! function of the run seed, so any run is replayable. A [`workload`] driver
+//! spawns client threads and records per-op latency into `blunt_obs`
+//! histograms; the [`monitor`] consumes the concurrent history incrementally
+//! through the Wing–Gong checker in `blunt_lincheck`, rendering any
+//! violation window through `blunt_trace`'s space-time diagram. [`shm`] does
+//! the same for the mutex-shared-memory register constructions.
+//!
+//! The determinism/replay contract, the fault semantics, and the soundness
+//! argument for the monitor live in `docs/RUNTIME.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod fault;
+pub mod monitor;
+pub mod shm;
+pub mod workload;
+
+pub use bus::{Bus, BusStats, Envelope};
+pub use fault::{Fate, FaultConfig, FaultPlan};
+pub use monitor::{MonitorReport, OnlineMonitor, Violation};
+pub use shm::{run_shm_chaos, ShmChaosConfig, ShmReport};
+pub use workload::{run_chaos, ChaosReport, RuntimeConfig};

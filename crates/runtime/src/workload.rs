@@ -1,0 +1,491 @@
+//! The workload driver: real OS threads running the ABD client/server step
+//! machines over the fault-injecting [`Bus`], observed by the
+//! [`OnlineMonitor`].
+//!
+//! Topology: pids `0..servers` are server threads, `servers..servers+clients`
+//! are client threads. Clients issue `ops_per_client` sequential register
+//! operations each, reporting `Call` before the first broadcast and `Return`
+//! after the quorum completes; per-op latency goes into a thread-local
+//! [`Histogram`] that is [`Histogram::merge`]d into the shared one exactly
+//! once at thread exit (no hot-path contention).
+//!
+//! Liveness under faults comes from retransmission: when a client waits
+//! longer than `retransmit_after` for a response, it rebroadcasts the
+//! in-flight exchange ([`ActiveOp::retransmission`]) as an *exempt* message
+//! that bypasses the injector. Exempt traffic consumes no fault-schedule
+//! indices, keeping the schedule a pure function of the seed.
+//!
+//! Clients run in barrier-separated **bursts** of `burst` ops: at each
+//! barrier every in-flight operation has returned, so the monitor is
+//! guaranteed a cut at least every `clients × burst` invocations — kept
+//! under the checker's 64-invocation window by construction (asserted).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use blunt_abd::client::{AckEffect, ActiveOp, OpKind, ReplyEffect};
+use blunt_abd::msg::AbdMsg;
+use blunt_abd::server::ServerState;
+use blunt_core::history::Action;
+use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
+use blunt_core::value::Val;
+use blunt_obs::{Histogram, HistogramSnapshot};
+use blunt_sim::rng::{RandomSource, SplitMix64};
+
+use crate::bus::{Bus, BusStats, Envelope};
+use crate::fault::FaultConfig;
+use crate::monitor::{MonitorReport, OnlineMonitor};
+
+/// Configuration of one chaos run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of ABD server threads (replicas). Quorum is `⌊n/2⌋ + 1`.
+    pub servers: u32,
+    /// Number of client threads.
+    pub clients: u32,
+    /// Operations issued by each client.
+    pub ops_per_client: u64,
+    /// Preamble iterations (`k = 1` is plain ABD; `k = 2` is O² of
+    /// Algorithm 2).
+    pub k: u32,
+    /// Ops per client between barriers. `clients × burst ≤ 64` is required
+    /// (the monitor's window bound).
+    pub burst: u64,
+    /// ‰ of operations that are reads.
+    pub read_per_mille: u16,
+    /// The run seed: fault schedule, op mix, and object random choices all
+    /// derive from it.
+    pub seed: u64,
+    /// Fault mix.
+    pub faults: FaultConfig,
+    /// Replace reads with the intentionally-broken single-server fast read
+    /// (no quorum, no write-back) — the monitor must catch this.
+    pub broken_reads: bool,
+    /// How long a client waits for a response before retransmitting.
+    pub retransmit_after: Duration,
+}
+
+impl RuntimeConfig {
+    /// A small smoke configuration: faults on, a few thousand ops.
+    #[must_use]
+    pub fn smoke(seed: u64) -> RuntimeConfig {
+        RuntimeConfig {
+            servers: 3,
+            clients: 4,
+            ops_per_client: 500,
+            k: 1,
+            burst: 8,
+            read_per_mille: 500,
+            seed,
+            faults: FaultConfig::chaos(),
+            broken_reads: false,
+            retransmit_after: Duration::from_millis(1),
+        }
+    }
+
+    /// The acceptance soak shape: ≥ 8 clients, ≥ 100k total ops, full fault
+    /// mix.
+    #[must_use]
+    pub fn soak(seed: u64, k: u32) -> RuntimeConfig {
+        RuntimeConfig {
+            servers: 3,
+            clients: 8,
+            ops_per_client: 13_000,
+            k,
+            burst: 4,
+            read_per_mille: 500,
+            seed,
+            faults: FaultConfig::chaos(),
+            broken_reads: false,
+            retransmit_after: Duration::from_millis(1),
+        }
+    }
+}
+
+/// The outcome of a chaos run.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Operations completed (= `clients × ops_per_client`).
+    pub ops: u64,
+    /// Deterministic fault counters from the bus.
+    pub bus: BusStats,
+    /// The monitor's verdict.
+    pub monitor: MonitorReport,
+    /// Exempt rebroadcasts issued (timing-dependent; excluded from
+    /// regression gating).
+    pub retransmissions: u64,
+    /// Merged per-op latency distribution, in microseconds.
+    pub latency_us: HistogramSnapshot,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ChaosReport {
+    /// Throughput in completed operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn client_rng(seed: u64, client: u32) -> SplitMix64 {
+    SplitMix64::new(
+        seed ^ 0xC11E_4775_0000_0000 ^ u64::from(client).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Runs one seeded chaos configuration to completion.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no servers/clients/ops) or if
+/// `clients × burst` exceeds the monitor's 64-invocation window bound.
+#[must_use]
+pub fn run_chaos(cfg: &RuntimeConfig) -> ChaosReport {
+    assert!(cfg.servers >= 1 && cfg.clients >= 1 && cfg.ops_per_client >= 1);
+    assert!(cfg.k >= 1, "ABD^k requires k ≥ 1");
+    assert!(cfg.burst >= 1);
+    assert!(
+        u64::from(cfg.clients) * cfg.burst <= 64,
+        "clients × burst must fit the monitor's 64-invocation window"
+    );
+    let started = Instant::now();
+    let nodes = cfg.servers + cfg.clients;
+    let quorum = cfg.servers / 2 + 1;
+    let (bus, receivers) = Bus::new(cfg.seed, cfg.faults, cfg.servers, nodes);
+    let bus = Arc::new(bus);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.clients as usize));
+    let retransmissions = Arc::new(AtomicU64::new(0));
+    let latency = Histogram::unregistered();
+
+    let (mon_tx, mon_rx) = mpsc::channel::<Action>();
+    let lanes = nodes as usize;
+    let monitor = thread::spawn(move || {
+        let mut m = OnlineMonitor::new(Val::Nil, lanes);
+        while let Ok(a) = mon_rx.recv() {
+            m.observe(a);
+        }
+        m.finish()
+    });
+
+    let mut rx_iter = receivers.into_iter();
+    let mut servers = Vec::new();
+    for s in 0..cfg.servers {
+        let rx = rx_iter.next().expect("one receiver per node");
+        let bus = Arc::clone(&bus);
+        let stop = Arc::clone(&stop);
+        servers.push(thread::spawn(move || server_loop(Pid(s), rx, &bus, &stop)));
+    }
+    let mut clients = Vec::new();
+    for c in 0..cfg.clients {
+        let rx = rx_iter.next().expect("one receiver per node");
+        let bus = Arc::clone(&bus);
+        let barrier = Arc::clone(&barrier);
+        let retransmissions = Arc::clone(&retransmissions);
+        let latency = latency.clone();
+        let mon_tx = mon_tx.clone();
+        let cfg = cfg.clone();
+        clients.push(thread::spawn(move || {
+            client_loop(
+                c,
+                &cfg,
+                quorum,
+                rx,
+                &bus,
+                &barrier,
+                &mon_tx,
+                &retransmissions,
+                &latency,
+            );
+        }));
+    }
+    drop(mon_tx);
+
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for s in servers {
+        s.join().expect("server thread");
+    }
+    bus.flush();
+    let monitor = monitor.join().expect("monitor thread");
+
+    let ops = u64::from(cfg.clients) * cfg.ops_per_client;
+    blunt_obs::static_counter!("runtime.ops.completed").add(ops);
+    ChaosReport {
+        ops,
+        bus: bus.stats(),
+        monitor,
+        retransmissions: retransmissions.load(Ordering::Relaxed),
+        latency_us: latency.snapshot(),
+        elapsed: started.elapsed(),
+    }
+}
+
+/// One ABD replica: replies to queries, absorbs updates. Responses inherit
+/// the triggering envelope's exemption so retransmitted exchanges complete
+/// without consuming fault indices.
+fn server_loop(me: Pid, rx: Receiver<Envelope>, bus: &Bus, stop: &AtomicBool) {
+    let mut state = ServerState::new(Val::Nil);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(env) => match env.msg {
+                AbdMsg::Query { obj, sn } => {
+                    let msg = state.reply(obj, sn);
+                    bus.send(Envelope {
+                        src: me,
+                        dst: env.src,
+                        msg,
+                        exempt: env.exempt,
+                    });
+                }
+                AbdMsg::Update { obj, sn, val, ts } => {
+                    state.absorb(val, ts);
+                    bus.send(Envelope {
+                        src: me,
+                        dst: env.src,
+                        msg: AbdMsg::Ack { obj, sn },
+                        exempt: env.exempt,
+                    });
+                }
+                // Replies and acks are client-bound; a misrouted one is
+                // ignorable.
+                AbdMsg::Reply { .. } | AbdMsg::Ack { .. } => {}
+            },
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // a thread entry point, not an API
+fn client_loop(
+    c: u32,
+    cfg: &RuntimeConfig,
+    quorum: u32,
+    rx: Receiver<Envelope>,
+    bus: &Bus,
+    barrier: &Barrier,
+    mon_tx: &Sender<Action>,
+    retransmissions: &AtomicU64,
+    latency: &Histogram,
+) {
+    let me = Pid(cfg.servers + c);
+    let obj = ObjId(0);
+    let mut rng = client_rng(cfg.seed, c);
+    let mut sn_counter: u32 = 0;
+    let local = Histogram::unregistered();
+    let mut retrans: u64 = 0;
+
+    for op_idx in 0..cfg.ops_per_client {
+        if op_idx > 0 && op_idx % cfg.burst == 0 {
+            barrier.wait();
+        }
+        let inv = InvId(u64::from(c) * 10_000_000 + op_idx);
+        let is_read = rng.draw(1000) < usize::from(cfg.read_per_mille);
+        let (method, arg) = if is_read {
+            (MethodId::READ, Val::Nil)
+        } else {
+            // Unique write values keep the checker's search shallow and
+            // make stale reads unambiguous.
+            let v = i64::from(c) * 1_000_000 + i64::try_from(op_idx).expect("op index fits i64");
+            (MethodId::WRITE, Val::Int(v))
+        };
+        let _ = mon_tx.send(Action::Call {
+            inv,
+            pid: me,
+            obj,
+            method,
+            arg: arg.clone(),
+        });
+        let t0 = Instant::now();
+        let ret = if cfg.broken_reads && is_read {
+            broken_read(
+                me,
+                obj,
+                op_idx,
+                cfg,
+                &rx,
+                bus,
+                &mut sn_counter,
+                &mut retrans,
+            )
+        } else {
+            let kind = if is_read {
+                OpKind::Read
+            } else {
+                OpKind::Write(arg)
+            };
+            abd_op(
+                me,
+                obj,
+                inv,
+                kind,
+                cfg,
+                quorum,
+                &rx,
+                bus,
+                &mut rng,
+                &mut sn_counter,
+                &mut retrans,
+            )
+        };
+        local.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let _ = mon_tx.send(Action::Return { inv, val: ret });
+    }
+    latency.merge(&local);
+    retransmissions.fetch_add(retrans, Ordering::Relaxed);
+}
+
+fn server_pids(cfg: &RuntimeConfig) -> impl Iterator<Item = Pid> {
+    (0..cfg.servers).map(Pid)
+}
+
+/// Drives one full ABD (or ABD^k) operation through the client step machine
+/// to completion, retransmitting on timeout.
+#[allow(clippy::too_many_arguments)] // mirrors the thread context it runs in
+fn abd_op(
+    me: Pid,
+    obj: ObjId,
+    inv: InvId,
+    kind: OpKind,
+    cfg: &RuntimeConfig,
+    quorum: u32,
+    rx: &Receiver<Envelope>,
+    bus: &Bus,
+    rng: &mut SplitMix64,
+    sn_counter: &mut u32,
+    retrans: &mut u64,
+) -> Val {
+    *sn_counter += 1;
+    let sn = *sn_counter;
+    let mut op = ActiveOp::start(inv, obj, kind, cfg.k, sn);
+    bus.broadcast(me, server_pids(cfg), &AbdMsg::Query { obj, sn }, false);
+    loop {
+        match rx.recv_timeout(cfg.retransmit_after) {
+            Ok(env) => match env.msg {
+                AbdMsg::Reply {
+                    obj: o,
+                    sn: msg_sn,
+                    val,
+                    ts,
+                } if o == obj => {
+                    match op.on_reply(env.src, msg_sn, &val, ts, quorum, me, sn_counter) {
+                        ReplyEffect::NextQuery { sn, .. } => {
+                            bus.broadcast(me, server_pids(cfg), &AbdMsg::Query { obj, sn }, false);
+                        }
+                        ReplyEffect::NeedChoice { choices, .. } => {
+                            // The object random step, drawn from the
+                            // client's seeded stream: one draw per op, so
+                            // the stream position is schedule-independent.
+                            let choice = rng.draw(choices as usize);
+                            let (sn, val, ts) = op.choose(choice, me, sn_counter);
+                            bus.broadcast(
+                                me,
+                                server_pids(cfg),
+                                &AbdMsg::Update { obj, sn, val, ts },
+                                false,
+                            );
+                        }
+                        ReplyEffect::StartUpdate { sn, val, ts, .. } => {
+                            bus.broadcast(
+                                me,
+                                server_pids(cfg),
+                                &AbdMsg::Update { obj, sn, val, ts },
+                                false,
+                            );
+                        }
+                        ReplyEffect::Ignored | ReplyEffect::Counted => {}
+                    }
+                }
+                AbdMsg::Ack { obj: o, sn: msg_sn } if o == obj => {
+                    if let AckEffect::Complete { ret } = op.on_ack(env.src, msg_sn, quorum) {
+                        return ret;
+                    }
+                }
+                _ => {}
+            },
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(msg) = op.retransmission() {
+                    *retrans += 1;
+                    blunt_obs::static_counter!("runtime.client.retransmissions").inc();
+                    bus.broadcast(me, server_pids(cfg), &msg, true);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("bus closed while an operation was in flight")
+            }
+        }
+    }
+}
+
+/// The intentionally-broken read: query ONE server (rotating), return the
+/// first reply's value, skip the write-back. Under drops a replica can miss
+/// an update forever, so a client that writes and then fast-reads a stale
+/// replica observes a new-old inversion in its own program order — exactly
+/// what the monitor exists to catch.
+#[allow(clippy::too_many_arguments)] // mirrors the thread context it runs in
+fn broken_read(
+    me: Pid,
+    obj: ObjId,
+    op_idx: u64,
+    cfg: &RuntimeConfig,
+    rx: &Receiver<Envelope>,
+    bus: &Bus,
+    sn_counter: &mut u32,
+    retrans: &mut u64,
+) -> Val {
+    *sn_counter += 1;
+    let sn = *sn_counter;
+    let target = Pid(u32::try_from(op_idx % u64::from(cfg.servers)).expect("server index"));
+    let msg = AbdMsg::Query { obj, sn };
+    bus.send(Envelope {
+        src: me,
+        dst: target,
+        msg: msg.clone(),
+        exempt: false,
+    });
+    loop {
+        match rx.recv_timeout(cfg.retransmit_after) {
+            Ok(env) => {
+                if let AbdMsg::Reply {
+                    obj: o,
+                    sn: msg_sn,
+                    val,
+                    ..
+                } = env.msg
+                {
+                    if o == obj && msg_sn == sn {
+                        return val;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                *retrans += 1;
+                bus.send(Envelope {
+                    src: me,
+                    dst: target,
+                    msg: msg.clone(),
+                    exempt: true,
+                });
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("bus closed while a read was in flight")
+            }
+        }
+    }
+}

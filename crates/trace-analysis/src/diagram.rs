@@ -156,6 +156,61 @@ pub fn space_time(trace: &Trace, n: usize, opts: &DiagramOptions) -> String {
     out
 }
 
+/// Renders a recorded [`History`] as a space-time diagram over `n` lanes.
+///
+/// Histories carry only call/return actions (no deliveries or random steps),
+/// which is exactly what an online monitor has when it flags a violation
+/// window: the concurrent operation intervals. Return actions are routed to
+/// the lane of their matching call; returns whose call lies outside the
+/// window are dropped (their lane is unknown).
+///
+/// [`History`]: blunt_core::history::History
+#[must_use]
+pub fn history_space_time(
+    history: &blunt_core::history::History,
+    n: usize,
+    opts: &DiagramOptions,
+) -> String {
+    use blunt_core::history::Action;
+    use blunt_core::ids::CallSite;
+
+    let mut owner = std::collections::BTreeMap::new();
+    let mut trace = Trace::new();
+    let mut events = Vec::new();
+    for a in history.actions() {
+        match a {
+            Action::Call {
+                inv,
+                pid,
+                obj,
+                method,
+                arg,
+            } => {
+                owner.insert(*inv, *pid);
+                events.push(TraceEvent::Call {
+                    inv: *inv,
+                    pid: *pid,
+                    obj: *obj,
+                    method: *method,
+                    arg: arg.clone(),
+                    site: CallSite::new(*pid, 0, 0),
+                });
+            }
+            Action::Return { inv, val } => {
+                if let Some(pid) = owner.get(inv) {
+                    events.push(TraceEvent::Return {
+                        inv: *inv,
+                        pid: *pid,
+                        val: val.clone(),
+                    });
+                }
+            }
+        }
+    }
+    trace.extend(events);
+    space_time(&trace, n, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +301,53 @@ mod tests {
         let row = s.lines().nth(2).unwrap();
         assert!(row.contains('…'), "truncated: {row:?}");
         assert!(row.chars().count() <= 5 + 2 * 24);
+    }
+
+    #[test]
+    fn history_diagram_routes_returns_to_the_calling_lane() {
+        use blunt_core::history::{Action, History};
+        let h: History = vec![
+            Action::Call {
+                inv: InvId(0),
+                pid: Pid(0),
+                obj: ObjId(0),
+                method: MethodId::WRITE,
+                arg: Val::Int(7),
+            },
+            Action::Call {
+                inv: InvId(1),
+                pid: Pid(1),
+                obj: ObjId(0),
+                method: MethodId::READ,
+                arg: Val::Nil,
+            },
+            Action::Return {
+                inv: InvId(1),
+                val: Val::Int(7),
+            },
+            Action::Return {
+                inv: InvId(0),
+                val: Val::Nil,
+            },
+            // Orphan return (call outside the window): silently dropped.
+            Action::Return {
+                inv: InvId(9),
+                val: Val::Nil,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let s = history_space_time(&h, 2, &DiagramOptions::default());
+        assert_eq!(s.lines().count(), 4 + 2, "orphan return dropped:\n{s}");
+        assert!(s.contains("call Write(7) @obj0"), "{s}");
+        assert!(s.contains("call Read(⊥) @obj0"), "{s}");
+        // p1's read opens after p0's write and closes before it: both lanes
+        // show an open spine on the read's call row.
+        let read_call_row = s.lines().nth(3).unwrap();
+        assert!(
+            read_call_row.contains('│') && read_call_row.contains('┌'),
+            "overlap visible on {read_call_row:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod hb;
 pub mod pv;
 pub mod regress;
 
-pub use diagram::{space_time, DiagramOptions};
+pub use diagram::{history_space_time, space_time, DiagramOptions};
 pub use hb::{analyze, HbAnalysis, HbReport, Race};
 pub use pv::{render_pv, render_tree};
 pub use regress::{

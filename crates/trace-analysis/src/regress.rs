@@ -27,6 +27,10 @@ pub struct BenchResults {
     /// `(counter name, total)`, sorted by name (as produced by
     /// [`Snapshot`]).
     pub counters: Vec<(String, u64)>,
+    /// The run seed, when the producing binary was seeded (`experiments
+    /// --seed`, `chaos --seed`). Echoed for replay; never gated on.
+    /// Optional within schema v1 — absent in older files.
+    pub seed: Option<u64>,
 }
 
 impl BenchResults {
@@ -37,6 +41,7 @@ impl BenchResults {
             schema_version: BENCH_SCHEMA_VERSION,
             phases: Vec::new(),
             counters: Vec::new(),
+            seed: None,
         }
     }
 
@@ -47,6 +52,7 @@ impl BenchResults {
             schema_version: BENCH_SCHEMA_VERSION,
             phases,
             counters: snap.counters.clone(),
+            seed: None,
         }
     }
 
@@ -89,12 +95,16 @@ impl BenchResults {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("type".into(), Json::Str("bench_results".into())),
             ("schema_version".into(), Json::UInt(self.schema_version)),
-            ("phases".into(), Json::Arr(phases)),
-            ("counters".into(), Json::Arr(counters)),
-        ])
+        ];
+        if let Some(seed) = self.seed {
+            fields.push(("seed".into(), Json::UInt(seed)));
+        }
+        fields.push(("phases".into(), Json::Arr(phases)));
+        fields.push(("counters".into(), Json::Arr(counters)));
+        Json::Obj(fields)
     }
 
     /// Parses a `bench_results` record; `None` on shape mismatch.
@@ -118,10 +128,13 @@ impl BenchResults {
                 c.get("value")?.as_u64()?,
             ));
         }
+        // `seed` is optional within schema v1: older files lack it.
+        let seed = j.get("seed").and_then(Json::as_u64);
         Some(BenchResults {
             schema_version,
             phases,
             counters,
+            seed,
         })
     }
 }
@@ -362,6 +375,21 @@ mod tests {
         assert_eq!(r.phase("e1_game_values"), Some(120.0));
         let back = BenchResults::from_json(&Json::parse(&r.to_json().to_string()).unwrap());
         assert_eq!(back.as_ref(), Some(&r));
+    }
+
+    #[test]
+    fn seed_round_trips_and_never_gates() {
+        // Seeded runs echo the seed (replay affordance); files without one
+        // still parse — `seed` is optional within schema v1.
+        let mut seeded = parse(BASELINE);
+        assert_eq!(seeded.seed, None);
+        seeded.seed = Some(0x0B1D_5EED);
+        let back = BenchResults::from_json(&Json::parse(&seeded.to_json().to_string()).unwrap())
+            .expect("round trip");
+        assert_eq!(back.seed, Some(0x0B1D_5EED));
+        // Two runs differing only in seed compare clean.
+        let report = compare(&parse(BASELINE), &seeded, &CompareOptions::default());
+        assert!(!report.has_regressions());
     }
 
     #[test]
