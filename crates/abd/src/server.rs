@@ -68,6 +68,29 @@ impl ServerState {
             false
         }
     }
+
+    /// The replica's `(value, timestamp)` pair, for persistence layers that
+    /// checkpoint server state (see `blunt_runtime`'s crash-recovery).
+    #[must_use]
+    pub fn snapshot(&self) -> (Val, Ts) {
+        (self.val.clone(), self.ts)
+    }
+
+    /// Unconditionally installs `(val, ts)` — the recovery counterpart of
+    /// [`ServerState::absorb`], used to reload a replayed checkpoint after
+    /// [`ServerState::forget`]. Unlike `absorb` it does not compare
+    /// timestamps: recovery knows the restored pair is authoritative.
+    pub fn restore(&mut self, val: Val, ts: Ts) {
+        self.val = val;
+        self.ts = ts;
+    }
+
+    /// An amnesia crash: the replica loses its volatile state and is back at
+    /// `initial` with timestamp `(0, 0)`, as if freshly constructed.
+    pub fn forget(&mut self, initial: Val) {
+        self.val = initial;
+        self.ts = Ts::ZERO;
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +137,38 @@ mod tests {
         assert!(s.absorb(Val::Int(2), Ts::new(1, Pid(2))));
         assert_eq!(*s.val(), Val::Int(2));
         assert_eq!(s.ts(), Ts::new(1, Pid(2)));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut s = ServerState::new(Val::Nil);
+        s.absorb(Val::Int(7), Ts::new(3, Pid(1)));
+        let (val, ts) = s.snapshot();
+        let mut fresh = ServerState::new(Val::Nil);
+        fresh.restore(val, ts);
+        assert_eq!(fresh, s);
+    }
+
+    #[test]
+    fn restore_is_unconditional_unlike_absorb() {
+        let mut s = ServerState::new(Val::Nil);
+        s.absorb(Val::Int(9), Ts::new(5, Pid(2)));
+        // absorb rejects an older pair; restore installs it anyway.
+        assert!(!s.absorb(Val::Int(1), Ts::new(1, Pid(0))));
+        s.restore(Val::Int(1), Ts::new(1, Pid(0)));
+        assert_eq!(*s.val(), Val::Int(1));
+        assert_eq!(s.ts(), Ts::new(1, Pid(0)));
+    }
+
+    #[test]
+    fn forget_resets_to_initial_at_ts_zero() {
+        let mut s = ServerState::new(Val::Int(42));
+        s.absorb(Val::Int(7), Ts::new(3, Pid(1)));
+        s.forget(Val::Int(42));
+        assert_eq!(s, ServerState::new(Val::Int(42)));
+        // After amnesia the replica accepts old timestamps again — the
+        // stale-state hazard the runtime's recovery protocol must close.
+        assert!(s.absorb(Val::Int(1), Ts::new(1, Pid(0))));
     }
 
     #[test]

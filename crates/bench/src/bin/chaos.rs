@@ -6,38 +6,174 @@
 //! cargo run --release -p blunt-bench --bin chaos                 # full soak set
 //! cargo run --release -p blunt-bench --bin chaos -- --smoke      # CI-sized
 //! cargo run --release -p blunt-bench --bin chaos -- --seed 7
+//! cargo run --release -p blunt-bench --bin chaos -- --fault-profile amnesia
 //! cargo run --release -p blunt-bench --bin chaos -- --demo-broken
+//! cargo run --release -p blunt-bench --bin chaos -- --demo-amnesia
 //! ```
 //!
+//! `--fault-profile none|light|heavy|amnesia` narrows the run to the two
+//! ABD shapes (k = 1, 2) under the named fault mix; `amnesia` additionally
+//! turns crashes into full volatile-state loss with WAL + peer-catch-up
+//! recovery. `--crash-len`/`--crash-period` override the crash window
+//! shape; an unusable combination (windows that cannot stagger disjointly,
+//! rates past 1000‰) is a *usage* error: the offending numbers go to
+//! stderr and the exit status is 2, distinct from a soundness failure.
+//!
 //! Each configuration records the deterministic counters
-//! `runtime.chaos.<cfg>.ops` and `runtime.chaos.<cfg>.violations`; the full
-//! counter snapshot plus per-config wall-times goes to the schema-versioned
-//! `BENCH_results.json` (default `target/chaos/BENCH_results.json`,
-//! `--results-out` to redirect) for the `bench-report` gate — the committed
-//! baseline pins every `violations` counter at 0, so a single violation
-//! fails `--check`.
+//! `runtime.chaos.<cfg>.ops`, `.violations`, and (for message-passing
+//! configs) `.recoveries`; the full counter snapshot plus per-config
+//! wall-times goes to the schema-versioned `BENCH_results.json` (default
+//! `target/chaos/BENCH_results.json`, `--results-out` to redirect) for the
+//! `bench-report` gate — the committed baseline pins every `violations`
+//! counter at 0, so a single violation fails `--check`.
 //!
 //! Exit status: `0` when every configuration is violation-free (or, under
-//! `--demo-broken`, when the intentionally-broken register IS caught); `1`
-//! otherwise.
+//! the demo modes, when the intentionally-broken implementation IS caught);
+//! `1` on a soundness failure; `2` on a usage error.
 //!
 //! `--demo-broken` replaces the quorum read with an unsound single-server
-//! fast read and prints the monitor's first violation window as a
-//! space-time diagram — the "show me it actually catches bugs" mode.
+//! fast read; `--demo-amnesia` makes crash recovery skip WAL replay and
+//! peer catch-up. Both print the monitor's first violation window as a
+//! space-time diagram — the "show me it actually catches bugs" modes.
 
 use blunt_runtime::{
-    run_chaos, run_shm_chaos, ChaosReport, FaultConfig, RuntimeConfig, ShmChaosConfig,
+    run_chaos, run_shm_chaos, ChaosReport, FaultConfig, RecoveryMode, RuntimeConfig, ShmChaosConfig,
 };
 use blunt_trace::regress::BenchResults;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// The named message-passing configurations: fault mixes × client counts ×
-/// preamble iterations. Smoke mode shrinks ops, not shape variety.
-fn abd_configs(smoke: bool, seed: u64) -> Vec<(String, RuntimeConfig)> {
+const USAGE: &str = "usage: chaos [--smoke] [--seed N] [--results-out PATH] \
+     [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \
+     [--demo-broken | --demo-amnesia]";
+
+/// A named fault mix for `--fault-profile`. `Heavy` is the full chaos()
+/// mix; `Amnesia` is the same mix with volatile-state-losing crashes and
+/// WAL + peer-catch-up recovery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FaultProfile {
+    None,
+    Light,
+    Heavy,
+    Amnesia,
+}
+
+impl FaultProfile {
+    fn parse(s: &str) -> Option<FaultProfile> {
+        match s {
+            "none" => Some(FaultProfile::None),
+            "light" => Some(FaultProfile::Light),
+            "heavy" => Some(FaultProfile::Heavy),
+            "amnesia" => Some(FaultProfile::Amnesia),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultProfile::None => "none",
+            FaultProfile::Light => "light",
+            FaultProfile::Heavy => "heavy",
+            FaultProfile::Amnesia => "amnesia",
+        }
+    }
+
+    fn faults(self) -> FaultConfig {
+        match self {
+            FaultProfile::None => FaultConfig::none(),
+            FaultProfile::Light => FaultConfig::light(),
+            FaultProfile::Heavy | FaultProfile::Amnesia => FaultConfig::chaos(),
+        }
+    }
+}
+
+/// Parsed command line. Overrides apply on top of whatever fault mix the
+/// selected configurations carry.
+struct Cli {
+    smoke: bool,
+    demo_broken: bool,
+    demo_amnesia: bool,
+    seed: u64,
+    results_out: PathBuf,
+    profile: Option<FaultProfile>,
+    crash_len: Option<u64>,
+    crash_period: Option<u64>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        smoke: false,
+        demo_broken: false,
+        demo_amnesia: false,
+        seed: 0x0B1D_5EED,
+        results_out: PathBuf::from("target/chaos/BENCH_results.json"),
+        profile: None,
+        crash_len: None,
+        crash_period: None,
+    };
+    fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+        args.next()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--demo-broken" => cli.demo_broken = true,
+            "--demo-amnesia" => cli.demo_amnesia = true,
+            "--seed" => {
+                let v = value("--seed", &mut args);
+                cli.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--seed: `{v}` is not a u64")));
+            }
+            "--results-out" => cli.results_out = value("--results-out", &mut args).into(),
+            "--fault-profile" => {
+                let v = value("--fault-profile", &mut args);
+                cli.profile = Some(FaultProfile::parse(&v).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "--fault-profile: `{v}` is not one of none|light|heavy|amnesia"
+                    ))
+                }));
+            }
+            "--crash-len" => {
+                let v = value("--crash-len", &mut args);
+                cli.crash_len =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        usage_error(&format!("--crash-len: `{v}` is not a u64"))
+                    }));
+            }
+            "--crash-period" => {
+                let v = value("--crash-period", &mut args);
+                cli.crash_period = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--crash-period: `{v}` is not a u64"))
+                }));
+            }
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    if cli.demo_broken && cli.demo_amnesia {
+        usage_error("--demo-broken and --demo-amnesia are mutually exclusive");
+    }
+    cli
+}
+
+/// The named message-passing configurations. Without a `--fault-profile`
+/// this is the default set: the full chaos mix at k = 1, 2 plus a
+/// fault-free control. With one, it is the two ABD shapes under that
+/// profile only (the control and shm configs are skipped — the profile IS
+/// the variable under study). Smoke mode shrinks ops, not shape variety.
+fn abd_configs(cli: &Cli) -> Vec<(String, RuntimeConfig)> {
     let mut cfgs = Vec::new();
-    let mode = if smoke { "smoke" } else { "soak" };
+    let mode = if cli.smoke { "smoke" } else { "soak" };
+    let (smoke, seed) = (cli.smoke, cli.seed);
     for k in [1u32, 2] {
         // Full fault mix at the acceptance shape (8 clients for soak).
         let mut cfg = if smoke {
@@ -46,17 +182,37 @@ fn abd_configs(smoke: bool, seed: u64) -> Vec<(String, RuntimeConfig)> {
             RuntimeConfig::soak(seed ^ u64::from(k), k)
         };
         cfg.k = k;
-        cfgs.push((format!("{mode}.abd_k{k}_chaos"), cfg));
+        let suffix = match cli.profile {
+            Some(p) => {
+                cfg.faults = p.faults();
+                if p == FaultProfile::Amnesia {
+                    cfg.recovery = RecoveryMode::amnesia();
+                }
+                p.name()
+            }
+            None => "chaos",
+        };
+        cfgs.push((format!("{mode}.abd_k{k}_{suffix}"), cfg));
     }
-    // A fault-free control at the same shape (k = 1): the protocol under
-    // nothing but thread nondeterminism.
-    let mut quiet = if smoke {
-        RuntimeConfig::smoke(seed ^ 0x71)
-    } else {
-        RuntimeConfig::soak(seed ^ 0x71, 1)
-    };
-    quiet.faults = FaultConfig::none();
-    cfgs.push((format!("{mode}.abd_k1_quiet"), quiet));
+    if cli.profile.is_none() {
+        // A fault-free control at the same shape (k = 1): the protocol under
+        // nothing but thread nondeterminism.
+        let mut quiet = if smoke {
+            RuntimeConfig::smoke(seed ^ 0x71)
+        } else {
+            RuntimeConfig::soak(seed ^ 0x71, 1)
+        };
+        quiet.faults = FaultConfig::none();
+        cfgs.push((format!("{mode}.abd_k1_quiet"), quiet));
+    }
+    for (_, cfg) in &mut cfgs {
+        if let Some(len) = cli.crash_len {
+            cfg.faults.crash_len = len;
+        }
+        if let Some(period) = cli.crash_period {
+            cfg.faults.crash_period = period;
+        }
+    }
     cfgs
 }
 
@@ -74,9 +230,12 @@ fn shm_configs(smoke: bool, seed: u64) -> Vec<(String, ShmChaosConfig)> {
         .collect()
 }
 
-fn record(name: &str, ops: u64, violations: u64) {
+fn record(name: &str, ops: u64, violations: u64, recoveries: Option<u64>) {
     blunt_obs::counter(&format!("runtime.chaos.{name}.ops")).add(ops);
     blunt_obs::counter(&format!("runtime.chaos.{name}.violations")).add(violations);
+    if let Some(r) = recoveries {
+        blunt_obs::counter(&format!("runtime.chaos.{name}.recoveries")).add(r);
+    }
 }
 
 fn print_abd(name: &str, r: &ChaosReport) {
@@ -102,15 +261,23 @@ fn print_abd(name: &str, r: &ChaosReport) {
         r.bus.crash_dropped,
         r.bus.partition_dropped,
     );
+    if r.recovery.crashes > 0 {
+        println!(
+            "{:<24} recovery: crashes {} recovered {} wal lost/replayed {}/{} \
+             state queries {}",
+            "",
+            r.recovery.crashes,
+            r.recovery.recoveries,
+            r.recovery.wal_records_lost,
+            r.recovery.wal_records_replayed,
+            r.recovery.state_queries,
+        );
+    }
 }
 
-fn demo_broken(seed: u64) -> ExitCode {
-    let mut cfg = RuntimeConfig::smoke(seed);
-    cfg.broken_reads = true;
-    cfg.read_per_mille = 400;
-    println!("demo: ABD with an unsound single-server fast read (no quorum, no write-back)\n");
-    let report = run_chaos(&cfg);
-    print_abd("broken_fast_read", &report);
+/// Print the first violation window; exit 0 iff the monitor caught the
+/// intentionally-broken implementation.
+fn report_demo_catch(what: &str, report: &ChaosReport) -> ExitCode {
     match report.monitor.violations.first() {
         Some(v) => {
             println!(
@@ -119,74 +286,132 @@ fn demo_broken(seed: u64) -> ExitCode {
             );
             println!("{}", v.rendered);
             println!(
-                "the monitor caught the unsound read: {} violation window(s) total",
+                "the monitor caught {what}: {} violation window(s) total",
                 report.monitor.violations.len()
             );
             ExitCode::SUCCESS
         }
         None => {
-            eprintln!("\nchaos: the broken register was NOT caught — monitor bug");
+            eprintln!("\nchaos: {what} was NOT caught — monitor bug");
             ExitCode::FAILURE
         }
     }
 }
 
-fn main() -> ExitCode {
-    let mut smoke = false;
-    let mut demo = false;
-    let mut seed: u64 = 0x0B1D_5EED;
-    let mut results_out = PathBuf::from("target/chaos/BENCH_results.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--demo-broken" => demo = true,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("--seed: not a u64");
-            }
-            "--results-out" => {
-                results_out = args.next().expect("--results-out needs a path").into();
-            }
-            other => panic!("unknown flag {other}"),
+fn demo_broken(seed: u64) -> ExitCode {
+    let mut cfg = RuntimeConfig::smoke(seed);
+    cfg.broken_reads = true;
+    cfg.read_per_mille = 400;
+    println!("demo: ABD with an unsound single-server fast read (no quorum, no write-back)\n");
+    let report = match run_chaos(&cfg) {
+        Ok(r) => r,
+        Err(e) => usage_error(&e.to_string()),
+    };
+    print_abd("broken_fast_read", &report);
+    report_demo_catch("the unsound read", &report)
+}
+
+fn demo_amnesia(seed: u64) -> ExitCode {
+    // The proven catch configuration (mirrors the
+    // `broken_amnesia_recovery_is_caught_with_a_rendered_window` test):
+    // two clients so per-link crash-window phases stay unsynchronized —
+    // an acknowledged write can die in a wipe — while the real-time order
+    // stays tight enough that the resulting stale read is provably
+    // non-linearizable. Whether a particular run trips the coincidence is
+    // scheduling-sensitive (the clients' real-time overlap is wall-clock
+    // state), so sweep a few seeds and demand the catch within the budget.
+    println!("demo: amnesia crashes with a recovery that skips WAL replay and peer catch-up\n");
+    let mut last = None;
+    for attempt in 0..8u64 {
+        let mut cfg = RuntimeConfig::smoke_amnesia(seed + attempt);
+        cfg.recovery = RecoveryMode::demo_amnesia();
+        cfg.clients = 2;
+        cfg.ops_per_client = 2000;
+        cfg.read_per_mille = 400;
+        cfg.faults.drop_per_mille = 200;
+        cfg.faults.delay_per_mille = 100;
+        cfg.faults.crash_len = 2;
+        cfg.faults.crash_period = 9;
+        let report = match run_chaos(&cfg) {
+            Ok(r) => r,
+            Err(e) => usage_error(&e.to_string()),
+        };
+        print_abd(&format!("broken_amnesia[{}]", seed + attempt), &report);
+        if report.recovery.crashes == 0 {
+            eprintln!("\nchaos: no crash events fired — demo config is inert");
+            return ExitCode::FAILURE;
+        }
+        let caught = !report.monitor.violations.is_empty();
+        last = Some(report);
+        if caught {
+            break;
         }
     }
-    if demo {
-        return demo_broken(seed);
+    let report = last.expect("at least one attempt runs");
+    report_demo_catch("the recovery that skips replay and catch-up", &report)
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    if cli.demo_broken {
+        return demo_broken(cli.seed);
+    }
+    if cli.demo_amnesia {
+        return demo_amnesia(cli.seed);
     }
 
+    let seed = cli.seed;
     println!(
-        "chaos: {} set, seed {seed:#x} (replay with --seed {seed})\n",
-        if smoke { "smoke" } else { "full soak" }
+        "chaos: {} set{}, seed {seed:#x} (replay with --seed {seed})\n",
+        if cli.smoke { "smoke" } else { "full soak" },
+        match cli.profile {
+            Some(p) => format!(", fault profile {}", p.name()),
+            None => String::new(),
+        }
     );
     let mut phases: Vec<(String, f64)> = Vec::new();
     let mut dirty: Vec<String> = Vec::new();
 
-    for (name, cfg) in abd_configs(smoke, seed) {
+    for (name, cfg) in abd_configs(&cli) {
         let t0 = Instant::now();
-        let report = run_chaos(&cfg);
+        // An unusable fault shape (e.g. a --crash-len/--crash-period pair
+        // whose windows cannot stagger disjointly) is a usage error, not a
+        // soundness failure: echo the offending numbers and exit 2.
+        let report = match run_chaos(&cfg) {
+            Ok(r) => r,
+            Err(e) => usage_error(&e.to_string()),
+        };
         phases.push((name.clone(), t0.elapsed().as_secs_f64() * 1000.0));
         print_abd(&name, &report);
-        record(&name, report.ops, report.monitor.violations.len() as u64);
+        record(
+            &name,
+            report.ops,
+            report.monitor.violations.len() as u64,
+            Some(report.recovery.recoveries),
+        );
         if !report.monitor.clean() {
             dirty.push(name);
         }
     }
-    for (name, cfg) in shm_configs(smoke, seed) {
-        let t0 = Instant::now();
-        let report = run_shm_chaos(&cfg);
-        phases.push((name.clone(), t0.elapsed().as_secs_f64() * 1000.0));
-        println!(
-            "{name:<24} ops {:>7}  violations {}",
-            report.ops,
-            report.monitor.violations.len()
-        );
-        record(&name, report.ops, report.monitor.violations.len() as u64);
-        if !report.monitor.clean() {
-            dirty.push(name);
+    if cli.profile.is_none() {
+        for (name, cfg) in shm_configs(cli.smoke, seed) {
+            let t0 = Instant::now();
+            let report = run_shm_chaos(&cfg);
+            phases.push((name.clone(), t0.elapsed().as_secs_f64() * 1000.0));
+            println!(
+                "{name:<24} ops {:>7}  violations {}",
+                report.ops,
+                report.monitor.violations.len()
+            );
+            record(
+                &name,
+                report.ops,
+                report.monitor.violations.len() as u64,
+                None,
+            );
+            if !report.monitor.clean() {
+                dirty.push(name);
+            }
         }
     }
 
@@ -196,7 +421,11 @@ fn main() -> ExitCode {
     // seed, unlike e.g. the monitor's segment counts (cut placement is
     // scheduling-dependent) or the shared `lincheck.wgl.*` totals, which
     // would collide with the experiments baseline.
-    if let Some(parent) = results_out.parent().filter(|p| !p.as_os_str().is_empty()) {
+    if let Some(parent) = cli
+        .results_out
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
         std::fs::create_dir_all(parent).expect("create results dir");
     }
     let mut results = BenchResults::from_snapshot(phases, &blunt_obs::snapshot());
@@ -204,9 +433,9 @@ fn main() -> ExitCode {
         .counters
         .retain(|(name, _)| name.starts_with("runtime.chaos."));
     results.seed = Some(seed);
-    std::fs::write(&results_out, format!("{}\n", results.to_json()))
+    std::fs::write(&cli.results_out, format!("{}\n", results.to_json()))
         .expect("write BENCH_results.json");
-    println!("\nbench results written to {}", results_out.display());
+    println!("\nbench results written to {}", cli.results_out.display());
 
     if dirty.is_empty() {
         println!("verdict: all configurations linearizable (0 violations)");

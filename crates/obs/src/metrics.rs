@@ -849,6 +849,26 @@ mod tests {
     }
 
     #[test]
+    fn merging_into_an_empty_destination_copies_the_source() {
+        // The other degenerate direction: a fresh destination must adopt
+        // the source exactly — in particular its min, which starts at the
+        // u64::MAX sentinel in the destination and must not survive the
+        // merge.
+        let src = Histogram::unregistered();
+        for v in [3, 9, 1 << 14] {
+            src.record(v);
+        }
+        let dst = Histogram::unregistered();
+        dst.merge(&src);
+        let (a, b) = (dst.snapshot(), src.snapshot());
+        assert_eq!(a, b, "empty ∪ src must equal src");
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(a.percentile(q), b.percentile(q));
+        }
+        assert_eq!((a.count, a.min, a.max), (3, 3, 1 << 14));
+    }
+
+    #[test]
     fn empty_histogram_snapshot_is_sane() {
         let r = Registry::new();
         let s = r.histogram("h").snapshot();

@@ -13,19 +13,73 @@
 //! - `Delay(ms)` — handed to a dedicated delayer thread that sleeps until
 //!   the deadline and then enqueues it.
 //!
+//! **Crash events.** When constructed with `signal_crashes`, a crash
+//! blackout window additionally raises an *amnesia signal* at its **exit**:
+//! the first non-`CrashDrop` first-transmission on a link that just saw a
+//! `CrashDrop` enqueues an exempt [`Payload::Crash`] control envelope to
+//! the crashed server (at most once per `(server, window)` pair), telling
+//! it to erase volatile state and run recovery. Signaling at window exit —
+//! not entry — matters twice over: recovery's peer catch-up runs when the
+//! server is reachable again (a reboot after the outage, not during it),
+//! and the post-crash state is actually observable by clients instead of
+//! being shadowed by the blackout itself.
+//!
+//! The set of signaled `(server, window)` pairs is deterministic for a
+//! seed: a pair fires iff some link's fixed first-transmission count
+//! reaches past the end of that window, which is a pure function of the
+//! per-link schedules — consecutive windows of one server are always
+//! separated by at least one non-window index (`validate` guarantees
+//! `crash_len < crash_period`), so a link that keeps sending always
+//! resolves the pending window before entering the next. Hence
+//! `BusStats::crash_events` is replayable exactly.
+//!
 //! `std::sync::mpsc` channels are per-sender FIFO and internally
 //! linearizable, which is what makes the per-link message indexing of
 //! [`FaultPlan`] well defined.
 
+use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use blunt_abd::msg::AbdMsg;
+use blunt_abd::ts::Ts;
 use blunt_core::ids::Pid;
+use blunt_core::value::Val;
 
-use crate::fault::{Fate, FaultConfig, FaultPlan};
+use crate::fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
+
+/// What an [`Envelope`] carries: protocol traffic or a runtime control
+/// message.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// An ABD protocol message.
+    Abd(AbdMsg),
+    /// The amnesia signal: "your crash window `window` just ended — lose
+    /// your volatile state and recover before serving". Emitted by the bus
+    /// itself at window exit (exempt, at most once per `(server, window)`
+    /// pair); never crosses the injector.
+    Crash {
+        /// The crash cycle this signal belongs to.
+        window: u64,
+    },
+    /// Recovery state transfer, mirroring the ABD query: "send me your
+    /// current `(value, timestamp)`". Always exempt.
+    StateQuery {
+        /// Exchange identifier scoped to the recovering server.
+        sn: u64,
+    },
+    /// A peer's answer to a [`Payload::StateQuery`]. Always exempt.
+    StateReply {
+        /// The exchange this reply answers.
+        sn: u64,
+        /// The peer's current value.
+        val: Val,
+        /// Its timestamp.
+        ts: Ts,
+    },
+}
 
 /// One message in flight on the bus.
 #[derive(Clone, Debug)]
@@ -35,11 +89,26 @@ pub struct Envelope {
     /// Destination node.
     pub dst: Pid,
     /// Protocol payload.
-    pub msg: AbdMsg,
+    pub msg: Payload,
     /// Retransmissions (and responses to them) bypass the fault injector
     /// and consume no fault-schedule indices, so timing-dependent retry
-    /// counts cannot perturb the seed-determined schedule.
+    /// counts cannot perturb the seed-determined schedule. Recovery
+    /// traffic ([`Payload::Crash`]/[`Payload::StateQuery`]/
+    /// [`Payload::StateReply`]) is exempt for the same reason.
     pub exempt: bool,
+}
+
+impl Envelope {
+    /// An envelope carrying an ABD protocol message.
+    #[must_use]
+    pub fn abd(src: Pid, dst: Pid, msg: AbdMsg, exempt: bool) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            msg: Payload::Abd(msg),
+            exempt,
+        }
+    }
 }
 
 /// Deterministic fault counters accumulated by a run; equal across runs
@@ -60,6 +129,9 @@ pub struct BusStats {
     pub crash_dropped: u64,
     /// Messages lost to partition windows.
     pub partition_dropped: u64,
+    /// Distinct `(server, window)` crash events signaled (0 unless the bus
+    /// was built with `signal_crashes`).
+    pub crash_events: u64,
 }
 
 struct DelayedMsg {
@@ -77,12 +149,18 @@ struct BusInner {
     plan: FaultPlan,
     stats: BusStats,
     holds: Vec<LinkHold>,
+    /// Per-link: the crash window the link's latest first-transmission fell
+    /// into, awaiting its exit (the next non-`CrashDrop` index).
+    pending_crash: Vec<Option<u64>>,
+    /// Crash windows already signaled, per server (index = pid).
+    signaled: Vec<HashSet<u64>>,
 }
 
 /// The bus proper. Cloneable handles are not needed — threads share it via
 /// `Arc<Bus>`.
 pub struct Bus {
     nodes: u32,
+    signal_crashes: bool,
     mailboxes: Vec<Sender<Envelope>>,
     inner: Mutex<BusInner>,
     delayer: Mutex<Option<Sender<DelayedMsg>>>,
@@ -91,14 +169,23 @@ pub struct Bus {
 
 impl Bus {
     /// Creates a bus for `nodes` processes, returning it together with one
-    /// receiver per node (index = pid).
-    #[must_use]
+    /// receiver per node (index = pid). With `signal_crashes`, crash
+    /// blackout windows additionally raise the amnesia signal (see the
+    /// module docs); without it, crashes stay pure message blackouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultConfig::validate`] error for unusable
+    /// configurations (overlapping crash stagger, zero periods,
+    /// oversubscribed rates).
     pub fn new(
         seed: u64,
         cfg: FaultConfig,
         servers: u32,
         nodes: u32,
-    ) -> (Bus, Vec<Receiver<Envelope>>) {
+        signal_crashes: bool,
+    ) -> Result<(Bus, Vec<Receiver<Envelope>>), FaultConfigError> {
+        let plan = FaultPlan::new(seed, cfg, servers, nodes)?;
         let mut senders = Vec::with_capacity(nodes as usize);
         let mut receivers = Vec::with_capacity(nodes as usize);
         for _ in 0..nodes {
@@ -108,19 +195,22 @@ impl Bus {
         }
         let bus = Bus {
             nodes,
+            signal_crashes,
             mailboxes: senders,
             inner: Mutex::new(BusInner {
-                plan: FaultPlan::new(seed, cfg, servers, nodes),
+                plan,
                 stats: BusStats::default(),
                 holds: (0..nodes * nodes)
                     .map(|_| LinkHold { held: None })
                     .collect(),
+                pending_crash: vec![None; (nodes * nodes) as usize],
+                signaled: (0..servers).map(|_| HashSet::new()).collect(),
             }),
             delayer: Mutex::new(None),
             delayer_handle: Mutex::new(None),
         };
         bus.spawn_delayer();
-        (bus, receivers)
+        Ok((bus, receivers))
     }
 
     /// The delayer thread: a min-deadline buffer fed by `Fate::Delay`
@@ -175,59 +265,102 @@ impl Bus {
             self.enqueue(env);
             return;
         }
-        let fate = {
+        /// What must happen once the lock is released.
+        enum Outcome {
+            Lost,
+            Deliver {
+                env: Envelope,
+                dup: bool,
+                /// A previously reorder-held message now overtaken.
+                released: Option<Envelope>,
+            },
+            Hold {
+                /// Displaced by the newly held message (two reorders in a
+                /// row: the first is released by the second taking its
+                /// place).
+                released: Option<Envelope>,
+            },
+            Delay {
+                env: Envelope,
+                ms: u16,
+            },
+        }
+        let (signal, outcome) = {
             let mut inner = self.inner.lock().unwrap();
             inner.stats.offered += 1;
             let fate = inner.plan.fate(env.src, env.dst);
+            let slot = (env.src.0 * self.nodes + env.dst.0) as usize;
+            // Crash-window exit detection: a CrashDrop marks the link as
+            // inside a window; the next non-CrashDrop index on the same
+            // link means the window has passed, and the server restarts —
+            // signaled at most once per (server, window), race-free under
+            // the same lock that decided the fate.
+            let mut signal = None;
+            if self.signal_crashes {
+                if let Fate::CrashDrop { window } = fate {
+                    inner.pending_crash[slot] = Some(window);
+                } else if let Some(w) = inner.pending_crash[slot].take() {
+                    if inner.signaled[env.dst.index()].insert(w) {
+                        inner.stats.crash_events += 1;
+                        signal = Some((env.dst, w));
+                    }
+                }
+            }
             match fate {
                 Fate::Drop => inner.stats.dropped += 1,
                 Fate::Duplicate => inner.stats.duplicated += 1,
                 Fate::Reorder => inner.stats.reordered += 1,
                 Fate::Delay(_) => inner.stats.delayed += 1,
-                Fate::CrashDrop => inner.stats.crash_dropped += 1,
+                Fate::CrashDrop { .. } => inner.stats.crash_dropped += 1,
                 Fate::PartitionDrop => inner.stats.partition_dropped += 1,
                 Fate::Deliver => {}
             }
-            if fate == Fate::Reorder || matches!(fate, Fate::Deliver | Fate::Duplicate) {
-                // Resolve the reorder hold-back under the same lock so the
-                // swap is atomic w.r.t. concurrent senders on other links.
-                let slot = (env.src.0 * self.nodes + env.dst.0) as usize;
-                match fate {
-                    Fate::Reorder => {
-                        let prev = inner.holds[slot].held.replace(env);
-                        if let Some(p) = prev {
-                            // Two reorders in a row: the first held message
-                            // is released by the second taking its place.
-                            drop(inner);
-                            self.enqueue(p);
-                        }
-                        blunt_obs::static_counter!("runtime.bus.reordered").inc();
-                        return;
-                    }
-                    _ => {
-                        let held = inner.holds[slot].held.take();
-                        drop(inner);
-                        let dup = matches!(fate, Fate::Duplicate);
-                        self.enqueue(env.clone());
-                        if dup {
-                            self.enqueue(env);
-                        }
-                        if let Some(h) = held {
-                            // The held message is overtaken: deliver after.
-                            self.enqueue(h);
-                        }
-                        blunt_obs::static_counter!("runtime.bus.delivered").inc();
-                        return;
-                    }
-                }
-            }
-            fate
+            let outcome = match fate {
+                Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop => Outcome::Lost,
+                Fate::Reorder => Outcome::Hold {
+                    released: inner.holds[slot].held.replace(env),
+                },
+                Fate::Deliver | Fate::Duplicate => Outcome::Deliver {
+                    env,
+                    dup: fate == Fate::Duplicate,
+                    released: inner.holds[slot].held.take(),
+                },
+                Fate::Delay(ms) => Outcome::Delay { env, ms },
+            };
+            (signal, outcome)
         };
-        match fate {
-            Fate::Drop | Fate::CrashDrop | Fate::PartitionDrop => {
+        if let Some((dst, window)) = signal {
+            // Before the triggering message: the server must crash and
+            // recover before serving any post-window traffic.
+            self.enqueue(Envelope {
+                src: dst,
+                dst,
+                msg: Payload::Crash { window },
+                exempt: true,
+            });
+        }
+        match outcome {
+            Outcome::Lost => {
                 blunt_obs::static_counter!("runtime.bus.lost").inc();
             }
-            Fate::Delay(ms) => {
+            Outcome::Hold { released } => {
+                if let Some(p) = released {
+                    self.enqueue(p);
+                }
+                blunt_obs::static_counter!("runtime.bus.reordered").inc();
+            }
+            Outcome::Deliver { env, dup, released } => {
+                self.enqueue(env.clone());
+                if dup {
+                    self.enqueue(env);
+                }
+                if let Some(h) = released {
+                    // The held message is overtaken: deliver after.
+                    self.enqueue(h);
+                }
+                blunt_obs::static_counter!("runtime.bus.delivered").inc();
+            }
+            Outcome::Delay { env, ms } => {
                 blunt_obs::static_counter!("runtime.bus.delayed").inc();
                 let due = Instant::now() + Duration::from_millis(u64::from(ms));
                 let guard = self.delayer.lock().unwrap();
@@ -235,19 +368,13 @@ impl Bus {
                     let _ = tx.send(DelayedMsg { due, env });
                 }
             }
-            _ => unreachable!("handled under the lock"),
         }
     }
 
-    /// Broadcasts `msg` from `src` to every pid in `dsts`.
+    /// Broadcasts the ABD message `msg` from `src` to every pid in `dsts`.
     pub fn broadcast(&self, src: Pid, dsts: impl Iterator<Item = Pid>, msg: &AbdMsg, exempt: bool) {
         for dst in dsts {
-            self.send(Envelope {
-                src,
-                dst,
-                msg: msg.clone(),
-                exempt,
-            });
+            self.send(Envelope::abd(src, dst, msg.clone(), exempt));
         }
     }
 
@@ -289,18 +416,19 @@ mod tests {
     }
 
     fn env(src: u32, dst: u32, sn: u32, exempt: bool) -> Envelope {
-        Envelope {
-            src: Pid(src),
-            dst: Pid(dst),
-            msg: q(sn),
-            exempt,
-        }
+        Envelope::abd(Pid(src), Pid(dst), q(sn), exempt)
     }
 
     fn drain(rx: &Receiver<Envelope>) -> Vec<u32> {
         let mut out = Vec::new();
         while let Ok(e) = rx.recv_timeout(Duration::from_millis(200)) {
-            out.push(e.msg.sn());
+            match e.msg {
+                Payload::Abd(m) => out.push(m.sn()),
+                // Control traffic is surfaced as a sentinel so tests can
+                // assert on its absence.
+                Payload::Crash { .. } => out.push(u32::MAX),
+                Payload::StateQuery { .. } | Payload::StateReply { .. } => {}
+            }
             if out.len() > 64 {
                 break;
             }
@@ -308,9 +436,18 @@ mod tests {
         out
     }
 
+    fn bus(
+        seed: u64,
+        cfg: FaultConfig,
+        servers: u32,
+        nodes: u32,
+    ) -> (Bus, Vec<Receiver<Envelope>>) {
+        Bus::new(seed, cfg, servers, nodes, false).unwrap()
+    }
+
     #[test]
     fn faultless_bus_preserves_per_link_fifo() {
-        let (bus, rxs) = Bus::new(0, FaultConfig::none(), 1, 3);
+        let (bus, rxs) = bus(0, FaultConfig::none(), 1, 3);
         for sn in 0..10 {
             bus.send(env(2, 0, sn, false));
         }
@@ -323,7 +460,7 @@ mod tests {
     fn exempt_messages_always_arrive_even_under_full_drop() {
         let mut cfg = FaultConfig::none();
         cfg.drop_per_mille = 1000;
-        let (bus, rxs) = Bus::new(0, cfg, 1, 3);
+        let (bus, rxs) = bus(0, cfg, 1, 3);
         for sn in 0..5 {
             bus.send(env(2, 0, sn, false));
         }
@@ -339,7 +476,7 @@ mod tests {
     fn duplicate_fate_delivers_twice() {
         let mut cfg = FaultConfig::none();
         cfg.duplicate_per_mille = 1000;
-        let (bus, rxs) = Bus::new(0, cfg, 1, 2);
+        let (bus, rxs) = bus(0, cfg, 1, 2);
         bus.send(env(1, 0, 7, false));
         bus.flush();
         drop(bus);
@@ -350,7 +487,7 @@ mod tests {
     fn reorder_fate_swaps_with_successor_and_flush_releases_stragglers() {
         let mut cfg = FaultConfig::none();
         cfg.reorder_per_mille = 1000;
-        let (bus, rxs) = Bus::new(0, cfg, 1, 2);
+        let (bus, rxs) = bus(0, cfg, 1, 2);
         // Every message is held, then released when the next one takes its
         // slot: 0 held; 1 arrives → 0 out, 1 held; ... flush releases 4.
         for sn in 0..5 {
@@ -366,7 +503,7 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.delay_per_mille = 1000;
         cfg.max_delay_ms = 2;
-        let (bus, rxs) = Bus::new(0, cfg, 1, 2);
+        let (bus, rxs) = bus(0, cfg, 1, 2);
         for sn in 0..8 {
             bus.send(env(1, 0, sn, false));
         }
@@ -379,8 +516,8 @@ mod tests {
 
     #[test]
     fn stats_are_reproducible_for_a_seed() {
-        let run = || {
-            let (bus, _rxs) = Bus::new(42, FaultConfig::chaos(), 3, 6);
+        let run = |signal| {
+            let (bus, _rxs) = Bus::new(42, FaultConfig::chaos(), 3, 6, signal).unwrap();
             for sn in 0..400 {
                 for dst in 0..3 {
                     bus.send(env(4, dst, sn, false));
@@ -390,10 +527,73 @@ mod tests {
             bus.flush();
             bus.stats()
         };
-        let a = run();
-        let b = run();
+        let a = run(false);
+        let b = run(false);
         assert_eq!(a, b);
         assert_eq!(a.offered, 1600);
         assert!(a.dropped > 0 && a.delayed > 0 && a.crash_dropped > 0);
+        assert_eq!(a.crash_events, 0, "no signaling unless asked");
+        // Signaling changes crash_events (deterministically) and nothing
+        // else about the schedule-determined counters.
+        let c = run(true);
+        let d = run(true);
+        assert_eq!(c, d);
+        assert!(c.crash_events > 0);
+        assert_eq!(
+            BusStats {
+                crash_events: 0,
+                ..c
+            },
+            a,
+            "the amnesia signal must not perturb the fault schedule"
+        );
+    }
+
+    #[test]
+    fn crash_signal_fires_once_per_window_at_its_exit() {
+        // One server, crash window [0, 4) of every 10-index period on each
+        // incoming link. Two links each send indices 0..6: 0–3 are inside
+        // the window and dropped; index 4 is the first past it. The server
+        // must get exactly ONE Crash{window: 0} signal — raised at the
+        // window's exit, before any post-window delivery — not one per
+        // dropped message or per link.
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 4;
+        cfg.crash_period = 10;
+        let (bus, rxs) = Bus::new(0, cfg, 1, 3, true).unwrap();
+        for sn in 0..6 {
+            bus.send(env(1, 0, sn, false));
+            bus.send(env(2, 0, sn, false));
+        }
+        bus.flush();
+        drop(bus);
+        let mut seen = Vec::new();
+        while let Ok(e) = rxs[0].recv_timeout(Duration::from_millis(200)) {
+            match e.msg {
+                Payload::Crash { window } => {
+                    assert!(e.exempt, "the amnesia signal must be exempt");
+                    seen.push(u32::MAX);
+                    assert_eq!(window, 0);
+                }
+                Payload::Abd(m) => seen.push(m.sn()),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![u32::MAX, 4, 4, 5, 5],
+            "one signal, before the first post-window deliveries"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 50;
+        cfg.crash_period = 100;
+        let err = Bus::new(0, cfg, 3, 5, false)
+            .err()
+            .expect("must be rejected");
+        assert!(matches!(err, FaultConfigError::CrashStaggerOverflow { .. }));
     }
 }

@@ -22,8 +22,73 @@
 //! survives). Windows of distinct servers are staggered disjointly so a
 //! quorum is always available and every window is eventually crossed.
 
+use std::fmt;
+
 use blunt_core::ids::Pid;
 use blunt_sim::rng::SplitMix64;
+
+/// Why a [`FaultConfig`] was rejected by [`FaultConfig::validate`].
+///
+/// Every variant carries the offending numbers so callers (notably the
+/// `chaos` CLI) can report a usage error the user can act on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultConfigError {
+    /// The per-server crash windows do not fit disjointly into
+    /// `crash_period`: overlapping windows could take a majority of servers
+    /// down simultaneously and stall the run.
+    CrashStaggerOverflow {
+        /// Servers that must each get a disjoint window.
+        servers: u32,
+        /// Configured window length.
+        crash_len: u64,
+        /// Configured period.
+        crash_period: u64,
+        /// Minimum period that would fit: `servers × (crash_len + 1)`.
+        required: u64,
+    },
+    /// `crash_len > 0` but `crash_period == 0` (the window phase would be a
+    /// division by zero).
+    CrashPeriodZero,
+    /// `partition_len > 0` but `partition_period == 0`.
+    PartitionPeriodZero,
+    /// The per-mille fault rates sum past 1000, so the later fault kinds in
+    /// the drop → duplicate → reorder → delay order could never fire.
+    RatesExceedMille {
+        /// The offending sum of the four rates.
+        total: u32,
+    },
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultConfigError::CrashStaggerOverflow {
+                servers,
+                crash_len,
+                crash_period,
+                required,
+            } => write!(
+                f,
+                "crash windows must stagger disjointly within the period: \
+                 {servers} servers × (crash_len {crash_len} + 1) = {required} \
+                 exceeds crash_period {crash_period}"
+            ),
+            FaultConfigError::CrashPeriodZero => {
+                write!(f, "crash_len > 0 requires crash_period > 0")
+            }
+            FaultConfigError::PartitionPeriodZero => {
+                write!(f, "partition_len > 0 requires partition_period > 0")
+            }
+            FaultConfigError::RatesExceedMille { total } => write!(
+                f,
+                "drop + duplicate + reorder + delay rates sum to {total}‰, \
+                 past the 1000‰ of a whole message stream"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 /// Per-message fault probabilities and crash/partition shape knobs.
 ///
@@ -49,8 +114,9 @@ pub struct FaultConfig {
     pub crash_len: u64,
     /// Period between successive crash cycles, in link-index units. Each
     /// cycle crashes every server once, at staggered disjoint offsets.
-    /// Must exceed `servers × (crash_len + 1)` for the stagger to fit;
-    /// [`FaultPlan::new`] asserts this.
+    /// Must be at least `servers × (crash_len + 1)` for the stagger to fit;
+    /// [`FaultConfig::validate`] checks this and [`FaultPlan::new`] returns
+    /// the error.
     pub crash_period: u64,
     /// Length of each partition window, in link-index units. `0` disables
     /// partitions.
@@ -76,6 +142,23 @@ impl FaultConfig {
         }
     }
 
+    /// A gentle mix: sparse drops and delays, no duplicates, reorders,
+    /// crashes, or partitions.
+    #[must_use]
+    pub fn light() -> FaultConfig {
+        FaultConfig {
+            drop_per_mille: 10,
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            delay_per_mille: 10,
+            max_delay_ms: 2,
+            crash_len: 0,
+            crash_period: 1,
+            partition_len: 0,
+            partition_period: 1,
+        }
+    }
+
     /// The standard soak mix: drops, delays, duplicates, reorders, and
     /// periodic staggered crashes.
     #[must_use]
@@ -91,6 +174,44 @@ impl FaultConfig {
             partition_len: 6,
             partition_period: 150,
         }
+    }
+
+    /// Checks the configuration against a runtime with `servers` server
+    /// processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultConfigError`] naming the offending numbers when the
+    /// crash stagger does not fit its period (the stagger may fill the
+    /// period *exactly* — the windows are still disjoint), when a window
+    /// length is set with a zero period, or when the per-mille rates sum
+    /// past 1000.
+    pub fn validate(&self, servers: u32) -> Result<(), FaultConfigError> {
+        if self.crash_len > 0 {
+            if self.crash_period == 0 {
+                return Err(FaultConfigError::CrashPeriodZero);
+            }
+            let required = u64::from(servers) * (self.crash_len + 1);
+            if required > self.crash_period {
+                return Err(FaultConfigError::CrashStaggerOverflow {
+                    servers,
+                    crash_len: self.crash_len,
+                    crash_period: self.crash_period,
+                    required,
+                });
+            }
+        }
+        if self.partition_len > 0 && self.partition_period == 0 {
+            return Err(FaultConfigError::PartitionPeriodZero);
+        }
+        let total = u32::from(self.drop_per_mille)
+            + u32::from(self.duplicate_per_mille)
+            + u32::from(self.reorder_per_mille)
+            + u32::from(self.delay_per_mille);
+        if total > 1000 {
+            return Err(FaultConfigError::RatesExceedMille { total });
+        }
+        Ok(())
     }
 }
 
@@ -108,8 +229,15 @@ pub enum Fate {
     /// Hold back for this many milliseconds before delivering.
     Delay(u16),
     /// Dropped because the destination server is inside a crash blackout
-    /// window.
-    CrashDrop,
+    /// window. Carries the window's cycle number (`index / crash_period`),
+    /// which identifies the crash *event*: the bus raises its amnesia
+    /// signal at the window's exit, when a link's next first-transmission
+    /// index lands past the `CrashDrop` run (the server reboots after the
+    /// outage).
+    CrashDrop {
+        /// Which crash cycle of the destination server this index falls in.
+        window: u64,
+    },
     /// Dropped because the link is inside a partition window.
     PartitionDrop,
 }
@@ -146,26 +274,26 @@ impl FaultPlan {
     /// Builds the plan for a runtime with `servers` server processes
     /// (`Pid(0..servers)`) and `nodes` processes total.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the crash stagger does not fit into `crash_period` (the
-    /// windows of distinct servers would overlap, which could take a
-    /// majority down simultaneously and stall the run).
-    #[must_use]
-    pub fn new(seed: u64, cfg: FaultConfig, servers: u32, nodes: u32) -> FaultPlan {
-        if cfg.crash_len > 0 {
-            assert!(
-                u64::from(servers) * (cfg.crash_len + 1) < cfg.crash_period,
-                "crash windows must stagger disjointly within the period"
-            );
-        }
-        FaultPlan {
+    /// Returns the [`FaultConfig::validate`] error when the configuration is
+    /// unusable — most importantly when the crash stagger does not fit into
+    /// `crash_period` (overlapping windows could take a majority down
+    /// simultaneously and stall the run).
+    pub fn new(
+        seed: u64,
+        cfg: FaultConfig,
+        servers: u32,
+        nodes: u32,
+    ) -> Result<FaultPlan, FaultConfigError> {
+        cfg.validate(servers)?;
+        Ok(FaultPlan {
             seed,
             cfg,
             servers,
             nodes,
             links: (0..nodes * nodes).map(|_| None).collect(),
-        }
+        })
     }
 
     /// Is link index `i` on a link into server `dst` inside a crash window?
@@ -218,7 +346,9 @@ impl FaultPlan {
         // sees the same stream positions regardless of the others' rates.
         let r = link.rng.next_u64();
         if self.crash_covers(dst, i) {
-            return Fate::CrashDrop;
+            return Fate::CrashDrop {
+                window: i / self.cfg.crash_period,
+            };
         }
         if self.partition_covers(src, dst, i) {
             return Fate::PartitionDrop;
@@ -272,7 +402,7 @@ impl FaultPlan {
         dst: Pid,
         n: usize,
     ) -> Vec<Fate> {
-        let mut plan = FaultPlan::new(seed, cfg, servers, nodes);
+        let mut plan = FaultPlan::new(seed, cfg, servers, nodes).expect("valid fault config");
         (0..n).map(|_| plan.fate(src, dst)).collect()
     }
 }
@@ -302,7 +432,7 @@ mod tests {
     #[test]
     fn crash_windows_are_disjoint_across_servers() {
         let cfg = FaultConfig::chaos();
-        let plan = FaultPlan::new(1, cfg, 3, 5);
+        let plan = FaultPlan::new(1, cfg, 3, 5).unwrap();
         for i in 0..3 * cfg.crash_period {
             let down: u32 = (0..3)
                 .map(|s| u32::from(plan.crash_covers(Pid(s), i)))
@@ -321,7 +451,7 @@ mod tests {
     #[test]
     fn clients_never_crash() {
         let cfg = FaultConfig::chaos();
-        let plan = FaultPlan::new(1, cfg, 3, 5);
+        let plan = FaultPlan::new(1, cfg, 3, 5).unwrap();
         for i in 0..2 * cfg.crash_period {
             assert!(
                 !plan.crash_covers(Pid(4), i),
@@ -335,7 +465,7 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.partition_len = 5;
         cfg.partition_period = 20;
-        let plan = FaultPlan::new(3, cfg, 3, 6);
+        let plan = FaultPlan::new(3, cfg, 3, 6).unwrap();
         for i in 0..60 {
             for a in 0..6 {
                 for b in 0..6 {
@@ -368,11 +498,141 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stagger")]
-    fn overlapping_crash_stagger_is_rejected() {
+    fn overlapping_crash_stagger_is_a_recoverable_error() {
         let mut cfg = FaultConfig::none();
         cfg.crash_len = 50;
         cfg.crash_period = 100;
-        let _ = FaultPlan::new(0, cfg, 3, 5);
+        let err = FaultPlan::new(0, cfg, 3, 5)
+            .err()
+            .expect("must be rejected");
+        assert_eq!(
+            err,
+            FaultConfigError::CrashStaggerOverflow {
+                servers: 3,
+                crash_len: 50,
+                crash_period: 100,
+                required: 153,
+            }
+        );
+        // The rendered message carries the offending numbers for the CLI.
+        let msg = err.to_string();
+        assert!(msg.contains("153") && msg.contains("100"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_periods_and_oversubscribed_rates() {
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 2;
+        cfg.crash_period = 0;
+        assert_eq!(
+            cfg.validate(3),
+            Err(FaultConfigError::CrashPeriodZero),
+            "crash phase would divide by zero"
+        );
+
+        let mut cfg = FaultConfig::none();
+        cfg.partition_len = 2;
+        cfg.partition_period = 0;
+        assert_eq!(cfg.validate(3), Err(FaultConfigError::PartitionPeriodZero));
+
+        let mut cfg = FaultConfig::none();
+        cfg.drop_per_mille = 600;
+        cfg.delay_per_mille = 600;
+        assert_eq!(
+            cfg.validate(3),
+            Err(FaultConfigError::RatesExceedMille { total: 1200 })
+        );
+
+        assert_eq!(FaultConfig::chaos().validate(3), Ok(()));
+        assert_eq!(FaultConfig::light().validate(3), Ok(()));
+        assert_eq!(FaultConfig::none().validate(3), Ok(()));
+    }
+
+    #[test]
+    fn crash_window_boundaries_are_half_open() {
+        // Server s is down exactly on [s·(len+1), s·(len+1)+len) within each
+        // period: the start index is covered, the end index is not, and the
+        // index just before the start belongs to the previous server's gap.
+        let cfg = FaultConfig::chaos(); // len 8, period 200
+        let plan = FaultPlan::new(1, cfg, 3, 5).unwrap();
+        for s in 0..3u32 {
+            let start = u64::from(s) * (cfg.crash_len + 1);
+            for period_base in [0, cfg.crash_period, 5 * cfg.crash_period] {
+                assert!(
+                    plan.crash_covers(Pid(s), period_base + start),
+                    "window start must be covered (server {s})"
+                );
+                assert!(
+                    plan.crash_covers(Pid(s), period_base + start + cfg.crash_len - 1),
+                    "last window index must be covered (server {s})"
+                );
+                assert!(
+                    !plan.crash_covers(Pid(s), period_base + start + cfg.crash_len),
+                    "window end is exclusive (server {s})"
+                );
+                if start > 0 {
+                    assert!(
+                        !plan.crash_covers(Pid(s), period_base + start - 1),
+                        "index before the window belongs to the gap (server {s})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stagger_exactly_filling_the_period_is_accepted_and_disjoint() {
+        // 3 servers × (len 3 + 1) = 12 = crash_period: the tightest legal
+        // packing. Windows must still be pairwise disjoint and every server
+        // must crash once per cycle.
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 3;
+        cfg.crash_period = 12;
+        assert_eq!(cfg.validate(3), Ok(()));
+        let plan = FaultPlan::new(7, cfg, 3, 5).unwrap();
+        for i in 0..3 * cfg.crash_period {
+            let down: u32 = (0..3)
+                .map(|s| u32::from(plan.crash_covers(Pid(s), i)))
+                .sum();
+            assert!(down <= 1, "at most one server down at index {i}");
+        }
+        for s in 0..3 {
+            let covered = (0..cfg.crash_period)
+                .filter(|&i| plan.crash_covers(Pid(s), i))
+                .count() as u64;
+            assert_eq!(covered, cfg.crash_len, "server {s} window length");
+        }
+        // One more server would need 16 > 12: rejected with the numbers.
+        assert_eq!(
+            cfg.validate(4),
+            Err(FaultConfigError::CrashStaggerOverflow {
+                servers: 4,
+                crash_len: 3,
+                crash_period: 12,
+                required: 16,
+            })
+        );
+    }
+
+    #[test]
+    fn crash_drop_fates_carry_the_window_cycle() {
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 4;
+        cfg.crash_period = 10;
+        let fates = FaultPlan::preview(3, cfg, 1, 3, Pid(2), Pid(0), 25);
+        for (i, fate) in fates.iter().enumerate() {
+            let phase = (i as u64) % cfg.crash_period;
+            if phase < cfg.crash_len {
+                assert_eq!(
+                    *fate,
+                    Fate::CrashDrop {
+                        window: i as u64 / cfg.crash_period
+                    },
+                    "index {i}"
+                );
+            } else {
+                assert_eq!(*fate, Fate::Deliver, "index {i}");
+            }
+        }
     }
 }

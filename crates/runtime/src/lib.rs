@@ -10,7 +10,11 @@
 //! duplicate, reorder, partition, crash — follows a schedule that is a pure
 //! function of the run seed, so any run is replayable. A [`workload`] driver
 //! spawns client threads and records per-op latency into `blunt_obs`
-//! histograms; the [`monitor`] consumes the concurrent history incrementally
+//! histograms. Crashes are more than blackouts: under
+//! [`recovery::RecoveryMode::Amnesia`] a server loses its volatile state
+//! and recovers from a per-server write-ahead log ([`storage`]) plus peer
+//! catch-up before serving again. The [`monitor`] consumes the concurrent
+//! history incrementally
 //! through the Wing–Gong checker in `blunt_lincheck`, rendering any
 //! violation window through `blunt_trace`'s space-time diagram. [`shm`] does
 //! the same for the mutex-shared-memory register constructions.
@@ -24,11 +28,15 @@
 pub mod bus;
 pub mod fault;
 pub mod monitor;
+pub mod recovery;
 pub mod shm;
+pub mod storage;
 pub mod workload;
 
-pub use bus::{Bus, BusStats, Envelope};
-pub use fault::{Fate, FaultConfig, FaultPlan};
+pub use bus::{Bus, BusStats, Envelope, Payload};
+pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
 pub use monitor::{MonitorReport, OnlineMonitor, Violation};
+pub use recovery::{RecoveryMode, RecoveryStats};
 pub use shm::{run_shm_chaos, ShmChaosConfig, ShmReport};
+pub use storage::{Wal, WalRecord};
 pub use workload::{run_chaos, ChaosReport, RuntimeConfig};

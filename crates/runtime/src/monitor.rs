@@ -55,7 +55,7 @@ pub struct MonitorReport {
     pub segments_ok: u64,
     /// Violations found (checking continues past the first).
     pub violations: Vec<Violation>,
-    /// `true` if some segment exceeded [`SEGMENT_CAP`] without reaching a
+    /// `true` if some segment exceeded `SEGMENT_CAP` without reaching a
     /// cut; the affected object's checking is disabled from that point (the
     /// driver's burst barriers make this unreachable in practice).
     pub overflowed: bool,

@@ -1,0 +1,235 @@
+//! The simulated durable-storage layer: a per-server, checkpointing
+//! write-ahead log with explicit fsync points.
+//!
+//! Real crash-recovery hinges on one distinction the message-blackout crash
+//! model erases: state that has reached stable storage survives a crash,
+//! state that has not does not. [`Wal`] models exactly that boundary. A
+//! server [`Wal::append`]s every update it absorbs; records accumulate in a
+//! volatile *pending* suffix until [`Wal::fsync`] folds them into the
+//! durable checkpoint. On an amnesia crash the fault layer calls
+//! [`Wal::lose_unsynced`] — the pending suffix vanishes, the checkpoint
+//! survives — and recovery calls [`Wal::replay`] to reload the newest
+//! durable `(value, timestamp)` pair.
+//!
+//! Because an ABD register's recoverable state is fully described by its
+//! maximum-timestamp record, the log self-compacts: `fsync` keeps only the
+//! newest durable record rather than the full history, so replay is O(1)
+//! and memory stays bounded over arbitrarily long runs. This is the
+//! checkpoint form of a WAL, not a departure from one — a full log replayed
+//! from the start would reach the same `(value, timestamp)` pair.
+//!
+//! The soundness contract consumed by `workload.rs` is the **write-ahead
+//! ack discipline**: a server may acknowledge an update with timestamp `t`
+//! only once [`Wal::durable_ts`] `≥ t`. Then every *acknowledged* update
+//! survives any crash by replay alone, which is what makes recovery sound
+//! without coordination (see `docs/RUNTIME.md`).
+
+use blunt_abd::ts::Ts;
+use blunt_core::value::Val;
+
+/// One logged update: the `(value, timestamp)` pair a server absorbed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WalRecord {
+    /// The written value.
+    pub val: Val,
+    /// Its ABD timestamp.
+    pub ts: Ts,
+}
+
+/// A per-server write-ahead log with explicit fsync points and
+/// checkpoint-style self-compaction.
+#[derive(Debug)]
+pub struct Wal {
+    /// The newest record covered by an fsync; survives crashes.
+    checkpoint: Option<WalRecord>,
+    /// Appended but not yet fsynced; lost by [`Wal::lose_unsynced`].
+    pending: Vec<WalRecord>,
+    /// Group-commit batch size: the server flushes once this many records
+    /// are pending (plus on idle and on retransmission pressure).
+    fsync_interval: u32,
+}
+
+impl Wal {
+    /// An empty log that group-commits every `fsync_interval` appends
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(fsync_interval: u32) -> Wal {
+        Wal {
+            checkpoint: None,
+            pending: Vec::new(),
+            fsync_interval: fsync_interval.max(1),
+        }
+    }
+
+    /// The configured group-commit batch size.
+    #[must_use]
+    pub fn fsync_interval(&self) -> u32 {
+        self.fsync_interval
+    }
+
+    /// Appends one record to the volatile suffix.
+    pub fn append(&mut self, val: Val, ts: Ts) {
+        self.pending.push(WalRecord { val, ts });
+        blunt_obs::static_counter!("runtime.storage.wal_appends").inc();
+    }
+
+    /// Number of appended-but-unsynced records.
+    #[must_use]
+    pub fn unsynced_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the pending suffix has reached the group-commit batch size.
+    #[must_use]
+    pub fn batch_full(&self) -> bool {
+        self.pending.len() >= self.fsync_interval as usize
+    }
+
+    /// An explicit fsync point: every pending record becomes durable,
+    /// compacted into the maximum-timestamp checkpoint. Returns the number
+    /// of records made durable (0 for a no-op fsync, which is not counted).
+    pub fn fsync(&mut self) -> usize {
+        let n = self.pending.len();
+        if n == 0 {
+            return 0;
+        }
+        for rec in self.pending.drain(..) {
+            match &self.checkpoint {
+                Some(cp) if cp.ts >= rec.ts => {}
+                _ => self.checkpoint = Some(rec),
+            }
+        }
+        blunt_obs::static_counter!("runtime.storage.fsyncs").inc();
+        n
+    }
+
+    /// The largest timestamp known durable — the write-ahead ack
+    /// discipline's threshold. `Ts::ZERO` for an empty log (the initial
+    /// value needs no logging: every replica is constructed with it).
+    #[must_use]
+    pub fn durable_ts(&self) -> Ts {
+        self.checkpoint.as_ref().map_or(Ts::ZERO, |cp| cp.ts)
+    }
+
+    /// The crash: the unsynced suffix is gone. Returns how many records
+    /// were lost.
+    pub fn lose_unsynced(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        blunt_obs::static_counter!("runtime.storage.records_lost").add(n as u64);
+        n
+    }
+
+    /// Recovery replay: the newest durable `(value, timestamp)` pair, if
+    /// any update ever reached an fsync point.
+    #[must_use]
+    pub fn replay(&self) -> Option<(Val, Ts)> {
+        self.checkpoint.as_ref().map(|cp| (cp.val.clone(), cp.ts))
+    }
+
+    /// Total storage loss — checkpoint and suffix both gone. Used by the
+    /// `--demo-amnesia` broken mode to model a server whose recovery
+    /// ignores durable state entirely.
+    pub fn wipe(&mut self) {
+        self.checkpoint = None;
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_core::ids::Pid;
+
+    fn ts(n: i64) -> Ts {
+        Ts::new(n, Pid(0))
+    }
+
+    #[test]
+    fn fresh_log_is_empty_and_at_ts_zero() {
+        let wal = Wal::new(4);
+        assert_eq!(wal.unsynced_len(), 0);
+        assert_eq!(wal.durable_ts(), Ts::ZERO);
+        assert_eq!(wal.replay(), None);
+        assert!(!wal.batch_full());
+    }
+
+    #[test]
+    fn appends_stay_volatile_until_fsync() {
+        let mut wal = Wal::new(4);
+        wal.append(Val::Int(1), ts(1));
+        wal.append(Val::Int(2), ts(2));
+        assert_eq!(wal.unsynced_len(), 2);
+        assert_eq!(wal.durable_ts(), Ts::ZERO, "nothing synced yet");
+        assert_eq!(wal.fsync(), 2);
+        assert_eq!(wal.unsynced_len(), 0);
+        assert_eq!(wal.durable_ts(), ts(2));
+        assert_eq!(wal.replay(), Some((Val::Int(2), ts(2))));
+    }
+
+    #[test]
+    fn crash_loses_exactly_the_unsynced_suffix() {
+        let mut wal = Wal::new(8);
+        wal.append(Val::Int(1), ts(1));
+        wal.fsync();
+        wal.append(Val::Int(2), ts(2));
+        wal.append(Val::Int(3), ts(3));
+        assert_eq!(wal.lose_unsynced(), 2);
+        assert_eq!(wal.unsynced_len(), 0);
+        // The synced prefix survives: replay recovers ts 1, not ts 3.
+        assert_eq!(wal.replay(), Some((Val::Int(1), ts(1))));
+        assert_eq!(wal.durable_ts(), ts(1));
+    }
+
+    #[test]
+    fn checkpoint_keeps_the_max_timestamp_record() {
+        // Out-of-order and duplicate appends (retransmitted updates) must
+        // not regress the checkpoint.
+        let mut wal = Wal::new(8);
+        wal.append(Val::Int(3), ts(3));
+        wal.append(Val::Int(1), ts(1));
+        wal.fsync();
+        assert_eq!(wal.replay(), Some((Val::Int(3), ts(3))));
+        wal.append(Val::Int(2), ts(2));
+        wal.fsync();
+        assert_eq!(wal.replay(), Some((Val::Int(3), ts(3))), "no regression");
+        wal.append(Val::Int(4), ts(4));
+        wal.fsync();
+        assert_eq!(wal.replay(), Some((Val::Int(4), ts(4))));
+    }
+
+    #[test]
+    fn batch_full_tracks_the_interval_and_clamps_zero() {
+        let mut wal = Wal::new(2);
+        wal.append(Val::Int(1), ts(1));
+        assert!(!wal.batch_full());
+        wal.append(Val::Int(2), ts(2));
+        assert!(wal.batch_full());
+
+        let zero = Wal::new(0);
+        assert_eq!(zero.fsync_interval(), 1, "interval clamps to ≥ 1");
+    }
+
+    #[test]
+    fn empty_fsync_is_a_no_op() {
+        let mut wal = Wal::new(4);
+        assert_eq!(wal.fsync(), 0);
+        wal.append(Val::Int(1), ts(1));
+        wal.fsync();
+        let before = wal.replay();
+        assert_eq!(wal.fsync(), 0);
+        assert_eq!(wal.replay(), before);
+    }
+
+    #[test]
+    fn wipe_loses_everything() {
+        let mut wal = Wal::new(4);
+        wal.append(Val::Int(1), ts(1));
+        wal.fsync();
+        wal.append(Val::Int(2), ts(2));
+        wal.wipe();
+        assert_eq!(wal.replay(), None);
+        assert_eq!(wal.durable_ts(), Ts::ZERO);
+        assert_eq!(wal.unsynced_len(), 0);
+    }
+}

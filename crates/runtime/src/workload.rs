@@ -10,10 +10,33 @@
 //! once at thread exit (no hot-path contention).
 //!
 //! Liveness under faults comes from retransmission: when a client waits
-//! longer than `retransmit_after` for a response, it rebroadcasts the
+//! longer than its current backoff for a response, it rebroadcasts the
 //! in-flight exchange ([`ActiveOp::retransmission`]) as an *exempt* message
-//! that bypasses the injector. Exempt traffic consumes no fault-schedule
-//! indices, keeping the schedule a pure function of the seed.
+//! that bypasses the injector. The backoff is deterministic exponential —
+//! starting at `retransmit_after`, doubling per consecutive timeout, capped
+//! at `retransmit_cap`, reset by any received message — so a crashed or
+//! slow quorum is probed geometrically rather than hammered. Exempt traffic
+//! consumes no fault-schedule indices, keeping the schedule a pure function
+//! of the seed.
+//!
+//! **Crash recovery.** Under [`RecoveryMode::Amnesia`] every server keeps a
+//! write-ahead log ([`Wal`]) and obeys the *write-ahead ack discipline*: an
+//! update is acknowledged only once a WAL record with a timestamp covering
+//! it is fsynced (group commit: a batch fills, the server goes idle, or an
+//! exempt retransmission applies pressure). When the bus raises the amnesia
+//! signal ([`Payload::Crash`]) at a crash window's exit, the server erases
+//! its volatile state and its unsynced WAL suffix, then recovers — the
+//! blackout window models the outage itself; the power loss materializes at
+//! the reboot, when peers are reachable again for catch-up and the
+//! recovered (or, under `--demo-amnesia`, unrecovered) state is actually
+//! observable by clients. Recovery: replay the durable checkpoint, then
+//! catch up from `quorum − 1` peers via exempt [`Payload::StateQuery`]
+//! state transfer (mirroring the ABD read phase) before serving buffered
+//! traffic. The discipline makes replay alone sound — every *acked* update
+//! is durable, and unacked state a reader observed is re-made durable by
+//! that reader's own write-back quorum — so concurrent recoveries need no
+//! coordination; the catch-up phase only restores freshness. The argument
+//! lives in `docs/RUNTIME.md`.
 //!
 //! Clients run in barrier-separated **bursts** of `burst` ops: at each
 //! barrier every in-flight operation has returned, so the monitor is
@@ -29,15 +52,18 @@ use std::time::{Duration, Instant};
 use blunt_abd::client::{AckEffect, ActiveOp, OpKind, ReplyEffect};
 use blunt_abd::msg::AbdMsg;
 use blunt_abd::server::ServerState;
+use blunt_abd::ts::Ts;
 use blunt_core::history::Action;
 use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
 use blunt_core::value::Val;
 use blunt_obs::{Histogram, HistogramSnapshot};
 use blunt_sim::rng::{RandomSource, SplitMix64};
 
-use crate::bus::{Bus, BusStats, Envelope};
-use crate::fault::FaultConfig;
+use crate::bus::{Bus, BusStats, Envelope, Payload};
+use crate::fault::{FaultConfig, FaultConfigError};
 use crate::monitor::{MonitorReport, OnlineMonitor};
+use crate::recovery::{RecoveryMode, RecoverySink, RecoveryStats};
+use crate::storage::Wal;
 
 /// Configuration of one chaos run.
 #[derive(Clone, Debug)]
@@ -64,8 +90,13 @@ pub struct RuntimeConfig {
     /// Replace reads with the intentionally-broken single-server fast read
     /// (no quorum, no write-back) — the monitor must catch this.
     pub broken_reads: bool,
-    /// How long a client waits for a response before retransmitting.
+    /// Initial client wait for a response before retransmitting; doubles
+    /// per consecutive timeout.
     pub retransmit_after: Duration,
+    /// Upper bound on the exponential backoff.
+    pub retransmit_cap: Duration,
+    /// What a crash means for server state (see [`RecoveryMode`]).
+    pub recovery: RecoveryMode,
 }
 
 impl RuntimeConfig {
@@ -83,6 +114,8 @@ impl RuntimeConfig {
             faults: FaultConfig::chaos(),
             broken_reads: false,
             retransmit_after: Duration::from_millis(1),
+            retransmit_cap: Duration::from_millis(16),
+            recovery: RecoveryMode::Stable,
         }
     }
 
@@ -101,7 +134,25 @@ impl RuntimeConfig {
             faults: FaultConfig::chaos(),
             broken_reads: false,
             retransmit_after: Duration::from_millis(1),
+            retransmit_cap: Duration::from_millis(16),
+            recovery: RecoveryMode::Stable,
         }
+    }
+
+    /// The smoke shape with amnesia crashes and sound recovery.
+    #[must_use]
+    pub fn smoke_amnesia(seed: u64) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::smoke(seed);
+        cfg.recovery = RecoveryMode::amnesia();
+        cfg
+    }
+
+    /// The acceptance soak shape with amnesia crashes and sound recovery.
+    #[must_use]
+    pub fn soak_amnesia(seed: u64, k: u32) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::soak(seed, k);
+        cfg.recovery = RecoveryMode::amnesia();
+        cfg
     }
 }
 
@@ -114,6 +165,9 @@ pub struct ChaosReport {
     pub bus: BusStats,
     /// The monitor's verdict.
     pub monitor: MonitorReport,
+    /// Crash-recovery counters (`crashes`/`recoveries` deterministic, the
+    /// WAL-shaped ones timing-dependent — see [`RecoveryStats`]).
+    pub recovery: RecoveryStats,
     /// Exempt rebroadcasts issued (timing-dependent; excluded from
     /// regression gating).
     pub retransmissions: u64,
@@ -144,12 +198,18 @@ fn client_rng(seed: u64, client: u32) -> SplitMix64 {
 
 /// Runs one seeded chaos configuration to completion.
 ///
+/// # Errors
+///
+/// Returns a [`FaultConfigError`] when `cfg.faults` is unusable for this
+/// topology (overlapping crash stagger, zero periods, oversubscribed
+/// rates) — the numbers are in the error.
+///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (no servers/clients/ops) or if
-/// `clients × burst` exceeds the monitor's 64-invocation window bound.
-#[must_use]
-pub fn run_chaos(cfg: &RuntimeConfig) -> ChaosReport {
+/// `clients × burst` exceeds the monitor's 64-invocation window bound —
+/// programmer errors, unlike the recoverable fault-config validation.
+pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
     assert!(cfg.servers >= 1 && cfg.clients >= 1 && cfg.ops_per_client >= 1);
     assert!(cfg.k >= 1, "ABD^k requires k ≥ 1");
     assert!(cfg.burst >= 1);
@@ -160,11 +220,18 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> ChaosReport {
     let started = Instant::now();
     let nodes = cfg.servers + cfg.clients;
     let quorum = cfg.servers / 2 + 1;
-    let (bus, receivers) = Bus::new(cfg.seed, cfg.faults, cfg.servers, nodes);
+    let (bus, receivers) = Bus::new(
+        cfg.seed,
+        cfg.faults,
+        cfg.servers,
+        nodes,
+        cfg.recovery.is_amnesia(),
+    )?;
     let bus = Arc::new(bus);
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(cfg.clients as usize));
     let retransmissions = Arc::new(AtomicU64::new(0));
+    let recovery_sink = Arc::new(RecoverySink::default());
     let latency = Histogram::unregistered();
 
     let (mon_tx, mon_rx) = mpsc::channel::<Action>();
@@ -183,7 +250,12 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> ChaosReport {
         let rx = rx_iter.next().expect("one receiver per node");
         let bus = Arc::clone(&bus);
         let stop = Arc::clone(&stop);
-        servers.push(thread::spawn(move || server_loop(Pid(s), rx, &bus, &stop)));
+        let sink = Arc::clone(&recovery_sink);
+        let mode = cfg.recovery;
+        let server_count = cfg.servers;
+        servers.push(thread::spawn(move || {
+            server_loop(Pid(s), server_count, mode, rx, &bus, &stop, &sink);
+        }));
     }
     let mut clients = Vec::new();
     for c in 0..cfg.clients {
@@ -213,6 +285,10 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> ChaosReport {
     for c in clients {
         c.join().expect("client thread");
     }
+    // Every amnesia signal is enqueued synchronously inside a client's send,
+    // so by this point all crash events are in server mailboxes; servers
+    // drain them before honoring `stop`, which keeps the recovery counters
+    // deterministic.
     stop.store(true, Ordering::Relaxed);
     for s in servers {
         s.join().expect("server thread");
@@ -222,53 +298,323 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> ChaosReport {
 
     let ops = u64::from(cfg.clients) * cfg.ops_per_client;
     blunt_obs::static_counter!("runtime.ops.completed").add(ops);
-    ChaosReport {
+    Ok(ChaosReport {
         ops,
         bus: bus.stats(),
         monitor,
+        recovery: recovery_sink.snapshot(),
         retransmissions: retransmissions.load(Ordering::Relaxed),
         latency_us: latency.snapshot(),
         elapsed: started.elapsed(),
-    }
+    })
 }
 
-/// One ABD replica: replies to queries, absorbs updates. Responses inherit
+/// An acknowledgment withheld until the WAL covers its timestamp (the
+/// write-ahead ack discipline).
+struct PendingAck {
+    ts: Ts,
+    dst: Pid,
+    obj: ObjId,
+    sn: u32,
+}
+
+/// One ABD replica with its durable storage and recovery machinery.
+struct Server<'a> {
+    me: Pid,
+    servers: u32,
+    bus: &'a Bus,
+    stop: &'a AtomicBool,
+    sink: &'a RecoverySink,
+    state: ServerState,
+    wal: Wal,
+    pending_acks: Vec<PendingAck>,
+    amnesia: bool,
+    demo_skip: bool,
+    /// Exchange counter for recovery state transfer, scoped to this server.
+    catchup_sn: u64,
+}
+
+/// One ABD replica: replies to queries, absorbs updates, and (under
+/// amnesia) crashes and recovers on the bus's signal. Responses inherit
 /// the triggering envelope's exemption so retransmitted exchanges complete
 /// without consuming fault indices.
-fn server_loop(me: Pid, rx: Receiver<Envelope>, bus: &Bus, stop: &AtomicBool) {
-    let mut state = ServerState::new(Val::Nil);
+fn server_loop(
+    me: Pid,
+    servers: u32,
+    mode: RecoveryMode,
+    rx: Receiver<Envelope>,
+    bus: &Bus,
+    stop: &AtomicBool,
+    sink: &RecoverySink,
+) {
+    let (amnesia, fsync_interval, demo_skip) = match mode {
+        RecoveryMode::Stable => (false, 1, false),
+        RecoveryMode::Amnesia {
+            fsync_interval,
+            demo_skip_recovery,
+        } => (true, fsync_interval, demo_skip_recovery),
+    };
+    let mut srv = Server {
+        me,
+        servers,
+        bus,
+        stop,
+        sink,
+        state: ServerState::new(Val::Nil),
+        wal: Wal::new(fsync_interval),
+        pending_acks: Vec::new(),
+        amnesia,
+        demo_skip,
+        catchup_sn: 0,
+    };
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(env) => match env.msg {
-                AbdMsg::Query { obj, sn } => {
-                    let msg = state.reply(obj, sn);
-                    bus.send(Envelope {
-                        src: me,
-                        dst: env.src,
-                        msg,
-                        exempt: env.exempt,
-                    });
+            Ok(env) => {
+                let exempt = env.exempt;
+                srv.handle(env, &rx);
+                if exempt && srv.amnesia {
+                    // Retransmission pressure: an exempt arrival means some
+                    // client is stuck waiting, plausibly on a withheld ack —
+                    // group-commit now.
+                    srv.flush_wal();
                 }
-                AbdMsg::Update { obj, sn, val, ts } => {
-                    state.absorb(val, ts);
-                    bus.send(Envelope {
-                        src: me,
-                        dst: env.src,
-                        msg: AbdMsg::Ack { obj, sn },
-                        exempt: env.exempt,
-                    });
-                }
-                // Replies and acks are client-bound; a misrouted one is
-                // ignorable.
-                AbdMsg::Reply { .. } | AbdMsg::Ack { .. } => {}
-            },
+            }
             Err(RecvTimeoutError::Timeout) => {
+                if srv.amnesia {
+                    // Idle flush: no batch will fill soon, sync what's
+                    // pending so withheld acks go out.
+                    srv.flush_wal();
+                }
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
             }
             Err(RecvTimeoutError::Disconnected) => return,
         }
+    }
+}
+
+impl Server<'_> {
+    fn handle(&mut self, env: Envelope, rx: &Receiver<Envelope>) {
+        match env.msg {
+            Payload::Abd(msg) => self.handle_abd(env.src, msg, env.exempt),
+            Payload::Crash { .. } => self.handle_crash(rx),
+            Payload::StateQuery { sn } => self.answer_state_query(env.src, sn),
+            // A reply to a catch-up exchange that already completed (or was
+            // aborted): stale, ignorable.
+            Payload::StateReply { .. } => {}
+        }
+    }
+
+    fn handle_abd(&mut self, src: Pid, msg: AbdMsg, exempt: bool) {
+        match msg {
+            AbdMsg::Query { obj, sn } => {
+                // Queries may serve volatile (unsynced) state: a reader that
+                // returns it first re-makes it durable at an ack-quorum via
+                // its own write-back, so a later crash here cannot un-happen
+                // an observed read (docs/RUNTIME.md).
+                let reply = self.state.reply(obj, sn);
+                self.bus.send(Envelope::abd(self.me, src, reply, exempt));
+            }
+            AbdMsg::Update { obj, sn, val, ts } => {
+                if !self.amnesia {
+                    self.state.absorb(val, ts);
+                    self.bus
+                        .send(Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, exempt));
+                    return;
+                }
+                // Amnesia-mode acks are always exempt: group commit makes
+                // an ack's timing — and, when a crash clears a withheld
+                // ack, its very existence — depend on flush scheduling, so
+                // routing acks through the per-link schedule would make
+                // `BusStats::offered` timing-dependent and break replay.
+                // The injector still exercises this exchange through the
+                // update leg, which drives the same retransmission path.
+                self.state.absorb(val.clone(), ts);
+                if self.wal.durable_ts() >= ts {
+                    // A durable record already covers this timestamp —
+                    // replay would restore state at least this new, so the
+                    // ack is safe immediately.
+                    self.bus
+                        .send(Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, true));
+                } else {
+                    // Write-ahead ack discipline: log first, ack after the
+                    // covering fsync. (Re-appending a retransmitted update
+                    // whose record is still unsynced is harmless — the
+                    // checkpoint keeps the max.)
+                    self.wal.append(val, ts);
+                    self.pending_acks.push(PendingAck {
+                        ts,
+                        dst: src,
+                        obj,
+                        sn,
+                    });
+                    if self.wal.batch_full() {
+                        self.flush_wal();
+                    }
+                }
+            }
+            // Replies and acks are client-bound; a misrouted one is
+            // ignorable.
+            AbdMsg::Reply { .. } | AbdMsg::Ack { .. } => {}
+        }
+    }
+
+    /// Group commit: fsync the WAL, then release every acknowledgment the
+    /// new durable frontier covers (which is all of them — the frontier is
+    /// the max appended timestamp).
+    fn flush_wal(&mut self) {
+        self.wal.fsync();
+        if self.pending_acks.is_empty() {
+            return;
+        }
+        let durable = self.wal.durable_ts();
+        let mut i = 0;
+        while i < self.pending_acks.len() {
+            if self.pending_acks[i].ts <= durable {
+                let a = self.pending_acks.swap_remove(i);
+                // Exempt like every amnesia-mode ack (see `handle_abd`).
+                self.bus.send(Envelope::abd(
+                    self.me,
+                    a.dst,
+                    AbdMsg::Ack {
+                        obj: a.obj,
+                        sn: a.sn,
+                    },
+                    true,
+                ));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn answer_state_query(&self, peer: Pid, sn: u64) {
+        let (val, ts) = self.state.snapshot();
+        self.bus.send(Envelope {
+            src: self.me,
+            dst: peer,
+            msg: Payload::StateReply { sn, val, ts },
+            exempt: true,
+        });
+    }
+
+    /// The amnesia signal arrived: crash, recover, and only then serve the
+    /// traffic that queued up behind the recovery. Crashes that land
+    /// *during* a recovery's catch-up are counted and processed iteratively
+    /// here rather than recursively.
+    fn handle_crash(&mut self, rx: &Receiver<Envelope>) {
+        debug_assert!(self.amnesia, "stable-mode buses never signal crashes");
+        let mut crashes: u64 = 1;
+        let mut buffered: Vec<Envelope> = Vec::new();
+        while crashes > 0 {
+            crashes -= 1;
+            crashes += self.crash_and_recover(rx, &mut buffered);
+        }
+        // FIFO-replay the protocol traffic that arrived mid-recovery.
+        for env in buffered {
+            if let Payload::Abd(msg) = env.msg {
+                self.handle_abd(env.src, msg, env.exempt);
+            }
+        }
+    }
+
+    /// One crash + recovery cycle. Returns the number of *further* crash
+    /// signals that arrived while catching up; protocol envelopes received
+    /// meanwhile are pushed to `buffered` in arrival order.
+    fn crash_and_recover(&mut self, rx: &Receiver<Envelope>, buffered: &mut Vec<Envelope>) -> u64 {
+        // The crash: unsynced WAL suffix and all volatile state are gone.
+        // Withheld acks die with their records — the clients retransmit and
+        // the updates are re-logged.
+        let lost = self.wal.lose_unsynced();
+        self.pending_acks.clear();
+        self.state.forget(Val::Nil);
+        self.sink.on_crash(lost as u64);
+
+        if self.demo_skip {
+            // The intentionally-broken recovery: no replay, no catch-up —
+            // and storage itself wiped, modeling a server that comes back
+            // blank and immediately serves timestamp (0, 0). The monitor
+            // must flag the stale reads this produces.
+            self.wal.wipe();
+            return 0;
+        }
+        let t0 = Instant::now();
+
+        // Phase 1 — WAL replay: restore the newest durable record. Every
+        // acknowledged update is covered by this (write-ahead ack
+        // discipline), so the replica is already *sound* here; what it may
+        // lack is freshness.
+        if let Some((val, ts)) = self.wal.replay() {
+            self.state.restore(val, ts);
+            self.sink.on_replay();
+        }
+
+        // Phase 2 — peer catch-up, mirroring the ABD read phase: ask every
+        // peer, wait for quorum−1 answers (self completes the majority),
+        // adopt the newest. Exempt traffic: recovery never perturbs the
+        // fault schedule.
+        let mut nested: u64 = 0;
+        let peers: Vec<Pid> = (0..self.servers)
+            .map(Pid)
+            .filter(|p| *p != self.me)
+            .collect();
+        let quorum = self.servers / 2 + 1;
+        let needed = (quorum.saturating_sub(1) as usize).min(peers.len());
+        if needed > 0 {
+            self.catchup_sn += 1;
+            let sn = self.catchup_sn;
+            for p in &peers {
+                self.bus.send(Envelope {
+                    src: self.me,
+                    dst: *p,
+                    msg: Payload::StateQuery { sn },
+                    exempt: true,
+                });
+            }
+            self.sink.on_state_queries(peers.len() as u64);
+            let mut got = 0usize;
+            let mut best: Option<(Val, Ts)> = None;
+            while got < needed {
+                match rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(env) => match env.msg {
+                        Payload::StateReply { sn: rsn, val, ts } if rsn == sn => {
+                            got += 1;
+                            if best.as_ref().is_none_or(|(_, bt)| ts > *bt) {
+                                best = Some((val, ts));
+                            }
+                        }
+                        Payload::StateReply { .. } => {}
+                        // Another server recovering concurrently: answer
+                        // inline or the two recoveries deadlock.
+                        Payload::StateQuery { sn: qsn } => self.answer_state_query(env.src, qsn),
+                        Payload::Crash { .. } => nested += 1,
+                        Payload::Abd(_) => buffered.push(env),
+                    },
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.stop.load(Ordering::Relaxed) {
+                            // Shutdown: peers may already be gone. The
+                            // replayed checkpoint stands — truncating
+                            // catch-up costs freshness, never soundness.
+                            self.sink.on_catchup_aborted();
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.sink.on_catchup_aborted();
+                        break;
+                    }
+                }
+            }
+            if let Some((val, ts)) = best {
+                // Freshness only: install iff newer than the replayed
+                // checkpoint (absorb's own rule).
+                self.state.absorb(val, ts);
+            }
+        }
+        self.sink
+            .on_recovery(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        nested
     }
 }
 
@@ -355,8 +701,20 @@ fn server_pids(cfg: &RuntimeConfig) -> impl Iterator<Item = Pid> {
     (0..cfg.servers).map(Pid)
 }
 
+/// The client's deterministic exponential backoff: doubles per consecutive
+/// timeout from `retransmit_after`, saturating at `retransmit_cap`; any
+/// received message resets it (evidence of progress). Returns the next wait
+/// and bumps the saturation counter on the transition to the cap.
+fn next_backoff(wait: Duration, cfg: &RuntimeConfig) -> Duration {
+    let next = wait.saturating_mul(2).min(cfg.retransmit_cap);
+    if next == cfg.retransmit_cap && wait < cfg.retransmit_cap {
+        blunt_obs::static_counter!("runtime.client.backoff_max_reached").inc();
+    }
+    next
+}
+
 /// Drives one full ABD (or ABD^k) operation through the client step machine
-/// to completion, retransmitting on timeout.
+/// to completion, retransmitting with exponential backoff on timeout.
 #[allow(clippy::too_many_arguments)] // mirrors the thread context it runs in
 fn abd_op(
     me: Pid,
@@ -375,56 +733,69 @@ fn abd_op(
     let sn = *sn_counter;
     let mut op = ActiveOp::start(inv, obj, kind, cfg.k, sn);
     bus.broadcast(me, server_pids(cfg), &AbdMsg::Query { obj, sn }, false);
+    let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
     loop {
-        match rx.recv_timeout(cfg.retransmit_after) {
-            Ok(env) => match env.msg {
-                AbdMsg::Reply {
-                    obj: o,
-                    sn: msg_sn,
-                    val,
-                    ts,
-                } if o == obj => {
-                    match op.on_reply(env.src, msg_sn, &val, ts, quorum, me, sn_counter) {
-                        ReplyEffect::NextQuery { sn, .. } => {
-                            bus.broadcast(me, server_pids(cfg), &AbdMsg::Query { obj, sn }, false);
+        match rx.recv_timeout(wait) {
+            Ok(env) => {
+                wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+                let Payload::Abd(msg) = env.msg else {
+                    continue; // control traffic never targets clients
+                };
+                match msg {
+                    AbdMsg::Reply {
+                        obj: o,
+                        sn: msg_sn,
+                        val,
+                        ts,
+                    } if o == obj => {
+                        match op.on_reply(env.src, msg_sn, &val, ts, quorum, me, sn_counter) {
+                            ReplyEffect::NextQuery { sn, .. } => {
+                                bus.broadcast(
+                                    me,
+                                    server_pids(cfg),
+                                    &AbdMsg::Query { obj, sn },
+                                    false,
+                                );
+                            }
+                            ReplyEffect::NeedChoice { choices, .. } => {
+                                // The object random step, drawn from the
+                                // client's seeded stream: one draw per op, so
+                                // the stream position is schedule-independent.
+                                let choice = rng.draw(choices as usize);
+                                let (sn, val, ts) = op.choose(choice, me, sn_counter);
+                                bus.broadcast(
+                                    me,
+                                    server_pids(cfg),
+                                    &AbdMsg::Update { obj, sn, val, ts },
+                                    false,
+                                );
+                            }
+                            ReplyEffect::StartUpdate { sn, val, ts, .. } => {
+                                bus.broadcast(
+                                    me,
+                                    server_pids(cfg),
+                                    &AbdMsg::Update { obj, sn, val, ts },
+                                    false,
+                                );
+                            }
+                            ReplyEffect::Ignored | ReplyEffect::Counted => {}
                         }
-                        ReplyEffect::NeedChoice { choices, .. } => {
-                            // The object random step, drawn from the
-                            // client's seeded stream: one draw per op, so
-                            // the stream position is schedule-independent.
-                            let choice = rng.draw(choices as usize);
-                            let (sn, val, ts) = op.choose(choice, me, sn_counter);
-                            bus.broadcast(
-                                me,
-                                server_pids(cfg),
-                                &AbdMsg::Update { obj, sn, val, ts },
-                                false,
-                            );
-                        }
-                        ReplyEffect::StartUpdate { sn, val, ts, .. } => {
-                            bus.broadcast(
-                                me,
-                                server_pids(cfg),
-                                &AbdMsg::Update { obj, sn, val, ts },
-                                false,
-                            );
-                        }
-                        ReplyEffect::Ignored | ReplyEffect::Counted => {}
                     }
-                }
-                AbdMsg::Ack { obj: o, sn: msg_sn } if o == obj => {
-                    if let AckEffect::Complete { ret } = op.on_ack(env.src, msg_sn, quorum) {
-                        return ret;
+                    AbdMsg::Ack { obj: o, sn: msg_sn } if o == obj => {
+                        if let AckEffect::Complete { ret } = op.on_ack(env.src, msg_sn, quorum) {
+                            return ret;
+                        }
                     }
+                    _ => {}
                 }
-                _ => {}
-            },
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(msg) = op.retransmission() {
                     *retrans += 1;
                     blunt_obs::static_counter!("runtime.client.retransmissions").inc();
                     bus.broadcast(me, server_pids(cfg), &msg, true);
                 }
+                wait = next_backoff(wait, cfg);
             }
             Err(RecvTimeoutError::Disconnected) => {
                 panic!("bus closed while an operation was in flight")
@@ -453,21 +824,18 @@ fn broken_read(
     let sn = *sn_counter;
     let target = Pid(u32::try_from(op_idx % u64::from(cfg.servers)).expect("server index"));
     let msg = AbdMsg::Query { obj, sn };
-    bus.send(Envelope {
-        src: me,
-        dst: target,
-        msg: msg.clone(),
-        exempt: false,
-    });
+    bus.send(Envelope::abd(me, target, msg.clone(), false));
+    let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
     loop {
-        match rx.recv_timeout(cfg.retransmit_after) {
+        match rx.recv_timeout(wait) {
             Ok(env) => {
-                if let AbdMsg::Reply {
+                wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+                if let Payload::Abd(AbdMsg::Reply {
                     obj: o,
                     sn: msg_sn,
                     val,
                     ..
-                } = env.msg
+                }) = env.msg
                 {
                     if o == obj && msg_sn == sn {
                         return val;
@@ -476,12 +844,8 @@ fn broken_read(
             }
             Err(RecvTimeoutError::Timeout) => {
                 *retrans += 1;
-                bus.send(Envelope {
-                    src: me,
-                    dst: target,
-                    msg: msg.clone(),
-                    exempt: true,
-                });
+                bus.send(Envelope::abd(me, target, msg.clone(), true));
+                wait = next_backoff(wait, cfg);
             }
             Err(RecvTimeoutError::Disconnected) => {
                 panic!("bus closed while a read was in flight")
