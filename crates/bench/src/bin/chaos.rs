@@ -7,6 +7,7 @@
 //! cargo run --release -p blunt-bench --bin chaos -- --smoke      # CI-sized
 //! cargo run --release -p blunt-bench --bin chaos -- --seed 7
 //! cargo run --release -p blunt-bench --bin chaos -- --fault-profile amnesia
+//! cargo run --release -p blunt-bench --bin chaos -- --smoke --watch 1s
 //! cargo run --release -p blunt-bench --bin chaos -- --demo-broken
 //! cargo run --release -p blunt-bench --bin chaos -- --demo-amnesia
 //! ```
@@ -19,17 +20,41 @@
 //! rates past 1000‰) is a *usage* error: the offending numbers go to
 //! stderr and the exit status is 2, distinct from a soundness failure.
 //!
+//! **Live telemetry.** `--watch <interval>` (e.g. `1s`, `250ms`) streams a
+//! progress line to stderr every interval: ops/sec, in-flight operations,
+//! streaming latency percentiles (a mergeable quantile sketch, not the
+//! end-of-run histogram), recoveries, and the monitor's backlog in
+//! ops-behind-frontier. Watching is read-only — it never perturbs the
+//! fault schedule, so a watched run and a silent run of the same seed
+//! produce identical deterministic results.
+//!
+//! **Flight recorder.** Every run keeps a bounded per-thread event window
+//! (bus sends, fault decisions, op boundaries, acks, WAL flushes, crashes,
+//! monitor cuts). On a monitor violation the window is captured *at the
+//! moment of detection* and written under `--dump-dir` (default
+//! `target/chaos/flight/`) as schema-versioned JSONL plus a rendered
+//! space-time diagram; a stall (no completed op for 60 s) does the same.
+//! The demo modes emit `broken_fast_read.*` / `broken_amnesia.*` dumps.
+//!
 //! Each configuration records the deterministic counters
-//! `runtime.chaos.<cfg>.ops`, `.violations`, and (for message-passing
-//! configs) `.recoveries`; the full counter snapshot plus per-config
-//! wall-times goes to the schema-versioned `BENCH_results.json` (default
+//! `runtime.chaos.<cfg>.ops`, `.violations`, `.monitor_actions`, and (for
+//! message-passing configs) `.recoveries`; the full counter snapshot plus
+//! per-config wall-times — including the monitor-overhead phases
+//! `monitor.<cfg>` (time inside `observe`) and `monitor_lag_ops.<cfg>` —
+//! goes to the schema-versioned `BENCH_results.json` (default
 //! `target/chaos/BENCH_results.json`, `--results-out` to redirect) for the
 //! `bench-report` gate — the committed baseline pins every `violations`
-//! counter at 0, so a single violation fails `--check`.
+//! counter at 0, so a single violation fails `--check`. A machine-readable
+//! run summary with per-link fault-schedule **coverage** goes to
+//! `--summary-out` (default `target/chaos/RUN_summary.json`); it contains
+//! only seed-deterministic fields, so two same-seed runs write identical
+//! summaries.
 //!
 //! Exit status: `0` when every configuration is violation-free (or, under
 //! the demo modes, when the intentionally-broken implementation IS caught);
-//! `1` on a soundness failure; `2` on a usage error.
+//! `1` on a soundness failure; `2` on a usage error (including an
+//! unwritable `--results-out`/`--summary-out`/`--dump-dir` path, reported
+//! fail-fast before any run starts).
 //!
 //! `--demo-broken` replaces the quorum read with an unsound single-server
 //! fast read; `--demo-amnesia` makes crash recovery skip WAL replay and
@@ -40,11 +65,13 @@ use blunt_runtime::{
     run_chaos, run_shm_chaos, ChaosReport, FaultConfig, RecoveryMode, RuntimeConfig, ShmChaosConfig,
 };
 use blunt_trace::regress::BenchResults;
-use std::path::PathBuf;
+use blunt_trace::{flight_space_time, DiagramOptions};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: chaos [--smoke] [--seed N] [--results-out PATH] \
+     [--summary-out PATH] [--dump-dir DIR] [--watch DUR] [--ops-per-client N] \
      [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \
      [--demo-broken | --demo-amnesia]";
 
@@ -96,6 +123,10 @@ struct Cli {
     demo_amnesia: bool,
     seed: u64,
     results_out: PathBuf,
+    summary_out: PathBuf,
+    dump_dir: PathBuf,
+    watch: Option<Duration>,
+    ops_per_client: Option<u64>,
     profile: Option<FaultProfile>,
     crash_len: Option<u64>,
     crash_period: Option<u64>,
@@ -107,6 +138,38 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// `1s`, `250ms`, or a bare number of seconds.
+fn parse_duration(flag: &str, v: &str) -> Duration {
+    let parsed = if let Some(ms) = v.strip_suffix("ms") {
+        ms.parse().ok().map(Duration::from_millis)
+    } else if let Some(s) = v.strip_suffix('s') {
+        s.parse().ok().map(Duration::from_secs)
+    } else {
+        v.parse().ok().map(Duration::from_secs)
+    };
+    match parsed.filter(|d| !d.is_zero()) {
+        Some(d) => d,
+        None => usage_error(&format!(
+            "{flag}: `{v}` is not a duration (try `1s` or `250ms`)"
+        )),
+    }
+}
+
+/// Fail-fast output-path validation: create the directory (or the file's
+/// parent) now, so a typo'd path is a usage error naming the path — not a
+/// panic after minutes of soaking.
+fn ensure_dir(flag: &str, dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        usage_error(&format!("{flag}: cannot create `{}`: {e}", dir.display()));
+    }
+}
+
+fn ensure_parent(flag: &str, file: &Path) {
+    if let Some(parent) = file.parent().filter(|p| !p.as_os_str().is_empty()) {
+        ensure_dir(flag, parent);
+    }
+}
+
 fn parse_cli() -> Cli {
     let mut cli = Cli {
         smoke: false,
@@ -114,6 +177,10 @@ fn parse_cli() -> Cli {
         demo_amnesia: false,
         seed: 0x0B1D_5EED,
         results_out: PathBuf::from("target/chaos/BENCH_results.json"),
+        summary_out: PathBuf::from("target/chaos/RUN_summary.json"),
+        dump_dir: PathBuf::from("target/chaos/flight"),
+        watch: None,
+        ops_per_client: None,
         profile: None,
         crash_len: None,
         crash_period: None,
@@ -135,6 +202,18 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|_| usage_error(&format!("--seed: `{v}` is not a u64")));
             }
             "--results-out" => cli.results_out = value("--results-out", &mut args).into(),
+            "--summary-out" => cli.summary_out = value("--summary-out", &mut args).into(),
+            "--dump-dir" => cli.dump_dir = value("--dump-dir", &mut args).into(),
+            "--watch" => {
+                let v = value("--watch", &mut args);
+                cli.watch = Some(parse_duration("--watch", &v));
+            }
+            "--ops-per-client" => {
+                let v = value("--ops-per-client", &mut args);
+                cli.ops_per_client = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    usage_error(&format!("--ops-per-client: `{v}` is not a positive u64"))
+                }));
+            }
             "--fault-profile" => {
                 let v = value("--fault-profile", &mut args);
                 cli.profile = Some(FaultProfile::parse(&v).unwrap_or_else(|| {
@@ -162,6 +241,10 @@ fn parse_cli() -> Cli {
     if cli.demo_broken && cli.demo_amnesia {
         usage_error("--demo-broken and --demo-amnesia are mutually exclusive");
     }
+    // Validate every output path before the first run starts.
+    ensure_parent("--results-out", &cli.results_out);
+    ensure_parent("--summary-out", &cli.summary_out);
+    ensure_dir("--dump-dir", &cli.dump_dir);
     cli
 }
 
@@ -212,6 +295,11 @@ fn abd_configs(cli: &Cli) -> Vec<(String, RuntimeConfig)> {
         if let Some(period) = cli.crash_period {
             cfg.faults.crash_period = period;
         }
+        if let Some(n) = cli.ops_per_client {
+            cfg.ops_per_client = n;
+        }
+        cfg.watch = cli.watch;
+        cfg.flight_dump_dir = Some(cli.dump_dir.clone());
     }
     cfgs
 }
@@ -230,11 +318,14 @@ fn shm_configs(smoke: bool, seed: u64) -> Vec<(String, ShmChaosConfig)> {
         .collect()
 }
 
-fn record(name: &str, ops: u64, violations: u64, recoveries: Option<u64>) {
+fn record(name: &str, ops: u64, violations: u64, recoveries: Option<u64>, actions: Option<u64>) {
     blunt_obs::counter(&format!("runtime.chaos.{name}.ops")).add(ops);
     blunt_obs::counter(&format!("runtime.chaos.{name}.violations")).add(violations);
     if let Some(r) = recoveries {
         blunt_obs::counter(&format!("runtime.chaos.{name}.recoveries")).add(r);
+    }
+    if let Some(a) = actions {
+        blunt_obs::counter(&format!("runtime.chaos.{name}.monitor_actions")).add(a);
     }
 }
 
@@ -261,6 +352,16 @@ fn print_abd(name: &str, r: &ChaosReport) {
         r.bus.crash_dropped,
         r.bus.partition_dropped,
     );
+    println!(
+        "{:<24} coverage: fates [{}] over {} links  monitor: {} actions, \
+         {:.1} ms observe, lag hwm {}",
+        "",
+        r.coverage.fates_exercised().join(" "),
+        r.coverage.links.len(),
+        r.monitor_overhead.actions,
+        r.monitor_overhead.observe_ns as f64 / 1e6,
+        r.monitor_overhead.lag_ops_hwm,
+    );
     if r.recovery.crashes > 0 {
         println!(
             "{:<24} recovery: crashes {} recovered {} wal lost/replayed {}/{} \
@@ -273,6 +374,30 @@ fn print_abd(name: &str, r: &ChaosReport) {
             r.recovery.state_queries,
         );
     }
+}
+
+/// Writes the run's violation flight dump (JSONL + rendered diagram) under
+/// `dump_dir` as `<stem>.flight.jsonl` / `<stem>.diagram.txt`. Returns the
+/// diagram path when a dump existed.
+fn write_flight_artifacts(
+    dump_dir: &Path,
+    stem: &str,
+    report: &ChaosReport,
+    lanes: usize,
+) -> Option<PathBuf> {
+    let dump = report.violation_dump.as_ref()?;
+    let _ = std::fs::create_dir_all(dump_dir);
+    let jsonl = dump_dir.join(format!("{stem}.flight.jsonl"));
+    let diagram = dump_dir.join(format!("{stem}.diagram.txt"));
+    let rendered = flight_space_time(&dump.last_n(800), lanes, &DiagramOptions::default());
+    std::fs::write(&jsonl, dump.to_jsonl()).expect("write flight dump");
+    std::fs::write(&diagram, rendered).expect("write flight diagram");
+    println!(
+        "flight dump written to {} (+ {})",
+        jsonl.display(),
+        diagram.display()
+    );
+    Some(diagram)
 }
 
 /// Print the first violation window; exit 0 iff the monitor caught the
@@ -298,20 +423,24 @@ fn report_demo_catch(what: &str, report: &ChaosReport) -> ExitCode {
     }
 }
 
-fn demo_broken(seed: u64) -> ExitCode {
-    let mut cfg = RuntimeConfig::smoke(seed);
+fn demo_broken(cli: &Cli) -> ExitCode {
+    let mut cfg = RuntimeConfig::smoke(cli.seed);
     cfg.broken_reads = true;
     cfg.read_per_mille = 400;
+    cfg.watch = cli.watch;
+    cfg.flight_dump_dir = Some(cli.dump_dir.clone());
     println!("demo: ABD with an unsound single-server fast read (no quorum, no write-back)\n");
     let report = match run_chaos(&cfg) {
         Ok(r) => r,
         Err(e) => usage_error(&e.to_string()),
     };
     print_abd("broken_fast_read", &report);
+    let lanes = (cfg.servers + cfg.clients + 1) as usize;
+    write_flight_artifacts(&cli.dump_dir, "broken_fast_read", &report, lanes);
     report_demo_catch("the unsound read", &report)
 }
 
-fn demo_amnesia(seed: u64) -> ExitCode {
+fn demo_amnesia(cli: &Cli) -> ExitCode {
     // The proven catch configuration (mirrors the
     // `broken_amnesia_recovery_is_caught_with_a_rendered_window` test):
     // two clients so per-link crash-window phases stay unsynchronized —
@@ -322,8 +451,9 @@ fn demo_amnesia(seed: u64) -> ExitCode {
     // state), so sweep a few seeds and demand the catch within the budget.
     println!("demo: amnesia crashes with a recovery that skips WAL replay and peer catch-up\n");
     let mut last = None;
+    let mut lanes = 0usize;
     for attempt in 0..8u64 {
-        let mut cfg = RuntimeConfig::smoke_amnesia(seed + attempt);
+        let mut cfg = RuntimeConfig::smoke_amnesia(cli.seed + attempt);
         cfg.recovery = RecoveryMode::demo_amnesia();
         cfg.clients = 2;
         cfg.ops_per_client = 2000;
@@ -332,11 +462,14 @@ fn demo_amnesia(seed: u64) -> ExitCode {
         cfg.faults.delay_per_mille = 100;
         cfg.faults.crash_len = 2;
         cfg.faults.crash_period = 9;
+        cfg.watch = cli.watch;
+        cfg.flight_dump_dir = Some(cli.dump_dir.clone());
+        lanes = (cfg.servers + cfg.clients + 1) as usize;
         let report = match run_chaos(&cfg) {
             Ok(r) => r,
             Err(e) => usage_error(&e.to_string()),
         };
-        print_abd(&format!("broken_amnesia[{}]", seed + attempt), &report);
+        print_abd(&format!("broken_amnesia[{}]", cli.seed + attempt), &report);
         if report.recovery.crashes == 0 {
             eprintln!("\nchaos: no crash events fired — demo config is inert");
             return ExitCode::FAILURE;
@@ -348,16 +481,54 @@ fn demo_amnesia(seed: u64) -> ExitCode {
         }
     }
     let report = last.expect("at least one attempt runs");
+    write_flight_artifacts(&cli.dump_dir, "broken_amnesia", &report, lanes);
     report_demo_catch("the recovery that skips replay and catch-up", &report)
+}
+
+/// One config's deterministic summary entry. Timing-dependent numbers
+/// (latency, retransmissions, monitor lag/observe time) are deliberately
+/// excluded so two same-seed runs write byte-identical summaries.
+fn summary_entry(name: &str, r: &ChaosReport) -> blunt_obs::Json {
+    use blunt_obs::Json;
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        ("ops".into(), Json::UInt(r.ops)),
+        (
+            "violations".into(),
+            Json::UInt(r.monitor.violations.len() as u64),
+        ),
+        ("recoveries".into(), Json::UInt(r.recovery.recoveries)),
+        (
+            "monitor_actions".into(),
+            Json::UInt(r.monitor_overhead.actions),
+        ),
+        (
+            "bus".into(),
+            Json::Obj(vec![
+                ("offered".into(), Json::UInt(r.bus.offered)),
+                ("dropped".into(), Json::UInt(r.bus.dropped)),
+                ("duplicated".into(), Json::UInt(r.bus.duplicated)),
+                ("reordered".into(), Json::UInt(r.bus.reordered)),
+                ("delayed".into(), Json::UInt(r.bus.delayed)),
+                ("crash_dropped".into(), Json::UInt(r.bus.crash_dropped)),
+                (
+                    "partition_dropped".into(),
+                    Json::UInt(r.bus.partition_dropped),
+                ),
+                ("crash_events".into(), Json::UInt(r.bus.crash_events)),
+            ]),
+        ),
+        ("coverage".into(), r.coverage.to_json()),
+    ])
 }
 
 fn main() -> ExitCode {
     let cli = parse_cli();
     if cli.demo_broken {
-        return demo_broken(cli.seed);
+        return demo_broken(&cli);
     }
     if cli.demo_amnesia {
-        return demo_amnesia(cli.seed);
+        return demo_amnesia(&cli);
     }
 
     let seed = cli.seed;
@@ -371,6 +542,7 @@ fn main() -> ExitCode {
     );
     let mut phases: Vec<(String, f64)> = Vec::new();
     let mut dirty: Vec<String> = Vec::new();
+    let mut summaries: Vec<blunt_obs::Json> = Vec::new();
 
     for (name, cfg) in abd_configs(&cli) {
         let t0 = Instant::now();
@@ -382,14 +554,29 @@ fn main() -> ExitCode {
             Err(e) => usage_error(&e.to_string()),
         };
         phases.push((name.clone(), t0.elapsed().as_secs_f64() * 1000.0));
+        // Monitor-overhead phases for the bench gate: wall time inside
+        // `observe` and the backlog high-water mark. Timing-dependent, so
+        // informational unless bench-report runs with --strict-times.
+        phases.push((
+            format!("monitor.{name}"),
+            report.monitor_overhead.observe_ns as f64 / 1e6,
+        ));
+        phases.push((
+            format!("monitor_lag_ops.{name}"),
+            report.monitor_overhead.lag_ops_hwm as f64,
+        ));
         print_abd(&name, &report);
         record(
             &name,
             report.ops,
             report.monitor.violations.len() as u64,
             Some(report.recovery.recoveries),
+            Some(report.monitor_overhead.actions),
         );
+        summaries.push(summary_entry(&name, &report));
         if !report.monitor.clean() {
+            let lanes = (cfg.servers + cfg.clients + 1) as usize;
+            write_flight_artifacts(&cli.dump_dir, &name, &report, lanes);
             dirty.push(name);
         }
     }
@@ -408,7 +595,16 @@ fn main() -> ExitCode {
                 report.ops,
                 report.monitor.violations.len() as u64,
                 None,
+                None,
             );
+            summaries.push(blunt_obs::Json::Obj(vec![
+                ("name".into(), blunt_obs::Json::Str(name.clone())),
+                ("ops".into(), blunt_obs::Json::UInt(report.ops)),
+                (
+                    "violations".into(),
+                    blunt_obs::Json::UInt(report.monitor.violations.len() as u64),
+                ),
+            ]));
             if !report.monitor.clean() {
                 dirty.push(name);
             }
@@ -421,13 +617,7 @@ fn main() -> ExitCode {
     // seed, unlike e.g. the monitor's segment counts (cut placement is
     // scheduling-dependent) or the shared `lincheck.wgl.*` totals, which
     // would collide with the experiments baseline.
-    if let Some(parent) = cli
-        .results_out
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-    {
-        std::fs::create_dir_all(parent).expect("create results dir");
-    }
+    ensure_parent("--results-out", &cli.results_out);
     let mut results = BenchResults::from_snapshot(phases, &blunt_obs::snapshot());
     results
         .counters
@@ -436,6 +626,22 @@ fn main() -> ExitCode {
     std::fs::write(&cli.results_out, format!("{}\n", results.to_json()))
         .expect("write BENCH_results.json");
     println!("\nbench results written to {}", cli.results_out.display());
+
+    // The machine-readable run summary: deterministic fields only (see
+    // summary_entry), so replaying a seed reproduces it byte-for-byte.
+    let summary = blunt_obs::Json::Obj(vec![
+        ("type".into(), blunt_obs::Json::Str("chaos_summary".into())),
+        ("schema_version".into(), blunt_obs::Json::UInt(1)),
+        ("seed".into(), blunt_obs::Json::UInt(seed)),
+        (
+            "mode".into(),
+            blunt_obs::Json::Str(if cli.smoke { "smoke" } else { "soak" }.into()),
+        ),
+        ("configs".into(), blunt_obs::Json::Arr(summaries)),
+    ]);
+    ensure_parent("--summary-out", &cli.summary_out);
+    std::fs::write(&cli.summary_out, format!("{summary}\n")).expect("write run summary");
+    println!("run summary written to {}", cli.summary_out.display());
 
     if dirty.is_empty() {
         println!("verdict: all configurations linearizable (0 violations)");

@@ -91,6 +91,89 @@ fn unreadable_input_exits_with_usage_error() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// A baseline with the chaos runner's monitor-overhead quantities: the
+/// deterministic `monitor_actions` counter (blocking) and the
+/// timing-dependent `monitor.*` observe-time phase (gates only under
+/// `--strict-times`).
+const MONITOR_BASELINE: &str = r#"{"type":"bench_results","schema_version":1,
+    "phases":[{"name":"smoke.abd_k1_chaos","wall_ms":400.0},
+              {"name":"monitor.smoke.abd_k1_chaos","wall_ms":2.0},
+              {"name":"monitor_lag_ops.smoke.abd_k1_chaos","wall_ms":40.0}],
+    "counters":[{"name":"runtime.chaos.smoke.abd_k1_chaos.ops","value":2000},
+                {"name":"runtime.chaos.smoke.abd_k1_chaos.violations","value":0},
+                {"name":"runtime.chaos.smoke.abd_k1_chaos.monitor_actions","value":4000}]}"#;
+
+#[test]
+fn monitor_actions_counter_regression_blocks() {
+    let baseline = write_fixture("mon-baseline.json", MONITOR_BASELINE);
+    // The monitor silently observing twice per op more than it should —
+    // e.g. duplicated action reporting — doubles the deterministic counter.
+    let doctored = write_fixture(
+        "mon-doctored.json",
+        &MONITOR_BASELINE.replace(
+            r#"monitor_actions","value":4000"#,
+            r#"monitor_actions","value":8000"#,
+        ),
+    );
+    let out = bench_report(&[
+        "--check",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        doctored.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("monitor_actions") && stdout.contains("REGRESSED"),
+        "{stdout}"
+    );
+
+    // The regenerated baseline compared against itself is clean.
+    let same = write_fixture("mon-same.json", MONITOR_BASELINE);
+    let out = bench_report(&[
+        "--check",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        same.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn monitor_observe_phase_gates_only_under_strict_times() {
+    let baseline = write_fixture("mon-phase-baseline.json", MONITOR_BASELINE);
+    // Monitor observe time blowing up 10x: a real overhead regression, but
+    // wall-time, so informational by default.
+    let doctored = write_fixture(
+        "mon-phase-doctored.json",
+        &MONITOR_BASELINE.replace(
+            r#""monitor.smoke.abd_k1_chaos","wall_ms":2.0"#,
+            r#""monitor.smoke.abd_k1_chaos","wall_ms":20.0"#,
+        ),
+    );
+    let paths = [
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        doctored.to_str().unwrap(),
+    ];
+    let out = bench_report(&[&["--check"], &paths[..]].concat());
+    assert!(
+        out.status.success(),
+        "times are informational without --strict-times: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = bench_report(&[&["--check", "--strict-times"], &paths[..]].concat());
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--strict-times gates the monitor-overhead phase"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("monitor.smoke.abd_k1_chaos"));
+}
+
 #[test]
 fn threshold_flag_is_honored() {
     let baseline = write_fixture("thr-baseline.json", BASELINE);

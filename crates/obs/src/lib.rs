@@ -12,6 +12,10 @@
 //!    to JSON-Lines files per the schema in `docs/OBS_SCHEMA.md`.
 //! 3. **Timing scopes** ([`timed`]): span-style wall-clock measurement
 //!    around closures, aggregated per scope name.
+//! 4. **Flight recording** ([`FlightRecorder`], [`flight`]): always-on,
+//!    bounded per-thread event rings drained into schema-versioned JSONL
+//!    dumps on failure, plus a mergeable [`QuantileSketch`] for streaming
+//!    latency percentiles.
 //!
 //! A [`Snapshot`] of the registry renders as a human table
 //! ([`Snapshot::to_table`]) or JSON ([`Snapshot::to_json`]).
@@ -30,16 +34,22 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod sketch;
 
+pub use flight::{
+    FlightDump, FlightEvent, FlightKind, FlightRecorder, FlightRing, FLIGHT_SCHEMA_VERSION,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{
     bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot, Timer, TimerSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{parse_jsonl, JsonlSink, Recorder, VecSink};
+pub use sketch::{QuantileSketch, SketchSnapshot, SKETCH_BUCKETS};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -134,12 +134,14 @@ impl Histogram {
         Histogram(Arc::new(HistogramCore::new()))
     }
 
-    /// Records one sample.
+    /// Records one sample. The running sum saturates at `u64::MAX` instead
+    /// of wrapping, so extreme samples can never make `sum` (and the mean
+    /// derived from it) look small.
     pub fn record(&self, v: u64) {
         let core = &*self.0;
         core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         core.count.fetch_add(1, Ordering::Relaxed);
-        core.sum.fetch_add(v, Ordering::Relaxed);
+        saturating_fetch_add(&core.sum, v);
         core.min.fetch_min(v, Ordering::Relaxed);
         core.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -172,8 +174,7 @@ impl Histogram {
             return;
         }
         dst.count.fetch_add(count, Ordering::Relaxed);
-        dst.sum
-            .fetch_add(src.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        saturating_fetch_add(&dst.sum, src.sum.load(Ordering::Relaxed));
         dst.min
             .fetch_min(src.min.load(Ordering::Relaxed), Ordering::Relaxed);
         dst.max
@@ -207,6 +208,17 @@ impl Histogram {
     }
 }
 
+/// Adds `v` to `cell`, clamping at `u64::MAX` instead of wrapping. Sample
+/// sums are diagnostics: a saturated sum is visibly pegged, a wrapped sum
+/// silently lies.
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    if v > 0 {
+        let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+            Some(s.saturating_add(v))
+        });
+    }
+}
+
 /// Shared state of a timer.
 #[derive(Debug, Default)]
 pub(crate) struct TimerCore {
@@ -228,11 +240,11 @@ impl TimerCore {
 pub struct Timer(Arc<TimerCore>);
 
 impl Timer {
-    /// Records one elapsed duration.
+    /// Records one elapsed duration. `total_ns` saturates at `u64::MAX`.
     pub fn record(&self, d: Duration) {
         let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
         self.0.count.fetch_add(1, Ordering::Relaxed);
-        self.0.total_ns.fetch_add(ns, Ordering::Relaxed);
+        saturating_fetch_add(&self.0.total_ns, ns);
         self.0.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
@@ -258,7 +270,7 @@ impl Timer {
 pub struct HistogramSnapshot {
     /// Number of samples.
     pub count: u64,
-    /// Sum of all samples (wrapping on overflow).
+    /// Sum of all samples (saturating at `u64::MAX`).
     pub sum: u64,
     /// Smallest sample (0 when empty).
     pub min: u64,
@@ -958,5 +970,49 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.total_ns, 40);
         assert_eq!(s.max_ns, 30);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_around_the_top_bucket() {
+        // The top bucket holds [2^63, u64::MAX]: both endpoints index 64,
+        // and the next-lower boundary is one below 2^63.
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_lower_bound(64), 1u64 << 63);
+        assert_eq!(bucket_lower_bound(HISTOGRAM_BUCKETS - 1), 1u64 << 63);
+        // Adjacent buckets tile with no gap or overlap.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_lower_bound(i + 1) - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = Histogram::unregistered();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, u64::MAX, "sum pegs at MAX, never wraps");
+        // Merging saturated shards stays saturated.
+        let dst = Histogram::unregistered();
+        dst.record(u64::MAX);
+        dst.merge(&h);
+        assert_eq!(dst.snapshot().sum, u64::MAX);
+        assert_eq!(dst.snapshot().count, 4);
+    }
+
+    #[test]
+    fn timer_total_saturates_instead_of_wrapping() {
+        let t = Registry::new().timer("t");
+        t.record(Duration::from_secs(u64::MAX)); // clamps to MAX ns
+        t.record(Duration::from_nanos(7));
+        let s = t.snapshot();
+        assert_eq!(s.total_ns, u64::MAX);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(s.count, 2);
     }
 }

@@ -39,7 +39,7 @@
 
 use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -47,7 +47,10 @@ use blunt_abd::msg::AbdMsg;
 use blunt_abd::ts::Ts;
 use blunt_core::ids::Pid;
 use blunt_core::value::Val;
+use blunt_obs::flight;
+use blunt_obs::{FlightKind, FlightRecorder};
 
+use crate::coverage::{Coverage, LinkCoverage};
 use crate::fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
 
 /// What an [`Envelope`] carries: protocol traffic or a runtime control
@@ -111,6 +114,31 @@ impl Envelope {
     }
 }
 
+impl Payload {
+    /// The packed flight-recorder label for this payload: message-kind code
+    /// plus its sequence number / window (see [`flight::pack_msg`]).
+    #[must_use]
+    pub fn flight_label(&self) -> u64 {
+        match self {
+            Payload::Abd(AbdMsg::Query { sn, .. }) => {
+                flight::pack_msg(flight::MSG_QUERY, u64::from(*sn))
+            }
+            Payload::Abd(AbdMsg::Reply { sn, .. }) => {
+                flight::pack_msg(flight::MSG_REPLY, u64::from(*sn))
+            }
+            Payload::Abd(AbdMsg::Update { sn, .. }) => {
+                flight::pack_msg(flight::MSG_UPDATE, u64::from(*sn))
+            }
+            Payload::Abd(AbdMsg::Ack { sn, .. }) => {
+                flight::pack_msg(flight::MSG_ACK, u64::from(*sn))
+            }
+            Payload::Crash { window } => flight::pack_msg(flight::MSG_CRASH, *window),
+            Payload::StateQuery { sn } => flight::pack_msg(flight::MSG_STATE_QUERY, *sn),
+            Payload::StateReply { sn, .. } => flight::pack_msg(flight::MSG_STATE_REPLY, *sn),
+        }
+    }
+}
+
 /// Deterministic fault counters accumulated by a run; equal across runs
 /// with the same seed and configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -149,6 +177,9 @@ struct BusInner {
     plan: FaultPlan,
     stats: BusStats,
     holds: Vec<LinkHold>,
+    /// Per-link fate tallies for the coverage report, updated under the
+    /// same lock that decides fates (so coverage is seed-deterministic).
+    coverage: Vec<LinkCoverage>,
     /// Per-link: the crash window the link's latest first-transmission fell
     /// into, awaiting its exit (the next non-`CrashDrop` index).
     pending_crash: Vec<Option<u64>>,
@@ -161,6 +192,8 @@ struct BusInner {
 pub struct Bus {
     nodes: u32,
     signal_crashes: bool,
+    cfg: FaultConfig,
+    flight: Arc<FlightRecorder>,
     mailboxes: Vec<Sender<Envelope>>,
     inner: Mutex<BusInner>,
     delayer: Mutex<Option<Sender<DelayedMsg>>>,
@@ -172,6 +205,8 @@ impl Bus {
     /// receiver per node (index = pid). With `signal_crashes`, crash
     /// blackout windows additionally raise the amnesia signal (see the
     /// module docs); without it, crashes stay pure message blackouts.
+    /// Every send and fault decision is recorded into `flight` on the
+    /// sending thread's ring.
     ///
     /// # Errors
     ///
@@ -184,6 +219,7 @@ impl Bus {
         servers: u32,
         nodes: u32,
         signal_crashes: bool,
+        flight: Arc<FlightRecorder>,
     ) -> Result<(Bus, Vec<Receiver<Envelope>>), FaultConfigError> {
         let plan = FaultPlan::new(seed, cfg, servers, nodes)?;
         let mut senders = Vec::with_capacity(nodes as usize);
@@ -196,12 +232,21 @@ impl Bus {
         let bus = Bus {
             nodes,
             signal_crashes,
+            cfg,
+            flight,
             mailboxes: senders,
             inner: Mutex::new(BusInner {
                 plan,
                 stats: BusStats::default(),
                 holds: (0..nodes * nodes)
                     .map(|_| LinkHold { held: None })
+                    .collect(),
+                coverage: (0..nodes * nodes)
+                    .map(|i| LinkCoverage {
+                        src: i / nodes,
+                        dst: i % nodes,
+                        ..LinkCoverage::default()
+                    })
                     .collect(),
                 pending_crash: vec![None; (nodes * nodes) as usize],
                 signaled: (0..servers).map(|_| HashSet::new()).collect(),
@@ -261,6 +306,9 @@ impl Bus {
 
     /// Sends `env`, applying the fault schedule to non-exempt envelopes.
     pub fn send(&self, env: Envelope) {
+        let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
+        let ring = self.flight.thread_ring();
+        ring.record(FlightKind::BusSend, src, u64::from(dst), label);
         if env.exempt {
             self.enqueue(env);
             return;
@@ -285,7 +333,7 @@ impl Bus {
                 ms: u16,
             },
         }
-        let (signal, outcome) = {
+        let (signal, fate, outcome) = {
             let mut inner = self.inner.lock().unwrap();
             inner.stats.offered += 1;
             let fate = inner.plan.fate(env.src, env.dst);
@@ -306,17 +354,34 @@ impl Bus {
                     }
                 }
             }
+            let cov = &mut inner.coverage[slot];
+            cov.offered += 1;
+            match fate {
+                Fate::Deliver => cov.delivered += 1,
+                Fate::Drop => cov.dropped += 1,
+                Fate::Duplicate => cov.duplicated += 1,
+                Fate::Reorder => cov.reordered += 1,
+                Fate::Delay(_) => cov.delayed += 1,
+                Fate::CrashDrop { window } => {
+                    cov.crash_dropped += 1;
+                    cov.crash_windows.insert(window);
+                }
+                Fate::PartitionDrop { window } => {
+                    cov.partition_dropped += 1;
+                    cov.partition_windows.insert(window);
+                }
+            }
             match fate {
                 Fate::Drop => inner.stats.dropped += 1,
                 Fate::Duplicate => inner.stats.duplicated += 1,
                 Fate::Reorder => inner.stats.reordered += 1,
                 Fate::Delay(_) => inner.stats.delayed += 1,
                 Fate::CrashDrop { .. } => inner.stats.crash_dropped += 1,
-                Fate::PartitionDrop => inner.stats.partition_dropped += 1,
+                Fate::PartitionDrop { .. } => inner.stats.partition_dropped += 1,
                 Fate::Deliver => {}
             }
             let outcome = match fate {
-                Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop => Outcome::Lost,
+                Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop { .. } => Outcome::Lost,
                 Fate::Reorder => Outcome::Hold {
                     released: inner.holds[slot].held.replace(env),
                 },
@@ -327,8 +392,25 @@ impl Bus {
                 },
                 Fate::Delay(ms) => Outcome::Delay { env, ms },
             };
-            (signal, outcome)
+            (signal, fate, outcome)
         };
+        // The fault decision, on the sender's ring (outside the lock; the
+        // event words were captured before `env` moved into the outcome).
+        match fate {
+            Fate::Deliver => {}
+            Fate::Drop => ring.record(FlightKind::FaultDrop, src, u64::from(dst), label),
+            Fate::Duplicate => ring.record(FlightKind::FaultDuplicate, src, u64::from(dst), label),
+            Fate::Reorder => ring.record(FlightKind::FaultReorder, src, u64::from(dst), label),
+            Fate::Delay(ms) => {
+                ring.record(FlightKind::FaultDelay, src, u64::from(dst), u64::from(ms));
+            }
+            Fate::CrashDrop { window } => {
+                ring.record(FlightKind::FaultCrashDrop, src, u64::from(dst), window);
+            }
+            Fate::PartitionDrop { window } => {
+                ring.record(FlightKind::FaultPartitionDrop, src, u64::from(dst), window);
+            }
+        }
         if let Some((dst, window)) = signal {
             // Before the triggering message: the server must crash and
             // recover before serving any post-window traffic.
@@ -404,6 +486,26 @@ impl Bus {
     pub fn stats(&self) -> BusStats {
         self.inner.lock().unwrap().stats
     }
+
+    /// The fault-schedule coverage so far: per-link fate tallies (links
+    /// with traffic only) plus the configured window shape. Deterministic
+    /// for a seed, like [`Bus::stats`].
+    #[must_use]
+    pub fn coverage(&self) -> Coverage {
+        let inner = self.inner.lock().unwrap();
+        Coverage {
+            links: inner
+                .coverage
+                .iter()
+                .filter(|l| l.offered > 0)
+                .cloned()
+                .collect(),
+            crash_len: self.cfg.crash_len,
+            crash_period: self.cfg.crash_period,
+            partition_len: self.cfg.partition_len,
+            partition_period: self.cfg.partition_period,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -436,13 +538,17 @@ mod tests {
         out
     }
 
+    fn flight() -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder::new(64))
+    }
+
     fn bus(
         seed: u64,
         cfg: FaultConfig,
         servers: u32,
         nodes: u32,
     ) -> (Bus, Vec<Receiver<Envelope>>) {
-        Bus::new(seed, cfg, servers, nodes, false).unwrap()
+        Bus::new(seed, cfg, servers, nodes, false, flight()).unwrap()
     }
 
     #[test]
@@ -517,7 +623,7 @@ mod tests {
     #[test]
     fn stats_are_reproducible_for_a_seed() {
         let run = |signal| {
-            let (bus, _rxs) = Bus::new(42, FaultConfig::chaos(), 3, 6, signal).unwrap();
+            let (bus, _rxs) = Bus::new(42, FaultConfig::chaos(), 3, 6, signal, flight()).unwrap();
             for sn in 0..400 {
                 for dst in 0..3 {
                     bus.send(env(4, dst, sn, false));
@@ -560,7 +666,7 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.crash_len = 4;
         cfg.crash_period = 10;
-        let (bus, rxs) = Bus::new(0, cfg, 1, 3, true).unwrap();
+        let (bus, rxs) = Bus::new(0, cfg, 1, 3, true, flight()).unwrap();
         for sn in 0..6 {
             bus.send(env(1, 0, sn, false));
             bus.send(env(2, 0, sn, false));
@@ -591,7 +697,7 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.crash_len = 50;
         cfg.crash_period = 100;
-        let err = Bus::new(0, cfg, 3, 5, false)
+        let err = Bus::new(0, cfg, 3, 5, false, flight())
             .err()
             .expect("must be rejected");
         assert!(matches!(err, FaultConfigError::CrashStaggerOverflow { .. }));

@@ -1,0 +1,204 @@
+//! Fault-schedule coverage: which fault patterns a run *actually*
+//! exercised, per directed link.
+//!
+//! The fault plan is a pure function of the seed, but whether a given seed
+//! ever, say, partitions the `client-4 → server-1` link depends on rates,
+//! window shapes, and run length. A soak that never fired a reorder is a
+//! weaker witness than its green check mark suggests. The bus therefore
+//! tallies every [`Fate`](crate::fault::Fate) decision into a per-link
+//! [`LinkCoverage`] under the same lock that decides fates, making the
+//! resulting [`Coverage`] deterministic for a fixed seed — two same-seed
+//! runs serialize to byte-identical coverage JSON, and the `chaos` binary
+//! embeds it in its machine-readable run summary.
+
+use std::collections::BTreeSet;
+
+use blunt_obs::Json;
+
+/// Fate tallies for one directed link, plus the distinct crash/partition
+/// windows its traffic fell into.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkCoverage {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// First-transmission messages offered to the injector on this link.
+    pub offered: u64,
+    /// Delivered normally.
+    pub delivered: u64,
+    /// Silently dropped.
+    pub dropped: u64,
+    /// Delivered twice.
+    pub duplicated: u64,
+    /// Swapped with the link's next message.
+    pub reordered: u64,
+    /// Held back before delivery.
+    pub delayed: u64,
+    /// Lost to a destination-server crash blackout.
+    pub crash_dropped: u64,
+    /// Lost to a network partition window.
+    pub partition_dropped: u64,
+    /// Distinct crash windows (cycle numbers) this link's traffic hit.
+    pub crash_windows: BTreeSet<u64>,
+    /// Distinct partition windows this link's traffic crossed.
+    pub partition_windows: BTreeSet<u64>,
+}
+
+impl LinkCoverage {
+    fn to_json(&self) -> Json {
+        let windows = |set: &BTreeSet<u64>| Json::Arr(set.iter().map(|w| Json::UInt(*w)).collect());
+        Json::Obj(vec![
+            ("src".into(), Json::UInt(u64::from(self.src))),
+            ("dst".into(), Json::UInt(u64::from(self.dst))),
+            ("offered".into(), Json::UInt(self.offered)),
+            ("delivered".into(), Json::UInt(self.delivered)),
+            ("dropped".into(), Json::UInt(self.dropped)),
+            ("duplicated".into(), Json::UInt(self.duplicated)),
+            ("reordered".into(), Json::UInt(self.reordered)),
+            ("delayed".into(), Json::UInt(self.delayed)),
+            ("crash_dropped".into(), Json::UInt(self.crash_dropped)),
+            (
+                "partition_dropped".into(),
+                Json::UInt(self.partition_dropped),
+            ),
+            ("crash_windows".into(), windows(&self.crash_windows)),
+            ("partition_windows".into(), windows(&self.partition_windows)),
+        ])
+    }
+}
+
+/// The fault-schedule coverage of one run: per-link tallies plus the window
+/// shape that generated them. Pure function of the seed for a fixed
+/// configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Links with at least one offered message, ascending by `(src, dst)`.
+    pub links: Vec<LinkCoverage>,
+    /// The configured crash window length (link indices; 0 = disabled).
+    pub crash_len: u64,
+    /// The configured crash window period.
+    pub crash_period: u64,
+    /// The configured partition window length (0 = disabled).
+    pub partition_len: u64,
+    /// The configured partition window period.
+    pub partition_period: u64,
+}
+
+impl Coverage {
+    /// Aggregate fate totals over all links, in a fixed label order.
+    #[must_use]
+    pub fn fate_totals(&self) -> [(&'static str, u64); 7] {
+        let sum = |f: fn(&LinkCoverage) -> u64| self.links.iter().map(f).sum();
+        [
+            ("deliver", sum(|l| l.delivered)),
+            ("drop", sum(|l| l.dropped)),
+            ("duplicate", sum(|l| l.duplicated)),
+            ("reorder", sum(|l| l.reordered)),
+            ("delay", sum(|l| l.delayed)),
+            ("crash_drop", sum(|l| l.crash_dropped)),
+            ("partition_drop", sum(|l| l.partition_dropped)),
+        ]
+    }
+
+    /// The fault patterns this run actually exercised (nonzero totals).
+    #[must_use]
+    pub fn fates_exercised(&self) -> Vec<&'static str> {
+        self.fate_totals()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, _)| *name)
+            .collect()
+    }
+
+    /// Serializes as one `coverage` JSON object (see `docs/OBS_SCHEMA.md`).
+    /// Deterministic: links ascending by `(src, dst)`, window sets sorted.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("coverage".into())),
+            (
+                "window_shape".into(),
+                Json::Obj(vec![
+                    ("crash_len".into(), Json::UInt(self.crash_len)),
+                    ("crash_period".into(), Json::UInt(self.crash_period)),
+                    ("partition_len".into(), Json::UInt(self.partition_len)),
+                    ("partition_period".into(), Json::UInt(self.partition_period)),
+                ]),
+            ),
+            (
+                "fates".into(),
+                Json::Obj(
+                    self.fate_totals()
+                        .iter()
+                        .map(|(name, n)| ((*name).into(), Json::UInt(*n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "links".into(),
+                Json::Arr(self.links.iter().map(LinkCoverage::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coverage {
+        let mut a = LinkCoverage {
+            src: 3,
+            dst: 0,
+            offered: 10,
+            delivered: 7,
+            dropped: 2,
+            crash_dropped: 1,
+            ..LinkCoverage::default()
+        };
+        a.crash_windows.insert(2);
+        a.crash_windows.insert(0);
+        let b = LinkCoverage {
+            src: 0,
+            dst: 3,
+            offered: 5,
+            delivered: 4,
+            delayed: 1,
+            ..LinkCoverage::default()
+        };
+        Coverage {
+            links: vec![b, a],
+            crash_len: 8,
+            crash_period: 200,
+            partition_len: 6,
+            partition_period: 150,
+        }
+    }
+
+    #[test]
+    fn fate_totals_aggregate_over_links() {
+        let c = sample();
+        let totals: std::collections::BTreeMap<_, _> = c.fate_totals().into_iter().collect();
+        assert_eq!(totals["deliver"], 11);
+        assert_eq!(totals["drop"], 2);
+        assert_eq!(totals["crash_drop"], 1);
+        assert_eq!(totals["partition_drop"], 0);
+        assert_eq!(
+            c.fates_exercised(),
+            vec!["deliver", "drop", "delay", "crash_drop"]
+        );
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let c = sample();
+        let j = c.to_json().to_string();
+        assert_eq!(j, c.to_json().to_string());
+        assert!(j.contains("\"type\":\"coverage\""));
+        assert!(j.contains("\"crash_windows\":[0,2]"), "sorted windows: {j}");
+        assert!(j.contains("\"window_shape\""));
+        // Round-trips through the JSON parser.
+        assert!(blunt_obs::Json::parse(&j).is_ok());
+    }
+}

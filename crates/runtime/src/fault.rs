@@ -238,8 +238,13 @@ pub enum Fate {
         /// Which crash cycle of the destination server this index falls in.
         window: u64,
     },
-    /// Dropped because the link is inside a partition window.
-    PartitionDrop,
+    /// Dropped because the link is inside a partition window. Carries the
+    /// window's cycle number (`index / partition_period`) so coverage
+    /// reporting can say *which* partition windows a link crossed.
+    PartitionDrop {
+        /// Which partition cycle this index falls in.
+        window: u64,
+    },
 }
 
 /// Mixes a link identity into the run seed, giving each directed link an
@@ -351,7 +356,9 @@ impl FaultPlan {
             };
         }
         if self.partition_covers(src, dst, i) {
-            return Fate::PartitionDrop;
+            return Fate::PartitionDrop {
+                window: i / self.cfg.partition_period,
+            };
         }
         let roll = (r % 1000) as u16;
         let c = &self.cfg;

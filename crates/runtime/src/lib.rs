@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod coverage;
 pub mod fault;
 pub mod monitor;
 pub mod recovery;
@@ -34,9 +35,10 @@ pub mod storage;
 pub mod workload;
 
 pub use bus::{Bus, BusStats, Envelope, Payload};
+pub use coverage::{Coverage, LinkCoverage};
 pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
 pub use monitor::{MonitorReport, OnlineMonitor, Violation};
 pub use recovery::{RecoveryMode, RecoveryStats};
 pub use shm::{run_shm_chaos, ShmChaosConfig, ShmReport};
 pub use storage::{Wal, WalRecord};
-pub use workload::{run_chaos, ChaosReport, RuntimeConfig};
+pub use workload::{run_chaos, ChaosReport, MonitorOverhead, RuntimeConfig};

@@ -106,6 +106,27 @@ impl OnlineMonitor {
         }
     }
 
+    /// Segments checked so far (accepted *or* flagged) — advances exactly
+    /// when a cut commits, so the flight recorder can stamp `monitor_cut`
+    /// events without re-deriving cut boundaries.
+    #[must_use]
+    pub fn segments_checked(&self) -> u64 {
+        self.report.segments_ok + self.violations_found()
+    }
+
+    /// Violations flagged so far.
+    #[must_use]
+    pub fn violations_found(&self) -> u64 {
+        self.report.violations.len() as u64
+    }
+
+    /// The violations flagged so far, windows included — readable mid-run,
+    /// before [`Self::finish`].
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.report.violations
+    }
+
     /// Feeds one observed action. Returns `false` iff the action closed a
     /// segment that failed to linearize (the violation is also recorded in
     /// the report; observation may continue).

@@ -43,6 +43,8 @@
 //! guaranteed a cut at least every `clients × burst` invocations — kept
 //! under the checker's 64-invocation window by construction (asserted).
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Barrier};
@@ -56,10 +58,15 @@ use blunt_abd::ts::Ts;
 use blunt_core::history::Action;
 use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
 use blunt_core::value::Val;
-use blunt_obs::{Histogram, HistogramSnapshot};
+use blunt_obs::flight::encode_val;
+use blunt_obs::{
+    FlightDump, FlightKind, FlightRecorder, FlightRing, Histogram, HistogramSnapshot,
+    QuantileSketch,
+};
 use blunt_sim::rng::{RandomSource, SplitMix64};
 
 use crate::bus::{Bus, BusStats, Envelope, Payload};
+use crate::coverage::Coverage;
 use crate::fault::{FaultConfig, FaultConfigError};
 use crate::monitor::{MonitorReport, OnlineMonitor};
 use crate::recovery::{RecoveryMode, RecoverySink, RecoveryStats};
@@ -97,6 +104,16 @@ pub struct RuntimeConfig {
     pub retransmit_cap: Duration,
     /// What a crash means for server state (see [`RecoveryMode`]).
     pub recovery: RecoveryMode,
+    /// Emit a live progress snapshot to stderr every interval (`None` =
+    /// silent). Read-only observation: never perturbs the fault schedule.
+    pub watch: Option<Duration>,
+    /// Watchdog: if no operation completes for this long, mark the run
+    /// stalled and capture a flight dump (written under
+    /// [`RuntimeConfig::flight_dump_dir`] when set).
+    pub stall_after: Option<Duration>,
+    /// Directory for watchdog stall dumps (`stall.flight.jsonl` plus a
+    /// rendered `stall.diagram.txt`). `None` keeps the stall in-memory only.
+    pub flight_dump_dir: Option<PathBuf>,
 }
 
 impl RuntimeConfig {
@@ -116,6 +133,9 @@ impl RuntimeConfig {
             retransmit_after: Duration::from_millis(1),
             retransmit_cap: Duration::from_millis(16),
             recovery: RecoveryMode::Stable,
+            watch: None,
+            stall_after: Some(Duration::from_secs(60)),
+            flight_dump_dir: None,
         }
     }
 
@@ -136,6 +156,9 @@ impl RuntimeConfig {
             retransmit_after: Duration::from_millis(1),
             retransmit_cap: Duration::from_millis(16),
             recovery: RecoveryMode::Stable,
+            watch: None,
+            stall_after: Some(Duration::from_secs(60)),
+            flight_dump_dir: None,
         }
     }
 
@@ -156,6 +179,47 @@ impl RuntimeConfig {
     }
 }
 
+/// What the online monitor cost this run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonitorOverhead {
+    /// Actions the monitor observed (= `2 × ops`; deterministic).
+    pub actions: u64,
+    /// Total wall time spent inside [`OnlineMonitor::observe`]
+    /// (timing-dependent; bench-gated only under `--strict-times`).
+    pub observe_ns: u64,
+    /// High-water mark of the monitor's backlog — actions enqueued by
+    /// clients but not yet observed, i.e. how far the monitor ran behind
+    /// the frontier (timing-dependent).
+    pub lag_ops_hwm: u64,
+}
+
+/// Live counters shared with the watch/watchdog thread. Pure observation:
+/// nothing here feeds back into scheduling or the fault plan.
+struct Telemetry {
+    /// Operations completed so far.
+    ops: AtomicU64,
+    /// Operations invoked but not yet returned.
+    in_flight: AtomicU64,
+    /// Actions enqueued to the monitor channel.
+    actions_sent: AtomicU64,
+    /// Actions the monitor has observed.
+    actions_seen: AtomicU64,
+    /// Streaming per-op latency (µs), mergeable across threads.
+    sketch: QuantileSketch,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        Telemetry {
+            ops: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            actions_sent: AtomicU64::new(0),
+            actions_seen: AtomicU64::new(0),
+            sketch: QuantileSketch::new(),
+        }
+    }
+}
+
 /// The outcome of a chaos run.
 #[derive(Debug)]
 pub struct ChaosReport {
@@ -163,8 +227,19 @@ pub struct ChaosReport {
     pub ops: u64,
     /// Deterministic fault counters from the bus.
     pub bus: BusStats,
+    /// Which fault patterns the schedule actually exercised, per link
+    /// (deterministic for a fixed seed and configuration).
+    pub coverage: Coverage,
     /// The monitor's verdict.
     pub monitor: MonitorReport,
+    /// What the monitor cost (`actions` deterministic, times not).
+    pub monitor_overhead: MonitorOverhead,
+    /// The flight-recorder window captured at the *first* monitor
+    /// violation (`None` on clean runs).
+    pub violation_dump: Option<FlightDump>,
+    /// `true` iff the watchdog saw no completed operation for
+    /// [`RuntimeConfig::stall_after`].
+    pub stalled: bool,
     /// Crash-recovery counters (`crashes`/`recoveries` deterministic, the
     /// WAL-shaped ones timing-dependent — see [`RecoveryStats`]).
     pub recovery: RecoveryStats,
@@ -220,12 +295,14 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
     let started = Instant::now();
     let nodes = cfg.servers + cfg.clients;
     let quorum = cfg.servers / 2 + 1;
+    let recorder = Arc::new(FlightRecorder::new(4096));
     let (bus, receivers) = Bus::new(
         cfg.seed,
         cfg.faults,
         cfg.servers,
         nodes,
         cfg.recovery.is_amnesia(),
+        Arc::clone(&recorder),
     )?;
     let bus = Arc::new(bus);
     let stop = Arc::new(AtomicBool::new(false));
@@ -233,16 +310,86 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
     let retransmissions = Arc::new(AtomicU64::new(0));
     let recovery_sink = Arc::new(RecoverySink::default());
     let latency = Histogram::unregistered();
+    let telemetry = Arc::new(Telemetry::new());
 
     let (mon_tx, mon_rx) = mpsc::channel::<Action>();
     let lanes = nodes as usize;
-    let monitor = thread::spawn(move || {
-        let mut m = OnlineMonitor::new(Val::Nil, lanes);
-        while let Ok(a) = mon_rx.recv() {
-            m.observe(a);
-        }
-        m.finish()
-    });
+    let monitor = {
+        let recorder = Arc::clone(&recorder);
+        let telemetry = Arc::clone(&telemetry);
+        thread::spawn(move || {
+            let ring = recorder.register_current("monitor");
+            let mon_pid = u32::try_from(lanes).expect("node count fits u32");
+            let mut m = OnlineMonitor::new(Val::Nil, lanes);
+            let mut observe_ns: u64 = 0;
+            let mut lag_hwm: u64 = 0;
+            let mut cuts: u64 = 0;
+            let mut dump: Option<FlightDump> = None;
+            while let Ok(a) = mon_rx.recv() {
+                let t0 = Instant::now();
+                let ok = m.observe(a);
+                observe_ns = observe_ns
+                    .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                let seen = telemetry.actions_seen.fetch_add(1, Ordering::Relaxed) + 1;
+                let lag = telemetry
+                    .actions_sent
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(seen);
+                lag_hwm = lag_hwm.max(lag);
+                let checked = m.segments_checked();
+                if checked > cuts {
+                    cuts = checked;
+                    ring.record(FlightKind::MonitorCut, mon_pid, checked, 0);
+                }
+                if !ok {
+                    if dump.is_none() {
+                        // A lagging monitor may flag a window whose op
+                        // events the clients' bounded rings have already
+                        // evicted — replay the window into this ring so
+                        // the dump always carries its own evidence.
+                        if let Some(v) = m.violations().last() {
+                            replay_window(&ring, v.window.actions());
+                        }
+                    }
+                    ring.record(
+                        FlightKind::MonitorViolation,
+                        mon_pid,
+                        m.violations_found().saturating_sub(1),
+                        0,
+                    );
+                    if dump.is_none() {
+                        // Capture now, while the offending ops are still
+                        // in the rings.
+                        dump = Some(recorder.dump());
+                    }
+                }
+            }
+            (m.finish(), observe_ns, lag_hwm, dump)
+        })
+    };
+
+    let (watch_stop_tx, watch_stop_rx) = mpsc::channel::<()>();
+    let stalled = Arc::new(AtomicBool::new(false));
+    let watcher = if cfg.watch.is_some() || cfg.stall_after.is_some() {
+        let telemetry = Arc::clone(&telemetry);
+        let recorder = Arc::clone(&recorder);
+        let sink = Arc::clone(&recovery_sink);
+        let stalled = Arc::clone(&stalled);
+        let cfg = cfg.clone();
+        Some(thread::spawn(move || {
+            watch_loop(
+                &cfg,
+                started,
+                &telemetry,
+                &recorder,
+                &sink,
+                &stalled,
+                &watch_stop_rx,
+            );
+        }))
+    } else {
+        None
+    };
 
     let mut rx_iter = receivers.into_iter();
     let mut servers = Vec::new();
@@ -251,10 +398,20 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
         let bus = Arc::clone(&bus);
         let stop = Arc::clone(&stop);
         let sink = Arc::clone(&recovery_sink);
+        let recorder = Arc::clone(&recorder);
         let mode = cfg.recovery;
         let server_count = cfg.servers;
         servers.push(thread::spawn(move || {
-            server_loop(Pid(s), server_count, mode, rx, &bus, &stop, &sink);
+            server_loop(
+                Pid(s),
+                server_count,
+                mode,
+                rx,
+                &bus,
+                &stop,
+                &sink,
+                &recorder,
+            );
         }));
     }
     let mut clients = Vec::new();
@@ -265,6 +422,8 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
         let retransmissions = Arc::clone(&retransmissions);
         let latency = latency.clone();
         let mon_tx = mon_tx.clone();
+        let recorder = Arc::clone(&recorder);
+        let telemetry = Arc::clone(&telemetry);
         let cfg = cfg.clone();
         clients.push(thread::spawn(move || {
             client_loop(
@@ -277,6 +436,8 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
                 &mon_tx,
                 &retransmissions,
                 &latency,
+                &recorder,
+                &telemetry,
             );
         }));
     }
@@ -294,19 +455,156 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
         s.join().expect("server thread");
     }
     bus.flush();
-    let monitor = monitor.join().expect("monitor thread");
+    let (monitor, observe_ns, lag_ops_hwm, violation_dump) =
+        monitor.join().expect("monitor thread");
+    drop(watch_stop_tx);
+    if let Some(w) = watcher {
+        w.join().expect("watch thread");
+    }
 
     let ops = u64::from(cfg.clients) * cfg.ops_per_client;
     blunt_obs::static_counter!("runtime.ops.completed").add(ops);
     Ok(ChaosReport {
         ops,
         bus: bus.stats(),
+        coverage: bus.coverage(),
         monitor,
+        monitor_overhead: MonitorOverhead {
+            actions: telemetry.actions_seen.load(Ordering::Relaxed),
+            observe_ns,
+            lag_ops_hwm,
+        },
+        violation_dump,
+        stalled: stalled.load(Ordering::Relaxed),
         recovery: recovery_sink.snapshot(),
         retransmissions: retransmissions.load(Ordering::Relaxed),
         latency_us: latency.snapshot(),
         elapsed: started.elapsed(),
     })
+}
+
+/// Re-records a violation window's actions into the monitor's ring,
+/// attributed to their original client pids. By the time a lagging monitor
+/// closes and rejects a segment, the clients may have recorded thousands
+/// of newer events — enough to evict the offending ops from their bounded
+/// rings — so the dump taken at detection replays the window itself
+/// (≤ 64 invocations) immediately before the `monitor_violation` marker.
+fn replay_window(ring: &FlightRing, actions: &[Action]) {
+    let mut invs: HashMap<InvId, (u32, bool)> = HashMap::new();
+    for action in actions {
+        match action {
+            Action::Call {
+                inv,
+                pid,
+                method,
+                arg,
+                ..
+            } => {
+                let is_read = *method == MethodId::READ;
+                invs.insert(*inv, (pid.0, is_read));
+                ring.record(
+                    if is_read {
+                        FlightKind::OpStartRead
+                    } else {
+                        FlightKind::OpStartWrite
+                    },
+                    pid.0,
+                    inv.0,
+                    encode_val(match arg {
+                        Val::Int(v) => Some(*v),
+                        _ => None,
+                    }),
+                );
+            }
+            Action::Return { inv, val } => {
+                let (pid, is_read) = invs.get(inv).copied().unwrap_or((0, true));
+                ring.record(
+                    if is_read {
+                        FlightKind::OpCompleteRead
+                    } else {
+                        FlightKind::OpCompleteWrite
+                    },
+                    pid,
+                    inv.0,
+                    encode_val(match val {
+                        Val::Int(v) => Some(*v),
+                        _ => None,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// The combined watch/watchdog thread: prints a progress line every
+/// [`RuntimeConfig::watch`] interval and captures a flight dump if no
+/// operation completes for [`RuntimeConfig::stall_after`]. Exits when the
+/// run drops its end of `stop_rx`.
+fn watch_loop(
+    cfg: &RuntimeConfig,
+    started: Instant,
+    t: &Telemetry,
+    recorder: &FlightRecorder,
+    sink: &RecoverySink,
+    stalled: &AtomicBool,
+    stop_rx: &Receiver<()>,
+) {
+    let tick = cfg.watch.unwrap_or(Duration::from_millis(250));
+    let mut last_ops: u64 = 0;
+    let mut last_tick = started;
+    let mut progressed_at = Instant::now();
+    let mut dumped = false;
+    loop {
+        match stop_rx.recv_timeout(tick) {
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        let now = Instant::now();
+        let ops = t.ops.load(Ordering::Relaxed);
+        if cfg.watch.is_some() {
+            let dt = now.duration_since(last_tick).as_secs_f64().max(1e-9);
+            let rate = (ops.saturating_sub(last_ops)) as f64 / dt;
+            let lag = t
+                .actions_sent
+                .load(Ordering::Relaxed)
+                .saturating_sub(t.actions_seen.load(Ordering::Relaxed));
+            eprintln!(
+                "chaos[watch] t={:.1}s ops={ops} (+{rate:.0}/s) in_flight={} \
+                 lat p50/p99={}µs/{}µs recoveries={} monitor_lag={lag}",
+                now.duration_since(started).as_secs_f64(),
+                t.in_flight.load(Ordering::Relaxed),
+                t.sketch.quantile(0.5),
+                t.sketch.quantile(0.99),
+                sink.snapshot().recoveries,
+            );
+        }
+        if ops != last_ops {
+            progressed_at = now;
+        }
+        last_ops = ops;
+        last_tick = now;
+        if let Some(limit) = cfg.stall_after {
+            if !dumped && now.duration_since(progressed_at) >= limit {
+                dumped = true;
+                stalled.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "chaos[watchdog] no operation completed for {limit:?}; capturing flight dump"
+                );
+                let dump = recorder.dump();
+                if let Some(dir) = &cfg.flight_dump_dir {
+                    let lanes = (cfg.servers + cfg.clients + 1) as usize;
+                    let rendered = blunt_trace::flight_space_time(
+                        &dump.last_n(800),
+                        lanes,
+                        &blunt_trace::DiagramOptions::default(),
+                    );
+                    let _ = std::fs::create_dir_all(dir);
+                    let _ = std::fs::write(dir.join("stall.flight.jsonl"), dump.to_jsonl());
+                    let _ = std::fs::write(dir.join("stall.diagram.txt"), rendered);
+                }
+            }
+        }
+    }
 }
 
 /// An acknowledgment withheld until the WAL covers its timestamp (the
@@ -332,12 +630,15 @@ struct Server<'a> {
     demo_skip: bool,
     /// Exchange counter for recovery state transfer, scoped to this server.
     catchup_sn: u64,
+    /// This thread's flight-recorder ring (`server-<pid>`).
+    ring: Arc<FlightRing>,
 }
 
 /// One ABD replica: replies to queries, absorbs updates, and (under
 /// amnesia) crashes and recovers on the bus's signal. Responses inherit
 /// the triggering envelope's exemption so retransmitted exchanges complete
 /// without consuming fault indices.
+#[allow(clippy::too_many_arguments)] // a thread entry point, not an API
 fn server_loop(
     me: Pid,
     servers: u32,
@@ -346,7 +647,9 @@ fn server_loop(
     bus: &Bus,
     stop: &AtomicBool,
     sink: &RecoverySink,
+    recorder: &FlightRecorder,
 ) {
+    let ring = recorder.register_current(&format!("server-{}", me.0));
     let (amnesia, fsync_interval, demo_skip) = match mode {
         RecoveryMode::Stable => (false, 1, false),
         RecoveryMode::Amnesia {
@@ -366,11 +669,18 @@ fn server_loop(
         amnesia,
         demo_skip,
         catchup_sn: 0,
+        ring,
     };
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(env) => {
                 let exempt = env.exempt;
+                srv.ring.record(
+                    FlightKind::BusDeliver,
+                    me.0,
+                    u64::from(env.src.0),
+                    env.msg.flight_label(),
+                );
                 srv.handle(env, &rx);
                 if exempt && srv.amnesia {
                     // Retransmission pressure: an exempt arrival means some
@@ -419,6 +729,12 @@ impl Server<'_> {
             AbdMsg::Update { obj, sn, val, ts } => {
                 if !self.amnesia {
                     self.state.absorb(val, ts);
+                    self.ring.record(
+                        FlightKind::ServerAck,
+                        self.me.0,
+                        u64::from(src.0),
+                        u64::from(sn),
+                    );
                     self.bus
                         .send(Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, exempt));
                     return;
@@ -435,6 +751,12 @@ impl Server<'_> {
                     // A durable record already covers this timestamp —
                     // replay would restore state at least this new, so the
                     // ack is safe immediately.
+                    self.ring.record(
+                        FlightKind::ServerAck,
+                        self.me.0,
+                        u64::from(src.0),
+                        u64::from(sn),
+                    );
                     self.bus
                         .send(Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, true));
                 } else {
@@ -468,11 +790,23 @@ impl Server<'_> {
         if self.pending_acks.is_empty() {
             return;
         }
+        self.ring.record(
+            FlightKind::WalFlush,
+            self.me.0,
+            self.pending_acks.len() as u64,
+            0,
+        );
         let durable = self.wal.durable_ts();
         let mut i = 0;
         while i < self.pending_acks.len() {
             if self.pending_acks[i].ts <= durable {
                 let a = self.pending_acks.swap_remove(i);
+                self.ring.record(
+                    FlightKind::ServerAck,
+                    self.me.0,
+                    u64::from(a.dst.0),
+                    u64::from(a.sn),
+                );
                 // Exempt like every amnesia-mode ack (see `handle_abd`).
                 self.bus.send(Envelope::abd(
                     self.me,
@@ -530,6 +864,8 @@ impl Server<'_> {
         self.pending_acks.clear();
         self.state.forget(Val::Nil);
         self.sink.on_crash(lost as u64);
+        self.ring
+            .record(FlightKind::ServerCrash, self.me.0, lost as u64, 0);
 
         if self.demo_skip {
             // The intentionally-broken recovery: no replay, no catch-up —
@@ -612,8 +948,10 @@ impl Server<'_> {
                 self.state.absorb(val, ts);
             }
         }
-        self.sink
-            .on_recovery(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let recovery_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.sink.on_recovery(recovery_us);
+        self.ring
+            .record(FlightKind::ServerRecover, self.me.0, recovery_us, 0);
         nested
     }
 }
@@ -629,9 +967,12 @@ fn client_loop(
     mon_tx: &Sender<Action>,
     retransmissions: &AtomicU64,
     latency: &Histogram,
+    recorder: &FlightRecorder,
+    telemetry: &Telemetry,
 ) {
     let me = Pid(cfg.servers + c);
     let obj = ObjId(0);
+    let ring = recorder.register_current(&format!("client-{}", me.0));
     let mut rng = client_rng(cfg.seed, c);
     let mut sn_counter: u32 = 0;
     let local = Histogram::unregistered();
@@ -651,6 +992,7 @@ fn client_loop(
             let v = i64::from(c) * 1_000_000 + i64::try_from(op_idx).expect("op index fits i64");
             (MethodId::WRITE, Val::Int(v))
         };
+        telemetry.actions_sent.fetch_add(1, Ordering::Relaxed);
         let _ = mon_tx.send(Action::Call {
             inv,
             pid: me,
@@ -658,6 +1000,20 @@ fn client_loop(
             method,
             arg: arg.clone(),
         });
+        telemetry.in_flight.fetch_add(1, Ordering::Relaxed);
+        ring.record(
+            if is_read {
+                FlightKind::OpStartRead
+            } else {
+                FlightKind::OpStartWrite
+            },
+            me.0,
+            inv.0,
+            encode_val(match &arg {
+                Val::Int(v) => Some(*v),
+                _ => None,
+            }),
+        );
         let t0 = Instant::now();
         let ret = if cfg.broken_reads && is_read {
             broken_read(
@@ -669,6 +1025,7 @@ fn client_loop(
                 bus,
                 &mut sn_counter,
                 &mut retrans,
+                &ring,
             )
         } else {
             let kind = if is_read {
@@ -688,9 +1045,28 @@ fn client_loop(
                 &mut rng,
                 &mut sn_counter,
                 &mut retrans,
+                &ring,
             )
         };
-        local.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let lat_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        local.record(lat_us);
+        telemetry.sketch.record(lat_us);
+        ring.record(
+            if is_read {
+                FlightKind::OpCompleteRead
+            } else {
+                FlightKind::OpCompleteWrite
+            },
+            me.0,
+            inv.0,
+            encode_val(match &ret {
+                Val::Int(v) => Some(*v),
+                _ => None,
+            }),
+        );
+        telemetry.in_flight.fetch_sub(1, Ordering::Relaxed);
+        telemetry.ops.fetch_add(1, Ordering::Relaxed);
+        telemetry.actions_sent.fetch_add(1, Ordering::Relaxed);
         let _ = mon_tx.send(Action::Return { inv, val: ret });
     }
     latency.merge(&local);
@@ -728,6 +1104,7 @@ fn abd_op(
     rng: &mut SplitMix64,
     sn_counter: &mut u32,
     retrans: &mut u64,
+    ring: &FlightRing,
 ) -> Val {
     *sn_counter += 1;
     let sn = *sn_counter;
@@ -738,6 +1115,12 @@ fn abd_op(
         match rx.recv_timeout(wait) {
             Ok(env) => {
                 wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+                ring.record(
+                    FlightKind::BusDeliver,
+                    me.0,
+                    u64::from(env.src.0),
+                    env.msg.flight_label(),
+                );
                 let Payload::Abd(msg) = env.msg else {
                     continue; // control traffic never targets clients
                 };
@@ -793,6 +1176,13 @@ fn abd_op(
                 if let Some(msg) = op.retransmission() {
                     *retrans += 1;
                     blunt_obs::static_counter!("runtime.client.retransmissions").inc();
+                    let rsn = match &msg {
+                        AbdMsg::Query { sn, .. }
+                        | AbdMsg::Reply { sn, .. }
+                        | AbdMsg::Update { sn, .. }
+                        | AbdMsg::Ack { sn, .. } => *sn,
+                    };
+                    ring.record(FlightKind::OpRetransmit, me.0, u64::from(rsn), 0);
                     bus.broadcast(me, server_pids(cfg), &msg, true);
                 }
                 wait = next_backoff(wait, cfg);
@@ -819,6 +1209,7 @@ fn broken_read(
     bus: &Bus,
     sn_counter: &mut u32,
     retrans: &mut u64,
+    ring: &FlightRing,
 ) -> Val {
     *sn_counter += 1;
     let sn = *sn_counter;
@@ -830,6 +1221,12 @@ fn broken_read(
         match rx.recv_timeout(wait) {
             Ok(env) => {
                 wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+                ring.record(
+                    FlightKind::BusDeliver,
+                    me.0,
+                    u64::from(env.src.0),
+                    env.msg.flight_label(),
+                );
                 if let Payload::Abd(AbdMsg::Reply {
                     obj: o,
                     sn: msg_sn,
@@ -844,6 +1241,7 @@ fn broken_read(
             }
             Err(RecvTimeoutError::Timeout) => {
                 *retrans += 1;
+                ring.record(FlightKind::OpRetransmit, me.0, u64::from(sn), 0);
                 bus.send(Envelope::abd(me, target, msg.clone(), true));
                 wait = next_backoff(wait, cfg);
             }

@@ -1,0 +1,130 @@
+//! The flight recorder and coverage telemetry, end to end through
+//! `run_chaos`:
+//!
+//! - two same-seed runs produce byte-identical coverage (and summary-grade
+//!   deterministic counters), proving the instrumentation draws no
+//!   randomness and never perturbs the fault schedule;
+//! - a run that the monitor flags auto-captures a flight dump at the
+//!   moment of detection, and the dump's space-time rendering contains the
+//!   violating operations themselves;
+//! - `watch` streams without changing any deterministic result.
+
+use std::time::Duration;
+
+use blunt_core::history::Action;
+use blunt_core::value::Val;
+use blunt_runtime::{run_chaos, RuntimeConfig};
+use blunt_trace::{flight_space_time, DiagramOptions};
+
+fn small(seed: u64) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::smoke(seed);
+    cfg.ops_per_client = 150;
+    cfg
+}
+
+#[test]
+fn same_seed_runs_have_identical_coverage_and_deterministic_counters() {
+    let a = run_chaos(&small(0xC0FF_EE00)).expect("run a");
+    let b = run_chaos(&small(0xC0FF_EE00)).expect("run b");
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(
+        a.coverage.to_json().to_string(),
+        b.coverage.to_json().to_string(),
+        "coverage must serialize byte-identically for a fixed seed"
+    );
+    assert_eq!(a.bus, b.bus);
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.monitor_overhead.actions, 2 * a.ops);
+    assert_eq!(b.monitor_overhead.actions, 2 * b.ops);
+    // The full chaos mix at this length exercises every fate.
+    assert_eq!(
+        a.coverage.fates_exercised(),
+        vec![
+            "deliver",
+            "drop",
+            "duplicate",
+            "reorder",
+            "delay",
+            "crash_drop",
+            "partition_drop"
+        ]
+    );
+    // Links are (src, dst)-sorted with first-transmission totals that
+    // reconcile against the bus counters.
+    let offered: u64 = a.coverage.links.iter().map(|l| l.offered).sum();
+    assert_eq!(offered, a.bus.offered);
+    let mut keys: Vec<(u32, u32)> = a.coverage.links.iter().map(|l| (l.src, l.dst)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+    keys.dedup();
+    assert_eq!(keys.len(), a.coverage.links.len(), "one entry per link");
+}
+
+#[test]
+fn violation_captures_a_flight_dump_containing_the_violating_ops() {
+    // The proven catch configuration (mirrors chaos_soak's
+    // broken_fast_read test): unsound single-server reads under the full
+    // fault mix.
+    let mut cfg = RuntimeConfig::smoke(0x0BAD_5EED);
+    cfg.broken_reads = true;
+    cfg.read_per_mille = 400;
+    let report = run_chaos(&cfg).expect("run");
+    assert!(
+        !report.monitor.violations.is_empty(),
+        "the broken read must be caught"
+    );
+    let dump = report
+        .violation_dump
+        .as_ref()
+        .expect("a violation must auto-capture a flight dump");
+    assert!(!dump.is_empty());
+
+    let lanes = (cfg.servers + cfg.clients + 1) as usize;
+    let rendered = flight_space_time(dump, lanes, &DiagramOptions::default());
+    assert!(
+        rendered.contains("VIOLATION seg"),
+        "the monitor's violation event is in the window:\n{rendered}"
+    );
+
+    // The dump is captured at the instant the monitor flags the first
+    // violation, so every operation of that violation's window — recorded
+    // by clients *before* they report to the monitor — is still in the
+    // rings: its returned values must appear in the rendering.
+    let window = &report.monitor.violations[0].window;
+    let mut checked = 0;
+    for action in window.actions() {
+        if let Action::Return {
+            val: Val::Int(v), ..
+        } = action
+        {
+            assert!(
+                rendered.contains(&format!("ret {v}")),
+                "violating op returning {v} missing from flight rendering"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "violation window has value-returning ops");
+
+    // Round trip: the dump survives JSONL serialization and re-renders
+    // byte-identically.
+    let reparsed = blunt_obs::FlightDump::parse(&dump.to_jsonl()).expect("round trip");
+    assert_eq!(
+        flight_space_time(&reparsed, lanes, &DiagramOptions::default()),
+        rendered
+    );
+}
+
+#[test]
+fn watch_mode_streams_without_perturbing_determinism() {
+    let silent = run_chaos(&small(0x7E1E_3E7A)).expect("silent run");
+    let mut cfg = small(0x7E1E_3E7A);
+    cfg.watch = Some(Duration::from_millis(20));
+    let watched = run_chaos(&cfg).expect("watched run");
+    assert_eq!(silent.coverage, watched.coverage);
+    assert_eq!(silent.bus, watched.bus);
+    assert_eq!(silent.ops, watched.ops);
+    assert!(!watched.stalled);
+    assert!(watched.violation_dump.is_none(), "clean run, no dump");
+}

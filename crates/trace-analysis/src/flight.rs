@@ -1,0 +1,272 @@
+//! Space-time rendering of flight-recorder dumps.
+//!
+//! A [`FlightDump`] is the runtime's last-few-thousand-events window — bus
+//! sends, fault decisions, op boundaries, server crashes, monitor cuts —
+//! captured at the moment a violation or stall was detected. This module
+//! maps those events onto [`blunt_sim::trace::TraceEvent`]s and reuses
+//! [`space_time`], so a failing chaos run
+//! renders in the same visual language as the paper's Figure 1 and the
+//! monitor's violation windows: client ops as intervals, messages as
+//! arrows, crashes as `✗`.
+
+use blunt_core::ids::{CallSite, InvId, MethodId, ObjId, Pid};
+use blunt_core::value::Val;
+use blunt_obs::flight::{decode_val, msg_code_name, unpack_msg};
+use blunt_obs::{FlightDump, FlightKind};
+use blunt_sim::trace::{Trace, TraceEvent};
+
+use crate::diagram::{space_time, DiagramOptions};
+
+fn val_of(w: u64) -> Val {
+    match decode_val(w) {
+        None => Val::Nil,
+        Some(x) => Val::Int(x),
+    }
+}
+
+fn msg_label(w: u64) -> String {
+    let (code, sn) = unpack_msg(w);
+    format!("{}#{}", msg_code_name(code), sn)
+}
+
+/// Maps one flight event onto its diagram representation.
+fn trace_event(e: &blunt_obs::FlightEvent) -> TraceEvent {
+    let pid = Pid(e.pid);
+    match e.kind {
+        FlightKind::OpStartRead => TraceEvent::Call {
+            inv: InvId(e.a),
+            pid,
+            obj: ObjId(0),
+            method: MethodId::READ,
+            arg: Val::Nil,
+            site: CallSite::new(pid, 0, 0),
+        },
+        FlightKind::OpStartWrite => TraceEvent::Call {
+            inv: InvId(e.a),
+            pid,
+            obj: ObjId(0),
+            method: MethodId::WRITE,
+            arg: val_of(e.b),
+            site: CallSite::new(pid, 0, 0),
+        },
+        FlightKind::OpCompleteRead | FlightKind::OpCompleteWrite => TraceEvent::Return {
+            inv: InvId(e.a),
+            pid,
+            val: val_of(e.b),
+        },
+        FlightKind::OpRetransmit => TraceEvent::Internal {
+            pid,
+            label: format!("retransmit sn={}", e.a),
+        },
+        FlightKind::BusSend => TraceEvent::Deliver {
+            src: pid,
+            dst: Pid(e.a as u32),
+            label: msg_label(e.b),
+        },
+        FlightKind::BusDeliver => TraceEvent::Internal {
+            pid,
+            label: format!("recv {} ⟵p{}", msg_label(e.b), e.a),
+        },
+        FlightKind::FaultDrop => TraceEvent::Internal {
+            pid,
+            label: format!("✂ drop →p{} {}", e.a, msg_label(e.b)),
+        },
+        FlightKind::FaultDuplicate => TraceEvent::Internal {
+            pid,
+            label: format!("dup →p{} {}", e.a, msg_label(e.b)),
+        },
+        FlightKind::FaultReorder => TraceEvent::Internal {
+            pid,
+            label: format!("reorder →p{} {}", e.a, msg_label(e.b)),
+        },
+        FlightKind::FaultDelay => TraceEvent::Internal {
+            pid,
+            label: format!("delay →p{} {}ms", e.a, e.b),
+        },
+        FlightKind::FaultCrashDrop => TraceEvent::Internal {
+            pid,
+            label: format!("✂ crash-drop →p{} w{}", e.a, e.b),
+        },
+        FlightKind::FaultPartitionDrop => TraceEvent::Internal {
+            pid,
+            label: format!("✂ partition →p{} w{}", e.a, e.b),
+        },
+        FlightKind::ServerAck => TraceEvent::Internal {
+            pid,
+            label: format!("ack →p{} sn={}", e.a, e.b),
+        },
+        FlightKind::WalFlush => TraceEvent::Internal {
+            pid,
+            label: format!("wal flush ({} acks)", e.a),
+        },
+        FlightKind::ServerCrash => TraceEvent::Crash { pid },
+        FlightKind::ServerRecover => TraceEvent::Internal {
+            pid,
+            label: format!("recovered in {}µs", e.a),
+        },
+        FlightKind::MonitorCut => TraceEvent::Internal {
+            pid,
+            label: format!("cut #{}", e.a),
+        },
+        FlightKind::MonitorViolation => TraceEvent::Internal {
+            pid,
+            label: format!("VIOLATION seg {}", e.a),
+        },
+    }
+}
+
+/// Renders a flight dump as a space-time diagram over `n` lanes.
+///
+/// Deterministic: the output is a pure function of the dump, so a dump
+/// parsed back from JSONL re-renders byte-identically. A trailing
+/// `· t=<first>µs → t=<last>µs · <events> events` footer line situates the
+/// window on the run clock. Client-op intervals open on `op_start_*` and
+/// close on `op_complete_*`; an op whose start was evicted from the ring
+/// still shows its completion row (`└ ret …`), which is exactly what a
+/// bounded window promises.
+#[must_use]
+pub fn flight_space_time(dump: &FlightDump, n: usize, opts: &DiagramOptions) -> String {
+    let mut trace = Trace::new();
+    trace.extend(dump.events.iter().map(trace_event).collect());
+    let mut out = space_time(&trace, n, opts);
+    let (first, last) = match (dump.events.first(), dump.events.last()) {
+        (Some(f), Some(l)) => (f.t_us, l.t_us),
+        _ => (0, 0),
+    };
+    out.push_str(&format!(
+        "· t={first}µs → t={last}µs · {} events\n",
+        dump.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blunt_obs::flight::{encode_val, pack_msg, MSG_ACK, MSG_UPDATE};
+    use blunt_obs::FlightEvent;
+
+    fn ev(
+        ring: &str,
+        seq: u64,
+        t_us: u64,
+        kind: FlightKind,
+        pid: u32,
+        a: u64,
+        b: u64,
+    ) -> FlightEvent {
+        FlightEvent {
+            ring: ring.into(),
+            seq,
+            t_us,
+            kind,
+            pid,
+            a,
+            b,
+        }
+    }
+
+    fn fixture() -> FlightDump {
+        FlightDump {
+            schema_version: blunt_obs::FLIGHT_SCHEMA_VERSION,
+            events: vec![
+                ev(
+                    "client-3",
+                    0,
+                    1,
+                    FlightKind::OpStartWrite,
+                    3,
+                    10,
+                    encode_val(Some(5)),
+                ),
+                ev(
+                    "client-3",
+                    1,
+                    2,
+                    FlightKind::BusSend,
+                    3,
+                    0,
+                    pack_msg(MSG_UPDATE, 1),
+                ),
+                ev(
+                    "client-3",
+                    2,
+                    3,
+                    FlightKind::FaultDrop,
+                    3,
+                    1,
+                    pack_msg(MSG_UPDATE, 1),
+                ),
+                ev("server-0", 0, 4, FlightKind::ServerAck, 0, 3, 1),
+                ev("server-1", 0, 5, FlightKind::ServerCrash, 1, 2, 0),
+                ev(
+                    "client-3",
+                    3,
+                    6,
+                    FlightKind::OpCompleteWrite,
+                    3,
+                    10,
+                    encode_val(None),
+                ),
+                ev("monitor", 0, 7, FlightKind::MonitorCut, 4, 1, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_ops_messages_faults_and_crashes() {
+        let s = flight_space_time(&fixture(), 5, &DiagramOptions::default());
+        assert!(s.contains("call Write(5)"), "{s}");
+        assert!(s.contains("ret ⊥"), "{s}");
+        assert!(s.contains("p3→p0: update#1"), "arrow label:\n{s}");
+        assert!(s.contains("✂ drop →p1"), "{s}");
+        assert!(s.contains('✗'), "crash marker:\n{s}");
+        assert!(s.contains("cut #1"), "{s}");
+        assert!(s.ends_with("· t=1µs → t=7µs · 7 events\n"), "{s}");
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_the_dump() {
+        let dump = fixture();
+        let direct = flight_space_time(&dump, 5, &DiagramOptions::default());
+        let reparsed = FlightDump::parse(&dump.to_jsonl()).expect("round trip");
+        assert_eq!(
+            flight_space_time(&reparsed, 5, &DiagramOptions::default()),
+            direct,
+            "re-render after JSONL round-trip must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn empty_dump_renders_header_and_footer_only() {
+        let dump = FlightDump {
+            schema_version: blunt_obs::FLIGHT_SCHEMA_VERSION,
+            events: vec![],
+        };
+        let s = flight_space_time(&dump, 2, &DiagramOptions::default());
+        assert_eq!(s.lines().count(), 3, "{s}");
+        assert!(s.contains("0 events"));
+    }
+
+    #[test]
+    fn ack_and_delay_labels_are_readable() {
+        let dump = FlightDump {
+            schema_version: blunt_obs::FLIGHT_SCHEMA_VERSION,
+            events: vec![
+                ev("client-0", 0, 1, FlightKind::FaultDelay, 0, 2, 3),
+                ev(
+                    "server-2",
+                    0,
+                    2,
+                    FlightKind::BusDeliver,
+                    2,
+                    0,
+                    pack_msg(MSG_ACK, 9),
+                ),
+            ],
+        };
+        let s = flight_space_time(&dump, 3, &DiagramOptions::default());
+        assert!(s.contains("delay →p2 3ms"), "{s}");
+        assert!(s.contains("recv ack#9"), "{s}");
+    }
+}

@@ -13,6 +13,9 @@
 //! - [`diagram`] renders a trace as an ASCII space-time diagram (processes as
 //!   vertical lanes, operations as intervals, deliveries as arrows between
 //!   lanes), reproducing the paper's Figure 1 from a recorded run;
+//! - [`flight`] renders the threaded runtime's flight-recorder dumps (the
+//!   bounded event window captured at a violation or stall) in the same
+//!   space-time language;
 //! - [`pv`] pretty-prints the adversary decision artifacts produced by
 //!   `blunt_sim::explore::Solver`: the principal variation (the worst-case
 //!   schedule with its win probability after each move) and the recorded
@@ -27,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod diagram;
+pub mod flight;
 pub mod hb;
 pub mod pv;
 pub mod regress;
 
 pub use diagram::{history_space_time, space_time, DiagramOptions};
+pub use flight::flight_space_time;
 pub use hb::{analyze, HbAnalysis, HbReport, Race};
 pub use pv::{render_pv, render_tree};
 pub use regress::{
