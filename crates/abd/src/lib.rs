@@ -27,6 +27,12 @@
 //! handler is [`server::ServerState::reply`], which takes `&self` — a query
 //! can never change server state — while the update handler
 //! [`server::ServerState::absorb`] takes `&mut self`.
+//!
+//! The step machines here are **transport-agnostic**: they map
+//! `(state, message) → (state, replies)` and never name a transport. The
+//! same compiled machines run under the simulator's adversary-scheduled
+//! network, on the chaos runtime's in-process bus, and across real TCP or
+//! Unix-domain sockets via `blunt-net` (see `docs/TRANSPORT.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

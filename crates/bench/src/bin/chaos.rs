@@ -62,7 +62,8 @@
 //! space-time diagram — the "show me it actually catches bugs" modes.
 
 use blunt_runtime::{
-    run_chaos, run_shm_chaos, ChaosReport, FaultConfig, RecoveryMode, RuntimeConfig, ShmChaosConfig,
+    run_chaos, run_chaos_net, run_net_server, run_shm_chaos, Addr, ChaosReport, FaultConfig,
+    NetChaosTopology, NetServeConfig, RecoveryMode, RuntimeConfig, ShmChaosConfig,
 };
 use blunt_trace::regress::BenchResults;
 use blunt_trace::{flight_space_time, DiagramOptions};
@@ -73,7 +74,12 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "usage: chaos [--smoke] [--seed N] [--results-out PATH] \
      [--summary-out PATH] [--dump-dir DIR] [--watch DUR] [--ops-per-client N] \
      [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \
-     [--demo-broken | --demo-amnesia]";
+     [--connect ADDR,ADDR,...] [--k N] [--recovery stable|amnesia] \
+     [--demo-broken | --demo-amnesia]\n\
+       chaos serve --listen ADDR --server-id N --peers ADDR,ADDR,... \\\n\
+             [--servers N] [--clients N] [--seed N] [--recovery stable|amnesia] \\\n\
+             [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N]\n\
+     ADDR is host:port (TCP) or a filesystem path (Unix-domain socket)";
 
 /// A named fault mix for `--fault-profile`. `Heavy` is the full chaos()
 /// mix; `Amnesia` is the same mix with volatile-state-losing crashes and
@@ -130,12 +136,35 @@ struct Cli {
     profile: Option<FaultProfile>,
     crash_len: Option<u64>,
     crash_period: Option<u64>,
+    /// `--connect a,b,c`: drive external `chaos serve` processes at these
+    /// addresses instead of in-process server threads.
+    connect: Option<Vec<Addr>>,
+    /// Preamble depth for the single `--connect` configuration.
+    k: u32,
+    /// `--recovery stable|amnesia`: crash semantics override, applied after
+    /// `--fault-profile`. In `--connect` mode this MUST match what the
+    /// `chaos serve` processes were started with.
+    recovery: Option<RecoveryMode>,
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("chaos: {msg}");
     eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+/// A comma-separated address list: `host:port` or socket paths, one per
+/// server, index = server pid.
+fn parse_addr_list(flag: &str, v: &str) -> Vec<Addr> {
+    let addrs: Vec<Addr> = v
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(Addr::parse)
+        .collect();
+    if addrs.is_empty() {
+        usage_error(&format!("{flag}: `{v}` has no addresses"));
+    }
+    addrs
 }
 
 /// `1s`, `250ms`, or a bare number of seconds.
@@ -184,6 +213,9 @@ fn parse_cli() -> Cli {
         profile: None,
         crash_len: None,
         crash_period: None,
+        connect: None,
+        k: 1,
+        recovery: None,
     };
     fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
         args.next()
@@ -234,6 +266,28 @@ fn parse_cli() -> Cli {
                 cli.crash_period = Some(v.parse().unwrap_or_else(|_| {
                     usage_error(&format!("--crash-period: `{v}` is not a u64"))
                 }));
+            }
+            "--connect" => {
+                let v = value("--connect", &mut args);
+                cli.connect = Some(parse_addr_list("--connect", &v));
+            }
+            "--k" => {
+                let v = value("--k", &mut args);
+                cli.k = v
+                    .parse()
+                    .ok()
+                    .filter(|n| (1..=4).contains(n))
+                    .unwrap_or_else(|| {
+                        usage_error(&format!("--k: `{v}` is not an integer in 1..=4"))
+                    });
+            }
+            "--recovery" => {
+                let v = value("--recovery", &mut args);
+                cli.recovery = Some(match v.as_str() {
+                    "stable" => RecoveryMode::Stable,
+                    "amnesia" => RecoveryMode::amnesia(),
+                    _ => usage_error(&format!("--recovery: `{v}` is not one of stable|amnesia")),
+                });
             }
             other => usage_error(&format!("unknown flag {other}")),
         }
@@ -297,6 +351,9 @@ fn abd_configs(cli: &Cli) -> Vec<(String, RuntimeConfig)> {
         }
         if let Some(n) = cli.ops_per_client {
             cfg.ops_per_client = n;
+        }
+        if let Some(r) = cli.recovery {
+            cfg.recovery = r;
         }
         cfg.watch = cli.watch;
         cfg.flight_dump_dir = Some(cli.dump_dir.clone());
@@ -387,6 +444,10 @@ fn write_flight_artifacts(
 ) -> Option<PathBuf> {
     let dump = report.violation_dump.as_ref()?;
     let _ = std::fs::create_dir_all(dump_dir);
+    // Process-unique stem: a second dump under the same name (e.g. two
+    // dirty configs in one run, or a demo retried across seeds) gets a
+    // monotonic `.2`, `.3`, … suffix instead of clobbering the first.
+    let stem = blunt_obs::flight::unique_dump_stem(stem);
     let jsonl = dump_dir.join(format!("{stem}.flight.jsonl"));
     let diagram = dump_dir.join(format!("{stem}.diagram.txt"));
     let rendered = flight_space_time(&dump.last_n(800), lanes, &DiagramOptions::default());
@@ -488,10 +549,13 @@ fn demo_amnesia(cli: &Cli) -> ExitCode {
 /// One config's deterministic summary entry. Timing-dependent numbers
 /// (latency, retransmissions, monitor lag/observe time) are deliberately
 /// excluded so two same-seed runs write byte-identical summaries.
-fn summary_entry(name: &str, r: &ChaosReport) -> blunt_obs::Json {
+/// `transport` labels which tier carried the run's messages
+/// (`in-process`, `tcp`, or `uds`) — new in schema v2.
+fn summary_entry(name: &str, r: &ChaosReport, transport: &str) -> blunt_obs::Json {
     use blunt_obs::Json;
     Json::Obj(vec![
         ("name".into(), Json::Str(name.into())),
+        ("transport".into(), Json::Str(transport.into())),
         ("ops".into(), Json::UInt(r.ops)),
         (
             "violations".into(),
@@ -522,8 +586,242 @@ fn summary_entry(name: &str, r: &ChaosReport) -> blunt_obs::Json {
     ])
 }
 
+/// The `chaos_summary` envelope. Schema v2 (docs/OBS_SCHEMA.md): v1 plus a
+/// per-config `transport` label; readers treat a missing label as
+/// `in-process` (every v1 summary was).
+fn summary_doc(seed: u64, mode: &str, configs: Vec<blunt_obs::Json>) -> blunt_obs::Json {
+    use blunt_obs::Json;
+    Json::Obj(vec![
+        ("type".into(), Json::Str("chaos_summary".into())),
+        ("schema_version".into(), Json::UInt(2)),
+        ("seed".into(), Json::UInt(seed)),
+        ("mode".into(), Json::Str(mode.into())),
+        ("configs".into(), Json::Arr(configs)),
+    ])
+}
+
+/// Parses `chaos serve ...` and runs one server process to completion.
+/// The seed, fault profile, and crash-window overrides MUST match the
+/// driver's — both sides realize halves of the same per-link schedule.
+fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut listen: Option<Addr> = None;
+    let mut server_id: Option<u32> = None;
+    let mut servers: u32 = 3;
+    let mut clients: u32 = 4;
+    let mut peers: Option<Vec<Addr>> = None;
+    let mut seed: u64 = 0x0B1D_5EED;
+    let mut profile = FaultProfile::Heavy;
+    let mut crash_len: Option<u64> = None;
+    let mut crash_period: Option<u64> = None;
+    let mut recovery: Option<RecoveryMode> = None;
+    fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+        args.next()
+            .unwrap_or_else(|| usage_error(&format!("serve {flag} needs a value")))
+    }
+    fn int<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+        v.parse()
+            .unwrap_or_else(|_| usage_error(&format!("serve {flag}: `{v}` is not an integer")))
+    }
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(Addr::parse(&value("--listen", &mut args))),
+            "--server-id" => server_id = Some(int("--server-id", &value("--server-id", &mut args))),
+            "--servers" => servers = int("--servers", &value("--servers", &mut args)),
+            "--clients" => clients = int("--clients", &value("--clients", &mut args)),
+            "--peers" => peers = Some(parse_addr_list("--peers", &value("--peers", &mut args))),
+            "--seed" => seed = int("--seed", &value("--seed", &mut args)),
+            "--fault-profile" => {
+                let v = value("--fault-profile", &mut args);
+                profile = FaultProfile::parse(&v).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "serve --fault-profile: `{v}` is not one of none|light|heavy|amnesia"
+                    ))
+                });
+            }
+            "--crash-len" => crash_len = Some(int("--crash-len", &value("--crash-len", &mut args))),
+            "--crash-period" => {
+                crash_period = Some(int("--crash-period", &value("--crash-period", &mut args)));
+            }
+            "--recovery" => {
+                let v = value("--recovery", &mut args);
+                recovery = Some(match v.as_str() {
+                    "stable" => RecoveryMode::Stable,
+                    "amnesia" => RecoveryMode::amnesia(),
+                    _ => usage_error(&format!(
+                        "serve --recovery: `{v}` is not one of stable|amnesia"
+                    )),
+                });
+            }
+            other => usage_error(&format!("serve: unknown flag {other}")),
+        }
+    }
+    let listen = listen.unwrap_or_else(|| usage_error("serve needs --listen"));
+    let server_id = server_id.unwrap_or_else(|| usage_error("serve needs --server-id"));
+    let peers = peers.unwrap_or_else(|| usage_error("serve needs --peers"));
+    if peers.len() != servers as usize {
+        usage_error(&format!(
+            "serve --peers: {} addresses for {servers} servers",
+            peers.len()
+        ));
+    }
+    if server_id >= servers {
+        usage_error(&format!(
+            "serve --server-id: {server_id} is not in 0..{servers}"
+        ));
+    }
+    let mut faults = profile.faults();
+    if let Some(len) = crash_len {
+        faults.crash_len = len;
+    }
+    if let Some(period) = crash_period {
+        faults.crash_period = period;
+    }
+    let recovery = recovery.unwrap_or(if profile == FaultProfile::Amnesia {
+        RecoveryMode::amnesia()
+    } else {
+        RecoveryMode::Stable
+    });
+    let cfg = NetServeConfig {
+        listen,
+        server_id,
+        servers,
+        clients,
+        peers,
+        seed,
+        faults,
+        recovery,
+    };
+    eprintln!(
+        "chaos serve: server {server_id}/{servers} on {}, seed {seed:#x}",
+        cfg.listen
+    );
+    match run_net_server(&cfg) {
+        Ok(r) => {
+            eprintln!(
+                "chaos serve: server {server_id} done — offered {} crashes {} recoveries {}",
+                r.stats.offered, r.recovery.crashes, r.recovery.recoveries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos serve: server {server_id} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--connect` driver: one configuration over external servers. Same
+/// monitor, flight recorder, summary, and exit discipline as the
+/// in-process sets — only the transport differs.
+fn run_net_driver(cli: &Cli, addrs: &[Addr]) -> ExitCode {
+    let seed = cli.seed;
+    let transport = addrs[0].kind();
+    let suffix = match cli.profile {
+        Some(p) => p.name(),
+        None => "chaos",
+    };
+    let name = format!("net.abd_k{}_{suffix}", cli.k);
+    let mut cfg = if cli.smoke {
+        RuntimeConfig::smoke(seed)
+    } else {
+        RuntimeConfig::soak(seed, cli.k)
+    };
+    cfg.k = cli.k;
+    cfg.servers = u32::try_from(addrs.len()).expect("server count fits u32");
+    if let Some(p) = cli.profile {
+        cfg.faults = p.faults();
+        if p == FaultProfile::Amnesia {
+            cfg.recovery = RecoveryMode::amnesia();
+        }
+    }
+    if let Some(len) = cli.crash_len {
+        cfg.faults.crash_len = len;
+    }
+    if let Some(period) = cli.crash_period {
+        cfg.faults.crash_period = period;
+    }
+    if let Some(n) = cli.ops_per_client {
+        cfg.ops_per_client = n;
+    }
+    if let Some(r) = cli.recovery {
+        cfg.recovery = r;
+    }
+    cfg.watch = cli.watch;
+    cfg.flight_dump_dir = Some(cli.dump_dir.clone());
+    println!(
+        "chaos: net driver ({transport}), {} servers, seed {seed:#x} (replay with --seed {seed})\n",
+        addrs.len()
+    );
+    let topo = NetChaosTopology {
+        servers: addrs.to_vec(),
+    };
+    let t0 = Instant::now();
+    let report = match run_chaos_net(&cfg, &topo) {
+        Ok(r) => r,
+        Err(e) => usage_error(&e.to_string()),
+    };
+    let mut phases = vec![
+        (name.clone(), t0.elapsed().as_secs_f64() * 1000.0),
+        (
+            format!("monitor.{name}"),
+            report.monitor_overhead.observe_ns as f64 / 1e6,
+        ),
+        (
+            format!("monitor_lag_ops.{name}"),
+            report.monitor_overhead.lag_ops_hwm as f64,
+        ),
+    ];
+    phases.sort_by(|a, b| a.0.cmp(&b.0));
+    print_abd(&name, &report);
+    record(
+        &name,
+        report.ops,
+        report.monitor.violations.len() as u64,
+        Some(report.recovery.recoveries),
+        Some(report.monitor_overhead.actions),
+    );
+    let summaries = vec![summary_entry(&name, &report, transport)];
+    if !report.monitor.clean() {
+        let lanes = (cfg.servers + cfg.clients + 1) as usize;
+        write_flight_artifacts(&cli.dump_dir, &name, &report, lanes);
+    }
+    ensure_parent("--results-out", &cli.results_out);
+    let mut results = BenchResults::from_snapshot(phases, &blunt_obs::snapshot());
+    results
+        .counters
+        .retain(|(name, _)| name.starts_with("runtime.chaos."));
+    results.seed = Some(seed);
+    std::fs::write(&cli.results_out, format!("{}\n", results.to_json()))
+        .expect("write BENCH_results.json");
+    println!("\nbench results written to {}", cli.results_out.display());
+    let summary = summary_doc(seed, if cli.smoke { "smoke" } else { "soak" }, summaries);
+    ensure_parent("--summary-out", &cli.summary_out);
+    std::fs::write(&cli.summary_out, format!("{summary}\n")).expect("write run summary");
+    println!("run summary written to {}", cli.summary_out.display());
+    if report.monitor.clean() {
+        println!("verdict: all configurations linearizable (0 violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verdict: VIOLATIONS in {name}");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return run_serve(raw);
+    }
+    drop(raw);
     let cli = parse_cli();
+    if let Some(addrs) = cli.connect.clone() {
+        if cli.demo_broken || cli.demo_amnesia {
+            usage_error("--connect does not combine with the demo modes");
+        }
+        return run_net_driver(&cli, &addrs);
+    }
     if cli.demo_broken {
         return demo_broken(&cli);
     }
@@ -573,7 +871,7 @@ fn main() -> ExitCode {
             Some(report.recovery.recoveries),
             Some(report.monitor_overhead.actions),
         );
-        summaries.push(summary_entry(&name, &report));
+        summaries.push(summary_entry(&name, &report, "in-process"));
         if !report.monitor.clean() {
             let lanes = (cfg.servers + cfg.clients + 1) as usize;
             write_flight_artifacts(&cli.dump_dir, &name, &report, lanes);
@@ -599,6 +897,10 @@ fn main() -> ExitCode {
             );
             summaries.push(blunt_obs::Json::Obj(vec![
                 ("name".into(), blunt_obs::Json::Str(name.clone())),
+                (
+                    "transport".into(),
+                    blunt_obs::Json::Str("in-process".into()),
+                ),
                 ("ops".into(), blunt_obs::Json::UInt(report.ops)),
                 (
                     "violations".into(),
@@ -629,16 +931,7 @@ fn main() -> ExitCode {
 
     // The machine-readable run summary: deterministic fields only (see
     // summary_entry), so replaying a seed reproduces it byte-for-byte.
-    let summary = blunt_obs::Json::Obj(vec![
-        ("type".into(), blunt_obs::Json::Str("chaos_summary".into())),
-        ("schema_version".into(), blunt_obs::Json::UInt(1)),
-        ("seed".into(), blunt_obs::Json::UInt(seed)),
-        (
-            "mode".into(),
-            blunt_obs::Json::Str(if cli.smoke { "smoke" } else { "soak" }.into()),
-        ),
-        ("configs".into(), blunt_obs::Json::Arr(summaries)),
-    ]);
+    let summary = summary_doc(seed, if cli.smoke { "smoke" } else { "soak" }, summaries);
     ensure_parent("--summary-out", &cli.summary_out);
     std::fs::write(&cli.summary_out, format!("{summary}\n")).expect("write run summary");
     println!("run summary written to {}", cli.summary_out.display());

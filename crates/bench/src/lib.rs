@@ -218,6 +218,111 @@ impl Table {
     }
 }
 
+/// One config entry of a parsed `chaos_summary` document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSummaryConfig {
+    /// The configuration name (`smoke.abd_k1_chaos`, `net.abd_k1_light`, …).
+    pub name: String,
+    /// Which tier carried the run's messages: `in-process`, `tcp`, or
+    /// `uds`. Schema v1 predates the field; v1 entries read as
+    /// `in-process` (every v1 run was).
+    pub transport: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Linearizability violations (0 on a sound run).
+    pub violations: u64,
+    /// Crash recoveries completed (0 where the config has none).
+    pub recoveries: u64,
+}
+
+/// A parsed `chaos_summary` document (schema v1 or v2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSummary {
+    /// The schema version the document was written with (1 or 2).
+    pub schema_version: u64,
+    /// The run seed the summary is deterministic in.
+    pub seed: u64,
+    /// `smoke` or `soak`.
+    pub mode: String,
+    /// Per-configuration entries, in run order.
+    pub configs: Vec<ChaosSummaryConfig>,
+}
+
+/// Parses a `chaos_summary` JSON document, accepting schema v1 (no
+/// `transport` label — read as `in-process`) and v2 alike; later schemas
+/// are rejected rather than misread.
+///
+/// # Errors
+///
+/// A human-readable message naming the missing/malformed field.
+pub fn parse_chaos_summary(text: &str) -> Result<ChaosSummary, String> {
+    use blunt_obs::Json;
+    let doc = Json::parse(text.trim()).map_err(|e| e.to_string())?;
+    if doc.get("type").and_then(Json::as_str) != Some("chaos_summary") {
+        return Err("not a chaos_summary document".into());
+    }
+    let schema_version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "chaos_summary missing schema_version".to_string())?;
+    if !(1..=2).contains(&schema_version) {
+        return Err(format!(
+            "chaos_summary schema v{schema_version}, this build reads v1–v2"
+        ));
+    }
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "chaos_summary missing seed".to_string())?;
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "chaos_summary missing mode".to_string())?
+        .to_string();
+    let entries = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "chaos_summary missing configs".to_string())?;
+    let mut configs = Vec::with_capacity(entries.len());
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "config entry missing name".to_string())?
+            .to_string();
+        let transport = match e.get("transport") {
+            Some(t) => t
+                .as_str()
+                .ok_or_else(|| format!("config `{name}`: transport is not a string"))?
+                .to_string(),
+            // v1 had no transport tier; everything ran in process.
+            None => "in-process".to_string(),
+        };
+        let ops = e
+            .get("ops")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("config `{name}` missing ops"))?;
+        let violations = e
+            .get("violations")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("config `{name}` missing violations"))?;
+        let recoveries = e.get("recoveries").and_then(Json::as_u64).unwrap_or(0);
+        configs.push(ChaosSummaryConfig {
+            name,
+            transport,
+            ops,
+            violations,
+            recoveries,
+        });
+    }
+    Ok(ChaosSummary {
+        schema_version,
+        seed,
+        mode,
+        configs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

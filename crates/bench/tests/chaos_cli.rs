@@ -64,6 +64,37 @@ fn unwritable_results_out_is_a_fail_fast_usage_error() {
 }
 
 #[test]
+fn zero_watch_is_a_usage_error_naming_the_flag() {
+    let out = chaos(&["--smoke", "--watch", "0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--watch 0 is a usage error, not a hang or a silent default"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--watch"), "error names the flag: {stderr}");
+
+    let out = chaos(&["--smoke", "--watch", "0ms"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--watch"));
+}
+
+#[test]
+fn zero_ops_per_client_is_a_usage_error_naming_the_flag() {
+    let out = chaos(&["--smoke", "--ops-per-client", "0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--ops-per-client 0 is a usage error, not a degenerate run"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--ops-per-client"),
+        "error names the flag: {stderr}"
+    );
+}
+
+#[test]
 fn demo_broken_emits_a_flight_dump_whose_diagram_contains_the_violating_ops() {
     let dir = tmp_dir("demo-broken");
     let dump_dir = dir.join("flight");

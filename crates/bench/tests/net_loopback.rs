@@ -1,0 +1,113 @@
+//! The multi-process acceptance run, end-to-end through the real binary:
+//! three `chaos serve` processes on loopback Unix-domain sockets plus a
+//! `chaos --connect` driver, light faults with amnesia crash windows. The
+//! run must complete ≥ 10k operations with zero violations, survive
+//! server crashes and recoveries mid-run, and write a schema-v2 summary
+//! labeled with the socket transport.
+//!
+//! This is the same topology the `net-smoke` CI job runs; keeping it as a
+//! test too means `cargo test` alone exercises the process boundary.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use blunt_bench::parse_chaos_summary;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blunt-net-loop-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+/// Waits up to `limit` for `child`; kills it and panics on timeout.
+fn wait_with_timeout(child: &mut Child, what: &str, limit: Duration) {
+    let deadline = Instant::now() + limit;
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("{what} still running after {limit:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[test]
+fn three_serve_processes_and_a_driver_survive_crashes_with_zero_violations() {
+    let dir = tmp_dir("uds");
+    let socks: Vec<String> = (0..3)
+        .map(|i| dir.join(format!("s{i}.sock")).to_str().unwrap().to_string())
+        .collect();
+    let peers = socks.join(",");
+    let fault_args = [
+        "--fault-profile",
+        "light",
+        "--crash-len",
+        "6",
+        "--crash-period",
+        "60",
+        "--recovery",
+        "amnesia",
+        "--seed",
+        "48879",
+    ];
+
+    let mut servers: Vec<Child> = (0..3)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_chaos"))
+                .arg("serve")
+                .args(["--listen", &socks[i]])
+                .args(["--server-id", &i.to_string()])
+                .args(["--servers", "3", "--clients", "4"])
+                .args(["--peers", &peers])
+                .args(fault_args)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn chaos serve")
+        })
+        .collect();
+
+    let summary_path = dir.join("SUM.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(["--smoke", "--connect", &peers])
+        .args(fault_args)
+        .args(["--ops-per-client", "2600"]) // 4 clients × 2 600 = 10 400 ops
+        .args(["--summary-out", summary_path.to_str().unwrap()])
+        .args(["--results-out", dir.join("BENCH.json").to_str().unwrap()])
+        .args(["--dump-dir", dir.join("flight").to_str().unwrap()])
+        .output()
+        .expect("chaos driver runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "driver failed:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    for (i, s) in servers.iter_mut().enumerate() {
+        wait_with_timeout(s, &format!("server {i}"), Duration::from_secs(30));
+    }
+
+    let summary = parse_chaos_summary(&std::fs::read_to_string(&summary_path).expect("summary"))
+        .expect("summary parses");
+    assert_eq!(summary.schema_version, 2);
+    assert_eq!(summary.seed, 48879);
+    assert_eq!(summary.configs.len(), 1);
+    let cfg = &summary.configs[0];
+    assert_eq!(cfg.name, "net.abd_k1_light");
+    assert_eq!(cfg.transport, "uds", "loopback sockets are labeled uds");
+    assert_eq!(cfg.ops, 10_400, "≥ 10k ops completed");
+    assert_eq!(cfg.violations, 0, "linearizable over real sockets");
+    assert!(
+        cfg.recoveries >= 1,
+        "at least one server crashed and recovered mid-run: {cfg:?}"
+    );
+    assert!(stdout.contains("verdict: all configurations linearizable"));
+}

@@ -1,0 +1,55 @@
+//! Schema compatibility for the `chaos_summary` document: the v2 reader
+//! must keep reading committed v1 summaries (no `transport` label) and
+//! must refuse schemas it does not know.
+
+use blunt_bench::parse_chaos_summary;
+
+/// A real v1 summary written by the pre-transport `chaos --smoke --seed
+/// 48879` binary, committed verbatim.
+const V1_FIXTURE: &str = include_str!("fixtures/chaos_summary_v1.json");
+
+#[test]
+fn v1_fixture_reads_with_in_process_transport_default() {
+    let s = parse_chaos_summary(V1_FIXTURE).expect("v1 summary parses");
+    assert_eq!(s.schema_version, 1);
+    assert_eq!(s.seed, 48879);
+    assert_eq!(s.mode, "smoke");
+    assert!(!s.configs.is_empty());
+    for c in &s.configs {
+        assert_eq!(
+            c.transport, "in-process",
+            "v1 entries predate the transport label and were all in-process: {}",
+            c.name
+        );
+        assert_eq!(c.violations, 0, "{} had violations in the fixture", c.name);
+        assert!(c.ops > 0, "{} has no ops", c.name);
+    }
+    assert!(s.configs.iter().any(|c| c.name == "smoke.abd_k1_chaos"));
+}
+
+#[test]
+fn v2_transport_labels_are_honored() {
+    let v2 = r#"{"type":"chaos_summary","schema_version":2,"seed":7,"mode":"smoke",
+        "configs":[
+            {"name":"net.abd_k1_light","transport":"uds","ops":10400,"violations":0,"recoveries":3},
+            {"name":"smoke.abd_k1_chaos","transport":"in-process","ops":2000,"violations":0,"recoveries":0}
+        ]}"#;
+    let s = parse_chaos_summary(v2).expect("v2 summary parses");
+    assert_eq!(s.schema_version, 2);
+    assert_eq!(s.configs[0].transport, "uds");
+    assert_eq!(s.configs[0].recoveries, 3);
+    assert_eq!(s.configs[1].transport, "in-process");
+}
+
+#[test]
+fn unknown_future_schema_is_rejected_not_misread() {
+    let v3 = r#"{"type":"chaos_summary","schema_version":3,"seed":7,"mode":"smoke","configs":[]}"#;
+    let err = parse_chaos_summary(v3).expect_err("v3 must be rejected");
+    assert!(err.contains("v3"), "error names the version: {err}");
+}
+
+#[test]
+fn non_summary_documents_are_rejected() {
+    assert!(parse_chaos_summary(r#"{"type":"coverage"}"#).is_err());
+    assert!(parse_chaos_summary("not json").is_err());
+}

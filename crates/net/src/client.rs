@@ -1,0 +1,301 @@
+//! The driver endpoint: client threads and the monitor live in this
+//! process; servers are reached over sockets.
+//!
+//! [`NetClient`] owns the **client→server** half of the fault schedule:
+//! every non-exempt request consults the shared [`Injector`] exactly like
+//! the in-process bus would, and the resulting fate is realized at the
+//! socket — `Drop` family skips the write, `Duplicate` writes the same
+//! tagged frame twice (the server's dedup window absorbs the copy), and
+//! crash-window exits inject the exempt amnesia signal *before* the
+//! triggering frame on the same FIFO connection. `Reorder`/`Delay` never
+//! occur on client→server links (the schedule restricts them to
+//! server→client), so the driver needs no hold-back machinery.
+//!
+//! Inbound frames are replies: each reader thread routes them to the
+//! issuing client's lane by the frame's `re` header via [`ReplyRouter`];
+//! replies to retired tags count as `net.rpc.tag_mismatch_drops`.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use blunt_core::ids::Pid;
+use blunt_obs::{FlightKind, FlightRecorder};
+
+use crate::conn::Addr;
+use crate::fault::{Fate, FaultConfig, FaultConfigError};
+use crate::frame::{read_frame, Frame, DRIVER_NODE};
+use crate::injector::{Injector, TransportStats};
+use crate::pool::{BroadcastPool, ConnectionPool};
+use crate::rpc::{DedupWindow, ReplyRouter, TagGen};
+use crate::wire::{Envelope, Payload};
+use crate::{Coverage, Transport};
+
+/// How a driver reaches its servers.
+pub struct NetClientCfg {
+    /// Fault-schedule seed (shared with the servers' own injectors).
+    pub seed: u64,
+    /// Fault configuration (shared likewise).
+    pub faults: FaultConfig,
+    /// One listen address per server, index = server pid.
+    pub servers: Vec<Addr>,
+    /// Number of client threads this driver runs.
+    pub clients: u32,
+    /// Whether crash-window exits raise the amnesia signal (sent to the
+    /// crashed server as an exempt [`Payload::Crash`] frame).
+    pub signal_crashes: bool,
+}
+
+/// A server's parting stats, reported in its `Goodbye` frame at shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerGoodbye {
+    /// Crash events the server processed.
+    pub crashes: u64,
+    /// Recoveries it completed.
+    pub recoveries: u64,
+    /// WAL records it lost to crashes.
+    pub wal_lost: u64,
+    /// WAL records it replayed during recoveries.
+    pub wal_replayed: u64,
+}
+
+/// State the per-connection reader threads share with the send path.
+struct Shared {
+    router: ReplyRouter,
+    /// One mailbox per client lane (lane = pid − servers).
+    lanes: Vec<Sender<Envelope>>,
+    goodbyes: Mutex<Vec<Option<ServerGoodbye>>>,
+}
+
+impl Shared {
+    fn reader_loop(&self, peer: usize, mut stream: crate::conn::Stream) {
+        let mut dedup = DedupWindow::new(1024);
+        loop {
+            let frame = match read_frame(&mut stream) {
+                Ok(Some(f)) => f,
+                Ok(None) | Err(_) => return,
+            };
+            match frame {
+                Frame::Env { tag, re, env } => {
+                    if !dedup.admit(tag) {
+                        blunt_obs::static_counter!("net.rpc.dedup_drops").inc();
+                        continue;
+                    }
+                    match self.router.route(re) {
+                        Some(lane) => {
+                            let _ = self.lanes[lane].send(env.in_reply_to(tag));
+                        }
+                        None => {
+                            blunt_obs::static_counter!("net.rpc.tag_mismatch_drops").inc();
+                        }
+                    }
+                }
+                Frame::Goodbye {
+                    crashes,
+                    recoveries,
+                    wal_lost,
+                    wal_replayed,
+                    ..
+                } => {
+                    self.goodbyes.lock().expect("goodbye lock")[peer] = Some(ServerGoodbye {
+                        crashes,
+                        recoveries,
+                        wal_lost,
+                        wal_replayed,
+                    });
+                }
+                // Servers never send these to a driver.
+                Frame::Hello { .. } | Frame::Shutdown => {}
+            }
+        }
+    }
+}
+
+/// The driver-process transport: sockets to every server, the
+/// client→server fault links, and reply routing back to client lanes.
+pub struct NetClient {
+    servers: u32,
+    injector: Mutex<Injector>,
+    pool: BroadcastPool,
+    tags: TagGen,
+    shared: Arc<Shared>,
+    flight: Arc<FlightRecorder>,
+}
+
+impl NetClient {
+    /// Connects to every server in `cfg`, returning the transport plus one
+    /// inbound mailbox per client lane (index = client pid − servers).
+    /// Connections are dialed lazily on first send and self-heal across
+    /// server restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultConfigError`] for unusable fault configurations; connection
+    /// errors surface later, on send, as silently lost frames (the
+    /// retransmission layer absorbs them).
+    pub fn connect(
+        cfg: &NetClientCfg,
+        flight: Arc<FlightRecorder>,
+    ) -> Result<(Arc<NetClient>, Vec<Receiver<Envelope>>), FaultConfigError> {
+        let servers = cfg.servers.len() as u32;
+        let nodes = servers + cfg.clients;
+        let injector = Injector::new(cfg.seed, cfg.faults, servers, nodes, cfg.signal_crashes)?;
+        let mut lanes = Vec::with_capacity(cfg.clients as usize);
+        let mut receivers = Vec::with_capacity(cfg.clients as usize);
+        for _ in 0..cfg.clients {
+            let (tx, rx) = mpsc::channel();
+            lanes.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            router: ReplyRouter::new(cfg.clients as usize),
+            lanes,
+            goodbyes: Mutex::new(vec![None; cfg.servers.len()]),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let pool = ConnectionPool::new(
+            cfg.servers.clone(),
+            Frame::Hello { node: DRIVER_NODE },
+            move |peer, stream| {
+                let shared = Arc::clone(&reader_shared);
+                std::thread::spawn(move || shared.reader_loop(peer, stream));
+            },
+        );
+        let client = Arc::new(NetClient {
+            servers,
+            injector: Mutex::new(injector),
+            pool: BroadcastPool::new(pool),
+            tags: TagGen::new(),
+            shared,
+            flight,
+        });
+        Ok((client, receivers))
+    }
+
+    /// A fresh tag for an outbound frame, registered for reply routing when
+    /// the sender is a client lane.
+    fn tag_for(&self, src: Pid) -> u64 {
+        let tag = self.tags.next();
+        if src.0 >= self.servers {
+            self.shared
+                .router
+                .register((src.0 - self.servers) as usize, tag);
+        }
+        tag
+    }
+
+    fn write(&self, dst: Pid, frame: &Frame) {
+        // A send failure is a lost frame; retransmission recovers, exactly
+        // as with any other drop on the path.
+        let _ = self.pool.pool().send(dst.index(), frame);
+    }
+
+    /// Tells every server to finish up, then waits up to `wait` for their
+    /// `Goodbye` stats. Missing goodbyes (a server that died hard) come
+    /// back as `None`.
+    pub fn shutdown(&self, wait: Duration) -> Vec<Option<ServerGoodbye>> {
+        self.pool.broadcast(|_| Frame::Shutdown);
+        let deadline = Instant::now() + wait;
+        loop {
+            {
+                let g = self.shared.goodbyes.lock().expect("goodbye lock");
+                if g.iter().all(Option::is_some) || Instant::now() >= deadline {
+                    return g.clone();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Transport for NetClient {
+    fn send(&self, env: Envelope) {
+        let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
+        let ring = self.flight.thread_ring();
+        ring.record(FlightKind::BusSend, src, u64::from(dst), label);
+        let tag = self.tag_for(env.src);
+        if env.exempt {
+            let re = env.reply_to;
+            let frame = Frame::Env {
+                tag,
+                re,
+                env: Envelope { reply_to: 0, ..env },
+            };
+            self.write(Pid(dst), &frame);
+            return;
+        }
+        let (fate, signal) = {
+            let mut inj = self.injector.lock().expect("injector lock");
+            inj.decide(env.src, env.dst)
+        };
+        match fate {
+            Fate::Deliver => {}
+            Fate::Drop => ring.record(FlightKind::FaultDrop, src, u64::from(dst), label),
+            Fate::Duplicate => ring.record(FlightKind::FaultDuplicate, src, u64::from(dst), label),
+            Fate::Reorder => ring.record(FlightKind::FaultReorder, src, u64::from(dst), label),
+            Fate::Delay(ms) => {
+                ring.record(FlightKind::FaultDelay, src, u64::from(dst), u64::from(ms));
+            }
+            Fate::CrashDrop { window } => {
+                ring.record(FlightKind::FaultCrashDrop, src, u64::from(dst), window);
+            }
+            Fate::PartitionDrop { window } => {
+                ring.record(FlightKind::FaultPartitionDrop, src, u64::from(dst), window);
+            }
+        }
+        if let Some((crashed, window)) = signal {
+            // Before the triggering frame, on the same FIFO connection: the
+            // server must crash and recover before serving any post-window
+            // traffic.
+            let frame = Frame::Env {
+                tag: self.tags.next(),
+                re: 0,
+                env: Envelope {
+                    src: crashed,
+                    dst: crashed,
+                    msg: Payload::Crash { window },
+                    exempt: true,
+                    reply_to: 0,
+                },
+            };
+            self.write(crashed, &frame);
+        }
+        let frame = Frame::Env {
+            tag,
+            re: 0,
+            env: Envelope { reply_to: 0, ..env },
+        };
+        match fate {
+            // Reorder/Delay are schedule-restricted to server→client links
+            // and unreachable here; deliver defensively if they ever appear.
+            Fate::Deliver | Fate::Reorder | Fate::Delay(_) => self.write(Pid(dst), &frame),
+            Fate::Duplicate => {
+                // Same tag twice: the wire sees two frames, the receiver's
+                // dedup window absorbs the copy.
+                self.write(Pid(dst), &frame);
+                self.write(Pid(dst), &frame);
+            }
+            Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop { .. } => {}
+        }
+    }
+
+    fn on_op_start(&self, client: Pid) {
+        if client.0 >= self.servers {
+            self.shared
+                .router
+                .begin_op((client.0 - self.servers) as usize);
+        }
+    }
+
+    fn flush(&self) {
+        // No hold-backs or delayers on client→server links.
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.injector.lock().expect("injector lock").stats()
+    }
+
+    fn coverage(&self) -> Coverage {
+        self.injector.lock().expect("injector lock").coverage()
+    }
+}

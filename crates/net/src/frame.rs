@@ -1,0 +1,725 @@
+//! The wire format: length-prefixed, versioned frames with a hand-rolled
+//! zero-dependency encoding.
+//!
+//! ```text
+//! frame     := len:u32le body
+//! body      := version:u8 kind:u8 rest
+//! kind 0    := Hello    node:u32le
+//! kind 1    := Env      tag:u64le re:u64le src:u32le dst:u32le exempt:u8 payload
+//! kind 2    := Shutdown
+//! kind 3    := Goodbye  node:u32le crashes:u64le recoveries:u64le
+//!                       wal_lost:u64le wal_replayed:u64le
+//! payload   := 0 obj:u32le sn:u32le                 (Abd Query)
+//!            | 1 obj:u32le sn:u32le ts val          (Abd Reply)
+//!            | 2 obj:u32le sn:u32le ts val          (Abd Update)
+//!            | 3 obj:u32le sn:u32le                 (Abd Ack)
+//!            | 4 window:u64le                       (Crash)
+//!            | 5 sn:u64le                           (StateQuery)
+//!            | 6 sn:u64le ts val                    (StateReply)
+//! ts        := t:i64le pid:u32le
+//! val       := 0 | 1 v:i64le | 2 val val | 3 n:u32le val*n
+//! ```
+//!
+//! `len` counts the body only and is capped at [`MAX_FRAME_LEN`]; a longer
+//! frame is rejected on both encode and decode, bounding a reader's
+//! allocation. Decoding is strict: unknown versions/kinds/tags, truncated
+//! bodies, trailing bytes, and `Val` nesting past [`MAX_VAL_DEPTH`] are all
+//! errors — a corrupt or hostile peer can kill its own connection, never
+//! the process.
+//!
+//! The `tag`/`re` pair in `Env` frames is the RPC correlation header (see
+//! [`crate::rpc`]): `tag` is unique per sent frame within a process, `re`
+//! names the inbound frame this one answers (`0` = unsolicited). It is
+//! deliberately *outside* the envelope payload: correlation is a transport
+//! concern, and the in-process bus never materializes it.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use blunt_abd::msg::AbdMsg;
+use blunt_abd::ts::Ts;
+use blunt_core::ids::{ObjId, Pid};
+use blunt_core::value::Val;
+
+use crate::wire::{Envelope, Payload};
+
+/// The wire-format version this build speaks. A peer announcing any other
+/// version is rejected with [`FrameError::BadVersion`].
+pub const FRAME_VERSION: u8 = 1;
+
+/// Upper bound on an encoded frame body, in bytes. Bounds the allocation a
+/// reader performs on behalf of a peer.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Maximum [`Val`] nesting depth a decoder will follow (`Pair`/`Tuple`
+/// recursion); deeper structures are rejected rather than risking a stack
+/// overflow on hostile input.
+pub const MAX_VAL_DEPTH: u32 = 64;
+
+/// The sentinel `Hello` node id announcing the client driver (servers are
+/// `0..servers`, so the driver takes the top of the id space).
+pub const DRIVER_NODE: u32 = u32::MAX;
+
+/// One frame on a connection: a session handshake, a tagged envelope, or a
+/// shutdown-protocol control message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// First frame on every connection: who is dialing. `node` is a server
+    /// pid or [`DRIVER_NODE`]; the accepting side uses it to register the
+    /// connection as the route back to that node.
+    Hello {
+        /// The dialing node's id.
+        node: u32,
+    },
+    /// A protocol envelope with its RPC correlation header.
+    Env {
+        /// This frame's own tag: unique per sent frame within a process,
+        /// never 0. Receivers use it for duplicate suppression and echo it
+        /// as `re` in replies.
+        tag: u64,
+        /// The tag of the inbound frame this one answers; 0 = unsolicited.
+        re: u64,
+        /// The envelope itself ([`Envelope::reply_to`] is *not* serialized —
+        /// the header's `tag`/`re` carry correlation on the wire).
+        env: Envelope,
+    },
+    /// The driver is done: finish pending work, send a [`Frame::Goodbye`],
+    /// and exit.
+    Shutdown,
+    /// A server's parting stats, aggregated into the driver's run report.
+    Goodbye {
+        /// The departing server's pid.
+        node: u32,
+        /// Crash events it processed.
+        crashes: u64,
+        /// Recoveries it completed.
+        recoveries: u64,
+        /// WAL records lost to crashes (timing-dependent).
+        wal_lost: u64,
+        /// WAL records replayed during recoveries (timing-dependent).
+        wal_replayed: u64,
+    },
+}
+
+/// Why a frame failed to encode or decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The body ended before the structure it promised.
+    Truncated,
+    /// The body is longer than [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The offending length.
+        len: usize,
+    },
+    /// The version byte is not [`FRAME_VERSION`].
+    BadVersion(u8),
+    /// The frame kind byte is unknown.
+    BadKind(u8),
+    /// A payload or value tag byte is unknown.
+    BadTag(u8),
+    /// Decoded bytes were left over after the frame's structure ended.
+    Trailing {
+        /// How many bytes remained.
+        extra: usize,
+    },
+    /// A `Val` nested deeper than [`MAX_VAL_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame body truncated"),
+            FrameError::TooLarge { len } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            FrameError::BadVersion(v) => {
+                write!(f, "frame version {v} (this build speaks {FRAME_VERSION})")
+            }
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadTag(t) => write!(f, "unknown payload/value tag {t}"),
+            FrameError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after the frame body")
+            }
+            FrameError::TooDeep => {
+                write!(f, "value nesting exceeds depth {MAX_VAL_DEPTH}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_ts(out: &mut Vec<u8>, ts: Ts) {
+    out.extend_from_slice(&ts.t.to_le_bytes());
+    put_u32(out, ts.pid);
+}
+
+fn put_val(out: &mut Vec<u8>, v: &Val) {
+    match v {
+        Val::Nil => out.push(0),
+        Val::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Val::Pair(p) => {
+            out.push(2);
+            put_val(out, &p.0);
+            put_val(out, &p.1);
+        }
+        Val::Tuple(items) => {
+            out.push(3);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_val(out, item);
+            }
+        }
+    }
+}
+
+fn put_payload(out: &mut Vec<u8>, p: &Payload) {
+    match p {
+        Payload::Abd(AbdMsg::Query { obj, sn }) => {
+            out.push(0);
+            put_u32(out, obj.0);
+            put_u32(out, *sn);
+        }
+        Payload::Abd(AbdMsg::Reply { obj, sn, val, ts }) => {
+            out.push(1);
+            put_u32(out, obj.0);
+            put_u32(out, *sn);
+            put_ts(out, *ts);
+            put_val(out, val);
+        }
+        Payload::Abd(AbdMsg::Update { obj, sn, val, ts }) => {
+            out.push(2);
+            put_u32(out, obj.0);
+            put_u32(out, *sn);
+            put_ts(out, *ts);
+            put_val(out, val);
+        }
+        Payload::Abd(AbdMsg::Ack { obj, sn }) => {
+            out.push(3);
+            put_u32(out, obj.0);
+            put_u32(out, *sn);
+        }
+        Payload::Crash { window } => {
+            out.push(4);
+            put_u64(out, *window);
+        }
+        Payload::StateQuery { sn } => {
+            out.push(5);
+            put_u64(out, *sn);
+        }
+        Payload::StateReply { sn, val, ts } => {
+            out.push(6);
+            put_u64(out, *sn);
+            put_ts(out, *ts);
+            put_val(out, val);
+        }
+    }
+}
+
+/// A strict little-endian cursor over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.at + n > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, FrameError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn ts(&mut self) -> Result<Ts, FrameError> {
+        let t = self.i64()?;
+        let pid = self.u32()?;
+        Ok(Ts { t, pid })
+    }
+
+    fn val(&mut self, depth: u32) -> Result<Val, FrameError> {
+        if depth > MAX_VAL_DEPTH {
+            return Err(FrameError::TooDeep);
+        }
+        match self.u8()? {
+            0 => Ok(Val::Nil),
+            1 => Ok(Val::Int(self.i64()?)),
+            2 => {
+                let a = self.val(depth + 1)?;
+                let b = self.val(depth + 1)?;
+                Ok(Val::Pair(Box::new((a, b))))
+            }
+            3 => {
+                let n = self.u32()? as usize;
+                // No preallocation by the peer's claimed length: the body
+                // cap bounds the real size, push grows as elements decode.
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push(self.val(depth + 1)?);
+                }
+                Ok(Val::Tuple(items))
+            }
+            t => Err(FrameError::BadTag(t)),
+        }
+    }
+
+    fn payload(&mut self) -> Result<Payload, FrameError> {
+        match self.u8()? {
+            0 => Ok(Payload::Abd(AbdMsg::Query {
+                obj: ObjId(self.u32()?),
+                sn: self.u32()?,
+            })),
+            1 => {
+                let obj = ObjId(self.u32()?);
+                let sn = self.u32()?;
+                let ts = self.ts()?;
+                let val = self.val(0)?;
+                Ok(Payload::Abd(AbdMsg::Reply { obj, sn, val, ts }))
+            }
+            2 => {
+                let obj = ObjId(self.u32()?);
+                let sn = self.u32()?;
+                let ts = self.ts()?;
+                let val = self.val(0)?;
+                Ok(Payload::Abd(AbdMsg::Update { obj, sn, val, ts }))
+            }
+            3 => Ok(Payload::Abd(AbdMsg::Ack {
+                obj: ObjId(self.u32()?),
+                sn: self.u32()?,
+            })),
+            4 => Ok(Payload::Crash {
+                window: self.u64()?,
+            }),
+            5 => Ok(Payload::StateQuery { sn: self.u64()? }),
+            6 => {
+                let sn = self.u64()?;
+                let ts = self.ts()?;
+                let val = self.val(0)?;
+                Ok(Payload::StateReply { sn, val, ts })
+            }
+            t => Err(FrameError::BadTag(t)),
+        }
+    }
+}
+
+impl Frame {
+    /// Encodes the frame as `len:u32le` + body, ready to write.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when the body exceeds [`MAX_FRAME_LEN`].
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut out = vec![0u8; 4];
+        out.push(FRAME_VERSION);
+        match self {
+            Frame::Hello { node } => {
+                out.push(0);
+                put_u32(&mut out, *node);
+            }
+            Frame::Env { tag, re, env } => {
+                out.push(1);
+                put_u64(&mut out, *tag);
+                put_u64(&mut out, *re);
+                put_u32(&mut out, env.src.0);
+                put_u32(&mut out, env.dst.0);
+                out.push(u8::from(env.exempt));
+                put_payload(&mut out, &env.msg);
+            }
+            Frame::Shutdown => out.push(2),
+            Frame::Goodbye {
+                node,
+                crashes,
+                recoveries,
+                wal_lost,
+                wal_replayed,
+            } => {
+                out.push(3);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *crashes);
+                put_u64(&mut out, *recoveries);
+                put_u64(&mut out, *wal_lost);
+                put_u64(&mut out, *wal_replayed);
+            }
+        }
+        let body_len = out.len() - 4;
+        if body_len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge { len: body_len });
+        }
+        out[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decodes one frame body (the bytes *after* the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]: truncation, bad version/kind/tag, trailing
+    /// bytes, over-length bodies, over-deep values.
+    pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
+        if body.len() > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge { len: body.len() });
+        }
+        let mut c = Cursor { buf: body, at: 0 };
+        let version = c.u8()?;
+        if version != FRAME_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let frame = match c.u8()? {
+            0 => Frame::Hello { node: c.u32()? },
+            1 => {
+                let tag = c.u64()?;
+                let re = c.u64()?;
+                let src = Pid(c.u32()?);
+                let dst = Pid(c.u32()?);
+                let exempt = c.u8()? != 0;
+                let msg = c.payload()?;
+                Frame::Env {
+                    tag,
+                    re,
+                    env: Envelope {
+                        src,
+                        dst,
+                        msg,
+                        exempt,
+                        reply_to: 0,
+                    },
+                }
+            }
+            2 => Frame::Shutdown,
+            3 => Frame::Goodbye {
+                node: c.u32()?,
+                crashes: c.u64()?,
+                recoveries: c.u64()?,
+                wal_lost: c.u64()?,
+                wal_replayed: c.u64()?,
+            },
+            k => return Err(FrameError::BadKind(k)),
+        };
+        if c.at != body.len() {
+            return Err(FrameError::Trailing {
+                extra: body.len() - c.at,
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Writes one encoded frame, counting `net.frames_sent`/`net.bytes_sent`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; [`FrameError`]s surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let bytes = frame
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    w.write_all(&bytes)?;
+    blunt_obs::static_counter!("net.frames_sent").inc();
+    blunt_obs::static_counter!("net.bytes_sent").add(bytes.len() as u64);
+    Ok(())
+}
+
+/// Reads one frame, counting `net.frames_received`/`net.bytes_received`.
+/// Returns `Ok(None)` on a clean end of stream (EOF at a frame boundary).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; a body over [`MAX_FRAME_LEN`], a
+/// mid-frame EOF, or a [`FrameError`] surface as
+/// [`io::ErrorKind::InvalidData`]/[`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte ends the stream; EOF after a
+    // partial header is a truncation error.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::TooLarge { len },
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let frame = Frame::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    blunt_obs::static_counter!("net.frames_received").inc();
+    blunt_obs::static_counter!("net.bytes_received").add(4 + len as u64);
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) {
+        let bytes = frame.encode().expect("encodes");
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4, "length prefix counts the body");
+        assert_eq!(&Frame::decode(&bytes[4..]).expect("decodes"), frame);
+    }
+
+    fn env_frame(msg: Payload, exempt: bool) -> Frame {
+        Frame::Env {
+            tag: 0xDEAD_BEEF_0042,
+            re: 7,
+            env: Envelope {
+                src: Pid(3),
+                dst: Pid(0),
+                msg,
+                exempt,
+                reply_to: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn every_payload_variant_round_trips() {
+        use blunt_abd::msg::AbdMsg;
+        let ts = Ts { t: -3, pid: 9 };
+        let vals = [
+            Val::Nil,
+            Val::Int(i64::MIN),
+            Val::Pair(Box::new((Val::Int(1), Val::Nil))),
+            Val::Tuple(vec![
+                Val::Int(2),
+                Val::Pair(Box::new((Val::Nil, Val::Int(-7)))),
+            ]),
+        ];
+        for val in vals {
+            for payload in [
+                Payload::Abd(AbdMsg::Query {
+                    obj: ObjId(1),
+                    sn: 42,
+                }),
+                Payload::Abd(AbdMsg::Reply {
+                    obj: ObjId(0),
+                    sn: u32::MAX,
+                    val: val.clone(),
+                    ts,
+                }),
+                Payload::Abd(AbdMsg::Update {
+                    obj: ObjId(7),
+                    sn: 0,
+                    val: val.clone(),
+                    ts,
+                }),
+                Payload::Abd(AbdMsg::Ack {
+                    obj: ObjId(2),
+                    sn: 5,
+                }),
+                Payload::Crash { window: u64::MAX },
+                Payload::StateQuery { sn: 11 },
+                Payload::StateReply {
+                    sn: 12,
+                    val: val.clone(),
+                    ts,
+                },
+            ] {
+                roundtrip(&env_frame(payload.clone(), false));
+                roundtrip(&env_frame(payload, true));
+            }
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        roundtrip(&Frame::Hello { node: DRIVER_NODE });
+        roundtrip(&Frame::Hello { node: 2 });
+        roundtrip(&Frame::Shutdown);
+        roundtrip(&Frame::Goodbye {
+            node: 1,
+            crashes: 3,
+            recoveries: 3,
+            wal_lost: 17,
+            wal_replayed: 9,
+        });
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected_at_every_cut() {
+        let bytes = env_frame(
+            Payload::StateReply {
+                sn: 1,
+                val: Val::Tuple(vec![Val::Int(5), Val::Nil]),
+                ts: Ts { t: 1, pid: 0 },
+            },
+            false,
+        )
+        .encode()
+        .unwrap();
+        let body = &bytes[4..];
+        for cut in 0..body.len() {
+            assert_eq!(
+                Frame::decode(&body[..cut]),
+                Err(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // And the full body decodes — the loop above proves every strict
+        // prefix fails, so the format is non-ambiguous under truncation.
+        assert!(Frame::decode(body).is_ok());
+    }
+
+    #[test]
+    fn bad_version_kind_and_tag_are_rejected() {
+        let mut bytes = env_frame(Payload::StateQuery { sn: 1 }, false)
+            .encode()
+            .unwrap();
+        let good = bytes.clone();
+        bytes[4] = FRAME_VERSION + 1;
+        assert_eq!(
+            Frame::decode(&bytes[4..]),
+            Err(FrameError::BadVersion(FRAME_VERSION + 1))
+        );
+        bytes = good.clone();
+        bytes[5] = 200;
+        assert_eq!(Frame::decode(&bytes[4..]), Err(FrameError::BadKind(200)));
+        // The payload tag byte sits right after tag/re/src/dst/exempt.
+        bytes = good.clone();
+        let payload_tag_at = 4 + 2 + 8 + 8 + 4 + 4 + 1;
+        bytes[payload_tag_at] = 99;
+        assert_eq!(Frame::decode(&bytes[4..]), Err(FrameError::BadTag(99)));
+        // Trailing garbage after a well-formed frame is an error too.
+        bytes = good;
+        bytes.push(0);
+        assert_eq!(
+            Frame::decode(&bytes[4..]),
+            Err(FrameError::Trailing { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn max_size_frame_boundary() {
+        // A StateReply whose tuple value pads the body to exactly
+        // MAX_FRAME_LEN encodes and round-trips; one more byte is TooLarge
+        // on encode, and a decoder rejects an over-long body outright.
+        let pad = |n: usize| Frame::Env {
+            tag: 1,
+            re: 0,
+            env: Envelope {
+                src: Pid(0),
+                dst: Pid(4),
+                msg: Payload::StateReply {
+                    sn: 0,
+                    val: Val::Tuple(vec![Val::Nil; n]),
+                    ts: Ts { t: 0, pid: 0 },
+                },
+                exempt: true,
+                reply_to: 0,
+            },
+        };
+        let overhead = pad(0).encode().unwrap().len() - 4;
+        let exact = pad(MAX_FRAME_LEN - overhead);
+        let bytes = exact.encode().expect("exactly MAX_FRAME_LEN encodes");
+        assert_eq!(bytes.len() - 4, MAX_FRAME_LEN);
+        assert_eq!(&Frame::decode(&bytes[4..]).unwrap(), &exact);
+        assert_eq!(
+            pad(MAX_FRAME_LEN - overhead + 1).encode(),
+            Err(FrameError::TooLarge {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
+        let mut too_long = bytes[4..].to_vec();
+        too_long.push(0);
+        assert_eq!(
+            Frame::decode(&too_long),
+            Err(FrameError::TooLarge {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn over_deep_values_are_rejected_not_overflowed() {
+        let mut v = Val::Nil;
+        for _ in 0..(MAX_VAL_DEPTH + 8) {
+            v = Val::Pair(Box::new((v, Val::Nil)));
+        }
+        let bytes = env_frame(
+            Payload::StateReply {
+                sn: 0,
+                val: v,
+                ts: Ts { t: 0, pid: 0 },
+            },
+            false,
+        )
+        .encode()
+        .unwrap();
+        assert_eq!(Frame::decode(&bytes[4..]), Err(FrameError::TooDeep));
+    }
+
+    #[test]
+    fn read_write_frame_round_trip_over_a_byte_stream() {
+        let frames = vec![
+            Frame::Hello { node: 0 },
+            env_frame(
+                Payload::Abd(AbdMsg::Query {
+                    obj: ObjId(0),
+                    sn: 1,
+                }),
+                false,
+            ),
+            Frame::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        // A partial length header is a truncation, not a clean EOF.
+        let mut partial = &buf[..2];
+        assert!(read_frame(&mut partial).is_err());
+    }
+}

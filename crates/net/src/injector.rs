@@ -1,0 +1,249 @@
+//! The shared fault-decision core: one seed-determined [`FaultPlan`] plus
+//! the stats, coverage, and crash-signal bookkeeping that every transport
+//! backend updates *atomically with* each fate decision.
+//!
+//! The in-process bus and the socket transports realize fates differently
+//! (mpsc enqueues vs. frame writes), but the decision itself — which fate,
+//! which counters, whether a crash window just exited — must be identical
+//! and must happen under one lock so the resulting [`TransportStats`] and
+//! [`Coverage`] are pure functions of the seed. [`Injector::decide`] is
+//! that critical section, extracted so both backends share it bit for bit.
+
+use std::collections::HashSet;
+
+use blunt_core::ids::Pid;
+
+use crate::coverage::{Coverage, LinkCoverage};
+use crate::fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
+
+/// Deterministic fault counters accumulated by a run; equal across runs
+/// with the same seed and configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransportStats {
+    /// First-transmission messages offered to the injector.
+    pub offered: u64,
+    /// Messages dropped by the random drop fault.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages swapped with their successor.
+    pub reordered: u64,
+    /// Messages held back by a delay.
+    pub delayed: u64,
+    /// Messages lost to crash blackout windows.
+    pub crash_dropped: u64,
+    /// Messages lost to partition windows.
+    pub partition_dropped: u64,
+    /// Distinct `(server, window)` crash events signaled (0 unless the
+    /// transport was built with `signal_crashes`).
+    pub crash_events: u64,
+}
+
+/// The fault-decision state of one transport endpoint: the per-link fate
+/// streams plus everything that must update under the same lock as a fate
+/// decision (stats, coverage tallies, pending-crash windows, signaled
+/// sets). Callers wrap it in their own `Mutex` alongside backend-specific
+/// state (e.g. reorder hold-back slots).
+pub struct Injector {
+    plan: FaultPlan,
+    cfg: FaultConfig,
+    nodes: u32,
+    signal_crashes: bool,
+    stats: TransportStats,
+    /// Per-link fate tallies for the coverage report, updated with the
+    /// decision (so coverage is seed-deterministic).
+    coverage: Vec<LinkCoverage>,
+    /// Per-link: the crash window the link's latest first-transmission fell
+    /// into, awaiting its exit (the next non-`CrashDrop` index).
+    pending_crash: Vec<Option<u64>>,
+    /// Crash windows already signaled, per server (index = pid).
+    signaled: Vec<HashSet<u64>>,
+}
+
+impl Injector {
+    /// Builds the injector for a topology of `nodes` processes of which
+    /// `Pid(0..servers)` are servers. With `signal_crashes`, crash blackout
+    /// windows raise the amnesia signal at their exit (see
+    /// [`Injector::decide`]); without it, crashes stay pure blackouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultConfig::validate`] error for unusable
+    /// configurations (overlapping crash stagger, zero periods,
+    /// oversubscribed rates).
+    pub fn new(
+        seed: u64,
+        cfg: FaultConfig,
+        servers: u32,
+        nodes: u32,
+        signal_crashes: bool,
+    ) -> Result<Injector, FaultConfigError> {
+        let plan = FaultPlan::new(seed, cfg, servers, nodes)?;
+        Ok(Injector {
+            plan,
+            cfg,
+            nodes,
+            signal_crashes,
+            stats: TransportStats::default(),
+            coverage: (0..nodes * nodes)
+                .map(|i| LinkCoverage {
+                    src: i / nodes,
+                    dst: i % nodes,
+                    ..LinkCoverage::default()
+                })
+                .collect(),
+            pending_crash: vec![None; (nodes * nodes) as usize],
+            signaled: (0..servers).map(|_| HashSet::new()).collect(),
+        })
+    }
+
+    /// Decides the fate of the next first-transmission message on
+    /// `src → dst`, updating stats, coverage, and the crash-window exit
+    /// bookkeeping in the same step. Returns the fate plus, at most once
+    /// per `(server, window)` pair, the crash signal the caller must
+    /// deliver (as an exempt [`Payload::Crash`](crate::Payload::Crash)
+    /// envelope) *before* realizing the triggering message's fate.
+    ///
+    /// Exempt envelopes must never be passed through here — they consume no
+    /// fault-schedule indices.
+    pub fn decide(&mut self, src: Pid, dst: Pid) -> (Fate, Option<(Pid, u64)>) {
+        self.stats.offered += 1;
+        let fate = self.plan.fate(src, dst);
+        let slot = (src.0 * self.nodes + dst.0) as usize;
+        // Crash-window exit detection: a CrashDrop marks the link as
+        // inside a window; the next non-CrashDrop index on the same
+        // link means the window has passed, and the server restarts —
+        // signaled at most once per (server, window), race-free under
+        // the same lock that decided the fate.
+        let mut signal = None;
+        if self.signal_crashes {
+            if let Fate::CrashDrop { window } = fate {
+                self.pending_crash[slot] = Some(window);
+            } else if let Some(w) = self.pending_crash[slot].take() {
+                if self.signaled[dst.index()].insert(w) {
+                    self.stats.crash_events += 1;
+                    signal = Some((dst, w));
+                }
+            }
+        }
+        let cov = &mut self.coverage[slot];
+        cov.offered += 1;
+        match fate {
+            Fate::Deliver => cov.delivered += 1,
+            Fate::Drop => cov.dropped += 1,
+            Fate::Duplicate => cov.duplicated += 1,
+            Fate::Reorder => cov.reordered += 1,
+            Fate::Delay(_) => cov.delayed += 1,
+            Fate::CrashDrop { window } => {
+                cov.crash_dropped += 1;
+                cov.crash_windows.insert(window);
+            }
+            Fate::PartitionDrop { window } => {
+                cov.partition_dropped += 1;
+                cov.partition_windows.insert(window);
+            }
+        }
+        match fate {
+            Fate::Drop => self.stats.dropped += 1,
+            Fate::Duplicate => self.stats.duplicated += 1,
+            Fate::Reorder => self.stats.reordered += 1,
+            Fate::Delay(_) => self.stats.delayed += 1,
+            Fate::CrashDrop { .. } => self.stats.crash_dropped += 1,
+            Fate::PartitionDrop { .. } => self.stats.partition_dropped += 1,
+            Fate::Deliver => {}
+        }
+        (fate, signal)
+    }
+
+    /// The deterministic fault counters so far.
+    #[must_use]
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// The fault-schedule coverage so far: per-link fate tallies (links
+    /// with traffic only) plus the configured window shape. Deterministic
+    /// for a seed, like [`Injector::stats`].
+    #[must_use]
+    pub fn coverage(&self) -> Coverage {
+        Coverage {
+            links: self
+                .coverage
+                .iter()
+                .filter(|l| l.offered > 0)
+                .cloned()
+                .collect(),
+            crash_len: self.cfg.crash_len,
+            crash_period: self.cfg.crash_period,
+            partition_len: self.cfg.partition_len,
+            partition_period: self.cfg.partition_period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_matches_the_raw_plan_and_counts_every_fate() {
+        let cfg = FaultConfig::chaos();
+        let expected = FaultPlan::preview(9, cfg, 3, 6, Pid(4), Pid(0), 600);
+        let mut inj = Injector::new(9, cfg, 3, 6, false).unwrap();
+        let got: Vec<Fate> = (0..600).map(|_| inj.decide(Pid(4), Pid(0)).0).collect();
+        assert_eq!(got, expected, "the injector must not perturb the plan");
+        let s = inj.stats();
+        assert_eq!(s.offered, 600);
+        assert_eq!(
+            s.offered,
+            s.dropped
+                + s.duplicated
+                + s.reordered
+                + s.delayed
+                + s.crash_dropped
+                + s.partition_dropped
+                + inj.coverage().links[0].delivered
+        );
+        assert_eq!(s.crash_events, 0, "no signaling unless asked");
+    }
+
+    #[test]
+    fn crash_signal_fires_once_per_window_at_its_exit() {
+        // One server, crash window [0, 4) of each 10-index period: indices
+        // 0–3 are CrashDrop, index 4 is the first past the window and must
+        // carry the signal — exactly once, even with two links racing.
+        let mut cfg = FaultConfig::none();
+        cfg.crash_len = 4;
+        cfg.crash_period = 10;
+        let mut inj = Injector::new(0, cfg, 1, 3, true).unwrap();
+        let mut signals = Vec::new();
+        for _ in 0..6 {
+            for src in [1u32, 2] {
+                if let (_, Some(sig)) = inj.decide(Pid(src), Pid(0)) {
+                    signals.push(sig);
+                }
+            }
+        }
+        assert_eq!(signals, vec![(Pid(0), 0)]);
+        assert_eq!(inj.stats().crash_events, 1);
+    }
+
+    #[test]
+    fn stats_and_coverage_are_reproducible_for_a_seed() {
+        let run = || {
+            let mut inj = Injector::new(42, FaultConfig::chaos(), 3, 6, true).unwrap();
+            for _ in 0..400 {
+                for dst in 0..3 {
+                    inj.decide(Pid(4), Pid(dst));
+                }
+                inj.decide(Pid(0), Pid(4));
+            }
+            (inj.stats(), inj.coverage())
+        };
+        let (s1, c1) = run();
+        let (s2, c2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(c1.to_json().to_string(), c2.to_json().to_string());
+        assert!(s1.crash_events > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! blunting reproduction: the transport tier.
+//!
+//! The chaos runtime exercises ABD-style quorum protocols under a
+//! seed-deterministic fault injector. This crate is the seam that makes
+//! the *transport* swappable without touching the protocol or the fault
+//! schedule:
+//!
+//! - [`Transport`] — the object-safe surface the runtime's server and
+//!   client loops drive: send an [`Envelope`], broadcast to a quorum,
+//!   flush stragglers, read the deterministic [`TransportStats`] and
+//!   [`Coverage`]. The in-process bus (in `blunt-runtime`) and the socket
+//!   backends here both implement it.
+//! - [`fault`] / [`injector`] — the seed-determined per-link fate streams
+//!   and the shared decision core ([`Injector::decide`]) both backends use
+//!   bit for bit, so fault counters are a pure function of
+//!   `(seed, config, topology)` regardless of transport.
+//! - [`frame`] — the length-prefixed, versioned wire format (hand-rolled,
+//!   zero dependencies).
+//! - [`conn`] / [`pool`] — TCP / Unix-domain streams, per-peer connection
+//!   pools with single-redial self-healing, and quorum broadcast fan-out.
+//! - [`rpc`] — monotonic frame tags, reply-to-lane routing, and
+//!   per-connection duplicate suppression (retransmission-aware dedup).
+//! - [`client`] / [`server`] — the two socket endpoints: [`NetClient`]
+//!   (the driver process: client threads + monitor, owning the
+//!   client→server fault links) and [`NetServer`] (one `chaos serve`
+//!   process per server, owning its server→client links).
+//!
+//! ## Counters
+//!
+//! The socket tier feeds the `net.*` counter family: `net.frames_sent`,
+//! `net.frames_received`, `net.bytes_sent`, `net.bytes_received`,
+//! `net.reconnects`, `net.rpc.tag_mismatch_drops`, `net.rpc.dedup_drops`.
+//!
+//! ## Fault semantics across backends
+//!
+//! The *decision* (which fate, which counters) is shared and
+//! seed-deterministic. The *realization* differs where the medium does:
+//! the in-process bus enqueues a `Duplicate` twice, while a socket backend
+//! writes the same tagged frame twice and the receiver's dedup window
+//! absorbs the copy — exercising the retransmission-tolerance machinery a
+//! real stack needs. Drops simply skip the write; reorders and delays are
+//! realized at the writing endpoint before frames hit the connection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod conn;
+pub mod coverage;
+pub mod fault;
+pub mod frame;
+pub mod injector;
+pub mod pool;
+pub mod rpc;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, NetClientCfg, ServerGoodbye};
+pub use conn::{Addr, Listener, Stream};
+pub use coverage::{Coverage, LinkCoverage};
+pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
+pub use frame::{Frame, FrameError, DRIVER_NODE, FRAME_VERSION, MAX_FRAME_LEN};
+pub use injector::{Injector, TransportStats};
+pub use server::{NetServer, NetServerCfg};
+pub use wire::{Envelope, Payload};
+
+use blunt_abd::msg::AbdMsg;
+use blunt_core::ids::Pid;
+
+/// What the chaos runtime's server and client loops drive: any medium that
+/// can carry [`Envelope`]s under the seed-determined fault schedule.
+///
+/// Implementations: the in-process bus (`blunt_runtime::Bus`), the driver
+/// endpoint [`NetClient`], and the server endpoint [`NetServer`]. The
+/// protocol state machines in `blunt-abd` never see this trait — they are
+/// pure step functions — so a transport swap cannot change protocol
+/// decisions, only message timing and loss.
+pub trait Transport: Send + Sync {
+    /// Sends `env`, applying the fault schedule to non-exempt envelopes.
+    fn send(&self, env: Envelope);
+
+    /// Broadcasts the ABD message `msg` from `src` to every pid in `dsts`
+    /// (a quorum round's fan-out).
+    fn broadcast(&self, src: Pid, dsts: &[Pid], msg: &AbdMsg, exempt: bool) {
+        for &dst in dsts {
+            self.send(Envelope::abd(src, dst, msg.clone(), exempt));
+        }
+    }
+
+    /// Marks the start of a new operation by `client`. Socket transports
+    /// retire the client's outstanding reply routes here; the in-process
+    /// bus needs no such bookkeeping.
+    fn on_op_start(&self, client: Pid) {
+        let _ = client;
+    }
+
+    /// Releases reorder hold-backs and drains delayers — end of run,
+    /// nothing will overtake them anymore.
+    fn flush(&self);
+
+    /// The deterministic fault counters so far.
+    fn stats(&self) -> TransportStats;
+
+    /// The fault-schedule coverage so far.
+    fn coverage(&self) -> Coverage;
+}

@@ -1,0 +1,212 @@
+//! Per-peer connection pools and quorum broadcast fan-out.
+//!
+//! A [`ConnectionPool`] owns one lazily-dialed, mutex-guarded connection
+//! per peer. On a write error it drops the connection and redials once
+//! (counted as `net.reconnects`); a second failure surfaces to the caller,
+//! which treats the frame as lost — indistinguishable from a dropped
+//! message, which the retransmission layer above already tolerates. Every
+//! fresh connection replays the pool's `Hello` frame and hands a reader
+//! handle to the `on_connect` callback so the owner can spawn its receive
+//! loop.
+//!
+//! [`BroadcastPool`] is the quorum-facing view: fan one logical message out
+//! to every peer, building a distinct tagged frame per destination.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::conn::{Addr, Stream};
+use crate::frame::{write_frame, Frame};
+
+/// How long a fresh dial retries connection refusals before giving up —
+/// generous enough to cover servers that are still binding at startup.
+pub const DIAL_RETRY_WINDOW: Duration = Duration::from_secs(10);
+
+/// One lazily-dialed outbound connection per peer, self-healing across a
+/// single redial per write.
+pub struct ConnectionPool {
+    peers: Vec<Addr>,
+    slots: Vec<Mutex<Option<Stream>>>,
+    /// The session handshake replayed on every (re)connected stream.
+    hello: Frame,
+    /// Called with a cloned reader handle for each fresh connection.
+    on_connect: Box<dyn Fn(usize, Stream) + Send + Sync>,
+}
+
+impl ConnectionPool {
+    /// A pool dialing `peers`, announcing itself with `hello`, and handing
+    /// each fresh connection's read half to `on_connect(peer_index, reader)`.
+    pub fn new(
+        peers: Vec<Addr>,
+        hello: Frame,
+        on_connect: impl Fn(usize, Stream) + Send + Sync + 'static,
+    ) -> ConnectionPool {
+        let slots = peers.iter().map(|_| Mutex::new(None)).collect();
+        ConnectionPool {
+            peers,
+            slots,
+            hello,
+            on_connect: Box::new(on_connect),
+        }
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the pool has no peers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    fn dial(&self, peer: usize) -> std::io::Result<Stream> {
+        let mut s = self.peers[peer].connect_retry(DIAL_RETRY_WINDOW)?;
+        write_frame(&mut s, &self.hello)?;
+        s.flush()?;
+        (self.on_connect)(peer, s.try_clone()?);
+        Ok(s)
+    }
+
+    /// Writes `frame` to `peer`, dialing on first use and redialing once on
+    /// a write failure (`net.reconnects`).
+    ///
+    /// # Errors
+    ///
+    /// The I/O error of the second attempt; the connection slot is left
+    /// empty so the next write dials fresh. Callers treat the frame as
+    /// lost — the retransmission layer above absorbs it.
+    pub fn send(&self, peer: usize, frame: &Frame) -> std::io::Result<()> {
+        let mut slot = self.slots[peer].lock().expect("pool slot lock");
+        if slot.is_none() {
+            *slot = Some(self.dial(peer)?);
+        }
+        let first = write_frame(slot.as_mut().expect("dialed above"), frame);
+        if first.is_ok() {
+            return Ok(());
+        }
+        // One reconnect attempt: the peer may have restarted (crash
+        // recovery) or the connection idled out.
+        *slot = None;
+        blunt_obs::static_counter!("net.reconnects").inc();
+        let mut fresh = self.dial(peer)?;
+        match write_frame(&mut fresh, frame) {
+            Ok(()) => {
+                *slot = Some(fresh);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Quorum fan-out over a [`ConnectionPool`]: one distinct tagged frame per
+/// destination.
+pub struct BroadcastPool {
+    pool: ConnectionPool,
+}
+
+impl BroadcastPool {
+    /// Wraps `pool` for broadcasting.
+    #[must_use]
+    pub fn new(pool: ConnectionPool) -> BroadcastPool {
+        BroadcastPool { pool }
+    }
+
+    /// The underlying pool, for unicast sends.
+    #[must_use]
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.pool
+    }
+
+    /// Sends `make(peer)`'s frame to every peer. Per-peer send failures are
+    /// swallowed (the frame is "lost"; retransmission recovers) — a quorum
+    /// protocol must not let one dead peer poison the whole round.
+    pub fn broadcast(&self, mut make: impl FnMut(usize) -> Frame) {
+        for peer in 0..self.pool.len() {
+            let frame = make(peer);
+            let _ = self.pool.send(peer, &frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::read_frame;
+    use std::sync::mpsc;
+
+    fn tmp_sock(name: &str) -> Addr {
+        let dir = std::env::temp_dir().join(format!("blunt-net-pool-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Addr::Uds(dir.join(name))
+    }
+
+    #[test]
+    fn pool_dials_lazily_sends_hello_first_and_reconnects_after_peer_restart() {
+        let addr = tmp_sock("p0.sock");
+        let listener = addr.listen().unwrap();
+        let (connected_tx, connected_rx) = mpsc::channel();
+        let pool = ConnectionPool::new(
+            vec![addr.clone()],
+            Frame::Hello { node: 7 },
+            move |peer, _reader| connected_tx.send(peer).unwrap(),
+        );
+        pool.send(0, &Frame::Shutdown).unwrap();
+        assert_eq!(connected_rx.recv().unwrap(), 0, "on_connect fired");
+        let mut conn = listener.accept().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap(),
+            Some(Frame::Hello { node: 7 })
+        );
+        assert_eq!(read_frame(&mut conn).unwrap(), Some(Frame::Shutdown));
+        // Simulate a peer restart: close the accepted side, rebind, and
+        // keep writing until the pool notices the dead connection and
+        // redials (closure detection may take one buffered write).
+        drop(conn);
+        drop(listener);
+        let listener = addr.listen().unwrap();
+        for _ in 0..50 {
+            if pool.send(0, &Frame::Shutdown).is_ok() && connected_rx.try_recv().is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut conn = listener.accept().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap(),
+            Some(Frame::Hello { node: 7 }),
+            "reconnected stream re-announces itself"
+        );
+    }
+
+    #[test]
+    fn broadcast_reaches_every_peer_with_its_own_frame() {
+        let addrs = [tmp_sock("b0.sock"), tmp_sock("b1.sock")];
+        let listeners: Vec<_> = addrs.iter().map(|a| a.listen().unwrap()).collect();
+        let pool = BroadcastPool::new(ConnectionPool::new(
+            addrs.to_vec(),
+            Frame::Hello { node: 1 },
+            |_, _| {},
+        ));
+        pool.broadcast(|peer| Frame::Hello {
+            node: peer as u32 + 100,
+        });
+        for (i, l) in listeners.iter().enumerate() {
+            let mut conn = l.accept().unwrap();
+            assert_eq!(
+                read_frame(&mut conn).unwrap(),
+                Some(Frame::Hello { node: 1 })
+            );
+            assert_eq!(
+                read_frame(&mut conn).unwrap(),
+                Some(Frame::Hello {
+                    node: i as u32 + 100
+                })
+            );
+        }
+    }
+}

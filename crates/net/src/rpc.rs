@@ -1,0 +1,179 @@
+//! Tagged request/reply bookkeeping for socket transports.
+//!
+//! Every frame a process sends carries a fresh monotonic tag; replies echo
+//! the request's tag in their `re` header field. Three small pieces make
+//! that usable under fault injection:
+//!
+//! - [`TagGen`]: the per-process tag source (never issues 0 — `re = 0`
+//!   means "unsolicited").
+//! - [`ReplyRouter`]: maps outstanding request tags to the client lane that
+//!   issued them, so a server's reply frame can be routed to the right
+//!   client mailbox no matter which connection it arrived on. Tags are
+//!   retired wholesale at each operation boundary ([`ReplyRouter::begin_op`])
+//!   — straggler replies to a finished operation then miss the table and
+//!   are dropped, counted as `net.rpc.tag_mismatch_drops`.
+//! - [`DedupWindow`]: per-connection duplicate suppression. The socket
+//!   tier realizes a `Duplicate` fate by writing the same tagged frame
+//!   twice, so the *receiver* must be the one to observe-and-drop, counted
+//!   as `net.rpc.dedup_drops` — mirroring how a real stack would absorb a
+//!   retransmitted datagram.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic frame-tag source; process-local, starts at 1 (0 is the
+/// "unsolicited" sentinel in `re` headers).
+#[derive(Debug)]
+pub struct TagGen(AtomicU64);
+
+impl TagGen {
+    /// A fresh generator whose first tag is 1.
+    #[must_use]
+    pub fn new() -> TagGen {
+        TagGen(AtomicU64::new(1))
+    }
+
+    /// The next tag.
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Default for TagGen {
+    fn default() -> TagGen {
+        TagGen::new()
+    }
+}
+
+/// Routes reply frames (by their `re` header) back to the client lane
+/// whose request they answer.
+pub struct ReplyRouter {
+    /// Outstanding request tag → client lane index.
+    map: Mutex<HashMap<u64, usize>>,
+    /// Tags registered by each lane's current operation, retired together
+    /// when the lane starts its next operation.
+    per_lane: Vec<Mutex<Vec<u64>>>,
+}
+
+impl ReplyRouter {
+    /// A router for `lanes` concurrent clients.
+    #[must_use]
+    pub fn new(lanes: usize) -> ReplyRouter {
+        ReplyRouter {
+            map: Mutex::new(HashMap::new()),
+            per_lane: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Starts a new operation on `lane`: retires every tag the lane's
+    /// previous operation registered. Replies to those tags arriving later
+    /// (duplicates, stragglers from dropped quorum rounds) miss the table
+    /// and are counted as tag mismatches by the caller.
+    pub fn begin_op(&self, lane: usize) {
+        let mut mine = self.per_lane[lane].lock().expect("router lane lock");
+        if mine.is_empty() {
+            return;
+        }
+        let mut map = self.map.lock().expect("router map lock");
+        for tag in mine.drain(..) {
+            map.remove(&tag);
+        }
+    }
+
+    /// Registers an outstanding request `tag` issued by `lane`.
+    pub fn register(&self, lane: usize, tag: u64) {
+        self.per_lane[lane]
+            .lock()
+            .expect("router lane lock")
+            .push(tag);
+        self.map.lock().expect("router map lock").insert(tag, lane);
+    }
+
+    /// The lane that issued request `re`, if it is still outstanding.
+    /// (The tag stays live: quorum operations accept several replies to
+    /// one broadcast round's tags, and retransmitted requests may earn
+    /// more than one answer.)
+    #[must_use]
+    pub fn route(&self, re: u64) -> Option<usize> {
+        self.map.lock().expect("router map lock").get(&re).copied()
+    }
+}
+
+/// Sliding-window duplicate suppression for one connection: remembers the
+/// last `cap` frame tags seen and rejects repeats.
+#[derive(Debug)]
+pub struct DedupWindow {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    /// A window remembering the last `cap` tags.
+    #[must_use]
+    pub fn new(cap: usize) -> DedupWindow {
+        DedupWindow {
+            seen: HashSet::with_capacity(cap),
+            order: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Admits `tag` if unseen within the window; `false` means drop the
+    /// frame as a duplicate.
+    pub fn admit(&mut self, tag: u64) -> bool {
+        if !self.seen.insert(tag) {
+            return false;
+        }
+        self.order.push_back(tag);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_monotonic_and_never_zero() {
+        let g = TagGen::new();
+        let a = g.next();
+        let b = g.next();
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn router_routes_while_outstanding_and_retires_at_op_boundary() {
+        let r = ReplyRouter::new(2);
+        r.register(0, 10);
+        r.register(1, 11);
+        assert_eq!(r.route(10), Some(0));
+        assert_eq!(r.route(10), Some(0), "tag stays live across reads");
+        assert_eq!(r.route(11), Some(1));
+        assert_eq!(r.route(99), None, "unknown tag is a mismatch");
+        r.begin_op(0);
+        assert_eq!(r.route(10), None, "lane 0's tags retired");
+        assert_eq!(r.route(11), Some(1), "lane 1 untouched");
+    }
+
+    #[test]
+    fn dedup_window_drops_repeats_and_forgets_past_capacity() {
+        let mut w = DedupWindow::new(3);
+        assert!(w.admit(1));
+        assert!(!w.admit(1), "immediate duplicate dropped");
+        assert!(w.admit(2));
+        assert!(w.admit(3));
+        assert!(w.admit(4), "window slides");
+        assert!(
+            w.admit(1),
+            "tag 1 evicted after 3 newer tags — admitted again"
+        );
+        assert!(!w.admit(4));
+    }
+}

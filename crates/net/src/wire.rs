@@ -1,0 +1,118 @@
+//! The transport-agnostic message envelope and its payload kinds.
+//!
+//! An [`Envelope`] is what every [`Transport`](crate::Transport) carries:
+//! the directed link `(src, dst)`, a [`Payload`], the *exemption* bit that
+//! routes retransmissions and recovery traffic around the fault injector,
+//! and a runtime-local request/reply correlation tag used by socket
+//! transports (the in-process bus ignores it and it never perturbs the
+//! fault schedule).
+
+use blunt_abd::msg::AbdMsg;
+use blunt_abd::ts::Ts;
+use blunt_core::ids::Pid;
+use blunt_core::value::Val;
+use blunt_obs::flight;
+
+/// What an [`Envelope`] carries: protocol traffic or a runtime control
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// An ABD protocol message.
+    Abd(AbdMsg),
+    /// The amnesia signal: "your crash window `window` just ended — lose
+    /// your volatile state and recover before serving". Emitted by the
+    /// transport's injector itself at window exit (exempt, at most once per
+    /// `(server, window)` pair); never crosses the injector.
+    Crash {
+        /// The crash cycle this signal belongs to.
+        window: u64,
+    },
+    /// Recovery state transfer, mirroring the ABD query: "send me your
+    /// current `(value, timestamp)`". Always exempt.
+    StateQuery {
+        /// Exchange identifier scoped to the recovering server.
+        sn: u64,
+    },
+    /// A peer's answer to a [`Payload::StateQuery`]. Always exempt.
+    StateReply {
+        /// The exchange this reply answers.
+        sn: u64,
+        /// The peer's current value.
+        val: Val,
+        /// Its timestamp.
+        ts: Ts,
+    },
+}
+
+/// One message in flight on a transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: Pid,
+    /// Destination node.
+    pub dst: Pid,
+    /// Protocol payload.
+    pub msg: Payload,
+    /// Retransmissions (and responses to them) bypass the fault injector
+    /// and consume no fault-schedule indices, so timing-dependent retry
+    /// counts cannot perturb the seed-determined schedule. Recovery
+    /// traffic ([`Payload::Crash`]/[`Payload::StateQuery`]/
+    /// [`Payload::StateReply`]) is exempt for the same reason.
+    pub exempt: bool,
+    /// Request/reply correlation for socket transports. On envelopes
+    /// *delivered* by a socket transport this is the tag of the frame that
+    /// carried them; on envelopes *sent* it is the tag of the inbound frame
+    /// this one answers (`0` = unsolicited). Runtime-local: the field never
+    /// appears inside the serialized envelope — the frame header carries
+    /// it — and the in-process bus ignores it entirely.
+    pub reply_to: u64,
+}
+
+impl Envelope {
+    /// An envelope carrying an ABD protocol message (unsolicited:
+    /// `reply_to = 0`).
+    #[must_use]
+    pub fn abd(src: Pid, dst: Pid, msg: AbdMsg, exempt: bool) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            msg: Payload::Abd(msg),
+            exempt,
+            reply_to: 0,
+        }
+    }
+
+    /// The same envelope marked as answering the inbound frame tagged `re`.
+    /// Socket transports route it back to the requester by that tag; the
+    /// in-process bus ignores it.
+    #[must_use]
+    pub fn in_reply_to(mut self, re: u64) -> Envelope {
+        self.reply_to = re;
+        self
+    }
+}
+
+impl Payload {
+    /// The packed flight-recorder label for this payload: message-kind code
+    /// plus its sequence number / window (see [`flight::pack_msg`]).
+    #[must_use]
+    pub fn flight_label(&self) -> u64 {
+        match self {
+            Payload::Abd(AbdMsg::Query { sn, .. }) => {
+                flight::pack_msg(flight::MSG_QUERY, u64::from(*sn))
+            }
+            Payload::Abd(AbdMsg::Reply { sn, .. }) => {
+                flight::pack_msg(flight::MSG_REPLY, u64::from(*sn))
+            }
+            Payload::Abd(AbdMsg::Update { sn, .. }) => {
+                flight::pack_msg(flight::MSG_UPDATE, u64::from(*sn))
+            }
+            Payload::Abd(AbdMsg::Ack { sn, .. }) => {
+                flight::pack_msg(flight::MSG_ACK, u64::from(*sn))
+            }
+            Payload::Crash { window } => flight::pack_msg(flight::MSG_CRASH, *window),
+            Payload::StateQuery { sn } => flight::pack_msg(flight::MSG_STATE_QUERY, *sn),
+            Payload::StateReply { sn, .. } => flight::pack_msg(flight::MSG_STATE_REPLY, *sn),
+        }
+    }
+}

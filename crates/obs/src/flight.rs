@@ -571,6 +571,28 @@ impl FlightDump {
     }
 }
 
+/// Returns `stem` the first time it is requested in this process and
+/// `stem.2`, `stem.3`, … on repeats, so concurrent or repeated dumps under
+/// one artifact directory never overwrite each other. Callers append their
+/// own extensions (`.flight.jsonl`, `.diagram.txt`) to the returned stem,
+/// which keeps a dump's sibling artifacts sharing one suffix.
+pub fn unique_dump_stem(stem: &str) -> String {
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    static USED: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    let mut used = USED
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("dump stem lock");
+    let n = used.entry(stem.to_string()).or_insert(0);
+    *n += 1;
+    if *n == 1 {
+        stem.to_string()
+    } else {
+        format!("{stem}.{n}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,6 +700,18 @@ mod tests {
         assert_eq!(tail.len(), 3);
         assert_eq!(tail.events[0].a, 7);
         assert_eq!(dump.last_n(99).len(), 10);
+    }
+
+    #[test]
+    fn dump_stems_get_monotonic_suffixes_on_collision() {
+        // First use of a stem is unsuffixed — CI configs and tests address
+        // artifacts by their exact expected names — and only repeats grow
+        // a sequence number.
+        let stem = "test-stem-collision";
+        assert_eq!(unique_dump_stem(stem), stem);
+        assert_eq!(unique_dump_stem(stem), format!("{stem}.2"));
+        assert_eq!(unique_dump_stem(stem), format!("{stem}.3"));
+        assert_eq!(unique_dump_stem("test-stem-other"), "test-stem-other");
     }
 
     #[test]

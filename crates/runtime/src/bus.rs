@@ -2,9 +2,10 @@
 //! injector.
 //!
 //! Every node (server or client thread) owns one `mpsc::Receiver<Envelope>`;
-//! the bus holds the matching senders. A send first consults the
-//! [`FaultPlan`] (unless the envelope is *exempt*, i.e. a retransmission or
-//! a response to one), then realizes the fate:
+//! the bus holds the matching senders. A send first consults the shared
+//! fault-decision core ([`blunt_net::Injector`] — the same one the socket
+//! transports use, so fault counters are a pure function of the seed
+//! regardless of backend), then realizes the fate:
 //!
 //! - `Drop`/`CrashDrop`/`PartitionDrop` — the envelope vanishes;
 //! - `Duplicate` — enqueued twice back to back;
@@ -35,164 +36,49 @@
 //!
 //! `std::sync::mpsc` channels are per-sender FIFO and internally
 //! linearizable, which is what makes the per-link message indexing of
-//! [`FaultPlan`] well defined.
+//! [`blunt_net::fault::FaultPlan`] well defined.
 
-use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use blunt_abd::msg::AbdMsg;
-use blunt_abd::ts::Ts;
 use blunt_core::ids::Pid;
-use blunt_core::value::Val;
-use blunt_obs::flight;
+use blunt_net::injector::Injector;
+use blunt_net::{Fate, FaultConfig, FaultConfigError, Transport};
 use blunt_obs::{FlightKind, FlightRecorder};
 
-use crate::coverage::{Coverage, LinkCoverage};
-use crate::fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
+use crate::coverage::Coverage;
 
-/// What an [`Envelope`] carries: protocol traffic or a runtime control
-/// message.
-#[derive(Clone, Debug)]
-pub enum Payload {
-    /// An ABD protocol message.
-    Abd(AbdMsg),
-    /// The amnesia signal: "your crash window `window` just ended — lose
-    /// your volatile state and recover before serving". Emitted by the bus
-    /// itself at window exit (exempt, at most once per `(server, window)`
-    /// pair); never crosses the injector.
-    Crash {
-        /// The crash cycle this signal belongs to.
-        window: u64,
-    },
-    /// Recovery state transfer, mirroring the ABD query: "send me your
-    /// current `(value, timestamp)`". Always exempt.
-    StateQuery {
-        /// Exchange identifier scoped to the recovering server.
-        sn: u64,
-    },
-    /// A peer's answer to a [`Payload::StateQuery`]. Always exempt.
-    StateReply {
-        /// The exchange this reply answers.
-        sn: u64,
-        /// The peer's current value.
-        val: Val,
-        /// Its timestamp.
-        ts: Ts,
-    },
-}
-
-/// One message in flight on the bus.
-#[derive(Clone, Debug)]
-pub struct Envelope {
-    /// Sending node.
-    pub src: Pid,
-    /// Destination node.
-    pub dst: Pid,
-    /// Protocol payload.
-    pub msg: Payload,
-    /// Retransmissions (and responses to them) bypass the fault injector
-    /// and consume no fault-schedule indices, so timing-dependent retry
-    /// counts cannot perturb the seed-determined schedule. Recovery
-    /// traffic ([`Payload::Crash`]/[`Payload::StateQuery`]/
-    /// [`Payload::StateReply`]) is exempt for the same reason.
-    pub exempt: bool,
-}
-
-impl Envelope {
-    /// An envelope carrying an ABD protocol message.
-    #[must_use]
-    pub fn abd(src: Pid, dst: Pid, msg: AbdMsg, exempt: bool) -> Envelope {
-        Envelope {
-            src,
-            dst,
-            msg: Payload::Abd(msg),
-            exempt,
-        }
-    }
-}
-
-impl Payload {
-    /// The packed flight-recorder label for this payload: message-kind code
-    /// plus its sequence number / window (see [`flight::pack_msg`]).
-    #[must_use]
-    pub fn flight_label(&self) -> u64 {
-        match self {
-            Payload::Abd(AbdMsg::Query { sn, .. }) => {
-                flight::pack_msg(flight::MSG_QUERY, u64::from(*sn))
-            }
-            Payload::Abd(AbdMsg::Reply { sn, .. }) => {
-                flight::pack_msg(flight::MSG_REPLY, u64::from(*sn))
-            }
-            Payload::Abd(AbdMsg::Update { sn, .. }) => {
-                flight::pack_msg(flight::MSG_UPDATE, u64::from(*sn))
-            }
-            Payload::Abd(AbdMsg::Ack { sn, .. }) => {
-                flight::pack_msg(flight::MSG_ACK, u64::from(*sn))
-            }
-            Payload::Crash { window } => flight::pack_msg(flight::MSG_CRASH, *window),
-            Payload::StateQuery { sn } => flight::pack_msg(flight::MSG_STATE_QUERY, *sn),
-            Payload::StateReply { sn, .. } => flight::pack_msg(flight::MSG_STATE_REPLY, *sn),
-        }
-    }
-}
+pub use blunt_net::wire::{Envelope, Payload};
 
 /// Deterministic fault counters accumulated by a run; equal across runs
-/// with the same seed and configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct BusStats {
-    /// First-transmission messages offered to the injector.
-    pub offered: u64,
-    /// Messages dropped by the random drop fault.
-    pub dropped: u64,
-    /// Messages delivered twice.
-    pub duplicated: u64,
-    /// Messages swapped with their successor.
-    pub reordered: u64,
-    /// Messages held back by a delay.
-    pub delayed: u64,
-    /// Messages lost to crash blackout windows.
-    pub crash_dropped: u64,
-    /// Messages lost to partition windows.
-    pub partition_dropped: u64,
-    /// Distinct `(server, window)` crash events signaled (0 unless the bus
-    /// was built with `signal_crashes`).
-    pub crash_events: u64,
-}
+/// with the same seed and configuration. (The transport-agnostic name is
+/// [`blunt_net::TransportStats`]; this alias keeps the original in-process
+/// spelling.)
+pub type BusStats = blunt_net::TransportStats;
 
 struct DelayedMsg {
     due: Instant,
     env: Envelope,
 }
 
-/// Per-link mutable state: the fate stream lives in the shared
-/// [`FaultPlan`]; this holds the reorder hold-back slot.
+/// Per-link mutable state: the fate stream lives in the shared injector;
+/// this holds the reorder hold-back slot.
 struct LinkHold {
     held: Option<Envelope>,
 }
 
 struct BusInner {
-    plan: FaultPlan,
-    stats: BusStats,
+    injector: Injector,
     holds: Vec<LinkHold>,
-    /// Per-link fate tallies for the coverage report, updated under the
-    /// same lock that decides fates (so coverage is seed-deterministic).
-    coverage: Vec<LinkCoverage>,
-    /// Per-link: the crash window the link's latest first-transmission fell
-    /// into, awaiting its exit (the next non-`CrashDrop` index).
-    pending_crash: Vec<Option<u64>>,
-    /// Crash windows already signaled, per server (index = pid).
-    signaled: Vec<HashSet<u64>>,
 }
 
 /// The bus proper. Cloneable handles are not needed — threads share it via
 /// `Arc<Bus>`.
 pub struct Bus {
     nodes: u32,
-    signal_crashes: bool,
-    cfg: FaultConfig,
     flight: Arc<FlightRecorder>,
     mailboxes: Vec<Sender<Envelope>>,
     inner: Mutex<BusInner>,
@@ -221,7 +107,7 @@ impl Bus {
         signal_crashes: bool,
         flight: Arc<FlightRecorder>,
     ) -> Result<(Bus, Vec<Receiver<Envelope>>), FaultConfigError> {
-        let plan = FaultPlan::new(seed, cfg, servers, nodes)?;
+        let injector = Injector::new(seed, cfg, servers, nodes, signal_crashes)?;
         let mut senders = Vec::with_capacity(nodes as usize);
         let mut receivers = Vec::with_capacity(nodes as usize);
         for _ in 0..nodes {
@@ -231,25 +117,13 @@ impl Bus {
         }
         let bus = Bus {
             nodes,
-            signal_crashes,
-            cfg,
             flight,
             mailboxes: senders,
             inner: Mutex::new(BusInner {
-                plan,
-                stats: BusStats::default(),
+                injector,
                 holds: (0..nodes * nodes)
                     .map(|_| LinkHold { held: None })
                     .collect(),
-                coverage: (0..nodes * nodes)
-                    .map(|i| LinkCoverage {
-                        src: i / nodes,
-                        dst: i % nodes,
-                        ..LinkCoverage::default()
-                    })
-                    .collect(),
-                pending_crash: vec![None; (nodes * nodes) as usize],
-                signaled: (0..servers).map(|_| HashSet::new()).collect(),
             }),
             delayer: Mutex::new(None),
             delayer_handle: Mutex::new(None),
@@ -335,51 +209,10 @@ impl Bus {
         }
         let (signal, fate, outcome) = {
             let mut inner = self.inner.lock().unwrap();
-            inner.stats.offered += 1;
-            let fate = inner.plan.fate(env.src, env.dst);
+            // The shared fault-decision core: fate, stats, coverage, and
+            // crash-window bookkeeping, all under this one lock.
+            let (fate, signal) = inner.injector.decide(env.src, env.dst);
             let slot = (env.src.0 * self.nodes + env.dst.0) as usize;
-            // Crash-window exit detection: a CrashDrop marks the link as
-            // inside a window; the next non-CrashDrop index on the same
-            // link means the window has passed, and the server restarts —
-            // signaled at most once per (server, window), race-free under
-            // the same lock that decided the fate.
-            let mut signal = None;
-            if self.signal_crashes {
-                if let Fate::CrashDrop { window } = fate {
-                    inner.pending_crash[slot] = Some(window);
-                } else if let Some(w) = inner.pending_crash[slot].take() {
-                    if inner.signaled[env.dst.index()].insert(w) {
-                        inner.stats.crash_events += 1;
-                        signal = Some((env.dst, w));
-                    }
-                }
-            }
-            let cov = &mut inner.coverage[slot];
-            cov.offered += 1;
-            match fate {
-                Fate::Deliver => cov.delivered += 1,
-                Fate::Drop => cov.dropped += 1,
-                Fate::Duplicate => cov.duplicated += 1,
-                Fate::Reorder => cov.reordered += 1,
-                Fate::Delay(_) => cov.delayed += 1,
-                Fate::CrashDrop { window } => {
-                    cov.crash_dropped += 1;
-                    cov.crash_windows.insert(window);
-                }
-                Fate::PartitionDrop { window } => {
-                    cov.partition_dropped += 1;
-                    cov.partition_windows.insert(window);
-                }
-            }
-            match fate {
-                Fate::Drop => inner.stats.dropped += 1,
-                Fate::Duplicate => inner.stats.duplicated += 1,
-                Fate::Reorder => inner.stats.reordered += 1,
-                Fate::Delay(_) => inner.stats.delayed += 1,
-                Fate::CrashDrop { .. } => inner.stats.crash_dropped += 1,
-                Fate::PartitionDrop { .. } => inner.stats.partition_dropped += 1,
-                Fate::Deliver => {}
-            }
             let outcome = match fate {
                 Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop { .. } => Outcome::Lost,
                 Fate::Reorder => Outcome::Hold {
@@ -419,6 +252,7 @@ impl Bus {
                 dst,
                 msg: Payload::Crash { window },
                 exempt: true,
+                reply_to: 0,
             });
         }
         match outcome {
@@ -484,7 +318,7 @@ impl Bus {
     /// The deterministic fault counters so far.
     #[must_use]
     pub fn stats(&self) -> BusStats {
-        self.inner.lock().unwrap().stats
+        self.inner.lock().unwrap().injector.stats()
     }
 
     /// The fault-schedule coverage so far: per-link fate tallies (links
@@ -492,19 +326,25 @@ impl Bus {
     /// for a seed, like [`Bus::stats`].
     #[must_use]
     pub fn coverage(&self) -> Coverage {
-        let inner = self.inner.lock().unwrap();
-        Coverage {
-            links: inner
-                .coverage
-                .iter()
-                .filter(|l| l.offered > 0)
-                .cloned()
-                .collect(),
-            crash_len: self.cfg.crash_len,
-            crash_period: self.cfg.crash_period,
-            partition_len: self.cfg.partition_len,
-            partition_period: self.cfg.partition_period,
-        }
+        self.inner.lock().unwrap().injector.coverage()
+    }
+}
+
+impl Transport for Bus {
+    fn send(&self, env: Envelope) {
+        Bus::send(self, env);
+    }
+
+    fn flush(&self) {
+        Bus::flush(self);
+    }
+
+    fn stats(&self) -> BusStats {
+        Bus::stats(self)
+    }
+
+    fn coverage(&self) -> Coverage {
+        Bus::coverage(self)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The workload driver: real OS threads running the ABD client/server step
-//! machines over the fault-injecting [`Bus`], observed by the
+//! machines over a fault-injecting [`Transport`] (the in-process [`Bus`] or
+//! the socket tier — see `crate::netrun`), observed by the
 //! [`OnlineMonitor`].
 //!
 //! Topology: pids `0..servers` are server threads, `servers..servers+clients`
@@ -64,6 +65,8 @@ use blunt_obs::{
     QuantileSketch,
 };
 use blunt_sim::rng::{RandomSource, SplitMix64};
+
+use blunt_net::Transport;
 
 use crate::bus::{Bus, BusStats, Envelope, Payload};
 use crate::coverage::Coverage;
@@ -195,7 +198,7 @@ pub struct MonitorOverhead {
 
 /// Live counters shared with the watch/watchdog thread. Pure observation:
 /// nothing here feeds back into scheduling or the fault plan.
-struct Telemetry {
+pub(crate) struct Telemetry {
     /// Operations completed so far.
     ops: AtomicU64,
     /// Operations invoked but not yet returned.
@@ -209,7 +212,7 @@ struct Telemetry {
 }
 
 impl Telemetry {
-    fn new() -> Telemetry {
+    pub(crate) fn new() -> Telemetry {
         Telemetry {
             ops: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -217,6 +220,11 @@ impl Telemetry {
             actions_seen: AtomicU64::new(0),
             sketch: QuantileSketch::new(),
         }
+    }
+
+    /// Actions the monitor has observed (for the report's overhead block).
+    pub(crate) fn actions_seen(&self) -> u64 {
+        self.actions_seen.load(Ordering::Relaxed)
     }
 }
 
@@ -313,60 +321,12 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
     let telemetry = Arc::new(Telemetry::new());
 
     let (mon_tx, mon_rx) = mpsc::channel::<Action>();
-    let lanes = nodes as usize;
-    let monitor = {
-        let recorder = Arc::clone(&recorder);
-        let telemetry = Arc::clone(&telemetry);
-        thread::spawn(move || {
-            let ring = recorder.register_current("monitor");
-            let mon_pid = u32::try_from(lanes).expect("node count fits u32");
-            let mut m = OnlineMonitor::new(Val::Nil, lanes);
-            let mut observe_ns: u64 = 0;
-            let mut lag_hwm: u64 = 0;
-            let mut cuts: u64 = 0;
-            let mut dump: Option<FlightDump> = None;
-            while let Ok(a) = mon_rx.recv() {
-                let t0 = Instant::now();
-                let ok = m.observe(a);
-                observe_ns = observe_ns
-                    .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                let seen = telemetry.actions_seen.fetch_add(1, Ordering::Relaxed) + 1;
-                let lag = telemetry
-                    .actions_sent
-                    .load(Ordering::Relaxed)
-                    .saturating_sub(seen);
-                lag_hwm = lag_hwm.max(lag);
-                let checked = m.segments_checked();
-                if checked > cuts {
-                    cuts = checked;
-                    ring.record(FlightKind::MonitorCut, mon_pid, checked, 0);
-                }
-                if !ok {
-                    if dump.is_none() {
-                        // A lagging monitor may flag a window whose op
-                        // events the clients' bounded rings have already
-                        // evicted — replay the window into this ring so
-                        // the dump always carries its own evidence.
-                        if let Some(v) = m.violations().last() {
-                            replay_window(&ring, v.window.actions());
-                        }
-                    }
-                    ring.record(
-                        FlightKind::MonitorViolation,
-                        mon_pid,
-                        m.violations_found().saturating_sub(1),
-                        0,
-                    );
-                    if dump.is_none() {
-                        // Capture now, while the offending ops are still
-                        // in the rings.
-                        dump = Some(recorder.dump());
-                    }
-                }
-            }
-            (m.finish(), observe_ns, lag_hwm, dump)
-        })
-    };
+    let monitor = spawn_monitor(
+        Arc::clone(&recorder),
+        Arc::clone(&telemetry),
+        nodes as usize,
+        mon_rx,
+    );
 
     let (watch_stop_tx, watch_stop_rx) = mpsc::channel::<()>();
     let stalled = Arc::new(AtomicBool::new(false));
@@ -407,7 +367,7 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
                 server_count,
                 mode,
                 rx,
-                &bus,
+                bus.as_ref(),
                 &stop,
                 &sink,
                 &recorder,
@@ -431,7 +391,7 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
                 &cfg,
                 quorum,
                 rx,
-                &bus,
+                bus.as_ref(),
                 &barrier,
                 &mon_tx,
                 &retransmissions,
@@ -480,6 +440,67 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
         retransmissions: retransmissions.load(Ordering::Relaxed),
         latency_us: latency.snapshot(),
         elapsed: started.elapsed(),
+    })
+}
+
+/// Spawns the online-monitor thread: it consumes the action stream, feeds
+/// the incremental checker, and captures a flight dump at the first
+/// violation. Returns `(report, observe_ns, lag_hwm, dump)` on join.
+/// Shared by the in-process and multi-process drivers.
+pub(crate) fn spawn_monitor(
+    recorder: Arc<FlightRecorder>,
+    telemetry: Arc<Telemetry>,
+    lanes: usize,
+    mon_rx: Receiver<Action>,
+) -> thread::JoinHandle<(MonitorReport, u64, u64, Option<FlightDump>)> {
+    thread::spawn(move || {
+        let ring = recorder.register_current("monitor");
+        let mon_pid = u32::try_from(lanes).expect("node count fits u32");
+        let mut m = OnlineMonitor::new(Val::Nil, lanes);
+        let mut observe_ns: u64 = 0;
+        let mut lag_hwm: u64 = 0;
+        let mut cuts: u64 = 0;
+        let mut dump: Option<FlightDump> = None;
+        while let Ok(a) = mon_rx.recv() {
+            let t0 = Instant::now();
+            let ok = m.observe(a);
+            observe_ns = observe_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let seen = telemetry.actions_seen.fetch_add(1, Ordering::Relaxed) + 1;
+            let lag = telemetry
+                .actions_sent
+                .load(Ordering::Relaxed)
+                .saturating_sub(seen);
+            lag_hwm = lag_hwm.max(lag);
+            let checked = m.segments_checked();
+            if checked > cuts {
+                cuts = checked;
+                ring.record(FlightKind::MonitorCut, mon_pid, checked, 0);
+            }
+            if !ok {
+                if dump.is_none() {
+                    // A lagging monitor may flag a window whose op
+                    // events the clients' bounded rings have already
+                    // evicted — replay the window into this ring so
+                    // the dump always carries its own evidence.
+                    if let Some(v) = m.violations().last() {
+                        replay_window(&ring, v.window.actions());
+                    }
+                }
+                ring.record(
+                    FlightKind::MonitorViolation,
+                    mon_pid,
+                    m.violations_found().saturating_sub(1),
+                    0,
+                );
+                if dump.is_none() {
+                    // Capture now, while the offending ops are still
+                    // in the rings.
+                    dump = Some(recorder.dump());
+                }
+            }
+        }
+        (m.finish(), observe_ns, lag_hwm, dump)
     })
 }
 
@@ -540,7 +561,7 @@ fn replay_window(ring: &FlightRing, actions: &[Action]) {
 /// [`RuntimeConfig::watch`] interval and captures a flight dump if no
 /// operation completes for [`RuntimeConfig::stall_after`]. Exits when the
 /// run drops its end of `stop_rx`.
-fn watch_loop(
+pub(crate) fn watch_loop(
     cfg: &RuntimeConfig,
     started: Instant,
     t: &Telemetry,
@@ -599,8 +620,13 @@ fn watch_loop(
                         &blunt_trace::DiagramOptions::default(),
                     );
                     let _ = std::fs::create_dir_all(dir);
-                    let _ = std::fs::write(dir.join("stall.flight.jsonl"), dump.to_jsonl());
-                    let _ = std::fs::write(dir.join("stall.diagram.txt"), rendered);
+                    // Process-unique stem: a second stalling run in the same
+                    // process (e.g. a seed sweep) must not clobber the first
+                    // dump's evidence.
+                    let stem = blunt_obs::flight::unique_dump_stem("stall");
+                    let _ =
+                        std::fs::write(dir.join(format!("{stem}.flight.jsonl")), dump.to_jsonl());
+                    let _ = std::fs::write(dir.join(format!("{stem}.diagram.txt")), rendered);
                 }
             }
         }
@@ -614,13 +640,16 @@ struct PendingAck {
     dst: Pid,
     obj: ObjId,
     sn: u32,
+    /// The request frame's tag, echoed so socket transports can route the
+    /// ack back to the issuing client lane.
+    re: u64,
 }
 
 /// One ABD replica with its durable storage and recovery machinery.
 struct Server<'a> {
     me: Pid,
     servers: u32,
-    bus: &'a Bus,
+    bus: &'a dyn Transport,
     stop: &'a AtomicBool,
     sink: &'a RecoverySink,
     state: ServerState,
@@ -639,12 +668,12 @@ struct Server<'a> {
 /// the triggering envelope's exemption so retransmitted exchanges complete
 /// without consuming fault indices.
 #[allow(clippy::too_many_arguments)] // a thread entry point, not an API
-fn server_loop(
+pub(crate) fn server_loop(
     me: Pid,
     servers: u32,
     mode: RecoveryMode,
     rx: Receiver<Envelope>,
-    bus: &Bus,
+    bus: &dyn Transport,
     stop: &AtomicBool,
     sink: &RecoverySink,
     recorder: &FlightRecorder,
@@ -707,16 +736,16 @@ fn server_loop(
 impl Server<'_> {
     fn handle(&mut self, env: Envelope, rx: &Receiver<Envelope>) {
         match env.msg {
-            Payload::Abd(msg) => self.handle_abd(env.src, msg, env.exempt),
+            Payload::Abd(msg) => self.handle_abd(env.src, msg, env.exempt, env.reply_to),
             Payload::Crash { .. } => self.handle_crash(rx),
-            Payload::StateQuery { sn } => self.answer_state_query(env.src, sn),
+            Payload::StateQuery { sn } => self.answer_state_query(env.src, sn, env.reply_to),
             // A reply to a catch-up exchange that already completed (or was
             // aborted): stale, ignorable.
             Payload::StateReply { .. } => {}
         }
     }
 
-    fn handle_abd(&mut self, src: Pid, msg: AbdMsg, exempt: bool) {
+    fn handle_abd(&mut self, src: Pid, msg: AbdMsg, exempt: bool, re: u64) {
         match msg {
             AbdMsg::Query { obj, sn } => {
                 // Queries may serve volatile (unsynced) state: a reader that
@@ -724,7 +753,8 @@ impl Server<'_> {
                 // its own write-back, so a later crash here cannot un-happen
                 // an observed read (docs/RUNTIME.md).
                 let reply = self.state.reply(obj, sn);
-                self.bus.send(Envelope::abd(self.me, src, reply, exempt));
+                self.bus
+                    .send(Envelope::abd(self.me, src, reply, exempt).in_reply_to(re));
             }
             AbdMsg::Update { obj, sn, val, ts } => {
                 if !self.amnesia {
@@ -735,8 +765,10 @@ impl Server<'_> {
                         u64::from(src.0),
                         u64::from(sn),
                     );
-                    self.bus
-                        .send(Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, exempt));
+                    self.bus.send(
+                        Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, exempt)
+                            .in_reply_to(re),
+                    );
                     return;
                 }
                 // Amnesia-mode acks are always exempt: group commit makes
@@ -757,8 +789,9 @@ impl Server<'_> {
                         u64::from(src.0),
                         u64::from(sn),
                     );
-                    self.bus
-                        .send(Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, true));
+                    self.bus.send(
+                        Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, true).in_reply_to(re),
+                    );
                 } else {
                     // Write-ahead ack discipline: log first, ack after the
                     // covering fsync. (Re-appending a retransmitted update
@@ -770,6 +803,7 @@ impl Server<'_> {
                         dst: src,
                         obj,
                         sn,
+                        re,
                     });
                     if self.wal.batch_full() {
                         self.flush_wal();
@@ -808,28 +842,32 @@ impl Server<'_> {
                     u64::from(a.sn),
                 );
                 // Exempt like every amnesia-mode ack (see `handle_abd`).
-                self.bus.send(Envelope::abd(
-                    self.me,
-                    a.dst,
-                    AbdMsg::Ack {
-                        obj: a.obj,
-                        sn: a.sn,
-                    },
-                    true,
-                ));
+                self.bus.send(
+                    Envelope::abd(
+                        self.me,
+                        a.dst,
+                        AbdMsg::Ack {
+                            obj: a.obj,
+                            sn: a.sn,
+                        },
+                        true,
+                    )
+                    .in_reply_to(a.re),
+                );
             } else {
                 i += 1;
             }
         }
     }
 
-    fn answer_state_query(&self, peer: Pid, sn: u64) {
+    fn answer_state_query(&self, peer: Pid, sn: u64, re: u64) {
         let (val, ts) = self.state.snapshot();
         self.bus.send(Envelope {
             src: self.me,
             dst: peer,
             msg: Payload::StateReply { sn, val, ts },
             exempt: true,
+            reply_to: re,
         });
     }
 
@@ -838,7 +876,12 @@ impl Server<'_> {
     /// *during* a recovery's catch-up are counted and processed iteratively
     /// here rather than recursively.
     fn handle_crash(&mut self, rx: &Receiver<Envelope>) {
-        debug_assert!(self.amnesia, "stable-mode buses never signal crashes");
+        if !self.amnesia {
+            // Stable-mode replicas keep their memory across crash windows;
+            // a stray signal (e.g. a driver misconfigured relative to its
+            // servers in multi-process mode) is ignorable, not fatal.
+            return;
+        }
         let mut crashes: u64 = 1;
         let mut buffered: Vec<Envelope> = Vec::new();
         while crashes > 0 {
@@ -847,8 +890,9 @@ impl Server<'_> {
         }
         // FIFO-replay the protocol traffic that arrived mid-recovery.
         for env in buffered {
+            let re = env.reply_to;
             if let Payload::Abd(msg) = env.msg {
-                self.handle_abd(env.src, msg, env.exempt);
+                self.handle_abd(env.src, msg, env.exempt, re);
             }
         }
     }
@@ -906,6 +950,7 @@ impl Server<'_> {
                     dst: *p,
                     msg: Payload::StateQuery { sn },
                     exempt: true,
+                    reply_to: 0,
                 });
             }
             self.sink.on_state_queries(peers.len() as u64);
@@ -923,7 +968,9 @@ impl Server<'_> {
                         Payload::StateReply { .. } => {}
                         // Another server recovering concurrently: answer
                         // inline or the two recoveries deadlock.
-                        Payload::StateQuery { sn: qsn } => self.answer_state_query(env.src, qsn),
+                        Payload::StateQuery { sn: qsn } => {
+                            self.answer_state_query(env.src, qsn, env.reply_to);
+                        }
                         Payload::Crash { .. } => nested += 1,
                         Payload::Abd(_) => buffered.push(env),
                     },
@@ -957,12 +1004,12 @@ impl Server<'_> {
 }
 
 #[allow(clippy::too_many_arguments)] // a thread entry point, not an API
-fn client_loop(
+pub(crate) fn client_loop(
     c: u32,
     cfg: &RuntimeConfig,
     quorum: u32,
     rx: Receiver<Envelope>,
-    bus: &Bus,
+    bus: &dyn Transport,
     barrier: &Barrier,
     mon_tx: &Sender<Action>,
     retransmissions: &AtomicU64,
@@ -972,6 +1019,7 @@ fn client_loop(
 ) {
     let me = Pid(cfg.servers + c);
     let obj = ObjId(0);
+    let dsts: Vec<Pid> = server_pids(cfg).collect();
     let ring = recorder.register_current(&format!("client-{}", me.0));
     let mut rng = client_rng(cfg.seed, c);
     let mut sn_counter: u32 = 0;
@@ -982,6 +1030,9 @@ fn client_loop(
         if op_idx > 0 && op_idx % cfg.burst == 0 {
             barrier.wait();
         }
+        // Retire the previous op's reply tags so late replies to finished
+        // rounds count as tag mismatches, not deliveries (socket backends).
+        bus.on_op_start(me);
         let inv = InvId(u64::from(c) * 10_000_000 + op_idx);
         let is_read = rng.draw(1000) < usize::from(cfg.read_per_mille);
         let (method, arg) = if is_read {
@@ -1042,6 +1093,7 @@ fn client_loop(
                 quorum,
                 &rx,
                 bus,
+                &dsts,
                 &mut rng,
                 &mut sn_counter,
                 &mut retrans,
@@ -1100,7 +1152,8 @@ fn abd_op(
     cfg: &RuntimeConfig,
     quorum: u32,
     rx: &Receiver<Envelope>,
-    bus: &Bus,
+    bus: &dyn Transport,
+    dsts: &[Pid],
     rng: &mut SplitMix64,
     sn_counter: &mut u32,
     retrans: &mut u64,
@@ -1109,7 +1162,7 @@ fn abd_op(
     *sn_counter += 1;
     let sn = *sn_counter;
     let mut op = ActiveOp::start(inv, obj, kind, cfg.k, sn);
-    bus.broadcast(me, server_pids(cfg), &AbdMsg::Query { obj, sn }, false);
+    bus.broadcast(me, dsts, &AbdMsg::Query { obj, sn }, false);
     let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
     loop {
         match rx.recv_timeout(wait) {
@@ -1133,12 +1186,7 @@ fn abd_op(
                     } if o == obj => {
                         match op.on_reply(env.src, msg_sn, &val, ts, quorum, me, sn_counter) {
                             ReplyEffect::NextQuery { sn, .. } => {
-                                bus.broadcast(
-                                    me,
-                                    server_pids(cfg),
-                                    &AbdMsg::Query { obj, sn },
-                                    false,
-                                );
+                                bus.broadcast(me, dsts, &AbdMsg::Query { obj, sn }, false);
                             }
                             ReplyEffect::NeedChoice { choices, .. } => {
                                 // The object random step, drawn from the
@@ -1148,7 +1196,7 @@ fn abd_op(
                                 let (sn, val, ts) = op.choose(choice, me, sn_counter);
                                 bus.broadcast(
                                     me,
-                                    server_pids(cfg),
+                                    dsts,
                                     &AbdMsg::Update { obj, sn, val, ts },
                                     false,
                                 );
@@ -1156,7 +1204,7 @@ fn abd_op(
                             ReplyEffect::StartUpdate { sn, val, ts, .. } => {
                                 bus.broadcast(
                                     me,
-                                    server_pids(cfg),
+                                    dsts,
                                     &AbdMsg::Update { obj, sn, val, ts },
                                     false,
                                 );
@@ -1183,7 +1231,7 @@ fn abd_op(
                         | AbdMsg::Ack { sn, .. } => *sn,
                     };
                     ring.record(FlightKind::OpRetransmit, me.0, u64::from(rsn), 0);
-                    bus.broadcast(me, server_pids(cfg), &msg, true);
+                    bus.broadcast(me, dsts, &msg, true);
                 }
                 wait = next_backoff(wait, cfg);
             }
@@ -1206,7 +1254,7 @@ fn broken_read(
     op_idx: u64,
     cfg: &RuntimeConfig,
     rx: &Receiver<Envelope>,
-    bus: &Bus,
+    bus: &dyn Transport,
     sn_counter: &mut u32,
     retrans: &mut u64,
     ring: &FlightRing,

@@ -1,0 +1,121 @@
+//! The socket-transport acceptance run, in one process: three servers each
+//! running [`blunt_runtime::run_net_server`] on its own thread behind a
+//! loopback Unix-domain socket, plus the [`blunt_runtime::run_chaos_net`]
+//! driver — the same topology the `net-smoke` CI job runs as separate
+//! `chaos serve` processes, minus the process boundary.
+//!
+//! The run must complete ≥ 10k operations under the light fault mix with
+//! amnesia crashes, report zero linearizability violations, and show at
+//! least one server crash *and recovery* mid-run — i.e. the WAL + peer
+//! catch-up machinery works when peers are sockets, not mailboxes.
+
+use std::thread;
+
+use blunt_runtime::{
+    run_chaos_net, run_net_server, Addr, NetChaosTopology, NetServeConfig, RuntimeConfig,
+};
+
+fn uds_addrs(tag: &str, n: u32) -> Vec<Addr> {
+    let dir = std::env::temp_dir().join(format!("blunt-net-chaos-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    (0..n)
+        .map(|i| Addr::parse(dir.join(format!("s{i}.sock")).to_str().expect("utf-8 path")))
+        .collect()
+}
+
+#[test]
+fn three_uds_servers_10k_ops_zero_violations_with_recovery() {
+    let mut cfg = RuntimeConfig::smoke_amnesia(0x4E75_0001);
+    cfg.ops_per_client = 2_500; // 4 clients × 2 500 = 10 000 ops
+    let addrs = uds_addrs("amnesia", cfg.servers);
+    let servers: Vec<_> = (0..cfg.servers)
+        .map(|i| {
+            let scfg = NetServeConfig {
+                listen: addrs[i as usize].clone(),
+                server_id: i,
+                servers: cfg.servers,
+                clients: cfg.clients,
+                peers: addrs.clone(),
+                seed: cfg.seed,
+                faults: cfg.faults,
+                recovery: cfg.recovery,
+            };
+            thread::spawn(move || run_net_server(&scfg).expect("server run"))
+        })
+        .collect();
+
+    let topo = NetChaosTopology {
+        servers: addrs.clone(),
+    };
+    let report = run_chaos_net(&cfg, &topo).expect("valid fault config");
+
+    let mut server_crashes = 0;
+    let mut server_recoveries = 0;
+    for s in servers {
+        let r = s.join().expect("server thread");
+        server_crashes += r.recovery.crashes;
+        server_recoveries += r.recovery.recoveries;
+    }
+
+    assert_eq!(report.ops, 10_000);
+    assert!(
+        report.monitor.clean(),
+        "violations over sockets: {:?}",
+        report
+            .monitor
+            .violations
+            .iter()
+            .map(|v| &v.rendered)
+            .collect::<Vec<_>>()
+    );
+    assert!(!report.stalled, "run stalled");
+    // The fault mix really fired at the socket layer (client→server half).
+    assert!(report.bus.dropped > 0, "{:?}", report.bus);
+    assert!(report.bus.crash_events > 0, "{:?}", report.bus);
+    // At least one server crashed with amnesia and recovered mid-run, and
+    // every crash ran a recovery.
+    assert!(server_crashes >= 1, "no server crashed");
+    assert_eq!(
+        server_recoveries, server_crashes,
+        "every amnesia crash must run a recovery"
+    );
+    // The goodbye aggregation carried the same counters back to the driver.
+    assert_eq!(report.recovery.crashes, server_crashes);
+    assert_eq!(report.recovery.recoveries, server_recoveries);
+    // Socket frames actually moved.
+    let frames = blunt_obs::counter("net.frames_sent").get();
+    assert!(frames > 0, "no frames crossed the socket layer");
+}
+
+#[test]
+fn net_run_is_clean_under_stable_recovery_too() {
+    let mut cfg = RuntimeConfig::smoke(0x4E75_0002);
+    cfg.ops_per_client = 500;
+    let addrs = uds_addrs("stable", cfg.servers);
+    let servers: Vec<_> = (0..cfg.servers)
+        .map(|i| {
+            let scfg = NetServeConfig {
+                listen: addrs[i as usize].clone(),
+                server_id: i,
+                servers: cfg.servers,
+                clients: cfg.clients,
+                peers: addrs.clone(),
+                seed: cfg.seed,
+                faults: cfg.faults,
+                recovery: cfg.recovery,
+            };
+            thread::spawn(move || run_net_server(&scfg).expect("server run"))
+        })
+        .collect();
+    let topo = NetChaosTopology {
+        servers: addrs.clone(),
+    };
+    let report = run_chaos_net(&cfg, &topo).expect("valid fault config");
+    for s in servers {
+        s.join().expect("server thread");
+    }
+    assert_eq!(report.ops, 2_000);
+    assert!(report.monitor.clean(), "stable-mode violations");
+    // Stable mode: crashes are blackouts, never recovery events.
+    assert_eq!(report.recovery.crashes, 0);
+}
