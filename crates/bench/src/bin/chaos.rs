@@ -72,13 +72,15 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: chaos [--smoke] [--seed N] [--results-out PATH] \
-     [--summary-out PATH] [--dump-dir DIR] [--watch DUR] [--ops-per-client N] \
+     [--summary-out PATH] [--dump-dir DIR] [--watch DUR] [--watch-out PATH] \
+     [--ops-per-client N] \
      [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \
      [--connect ADDR,ADDR,...] [--k N] [--recovery stable|amnesia] \
      [--demo-broken | --demo-amnesia]\n\
        chaos serve --listen ADDR --server-id N --peers ADDR,ADDR,... \\\n\
              [--servers N] [--clients N] [--seed N] [--recovery stable|amnesia] \\\n\
-             [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N]\n\
+             [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \\\n\
+             [--dump-dir DIR]\n\
      ADDR is host:port (TCP) or a filesystem path (Unix-domain socket)";
 
 /// A named fault mix for `--fault-profile`. `Heavy` is the full chaos()
@@ -132,6 +134,9 @@ struct Cli {
     summary_out: PathBuf,
     dump_dir: PathBuf,
     watch: Option<Duration>,
+    /// `--watch-out p`: mirror the watch snapshots as schema-versioned
+    /// JSONL to `p`, independent of whether `--watch` streams to stderr.
+    watch_out: Option<PathBuf>,
     ops_per_client: Option<u64>,
     profile: Option<FaultProfile>,
     crash_len: Option<u64>,
@@ -209,6 +214,7 @@ fn parse_cli() -> Cli {
         summary_out: PathBuf::from("target/chaos/RUN_summary.json"),
         dump_dir: PathBuf::from("target/chaos/flight"),
         watch: None,
+        watch_out: None,
         ops_per_client: None,
         profile: None,
         crash_len: None,
@@ -240,6 +246,7 @@ fn parse_cli() -> Cli {
                 let v = value("--watch", &mut args);
                 cli.watch = Some(parse_duration("--watch", &v));
             }
+            "--watch-out" => cli.watch_out = Some(value("--watch-out", &mut args).into()),
             "--ops-per-client" => {
                 let v = value("--ops-per-client", &mut args);
                 cli.ops_per_client = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
@@ -299,6 +306,9 @@ fn parse_cli() -> Cli {
     ensure_parent("--results-out", &cli.results_out);
     ensure_parent("--summary-out", &cli.summary_out);
     ensure_dir("--dump-dir", &cli.dump_dir);
+    if let Some(p) = &cli.watch_out {
+        ensure_parent("--watch-out", p);
+    }
     cli
 }
 
@@ -356,6 +366,7 @@ fn abd_configs(cli: &Cli) -> Vec<(String, RuntimeConfig)> {
             cfg.recovery = r;
         }
         cfg.watch = cli.watch;
+        cfg.watch_out = cli.watch_out.clone();
         cfg.flight_dump_dir = Some(cli.dump_dir.clone());
     }
     cfgs
@@ -489,6 +500,7 @@ fn demo_broken(cli: &Cli) -> ExitCode {
     cfg.broken_reads = true;
     cfg.read_per_mille = 400;
     cfg.watch = cli.watch;
+    cfg.watch_out = cli.watch_out.clone();
     cfg.flight_dump_dir = Some(cli.dump_dir.clone());
     println!("demo: ABD with an unsound single-server fast read (no quorum, no write-back)\n");
     let report = match run_chaos(&cfg) {
@@ -524,6 +536,7 @@ fn demo_amnesia(cli: &Cli) -> ExitCode {
         cfg.faults.crash_len = 2;
         cfg.faults.crash_period = 9;
         cfg.watch = cli.watch;
+        cfg.watch_out = cli.watch_out.clone();
         cfg.flight_dump_dir = Some(cli.dump_dir.clone());
         lanes = (cfg.servers + cfg.clients + 1) as usize;
         let report = match run_chaos(&cfg) {
@@ -586,14 +599,45 @@ fn summary_entry(name: &str, r: &ChaosReport, transport: &str) -> blunt_obs::Jso
     ])
 }
 
-/// The `chaos_summary` envelope. Schema v2 (docs/OBS_SCHEMA.md): v1 plus a
-/// per-config `transport` label; readers treat a missing label as
-/// `in-process` (every v1 summary was).
+/// The per-server telemetry sections of a net-transport config entry
+/// (schema v3): one object per remote `chaos serve` process, carrying the
+/// tracing-plane counters it shipped back plus the driver's clock-offset
+/// estimate. The fsync p99 and clock offset are timing-dependent; net
+/// entries are already excluded from the byte-determinism contract (their
+/// transport timing is wall-clock state), in-process entries never carry
+/// this section.
+fn servers_json(remote: &[blunt_runtime::RemoteServer]) -> blunt_obs::Json {
+    use blunt_obs::Json;
+    Json::Arr(
+        remote
+            .iter()
+            .enumerate()
+            .map(|(sid, r)| {
+                let t = r.telemetry.unwrap_or_default();
+                Json::Obj(vec![
+                    ("proc".into(), Json::Str(format!("s{sid}"))),
+                    ("recoveries".into(), Json::UInt(t.recoveries)),
+                    ("crashes".into(), Json::UInt(t.crashes)),
+                    ("fsync_count".into(), Json::UInt(t.fsync_count)),
+                    ("fsync_p99_us".into(), Json::UInt(t.fsync_p99_us)),
+                    ("span_events".into(), Json::UInt(t.span_events)),
+                    ("events".into(), Json::UInt(t.events)),
+                    ("clock_offset_us".into(), Json::Int(r.offset_us)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The `chaos_summary` envelope. Schema v3 (docs/OBS_SCHEMA.md): v2 plus
+/// per-server telemetry sections (`servers`) on net-transport entries;
+/// readers treat a missing `transport` label as `in-process` (every v1
+/// summary was) and a missing `servers` array as empty.
 fn summary_doc(seed: u64, mode: &str, configs: Vec<blunt_obs::Json>) -> blunt_obs::Json {
     use blunt_obs::Json;
     Json::Obj(vec![
         ("type".into(), Json::Str("chaos_summary".into())),
-        ("schema_version".into(), Json::UInt(2)),
+        ("schema_version".into(), Json::UInt(3)),
         ("seed".into(), Json::UInt(seed)),
         ("mode".into(), Json::Str(mode.into())),
         ("configs".into(), Json::Arr(configs)),
@@ -614,6 +658,7 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
     let mut crash_len: Option<u64> = None;
     let mut crash_period: Option<u64> = None;
     let mut recovery: Option<RecoveryMode> = None;
+    let mut dump_dir: Option<PathBuf> = None;
     fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
         args.next()
             .unwrap_or_else(|| usage_error(&format!("serve {flag} needs a value")))
@@ -653,6 +698,7 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
                     )),
                 });
             }
+            "--dump-dir" => dump_dir = Some(value("--dump-dir", &mut args).into()),
             other => usage_error(&format!("serve: unknown flag {other}")),
         }
     }
@@ -682,6 +728,9 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
     } else {
         RecoveryMode::Stable
     });
+    if let Some(dir) = &dump_dir {
+        ensure_dir("serve --dump-dir", dir);
+    }
     let cfg = NetServeConfig {
         listen,
         server_id,
@@ -691,6 +740,7 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
         seed,
         faults,
         recovery,
+        dump_dir,
     };
     eprintln!(
         "chaos serve: server {server_id}/{servers} on {}, seed {seed:#x}",
@@ -748,6 +798,7 @@ fn run_net_driver(cli: &Cli, addrs: &[Addr]) -> ExitCode {
         cfg.recovery = r;
     }
     cfg.watch = cli.watch;
+    cfg.watch_out = cli.watch_out.clone();
     cfg.flight_dump_dir = Some(cli.dump_dir.clone());
     println!(
         "chaos: net driver ({transport}), {} servers, seed {seed:#x} (replay with --seed {seed})\n",
@@ -772,6 +823,60 @@ fn run_net_driver(cli: &Cli, addrs: &[Addr]) -> ExitCode {
             report.monitor_overhead.lag_ops_hwm as f64,
         ),
     ];
+    let lanes = (cfg.servers + cfg.clients + 1) as usize;
+    // The merged cross-process flight dump: the driver's window plus every
+    // server's goodbye window, shifted onto the driver clock, rendered with
+    // remote-process lanes and span tags. Written unconditionally (clean
+    // runs included) — this is the net tier's telemetry artifact, not a
+    // violation capture.
+    if let Some(merged) = &report.merged_flight {
+        let jsonl = cli.dump_dir.join("net.merged.flight.jsonl");
+        let diagram = cli.dump_dir.join("net.merged.diagram.txt");
+        let opts = DiagramOptions {
+            lane_width: 40,
+            ..DiagramOptions::default()
+        };
+        std::fs::write(&jsonl, merged.to_jsonl()).expect("write merged flight dump");
+        std::fs::write(
+            &diagram,
+            flight_space_time(&merged.last_n(800), lanes, &opts),
+        )
+        .expect("write merged flight diagram");
+        println!(
+            "merged flight dump written to {} (+ {})",
+            jsonl.display(),
+            diagram.display()
+        );
+        // Per-op latency phase medians from the span-attributed timeline —
+        // informational bench phases (timing-dependent, never gated).
+        let b = blunt_trace::latency_breakdown(merged);
+        if b.ops > 0 {
+            phases.push((
+                format!("breakdown.client_queue_us.{name}"),
+                b.client_queue_us as f64,
+            ));
+            phases.push((format!("breakdown.wire_us.{name}"), b.wire_us as f64));
+            phases.push((
+                format!("breakdown.server_ack_us.{name}"),
+                b.server_ack_us as f64,
+            ));
+            phases.push((format!("breakdown.fsync_us.{name}"), b.fsync_us as f64));
+            phases.push((
+                format!("breakdown.quorum_complete_us.{name}"),
+                b.quorum_complete_us as f64,
+            ));
+            println!(
+                "latency breakdown ({} ops): client queue {}µs → wire {}µs → \
+                 server ack {}µs → fsync {}µs → quorum complete {}µs",
+                b.ops,
+                b.client_queue_us,
+                b.wire_us,
+                b.server_ack_us,
+                b.fsync_us,
+                b.quorum_complete_us,
+            );
+        }
+    }
     phases.sort_by(|a, b| a.0.cmp(&b.0));
     print_abd(&name, &report);
     record(
@@ -781,9 +886,12 @@ fn run_net_driver(cli: &Cli, addrs: &[Addr]) -> ExitCode {
         Some(report.recovery.recoveries),
         Some(report.monitor_overhead.actions),
     );
-    let summaries = vec![summary_entry(&name, &report, transport)];
+    let mut entry = summary_entry(&name, &report, transport);
+    if let blunt_obs::Json::Obj(fields) = &mut entry {
+        fields.push(("servers".into(), servers_json(&report.remote_servers)));
+    }
+    let summaries = vec![entry];
     if !report.monitor.clean() {
-        let lanes = (cfg.servers + cfg.clients + 1) as usize;
         write_flight_artifacts(&cli.dump_dir, &name, &report, lanes);
     }
     ensure_parent("--results-out", &cli.results_out);

@@ -61,6 +61,93 @@ fn unwritable_results_out_is_a_fail_fast_usage_error() {
     let out = chaos(&["--smoke", "--dump-dir", bad_dump.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--dump-dir"));
+
+    // And for the watch JSONL mirror.
+    let bad_watch = blocker.join("sub").join("watch.jsonl");
+    let out = chaos(&["--smoke", "--watch-out", bad_watch.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "an unwritable --watch-out parent is a usage error, not a silent drop"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--watch-out") && stderr.contains(blocker.join("sub").to_str().unwrap()),
+        "the error names the flag and the path: {stderr}"
+    );
+}
+
+#[test]
+fn watch_out_writes_a_schema_versioned_jsonl_mirror() {
+    let dir = tmp_dir("watch-out");
+    let watch_path = dir.join("watch.jsonl");
+    let out = chaos(&[
+        "--smoke",
+        "--watch",
+        "50ms",
+        "--watch-out",
+        watch_path.to_str().unwrap(),
+        "--seed",
+        "7",
+        "--ops-per-client",
+        "200",
+        "--results-out",
+        dir.join("BENCH.json").to_str().unwrap(),
+        "--summary-out",
+        dir.join("SUM.json").to_str().unwrap(),
+        "--dump-dir",
+        dir.join("flight").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&watch_path).expect("watch JSONL written");
+    let mut lines = text.lines();
+    // Header line: document type, schema version, and the run seed. Each
+    // in-process config reopens the file, so take the first header and
+    // check every line parses as JSON of a known type.
+    let header = blunt_obs::Json::parse(lines.next().expect("header line")).expect("header JSON");
+    assert_eq!(
+        header.get("type").and_then(blunt_obs::Json::as_str),
+        Some("chaos_watch")
+    );
+    assert_eq!(
+        header
+            .get("schema_version")
+            .and_then(blunt_obs::Json::as_u64),
+        Some(blunt_runtime::WATCH_SCHEMA_VERSION)
+    );
+    assert!(header
+        .get("seed")
+        .and_then(blunt_obs::Json::as_u64)
+        .is_some());
+    let mut ticks = 0u64;
+    for line in text.lines() {
+        let doc = blunt_obs::Json::parse(line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+        match doc.get("type").and_then(blunt_obs::Json::as_str) {
+            Some("chaos_watch") => {}
+            Some("watch_tick") => {
+                ticks += 1;
+                for key in [
+                    "t_ms",
+                    "ops",
+                    "in_flight",
+                    "lat_p50_us",
+                    "lat_p99_us",
+                    "recoveries",
+                ] {
+                    assert!(
+                        doc.get(key).and_then(blunt_obs::Json::as_u64).is_some(),
+                        "tick missing {key}: {line}"
+                    );
+                }
+            }
+            other => panic!("unknown record type {other:?}: {line}"),
+        }
+    }
+    assert!(ticks > 0, "at least one tick was mirrored:\n{text}");
 }
 
 #[test]

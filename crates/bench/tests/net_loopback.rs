@@ -2,8 +2,12 @@
 //! three `chaos serve` processes on loopback Unix-domain sockets plus a
 //! `chaos --connect` driver, light faults with amnesia crash windows. The
 //! run must complete ≥ 10k operations with zero violations, survive
-//! server crashes and recoveries mid-run, and write a schema-v2 summary
-//! labeled with the socket transport.
+//! server crashes and recoveries mid-run, and write a schema-v3 summary
+//! labeled with the socket transport and carrying per-server telemetry
+//! sections. The driver must also write the merged cross-process flight
+//! dump (span-attributed events from all three server processes) plus its
+//! rendered diagram, and each serve process must leave its own
+//! `serve-<id>.flight.jsonl` under `--dump-dir` at shutdown.
 //!
 //! This is the same topology the `net-smoke` CI job runs; keeping it as a
 //! test too means `cargo test` alone exercises the process boundary.
@@ -58,6 +62,7 @@ fn three_serve_processes_and_a_driver_survive_crashes_with_zero_violations() {
         "48879",
     ];
 
+    let serve_dumps = dir.join("serve-dumps");
     let mut servers: Vec<Child> = (0..3)
         .map(|i| {
             Command::new(env!("CARGO_BIN_EXE_chaos"))
@@ -66,6 +71,7 @@ fn three_serve_processes_and_a_driver_survive_crashes_with_zero_violations() {
                 .args(["--server-id", &i.to_string()])
                 .args(["--servers", "3", "--clients", "4"])
                 .args(["--peers", &peers])
+                .args(["--dump-dir", serve_dumps.to_str().unwrap()])
                 .args(fault_args)
                 .stdout(Stdio::null())
                 .stderr(Stdio::null())
@@ -97,7 +103,7 @@ fn three_serve_processes_and_a_driver_survive_crashes_with_zero_violations() {
 
     let summary = parse_chaos_summary(&std::fs::read_to_string(&summary_path).expect("summary"))
         .expect("summary parses");
-    assert_eq!(summary.schema_version, 2);
+    assert_eq!(summary.schema_version, 3);
     assert_eq!(summary.seed, 48879);
     assert_eq!(summary.configs.len(), 1);
     let cfg = &summary.configs[0];
@@ -110,4 +116,52 @@ fn three_serve_processes_and_a_driver_survive_crashes_with_zero_violations() {
         "at least one server crashed and recovered mid-run: {cfg:?}"
     );
     assert!(stdout.contains("verdict: all configurations linearizable"));
+
+    // Schema v3: every server process shipped a telemetry section with
+    // span-attributed flight events.
+    assert_eq!(cfg.servers.len(), 3, "one telemetry section per server");
+    for s in &cfg.servers {
+        assert!(
+            s.events > 0,
+            "server {} telemetry counted no events",
+            s.proc
+        );
+        assert!(
+            s.span_events > 0,
+            "server {} counted no span-attributed events",
+            s.proc
+        );
+    }
+
+    // The merged cross-process dump and its rendered diagram: events from
+    // all three remote processes, span-attributed, on one timeline.
+    let merged_text = std::fs::read_to_string(dir.join("flight").join("net.merged.flight.jsonl"))
+        .expect("merged flight dump written");
+    let merged = blunt_obs::FlightDump::parse(&merged_text).expect("merged dump parses");
+    for sid in 0..3 {
+        let proc = format!("s{sid}");
+        assert!(
+            merged
+                .events
+                .iter()
+                .any(|e| e.proc == proc && e.span != blunt_obs::flight::SPAN_NONE),
+            "merged dump has no span-attributed events from process {proc}"
+        );
+    }
+    let diagram = std::fs::read_to_string(dir.join("flight").join("net.merged.diagram.txt"))
+        .expect("merged diagram written");
+    assert!(
+        diagram.contains("[s0]"),
+        "remote lanes are labeled:\n{diagram}"
+    );
+
+    // Satellite: each serve process drained its flight ring into
+    // `serve-<id>.flight.jsonl` before exiting on Shutdown.
+    for sid in 0..3 {
+        let path = serve_dumps.join(format!("serve-{sid}.flight.jsonl"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("serve dump {} missing: {e}", path.display()));
+        let dump = blunt_obs::FlightDump::parse(&text).expect("serve dump parses");
+        assert!(!dump.is_empty(), "serve {sid} dump is empty");
+    }
 }

@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use blunt_core::ids::Pid;
+use blunt_obs::flight::FlightDump;
 use blunt_obs::{FlightKind, FlightRecorder};
 
 use crate::conn::Addr;
@@ -28,7 +29,7 @@ use crate::frame::{read_frame, Frame, DRIVER_NODE};
 use crate::injector::{Injector, TransportStats};
 use crate::pool::{BroadcastPool, ConnectionPool};
 use crate::rpc::{DedupWindow, ReplyRouter, TagGen};
-use crate::wire::{Envelope, Payload};
+use crate::wire::{Envelope, Payload, SpanCtx};
 use crate::{Coverage, Transport};
 
 /// How a driver reaches its servers.
@@ -57,6 +58,43 @@ pub struct ServerGoodbye {
     pub wal_lost: u64,
     /// WAL records it replayed during recoveries.
     pub wal_replayed: u64,
+    /// p99 WAL fsync latency (µs) over the server's whole run.
+    pub fsync_p99_us: u64,
+}
+
+/// A server's cumulative telemetry snapshot, shipped periodically over the
+/// driver connection as a `Telemetry` frame. Last-writer-wins on the
+/// driver side, so a server that dies before its `Goodbye` still leaves
+/// its most recent counters behind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerTelemetry {
+    /// Recoveries completed so far.
+    pub recoveries: u64,
+    /// Crash events processed so far.
+    pub crashes: u64,
+    /// WAL fsyncs performed so far.
+    pub fsync_count: u64,
+    /// Running p99 WAL fsync latency (µs).
+    pub fsync_p99_us: u64,
+    /// Flight events recorded so far that carry a span.
+    pub span_events: u64,
+    /// Flight events recorded so far, total.
+    pub events: u64,
+}
+
+/// What the driver knows about one remote server process: its estimated
+/// clock offset and the latest telemetry/dump it shipped back.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteServer {
+    /// Estimated offset of the server's flight clock relative to the
+    /// driver's (`remote_t ≈ driver_t + offset_us`), from the latest
+    /// `Hello`/`HelloAck` round trip.
+    pub offset_us: i64,
+    /// The most recent `Telemetry` snapshot, if any arrived.
+    pub telemetry: Option<ServerTelemetry>,
+    /// The bounded flight dump piggybacked on the server's `Goodbye`, if
+    /// one arrived and parsed.
+    pub dump: Option<FlightDump>,
 }
 
 /// State the per-connection reader threads share with the send path.
@@ -65,6 +103,11 @@ struct Shared {
     /// One mailbox per client lane (lane = pid − servers).
     lanes: Vec<Sender<Envelope>>,
     goodbyes: Mutex<Vec<Option<ServerGoodbye>>>,
+    /// Per-server remote state (index = server pid).
+    remote: Mutex<Vec<RemoteServer>>,
+    /// The driver's flight recorder — its clock is the reference frame for
+    /// clock-offset estimation.
+    flight: Arc<FlightRecorder>,
 }
 
 impl Shared {
@@ -90,18 +133,54 @@ impl Shared {
                         }
                     }
                 }
+                Frame::HelloAck { echo_t, t_us, .. } => {
+                    // Cristian's algorithm: assume the reply took half the
+                    // round trip, so the server stamped `t_us` at roughly
+                    // driver-time `echo_t + rtt/2`.
+                    let now = self.flight.now_us();
+                    let rtt = now.saturating_sub(echo_t);
+                    let offset = t_us as i64 - (echo_t + rtt / 2) as i64;
+                    self.remote.lock().expect("remote lock")[peer].offset_us = offset;
+                }
+                Frame::Telemetry {
+                    recoveries,
+                    crashes,
+                    fsync_count,
+                    fsync_p99_us,
+                    span_events,
+                    events,
+                    ..
+                } => {
+                    self.remote.lock().expect("remote lock")[peer].telemetry =
+                        Some(ServerTelemetry {
+                            recoveries,
+                            crashes,
+                            fsync_count,
+                            fsync_p99_us,
+                            span_events,
+                            events,
+                        });
+                }
                 Frame::Goodbye {
                     crashes,
                     recoveries,
                     wal_lost,
                     wal_replayed,
+                    fsync_p99_us,
+                    ref dump,
                     ..
                 } => {
+                    if !dump.is_empty() {
+                        if let Ok(parsed) = FlightDump::parse(dump) {
+                            self.remote.lock().expect("remote lock")[peer].dump = Some(parsed);
+                        }
+                    }
                     self.goodbyes.lock().expect("goodbye lock")[peer] = Some(ServerGoodbye {
                         crashes,
                         recoveries,
                         wal_lost,
                         wal_replayed,
+                        fsync_p99_us,
                     });
                 }
                 // Servers never send these to a driver.
@@ -151,11 +230,20 @@ impl NetClient {
             router: ReplyRouter::new(cfg.clients as usize),
             lanes,
             goodbyes: Mutex::new(vec![None; cfg.servers.len()]),
+            remote: Mutex::new(vec![RemoteServer::default(); cfg.servers.len()]),
+            flight: Arc::clone(&flight),
         });
         let reader_shared = Arc::clone(&shared);
+        let hello_flight = Arc::clone(&flight);
         let pool = ConnectionPool::new(
             cfg.servers.clone(),
-            Frame::Hello { node: DRIVER_NODE },
+            // Fresh clock sample per dial: the server echoes `t_us` in its
+            // `HelloAck`, giving the reader loop one offset estimate per
+            // (re)connection.
+            move || Frame::Hello {
+                node: DRIVER_NODE,
+                t_us: hello_flight.now_us(),
+            },
             move |peer, stream| {
                 let shared = Arc::clone(&reader_shared);
                 std::thread::spawn(move || shared.reader_loop(peer, stream));
@@ -190,6 +278,27 @@ impl NetClient {
         let _ = self.pool.pool().send(dst.index(), frame);
     }
 
+    /// Total recoveries across all servers' latest telemetry snapshots —
+    /// the live number `--watch` shows while the run is still going.
+    #[must_use]
+    pub fn remote_recoveries(&self) -> u64 {
+        self.shared
+            .remote
+            .lock()
+            .expect("remote lock")
+            .iter()
+            .filter_map(|r| r.telemetry.map(|t| t.recoveries))
+            .sum()
+    }
+
+    /// A snapshot of every server's remote state (index = server pid):
+    /// clock offset, last telemetry, and the flight dump its `Goodbye`
+    /// piggybacked, for cross-process merging.
+    #[must_use]
+    pub fn remote_snapshot(&self) -> Vec<RemoteServer> {
+        self.shared.remote.lock().expect("remote lock").clone()
+    }
+
     /// Tells every server to finish up, then waits up to `wait` for their
     /// `Goodbye` stats. Missing goodbyes (a server that died hard) come
     /// back as `None`.
@@ -212,7 +321,13 @@ impl Transport for NetClient {
     fn send(&self, env: Envelope) {
         let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
         let ring = self.flight.thread_ring();
-        ring.record(FlightKind::BusSend, src, u64::from(dst), label);
+        ring.record_span(
+            FlightKind::BusSend,
+            src,
+            u64::from(dst),
+            label,
+            env.span.flight_word(),
+        );
         let tag = self.tag_for(env.src);
         if env.exempt {
             let re = env.reply_to;
@@ -256,6 +371,7 @@ impl Transport for NetClient {
                     msg: Payload::Crash { window },
                     exempt: true,
                     reply_to: 0,
+                    span: SpanCtx::NONE,
                 },
             };
             self.write(crashed, &frame);

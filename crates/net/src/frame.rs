@@ -4,11 +4,18 @@
 //! ```text
 //! frame     := len:u32le body
 //! body      := version:u8 kind:u8 rest
-//! kind 0    := Hello    node:u32le
-//! kind 1    := Env      tag:u64le re:u64le src:u32le dst:u32le exempt:u8 payload
+//! kind 0    := Hello    node:u32le t_us:u64le
+//! kind 1    := Env      tag:u64le re:u64le src:u32le dst:u32le exempt:u8
+//!                       span payload
 //! kind 2    := Shutdown
 //! kind 3    := Goodbye  node:u32le crashes:u64le recoveries:u64le
 //!                       wal_lost:u64le wal_replayed:u64le
+//!                       fsync_p99_us:u64le dump_len:u32le dump:utf8
+//! kind 4    := HelloAck node:u32le echo_t:u64le t_us:u64le
+//! kind 5    := Telemetry node:u32le recoveries:u64le crashes:u64le
+//!                       fsync_count:u64le fsync_p99_us:u64le
+//!                       span_events:u64le events:u64le
+//! span      := client:u32le op:u64le hop:u8
 //! payload   := 0 obj:u32le sn:u32le                 (Abd Query)
 //!            | 1 obj:u32le sn:u32le ts val          (Abd Reply)
 //!            | 2 obj:u32le sn:u32le ts val          (Abd Update)
@@ -32,6 +39,12 @@
 //! names the inbound frame this one answers (`0` = unsolicited). It is
 //! deliberately *outside* the envelope payload: correlation is a transport
 //! concern, and the in-process bus never materializes it.
+//!
+//! Version 2 added the distributed-tracing plane: the `span` trace context
+//! on every `Env` (see [`crate::wire::SpanCtx`]), clock-sampling `Hello` /
+//! `HelloAck` handshakes for cross-process clock-offset estimation, the
+//! periodic server→driver `Telemetry` frame, and the bounded flight-dump
+//! JSONL piggybacked on `Goodbye`.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -41,11 +54,11 @@ use blunt_abd::ts::Ts;
 use blunt_core::ids::{ObjId, Pid};
 use blunt_core::value::Val;
 
-use crate::wire::{Envelope, Payload};
+use crate::wire::{Envelope, Payload, SpanCtx};
 
 /// The wire-format version this build speaks. A peer announcing any other
 /// version is rejected with [`FrameError::BadVersion`].
-pub const FRAME_VERSION: u8 = 1;
+pub const FRAME_VERSION: u8 = 2;
 
 /// Upper bound on an encoded frame body, in bytes. Bounds the allocation a
 /// reader performs on behalf of a peer.
@@ -70,6 +83,10 @@ pub enum Frame {
     Hello {
         /// The dialing node's id.
         node: u32,
+        /// The dialer's flight-recorder clock at send time (µs), echoed in
+        /// [`Frame::HelloAck`] for clock-offset estimation. `0` from
+        /// dialers that don't estimate offsets (server↔server peers).
+        t_us: u64,
     },
     /// A protocol envelope with its RPC correlation header.
     Env {
@@ -98,6 +115,46 @@ pub enum Frame {
         wal_lost: u64,
         /// WAL records replayed during recoveries (timing-dependent).
         wal_replayed: u64,
+        /// p99 WAL fsync latency in µs (timing-dependent; 0 when no fsync
+        /// was timed).
+        fsync_p99_us: u64,
+        /// A bounded flight-dump JSONL (schema v2, the server's most recent
+        /// events) piggybacked for the driver's merged cross-process dump;
+        /// empty when the server has nothing to report.
+        dump: String,
+    },
+    /// The accepting side's reply to a driver [`Frame::Hello`]: both clock
+    /// samples the driver needs to estimate the server-clock offset
+    /// (Cristian's algorithm: `offset ≈ t_us − (echo_t + rtt/2)`).
+    HelloAck {
+        /// The replying server's pid.
+        node: u32,
+        /// The `t_us` of the `Hello` being answered (the driver's send
+        /// clock, echoed so the driver can compute the round trip).
+        echo_t: u64,
+        /// The server's flight-recorder clock when it sent this ack (µs).
+        t_us: u64,
+    },
+    /// A server's periodic in-run telemetry snapshot (server → driver,
+    /// cumulative since start; outside the fault schedule). Feeds the
+    /// driver's `--watch` line and survives as last-known state if the
+    /// server dies before its `Goodbye`.
+    Telemetry {
+        /// The reporting server's pid.
+        node: u32,
+        /// Recoveries completed so far.
+        recoveries: u64,
+        /// Crash events processed so far.
+        crashes: u64,
+        /// WAL fsyncs timed so far.
+        fsync_count: u64,
+        /// p99 WAL fsync latency in µs so far (0 when no fsync was timed).
+        fsync_p99_us: u64,
+        /// Flight events recorded so far that carry a span (attributable
+        /// to a client op).
+        span_events: u64,
+        /// Flight events recorded so far in total.
+        events: u64,
     },
 }
 
@@ -124,6 +181,8 @@ pub enum FrameError {
     },
     /// A `Val` nested deeper than [`MAX_VAL_DEPTH`].
     TooDeep,
+    /// A string field (the `Goodbye` dump) was not valid UTF-8.
+    BadUtf8,
 }
 
 impl fmt::Display for FrameError {
@@ -147,6 +206,7 @@ impl fmt::Display for FrameError {
             FrameError::TooDeep => {
                 write!(f, "value nesting exceeds depth {MAX_VAL_DEPTH}")
             }
+            FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
         }
     }
 }
@@ -164,6 +224,12 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 fn put_ts(out: &mut Vec<u8>, ts: Ts) {
     out.extend_from_slice(&ts.t.to_le_bytes());
     put_u32(out, ts.pid);
+}
+
+fn put_span(out: &mut Vec<u8>, span: SpanCtx) {
+    put_u32(out, span.client);
+    put_u64(out, span.op);
+    out.push(span.hop);
 }
 
 fn put_val(out: &mut Vec<u8>, v: &Val) {
@@ -275,6 +341,21 @@ impl<'a> Cursor<'a> {
         Ok(Ts { t, pid })
     }
 
+    fn span(&mut self) -> Result<SpanCtx, FrameError> {
+        let client = self.u32()?;
+        let op = self.u64()?;
+        let hop = self.u8()?;
+        Ok(SpanCtx { client, op, hop })
+    }
+
+    /// A `u32le`-length-prefixed UTF-8 string. The body cap bounds the
+    /// claimed length; invalid UTF-8 is [`FrameError::BadUtf8`].
+    fn string(&mut self) -> Result<String, FrameError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
+    }
+
     fn val(&mut self, depth: u32) -> Result<Val, FrameError> {
         if depth > MAX_VAL_DEPTH {
             return Err(FrameError::TooDeep);
@@ -350,9 +431,10 @@ impl Frame {
         let mut out = vec![0u8; 4];
         out.push(FRAME_VERSION);
         match self {
-            Frame::Hello { node } => {
+            Frame::Hello { node, t_us } => {
                 out.push(0);
                 put_u32(&mut out, *node);
+                put_u64(&mut out, *t_us);
             }
             Frame::Env { tag, re, env } => {
                 out.push(1);
@@ -361,6 +443,7 @@ impl Frame {
                 put_u32(&mut out, env.src.0);
                 put_u32(&mut out, env.dst.0);
                 out.push(u8::from(env.exempt));
+                put_span(&mut out, env.span);
                 put_payload(&mut out, &env.msg);
             }
             Frame::Shutdown => out.push(2),
@@ -370,6 +453,8 @@ impl Frame {
                 recoveries,
                 wal_lost,
                 wal_replayed,
+                fsync_p99_us,
+                dump,
             } => {
                 out.push(3);
                 put_u32(&mut out, *node);
@@ -377,6 +462,33 @@ impl Frame {
                 put_u64(&mut out, *recoveries);
                 put_u64(&mut out, *wal_lost);
                 put_u64(&mut out, *wal_replayed);
+                put_u64(&mut out, *fsync_p99_us);
+                put_u32(&mut out, dump.len() as u32);
+                out.extend_from_slice(dump.as_bytes());
+            }
+            Frame::HelloAck { node, echo_t, t_us } => {
+                out.push(4);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *echo_t);
+                put_u64(&mut out, *t_us);
+            }
+            Frame::Telemetry {
+                node,
+                recoveries,
+                crashes,
+                fsync_count,
+                fsync_p99_us,
+                span_events,
+                events,
+            } => {
+                out.push(5);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *recoveries);
+                put_u64(&mut out, *crashes);
+                put_u64(&mut out, *fsync_count);
+                put_u64(&mut out, *fsync_p99_us);
+                put_u64(&mut out, *span_events);
+                put_u64(&mut out, *events);
             }
         }
         let body_len = out.len() - 4;
@@ -403,13 +515,17 @@ impl Frame {
             return Err(FrameError::BadVersion(version));
         }
         let frame = match c.u8()? {
-            0 => Frame::Hello { node: c.u32()? },
+            0 => Frame::Hello {
+                node: c.u32()?,
+                t_us: c.u64()?,
+            },
             1 => {
                 let tag = c.u64()?;
                 let re = c.u64()?;
                 let src = Pid(c.u32()?);
                 let dst = Pid(c.u32()?);
                 let exempt = c.u8()? != 0;
+                let span = c.span()?;
                 let msg = c.payload()?;
                 Frame::Env {
                     tag,
@@ -420,6 +536,7 @@ impl Frame {
                         msg,
                         exempt,
                         reply_to: 0,
+                        span,
                     },
                 }
             }
@@ -430,6 +547,22 @@ impl Frame {
                 recoveries: c.u64()?,
                 wal_lost: c.u64()?,
                 wal_replayed: c.u64()?,
+                fsync_p99_us: c.u64()?,
+                dump: c.string()?,
+            },
+            4 => Frame::HelloAck {
+                node: c.u32()?,
+                echo_t: c.u64()?,
+                t_us: c.u64()?,
+            },
+            5 => Frame::Telemetry {
+                node: c.u32()?,
+                recoveries: c.u64()?,
+                crashes: c.u64()?,
+                fsync_count: c.u64()?,
+                fsync_p99_us: c.u64()?,
+                span_events: c.u64()?,
+                events: c.u64()?,
             },
             k => return Err(FrameError::BadKind(k)),
         };
@@ -516,7 +649,38 @@ mod tests {
                 msg,
                 exempt,
                 reply_to: 0,
+                span: SpanCtx::request(3, 42),
             },
+        }
+    }
+
+    #[test]
+    fn span_context_round_trips_in_env_frames() {
+        for span in [
+            SpanCtx::NONE,
+            SpanCtx::request(3, 42),
+            SpanCtx::request(3, 42).reply(),
+            SpanCtx {
+                client: u32::MAX - 1,
+                op: u64::MAX,
+                hop: 255,
+            },
+        ] {
+            let frame = Frame::Env {
+                tag: 9,
+                re: 0,
+                env: Envelope::abd(
+                    Pid(4),
+                    Pid(1),
+                    blunt_abd::msg::AbdMsg::Query {
+                        obj: ObjId(0),
+                        sn: 1,
+                    },
+                    false,
+                )
+                .with_span(span),
+            };
+            roundtrip(&frame);
         }
     }
 
@@ -571,8 +735,11 @@ mod tests {
 
     #[test]
     fn control_frames_round_trip() {
-        roundtrip(&Frame::Hello { node: DRIVER_NODE });
-        roundtrip(&Frame::Hello { node: 2 });
+        roundtrip(&Frame::Hello {
+            node: DRIVER_NODE,
+            t_us: 123_456,
+        });
+        roundtrip(&Frame::Hello { node: 2, t_us: 0 });
         roundtrip(&Frame::Shutdown);
         roundtrip(&Frame::Goodbye {
             node: 1,
@@ -580,7 +747,50 @@ mod tests {
             recoveries: 3,
             wal_lost: 17,
             wal_replayed: 9,
+            fsync_p99_us: 840,
+            dump: String::new(),
         });
+        roundtrip(&Frame::Goodbye {
+            node: 2,
+            crashes: 0,
+            recoveries: 0,
+            wal_lost: 0,
+            wal_replayed: 0,
+            fsync_p99_us: 0,
+            dump: "{\"type\":\"flight_dump\",\"schema_version\":2,\"events\":0}\n".into(),
+        });
+        roundtrip(&Frame::HelloAck {
+            node: 0,
+            echo_t: 77,
+            t_us: 1_000_077,
+        });
+        roundtrip(&Frame::Telemetry {
+            node: 2,
+            recoveries: 4,
+            crashes: 4,
+            fsync_count: 900,
+            fsync_p99_us: 310,
+            span_events: 12_000,
+            events: 15_000,
+        });
+    }
+
+    #[test]
+    fn non_utf8_goodbye_dumps_are_rejected() {
+        let mut bytes = Frame::Goodbye {
+            node: 1,
+            crashes: 0,
+            recoveries: 0,
+            wal_lost: 0,
+            wal_replayed: 0,
+            fsync_p99_us: 0,
+            dump: "ab".into(),
+        }
+        .encode()
+        .unwrap();
+        let at = bytes.len() - 2;
+        bytes[at] = 0xFF; // continuation byte with no lead: invalid UTF-8
+        assert_eq!(Frame::decode(&bytes[4..]), Err(FrameError::BadUtf8));
     }
 
     #[test]
@@ -622,9 +832,10 @@ mod tests {
         bytes = good.clone();
         bytes[5] = 200;
         assert_eq!(Frame::decode(&bytes[4..]), Err(FrameError::BadKind(200)));
-        // The payload tag byte sits right after tag/re/src/dst/exempt.
+        // The payload tag byte sits right after tag/re/src/dst/exempt/span
+        // (span = client:u32 op:u64 hop:u8 → 13 bytes).
         bytes = good.clone();
-        let payload_tag_at = 4 + 2 + 8 + 8 + 4 + 4 + 1;
+        let payload_tag_at = 4 + 2 + 8 + 8 + 4 + 4 + 1 + 13;
         bytes[payload_tag_at] = 99;
         assert_eq!(Frame::decode(&bytes[4..]), Err(FrameError::BadTag(99)));
         // Trailing garbage after a well-formed frame is an error too.
@@ -654,6 +865,7 @@ mod tests {
                 },
                 exempt: true,
                 reply_to: 0,
+                span: SpanCtx::NONE,
             },
         };
         let overhead = pad(0).encode().unwrap().len() - 4;
@@ -699,7 +911,7 @@ mod tests {
     #[test]
     fn read_write_frame_round_trip_over_a_byte_stream() {
         let frames = vec![
-            Frame::Hello { node: 0 },
+            Frame::Hello { node: 0, t_us: 5 },
             env_frame(
                 Payload::Abd(AbdMsg::Query {
                     obj: ObjId(0),
@@ -721,5 +933,138 @@ mod tests {
         // A partial length header is a truncation, not a clean EOF.
         let mut partial = &buf[..2];
         assert!(read_frame(&mut partial).is_err());
+    }
+
+    /// Seeded SplitMix64 for the corruption fuzzer below (the net crate has
+    /// no dependency on `blunt-sim`, so the five-line generator lives here).
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// Satellite hardening: a decoder fed tens of thousands of seeded
+    /// mutations of valid frames — byte flips, truncations, extensions,
+    /// and pure noise — must always return a structured [`FrameError`] or
+    /// a valid frame, never panic. Every accepted mutant must re-encode
+    /// (decode yields only encodable frames).
+    #[test]
+    fn randomized_corruption_never_panics_and_always_errors_structurally() {
+        use blunt_abd::msg::AbdMsg;
+        let corpus: Vec<Vec<u8>> = [
+            Frame::Hello {
+                node: DRIVER_NODE,
+                t_us: 42,
+            },
+            env_frame(
+                Payload::Abd(AbdMsg::Reply {
+                    obj: ObjId(0),
+                    sn: 3,
+                    val: Val::Tuple(vec![
+                        Val::Int(5),
+                        Val::Pair(Box::new((Val::Nil, Val::Int(1)))),
+                    ]),
+                    ts: Ts { t: 7, pid: 1 },
+                }),
+                false,
+            ),
+            env_frame(
+                Payload::Abd(AbdMsg::Update {
+                    obj: ObjId(1),
+                    sn: 9,
+                    val: Val::Int(-4),
+                    ts: Ts { t: 1, pid: 0 },
+                }),
+                true,
+            ),
+            env_frame(Payload::Crash { window: 3 }, true),
+            env_frame(
+                Payload::StateReply {
+                    sn: 2,
+                    val: Val::Nil,
+                    ts: Ts { t: 0, pid: 2 },
+                },
+                true,
+            ),
+            Frame::Shutdown,
+            Frame::Goodbye {
+                node: 0,
+                crashes: 1,
+                recoveries: 1,
+                wal_lost: 2,
+                wal_replayed: 3,
+                fsync_p99_us: 99,
+                dump: "{\"type\":\"flight_dump\",\"schema_version\":2,\"events\":0}\n".into(),
+            },
+            Frame::HelloAck {
+                node: 1,
+                echo_t: 10,
+                t_us: 20,
+            },
+            Frame::Telemetry {
+                node: 2,
+                recoveries: 1,
+                crashes: 1,
+                fsync_count: 5,
+                fsync_p99_us: 7,
+                span_events: 100,
+                events: 120,
+            },
+        ]
+        .iter()
+        .map(|f| f.encode().unwrap()[4..].to_vec())
+        .collect();
+
+        let mut rng = Mix(0x0B1D_5EED_F422_ED00);
+        let mut decoded_ok = 0u64;
+        for round in 0..12_000u64 {
+            let mut body = corpus[rng.below(corpus.len())].clone();
+            match round % 4 {
+                // Flip 1–4 bytes anywhere in the body.
+                0 => {
+                    for _ in 0..(1 + rng.below(4)) {
+                        let at = rng.below(body.len());
+                        body[at] ^= (rng.next() % 255 + 1) as u8;
+                    }
+                }
+                // Truncate at a random cut.
+                1 => body.truncate(rng.below(body.len())),
+                // Extend with random trailing bytes.
+                2 => {
+                    for _ in 0..(1 + rng.below(8)) {
+                        body.push((rng.next() & 0xFF) as u8);
+                    }
+                }
+                // Replace with pure noise of random length (version byte
+                // kept valid half the time so kind/tag paths get exercised).
+                _ => {
+                    body = (0..rng.below(64))
+                        .map(|_| (rng.next() & 0xFF) as u8)
+                        .collect();
+                    if !body.is_empty() && round % 8 < 4 {
+                        body[0] = FRAME_VERSION;
+                    }
+                }
+            }
+            // The property under test: decode returns, structurally.
+            if let Ok(frame) = Frame::decode(&body) {
+                decoded_ok += 1;
+                let reencoded = frame.encode().expect("decoded frames re-encode");
+                assert_eq!(Frame::decode(&reencoded[4..]).as_ref(), Ok(&frame));
+            }
+        }
+        // Sanity: some mutants (e.g. flipped numeric fields) must still
+        // decode, or the fuzzer is only exercising the error paths.
+        assert!(decoded_ok > 0, "corpus mutations never decoded");
     }
 }

@@ -55,14 +55,14 @@ pub mod rpc;
 pub mod server;
 pub mod wire;
 
-pub use client::{NetClient, NetClientCfg, ServerGoodbye};
+pub use client::{NetClient, NetClientCfg, RemoteServer, ServerGoodbye, ServerTelemetry};
 pub use conn::{Addr, Listener, Stream};
 pub use coverage::{Coverage, LinkCoverage};
 pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
 pub use frame::{Frame, FrameError, DRIVER_NODE, FRAME_VERSION, MAX_FRAME_LEN};
 pub use injector::{Injector, TransportStats};
 pub use server::{NetServer, NetServerCfg};
-pub use wire::{Envelope, Payload};
+pub use wire::{Envelope, Payload, SpanCtx};
 
 use blunt_abd::msg::AbdMsg;
 use blunt_core::ids::Pid;
@@ -82,8 +82,16 @@ pub trait Transport: Send + Sync {
     /// Broadcasts the ABD message `msg` from `src` to every pid in `dsts`
     /// (a quorum round's fan-out).
     fn broadcast(&self, src: Pid, dsts: &[Pid], msg: &AbdMsg, exempt: bool) {
+        self.broadcast_span(src, dsts, msg, exempt, SpanCtx::NONE);
+    }
+
+    /// [`Transport::broadcast`] with every envelope stamped with trace
+    /// context `span`. The span is pure data (no transport branches on
+    /// it), so span-stamped broadcasts consume exactly the same
+    /// fault-schedule indices as unstamped ones.
+    fn broadcast_span(&self, src: Pid, dsts: &[Pid], msg: &AbdMsg, exempt: bool, span: SpanCtx) {
         for &dst in dsts {
-            self.send(Envelope::abd(src, dst, msg.clone(), exempt));
+            self.send(Envelope::abd(src, dst, msg.clone(), exempt).with_span(span));
         }
     }
 

@@ -28,25 +28,29 @@ pub const DIAL_RETRY_WINDOW: Duration = Duration::from_secs(10);
 pub struct ConnectionPool {
     peers: Vec<Addr>,
     slots: Vec<Mutex<Option<Stream>>>,
-    /// The session handshake replayed on every (re)connected stream.
-    hello: Frame,
+    /// Builds the session handshake sent first on every (re)connected
+    /// stream. A closure rather than a stored frame so dialers that sample
+    /// a clock into their `Hello` (clock-offset estimation) get a fresh
+    /// timestamp per dial, not the stale one from pool construction.
+    hello: Box<dyn Fn() -> Frame + Send + Sync>,
     /// Called with a cloned reader handle for each fresh connection.
     on_connect: Box<dyn Fn(usize, Stream) + Send + Sync>,
 }
 
 impl ConnectionPool {
-    /// A pool dialing `peers`, announcing itself with `hello`, and handing
-    /// each fresh connection's read half to `on_connect(peer_index, reader)`.
+    /// A pool dialing `peers`, announcing itself with `hello()` on each
+    /// fresh connection, and handing each fresh connection's read half to
+    /// `on_connect(peer_index, reader)`.
     pub fn new(
         peers: Vec<Addr>,
-        hello: Frame,
+        hello: impl Fn() -> Frame + Send + Sync + 'static,
         on_connect: impl Fn(usize, Stream) + Send + Sync + 'static,
     ) -> ConnectionPool {
         let slots = peers.iter().map(|_| Mutex::new(None)).collect();
         ConnectionPool {
             peers,
             slots,
-            hello,
+            hello: Box::new(hello),
             on_connect: Box::new(on_connect),
         }
     }
@@ -65,7 +69,7 @@ impl ConnectionPool {
 
     fn dial(&self, peer: usize) -> std::io::Result<Stream> {
         let mut s = self.peers[peer].connect_retry(DIAL_RETRY_WINDOW)?;
-        write_frame(&mut s, &self.hello)?;
+        write_frame(&mut s, &(self.hello)())?;
         s.flush()?;
         (self.on_connect)(peer, s.try_clone()?);
         Ok(s)
@@ -152,7 +156,7 @@ mod tests {
         let (connected_tx, connected_rx) = mpsc::channel();
         let pool = ConnectionPool::new(
             vec![addr.clone()],
-            Frame::Hello { node: 7 },
+            || Frame::Hello { node: 7, t_us: 0 },
             move |peer, _reader| connected_tx.send(peer).unwrap(),
         );
         pool.send(0, &Frame::Shutdown).unwrap();
@@ -160,7 +164,7 @@ mod tests {
         let mut conn = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
-            Some(Frame::Hello { node: 7 })
+            Some(Frame::Hello { node: 7, t_us: 0 })
         );
         assert_eq!(read_frame(&mut conn).unwrap(), Some(Frame::Shutdown));
         // Simulate a peer restart: close the accepted side, rebind, and
@@ -178,7 +182,7 @@ mod tests {
         let mut conn = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
-            Some(Frame::Hello { node: 7 }),
+            Some(Frame::Hello { node: 7, t_us: 0 }),
             "reconnected stream re-announces itself"
         );
     }
@@ -189,22 +193,24 @@ mod tests {
         let listeners: Vec<_> = addrs.iter().map(|a| a.listen().unwrap()).collect();
         let pool = BroadcastPool::new(ConnectionPool::new(
             addrs.to_vec(),
-            Frame::Hello { node: 1 },
+            || Frame::Hello { node: 1, t_us: 0 },
             |_, _| {},
         ));
         pool.broadcast(|peer| Frame::Hello {
             node: peer as u32 + 100,
+            t_us: 0,
         });
         for (i, l) in listeners.iter().enumerate() {
             let mut conn = l.accept().unwrap();
             assert_eq!(
                 read_frame(&mut conn).unwrap(),
-                Some(Frame::Hello { node: 1 })
+                Some(Frame::Hello { node: 1, t_us: 0 })
             );
             assert_eq!(
                 read_frame(&mut conn).unwrap(),
                 Some(Frame::Hello {
-                    node: i as u32 + 100
+                    node: i as u32 + 100,
+                    t_us: 0
                 })
             );
         }

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use blunt_core::ids::Pid;
 use blunt_obs::{FlightKind, FlightRecorder};
 
-use crate::client::ServerGoodbye;
+use crate::client::{ServerGoodbye, ServerTelemetry};
 use crate::conn::{Addr, Stream};
 use crate::fault::{Fate, FaultConfig};
 use crate::frame::{read_frame, write_frame, Frame, DRIVER_NODE};
@@ -93,19 +93,29 @@ pub struct NetServer {
 /// One accepted connection: identify the peer by its `Hello`, then pump
 /// envelopes into the mailbox until the stream ends.
 fn conn_loop(
+    me: Pid,
+    flight: &FlightRecorder,
     mut stream: Stream,
     mailbox: &Sender<Envelope>,
     driver: &DriverSlot,
     stop: &AtomicBool,
 ) {
-    let hello = match read_frame(&mut stream) {
-        Ok(Some(Frame::Hello { node })) => node,
+    let (hello, hello_t) = match read_frame(&mut stream) {
+        Ok(Some(Frame::Hello { node, t_us })) => (node, t_us),
         _ => return,
     };
     if hello == DRIVER_NODE {
         if let Ok(writer) = stream.try_clone() {
             *driver.0.lock().expect("driver slot lock") = Some(writer);
         }
+        // Echo the driver's timestamp with our own flight clock — the same
+        // clock stamping this process's flight events — so the driver can
+        // estimate this process's clock offset from the round trip.
+        driver.write(&Frame::HelloAck {
+            node: me.0,
+            echo_t: hello_t,
+            t_us: flight.now_us(),
+        });
     }
     let mut dedup = DedupWindow::new(1024);
     loop {
@@ -122,7 +132,12 @@ fn conn_loop(
             Ok(Some(Frame::Shutdown)) => {
                 stop.store(true, Ordering::SeqCst);
             }
-            Ok(Some(Frame::Hello { .. } | Frame::Goodbye { .. })) => {}
+            Ok(Some(
+                Frame::Hello { .. }
+                | Frame::HelloAck { .. }
+                | Frame::Telemetry { .. }
+                | Frame::Goodbye { .. },
+            )) => {}
             Ok(None) | Err(_) => return,
         }
     }
@@ -148,10 +163,12 @@ impl NetServer {
         let (mailbox_tx, mailbox_rx) = mpsc::channel();
         let driver = Arc::new(DriverSlot(Mutex::new(None)));
         let stop = Arc::new(AtomicBool::new(false));
+        let me = cfg.me;
         {
             let mailbox = mailbox_tx.clone();
             let driver = Arc::clone(&driver);
             let stop = Arc::clone(&stop);
+            let flight = Arc::clone(&flight);
             std::thread::spawn(move || loop {
                 let Ok(stream) = listener.accept() else {
                     return;
@@ -159,13 +176,20 @@ impl NetServer {
                 let mailbox = mailbox.clone();
                 let driver = Arc::clone(&driver);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || conn_loop(stream, &mailbox, &driver, &stop));
+                let flight = Arc::clone(&flight);
+                std::thread::spawn(move || {
+                    conn_loop(me, &flight, stream, &mailbox, &driver, &stop)
+                });
             });
         }
-        let me = cfg.me;
         let peers = ConnectionPool::new(
             cfg.peers.clone(),
-            Frame::Hello { node: me.0 },
+            // Peer hellos carry no clock sample — only the driver estimates
+            // offsets, from its own `Hello`/`HelloAck` round trips.
+            move || Frame::Hello {
+                node: me.0,
+                t_us: 0,
+            },
             // Peer connections are write-only from this side: replies to
             // our recovery queries arrive on the connection the peer dials
             // back (its own pool), so the read half idles until EOF.
@@ -234,14 +258,32 @@ impl NetServer {
         Arc::clone(&self.stop)
     }
 
-    /// Reports this server's parting stats to the driver.
-    pub fn goodbye(&self, g: ServerGoodbye) {
+    /// Ships a cumulative telemetry snapshot to the driver. Best-effort:
+    /// if the driver connection is down the snapshot is lost and the next
+    /// periodic tick resends fresher numbers.
+    pub fn telemetry(&self, t: ServerTelemetry) {
+        self.driver.write(&Frame::Telemetry {
+            node: self.me.0,
+            recoveries: t.recoveries,
+            crashes: t.crashes,
+            fsync_count: t.fsync_count,
+            fsync_p99_us: t.fsync_p99_us,
+            span_events: t.span_events,
+            events: t.events,
+        });
+    }
+
+    /// Reports this server's parting stats to the driver, piggybacking a
+    /// bounded flight dump (JSONL; empty string = no dump).
+    pub fn goodbye(&self, g: ServerGoodbye, dump: String) {
         self.driver.write(&Frame::Goodbye {
             node: self.me.0,
             crashes: g.crashes,
             recoveries: g.recoveries,
             wal_lost: g.wal_lost,
             wal_replayed: g.wal_replayed,
+            fsync_p99_us: g.fsync_p99_us,
+            dump,
         });
     }
 }
@@ -250,7 +292,13 @@ impl Transport for NetServer {
     fn send(&self, env: Envelope) {
         let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
         let ring = self.flight.thread_ring();
-        ring.record(FlightKind::BusSend, src, u64::from(dst), label);
+        ring.record_span(
+            FlightKind::BusSend,
+            src,
+            u64::from(dst),
+            label,
+            env.span.flight_word(),
+        );
         let re = env.reply_to;
         let frame = Frame::Env {
             tag: self.tags.next(),

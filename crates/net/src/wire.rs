@@ -13,6 +13,85 @@ use blunt_core::ids::Pid;
 use blunt_core::value::Val;
 use blunt_obs::flight;
 
+/// The compact trace context stamped on every envelope: which client
+/// operation this message belongs to, and which hop of the exchange it is.
+///
+/// Spans make server-side flight events attributable to the originating
+/// op across process boundaries: the driver stamps requests at broadcast
+/// time, frame v2 carries the context over the wire, and servers echo it
+/// on their replies — so a merged flight dump can reconstruct an op's
+/// full causal interval (client queue → wire → server ack → quorum).
+///
+/// The span is **pure data**: no transport, injector, or step machine
+/// branches on it, so stamping spans adds zero schedule perturbation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// The originating client's pid (`u32::MAX` = no span).
+    pub client: u32,
+    /// The client-unique invocation id of the op ([`blunt_core::ids::InvId`]).
+    pub op: u64,
+    /// Which hop of the exchange: [`SpanCtx::HOP_REQUEST`] (client →
+    /// server) or [`SpanCtx::HOP_REPLY`] (server → client); 0 on
+    /// [`SpanCtx::NONE`].
+    pub hop: u8,
+}
+
+impl SpanCtx {
+    /// No span: control traffic, recovery transfer, anything not tied to a
+    /// client operation.
+    pub const NONE: SpanCtx = SpanCtx {
+        client: u32::MAX,
+        op: 0,
+        hop: 0,
+    };
+
+    /// Hop kind: a client-originated request leg (query/update broadcast).
+    pub const HOP_REQUEST: u8 = 1;
+    /// Hop kind: a server's reply leg (reply/ack back to the client).
+    pub const HOP_REPLY: u8 = 2;
+
+    /// A request-hop span for client `client`'s invocation `op`.
+    #[must_use]
+    pub fn request(client: u32, op: u64) -> SpanCtx {
+        SpanCtx {
+            client,
+            op,
+            hop: SpanCtx::HOP_REQUEST,
+        }
+    }
+
+    /// `true` iff this is [`SpanCtx::NONE`].
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.client == u32::MAX
+    }
+
+    /// The same span re-stamped as the reply hop (what a server puts on
+    /// the response it sends back). [`SpanCtx::NONE`] stays `NONE`.
+    #[must_use]
+    pub fn reply(self) -> SpanCtx {
+        if self.is_none() {
+            SpanCtx::NONE
+        } else {
+            SpanCtx {
+                hop: SpanCtx::HOP_REPLY,
+                ..self
+            }
+        }
+    }
+
+    /// The packed flight-recorder span word for this context (see
+    /// [`flight::pack_span`]); [`flight::SPAN_NONE`] for [`SpanCtx::NONE`].
+    #[must_use]
+    pub fn flight_word(&self) -> u64 {
+        if self.is_none() {
+            flight::SPAN_NONE
+        } else {
+            flight::pack_span(self.client, self.op)
+        }
+    }
+}
+
 /// What an [`Envelope`] carries: protocol traffic or a runtime control
 /// message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,11 +145,17 @@ pub struct Envelope {
     /// appears inside the serialized envelope — the frame header carries
     /// it — and the in-process bus ignores it entirely.
     pub reply_to: u64,
+    /// The trace context of the client operation this message belongs to
+    /// ([`SpanCtx::NONE`] for control/recovery traffic). Serialized in
+    /// frame v2 `Env` bodies so server processes can attribute their
+    /// flight events to the originating op; pure data on the in-process
+    /// path.
+    pub span: SpanCtx,
 }
 
 impl Envelope {
     /// An envelope carrying an ABD protocol message (unsolicited:
-    /// `reply_to = 0`).
+    /// `reply_to = 0`, no span).
     #[must_use]
     pub fn abd(src: Pid, dst: Pid, msg: AbdMsg, exempt: bool) -> Envelope {
         Envelope {
@@ -79,6 +164,7 @@ impl Envelope {
             msg: Payload::Abd(msg),
             exempt,
             reply_to: 0,
+            span: SpanCtx::NONE,
         }
     }
 
@@ -88,6 +174,13 @@ impl Envelope {
     #[must_use]
     pub fn in_reply_to(mut self, re: u64) -> Envelope {
         self.reply_to = re;
+        self
+    }
+
+    /// The same envelope stamped with trace context `span`.
+    #[must_use]
+    pub fn with_span(mut self, span: SpanCtx) -> Envelope {
+        self.span = span;
         self
     }
 }

@@ -1,7 +1,7 @@
 //! The flight recorder: always-on, bounded, per-thread event rings.
 //!
 //! A [`FlightRecorder`] owns one lock-free ring buffer per participating
-//! thread ([`FlightRing`]). Recording an event is O(1) — five relaxed/release
+//! thread ([`FlightRing`]). Recording an event is O(1) — six relaxed/release
 //! atomic stores into a preallocated slot — so the runtime leaves it on in
 //! the hot path (bus sends, fault decisions, client ops, server acks,
 //! monitor cuts). Each ring keeps only the most recent `capacity` events;
@@ -23,7 +23,7 @@
 //! written before and after the payload (odd while a write is in flight),
 //! and the snapshot skips slots whose version changed or is odd. All slot
 //! fields are atomics, so a racing read is well-defined; the residual risk —
-//! a writer lapping a reader by a full ring *during* a five-word read, with
+//! a writer lapping a reader by a full ring *during* a six-word read, with
 //! both version loads agreeing — would garble one diagnostic event, never
 //! program state.
 
@@ -34,8 +34,36 @@ use std::time::Instant;
 
 use crate::json::Json;
 
-/// Schema version written into (and required from) flight dump headers.
-pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
+/// Schema version written into flight dump headers. v2 added the optional
+/// per-event `span` (packed originating-op trace context, [`pack_span`])
+/// and `proc` (source process label in merged cross-process dumps) fields;
+/// [`FlightDump::parse`] still reads v1 dumps, defaulting both.
+pub const FLIGHT_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest dump schema version [`FlightDump::parse`] accepts.
+pub const FLIGHT_SCHEMA_MIN_VERSION: u64 = 1;
+
+/// The span word of an event not attributed to any client operation.
+pub const SPAN_NONE: u64 = u64::MAX;
+
+/// Packs an originating-op trace context — client pid (24 bits) and
+/// invocation id (40 bits) — into one event span word. The runtime's
+/// invocation ids (`client × 10_000_000 + op_idx`) stay far below 2⁴⁰ for
+/// any realistic client count, and [`SPAN_NONE`] is reserved.
+#[must_use]
+pub fn pack_span(client: u32, op: u64) -> u64 {
+    (u64::from(client) << 40) | (op & ((1 << 40) - 1))
+}
+
+/// Inverse of [`pack_span`]: `(client, op)`, or `None` for [`SPAN_NONE`].
+#[must_use]
+pub fn unpack_span(w: u64) -> Option<(u32, u64)> {
+    if w == SPAN_NONE {
+        None
+    } else {
+        Some(((w >> 40) as u32, w & ((1 << 40) - 1)))
+    }
+}
 
 /// What happened. Each kind fixes the meaning of an event's `a`/`b` words
 /// (documented per variant; `pid` is the recording node or lane).
@@ -231,6 +259,9 @@ struct Slot {
     meta: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    /// Packed originating-op span ([`pack_span`]); [`SPAN_NONE`] when the
+    /// event is not attributed to a client operation.
+    span: AtomicU64,
 }
 
 /// One thread's bounded event ring. Obtained from
@@ -258,6 +289,7 @@ impl FlightRing {
                     meta: AtomicU64::new(0),
                     a: AtomicU64::new(0),
                     b: AtomicU64::new(0),
+                    span: AtomicU64::new(SPAN_NONE),
                 })
                 .collect(),
         }
@@ -271,13 +303,24 @@ impl FlightRing {
 
     /// Records one event, stamped with the recorder's elapsed clock.
     pub fn record(&self, kind: FlightKind, pid: u32, a: u64, b: u64) {
+        self.record_span(kind, pid, a, b, SPAN_NONE);
+    }
+
+    /// Records one span-attributed event ([`pack_span`] word; [`SPAN_NONE`]
+    /// for unattributed events), stamped with the recorder's elapsed clock.
+    pub fn record_span(&self, kind: FlightKind, pid: u32, a: u64, b: u64, span: u64) {
         let t = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        self.record_at(t, kind, pid, a, b);
+        self.record_span_at(t, kind, pid, a, b, span);
     }
 
     /// Records one event with an explicit timestamp (µs since run start).
     /// Golden tests use this to pin deterministic dumps.
     pub fn record_at(&self, t_us: u64, kind: FlightKind, pid: u32, a: u64, b: u64) {
+        self.record_span_at(t_us, kind, pid, a, b, SPAN_NONE);
+    }
+
+    /// Records one span-attributed event with an explicit timestamp.
+    pub fn record_span_at(&self, t_us: u64, kind: FlightKind, pid: u32, a: u64, b: u64, span: u64) {
         let seq = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];
         slot.version.store(seq * 2 + 1, Ordering::Release);
@@ -288,6 +331,7 @@ impl FlightRing {
         );
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
+        slot.span.store(span, Ordering::Relaxed);
         slot.version.store(seq * 2 + 2, Ordering::Release);
         self.head.store(seq + 1, Ordering::Release);
     }
@@ -302,6 +346,7 @@ impl FlightRing {
             let meta = slot.meta.load(Ordering::Relaxed);
             let a = slot.a.load(Ordering::Relaxed);
             let b = slot.b.load(Ordering::Relaxed);
+            let span = slot.span.load(Ordering::Relaxed);
             if slot.version.load(Ordering::Acquire) != v1 {
                 continue; // torn: the writer lapped us mid-read
             }
@@ -316,6 +361,8 @@ impl FlightRing {
                 pid: (meta >> 8) as u32,
                 a,
                 b,
+                span,
+                proc: String::new(),
             });
         }
     }
@@ -410,7 +457,7 @@ impl FlightRecorder {
     }
 
     /// Snapshots every ring into one time-ordered dump. Events are sorted
-    /// by `(t_us, ring, seq)` so same-microsecond events order
+    /// by `(t_us, proc, ring, seq)` so same-microsecond events order
     /// deterministically.
     #[must_use]
     pub fn dump(&self) -> FlightDump {
@@ -418,12 +465,26 @@ impl FlightRecorder {
         for ring in self.rings.lock().unwrap().iter() {
             ring.snapshot_into(&mut events);
         }
-        events.sort_by(|x, y| (x.t_us, &x.ring, x.seq).cmp(&(y.t_us, &y.ring, y.seq)));
+        sort_events(&mut events);
         FlightDump {
             schema_version: FLIGHT_SCHEMA_VERSION,
             events,
         }
     }
+
+    /// Microseconds elapsed on this recorder's clock — the timestamp the
+    /// next [`FlightRing::record`] would get. Socket handshakes use it for
+    /// cross-process clock-offset estimation.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// The canonical dump order: `(t_us, proc, ring, seq)`.
+fn sort_events(events: &mut [FlightEvent]) {
+    events
+        .sort_by(|x, y| (x.t_us, &x.proc, &x.ring, x.seq).cmp(&(y.t_us, &y.proc, &y.ring, y.seq)));
 }
 
 /// One recorded event, as it appears in a dump.
@@ -443,11 +504,19 @@ pub struct FlightEvent {
     pub a: u64,
     /// Second payload word (meaning fixed by `kind`).
     pub b: u64,
+    /// Packed originating-op trace context ([`pack_span`]); [`SPAN_NONE`]
+    /// when the event is not attributed to a client operation. Schema v2;
+    /// v1 dumps parse with `SPAN_NONE`.
+    pub span: u64,
+    /// The process this event came from in a merged cross-process dump
+    /// (e.g. `"s0"` for server process 0); empty for events recorded
+    /// locally. Schema v2; v1 dumps parse with `""`.
+    pub proc: String,
 }
 
 impl FlightEvent {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("type".into(), Json::Str("flight_event".into())),
             ("ring".into(), Json::Str(self.ring.clone())),
             ("seq".into(), Json::UInt(self.seq)),
@@ -456,7 +525,17 @@ impl FlightEvent {
             ("pid".into(), Json::UInt(u64::from(self.pid))),
             ("a".into(), Json::UInt(self.a)),
             ("b".into(), Json::UInt(self.b)),
-        ])
+        ];
+        // Defaults are elided so unattributed local events keep their
+        // compact v1 shape and absent-field ↔ default stays a bijection
+        // (parse → serialize is the identity).
+        if self.span != SPAN_NONE {
+            pairs.push(("span".into(), Json::UInt(self.span)));
+        }
+        if !self.proc.is_empty() {
+            pairs.push(("proc".into(), Json::Str(self.proc.clone())));
+        }
+        Json::Obj(pairs)
     }
 
     fn from_json(j: &Json) -> Result<FlightEvent, String> {
@@ -482,6 +561,12 @@ impl FlightEvent {
             pid: u32::try_from(field("pid")?).map_err(|_| "pid out of range".to_string())?,
             a: field("a")?,
             b: field("b")?,
+            span: j.get("span").and_then(Json::as_u64).unwrap_or(SPAN_NONE),
+            proc: j
+                .get("proc")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
         })
     }
 }
@@ -553,9 +638,10 @@ impl FlightDump {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or_else(|| "flight_dump header missing schema_version".to_string())?;
-        if version != FLIGHT_SCHEMA_VERSION {
+        if !(FLIGHT_SCHEMA_MIN_VERSION..=FLIGHT_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "flight dump schema v{version}, this build reads v{FLIGHT_SCHEMA_VERSION}"
+                "flight dump schema v{version}, this build reads \
+                 v{FLIGHT_SCHEMA_MIN_VERSION}–v{FLIGHT_SCHEMA_VERSION}"
             ));
         }
         let mut events = Vec::new();
@@ -568,6 +654,30 @@ impl FlightDump {
             schema_version: version,
             events,
         })
+    }
+
+    /// Merges a remote process's dump into this one: every event of `other`
+    /// is stamped with the process label `proc`, its timestamp is shifted
+    /// from the remote clock onto this dump's clock by `clock_offset_us`
+    /// (the estimate `remote_clock − local_clock` from the `Hello`
+    /// handshake; shifted times saturate at 0), and the result is re-sorted
+    /// into the canonical `(t_us, proc, ring, seq)` order. The merged dump
+    /// is always schema v2.
+    pub fn merge_remote(&mut self, proc: &str, clock_offset_us: i64, other: &FlightDump) {
+        for e in &other.events {
+            let t_us = if clock_offset_us >= 0 {
+                e.t_us.saturating_sub(clock_offset_us.unsigned_abs())
+            } else {
+                e.t_us.saturating_add(clock_offset_us.unsigned_abs())
+            };
+            self.events.push(FlightEvent {
+                t_us,
+                proc: proc.to_string(),
+                ..e.clone()
+            });
+        }
+        self.schema_version = FLIGHT_SCHEMA_VERSION;
+        sort_events(&mut self.events);
     }
 }
 
@@ -683,9 +793,83 @@ mod tests {
         assert_eq!(FlightDump::parse(&text).unwrap(), dump);
         assert!(FlightDump::parse("").is_err());
         assert!(FlightDump::parse("{\"type\":\"metric\"}\n").is_err());
-        let wrong = text.replacen("\"schema_version\":1", "\"schema_version\":9", 1);
+        let wrong = text.replacen("\"schema_version\":2", "\"schema_version\":9", 1);
         let err = FlightDump::parse(&wrong).unwrap_err();
         assert!(err.contains("schema v9"), "{err}");
+        assert!(err.contains("v1–v2"), "{err}");
+    }
+
+    #[test]
+    fn span_packing_round_trips_and_none_is_reserved() {
+        assert_eq!(unpack_span(SPAN_NONE), None);
+        for (client, op) in [(0, 0), (3, 12), (7, 39_999_999), (255, (1 << 40) - 2)] {
+            assert_eq!(unpack_span(pack_span(client, op)), Some((client, op)));
+        }
+    }
+
+    #[test]
+    fn span_attributed_events_round_trip_and_v1_dumps_still_parse() {
+        let rec = FlightRecorder::new(8);
+        let ring = rec.register_current("server-0");
+        ring.record_span_at(5, FlightKind::ServerAck, 0, 3, 1, pack_span(3, 12));
+        ring.record_at(6, FlightKind::WalFlush, 0, 1, 250);
+        let dump = rec.dump();
+        assert_eq!(dump.events[0].span, pack_span(3, 12));
+        assert_eq!(dump.events[1].span, SPAN_NONE);
+        let text = dump.to_jsonl();
+        assert!(text.contains("\"span\":"), "attributed events carry span");
+        assert_eq!(FlightDump::parse(&text).unwrap(), dump);
+
+        // A v1 dump (no span/proc fields) parses with defaults.
+        let v1 = "{\"type\":\"flight_dump\",\"schema_version\":1,\"events\":1}\n\
+                  {\"type\":\"flight_event\",\"ring\":\"client-3\",\"seq\":0,\"t_us\":7,\
+                  \"kind\":\"bus_send\",\"pid\":3,\"a\":0,\"b\":1}\n";
+        let parsed = FlightDump::parse(v1).expect("v1 dumps stay readable");
+        assert_eq!(parsed.schema_version, 1);
+        assert_eq!(parsed.events[0].span, SPAN_NONE);
+        assert_eq!(parsed.events[0].proc, "");
+    }
+
+    #[test]
+    fn merge_remote_aligns_clocks_and_labels_processes() {
+        let rec = FlightRecorder::new(8);
+        let ring = rec.register_current("client-3");
+        ring.record_at(100, FlightKind::OpStartWrite, 3, 1, encode_val(Some(9)));
+        let mut merged = rec.dump();
+
+        let remote = FlightDump {
+            schema_version: FLIGHT_SCHEMA_VERSION,
+            events: vec![FlightEvent {
+                ring: "server-0".into(),
+                seq: 0,
+                t_us: 1_150,
+                kind: FlightKind::ServerAck,
+                pid: 0,
+                a: 3,
+                b: 1,
+                span: pack_span(3, 1),
+                proc: String::new(),
+            }],
+        };
+        // Remote clock runs 1000µs ahead of ours: its t=1150 is our t=150.
+        merged.merge_remote("s0", 1_000, &remote);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.events[1].t_us, 150);
+        assert_eq!(merged.events[1].proc, "s0");
+        assert_eq!(merged.events[1].span, pack_span(3, 1));
+        // A remote clock *behind* ours shifts the other way; saturation at 0
+        // keeps a large positive offset from wrapping.
+        let mut m2 = FlightDump {
+            schema_version: FLIGHT_SCHEMA_VERSION,
+            events: Vec::new(),
+        };
+        m2.merge_remote("s1", -50, &remote);
+        assert_eq!(m2.events[0].t_us, 1_200);
+        m2.merge_remote("s2", i64::MAX, &remote);
+        assert_eq!(m2.events[0].t_us, 0, "saturates, resorted to front");
+        // Round trip: proc fields survive JSONL.
+        let reparsed = FlightDump::parse(&merged.to_jsonl()).unwrap();
+        assert_eq!(reparsed, merged);
     }
 
     #[test]

@@ -51,7 +51,7 @@ use blunt_obs::{FlightKind, FlightRecorder};
 
 use crate::coverage::Coverage;
 
-pub use blunt_net::wire::{Envelope, Payload};
+pub use blunt_net::wire::{Envelope, Payload, SpanCtx};
 
 /// Deterministic fault counters accumulated by a run; equal across runs
 /// with the same seed and configuration. (The transport-agnostic name is
@@ -253,6 +253,7 @@ impl Bus {
                 msg: Payload::Crash { window },
                 exempt: true,
                 reply_to: 0,
+                span: SpanCtx::NONE,
             });
         }
         match outcome {

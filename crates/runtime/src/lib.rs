@@ -43,7 +43,7 @@ pub mod workload;
 // the original `blunt_runtime::fault` / `blunt_runtime::coverage` paths.
 pub use blunt_net::{coverage, fault};
 
-pub use blunt_net::Addr;
+pub use blunt_net::{Addr, RemoteServer, ServerTelemetry};
 pub use bus::{Bus, BusStats, Envelope, Payload};
 pub use coverage::{Coverage, LinkCoverage};
 pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
@@ -52,4 +52,4 @@ pub use netrun::{run_chaos_net, run_net_server, NetChaosTopology, NetServeConfig
 pub use recovery::{RecoveryMode, RecoveryStats};
 pub use shm::{run_shm_chaos, ShmChaosConfig, ShmReport};
 pub use storage::{Wal, WalRecord};
-pub use workload::{run_chaos, ChaosReport, MonitorOverhead, RuntimeConfig};
+pub use workload::{run_chaos, ChaosReport, MonitorOverhead, RuntimeConfig, WATCH_SCHEMA_VERSION};

@@ -24,7 +24,9 @@
 //! into the report's [`RecoveryStats`]. WAL/state-query detail that never
 //! crosses the wire stays zero in the aggregate.
 
+use std::collections::HashMap;
 use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Barrier};
 use std::thread;
@@ -32,8 +34,12 @@ use std::time::{Duration, Instant};
 
 use blunt_core::history::Action;
 use blunt_core::ids::Pid;
-use blunt_net::{Addr, NetClient, NetClientCfg, NetServer, NetServerCfg, ServerGoodbye, Transport};
-use blunt_obs::{FlightRecorder, Histogram};
+use blunt_net::{
+    Addr, NetClient, NetClientCfg, NetServer, NetServerCfg, ServerGoodbye, ServerTelemetry,
+    Transport,
+};
+use blunt_obs::flight::{FlightDump, SPAN_NONE};
+use blunt_obs::{FlightKind, FlightRecorder, Histogram, QuantileSketch};
 
 use crate::fault::{FaultConfig, FaultConfigError};
 use crate::recovery::{RecoveryMode, RecoverySink, RecoveryStats};
@@ -61,6 +67,76 @@ pub struct NetServeConfig {
     pub faults: FaultConfig,
     /// What a crash means for this server's state.
     pub recovery: RecoveryMode,
+    /// Directory for this process's own flight dump
+    /// (`serve-<id>.flight.jsonl`), written when the serve loop exits —
+    /// whether by the driver's `Shutdown` or by losing the driver
+    /// connection mid-window. `None` skips the local file; the bounded
+    /// dump still goes back piggybacked on `Goodbye`.
+    pub dump_dir: Option<PathBuf>,
+}
+
+/// How often a serve process ships a cumulative [`ServerTelemetry`]
+/// snapshot to its driver.
+const TELEMETRY_TICK: Duration = Duration::from_millis(500);
+
+/// How many trailing flight events a serve process piggybacks on its
+/// `Goodbye` frame (bounded so a goodbye stays one modest frame).
+const GOODBYE_DUMP_EVENTS: usize = 1024;
+
+/// Folds successive flight-recorder snapshots into cumulative telemetry:
+/// per-ring high-water seq marks make each event count once even though
+/// snapshots overlap, and `WalFlush` events feed the fsync-latency sketch
+/// (their `b` word is the fsync duration in µs).
+struct FlightAggregator {
+    /// Next unseen seq per ring (rings are bounded: eviction may skip
+    /// seqs forward, which the high-water mark absorbs).
+    seen: HashMap<String, u64>,
+    fsync: QuantileSketch,
+    fsync_count: u64,
+    span_events: u64,
+    events: u64,
+}
+
+impl FlightAggregator {
+    fn new() -> FlightAggregator {
+        FlightAggregator {
+            seen: HashMap::new(),
+            fsync: QuantileSketch::new(),
+            fsync_count: 0,
+            span_events: 0,
+            events: 0,
+        }
+    }
+
+    fn absorb(&mut self, dump: &FlightDump) {
+        for e in &dump.events {
+            let next = self.seen.entry(e.ring.clone()).or_insert(0);
+            if e.seq < *next {
+                continue;
+            }
+            *next = e.seq + 1;
+            self.events += 1;
+            if e.span != SPAN_NONE {
+                self.span_events += 1;
+            }
+            if e.kind == FlightKind::WalFlush {
+                self.fsync_count += 1;
+                self.fsync.record(e.b);
+            }
+        }
+    }
+
+    fn snapshot(&self, sink: &RecoverySink) -> ServerTelemetry {
+        let r = sink.snapshot();
+        ServerTelemetry {
+            recoveries: r.recoveries,
+            crashes: r.crashes,
+            fsync_count: self.fsync_count,
+            fsync_p99_us: self.fsync.quantile(0.99),
+            span_events: self.span_events,
+            events: self.events,
+        }
+    }
 }
 
 /// What one server process did, reported after its driver says `Shutdown`.
@@ -105,7 +181,30 @@ pub fn run_net_server(cfg: &NetServeConfig) -> io::Result<NetServeReport> {
     };
     let (srv, rx) = NetServer::bind(&ncfg, Arc::clone(&recorder))?;
     let stop = srv.stop_flag();
-    let sink = RecoverySink::default();
+    let sink = Arc::new(RecoverySink::default());
+
+    // The telemetry thread: every tick, fold the recorder's current window
+    // into the cumulative aggregate and ship a snapshot to the driver so
+    // `--watch` sees live server-side numbers. Read-only observation — it
+    // never touches the serve loop or the fault schedule.
+    let (tele_stop_tx, tele_stop_rx) = mpsc::channel::<()>();
+    let telemetry = {
+        let srv = Arc::clone(&srv);
+        let recorder = Arc::clone(&recorder);
+        let sink = Arc::clone(&sink);
+        thread::spawn(move || {
+            let mut agg = FlightAggregator::new();
+            loop {
+                match tele_stop_rx.recv_timeout(TELEMETRY_TICK) {
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return agg,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                }
+                agg.absorb(&recorder.dump());
+                srv.telemetry(agg.snapshot(&sink));
+            }
+        })
+    };
+
     server_loop(
         Pid(cfg.server_id),
         cfg.servers,
@@ -117,13 +216,39 @@ pub fn run_net_server(cfg: &NetServeConfig) -> io::Result<NetServeReport> {
         &recorder,
     );
     srv.flush();
+
+    let _ = tele_stop_tx.send(());
+    let mut agg = telemetry.join().expect("telemetry thread");
+
+    // Drain the flight rings NOW, whatever ended the serve loop — the
+    // driver's `Shutdown` or a lost driver connection mid-window. The full
+    // dump goes to the local file (when configured), a bounded tail rides
+    // the `Goodbye`, and the final telemetry numbers cover every event.
+    let dump = recorder.dump();
+    agg.absorb(&dump);
+    if let Some(dir) = &cfg.dump_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(
+            dir.join(format!("serve-{}.flight.jsonl", cfg.server_id)),
+            dump.to_jsonl(),
+        );
+    }
+    // Final snapshot before the goodbye on the same FIFO connection: the
+    // driver stores it before it sees the goodbye, so summary telemetry is
+    // complete even though the periodic tick is best-effort.
+    let final_telemetry = agg.snapshot(&sink);
+    srv.telemetry(final_telemetry);
     let recovery = sink.snapshot();
-    srv.goodbye(ServerGoodbye {
-        crashes: recovery.crashes,
-        recoveries: recovery.recoveries,
-        wal_lost: recovery.wal_records_lost,
-        wal_replayed: recovery.wal_records_replayed,
-    });
+    srv.goodbye(
+        ServerGoodbye {
+            crashes: recovery.crashes,
+            recoveries: recovery.recoveries,
+            wal_lost: recovery.wal_records_lost,
+            wal_replayed: recovery.wal_records_replayed,
+            fsync_p99_us: final_telemetry.fsync_p99_us,
+        },
+        dump.last_n(GOODBYE_DUMP_EVENTS).to_jsonl(),
+    );
     Ok(NetServeReport {
         stats: srv.stats(),
         coverage: srv.coverage(),
@@ -204,13 +329,17 @@ pub fn run_chaos_net(
 
     let (watch_stop_tx, watch_stop_rx) = mpsc::channel::<()>();
     let stalled = Arc::new(AtomicBool::new(false));
-    let watcher = if cfg.watch.is_some() || cfg.stall_after.is_some() {
+    let watcher = if cfg.watch.is_some() || cfg.watch_out.is_some() || cfg.stall_after.is_some() {
         let telemetry = Arc::clone(&telemetry);
         let recorder = Arc::clone(&recorder);
         let sink = Arc::clone(&recovery_sink);
         let stalled = Arc::clone(&stalled);
         let cfg = cfg.clone();
+        let watch_net = Arc::clone(&net);
         Some(thread::spawn(move || {
+            // Live recovery counts come over the telemetry channel — the
+            // driver's own sink never sees a remote server's crashes.
+            let remote = || watch_net.remote_recoveries();
             watch_loop(
                 &cfg,
                 started,
@@ -219,6 +348,7 @@ pub fn run_chaos_net(
                 &sink,
                 &stalled,
                 &watch_stop_rx,
+                Some(&remote),
             );
         }))
     } else {
@@ -266,6 +396,17 @@ pub fn run_chaos_net(
         w.join().expect("watch thread");
     }
 
+    // Merge every server's goodbye-piggybacked dump into the driver's own,
+    // clock-aligned by the Hello/HelloAck offset estimates and labeled
+    // `s<pid>` — one cross-process space-time view of the whole run.
+    let remote_servers = net.remote_snapshot();
+    let mut merged = recorder.dump();
+    for (sid, r) in remote_servers.iter().enumerate() {
+        if let Some(d) = &r.dump {
+            merged.merge_remote(&format!("s{sid}"), r.offset_us, d);
+        }
+    }
+
     let ops = u64::from(cfg.clients) * cfg.ops_per_client;
     blunt_obs::static_counter!("runtime.ops.completed").add(ops);
     Ok(ChaosReport {
@@ -284,6 +425,8 @@ pub fn run_chaos_net(
         retransmissions: retransmissions.load(Ordering::Relaxed),
         latency_us: latency.snapshot(),
         elapsed: started.elapsed(),
+        remote_servers,
+        merged_flight: Some(merged),
     })
 }
 

@@ -45,6 +45,7 @@
 //! under the checker's 64-invocation window by construction (asserted).
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -66,7 +67,7 @@ use blunt_obs::{
 };
 use blunt_sim::rng::{RandomSource, SplitMix64};
 
-use blunt_net::Transport;
+use blunt_net::{SpanCtx, Transport};
 
 use crate::bus::{Bus, BusStats, Envelope, Payload};
 use crate::coverage::Coverage;
@@ -110,6 +111,11 @@ pub struct RuntimeConfig {
     /// Emit a live progress snapshot to stderr every interval (`None` =
     /// silent). Read-only observation: never perturbs the fault schedule.
     pub watch: Option<Duration>,
+    /// Mirror the watch snapshots as machine-readable JSONL to this path
+    /// (schema-versioned; one `watch_tick` record per tick). Works with or
+    /// without the stderr `watch` line; ticks use the `watch` interval when
+    /// set, the default cadence otherwise.
+    pub watch_out: Option<PathBuf>,
     /// Watchdog: if no operation completes for this long, mark the run
     /// stalled and capture a flight dump (written under
     /// [`RuntimeConfig::flight_dump_dir`] when set).
@@ -137,6 +143,7 @@ impl RuntimeConfig {
             retransmit_cap: Duration::from_millis(16),
             recovery: RecoveryMode::Stable,
             watch: None,
+            watch_out: None,
             stall_after: Some(Duration::from_secs(60)),
             flight_dump_dir: None,
         }
@@ -160,6 +167,7 @@ impl RuntimeConfig {
             retransmit_cap: Duration::from_millis(16),
             recovery: RecoveryMode::Stable,
             watch: None,
+            watch_out: None,
             stall_after: Some(Duration::from_secs(60)),
             flight_dump_dir: None,
         }
@@ -258,6 +266,15 @@ pub struct ChaosReport {
     pub latency_us: HistogramSnapshot,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Per-server remote state — clock offset, last telemetry snapshot,
+    /// goodbye-piggybacked dump — in multi-process runs (index = server
+    /// pid). Empty for in-process runs, where no state is remote.
+    pub remote_servers: Vec<blunt_net::RemoteServer>,
+    /// The cross-process merged flight dump (driver events plus every
+    /// remote server's dump, clock-aligned and process-labeled).
+    /// `None` for in-process runs — the ordinary flight recorder already
+    /// sees every event there.
+    pub merged_flight: Option<FlightDump>,
 }
 
 impl ChaosReport {
@@ -330,7 +347,7 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
 
     let (watch_stop_tx, watch_stop_rx) = mpsc::channel::<()>();
     let stalled = Arc::new(AtomicBool::new(false));
-    let watcher = if cfg.watch.is_some() || cfg.stall_after.is_some() {
+    let watcher = if cfg.watch.is_some() || cfg.watch_out.is_some() || cfg.stall_after.is_some() {
         let telemetry = Arc::clone(&telemetry);
         let recorder = Arc::clone(&recorder);
         let sink = Arc::clone(&recovery_sink);
@@ -345,6 +362,7 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
                 &sink,
                 &stalled,
                 &watch_stop_rx,
+                None,
             );
         }))
     } else {
@@ -440,6 +458,8 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
         retransmissions: retransmissions.load(Ordering::Relaxed),
         latency_us: latency.snapshot(),
         elapsed: started.elapsed(),
+        remote_servers: Vec::new(),
+        merged_flight: None,
     })
 }
 
@@ -557,10 +577,18 @@ fn replay_window(ring: &FlightRing, actions: &[Action]) {
     }
 }
 
+/// Schema version of the `--watch-out` JSONL mirror: a `chaos_watch`
+/// header record followed by one `watch_tick` record per tick.
+pub const WATCH_SCHEMA_VERSION: u64 = 1;
+
 /// The combined watch/watchdog thread: prints a progress line every
-/// [`RuntimeConfig::watch`] interval and captures a flight dump if no
+/// [`RuntimeConfig::watch`] interval, mirrors it as JSONL to
+/// [`RuntimeConfig::watch_out`], and captures a flight dump if no
 /// operation completes for [`RuntimeConfig::stall_after`]. Exits when the
-/// run drops its end of `stop_rx`.
+/// run drops its end of `stop_rx`. `remote_recoveries` lets multi-process
+/// drivers fold live server-side telemetry into the recovery count (the
+/// driver's own sink never sees a remote server's crashes).
+#[allow(clippy::too_many_arguments)] // a thread entry point, not an API
 pub(crate) fn watch_loop(
     cfg: &RuntimeConfig,
     started: Instant,
@@ -569,35 +597,71 @@ pub(crate) fn watch_loop(
     sink: &RecoverySink,
     stalled: &AtomicBool,
     stop_rx: &Receiver<()>,
+    remote_recoveries: Option<&(dyn Fn() -> u64 + Send + Sync)>,
 ) {
     let tick = cfg.watch.unwrap_or(Duration::from_millis(250));
     let mut last_ops: u64 = 0;
     let mut last_tick = started;
     let mut progressed_at = Instant::now();
     let mut dumped = false;
+    let mut watch_file = cfg.watch_out.as_ref().and_then(|p| {
+        let mut f = std::fs::File::create(p).ok()?;
+        writeln!(
+            f,
+            "{{\"type\":\"chaos_watch\",\"schema_version\":{WATCH_SCHEMA_VERSION},\"seed\":{}}}",
+            cfg.seed
+        )
+        .ok()?;
+        Some(f)
+    });
     loop {
-        match stop_rx.recv_timeout(tick) {
-            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
-            Err(RecvTimeoutError::Timeout) => {}
-        }
+        // A stopping run still writes one last tick: the mirror always
+        // carries the run's final counters, even when the whole run fits
+        // inside a single tick interval.
+        let stopping = match stop_rx.recv_timeout(tick) {
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => true,
+            Err(RecvTimeoutError::Timeout) => false,
+        };
         let now = Instant::now();
         let ops = t.ops.load(Ordering::Relaxed);
+        let dt = now.duration_since(last_tick).as_secs_f64().max(1e-9);
+        let rate = (ops.saturating_sub(last_ops)) as f64 / dt;
+        let lag = t
+            .actions_sent
+            .load(Ordering::Relaxed)
+            .saturating_sub(t.actions_seen.load(Ordering::Relaxed));
+        let recoveries = sink.snapshot().recoveries + remote_recoveries.map_or(0, |f| f());
         if cfg.watch.is_some() {
-            let dt = now.duration_since(last_tick).as_secs_f64().max(1e-9);
-            let rate = (ops.saturating_sub(last_ops)) as f64 / dt;
-            let lag = t
-                .actions_sent
-                .load(Ordering::Relaxed)
-                .saturating_sub(t.actions_seen.load(Ordering::Relaxed));
             eprintln!(
                 "chaos[watch] t={:.1}s ops={ops} (+{rate:.0}/s) in_flight={} \
-                 lat p50/p99={}µs/{}µs recoveries={} monitor_lag={lag}",
+                 lat p50/p99={}µs/{}µs recoveries={recoveries} monitor_lag={lag}",
                 now.duration_since(started).as_secs_f64(),
                 t.in_flight.load(Ordering::Relaxed),
                 t.sketch.quantile(0.5),
                 t.sketch.quantile(0.99),
-                sink.snapshot().recoveries,
             );
+        }
+        if let Some(f) = watch_file.as_mut() {
+            let write_tick = writeln!(
+                f,
+                "{{\"type\":\"watch_tick\",\"t_ms\":{},\"ops\":{ops},\"ops_per_sec\":{},\
+                 \"in_flight\":{},\"lat_p50_us\":{},\"lat_p99_us\":{},\
+                 \"recoveries\":{recoveries},\"monitor_lag\":{lag}}}",
+                now.duration_since(started).as_millis(),
+                rate.round().max(0.0) as u64,
+                t.in_flight.load(Ordering::Relaxed),
+                t.sketch.quantile(0.5),
+                t.sketch.quantile(0.99),
+            )
+            .and_then(|()| f.flush());
+            if write_tick.is_err() {
+                // A dead mirror (disk full, deleted parent) must not kill
+                // the watchdog; drop the file and keep watching.
+                watch_file = None;
+            }
+        }
+        if stopping {
+            return;
         }
         if ops != last_ops {
             progressed_at = now;
@@ -643,6 +707,9 @@ struct PendingAck {
     /// The request frame's tag, echoed so socket transports can route the
     /// ack back to the issuing client lane.
     re: u64,
+    /// The update's trace context, echoed (as the reply hop) on the
+    /// released ack so the exchange stays span-attributed end to end.
+    span: SpanCtx,
 }
 
 /// One ABD replica with its durable storage and recovery machinery.
@@ -704,11 +771,12 @@ pub(crate) fn server_loop(
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(env) => {
                 let exempt = env.exempt;
-                srv.ring.record(
+                srv.ring.record_span(
                     FlightKind::BusDeliver,
                     me.0,
                     u64::from(env.src.0),
                     env.msg.flight_label(),
+                    env.span.flight_word(),
                 );
                 srv.handle(env, &rx);
                 if exempt && srv.amnesia {
@@ -736,7 +804,7 @@ pub(crate) fn server_loop(
 impl Server<'_> {
     fn handle(&mut self, env: Envelope, rx: &Receiver<Envelope>) {
         match env.msg {
-            Payload::Abd(msg) => self.handle_abd(env.src, msg, env.exempt, env.reply_to),
+            Payload::Abd(msg) => self.handle_abd(env.src, msg, env.exempt, env.reply_to, env.span),
             Payload::Crash { .. } => self.handle_crash(rx),
             Payload::StateQuery { sn } => self.answer_state_query(env.src, sn, env.reply_to),
             // A reply to a catch-up exchange that already completed (or was
@@ -745,7 +813,7 @@ impl Server<'_> {
         }
     }
 
-    fn handle_abd(&mut self, src: Pid, msg: AbdMsg, exempt: bool, re: u64) {
+    fn handle_abd(&mut self, src: Pid, msg: AbdMsg, exempt: bool, re: u64, span: SpanCtx) {
         match msg {
             AbdMsg::Query { obj, sn } => {
                 // Queries may serve volatile (unsynced) state: a reader that
@@ -753,21 +821,26 @@ impl Server<'_> {
                 // its own write-back, so a later crash here cannot un-happen
                 // an observed read (docs/RUNTIME.md).
                 let reply = self.state.reply(obj, sn);
-                self.bus
-                    .send(Envelope::abd(self.me, src, reply, exempt).in_reply_to(re));
+                self.bus.send(
+                    Envelope::abd(self.me, src, reply, exempt)
+                        .in_reply_to(re)
+                        .with_span(span.reply()),
+                );
             }
             AbdMsg::Update { obj, sn, val, ts } => {
                 if !self.amnesia {
                     self.state.absorb(val, ts);
-                    self.ring.record(
+                    self.ring.record_span(
                         FlightKind::ServerAck,
                         self.me.0,
                         u64::from(src.0),
                         u64::from(sn),
+                        span.flight_word(),
                     );
                     self.bus.send(
                         Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, exempt)
-                            .in_reply_to(re),
+                            .in_reply_to(re)
+                            .with_span(span.reply()),
                     );
                     return;
                 }
@@ -783,14 +856,17 @@ impl Server<'_> {
                     // A durable record already covers this timestamp —
                     // replay would restore state at least this new, so the
                     // ack is safe immediately.
-                    self.ring.record(
+                    self.ring.record_span(
                         FlightKind::ServerAck,
                         self.me.0,
                         u64::from(src.0),
                         u64::from(sn),
+                        span.flight_word(),
                     );
                     self.bus.send(
-                        Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, true).in_reply_to(re),
+                        Envelope::abd(self.me, src, AbdMsg::Ack { obj, sn }, true)
+                            .in_reply_to(re)
+                            .with_span(span.reply()),
                     );
                 } else {
                     // Write-ahead ack discipline: log first, ack after the
@@ -804,6 +880,7 @@ impl Server<'_> {
                         obj,
                         sn,
                         re,
+                        span,
                     });
                     if self.wal.batch_full() {
                         self.flush_wal();
@@ -820,7 +897,9 @@ impl Server<'_> {
     /// new durable frontier covers (which is all of them — the frontier is
     /// the max appended timestamp).
     fn flush_wal(&mut self) {
+        let t0 = Instant::now();
         self.wal.fsync();
+        let fsync_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         if self.pending_acks.is_empty() {
             return;
         }
@@ -828,18 +907,19 @@ impl Server<'_> {
             FlightKind::WalFlush,
             self.me.0,
             self.pending_acks.len() as u64,
-            0,
+            fsync_us,
         );
         let durable = self.wal.durable_ts();
         let mut i = 0;
         while i < self.pending_acks.len() {
             if self.pending_acks[i].ts <= durable {
                 let a = self.pending_acks.swap_remove(i);
-                self.ring.record(
+                self.ring.record_span(
                     FlightKind::ServerAck,
                     self.me.0,
                     u64::from(a.dst.0),
                     u64::from(a.sn),
+                    a.span.flight_word(),
                 );
                 // Exempt like every amnesia-mode ack (see `handle_abd`).
                 self.bus.send(
@@ -852,7 +932,8 @@ impl Server<'_> {
                         },
                         true,
                     )
-                    .in_reply_to(a.re),
+                    .in_reply_to(a.re)
+                    .with_span(a.span.reply()),
                 );
             } else {
                 i += 1;
@@ -868,6 +949,7 @@ impl Server<'_> {
             msg: Payload::StateReply { sn, val, ts },
             exempt: true,
             reply_to: re,
+            span: SpanCtx::NONE,
         });
     }
 
@@ -891,8 +973,9 @@ impl Server<'_> {
         // FIFO-replay the protocol traffic that arrived mid-recovery.
         for env in buffered {
             let re = env.reply_to;
+            let span = env.span;
             if let Payload::Abd(msg) = env.msg {
-                self.handle_abd(env.src, msg, env.exempt, re);
+                self.handle_abd(env.src, msg, env.exempt, re, span);
             }
         }
     }
@@ -951,6 +1034,7 @@ impl Server<'_> {
                     msg: Payload::StateQuery { sn },
                     exempt: true,
                     reply_to: 0,
+                    span: SpanCtx::NONE,
                 });
             }
             self.sink.on_state_queries(peers.len() as u64);
@@ -1052,7 +1136,10 @@ pub(crate) fn client_loop(
             arg: arg.clone(),
         });
         telemetry.in_flight.fetch_add(1, Ordering::Relaxed);
-        ring.record(
+        // Every message this op sends — and every server-side event it
+        // triggers, across process boundaries — carries this span.
+        let span = SpanCtx::request(me.0, inv.0);
+        ring.record_span(
             if is_read {
                 FlightKind::OpStartRead
             } else {
@@ -1064,6 +1151,7 @@ pub(crate) fn client_loop(
                 Val::Int(v) => Some(*v),
                 _ => None,
             }),
+            span.flight_word(),
         );
         let t0 = Instant::now();
         let ret = if cfg.broken_reads && is_read {
@@ -1077,6 +1165,7 @@ pub(crate) fn client_loop(
                 &mut sn_counter,
                 &mut retrans,
                 &ring,
+                span,
             )
         } else {
             let kind = if is_read {
@@ -1098,12 +1187,13 @@ pub(crate) fn client_loop(
                 &mut sn_counter,
                 &mut retrans,
                 &ring,
+                span,
             )
         };
         let lat_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         local.record(lat_us);
         telemetry.sketch.record(lat_us);
-        ring.record(
+        ring.record_span(
             if is_read {
                 FlightKind::OpCompleteRead
             } else {
@@ -1115,6 +1205,7 @@ pub(crate) fn client_loop(
                 Val::Int(v) => Some(*v),
                 _ => None,
             }),
+            span.flight_word(),
         );
         telemetry.in_flight.fetch_sub(1, Ordering::Relaxed);
         telemetry.ops.fetch_add(1, Ordering::Relaxed);
@@ -1158,21 +1249,23 @@ fn abd_op(
     sn_counter: &mut u32,
     retrans: &mut u64,
     ring: &FlightRing,
+    span: SpanCtx,
 ) -> Val {
     *sn_counter += 1;
     let sn = *sn_counter;
     let mut op = ActiveOp::start(inv, obj, kind, cfg.k, sn);
-    bus.broadcast(me, dsts, &AbdMsg::Query { obj, sn }, false);
+    bus.broadcast_span(me, dsts, &AbdMsg::Query { obj, sn }, false, span);
     let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
     loop {
         match rx.recv_timeout(wait) {
             Ok(env) => {
                 wait = cfg.retransmit_after.min(cfg.retransmit_cap);
-                ring.record(
+                ring.record_span(
                     FlightKind::BusDeliver,
                     me.0,
                     u64::from(env.src.0),
                     env.msg.flight_label(),
+                    env.span.flight_word(),
                 );
                 let Payload::Abd(msg) = env.msg else {
                     continue; // control traffic never targets clients
@@ -1186,7 +1279,13 @@ fn abd_op(
                     } if o == obj => {
                         match op.on_reply(env.src, msg_sn, &val, ts, quorum, me, sn_counter) {
                             ReplyEffect::NextQuery { sn, .. } => {
-                                bus.broadcast(me, dsts, &AbdMsg::Query { obj, sn }, false);
+                                bus.broadcast_span(
+                                    me,
+                                    dsts,
+                                    &AbdMsg::Query { obj, sn },
+                                    false,
+                                    span,
+                                );
                             }
                             ReplyEffect::NeedChoice { choices, .. } => {
                                 // The object random step, drawn from the
@@ -1194,19 +1293,21 @@ fn abd_op(
                                 // the stream position is schedule-independent.
                                 let choice = rng.draw(choices as usize);
                                 let (sn, val, ts) = op.choose(choice, me, sn_counter);
-                                bus.broadcast(
+                                bus.broadcast_span(
                                     me,
                                     dsts,
                                     &AbdMsg::Update { obj, sn, val, ts },
                                     false,
+                                    span,
                                 );
                             }
                             ReplyEffect::StartUpdate { sn, val, ts, .. } => {
-                                bus.broadcast(
+                                bus.broadcast_span(
                                     me,
                                     dsts,
                                     &AbdMsg::Update { obj, sn, val, ts },
                                     false,
+                                    span,
                                 );
                             }
                             ReplyEffect::Ignored | ReplyEffect::Counted => {}
@@ -1230,8 +1331,14 @@ fn abd_op(
                         | AbdMsg::Update { sn, .. }
                         | AbdMsg::Ack { sn, .. } => *sn,
                     };
-                    ring.record(FlightKind::OpRetransmit, me.0, u64::from(rsn), 0);
-                    bus.broadcast(me, dsts, &msg, true);
+                    ring.record_span(
+                        FlightKind::OpRetransmit,
+                        me.0,
+                        u64::from(rsn),
+                        0,
+                        span.flight_word(),
+                    );
+                    bus.broadcast_span(me, dsts, &msg, true, span);
                 }
                 wait = next_backoff(wait, cfg);
             }
@@ -1258,22 +1365,24 @@ fn broken_read(
     sn_counter: &mut u32,
     retrans: &mut u64,
     ring: &FlightRing,
+    span: SpanCtx,
 ) -> Val {
     *sn_counter += 1;
     let sn = *sn_counter;
     let target = Pid(u32::try_from(op_idx % u64::from(cfg.servers)).expect("server index"));
     let msg = AbdMsg::Query { obj, sn };
-    bus.send(Envelope::abd(me, target, msg.clone(), false));
+    bus.send(Envelope::abd(me, target, msg.clone(), false).with_span(span));
     let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
     loop {
         match rx.recv_timeout(wait) {
             Ok(env) => {
                 wait = cfg.retransmit_after.min(cfg.retransmit_cap);
-                ring.record(
+                ring.record_span(
                     FlightKind::BusDeliver,
                     me.0,
                     u64::from(env.src.0),
                     env.msg.flight_label(),
+                    env.span.flight_word(),
                 );
                 if let Payload::Abd(AbdMsg::Reply {
                     obj: o,
@@ -1289,8 +1398,14 @@ fn broken_read(
             }
             Err(RecvTimeoutError::Timeout) => {
                 *retrans += 1;
-                ring.record(FlightKind::OpRetransmit, me.0, u64::from(sn), 0);
-                bus.send(Envelope::abd(me, target, msg.clone(), true));
+                ring.record_span(
+                    FlightKind::OpRetransmit,
+                    me.0,
+                    u64::from(sn),
+                    0,
+                    span.flight_word(),
+                );
+                bus.send(Envelope::abd(me, target, msg.clone(), true).with_span(span));
                 wait = next_backoff(wait, cfg);
             }
             Err(RecvTimeoutError::Disconnected) => {

@@ -39,6 +39,7 @@ fn three_uds_servers_10k_ops_zero_violations_with_recovery() {
                 seed: cfg.seed,
                 faults: cfg.faults,
                 recovery: cfg.recovery,
+                dump_dir: None,
             };
             thread::spawn(move || run_net_server(&scfg).expect("server run"))
         })
@@ -85,6 +86,29 @@ fn three_uds_servers_10k_ops_zero_violations_with_recovery() {
     // Socket frames actually moved.
     let frames = blunt_obs::counter("net.frames_sent").get();
     assert!(frames > 0, "no frames crossed the socket layer");
+    // The tracing plane worked end to end: every server process shipped
+    // telemetry and a goodbye dump, and the merged cross-process dump
+    // carries span-attributed events from all three remote processes.
+    let merged = report.merged_flight.as_ref().expect("net runs merge dumps");
+    assert_eq!(report.remote_servers.len(), 3);
+    for (sid, r) in report.remote_servers.iter().enumerate() {
+        let t = r
+            .telemetry
+            .unwrap_or_else(|| panic!("server {sid} sent no telemetry"));
+        assert!(t.events > 0, "server {sid} telemetry counted no events");
+        assert!(
+            t.span_events > 0,
+            "server {sid} telemetry counted no span-attributed events"
+        );
+        let proc = format!("s{sid}");
+        assert!(
+            merged
+                .events
+                .iter()
+                .any(|e| e.proc == proc && e.span != blunt_obs::flight::SPAN_NONE),
+            "merged dump has no span-attributed events from process {proc}"
+        );
+    }
 }
 
 #[test]
@@ -103,6 +127,7 @@ fn net_run_is_clean_under_stable_recovery_too() {
                 seed: cfg.seed,
                 faults: cfg.faults,
                 recovery: cfg.recovery,
+                dump_dir: None,
             };
             thread::spawn(move || run_net_server(&scfg).expect("server run"))
         })

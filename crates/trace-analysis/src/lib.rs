@@ -36,7 +36,7 @@ pub mod pv;
 pub mod regress;
 
 pub use diagram::{history_space_time, space_time, DiagramOptions};
-pub use flight::flight_space_time;
+pub use flight::{flight_space_time, latency_breakdown, LatencyBreakdown};
 pub use hb::{analyze, HbAnalysis, HbReport, Race};
 pub use pv::{render_pv, render_tree};
 pub use regress::{
