@@ -48,6 +48,6 @@ pub mod ts;
 pub use client::{ActiveOp, OpKind, Phase};
 pub use config::{ObjectConfig, ObjectKind};
 pub use msg::AbdMsg;
-pub use server::ServerState;
+pub use server::{ServerState, StoreState};
 pub use system::{AbdEvent, AbdSystem, AbdSystemDef};
 pub use ts::Ts;

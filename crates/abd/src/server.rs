@@ -93,6 +93,113 @@ impl ServerState {
     }
 }
 
+/// A keyed collection of register replicas: one [`ServerState`] per
+/// [`ObjId`], materialized lazily at `initial`. Every ABD message already
+/// carries its `obj`, so a server hosting many registers is exactly this
+/// map — the protocol handlers stay per-register and unchanged.
+///
+/// Iteration order is the `ObjId` order (`BTreeMap`), so snapshots and
+/// state-transfer payloads built from it are deterministic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreState {
+    initial: Val,
+    regs: std::collections::BTreeMap<ObjId, ServerState>,
+}
+
+impl StoreState {
+    /// An empty store whose registers all start at `initial`.
+    #[must_use]
+    pub fn new(initial: Val) -> StoreState {
+        StoreState {
+            initial,
+            regs: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The register for `obj`, materializing it at the initial value. Only
+    /// mutating paths materialize; queries on untouched keys answer from a
+    /// transient initial replica without growing the map.
+    fn entry(&mut self, obj: ObjId) -> &mut ServerState {
+        let initial = self.initial.clone();
+        self.regs
+            .entry(obj)
+            .or_insert_with(|| ServerState::new(initial))
+    }
+
+    /// Handles `⟨"query", sn⟩` for `obj`. Effect-free: untouched keys
+    /// answer `(initial, ts 0)` without materializing a replica.
+    #[must_use]
+    pub fn reply(&self, obj: ObjId, sn: u32) -> AbdMsg {
+        match self.regs.get(&obj) {
+            Some(r) => r.reply(obj, sn),
+            None => AbdMsg::Reply {
+                obj,
+                sn,
+                val: self.initial.clone(),
+                ts: Ts::ZERO,
+            },
+        }
+    }
+
+    /// Handles `⟨"update", v, u, sn⟩` for `obj`; see [`ServerState::absorb`].
+    pub fn absorb(&mut self, obj: ObjId, val: Val, ts: Ts) -> bool {
+        self.entry(obj).absorb(val, ts)
+    }
+
+    /// The stored `(value, timestamp)` of `obj` (initial if untouched).
+    #[must_use]
+    pub fn get(&self, obj: ObjId) -> (Val, Ts) {
+        match self.regs.get(&obj) {
+            Some(r) => r.snapshot(),
+            None => (self.initial.clone(), Ts::ZERO),
+        }
+    }
+
+    /// Every materialized register's `(obj, value, timestamp)`, in `ObjId`
+    /// order — the payload of a full-state transfer during recovery.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<(ObjId, Val, Ts)> {
+        self.regs
+            .iter()
+            .map(|(o, r)| {
+                let (v, t) = r.snapshot();
+                (*o, v, t)
+            })
+            .collect()
+    }
+
+    /// Unconditionally installs `(val, ts)` for `obj`; see
+    /// [`ServerState::restore`].
+    pub fn restore(&mut self, obj: ObjId, val: Val, ts: Ts) {
+        self.entry(obj).restore(val, ts);
+    }
+
+    /// Adopts `(val, ts)` for `obj` iff it is newer than what is stored —
+    /// the peer-catch-up merge during recovery (same comparison as
+    /// [`ServerState::absorb`]).
+    pub fn adopt(&mut self, obj: ObjId, val: Val, ts: Ts) -> bool {
+        self.entry(obj).absorb(val, ts)
+    }
+
+    /// An amnesia crash: every register reverts to the initial value, as if
+    /// the store were freshly constructed.
+    pub fn forget(&mut self) {
+        self.regs.clear();
+    }
+
+    /// Number of registers that have been written (materialized).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when no register has been materialized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +276,61 @@ mod tests {
         // After amnesia the replica accepts old timestamps again — the
         // stale-state hazard the runtime's recovery protocol must close.
         assert!(s.absorb(Val::Int(1), Ts::new(1, Pid(0))));
+    }
+
+    #[test]
+    fn store_state_keeps_registers_independent() {
+        let mut s = StoreState::new(Val::Nil);
+        assert!(s.is_empty());
+        assert!(s.absorb(ObjId(3), Val::Int(30), Ts::new(1, Pid(0))));
+        assert!(s.absorb(ObjId(7), Val::Int(70), Ts::new(1, Pid(1))));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(ObjId(3)), (Val::Int(30), Ts::new(1, Pid(0))));
+        assert_eq!(s.get(ObjId(7)), (Val::Int(70), Ts::new(1, Pid(1))));
+        // A stale update for one key leaves the other untouched.
+        assert!(!s.absorb(ObjId(3), Val::Int(9), Ts::ZERO));
+        assert_eq!(s.get(ObjId(3)).0, Val::Int(30));
+        // Untouched keys answer initial at ts 0 without materializing.
+        assert_eq!(s.get(ObjId(99)), (Val::Nil, Ts::ZERO));
+        assert_eq!(
+            s.reply(ObjId(99), 4),
+            AbdMsg::Reply {
+                obj: ObjId(99),
+                sn: 4,
+                val: Val::Nil,
+                ts: Ts::ZERO
+            }
+        );
+        assert_eq!(s.len(), 2, "queries do not materialize");
+    }
+
+    #[test]
+    fn store_snapshot_is_objid_ordered_and_round_trips() {
+        let mut s = StoreState::new(Val::Nil);
+        s.absorb(ObjId(9), Val::Int(9), Ts::new(2, Pid(0)));
+        s.absorb(ObjId(1), Val::Int(1), Ts::new(1, Pid(0)));
+        s.absorb(ObjId(5), Val::Int(5), Ts::new(3, Pid(1)));
+        let snap = s.snapshot_all();
+        let objs: Vec<u32> = snap.iter().map(|(o, _, _)| o.0).collect();
+        assert_eq!(objs, vec![1, 5, 9], "snapshot is ObjId-ordered");
+        let mut fresh = StoreState::new(Val::Nil);
+        for (o, v, t) in snap {
+            fresh.restore(o, v, t);
+        }
+        assert_eq!(fresh, s);
+    }
+
+    #[test]
+    fn store_forget_and_adopt_model_amnesia_catch_up() {
+        let mut s = StoreState::new(Val::Nil);
+        s.absorb(ObjId(1), Val::Int(1), Ts::new(5, Pid(2)));
+        s.forget();
+        assert!(s.is_empty());
+        assert_eq!(s.get(ObjId(1)), (Val::Nil, Ts::ZERO));
+        // Catch-up merge: newer peer state wins, older is ignored.
+        assert!(s.adopt(ObjId(1), Val::Int(1), Ts::new(5, Pid(2))));
+        assert!(!s.adopt(ObjId(1), Val::Int(0), Ts::new(4, Pid(0))));
+        assert_eq!(s.get(ObjId(1)).0, Val::Int(1));
     }
 
     #[test]

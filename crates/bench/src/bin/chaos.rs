@@ -61,10 +61,12 @@
 //! peer catch-up. Both print the monitor's first violation window as a
 //! space-time diagram — the "show me it actually catches bugs" modes.
 
+use blunt_bench::parallel_map;
 use blunt_runtime::{
     run_chaos, run_chaos_net, run_net_server, run_shm_chaos, Addr, ChaosReport, FaultConfig,
     NetChaosTopology, NetServeConfig, RecoveryMode, RuntimeConfig, ShmChaosConfig,
 };
+use blunt_store::{run_store, run_store_net, StoreConfig, StoreReport};
 use blunt_trace::regress::BenchResults;
 use blunt_trace::{flight_space_time, DiagramOptions};
 use std::path::{Path, PathBuf};
@@ -77,6 +79,11 @@ const USAGE: &str = "usage: chaos [--smoke] [--seed N] [--results-out PATH] \
      [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \
      [--connect ADDR,ADDR,...] [--k N] [--recovery stable|amnesia] \
      [--demo-broken | --demo-amnesia]\n\
+       chaos --store [--smoke] [--keys N] [--shards N] [--pipeline-depth N] [--batch N] \\\n\
+             [--ops-per-client N] [--fault-profile none|light|heavy] [--seed N] \\\n\
+             [--connect ADDR,...] [--batch-hist-out PATH] [--demo-broken]\n\
+       chaos --sweep N [--store] [--smoke] [--seed BASE] [--ops-per-client N] \\\n\
+             [--fault-profile ...] [--summary-out PATH]\n\
        chaos serve --listen ADDR --server-id N --peers ADDR,ADDR,... \\\n\
              [--servers N] [--clients N] [--seed N] [--recovery stable|amnesia] \\\n\
              [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \\\n\
@@ -150,6 +157,20 @@ struct Cli {
     /// `--fault-profile`. In `--connect` mode this MUST match what the
     /// `chaos serve` processes were started with.
     recovery: Option<RecoveryMode>,
+    /// `--store`: run the sharded keyed store (`blunt-store`) instead of
+    /// the single-register sets.
+    store: bool,
+    /// `--sweep N`: run N consecutive seeds in parallel and emit a
+    /// machine-readable per-seed pass/fail summary.
+    sweep: Option<u64>,
+    /// Store workload shape overrides (apply with `--store` only).
+    keys: Option<u32>,
+    shards: Option<u32>,
+    pipeline_depth: Option<u32>,
+    batch: Option<usize>,
+    /// `--batch-hist-out p`: where the store run writes its batch-size
+    /// histogram artifact.
+    batch_hist_out: PathBuf,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -222,6 +243,13 @@ fn parse_cli() -> Cli {
         connect: None,
         k: 1,
         recovery: None,
+        store: false,
+        sweep: None,
+        keys: None,
+        shards: None,
+        pipeline_depth: None,
+        batch: None,
+        batch_hist_out: PathBuf::from("target/chaos/store_batch_hist.json"),
     };
     fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
         args.next()
@@ -296,11 +324,66 @@ fn parse_cli() -> Cli {
                     _ => usage_error(&format!("--recovery: `{v}` is not one of stable|amnesia")),
                 });
             }
+            "--store" => cli.store = true,
+            "--sweep" => {
+                let v = value("--sweep", &mut args);
+                cli.sweep = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    usage_error(&format!("--sweep: `{v}` is not a positive seed count"))
+                }));
+            }
+            "--keys" => {
+                let v = value("--keys", &mut args);
+                cli.keys = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    usage_error(&format!("--keys: `{v}` is not a positive u32"))
+                }));
+            }
+            "--shards" => {
+                let v = value("--shards", &mut args);
+                cli.shards = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    usage_error(&format!("--shards: `{v}` is not a positive u32"))
+                }));
+            }
+            "--pipeline-depth" => {
+                let v = value("--pipeline-depth", &mut args);
+                cli.pipeline_depth = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    usage_error(&format!("--pipeline-depth: `{v}` is not a positive u32"))
+                }));
+            }
+            "--batch" => {
+                let v = value("--batch", &mut args);
+                cli.batch = Some(v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    usage_error(&format!("--batch: `{v}` is not a positive batch size"))
+                }));
+            }
+            "--batch-hist-out" => cli.batch_hist_out = value("--batch-hist-out", &mut args).into(),
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
     if cli.demo_broken && cli.demo_amnesia {
         usage_error("--demo-broken and --demo-amnesia are mutually exclusive");
+    }
+    if !cli.store {
+        for (flag, set) in [
+            ("--keys", cli.keys.is_some()),
+            ("--shards", cli.shards.is_some()),
+            ("--pipeline-depth", cli.pipeline_depth.is_some()),
+            ("--batch", cli.batch.is_some()),
+        ] {
+            if set {
+                usage_error(&format!("{flag} only applies with --store"));
+            }
+        }
+    }
+    if cli.store {
+        if cli.demo_amnesia {
+            usage_error("--store pins stable recovery; --demo-amnesia does not apply");
+        }
+        if cli.profile == Some(FaultProfile::Amnesia) || cli.recovery.is_some() {
+            usage_error("--store pins stable recovery; amnesia modes do not apply");
+        }
+    }
+    if cli.sweep.is_some() && (cli.demo_broken || cli.demo_amnesia || cli.connect.is_some()) {
+        usage_error("--sweep does not combine with the demo modes or --connect");
     }
     // Validate every output path before the first run starts.
     ensure_parent("--results-out", &cli.results_out);
@@ -454,6 +537,17 @@ fn write_flight_artifacts(
     lanes: usize,
 ) -> Option<PathBuf> {
     let dump = report.violation_dump.as_ref()?;
+    Some(write_flight_dump_files(dump_dir, stem, dump, lanes))
+}
+
+/// Writes one flight dump (JSONL + rendered diagram) under `dump_dir`;
+/// shared by the register and store drivers.
+fn write_flight_dump_files(
+    dump_dir: &Path,
+    stem: &str,
+    dump: &blunt_obs::FlightDump,
+    lanes: usize,
+) -> PathBuf {
     let _ = std::fs::create_dir_all(dump_dir);
     // Process-unique stem: a second dump under the same name (e.g. two
     // dirty configs in one run, or a demo retried across seeds) gets a
@@ -469,7 +563,7 @@ fn write_flight_artifacts(
         jsonl.display(),
         diagram.display()
     );
-    Some(diagram)
+    diagram
 }
 
 /// Print the first violation window; exit 0 iff the monitor caught the
@@ -916,6 +1010,431 @@ fn run_net_driver(cli: &Cli, addrs: &[Addr]) -> ExitCode {
     }
 }
 
+/// Builds the store run from the CLI: the CI smoke shape or the 1M-op
+/// bench shape, with the fault profile and `--keys`/`--shards`/
+/// `--pipeline-depth`/`--batch` overrides applied on top. Returns the
+/// config name (`smoke.store_light`, `bench.store_none`, …) with it.
+fn store_config(cli: &Cli, seed: u64) -> (String, StoreConfig) {
+    let mut cfg = if cli.smoke {
+        StoreConfig::smoke(seed)
+    } else {
+        StoreConfig::bench(seed)
+    };
+    let suffix = match cli.profile {
+        Some(p) => {
+            cfg.faults = p.faults();
+            p.name()
+        }
+        // The constructors' defaults: light faults for smoke, fault-free
+        // for the throughput bench.
+        None => {
+            if cli.smoke {
+                "light"
+            } else {
+                "none"
+            }
+        }
+    };
+    if let Some(n) = cli.keys {
+        cfg.keys = n;
+    }
+    if let Some(n) = cli.shards {
+        cfg.shards = n;
+    }
+    if let Some(n) = cli.pipeline_depth {
+        cfg.pipeline_depth = n;
+    }
+    if let Some(n) = cli.batch {
+        cfg.batch_max = n;
+    }
+    if let Some(n) = cli.ops_per_client {
+        cfg.ops_per_client = n;
+    }
+    if let Some(len) = cli.crash_len {
+        cfg.faults.crash_len = len;
+    }
+    if let Some(period) = cli.crash_period {
+        cfg.faults.crash_period = period;
+    }
+    // Turn the config asserts that a CLI user can actually trip into
+    // usage errors naming the offending numbers.
+    if u64::from(cfg.pipeline_depth) > cfg.burst {
+        usage_error(&format!(
+            "--pipeline-depth: {} exceeds the burst size {}",
+            cfg.pipeline_depth, cfg.burst
+        ));
+    }
+    if cfg.servers_total() > 64 {
+        usage_error(&format!(
+            "--shards: {} shards × {} replicas = {} servers exceeds the 64-pid ceiling",
+            cfg.shards,
+            cfg.servers_per_shard,
+            cfg.servers_total()
+        ));
+    }
+    let mode = if cli.smoke { "smoke" } else { "bench" };
+    (format!("{mode}.store_{suffix}"), cfg)
+}
+
+/// The store run's batch-size histogram, from the global registry.
+fn batch_histogram() -> blunt_obs::HistogramSnapshot {
+    blunt_obs::snapshot()
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "store.batch.envelopes_per_flush")
+        .map(|(_, h)| h.clone())
+        .unwrap_or_default()
+}
+
+fn print_store(name: &str, r: &StoreReport, cfg: &StoreConfig) {
+    println!(
+        "{name:<24} ops {:>8}  {:>9.0} ops/s  lat p50/p99 {:>4}/{:>5} µs  \
+         retrans {:>6}  violations {}",
+        r.ops,
+        r.ops_per_sec(),
+        r.latency_us.p50(),
+        r.latency_us.percentile(0.99),
+        r.retransmissions,
+        r.monitor.violations.len(),
+    );
+    println!(
+        "{:<24} shape: {} shards × {} replicas, {} keys, {} clients, \
+         pipeline {}, batch {}",
+        "",
+        cfg.shards,
+        cfg.servers_per_shard,
+        cfg.keys,
+        cfg.clients,
+        cfg.pipeline_depth,
+        cfg.batch_max,
+    );
+    println!(
+        "{:<24} net: offered {} dropped {} dup {} reorder {} delayed {} \
+         crash {} partition {}",
+        "",
+        r.stats.offered,
+        r.stats.dropped,
+        r.stats.duplicated,
+        r.stats.reordered,
+        r.stats.delayed,
+        r.stats.crash_dropped,
+        r.stats.partition_dropped,
+    );
+    let h = batch_histogram();
+    if h.count > 0 {
+        println!(
+            "{:<24} batching: {} flushes carried {} envelopes — per-flush \
+             p50/p99/max {}/{}/{} (mean {:.1})",
+            "",
+            h.count,
+            h.sum,
+            h.p50(),
+            h.percentile(0.99),
+            h.max,
+            h.mean(),
+        );
+    }
+    println!(
+        "{:<24} coverage: fates [{}] over {} links  monitors: {} actions \
+         across {} shards",
+        "",
+        r.coverage.fates_exercised().join(" "),
+        r.coverage.links.len(),
+        r.monitor_actions,
+        cfg.shards,
+    );
+}
+
+/// The store entry for the run summary: deterministic fields only, same
+/// contract as [`summary_entry`].
+fn store_summary_entry(name: &str, r: &StoreReport, transport: &str) -> blunt_obs::Json {
+    use blunt_obs::Json;
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        ("transport".into(), Json::Str(transport.into())),
+        ("ops".into(), Json::UInt(r.ops)),
+        (
+            "violations".into(),
+            Json::UInt(r.monitor.violations.len() as u64),
+        ),
+        ("monitor_actions".into(), Json::UInt(r.monitor_actions)),
+        (
+            "bus".into(),
+            Json::Obj(vec![
+                ("offered".into(), Json::UInt(r.stats.offered)),
+                ("dropped".into(), Json::UInt(r.stats.dropped)),
+                ("duplicated".into(), Json::UInt(r.stats.duplicated)),
+                ("reordered".into(), Json::UInt(r.stats.reordered)),
+                ("delayed".into(), Json::UInt(r.stats.delayed)),
+                ("crash_dropped".into(), Json::UInt(r.stats.crash_dropped)),
+                (
+                    "partition_dropped".into(),
+                    Json::UInt(r.stats.partition_dropped),
+                ),
+                ("crash_events".into(), Json::UInt(r.stats.crash_events)),
+            ]),
+        ),
+        ("coverage".into(), r.coverage.to_json()),
+    ])
+}
+
+/// The CI batch-size artifact: the full per-flush histogram plus its
+/// summary statistics and the run's throughput, as one JSON document.
+fn write_batch_hist(path: &Path, name: &str, r: &StoreReport) {
+    use blunt_obs::Json;
+    let h = batch_histogram();
+    let buckets = h
+        .buckets
+        .iter()
+        .map(|&(lo, c)| {
+            Json::Obj(vec![
+                ("ge".into(), Json::UInt(lo)),
+                ("count".into(), Json::UInt(c)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("type".into(), Json::Str("store_batch_histogram".into())),
+        ("schema_version".into(), Json::UInt(1)),
+        ("config".into(), Json::Str(name.into())),
+        ("flushes".into(), Json::UInt(h.count)),
+        ("envelopes".into(), Json::UInt(h.sum)),
+        ("per_flush_p50".into(), Json::UInt(h.p50())),
+        ("per_flush_p99".into(), Json::UInt(h.percentile(0.99))),
+        ("per_flush_max".into(), Json::UInt(h.max)),
+        ("per_flush_mean".into(), Json::Float(h.mean())),
+        ("ops".into(), Json::UInt(r.ops)),
+        ("ops_per_sec".into(), Json::Float(r.ops_per_sec())),
+        ("buckets".into(), Json::Arr(buckets)),
+    ]);
+    std::fs::write(path, format!("{doc}\n")).expect("write batch histogram artifact");
+    println!("batch histogram written to {}", path.display());
+}
+
+/// The `--store` driver: one keyed-store run (in-process, or over sockets
+/// with `--connect`), with the same results/summary/exit discipline as the
+/// register sets plus the batch-size artifact.
+fn run_store_mode(cli: &Cli) -> ExitCode {
+    let (name, mut cfg) = store_config(cli, cli.seed);
+    if cli.demo_broken {
+        cfg.broken_reads = true;
+        // Concentrate the keyspace and go write-heavy so stale replicas
+        // are exposed quickly (mirrors the single-register demo).
+        if cli.keys.is_none() {
+            cfg.keys = 8;
+        }
+        cfg.read_per_mille = 400;
+    }
+    let transport = match &cli.connect {
+        Some(addrs) => addrs[0].kind(),
+        None => "in-process",
+    };
+    println!(
+        "chaos: keyed store ({transport}), {} shards × {} replicas, {} keys, \
+         {} clients × {} ops, seed {seed:#x} (replay with --seed {seed})\n",
+        cfg.shards,
+        cfg.servers_per_shard,
+        cfg.keys,
+        cfg.clients,
+        cfg.ops_per_client,
+        seed = cli.seed,
+    );
+    let t0 = Instant::now();
+    let report = match &cli.connect {
+        Some(addrs) => run_store_net(&cfg, addrs),
+        None => run_store(&cfg),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => usage_error(&e.to_string()),
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    print_store(&name, &report, &cfg);
+    record(
+        &name,
+        report.ops,
+        report.monitor.violations.len() as u64,
+        None,
+        Some(report.monitor_actions),
+    );
+    // Throughput and the batch-size distribution ride as phases: they are
+    // timing-dependent, so the gate treats them as informational unless
+    // bench-report runs with --strict-times.
+    let h = batch_histogram();
+    let mut phases = vec![
+        (name.clone(), wall_ms),
+        (format!("store_ops_per_sec.{name}"), report.ops_per_sec()),
+        (format!("store_batch_per_flush_p50.{name}"), h.p50() as f64),
+        (
+            format!("store_batch_per_flush_p99.{name}"),
+            h.percentile(0.99) as f64,
+        ),
+        (format!("store_batch_per_flush_mean.{name}"), h.mean()),
+    ];
+    phases.sort_by(|a, b| a.0.cmp(&b.0));
+    if !report.monitor.clean() {
+        if let Some(dump) = &report.violation_dump {
+            let lanes = (cfg.servers_total() + cfg.clients + cfg.shards) as usize;
+            write_flight_dump_files(&cli.dump_dir, &name, dump, lanes);
+        }
+    }
+    ensure_parent("--results-out", &cli.results_out);
+    let mut results = BenchResults::from_snapshot(phases, &blunt_obs::snapshot());
+    results
+        .counters
+        .retain(|(name, _)| name.starts_with("runtime.chaos."));
+    results.seed = Some(cli.seed);
+    std::fs::write(&cli.results_out, format!("{}\n", results.to_json()))
+        .expect("write BENCH_results.json");
+    println!("\nbench results written to {}", cli.results_out.display());
+    let summaries = vec![store_summary_entry(&name, &report, transport)];
+    let summary = summary_doc(
+        cli.seed,
+        if cli.smoke { "smoke" } else { "bench" },
+        summaries,
+    );
+    ensure_parent("--summary-out", &cli.summary_out);
+    std::fs::write(&cli.summary_out, format!("{summary}\n")).expect("write run summary");
+    println!("run summary written to {}", cli.summary_out.display());
+    ensure_parent("--batch-hist-out", &cli.batch_hist_out);
+    write_batch_hist(&cli.batch_hist_out, &name, &report);
+    if cli.demo_broken {
+        return match report.monitor.violations.first() {
+            Some(v) => {
+                println!(
+                    "\nfirst violation window (object {:?}, segment {}):\n",
+                    v.obj, v.segment
+                );
+                println!("{}", v.rendered);
+                println!(
+                    "the monitor caught the unsound keyed read: {} violation window(s) total",
+                    report.monitor.violations.len()
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("\nchaos: the unsound keyed read was NOT caught — monitor bug");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if report.monitor.clean() {
+        println!("verdict: keyed store linearizable per shard (0 violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verdict: VIOLATIONS in {name}");
+        ExitCode::FAILURE
+    }
+}
+
+/// The `--sweep N` driver: N consecutive seeds of the smoke-sized
+/// configuration (register k = 1, or the store with `--store`), run in
+/// parallel via [`parallel_map`], with a machine-readable per-seed
+/// pass/fail summary at `--summary-out`. Exit 1 if ANY seed fails.
+fn run_sweep(cli: &Cli, n: u64) -> ExitCode {
+    use blunt_obs::Json;
+    struct SweepRun {
+        seed: u64,
+        ops: u64,
+        violations: u64,
+        offered: u64,
+        dropped: u64,
+    }
+    let seeds: Vec<u64> = (0..n).map(|i| cli.seed.wrapping_add(i)).collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(seeds.len());
+    let workload = if cli.store { "store" } else { "abd_k1" };
+    println!(
+        "chaos: sweeping {n} seed(s) from {:#x} on {threads} thread(s) ({workload})\n",
+        cli.seed
+    );
+    let runs: Vec<SweepRun> = parallel_map(seeds, threads, |seed| {
+        if cli.store {
+            let (_, cfg) = store_config(cli, seed);
+            let r = run_store(&cfg).unwrap_or_else(|e| usage_error(&e.to_string()));
+            SweepRun {
+                seed,
+                ops: r.ops,
+                violations: r.monitor.violations.len() as u64,
+                offered: r.stats.offered,
+                dropped: r.stats.dropped,
+            }
+        } else {
+            let mut cfg = RuntimeConfig::smoke(seed);
+            if let Some(p) = cli.profile {
+                cfg.faults = p.faults();
+                if p == FaultProfile::Amnesia {
+                    cfg.recovery = RecoveryMode::amnesia();
+                }
+            }
+            if let Some(len) = cli.crash_len {
+                cfg.faults.crash_len = len;
+            }
+            if let Some(period) = cli.crash_period {
+                cfg.faults.crash_period = period;
+            }
+            if let Some(ops) = cli.ops_per_client {
+                cfg.ops_per_client = ops;
+            }
+            if let Some(r) = cli.recovery {
+                cfg.recovery = r;
+            }
+            let r = run_chaos(&cfg).unwrap_or_else(|e| usage_error(&e.to_string()));
+            SweepRun {
+                seed,
+                ops: r.ops,
+                violations: r.monitor.violations.len() as u64,
+                offered: r.bus.offered,
+                dropped: r.bus.dropped,
+            }
+        }
+    });
+    let mut entries = Vec::with_capacity(runs.len());
+    let mut failed: u64 = 0;
+    for r in &runs {
+        let pass = r.violations == 0;
+        failed += u64::from(!pass);
+        println!(
+            "seed {:#018x}  ops {:>7}  offered {:>8}  dropped {:>6}  \
+             violations {:>2}  {}",
+            r.seed,
+            r.ops,
+            r.offered,
+            r.dropped,
+            r.violations,
+            if pass { "pass" } else { "FAIL" },
+        );
+        entries.push(Json::Obj(vec![
+            ("seed".into(), Json::UInt(r.seed)),
+            ("ops".into(), Json::UInt(r.ops)),
+            ("violations".into(), Json::UInt(r.violations)),
+            ("offered".into(), Json::UInt(r.offered)),
+            ("dropped".into(), Json::UInt(r.dropped)),
+            ("pass".into(), Json::Bool(pass)),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("type".into(), Json::Str("chaos_sweep".into())),
+        ("schema_version".into(), Json::UInt(1)),
+        ("workload".into(), Json::Str(workload.into())),
+        ("base_seed".into(), Json::UInt(cli.seed)),
+        ("seeds".into(), Json::UInt(n)),
+        ("failed".into(), Json::UInt(failed)),
+        ("runs".into(), Json::Arr(entries)),
+    ]);
+    ensure_parent("--summary-out", &cli.summary_out);
+    std::fs::write(&cli.summary_out, format!("{doc}\n")).expect("write sweep summary");
+    println!("\nsweep summary written to {}", cli.summary_out.display());
+    if failed == 0 {
+        println!("verdict: {n}/{n} seeds linearizable");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verdict: {failed}/{n} seeds FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("serve") {
@@ -924,6 +1443,13 @@ fn main() -> ExitCode {
     }
     drop(raw);
     let cli = parse_cli();
+    if let Some(n) = cli.sweep {
+        return run_sweep(&cli, n);
+    }
+    if cli.store {
+        // Store mode handles --connect and --demo-broken itself.
+        return run_store_mode(&cli);
+    }
     if let Some(addrs) = cli.connect.clone() {
         if cli.demo_broken || cli.demo_amnesia {
             usage_error("--connect does not combine with the demo modes");

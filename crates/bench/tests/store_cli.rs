@@ -1,0 +1,277 @@
+//! End-to-end tests of the `chaos` binary's keyed-store and sweep modes:
+//! the `--store --smoke` artifact set (bench results, run summary, batch
+//! histogram), the `--sweep N` machine-readable per-seed verdict, and the
+//! fail-fast usage errors guarding the new flags.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use blunt_obs::Json;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blunt-store-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn chaos(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(args)
+        .output()
+        .expect("chaos runs")
+}
+
+fn read_json(path: &PathBuf) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Json::parse(text.trim()).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn store_smoke_writes_gated_counters_summary_and_batch_histogram() {
+    let dir = tmp_dir("store-smoke");
+    let results = dir.join("BENCH.json");
+    let summary = dir.join("SUM.json");
+    let hist = dir.join("hist.json");
+    let out = chaos(&[
+        "--store",
+        "--smoke",
+        "--seed",
+        "42",
+        "--ops-per-client",
+        "150",
+        "--results-out",
+        results.to_str().unwrap(),
+        "--summary-out",
+        summary.to_str().unwrap(),
+        "--batch-hist-out",
+        hist.to_str().unwrap(),
+        "--dump-dir",
+        dir.join("flight").to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "store smoke must stay clean:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("keyed store linearizable per shard"),
+        "{stdout}"
+    );
+
+    // The bench results hold exactly the gateable counters: deterministic
+    // runtime.chaos.* values for ops / violations / monitor_actions.
+    let bench = blunt_trace::regress::BenchResults::from_json(&read_json(&results))
+        .expect("bench results parse");
+    // StoreConfig::smoke has 4 clients; 4 × 150 ops.
+    assert_eq!(
+        bench.counter("runtime.chaos.smoke.store_light.ops"),
+        Some(600)
+    );
+    assert_eq!(
+        bench.counter("runtime.chaos.smoke.store_light.violations"),
+        Some(0)
+    );
+    assert_eq!(
+        bench.counter("runtime.chaos.smoke.store_light.monitor_actions"),
+        Some(1_200)
+    );
+    assert!(bench
+        .counters
+        .iter()
+        .all(|(name, _)| name.starts_with("runtime.chaos.")));
+    // Throughput and batch-shape ride as phases (informational unless
+    // --strict-times), never as gated counters.
+    assert!(bench.phase("store_ops_per_sec.smoke.store_light").is_some());
+    assert!(bench
+        .phase("store_batch_per_flush_p50.smoke.store_light")
+        .is_some());
+
+    let sum = read_json(&summary);
+    assert_eq!(
+        sum.get("type").and_then(Json::as_str),
+        Some("chaos_summary")
+    );
+    let configs = sum
+        .get("configs")
+        .and_then(Json::as_arr)
+        .expect("configs array");
+    assert_eq!(configs.len(), 1);
+    assert_eq!(
+        configs[0].get("name").and_then(Json::as_str),
+        Some("smoke.store_light")
+    );
+    assert_eq!(
+        configs[0].get("transport").and_then(Json::as_str),
+        Some("in-process")
+    );
+    assert_eq!(configs[0].get("violations").and_then(Json::as_u64), Some(0));
+    assert_eq!(configs[0].get("ops").and_then(Json::as_u64), Some(600));
+
+    // The batch-size artifact: every flushed envelope is accounted for,
+    // and a batch never exceeds the configured maximum (smoke's is 8).
+    let h = read_json(&hist);
+    assert_eq!(
+        h.get("type").and_then(Json::as_str),
+        Some("store_batch_histogram")
+    );
+    assert_eq!(h.get("schema_version").and_then(Json::as_u64), Some(1));
+    let flushes = h.get("flushes").and_then(Json::as_u64).expect("flushes");
+    let envelopes = h
+        .get("envelopes")
+        .and_then(Json::as_u64)
+        .expect("envelopes");
+    assert!(flushes > 0, "batches actually formed");
+    assert!(envelopes >= flushes, "each flush carries ≥ 1 envelope");
+    assert!(h.get("per_flush_max").and_then(Json::as_u64).unwrap() <= 8);
+    assert!(!h.get("buckets").and_then(Json::as_arr).unwrap().is_empty());
+}
+
+#[test]
+fn sweep_small_n_reports_every_seed_and_passes() {
+    let dir = tmp_dir("sweep");
+    let summary = dir.join("sweep.json");
+    let out = chaos(&[
+        "--sweep",
+        "3",
+        "--smoke",
+        "--seed",
+        "11",
+        "--ops-per-client",
+        "100",
+        "--summary-out",
+        summary.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "all smoke seeds linearize:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("3/3 seeds linearizable"), "{stdout}");
+
+    let doc = read_json(&summary);
+    assert_eq!(doc.get("type").and_then(Json::as_str), Some("chaos_sweep"));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("workload").and_then(Json::as_str), Some("abd_k1"));
+    assert_eq!(doc.get("base_seed").and_then(Json::as_u64), Some(11));
+    assert_eq!(doc.get("seeds").and_then(Json::as_u64), Some(3));
+    assert_eq!(doc.get("failed").and_then(Json::as_u64), Some(0));
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 3);
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(
+            run.get("seed").and_then(Json::as_u64),
+            Some(11 + i as u64),
+            "seeds are consecutive from the base"
+        );
+        assert_eq!(run.get("violations").and_then(Json::as_u64), Some(0));
+        assert_eq!(run.get("pass").and_then(Json::as_bool), Some(true));
+        assert!(run.get("ops").and_then(Json::as_u64).unwrap() > 0);
+        assert!(run.get("offered").and_then(Json::as_u64).unwrap() > 0);
+    }
+}
+
+#[test]
+fn sweep_covers_the_keyed_store_too() {
+    let dir = tmp_dir("sweep-store");
+    let summary = dir.join("sweep.json");
+    let out = chaos(&[
+        "--sweep",
+        "2",
+        "--store",
+        "--smoke",
+        "--seed",
+        "21",
+        "--ops-per-client",
+        "75",
+        "--summary-out",
+        summary.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = read_json(&summary);
+    assert_eq!(doc.get("workload").and_then(Json::as_str), Some("store"));
+    assert_eq!(doc.get("failed").and_then(Json::as_u64), Some(0));
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 2);
+    // StoreConfig::smoke has 4 clients; 4 × 75 ops per seed.
+    for run in runs {
+        assert_eq!(run.get("ops").and_then(Json::as_u64), Some(300));
+    }
+}
+
+#[test]
+fn store_flags_without_store_mode_are_usage_errors() {
+    for flag in [
+        ["--smoke", "--keys", "64"],
+        ["--smoke", "--shards", "4"],
+        ["--smoke", "--pipeline-depth", "2"],
+        ["--smoke", "--batch", "8"],
+    ] {
+        let out = chaos(&flag);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`{}` without --store is a usage error",
+            flag[1]
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(flag[1]),
+            "the error names the flag {}",
+            flag[1]
+        );
+    }
+}
+
+#[test]
+fn store_mode_rejects_amnesia_and_oversized_topologies() {
+    let out = chaos(&["--store", "--smoke", "--demo-amnesia"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "the store has no amnesia recovery path yet"
+    );
+
+    // 22 shards × 3 replicas = 66 > the 64-pid responder ceiling.
+    let out = chaos(&["--store", "--smoke", "--shards", "22"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("64-pid"),
+        "the error explains the ceiling"
+    );
+}
+
+#[test]
+fn store_demo_broken_is_caught_by_the_per_shard_monitor() {
+    let dir = tmp_dir("store-demo");
+    let out = chaos(&[
+        "--store",
+        "--smoke",
+        "--demo-broken",
+        "--results-out",
+        dir.join("BENCH.json").to_str().unwrap(),
+        "--summary-out",
+        dir.join("SUM.json").to_str().unwrap(),
+        "--batch-hist-out",
+        dir.join("hist.json").to_str().unwrap(),
+        "--dump-dir",
+        dir.join("flight").to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the monitor must catch the keyed broken read:\n{stdout}"
+    );
+    assert!(stdout.contains("caught the unsound keyed read"), "{stdout}");
+    // The violation window renders operation intervals.
+    assert!(stdout.contains('┌') && stdout.contains('└'), "{stdout}");
+    // The flight dump was written at the moment of detection.
+    let jsonl = dir.join("flight").join("smoke.store_light.flight.jsonl");
+    let dump_text = std::fs::read_to_string(&jsonl).expect("flight dump written");
+    assert!(blunt_obs::FlightDump::parse(&dump_text).is_ok());
+}

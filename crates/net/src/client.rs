@@ -21,11 +21,11 @@ use std::time::{Duration, Instant};
 
 use blunt_core::ids::Pid;
 use blunt_obs::flight::FlightDump;
-use blunt_obs::{FlightKind, FlightRecorder};
+use blunt_obs::{FlightKind, FlightRecorder, FlightRing};
 
 use crate::conn::Addr;
 use crate::fault::{Fate, FaultConfig, FaultConfigError};
-use crate::frame::{read_frame, Frame, DRIVER_NODE};
+use crate::frame::{read_frame, Frame, TaggedEnv, DRIVER_NODE};
 use crate::injector::{Injector, TransportStats};
 use crate::pool::{BroadcastPool, ConnectionPool};
 use crate::rpc::{DedupWindow, ReplyRouter, TagGen};
@@ -130,6 +130,26 @@ impl Shared {
                         }
                         None => {
                             blunt_obs::static_counter!("net.rpc.tag_mismatch_drops").inc();
+                        }
+                    }
+                }
+                Frame::EnvBatch { entries } => {
+                    // Unpack in order: each entry is handled exactly as if
+                    // it had arrived as its own `Env` frame (same dedup,
+                    // same lane routing), so batching is invisible above
+                    // the framing layer.
+                    for e in entries {
+                        if !dedup.admit(e.tag) {
+                            blunt_obs::static_counter!("net.rpc.dedup_drops").inc();
+                            continue;
+                        }
+                        match self.router.route(e.re) {
+                            Some(lane) => {
+                                let _ = self.lanes[lane].send(e.env.in_reply_to(e.tag));
+                            }
+                            None => {
+                                blunt_obs::static_counter!("net.rpc.tag_mismatch_drops").inc();
+                            }
                         }
                     }
                 }
@@ -299,46 +319,20 @@ impl NetClient {
         self.shared.remote.lock().expect("remote lock").clone()
     }
 
-    /// Tells every server to finish up, then waits up to `wait` for their
-    /// `Goodbye` stats. Missing goodbyes (a server that died hard) come
-    /// back as `None`.
-    pub fn shutdown(&self, wait: Duration) -> Vec<Option<ServerGoodbye>> {
-        self.pool.broadcast(|_| Frame::Shutdown);
-        let deadline = Instant::now() + wait;
-        loop {
-            {
-                let g = self.shared.goodbyes.lock().expect("goodbye lock");
-                if g.iter().all(Option::is_some) || Instant::now() >= deadline {
-                    return g.clone();
-                }
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    }
-}
-
-impl Transport for NetClient {
-    fn send(&self, env: Envelope) {
-        let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
-        let ring = self.flight.thread_ring();
-        ring.record_span(
-            FlightKind::BusSend,
-            src,
-            u64::from(dst),
-            label,
-            env.span.flight_word(),
-        );
-        let tag = self.tag_for(env.src);
+    /// Draws one envelope's fate (exempt envelopes bypass the injector)
+    /// and realizes every side effect except the frame write itself:
+    /// fate flight events, and the exempt amnesia signal written *before*
+    /// the triggering frame on the same FIFO connection. Returns how many
+    /// copies of the envelope reach the wire (0 = dropped, 2 =
+    /// duplicated). Shared by [`Transport::send`] and
+    /// [`Transport::send_batch`], so a batched sender consumes exactly
+    /// the fault-schedule indices — in exactly the per-link order — that
+    /// the equivalent unbatched loop would.
+    fn fate_copies(&self, env: &Envelope, ring: &FlightRing) -> usize {
         if env.exempt {
-            let re = env.reply_to;
-            let frame = Frame::Env {
-                tag,
-                re,
-                env: Envelope { reply_to: 0, ..env },
-            };
-            self.write(Pid(dst), &frame);
-            return;
+            return 1;
         }
+        let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
         let (fate, signal) = {
             let mut inj = self.injector.lock().expect("injector lock");
             inj.decide(env.src, env.dst)
@@ -376,22 +370,106 @@ impl Transport for NetClient {
             };
             self.write(crashed, &frame);
         }
-        let frame = Frame::Env {
-            tag,
-            re: 0,
-            env: Envelope { reply_to: 0, ..env },
-        };
         match fate {
             // Reorder/Delay are schedule-restricted to server→client links
             // and unreachable here; deliver defensively if they ever appear.
-            Fate::Deliver | Fate::Reorder | Fate::Delay(_) => self.write(Pid(dst), &frame),
-            Fate::Duplicate => {
-                // Same tag twice: the wire sees two frames, the receiver's
-                // dedup window absorbs the copy.
-                self.write(Pid(dst), &frame);
-                self.write(Pid(dst), &frame);
+            Fate::Deliver | Fate::Reorder | Fate::Delay(_) => 1,
+            Fate::Duplicate => 2,
+            Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop { .. } => 0,
+        }
+    }
+
+    /// Tells every server to finish up, then waits up to `wait` for their
+    /// `Goodbye` stats. Missing goodbyes (a server that died hard) come
+    /// back as `None`.
+    pub fn shutdown(&self, wait: Duration) -> Vec<Option<ServerGoodbye>> {
+        self.pool.broadcast(|_| Frame::Shutdown);
+        let deadline = Instant::now() + wait;
+        loop {
+            {
+                let g = self.shared.goodbyes.lock().expect("goodbye lock");
+                if g.iter().all(Option::is_some) || Instant::now() >= deadline {
+                    return g.clone();
+                }
             }
-            Fate::Drop | Fate::CrashDrop { .. } | Fate::PartitionDrop { .. } => {}
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Transport for NetClient {
+    fn send(&self, env: Envelope) {
+        let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
+        let ring = self.flight.thread_ring();
+        ring.record_span(
+            FlightKind::BusSend,
+            src,
+            u64::from(dst),
+            label,
+            env.span.flight_word(),
+        );
+        let tag = self.tag_for(env.src);
+        // Exempt frames keep their reply correlation; faulted traffic is
+        // always unsolicited from this endpoint.
+        let re = if env.exempt { env.reply_to } else { 0 };
+        let copies = self.fate_copies(&env, &ring);
+        let frame = Frame::Env {
+            tag,
+            re,
+            env: Envelope { reply_to: 0, ..env },
+        };
+        for _ in 0..copies {
+            // A duplicate is the same tag twice: the wire sees two frames,
+            // the receiver's dedup window absorbs the copy.
+            self.write(Pid(dst), &frame);
+        }
+    }
+
+    fn send_batch(&self, envs: Vec<Envelope>) {
+        let ring = self.flight.thread_ring();
+        // Surviving entries grouped per destination, in first-appearance
+        // order. Fates are drawn per logical envelope, in the caller's
+        // order, BEFORE any batch frame is written — so the injector
+        // consumes the same per-link index sequence as the unbatched loop
+        // and crash signals still precede their triggering frames on the
+        // FIFO connection.
+        let mut per_dst: Vec<(Pid, Vec<TaggedEnv>)> = Vec::new();
+        for env in envs {
+            let (src, dst, label) = (env.src.0, env.dst.0, env.msg.flight_label());
+            ring.record_span(
+                FlightKind::BusSend,
+                src,
+                u64::from(dst),
+                label,
+                env.span.flight_word(),
+            );
+            let tag = self.tag_for(env.src);
+            let re = if env.exempt { env.reply_to } else { 0 };
+            let copies = self.fate_copies(&env, &ring);
+            if copies == 0 {
+                continue;
+            }
+            let entry = TaggedEnv {
+                tag,
+                re,
+                env: Envelope { reply_to: 0, ..env },
+            };
+            let bucket = match per_dst.iter_mut().find(|(d, _)| *d == Pid(dst)) {
+                Some((_, b)) => b,
+                None => {
+                    per_dst.push((Pid(dst), Vec::new()));
+                    &mut per_dst.last_mut().expect("just pushed").1
+                }
+            };
+            for _ in 0..copies {
+                bucket.push(entry.clone());
+            }
+        }
+        for (dst, entries) in per_dst {
+            blunt_obs::static_counter!("net.batch.frames").inc();
+            blunt_obs::static_counter!("net.batch.envelopes").add(entries.len() as u64);
+            blunt_obs::histogram("net.batch.envelopes_per_frame").record(entries.len() as u64);
+            self.write(dst, &Frame::EnvBatch { entries });
         }
     }
 

@@ -15,6 +15,9 @@
 //! kind 5    := Telemetry node:u32le recoveries:u64le crashes:u64le
 //!                       fsync_count:u64le fsync_p99_us:u64le
 //!                       span_events:u64le events:u64le
+//! kind 6    := EnvBatch n:u32le entry*n
+//! entry     := tag:u64le re:u64le src:u32le dst:u32le exempt:u8
+//!              span payload
 //! span      := client:u32le op:u64le hop:u8
 //! payload   := 0 obj:u32le sn:u32le                 (Abd Query)
 //!            | 1 obj:u32le sn:u32le ts val          (Abd Reply)
@@ -22,7 +25,8 @@
 //!            | 3 obj:u32le sn:u32le                 (Abd Ack)
 //!            | 4 window:u64le                       (Crash)
 //!            | 5 sn:u64le                           (StateQuery)
-//!            | 6 sn:u64le ts val                    (StateReply)
+//!            | 6 sn:u64le n:u32le snap*n            (StateReply)
+//! snap      := obj:u32le ts val
 //! ts        := t:i64le pid:u32le
 //! val       := 0 | 1 v:i64le | 2 val val | 3 n:u32le val*n
 //! ```
@@ -45,6 +49,14 @@
 //! `HelloAck` handshakes for cross-process clock-offset estimation, the
 //! periodic server→driver `Telemetry` frame, and the bounded flight-dump
 //! JSONL piggybacked on `Goodbye`.
+//!
+//! Version 3 added the keyed-store plane: `StateReply` carries a full
+//! multi-register snapshot instead of a single `(val, ts)` pair, and the
+//! `EnvBatch` kind carries several tagged envelopes in one frame for
+//! batched quorum I/O. An `EnvBatch` is *transport amortization only*: it
+//! decodes to exactly the envelope sequence its entries would produce as
+//! individual `Env` frames, and fault fates are drawn per logical envelope
+//! before batching, so the fault schedule cannot tell the difference.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -58,7 +70,7 @@ use crate::wire::{Envelope, Payload, SpanCtx};
 
 /// The wire-format version this build speaks. A peer announcing any other
 /// version is rejected with [`FrameError::BadVersion`].
-pub const FRAME_VERSION: u8 = 2;
+pub const FRAME_VERSION: u8 = 3;
 
 /// Upper bound on an encoded frame body, in bytes. Bounds the allocation a
 /// reader performs on behalf of a peer.
@@ -72,6 +84,19 @@ pub const MAX_VAL_DEPTH: u32 = 64;
 /// The sentinel `Hello` node id announcing the client driver (servers are
 /// `0..servers`, so the driver takes the top of the id space).
 pub const DRIVER_NODE: u32 = u32::MAX;
+
+/// One tagged envelope inside a [`Frame::EnvBatch`]: the same
+/// `tag`/`re`/`env` triple a [`Frame::Env`] carries, minus the per-frame
+/// framing overhead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaggedEnv {
+    /// This entry's own tag (unique per sent frame within a process).
+    pub tag: u64,
+    /// The tag of the inbound frame this entry answers; 0 = unsolicited.
+    pub re: u64,
+    /// The envelope itself.
+    pub env: Envelope,
+}
 
 /// One frame on a connection: a session handshake, a tagged envelope, or a
 /// shutdown-protocol control message.
@@ -155,6 +180,15 @@ pub enum Frame {
         span_events: u64,
         /// Flight events recorded so far in total.
         events: u64,
+    },
+    /// Several tagged envelopes in one frame: the batched-quorum-I/O
+    /// amortization. Semantically identical to sending each entry as its
+    /// own [`Frame::Env`] in order — receivers unpack and process entries
+    /// sequentially, and the sender draws fault fates per logical envelope
+    /// *before* packing, so batching never perturbs the fault schedule.
+    EnvBatch {
+        /// The batched entries, in send order.
+        entries: Vec<TaggedEnv>,
     },
 }
 
@@ -288,13 +322,27 @@ fn put_payload(out: &mut Vec<u8>, p: &Payload) {
             out.push(5);
             put_u64(out, *sn);
         }
-        Payload::StateReply { sn, val, ts } => {
+        Payload::StateReply { sn, snap } => {
             out.push(6);
             put_u64(out, *sn);
-            put_ts(out, *ts);
-            put_val(out, val);
+            put_u32(out, snap.len() as u32);
+            for (obj, val, ts) in snap {
+                put_u32(out, obj.0);
+                put_ts(out, *ts);
+                put_val(out, val);
+            }
         }
     }
+}
+
+fn put_tagged_env(out: &mut Vec<u8>, tag: u64, re: u64, env: &Envelope) {
+    put_u64(out, tag);
+    put_u64(out, re);
+    put_u32(out, env.src.0);
+    put_u32(out, env.dst.0);
+    out.push(u8::from(env.exempt));
+    put_span(out, env.span);
+    put_payload(out, &env.msg);
 }
 
 /// A strict little-endian cursor over a frame body.
@@ -412,12 +460,42 @@ impl<'a> Cursor<'a> {
             5 => Ok(Payload::StateQuery { sn: self.u64()? }),
             6 => {
                 let sn = self.u64()?;
-                let ts = self.ts()?;
-                let val = self.val(0)?;
-                Ok(Payload::StateReply { sn, val, ts })
+                let n = self.u32()? as usize;
+                // As with Val::Tuple: no preallocation by the peer's
+                // claimed length — the body cap bounds the real size.
+                let mut snap = Vec::new();
+                for _ in 0..n {
+                    let obj = ObjId(self.u32()?);
+                    let ts = self.ts()?;
+                    let val = self.val(0)?;
+                    snap.push((obj, val, ts));
+                }
+                Ok(Payload::StateReply { sn, snap })
             }
             t => Err(FrameError::BadTag(t)),
         }
+    }
+
+    fn tagged_env(&mut self) -> Result<TaggedEnv, FrameError> {
+        let tag = self.u64()?;
+        let re = self.u64()?;
+        let src = Pid(self.u32()?);
+        let dst = Pid(self.u32()?);
+        let exempt = self.u8()? != 0;
+        let span = self.span()?;
+        let msg = self.payload()?;
+        Ok(TaggedEnv {
+            tag,
+            re,
+            env: Envelope {
+                src,
+                dst,
+                msg,
+                exempt,
+                reply_to: 0,
+                span,
+            },
+        })
     }
 }
 
@@ -438,13 +516,7 @@ impl Frame {
             }
             Frame::Env { tag, re, env } => {
                 out.push(1);
-                put_u64(&mut out, *tag);
-                put_u64(&mut out, *re);
-                put_u32(&mut out, env.src.0);
-                put_u32(&mut out, env.dst.0);
-                out.push(u8::from(env.exempt));
-                put_span(&mut out, env.span);
-                put_payload(&mut out, &env.msg);
+                put_tagged_env(&mut out, *tag, *re, env);
             }
             Frame::Shutdown => out.push(2),
             Frame::Goodbye {
@@ -490,6 +562,13 @@ impl Frame {
                 put_u64(&mut out, *span_events);
                 put_u64(&mut out, *events);
             }
+            Frame::EnvBatch { entries } => {
+                out.push(6);
+                put_u32(&mut out, entries.len() as u32);
+                for e in entries {
+                    put_tagged_env(&mut out, e.tag, e.re, &e.env);
+                }
+            }
         }
         let body_len = out.len() - 4;
         if body_len > MAX_FRAME_LEN {
@@ -520,24 +599,11 @@ impl Frame {
                 t_us: c.u64()?,
             },
             1 => {
-                let tag = c.u64()?;
-                let re = c.u64()?;
-                let src = Pid(c.u32()?);
-                let dst = Pid(c.u32()?);
-                let exempt = c.u8()? != 0;
-                let span = c.span()?;
-                let msg = c.payload()?;
+                let e = c.tagged_env()?;
                 Frame::Env {
-                    tag,
-                    re,
-                    env: Envelope {
-                        src,
-                        dst,
-                        msg,
-                        exempt,
-                        reply_to: 0,
-                        span,
-                    },
+                    tag: e.tag,
+                    re: e.re,
+                    env: e.env,
                 }
             }
             2 => Frame::Shutdown,
@@ -564,6 +630,14 @@ impl Frame {
                 span_events: c.u64()?,
                 events: c.u64()?,
             },
+            6 => {
+                let n = c.u32()? as usize;
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    entries.push(c.tagged_env()?);
+                }
+                Frame::EnvBatch { entries }
+            }
             k => return Err(FrameError::BadKind(k)),
         };
         if c.at != body.len() {
@@ -723,8 +797,11 @@ mod tests {
                 Payload::StateQuery { sn: 11 },
                 Payload::StateReply {
                     sn: 12,
-                    val: val.clone(),
-                    ts,
+                    snap: vec![],
+                },
+                Payload::StateReply {
+                    sn: 13,
+                    snap: vec![(ObjId(0), val.clone(), ts), (ObjId(7), Val::Nil, ts)],
                 },
             ] {
                 roundtrip(&env_frame(payload.clone(), false));
@@ -775,6 +852,85 @@ mod tests {
         });
     }
 
+    /// The batching invariant at the codec layer: an `EnvBatch` round-trips,
+    /// and its decoded entries are *exactly* the `(tag, re, env)` triples
+    /// the same envelopes would produce as individual `Env` frames — so a
+    /// receiver unpacking a batch in order observes the same logical
+    /// envelope sequence as an unbatched sender.
+    #[test]
+    fn env_batch_decodes_to_the_same_sequence_as_individual_env_frames() {
+        let entries = vec![
+            TaggedEnv {
+                tag: 11,
+                re: 0,
+                env: Envelope::abd(
+                    Pid(5),
+                    Pid(0),
+                    AbdMsg::Query {
+                        obj: ObjId(3),
+                        sn: 2,
+                    },
+                    false,
+                )
+                .with_span(SpanCtx::request(5, 77)),
+            },
+            TaggedEnv {
+                tag: 12,
+                re: 4,
+                env: Envelope::abd(
+                    Pid(5),
+                    Pid(1),
+                    AbdMsg::Update {
+                        obj: ObjId(9),
+                        sn: 2,
+                        val: Val::Int(-8),
+                        ts: Ts { t: 6, pid: 5 },
+                    },
+                    true,
+                ),
+            },
+            TaggedEnv {
+                tag: 12, // duplicated entry (a Duplicate fate packs twice)
+                re: 4,
+                env: Envelope::abd(
+                    Pid(5),
+                    Pid(1),
+                    AbdMsg::Update {
+                        obj: ObjId(9),
+                        sn: 2,
+                        val: Val::Int(-8),
+                        ts: Ts { t: 6, pid: 5 },
+                    },
+                    true,
+                ),
+            },
+        ];
+        let batch = Frame::EnvBatch {
+            entries: entries.clone(),
+        };
+        roundtrip(&batch);
+        roundtrip(&Frame::EnvBatch { entries: vec![] });
+        let bytes = batch.encode().unwrap();
+        let Frame::EnvBatch { entries: decoded } = Frame::decode(&bytes[4..]).unwrap() else {
+            panic!("kind 6 decodes as EnvBatch");
+        };
+        assert_eq!(decoded.len(), entries.len());
+        for (got, want) in decoded.iter().zip(&entries) {
+            // Each batched entry ≡ what the equivalent single Env frame
+            // would deliver.
+            let single = Frame::Env {
+                tag: want.tag,
+                re: want.re,
+                env: want.env.clone(),
+            };
+            let single_bytes = single.encode().unwrap();
+            let Frame::Env { tag, re, env } = Frame::decode(&single_bytes[4..]).unwrap() else {
+                panic!("kind 1 decodes as Env");
+            };
+            assert_eq!((got.tag, got.re, &got.env), (tag, re, &env));
+        }
+    }
+
     #[test]
     fn non_utf8_goodbye_dumps_are_rejected() {
         let mut bytes = Frame::Goodbye {
@@ -798,8 +954,11 @@ mod tests {
         let bytes = env_frame(
             Payload::StateReply {
                 sn: 1,
-                val: Val::Tuple(vec![Val::Int(5), Val::Nil]),
-                ts: Ts { t: 1, pid: 0 },
+                snap: vec![(
+                    ObjId(3),
+                    Val::Tuple(vec![Val::Int(5), Val::Nil]),
+                    Ts { t: 1, pid: 0 },
+                )],
             },
             false,
         )
@@ -860,8 +1019,7 @@ mod tests {
                 dst: Pid(4),
                 msg: Payload::StateReply {
                     sn: 0,
-                    val: Val::Tuple(vec![Val::Nil; n]),
-                    ts: Ts { t: 0, pid: 0 },
+                    snap: vec![(ObjId(0), Val::Tuple(vec![Val::Nil; n]), Ts { t: 0, pid: 0 })],
                 },
                 exempt: true,
                 reply_to: 0,
@@ -898,8 +1056,7 @@ mod tests {
         let bytes = env_frame(
             Payload::StateReply {
                 sn: 0,
-                val: v,
-                ts: Ts { t: 0, pid: 0 },
+                snap: vec![(ObjId(0), v, Ts { t: 0, pid: 0 })],
             },
             false,
         )
@@ -991,11 +1148,45 @@ mod tests {
             env_frame(
                 Payload::StateReply {
                     sn: 2,
-                    val: Val::Nil,
-                    ts: Ts { t: 0, pid: 2 },
+                    snap: vec![
+                        (ObjId(0), Val::Nil, Ts { t: 0, pid: 2 }),
+                        (ObjId(4), Val::Int(9), Ts { t: 3, pid: 1 }),
+                    ],
                 },
                 true,
             ),
+            Frame::EnvBatch {
+                entries: vec![
+                    TaggedEnv {
+                        tag: 5,
+                        re: 0,
+                        env: Envelope::abd(
+                            Pid(4),
+                            Pid(0),
+                            AbdMsg::Query {
+                                obj: ObjId(2),
+                                sn: 8,
+                            },
+                            false,
+                        ),
+                    },
+                    TaggedEnv {
+                        tag: 6,
+                        re: 2,
+                        env: Envelope::abd(
+                            Pid(4),
+                            Pid(1),
+                            AbdMsg::Update {
+                                obj: ObjId(2),
+                                sn: 8,
+                                val: Val::Int(1),
+                                ts: Ts { t: 4, pid: 4 },
+                            },
+                            false,
+                        ),
+                    },
+                ],
+            },
             Frame::Shutdown,
             Frame::Goodbye {
                 node: 0,

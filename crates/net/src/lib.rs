@@ -59,7 +59,7 @@ pub use client::{NetClient, NetClientCfg, RemoteServer, ServerGoodbye, ServerTel
 pub use conn::{Addr, Listener, Stream};
 pub use coverage::{Coverage, LinkCoverage};
 pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
-pub use frame::{Frame, FrameError, DRIVER_NODE, FRAME_VERSION, MAX_FRAME_LEN};
+pub use frame::{Frame, FrameError, TaggedEnv, DRIVER_NODE, FRAME_VERSION, MAX_FRAME_LEN};
 pub use injector::{Injector, TransportStats};
 pub use server::{NetServer, NetServerCfg};
 pub use wire::{Envelope, Payload, SpanCtx};
@@ -78,6 +78,21 @@ use blunt_core::ids::Pid;
 pub trait Transport: Send + Sync {
     /// Sends `env`, applying the fault schedule to non-exempt envelopes.
     fn send(&self, env: Envelope);
+
+    /// Sends several envelopes as one logical flush. **Semantically a
+    /// batch IS its envelope sequence**: the default forwards to
+    /// [`Transport::send`] in order, and every override must preserve
+    /// that contract — fault fates are drawn per logical envelope, in
+    /// order, exactly as the loop would, so batching can never perturb
+    /// the seed-determined schedule, stats, or coverage. Socket backends
+    /// override this to pack the surviving envelopes of each destination
+    /// into a single `EnvBatch` frame, amortizing syscall and framing
+    /// overhead across a quorum round.
+    fn send_batch(&self, envs: Vec<Envelope>) {
+        for env in envs {
+            self.send(env);
+        }
+    }
 
     /// Broadcasts the ABD message `msg` from `src` to every pid in `dsts`
     /// (a quorum round's fan-out).

@@ -129,6 +129,19 @@ fn conn_loop(
                     return;
                 }
             }
+            Ok(Some(Frame::EnvBatch { entries })) => {
+                // Unpack in order: each entry is handled exactly as if it
+                // had arrived as its own `Env` frame.
+                for e in entries {
+                    if !dedup.admit(e.tag) {
+                        blunt_obs::static_counter!("net.rpc.dedup_drops").inc();
+                        continue;
+                    }
+                    if mailbox.send(e.env.in_reply_to(e.tag)).is_err() {
+                        return;
+                    }
+                }
+            }
             Ok(Some(Frame::Shutdown)) => {
                 stop.store(true, Ordering::SeqCst);
             }

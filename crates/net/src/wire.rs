@@ -9,7 +9,7 @@
 
 use blunt_abd::msg::AbdMsg;
 use blunt_abd::ts::Ts;
-use blunt_core::ids::Pid;
+use blunt_core::ids::{ObjId, Pid};
 use blunt_core::value::Val;
 use blunt_obs::flight;
 
@@ -107,19 +107,20 @@ pub enum Payload {
         window: u64,
     },
     /// Recovery state transfer, mirroring the ABD query: "send me your
-    /// current `(value, timestamp)`". Always exempt.
+    /// current per-register `(value, timestamp)` pairs". Always exempt.
     StateQuery {
         /// Exchange identifier scoped to the recovering server.
         sn: u64,
     },
-    /// A peer's answer to a [`Payload::StateQuery`]. Always exempt.
+    /// A peer's answer to a [`Payload::StateQuery`]: every materialized
+    /// register's `(obj, value, timestamp)`, in `ObjId` order. A
+    /// single-register run carries a one-entry (or, before any write,
+    /// empty) snapshot. Always exempt.
     StateReply {
         /// The exchange this reply answers.
         sn: u64,
-        /// The peer's current value.
-        val: Val,
-        /// Its timestamp.
-        ts: Ts,
+        /// The peer's full store snapshot, `ObjId`-ordered.
+        snap: Vec<(ObjId, Val, Ts)>,
     },
 }
 

@@ -1,8 +1,9 @@
 //! The flight recorder: always-on, bounded, per-thread event rings.
 //!
 //! A [`FlightRecorder`] owns one lock-free ring buffer per participating
-//! thread ([`FlightRing`]). Recording an event is O(1) — six relaxed/release
-//! atomic stores into a preallocated slot — so the runtime leaves it on in
+//! thread ([`FlightRing`]). Recording an event is O(1) — a handful of
+//! relaxed/release atomic stores into a preallocated slot — so the runtime
+//! leaves it on in
 //! the hot path (bus sends, fault decisions, client ops, server acks,
 //! monitor cuts). Each ring keeps only the most recent `capacity` events;
 //! older ones are silently overwritten, which is the point: when something
@@ -35,9 +36,11 @@ use std::time::Instant;
 use crate::json::Json;
 
 /// Schema version written into flight dump headers. v2 added the optional
-/// per-event `span` (packed originating-op trace context, [`pack_span`])
-/// and `proc` (source process label in merged cross-process dumps) fields;
-/// [`FlightDump::parse`] still reads v1 dumps, defaulting both.
+/// per-event `span` (packed originating-op trace context, [`pack_span`]),
+/// `proc` (source process label in merged cross-process dumps), and `key`
+/// (target register in keyed-store runs) fields; all three are elided at
+/// their defaults, so [`FlightDump::parse`] still reads v1 dumps — and
+/// single-register dumps stay byte-identical to their pre-keyed form.
 pub const FLIGHT_SCHEMA_VERSION: u64 = 2;
 
 /// Oldest dump schema version [`FlightDump::parse`] accepts.
@@ -45,6 +48,10 @@ pub const FLIGHT_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// The span word of an event not attributed to any client operation.
 pub const SPAN_NONE: u64 = u64::MAX;
+
+/// The key word of an event not attributed to a specific register — every
+/// event of a single-register run, and non-op events of keyed runs.
+pub const KEY_NONE: u64 = u64::MAX;
 
 /// Packs an originating-op trace context — client pid (24 bits) and
 /// invocation id (40 bits) — into one event span word. The runtime's
@@ -262,6 +269,8 @@ struct Slot {
     /// Packed originating-op span ([`pack_span`]); [`SPAN_NONE`] when the
     /// event is not attributed to a client operation.
     span: AtomicU64,
+    /// Target register of a keyed-store op event; [`KEY_NONE`] otherwise.
+    key: AtomicU64,
 }
 
 /// One thread's bounded event ring. Obtained from
@@ -290,6 +299,7 @@ impl FlightRing {
                     a: AtomicU64::new(0),
                     b: AtomicU64::new(0),
                     span: AtomicU64::new(SPAN_NONE),
+                    key: AtomicU64::new(KEY_NONE),
                 })
                 .collect(),
         }
@@ -321,6 +331,29 @@ impl FlightRing {
 
     /// Records one span-attributed event with an explicit timestamp.
     pub fn record_span_at(&self, t_us: u64, kind: FlightKind, pid: u32, a: u64, b: u64, span: u64) {
+        self.record_span_key_at(t_us, kind, pid, a, b, span, KEY_NONE);
+    }
+
+    /// Records one span-attributed event targeting register `key`
+    /// ([`KEY_NONE`] outside keyed-store runs), stamped with the recorder's
+    /// elapsed clock.
+    pub fn record_span_key(&self, kind: FlightKind, pid: u32, a: u64, b: u64, span: u64, key: u64) {
+        let t = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.record_span_key_at(t, kind, pid, a, b, span, key);
+    }
+
+    /// Records one fully-attributed event with an explicit timestamp.
+    #[allow(clippy::too_many_arguments)] // the slot layout, spelled out
+    pub fn record_span_key_at(
+        &self,
+        t_us: u64,
+        kind: FlightKind,
+        pid: u32,
+        a: u64,
+        b: u64,
+        span: u64,
+        key: u64,
+    ) {
         let seq = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];
         slot.version.store(seq * 2 + 1, Ordering::Release);
@@ -332,6 +365,7 @@ impl FlightRing {
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
         slot.span.store(span, Ordering::Relaxed);
+        slot.key.store(key, Ordering::Relaxed);
         slot.version.store(seq * 2 + 2, Ordering::Release);
         self.head.store(seq + 1, Ordering::Release);
     }
@@ -347,6 +381,7 @@ impl FlightRing {
             let a = slot.a.load(Ordering::Relaxed);
             let b = slot.b.load(Ordering::Relaxed);
             let span = slot.span.load(Ordering::Relaxed);
+            let key = slot.key.load(Ordering::Relaxed);
             if slot.version.load(Ordering::Acquire) != v1 {
                 continue; // torn: the writer lapped us mid-read
             }
@@ -362,6 +397,7 @@ impl FlightRing {
                 a,
                 b,
                 span,
+                key,
                 proc: String::new(),
             });
         }
@@ -508,6 +544,10 @@ pub struct FlightEvent {
     /// when the event is not attributed to a client operation. Schema v2;
     /// v1 dumps parse with `SPAN_NONE`.
     pub span: u64,
+    /// The register a keyed-store op event targets; [`KEY_NONE`] for
+    /// non-op events and single-register runs. Elided at the default, so
+    /// dumps written before keyed stores parse with `KEY_NONE`.
+    pub key: u64,
     /// The process this event came from in a merged cross-process dump
     /// (e.g. `"s0"` for server process 0); empty for events recorded
     /// locally. Schema v2; v1 dumps parse with `""`.
@@ -531,6 +571,9 @@ impl FlightEvent {
         // (parse → serialize is the identity).
         if self.span != SPAN_NONE {
             pairs.push(("span".into(), Json::UInt(self.span)));
+        }
+        if self.key != KEY_NONE {
+            pairs.push(("key".into(), Json::UInt(self.key)));
         }
         if !self.proc.is_empty() {
             pairs.push(("proc".into(), Json::Str(self.proc.clone())));
@@ -562,6 +605,7 @@ impl FlightEvent {
             a: field("a")?,
             b: field("b")?,
             span: j.get("span").and_then(Json::as_u64).unwrap_or(SPAN_NONE),
+            key: j.get("key").and_then(Json::as_u64).unwrap_or(KEY_NONE),
             proc: j
                 .get("proc")
                 .and_then(Json::as_str)
@@ -827,7 +871,29 @@ mod tests {
         let parsed = FlightDump::parse(v1).expect("v1 dumps stay readable");
         assert_eq!(parsed.schema_version, 1);
         assert_eq!(parsed.events[0].span, SPAN_NONE);
+        assert_eq!(parsed.events[0].key, KEY_NONE);
         assert_eq!(parsed.events[0].proc, "");
+    }
+
+    #[test]
+    fn keyed_events_round_trip_and_unkeyed_dumps_stay_byte_identical() {
+        let rec = FlightRecorder::new(8);
+        let ring = rec.register_current("client-0");
+        ring.record_span_key_at(3, FlightKind::OpStartWrite, 0, 1, 5, pack_span(0, 1), 42);
+        ring.record_span_at(4, FlightKind::OpCompleteWrite, 0, 1, 5, pack_span(0, 1));
+        let dump = rec.dump();
+        assert_eq!(dump.events[0].key, 42);
+        assert_eq!(dump.events[1].key, KEY_NONE);
+        let text = dump.to_jsonl();
+        assert!(text.contains("\"key\":42"), "keyed events carry key");
+        assert_eq!(FlightDump::parse(&text).unwrap(), dump);
+
+        // An unkeyed dump serializes without any `key` field at all —
+        // pre-keyed consumers and goldens see exactly the old bytes.
+        let rec2 = FlightRecorder::new(8);
+        let ring2 = rec2.register_current("client-0");
+        ring2.record_span_at(3, FlightKind::OpStartWrite, 0, 1, 5, pack_span(0, 1));
+        assert!(!rec2.dump().to_jsonl().contains("\"key\""));
     }
 
     #[test]
@@ -848,6 +914,7 @@ mod tests {
                 a: 3,
                 b: 1,
                 span: pack_span(3, 1),
+                key: KEY_NONE,
                 proc: String::new(),
             }],
         };

@@ -72,6 +72,15 @@ impl Json {
         }
     }
 
+    /// The value as a `bool` if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice if it is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

@@ -49,7 +49,9 @@ pub use coverage::{Coverage, LinkCoverage};
 pub use fault::{Fate, FaultConfig, FaultConfigError, FaultPlan};
 pub use monitor::{MonitorReport, OnlineMonitor, Violation};
 pub use netrun::{run_chaos_net, run_net_server, NetChaosTopology, NetServeConfig, NetServeReport};
-pub use recovery::{RecoveryMode, RecoveryStats};
+pub use recovery::{RecoveryMode, RecoverySink, RecoveryStats};
 pub use shm::{run_shm_chaos, ShmChaosConfig, ShmReport};
-pub use storage::{Wal, WalRecord};
-pub use workload::{run_chaos, ChaosReport, MonitorOverhead, RuntimeConfig, WATCH_SCHEMA_VERSION};
+pub use storage::{MultiWal, Wal, WalRecord};
+pub use workload::{
+    run_chaos, server_loop, ChaosReport, MonitorOverhead, RuntimeConfig, WATCH_SCHEMA_VERSION,
+};

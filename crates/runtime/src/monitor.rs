@@ -21,10 +21,10 @@
 //! running clients in barrier-separated bursts, which also bounds segment
 //! size below the checker's 64-invocation ceiling.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use blunt_core::history::{Action, History};
-use blunt_core::ids::ObjId;
+use blunt_core::ids::{InvId, ObjId};
 use blunt_core::spec::{RegisterSpec, SequentialSpec};
 use blunt_core::value::Val;
 use blunt_lincheck::feasible_final_states;
@@ -90,6 +90,11 @@ pub struct OnlineMonitor {
     spec: RegisterSpec,
     lanes: usize,
     objects: BTreeMap<ObjId, ObjectState>,
+    /// Which object each in-flight invocation targets, so a `Return` —
+    /// which carries only its [`InvId`] — routes in O(1) instead of
+    /// scanning every object's open segment. Matters for keyed-store runs,
+    /// where the object count is the key count, not 1.
+    pending_routes: HashMap<InvId, ObjId>,
     report: MonitorReport,
 }
 
@@ -102,6 +107,7 @@ impl OnlineMonitor {
             spec: RegisterSpec::new(initial.clone()),
             lanes,
             objects: BTreeMap::new(),
+            pending_routes: HashMap::new(),
             report: MonitorReport::default(),
         }
     }
@@ -132,20 +138,17 @@ impl OnlineMonitor {
     /// the report; observation may continue).
     pub fn observe(&mut self, action: Action) -> bool {
         let obj = match &action {
-            Action::Call { obj, .. } => *obj,
+            Action::Call { obj, inv, .. } => {
+                // Remember the target until the return arrives: a pending
+                // call is always in its object's open segment (the segment
+                // can't close while it is pending), so this index is
+                // exactly the set the old open-segment scan searched.
+                self.pending_routes.insert(*inv, *obj);
+                *obj
+            }
             Action::Return { inv, .. } => {
                 // Route the return to the object of its pending call.
-                match self
-                    .objects
-                    .iter()
-                    .find(|(_, st)| {
-                        st.segment
-                            .actions()
-                            .iter()
-                            .any(|a| matches!(a, Action::Call { inv: i, .. } if i == inv))
-                    })
-                    .map(|(o, _)| *o)
-                {
+                match self.pending_routes.remove(inv) {
                     Some(o) => o,
                     // A return whose call we never saw (pre-attach): ignore.
                     None => return true,

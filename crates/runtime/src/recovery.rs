@@ -92,8 +92,10 @@ pub struct RecoveryStats {
 
 /// The shared accumulation point: server threads add to these atomics, the
 /// workload driver snapshots them into a [`RecoveryStats`] at the end.
+/// Public so external runners (the keyed store) can drive the same server
+/// loop with their own sink.
 #[derive(Debug, Default)]
-pub(crate) struct RecoverySink {
+pub struct RecoverySink {
     crashes: AtomicU64,
     recoveries: AtomicU64,
     wal_records_lost: AtomicU64,
@@ -103,35 +105,42 @@ pub(crate) struct RecoverySink {
 }
 
 impl RecoverySink {
-    pub(crate) fn on_crash(&self, records_lost: u64) {
+    /// A server crashed, losing `records_lost` unsynced WAL records.
+    pub fn on_crash(&self, records_lost: u64) {
         self.crashes.fetch_add(1, Ordering::Relaxed);
         self.wal_records_lost
             .fetch_add(records_lost, Ordering::Relaxed);
         blunt_obs::static_counter!("runtime.recovery.crashes").inc();
     }
 
-    pub(crate) fn on_replay(&self) {
+    /// A recovery restored at least one durable checkpoint by WAL replay.
+    pub fn on_replay(&self) {
         self.wal_records_replayed.fetch_add(1, Ordering::Relaxed);
         blunt_obs::static_counter!("runtime.recovery.wal_replays").inc();
     }
 
-    pub(crate) fn on_state_queries(&self, n: u64) {
+    /// A recovering server sent `n` peer state-transfer queries.
+    pub fn on_state_queries(&self, n: u64) {
         self.state_queries.fetch_add(n, Ordering::Relaxed);
         blunt_obs::static_counter!("runtime.recovery.state_queries").add(n);
     }
 
-    pub(crate) fn on_catchup_aborted(&self) {
+    /// A catch-up phase was truncated by shutdown.
+    pub fn on_catchup_aborted(&self) {
         self.catchup_aborted.fetch_add(1, Ordering::Relaxed);
         blunt_obs::static_counter!("runtime.recovery.catchup_aborted").inc();
     }
 
-    pub(crate) fn on_recovery(&self, elapsed_us: u64) {
+    /// A recovery completed after `elapsed_us` microseconds.
+    pub fn on_recovery(&self, elapsed_us: u64) {
         self.recoveries.fetch_add(1, Ordering::Relaxed);
         blunt_obs::static_counter!("runtime.recovery.recoveries").inc();
         blunt_obs::histogram("runtime.recovery.latency_us").record(elapsed_us);
     }
 
-    pub(crate) fn snapshot(&self) -> RecoveryStats {
+    /// The accumulated counters as a value snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> RecoveryStats {
         RecoveryStats {
             crashes: self.crashes.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),

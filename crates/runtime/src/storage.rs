@@ -25,7 +25,9 @@
 //! without coordination (see `docs/RUNTIME.md`).
 
 use blunt_abd::ts::Ts;
+use blunt_core::ids::ObjId;
 use blunt_core::value::Val;
+use std::collections::BTreeMap;
 
 /// One logged update: the `(value, timestamp)` pair a server absorbed.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -136,6 +138,116 @@ impl Wal {
     }
 }
 
+/// The multi-register form of [`Wal`]: one storage file per server shared
+/// by every register it hosts, with **per-object checkpoints** and a single
+/// volatile pending suffix. Appends from all shards interleave in one
+/// suffix, so a single [`MultiWal::fsync`] group-commits across shards —
+/// the amortization the keyed store's write path relies on. The write-ahead
+/// ack discipline becomes per-object: an update on `obj` with timestamp `t`
+/// may be acknowledged once [`MultiWal::durable_ts`]`(obj) ≥ t`.
+///
+/// For a store hosting a single register this degenerates to [`Wal`]
+/// exactly: same append/fsync cadence, same counters, same recovery.
+#[derive(Debug)]
+pub struct MultiWal {
+    /// Newest durable record per object; survives crashes.
+    checkpoints: BTreeMap<ObjId, WalRecord>,
+    /// Appended but not yet fsynced, across all objects.
+    pending: Vec<(ObjId, WalRecord)>,
+    fsync_interval: u32,
+}
+
+impl MultiWal {
+    /// An empty log that group-commits every `fsync_interval` appends
+    /// (clamped to ≥ 1), counting appends across all objects.
+    #[must_use]
+    pub fn new(fsync_interval: u32) -> MultiWal {
+        MultiWal {
+            checkpoints: BTreeMap::new(),
+            pending: Vec::new(),
+            fsync_interval: fsync_interval.max(1),
+        }
+    }
+
+    /// The configured group-commit batch size (shared by all objects).
+    #[must_use]
+    pub fn fsync_interval(&self) -> u32 {
+        self.fsync_interval
+    }
+
+    /// Appends one record for `obj` to the shared volatile suffix.
+    pub fn append(&mut self, obj: ObjId, val: Val, ts: Ts) {
+        self.pending.push((obj, WalRecord { val, ts }));
+        blunt_obs::static_counter!("runtime.storage.wal_appends").inc();
+    }
+
+    /// Number of appended-but-unsynced records, across all objects.
+    #[must_use]
+    pub fn unsynced_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the shared suffix has reached the group-commit batch size.
+    #[must_use]
+    pub fn batch_full(&self) -> bool {
+        self.pending.len() >= self.fsync_interval as usize
+    }
+
+    /// One fsync point covering every object with pending records: each
+    /// object's checkpoint advances to its maximum-timestamp record.
+    /// Returns the number of records made durable.
+    pub fn fsync(&mut self) -> usize {
+        let n = self.pending.len();
+        if n == 0 {
+            return 0;
+        }
+        for (obj, rec) in self.pending.drain(..) {
+            match self.checkpoints.get(&obj) {
+                Some(cp) if cp.ts >= rec.ts => {}
+                _ => {
+                    self.checkpoints.insert(obj, rec);
+                }
+            }
+        }
+        blunt_obs::static_counter!("runtime.storage.fsyncs").inc();
+        n
+    }
+
+    /// The largest timestamp known durable **for `obj`** — the per-object
+    /// write-ahead ack threshold. `Ts::ZERO` if `obj` never reached an
+    /// fsync point.
+    #[must_use]
+    pub fn durable_ts(&self, obj: ObjId) -> Ts {
+        self.checkpoints.get(&obj).map_or(Ts::ZERO, |cp| cp.ts)
+    }
+
+    /// The crash: the shared unsynced suffix is gone (all objects). Returns
+    /// how many records were lost.
+    pub fn lose_unsynced(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        blunt_obs::static_counter!("runtime.storage.records_lost").add(n as u64);
+        n
+    }
+
+    /// Recovery replay: every object's newest durable `(obj, value,
+    /// timestamp)`, in `ObjId` order.
+    #[must_use]
+    pub fn replay(&self) -> Vec<(ObjId, Val, Ts)> {
+        self.checkpoints
+            .iter()
+            .map(|(o, cp)| (*o, cp.val.clone(), cp.ts))
+            .collect()
+    }
+
+    /// Total storage loss — checkpoints and suffix both gone (the
+    /// `--demo-amnesia` broken-recovery mode).
+    pub fn wipe(&mut self) {
+        self.checkpoints.clear();
+        self.pending.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +331,71 @@ mod tests {
         let before = wal.replay();
         assert_eq!(wal.fsync(), 0);
         assert_eq!(wal.replay(), before);
+    }
+
+    #[test]
+    fn multiwal_checkpoints_are_per_object_with_a_shared_suffix() {
+        let mut wal = MultiWal::new(3);
+        wal.append(ObjId(1), Val::Int(10), ts(1));
+        wal.append(ObjId(2), Val::Int(20), ts(5));
+        assert_eq!(wal.unsynced_len(), 2);
+        assert!(!wal.batch_full());
+        wal.append(ObjId(1), Val::Int(11), ts(2));
+        assert!(wal.batch_full(), "batch size counts across objects");
+        assert_eq!(wal.fsync(), 3);
+        assert_eq!(wal.durable_ts(ObjId(1)), ts(2));
+        assert_eq!(wal.durable_ts(ObjId(2)), ts(5));
+        assert_eq!(wal.durable_ts(ObjId(9)), Ts::ZERO, "unseen object");
+        let replay = wal.replay();
+        assert_eq!(
+            replay,
+            vec![
+                (ObjId(1), Val::Int(11), ts(2)),
+                (ObjId(2), Val::Int(20), ts(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiwal_crash_loses_all_objects_unsynced_suffix() {
+        let mut wal = MultiWal::new(8);
+        wal.append(ObjId(1), Val::Int(1), ts(1));
+        wal.fsync();
+        wal.append(ObjId(1), Val::Int(2), ts(2));
+        wal.append(ObjId(2), Val::Int(3), ts(3));
+        assert_eq!(wal.lose_unsynced(), 2);
+        assert_eq!(wal.durable_ts(ObjId(1)), ts(1));
+        assert_eq!(wal.durable_ts(ObjId(2)), Ts::ZERO);
+        wal.wipe();
+        assert!(wal.replay().is_empty());
+    }
+
+    #[test]
+    fn multiwal_checkpoint_never_regresses_per_object() {
+        let mut wal = MultiWal::new(1);
+        wal.append(ObjId(4), Val::Int(9), ts(9));
+        wal.fsync();
+        // A retransmitted older update for the same object is absorbed by
+        // the checkpoint compaction, not a regression.
+        wal.append(ObjId(4), Val::Int(1), ts(1));
+        wal.fsync();
+        assert_eq!(wal.replay(), vec![(ObjId(4), Val::Int(9), ts(9))]);
+    }
+
+    #[test]
+    fn multiwal_single_object_matches_wal() {
+        let mut mw = MultiWal::new(2);
+        let mut w = Wal::new(2);
+        let script = [(Val::Int(3), 3), (Val::Int(1), 1), (Val::Int(5), 5)];
+        for (v, t) in script {
+            mw.append(ObjId(0), v.clone(), ts(t));
+            w.append(v, ts(t));
+        }
+        assert_eq!(mw.batch_full(), w.batch_full());
+        assert_eq!(mw.fsync(), w.fsync());
+        assert_eq!(mw.durable_ts(ObjId(0)), w.durable_ts());
+        let (wv, wt) = w.replay().unwrap();
+        assert_eq!(mw.replay(), vec![(ObjId(0), wv, wt)]);
     }
 
     #[test]

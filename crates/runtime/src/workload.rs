@@ -21,7 +21,7 @@
 //! of the seed.
 //!
 //! **Crash recovery.** Under [`RecoveryMode::Amnesia`] every server keeps a
-//! write-ahead log ([`Wal`]) and obeys the *write-ahead ack discipline*: an
+//! write-ahead log ([`MultiWal`]) and obeys the *write-ahead ack discipline*: an
 //! update is acknowledged only once a WAL record with a timestamp covering
 //! it is fsynced (group commit: a batch fills, the server goes idle, or an
 //! exempt retransmission applies pressure). When the bus raises the amnesia
@@ -44,7 +44,7 @@
 //! guaranteed a cut at least every `clients × burst` invocations — kept
 //! under the checker's 64-invocation window by construction (asserted).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,12 +55,12 @@ use std::time::{Duration, Instant};
 
 use blunt_abd::client::{AckEffect, ActiveOp, OpKind, ReplyEffect};
 use blunt_abd::msg::AbdMsg;
-use blunt_abd::server::ServerState;
+use blunt_abd::server::StoreState;
 use blunt_abd::ts::Ts;
 use blunt_core::history::Action;
 use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
 use blunt_core::value::Val;
-use blunt_obs::flight::encode_val;
+use blunt_obs::flight::{encode_val, KEY_NONE};
 use blunt_obs::{
     FlightDump, FlightKind, FlightRecorder, FlightRing, Histogram, HistogramSnapshot,
     QuantileSketch,
@@ -74,7 +74,7 @@ use crate::coverage::Coverage;
 use crate::fault::{FaultConfig, FaultConfigError};
 use crate::monitor::{MonitorReport, OnlineMonitor};
 use crate::recovery::{RecoveryMode, RecoverySink, RecoveryStats};
-use crate::storage::Wal;
+use crate::storage::MultiWal;
 
 /// Configuration of one chaos run.
 #[derive(Clone, Debug)]
@@ -91,6 +91,11 @@ pub struct RuntimeConfig {
     /// Ops per client between barriers. `clients × burst ≤ 64` is required
     /// (the monitor's window bound).
     pub burst: u64,
+    /// Number of distinct registers (keys) the clients operate on, drawn
+    /// uniformly per op from the client's seeded stream. `keys = 1` is the
+    /// classic single-register workload and consumes **no** extra rng
+    /// draws, so pre-keyed seeds replay byte-identically.
+    pub keys: u32,
     /// ‰ of operations that are reads.
     pub read_per_mille: u16,
     /// The run seed: fault schedule, op mix, and object random choices all
@@ -135,6 +140,7 @@ impl RuntimeConfig {
             ops_per_client: 500,
             k: 1,
             burst: 8,
+            keys: 1,
             read_per_mille: 500,
             seed,
             faults: FaultConfig::chaos(),
@@ -159,6 +165,7 @@ impl RuntimeConfig {
             ops_per_client: 13_000,
             k,
             burst: 4,
+            keys: 1,
             read_per_mille: 500,
             seed,
             faults: FaultConfig::chaos(),
@@ -313,6 +320,10 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
     assert!(cfg.servers >= 1 && cfg.clients >= 1 && cfg.ops_per_client >= 1);
     assert!(cfg.k >= 1, "ABD^k requires k ≥ 1");
     assert!(cfg.burst >= 1);
+    assert!(
+        cfg.keys >= 1,
+        "the keyed workload needs at least one register"
+    );
     assert!(
         u64::from(cfg.clients) * cfg.burst <= 64,
         "clients × burst must fit the monitor's 64-invocation window"
@@ -719,8 +730,8 @@ struct Server<'a> {
     bus: &'a dyn Transport,
     stop: &'a AtomicBool,
     sink: &'a RecoverySink,
-    state: ServerState,
-    wal: Wal,
+    state: StoreState,
+    wal: MultiWal,
     pending_acks: Vec<PendingAck>,
     amnesia: bool,
     demo_skip: bool,
@@ -734,8 +745,13 @@ struct Server<'a> {
 /// amnesia) crashes and recovers on the bus's signal. Responses inherit
 /// the triggering envelope's exemption so retransmitted exchanges complete
 /// without consuming fault indices.
+///
+/// The replica is **keyed throughout** ([`StoreState`]/[`MultiWal`]): every
+/// ABD message names its [`ObjId`], so the same loop serves the classic
+/// single-register workload and a sharded keyed store (`blunt-store`)
+/// without a mode switch. Public so store runners can reuse it as-is.
 #[allow(clippy::too_many_arguments)] // a thread entry point, not an API
-pub(crate) fn server_loop(
+pub fn server_loop(
     me: Pid,
     servers: u32,
     mode: RecoveryMode,
@@ -759,8 +775,8 @@ pub(crate) fn server_loop(
         bus,
         stop,
         sink,
-        state: ServerState::new(Val::Nil),
-        wal: Wal::new(fsync_interval),
+        state: StoreState::new(Val::Nil),
+        wal: MultiWal::new(fsync_interval),
         pending_acks: Vec::new(),
         amnesia,
         demo_skip,
@@ -829,7 +845,7 @@ impl Server<'_> {
             }
             AbdMsg::Update { obj, sn, val, ts } => {
                 if !self.amnesia {
-                    self.state.absorb(val, ts);
+                    self.state.absorb(obj, val, ts);
                     self.ring.record_span(
                         FlightKind::ServerAck,
                         self.me.0,
@@ -851,8 +867,8 @@ impl Server<'_> {
                 // `BusStats::offered` timing-dependent and break replay.
                 // The injector still exercises this exchange through the
                 // update leg, which drives the same retransmission path.
-                self.state.absorb(val.clone(), ts);
-                if self.wal.durable_ts() >= ts {
+                self.state.absorb(obj, val.clone(), ts);
+                if self.wal.durable_ts(obj) >= ts {
                     // A durable record already covers this timestamp —
                     // replay would restore state at least this new, so the
                     // ack is safe immediately.
@@ -873,7 +889,7 @@ impl Server<'_> {
                     // covering fsync. (Re-appending a retransmitted update
                     // whose record is still unsynced is harmless — the
                     // checkpoint keeps the max.)
-                    self.wal.append(val, ts);
+                    self.wal.append(obj, val, ts);
                     self.pending_acks.push(PendingAck {
                         ts,
                         dst: src,
@@ -893,9 +909,12 @@ impl Server<'_> {
         }
     }
 
-    /// Group commit: fsync the WAL, then release every acknowledgment the
-    /// new durable frontier covers (which is all of them — the frontier is
-    /// the max appended timestamp).
+    /// Group commit: one fsync covers every register's pending records
+    /// (the shards share the storage file), then release every
+    /// acknowledgment the new per-register durable frontiers cover —
+    /// which is all of them, since each frontier is that register's max
+    /// appended timestamp. The single fsync amortizes across keys: that
+    /// is the batched-WAL half of the store's group commit.
     fn flush_wal(&mut self) {
         let t0 = Instant::now();
         self.wal.fsync();
@@ -909,10 +928,9 @@ impl Server<'_> {
             self.pending_acks.len() as u64,
             fsync_us,
         );
-        let durable = self.wal.durable_ts();
         let mut i = 0;
         while i < self.pending_acks.len() {
-            if self.pending_acks[i].ts <= durable {
+            if self.pending_acks[i].ts <= self.wal.durable_ts(self.pending_acks[i].obj) {
                 let a = self.pending_acks.swap_remove(i);
                 self.ring.record_span(
                     FlightKind::ServerAck,
@@ -942,11 +960,13 @@ impl Server<'_> {
     }
 
     fn answer_state_query(&self, peer: Pid, sn: u64, re: u64) {
-        let (val, ts) = self.state.snapshot();
         self.bus.send(Envelope {
             src: self.me,
             dst: peer,
-            msg: Payload::StateReply { sn, val, ts },
+            msg: Payload::StateReply {
+                sn,
+                snap: self.state.snapshot_all(),
+            },
             exempt: true,
             reply_to: re,
             span: SpanCtx::NONE,
@@ -989,7 +1009,7 @@ impl Server<'_> {
         // the updates are re-logged.
         let lost = self.wal.lose_unsynced();
         self.pending_acks.clear();
-        self.state.forget(Val::Nil);
+        self.state.forget();
         self.sink.on_crash(lost as u64);
         self.ring
             .record(FlightKind::ServerCrash, self.me.0, lost as u64, 0);
@@ -1004,12 +1024,15 @@ impl Server<'_> {
         }
         let t0 = Instant::now();
 
-        // Phase 1 — WAL replay: restore the newest durable record. Every
-        // acknowledged update is covered by this (write-ahead ack
-        // discipline), so the replica is already *sound* here; what it may
-        // lack is freshness.
-        if let Some((val, ts)) = self.wal.replay() {
-            self.state.restore(val, ts);
+        // Phase 1 — WAL replay: restore every register's newest durable
+        // record. Every acknowledged update is covered by this (write-ahead
+        // ack discipline), so the replica is already *sound* here; what it
+        // may lack is freshness.
+        let checkpoints = self.wal.replay();
+        if !checkpoints.is_empty() {
+            for (obj, val, ts) in checkpoints {
+                self.state.restore(obj, val, ts);
+            }
             self.sink.on_replay();
         }
 
@@ -1039,14 +1062,24 @@ impl Server<'_> {
             }
             self.sink.on_state_queries(peers.len() as u64);
             let mut got = 0usize;
-            let mut best: Option<(Val, Ts)> = None;
+            // Per-register freshest answer across the quorum of snapshots.
+            let mut best: BTreeMap<ObjId, (Val, Ts)> = BTreeMap::new();
             while got < needed {
                 match rx.recv_timeout(Duration::from_millis(5)) {
                     Ok(env) => match env.msg {
-                        Payload::StateReply { sn: rsn, val, ts } if rsn == sn => {
+                        Payload::StateReply { sn: rsn, snap } if rsn == sn => {
                             got += 1;
-                            if best.as_ref().is_none_or(|(_, bt)| ts > *bt) {
-                                best = Some((val, ts));
+                            for (obj, val, ts) in snap {
+                                match best.entry(obj) {
+                                    std::collections::btree_map::Entry::Vacant(e) => {
+                                        e.insert((val, ts));
+                                    }
+                                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                                        if ts > e.get().1 {
+                                            e.insert((val, ts));
+                                        }
+                                    }
+                                }
                             }
                         }
                         Payload::StateReply { .. } => {}
@@ -1073,10 +1106,10 @@ impl Server<'_> {
                     }
                 }
             }
-            if let Some((val, ts)) = best {
+            for (obj, (val, ts)) in best {
                 // Freshness only: install iff newer than the replayed
-                // checkpoint (absorb's own rule).
-                self.state.absorb(val, ts);
+                // checkpoint (absorb's own rule), register by register.
+                self.state.absorb(obj, val, ts);
             }
         }
         let recovery_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -1102,7 +1135,6 @@ pub(crate) fn client_loop(
     telemetry: &Telemetry,
 ) {
     let me = Pid(cfg.servers + c);
-    let obj = ObjId(0);
     let dsts: Vec<Pid> = server_pids(cfg).collect();
     let ring = recorder.register_current(&format!("client-{}", me.0));
     let mut rng = client_rng(cfg.seed, c);
@@ -1118,6 +1150,15 @@ pub(crate) fn client_loop(
         // rounds count as tag mismatches, not deliveries (socket backends).
         bus.on_op_start(me);
         let inv = InvId(u64::from(c) * 10_000_000 + op_idx);
+        // The key draw comes before the read/write draw and is *skipped
+        // entirely* at `keys = 1`: a single-register config consumes the
+        // exact rng stream it did before keys existed, so historical seeds
+        // (and their gated baselines) replay byte-identically.
+        let obj = if cfg.keys > 1 {
+            ObjId(u32::try_from(rng.draw(cfg.keys as usize)).expect("key fits u32"))
+        } else {
+            ObjId(0)
+        };
         let is_read = rng.draw(1000) < usize::from(cfg.read_per_mille);
         let (method, arg) = if is_read {
             (MethodId::READ, Val::Nil)
@@ -1139,7 +1180,15 @@ pub(crate) fn client_loop(
         // Every message this op sends — and every server-side event it
         // triggers, across process boundaries — carries this span.
         let span = SpanCtx::request(me.0, inv.0);
-        ring.record_span(
+        // Op events carry their target register in keyed runs; the
+        // single-register default stays `KEY_NONE` so pre-keyed dumps
+        // serialize byte-identically (the field is elided).
+        let key = if cfg.keys > 1 {
+            u64::from(obj.0)
+        } else {
+            KEY_NONE
+        };
+        ring.record_span_key(
             if is_read {
                 FlightKind::OpStartRead
             } else {
@@ -1152,6 +1201,7 @@ pub(crate) fn client_loop(
                 _ => None,
             }),
             span.flight_word(),
+            key,
         );
         let t0 = Instant::now();
         let ret = if cfg.broken_reads && is_read {
@@ -1193,7 +1243,7 @@ pub(crate) fn client_loop(
         let lat_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         local.record(lat_us);
         telemetry.sketch.record(lat_us);
-        ring.record_span(
+        ring.record_span_key(
             if is_read {
                 FlightKind::OpCompleteRead
             } else {
@@ -1206,6 +1256,7 @@ pub(crate) fn client_loop(
                 _ => None,
             }),
             span.flight_word(),
+            key,
         );
         telemetry.in_flight.fetch_sub(1, Ordering::Relaxed);
         telemetry.ops.fetch_add(1, Ordering::Relaxed);

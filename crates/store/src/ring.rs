@@ -1,0 +1,168 @@
+//! The consistent-hash ring: a seed-deterministic key → shard map.
+//!
+//! Each shard owns [`VNODES`] pseudo-random points on a `u64` circle; a key
+//! hashes to a point and belongs to the shard owning the next point
+//! clockwise. Both the vnode points and the key hash are pure functions of
+//! `(seed, input)` via splitmix64 finalization, so two rings built from the
+//! same `(seed, shards)` agree on every key — across processes, platforms,
+//! and runs — and a different seed permutes the keyspace.
+//!
+//! Consistent hashing gives the property the store's growth story needs:
+//! going from `n` to `n + 1` shards only *adds* points, so a key either
+//! keeps its shard or moves to the new one — no key ever moves between two
+//! old shards (verified by test across shard counts 1..16).
+
+use blunt_core::ids::ObjId;
+
+/// Virtual nodes per shard. 64 keeps the per-shard keyspace share within
+/// a few tens of percent of uniform (bounded by test) while the ring stays
+/// small enough that building it is negligible next to one quorum round.
+pub const VNODES: u32 = 64;
+
+/// The splitmix64 finalizer as a pure hash: decorrelates consecutive
+/// inputs and mixes the seed into every bit.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(x)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seed-deterministic consistent-hash ring over `shards` shards.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point (ties broken by shard id, so
+    /// even a colliding pair of points resolves deterministically).
+    points: Vec<(u64, u32)>,
+    seed: u64,
+    shards: u32,
+}
+
+impl HashRing {
+    /// Builds the ring for `shards` shards. Same `(seed, shards)` ⇒ the
+    /// same ring, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(seed: u64, shards: u32) -> HashRing {
+        assert!(shards >= 1, "a ring needs at least one shard");
+        let mut points = Vec::with_capacity((shards * VNODES) as usize);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                // Vnode points draw from a different splitmix stream than
+                // key hashes (distinct salt), so keys never land exactly on
+                // ownership boundaries systematically.
+                let p = mix(
+                    seed ^ 0x5A1D_0000_0000_0000,
+                    (u64::from(s) << 32) | u64::from(v),
+                );
+                points.push((p, s));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            seed,
+            shards,
+        }
+    }
+
+    /// Number of shards this ring maps onto.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first vnode point clockwise of the key's
+    /// hash (wrapping past the top of the circle).
+    #[must_use]
+    pub fn shard_for(&self, key: ObjId) -> u32 {
+        let h = mix(self.seed ^ 0x0B1D_4B47_0000_0000, u64::from(key.0));
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Growing the ring from `n` to `n + 1` shards must only move keys TO
+    /// the new shard — a key never migrates between two pre-existing
+    /// shards. This is the defining consistent-hashing property; checked
+    /// across every adjacent pair in 1..=16.
+    #[test]
+    fn growth_only_moves_keys_to_the_new_shard() {
+        const KEYS: u32 = 4_096;
+        let seed = 0xBEEF;
+        let rings: Vec<HashRing> = (1..=16).map(|n| HashRing::new(seed, n)).collect();
+        for w in rings.windows(2) {
+            let (old, new) = (&w[0], &w[1]);
+            let added = new.shards() - 1;
+            let mut moved = 0u32;
+            for k in 0..KEYS {
+                let before = old.shard_for(ObjId(k));
+                let after = new.shard_for(ObjId(k));
+                if before != after {
+                    assert_eq!(
+                        after, added,
+                        "key {k} moved {before}→{after} when shard {added} was added"
+                    );
+                    moved += 1;
+                }
+            }
+            // The new shard takes roughly a 1/(n+1) share; it must take
+            // *something* (an inert shard would mean broken vnodes).
+            assert!(moved > 0, "shard {added} captured no keys");
+        }
+    }
+
+    /// Every shard's share of the keyspace stays within a factor of two of
+    /// uniform — the bound VNODES = 64 is sized for.
+    #[test]
+    fn key_distribution_is_roughly_uniform() {
+        const KEYS: u32 = 32_768;
+        for shards in [2u32, 4, 8, 16] {
+            let ring = HashRing::new(0xD15C0, shards);
+            let mut counts = vec![0u32; shards as usize];
+            for k in 0..KEYS {
+                counts[ring.shard_for(ObjId(k)) as usize] += 1;
+            }
+            let fair = KEYS / shards;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c >= fair / 2 && c <= fair * 2,
+                    "shard {s}/{shards} holds {c} keys (fair share {fair})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_ring_different_seed_different_ring() {
+        let a = HashRing::new(42, 8);
+        let b = HashRing::new(42, 8);
+        let c = HashRing::new(43, 8);
+        let map = |r: &HashRing| -> Vec<u32> { (0..1000).map(|k| r.shard_for(ObjId(k))).collect() };
+        assert_eq!(map(&a), map(&b), "same (seed, shards) ⇒ same mapping");
+        assert_ne!(map(&a), map(&c), "a different seed permutes the keyspace");
+    }
+
+    #[test]
+    fn single_shard_ring_maps_everything_to_shard_zero() {
+        let ring = HashRing::new(7, 1);
+        assert!((0..512).all(|k| ring.shard_for(ObjId(k)) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_a_programmer_error() {
+        let _ = HashRing::new(0, 0);
+    }
+}

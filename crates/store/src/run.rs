@@ -1,0 +1,857 @@
+//! The store driver: sharded servers, per-shard monitors, pipelined
+//! batched clients — over the in-process bus or the socket tier.
+//!
+//! [`run_store`] is the single-process entry: it builds one
+//! [`blunt_runtime::Bus`] spanning every shard's servers plus the clients,
+//! spawns the unmodified [`server_loop`] per replica, and drives the keyed
+//! workload. [`run_store_net`] is the same client side pointed at already-
+//! listening `chaos serve` processes through a [`NetClient`]. Both share
+//! the same client loop, so the two tiers exercise identical protocol
+//! logic and differ only in transport.
+//!
+//! Determinism contract: the per-client rng stream is a pure function of
+//! `(seed, client)` and is consumed in *program order* (key draw, then
+//! read/write draw, per op at burst setup) — never in reply-arrival order —
+//! so the draw sequence is schedule-independent. Pipelining changes only
+//! *when* messages leave relative to each other, and batching changes only
+//! how they are framed; fault fates are drawn per logical envelope in send
+//! order either way (see [`crate::batch`]).
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use blunt_abd::client::{AckEffect, ActiveOp, OpKind, ReplyEffect};
+use blunt_abd::msg::AbdMsg;
+use blunt_core::history::Action;
+use blunt_core::ids::{InvId, MethodId, ObjId, Pid};
+use blunt_core::value::Val;
+use blunt_net::{
+    Addr, Coverage, Envelope, FaultConfig, FaultConfigError, NetClient, NetClientCfg, Payload,
+    SpanCtx, Transport, TransportStats,
+};
+use blunt_obs::flight::encode_val;
+use blunt_obs::{FlightDump, FlightKind, FlightRecorder, FlightRing, Histogram, HistogramSnapshot};
+use blunt_runtime::{server_loop, Bus, MonitorReport, OnlineMonitor, RecoveryMode, RecoverySink};
+use blunt_sim::rng::{RandomSource, SplitMix64};
+
+use crate::batch::BatchingTransport;
+use crate::ring::HashRing;
+
+/// One store run: topology, workload shape, and chaos knobs.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Independent ABD shards the keyspace maps onto.
+    pub shards: u32,
+    /// Replicas per shard; each shard's quorum is a majority of these.
+    pub servers_per_shard: u32,
+    /// Client threads.
+    pub clients: u32,
+    /// Operations each client completes.
+    pub ops_per_client: u64,
+    /// Distinct keys (registers) the workload draws from.
+    pub keys: u32,
+    /// Max operations one client keeps in flight at once.
+    pub pipeline_depth: u32,
+    /// Envelopes buffered per client before a forced flush
+    /// (`1` ⇒ batching off; see [`BatchingTransport`]).
+    pub batch_max: usize,
+    /// Ops per burst between client barriers (bounds the monitor window:
+    /// `clients × burst ≤ 64`).
+    pub burst: u64,
+    /// Read fraction in per-mille (500 = half reads).
+    pub read_per_mille: u16,
+    /// The run seed — fixes the fault schedule, the key sequence, and the
+    /// ring layout.
+    pub seed: u64,
+    /// Fault injection profile for the transport.
+    pub faults: FaultConfig,
+    /// Replace quorum reads with the intentionally-broken single-server
+    /// read (no write-back) — the monitor must catch it.
+    pub broken_reads: bool,
+    /// First retransmission timeout.
+    pub retransmit_after: Duration,
+    /// Backoff ceiling for retransmission timeouts.
+    pub retransmit_cap: Duration,
+}
+
+impl StoreConfig {
+    /// A small faulted smoke configuration: 4 shards × 3 replicas, 4
+    /// pipelined clients, light faults. CI-sized.
+    #[must_use]
+    pub fn smoke(seed: u64) -> StoreConfig {
+        StoreConfig {
+            shards: 4,
+            servers_per_shard: 3,
+            clients: 4,
+            ops_per_client: 500,
+            keys: 64,
+            pipeline_depth: 4,
+            batch_max: 8,
+            burst: 8,
+            read_per_mille: 500,
+            seed,
+            faults: FaultConfig::light(),
+            broken_reads: false,
+            retransmit_after: Duration::from_millis(1),
+            retransmit_cap: Duration::from_millis(16),
+        }
+    }
+
+    /// The throughput configuration: 8 shards × 3 replicas, 8 clients ×
+    /// 125k ops = 1M operations, fault-free, deep pipeline, fat batches.
+    #[must_use]
+    pub fn bench(seed: u64) -> StoreConfig {
+        StoreConfig {
+            shards: 8,
+            servers_per_shard: 3,
+            clients: 8,
+            ops_per_client: 125_000,
+            keys: 1024,
+            pipeline_depth: 8,
+            batch_max: 16,
+            burst: 8,
+            read_per_mille: 500,
+            seed,
+            faults: FaultConfig::none(),
+            broken_reads: false,
+            retransmit_after: Duration::from_millis(1),
+            retransmit_cap: Duration::from_millis(16),
+        }
+    }
+
+    /// Total server processes: `shards × servers_per_shard`.
+    #[must_use]
+    pub fn servers_total(&self) -> u32 {
+        self.shards * self.servers_per_shard
+    }
+
+    fn validate(&self) {
+        assert!(self.shards >= 1, "the store needs at least one shard");
+        assert!(self.servers_per_shard >= 1, "a shard needs a replica");
+        assert!(
+            self.servers_total() <= 64,
+            "server pids must fit the 64-bit responder masks"
+        );
+        assert!(self.clients >= 1 && self.ops_per_client >= 1);
+        assert!(self.keys >= 1, "the store needs at least one key");
+        assert!(
+            self.pipeline_depth >= 1,
+            "pipeline depth 0 makes no progress"
+        );
+        assert!(self.burst >= 1);
+        assert!(
+            u64::from(self.pipeline_depth) <= self.burst,
+            "in-flight ops beyond the burst size can never materialize"
+        );
+        assert!(
+            u64::from(self.clients) * self.burst <= 64,
+            "clients × burst must fit the monitor's 64-invocation window"
+        );
+        assert!(self.batch_max >= 1, "a batch holds at least one envelope");
+    }
+}
+
+/// What one store run produced.
+#[derive(Clone, Debug)]
+pub struct StoreReport {
+    /// Operations completed (`clients × ops_per_client`).
+    pub ops: u64,
+    /// Transport-level message statistics.
+    pub stats: TransportStats,
+    /// Fault-schedule coverage actually exercised.
+    pub coverage: Coverage,
+    /// The merged verdict across all per-shard monitors.
+    pub monitor: MonitorReport,
+    /// Call/return actions consumed across all shard monitors.
+    pub monitor_actions: u64,
+    /// Flight dump captured at the first violation anywhere, if any.
+    pub violation_dump: Option<FlightDump>,
+    /// Client retransmissions (timeout recoveries).
+    pub retransmissions: u64,
+    /// End-to-end per-op latency distribution (µs).
+    pub latency_us: HistogramSnapshot,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl StoreReport {
+    /// Completed operations per wall-clock second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one seeded store configuration on the in-process bus.
+///
+/// # Errors
+///
+/// Returns [`FaultConfigError`] if the fault probabilities are malformed.
+///
+/// # Panics
+///
+/// Panics on an invalid topology (see [`StoreConfig`] field docs) or if a
+/// worker thread dies.
+pub fn run_store(cfg: &StoreConfig) -> Result<StoreReport, FaultConfigError> {
+    cfg.validate();
+    let started = Instant::now();
+    let servers_total = cfg.servers_total();
+    let nodes = servers_total + cfg.clients;
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    let (bus, receivers) = Bus::new(
+        cfg.seed,
+        cfg.faults,
+        servers_total,
+        nodes,
+        false,
+        Arc::clone(&recorder),
+    )?;
+    let bus = Arc::new(bus);
+    let stop = Arc::new(AtomicBool::new(false));
+    let sink = Arc::new(RecoverySink::default());
+
+    let mut rx_iter = receivers.into_iter();
+    let mut servers = Vec::new();
+    for s in 0..servers_total {
+        let rx = rx_iter.next().expect("one receiver per node");
+        let bus = Arc::clone(&bus);
+        let stop = Arc::clone(&stop);
+        let sink = Arc::clone(&sink);
+        let recorder = Arc::clone(&recorder);
+        servers.push(thread::spawn(move || {
+            // The server loop is key-agnostic (its store is a per-key map),
+            // so shard membership is purely a property of who clients
+            // address: replica s serves shard s / servers_per_shard.
+            server_loop(
+                Pid(s),
+                servers_total,
+                RecoveryMode::Stable,
+                rx,
+                bus.as_ref(),
+                &stop,
+                &sink,
+                &recorder,
+            );
+        }));
+    }
+    let client_rxs: Vec<Receiver<Envelope>> = rx_iter.collect();
+
+    let transport: Arc<dyn Transport> = Arc::clone(&bus) as Arc<dyn Transport>;
+    let core = drive_clients(cfg, transport, client_rxs, Arc::clone(&recorder));
+
+    stop.store(true, Ordering::Relaxed);
+    for s in servers {
+        s.join().expect("server thread");
+    }
+    bus.flush();
+    Ok(core.into_report(bus.stats(), bus.coverage(), started.elapsed()))
+}
+
+/// Runs the store's client side against already-listening `chaos serve`
+/// processes: `addrs` lists every replica, shard-major (`addrs[s·R..(s+1)·R]`
+/// is shard `s`'s replica set, matching pid order).
+///
+/// # Errors
+///
+/// Returns [`FaultConfigError`] if the fault probabilities are malformed.
+///
+/// # Panics
+///
+/// Panics if `addrs` doesn't match the topology, on connection failure, or
+/// if a worker thread dies.
+pub fn run_store_net(cfg: &StoreConfig, addrs: &[Addr]) -> Result<StoreReport, FaultConfigError> {
+    cfg.validate();
+    assert_eq!(
+        addrs.len(),
+        cfg.servers_total() as usize,
+        "one address per shard replica, shard-major"
+    );
+    let started = Instant::now();
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    let (net, client_rxs) = NetClient::connect(
+        &NetClientCfg {
+            seed: cfg.seed,
+            faults: cfg.faults,
+            servers: addrs.to_vec(),
+            clients: cfg.clients,
+            signal_crashes: false,
+        },
+        Arc::clone(&recorder),
+    )?;
+
+    let transport: Arc<dyn Transport> = Arc::clone(&net) as Arc<dyn Transport>;
+    let core = drive_clients(cfg, transport, client_rxs, Arc::clone(&recorder));
+
+    let stats = net.stats();
+    let coverage = net.coverage();
+    net.shutdown(Duration::from_secs(10));
+    Ok(core.into_report(stats, coverage, started.elapsed()))
+}
+
+/// Everything the client side of a run produces, transport-agnostic.
+struct CoreOut {
+    ops: u64,
+    monitor: MonitorReport,
+    monitor_actions: u64,
+    violation_dump: Option<FlightDump>,
+    retransmissions: u64,
+    latency: Histogram,
+}
+
+impl CoreOut {
+    fn into_report(
+        self,
+        stats: TransportStats,
+        coverage: Coverage,
+        elapsed: Duration,
+    ) -> StoreReport {
+        StoreReport {
+            ops: self.ops,
+            stats,
+            coverage,
+            monitor: self.monitor,
+            monitor_actions: self.monitor_actions,
+            violation_dump: self.violation_dump,
+            retransmissions: self.retransmissions,
+            latency_us: self.latency.snapshot(),
+            elapsed,
+        }
+    }
+}
+
+/// Spawns per-shard monitors and the client threads, joins them, and merges
+/// the shard verdicts. Shared by both tiers.
+fn drive_clients(
+    cfg: &StoreConfig,
+    transport: Arc<dyn Transport>,
+    client_rxs: Vec<Receiver<Envelope>>,
+    recorder: Arc<FlightRecorder>,
+) -> CoreOut {
+    assert_eq!(client_rxs.len(), cfg.clients as usize);
+    let ring_map = Arc::new(HashRing::new(cfg.seed, cfg.shards));
+    let nodes = (cfg.servers_total() + cfg.clients) as usize;
+    let actions = Arc::new(AtomicU64::new(0));
+    let dump_slot: Arc<Mutex<Option<FlightDump>>> = Arc::new(Mutex::new(None));
+
+    let mut mon_txs = Vec::with_capacity(cfg.shards as usize);
+    let mut monitors = Vec::with_capacity(cfg.shards as usize);
+    for shard in 0..cfg.shards {
+        let (tx, rx) = mpsc::channel::<Action>();
+        mon_txs.push(tx);
+        monitors.push(spawn_shard_monitor(
+            shard,
+            Arc::clone(&recorder),
+            nodes,
+            rx,
+            Arc::clone(&actions),
+            Arc::clone(&dump_slot),
+        ));
+    }
+    let mon_txs = Arc::new(mon_txs);
+
+    let barrier = Arc::new(Barrier::new(cfg.clients as usize));
+    let retransmissions = Arc::new(AtomicU64::new(0));
+    let latency = Histogram::unregistered();
+    let mut clients = Vec::with_capacity(cfg.clients as usize);
+    for (c, rx) in client_rxs.into_iter().enumerate() {
+        let c = u32::try_from(c).expect("client count fits u32");
+        let cfg = cfg.clone();
+        let ring_map = Arc::clone(&ring_map);
+        let transport = Arc::clone(&transport);
+        let barrier = Arc::clone(&barrier);
+        let mon_txs = Arc::clone(&mon_txs);
+        let retransmissions = Arc::clone(&retransmissions);
+        let latency = latency.clone();
+        let recorder = Arc::clone(&recorder);
+        clients.push(thread::spawn(move || {
+            store_client_loop(
+                c,
+                &cfg,
+                &ring_map,
+                transport.as_ref(),
+                rx,
+                &barrier,
+                &mon_txs,
+                &retransmissions,
+                &latency,
+                &recorder,
+            );
+        }));
+    }
+    drop(mon_txs);
+    for h in clients {
+        h.join().expect("store client thread");
+    }
+    let mut monitor = MonitorReport::default();
+    for h in monitors {
+        let shard_report = h.join().expect("shard monitor thread");
+        monitor.segments_ok += shard_report.segments_ok;
+        monitor.violations.extend(shard_report.violations);
+        monitor.overflowed |= shard_report.overflowed;
+    }
+
+    let ops = u64::from(cfg.clients) * cfg.ops_per_client;
+    blunt_obs::static_counter!("store.ops.completed").add(ops);
+    let violation_dump = dump_slot.lock().expect("dump slot lock").take();
+    CoreOut {
+        ops,
+        monitor,
+        monitor_actions: actions.load(Ordering::Relaxed),
+        violation_dump,
+        retransmissions: retransmissions.load(Ordering::Relaxed),
+        latency,
+    }
+}
+
+/// One shard's monitor thread: consumes that shard's call/return stream
+/// through the incremental checker; the first violation *anywhere* captures
+/// one flight dump into the shared slot. Sound per shard because every op
+/// on a key routes to exactly one shard (see the crate docs).
+fn spawn_shard_monitor(
+    shard: u32,
+    recorder: Arc<FlightRecorder>,
+    lanes: usize,
+    rx: Receiver<Action>,
+    actions: Arc<AtomicU64>,
+    dump_slot: Arc<Mutex<Option<FlightDump>>>,
+) -> thread::JoinHandle<MonitorReport> {
+    thread::spawn(move || {
+        let ring = recorder.register_current(&format!("monitor-s{shard}"));
+        let mon_pid = u32::try_from(lanes).expect("node count fits u32") + shard;
+        let mut m = OnlineMonitor::new(Val::Nil, lanes);
+        let mut cuts: u64 = 0;
+        while let Ok(a) = rx.recv() {
+            let ok = m.observe(a);
+            actions.fetch_add(1, Ordering::Relaxed);
+            let checked = m.segments_checked();
+            if checked > cuts {
+                cuts = checked;
+                ring.record(FlightKind::MonitorCut, mon_pid, checked, 0);
+            }
+            if !ok {
+                ring.record(
+                    FlightKind::MonitorViolation,
+                    mon_pid,
+                    m.violations_found().saturating_sub(1),
+                    0,
+                );
+                let mut slot = dump_slot.lock().expect("dump slot lock");
+                if slot.is_none() {
+                    // Capture now, while the offending ops are still in
+                    // the clients' bounded rings.
+                    *slot = Some(recorder.dump());
+                }
+            }
+        }
+        m.finish()
+    })
+}
+
+/// One operation drawn at burst setup, before any message moves.
+struct OpSpec {
+    idx: u64,
+    key: ObjId,
+    is_read: bool,
+}
+
+/// The per-op protocol state: either the real quorum machine or the
+/// intentionally-broken single-server read.
+enum Machine {
+    Abd(ActiveOp),
+    Broken { target: Pid },
+}
+
+/// One in-flight operation, keyed in the active map by its current `sn`.
+struct InFlight {
+    spec: OpSpec,
+    inv: InvId,
+    span: SpanCtx,
+    shard: u32,
+    machine: Machine,
+    t0: Instant,
+}
+
+/// The pipelined client: draws a burst of op specs in program order, keeps
+/// up to `pipeline_depth` of them in flight (never two on the same key),
+/// and multiplexes every reply/ack back to its op by `sn`. All protocol
+/// sends go through a per-client [`BatchingTransport`].
+#[allow(clippy::too_many_arguments)] // mirrors the thread context it runs in
+fn store_client_loop(
+    c: u32,
+    cfg: &StoreConfig,
+    ring_map: &HashRing,
+    transport: &dyn Transport,
+    rx: Receiver<Envelope>,
+    barrier: &Barrier,
+    mon_txs: &[Sender<Action>],
+    retransmissions: &AtomicU64,
+    latency: &Histogram,
+    recorder: &FlightRecorder,
+) {
+    let servers_total = cfg.servers_total();
+    let me = Pid(servers_total + c);
+    let ring = recorder.register_current(&format!("client-{}", me.0));
+    let mut rng = SplitMix64::new(
+        cfg.seed ^ 0x5704_E000_0000_0000 ^ u64::from(c).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let bt = BatchingTransport::new(transport, cfg.batch_max);
+    let quorum = cfg.servers_per_shard / 2 + 1;
+    let spr = cfg.servers_per_shard;
+    let shard_servers: Vec<Vec<Pid>> = (0..cfg.shards)
+        .map(|s| (s * spr..(s + 1) * spr).map(Pid).collect())
+        .collect();
+    let local = Histogram::unregistered();
+    let mut retrans: u64 = 0;
+    let mut sn_counter: u32 = 0;
+    let mut op_idx: u64 = 0;
+    let mut done: u64 = 0;
+
+    while done < cfg.ops_per_client {
+        if done > 0 {
+            barrier.wait();
+        }
+        let burst_n = cfg.burst.min(cfg.ops_per_client - done);
+        // Nothing is in flight across a burst boundary, so the wholesale
+        // reply-tag retirement socket transports perform here is safe —
+        // and the batching layer flushes first (see `BatchingTransport`).
+        bt.on_op_start(me);
+        // All random draws happen here, in program order: two per op, so
+        // the rng stream position is independent of reply scheduling.
+        let mut pending: VecDeque<OpSpec> = (0..burst_n)
+            .map(|_| {
+                let idx = op_idx;
+                op_idx += 1;
+                let key = ObjId(u32::try_from(rng.draw(cfg.keys as usize)).expect("key fits u32"));
+                let is_read = rng.draw(1000) < usize::from(cfg.read_per_mille);
+                OpSpec { idx, key, is_read }
+            })
+            .collect();
+        // BTreeMap keeps timeout retransmission order deterministic.
+        let mut active: BTreeMap<u32, InFlight> = BTreeMap::new();
+        let mut active_keys: HashSet<u32> = HashSet::new();
+        let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+
+        loop {
+            // Fill the pipeline: first startable spec front-to-back,
+            // skipping keys already in flight. A skipped spec's key is
+            // active, so any later same-key spec is skipped too — per-key
+            // program order holds.
+            while active.len() < cfg.pipeline_depth as usize {
+                let Some(pos) = pending.iter().position(|s| !active_keys.contains(&s.key.0)) else {
+                    break;
+                };
+                let spec = pending.remove(pos).expect("position from this deque");
+                sn_counter += 1;
+                let sn = sn_counter;
+                let inv = InvId(u64::from(me.0) * 10_000_000 + spec.idx);
+                let shard = ring_map.shard_for(spec.key);
+                let (method, arg) = if spec.is_read {
+                    (MethodId::READ, Val::Nil)
+                } else {
+                    // Unique write values keep the checker's search shallow
+                    // and make stale reads unambiguous.
+                    let v = i64::from(c) * 1_000_000
+                        + i64::try_from(spec.idx).expect("op index fits i64");
+                    (MethodId::WRITE, Val::Int(v))
+                };
+                let _ = mon_txs[shard as usize].send(Action::Call {
+                    inv,
+                    pid: me,
+                    obj: spec.key,
+                    method,
+                    arg: arg.clone(),
+                });
+                let span = SpanCtx::request(me.0, inv.0);
+                ring.record_span_key(
+                    if spec.is_read {
+                        FlightKind::OpStartRead
+                    } else {
+                        FlightKind::OpStartWrite
+                    },
+                    me.0,
+                    inv.0,
+                    encode_val(match &arg {
+                        Val::Int(v) => Some(*v),
+                        _ => None,
+                    }),
+                    span.flight_word(),
+                    u64::from(spec.key.0),
+                );
+                let t0 = Instant::now();
+                let dsts = &shard_servers[shard as usize];
+                let machine = if cfg.broken_reads && spec.is_read {
+                    // The broken read queries ONE replica (rotating) and
+                    // returns its value with no write-back — the per-shard
+                    // monitor must flag the resulting inversions.
+                    let target = dsts[usize::try_from(spec.idx).expect("op index") % dsts.len()];
+                    bt.send(
+                        Envelope::abd(me, target, AbdMsg::Query { obj: spec.key, sn }, false)
+                            .with_span(span),
+                    );
+                    Machine::Broken { target }
+                } else {
+                    let kind = if spec.is_read {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write(arg)
+                    };
+                    let op = ActiveOp::start(inv, spec.key, kind, 1, sn);
+                    bt.broadcast_span(me, dsts, &AbdMsg::Query { obj: spec.key, sn }, false, span);
+                    Machine::Abd(op)
+                };
+                active_keys.insert(spec.key.0);
+                active.insert(
+                    sn,
+                    InFlight {
+                        spec,
+                        inv,
+                        span,
+                        shard,
+                        machine,
+                        t0,
+                    },
+                );
+            }
+            if active.is_empty() {
+                debug_assert!(pending.is_empty(), "startable ops exist while idle");
+                break;
+            }
+            // The replies being waited on can't arrive until the requests
+            // actually leave.
+            bt.flush_pending();
+
+            match rx.recv_timeout(wait) {
+                Ok(env) => {
+                    wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+                    ring.record_span(
+                        FlightKind::BusDeliver,
+                        me.0,
+                        u64::from(env.src.0),
+                        env.msg.flight_label(),
+                        env.span.flight_word(),
+                    );
+                    let Payload::Abd(msg) = env.msg else {
+                        continue; // control traffic never targets clients
+                    };
+                    match msg {
+                        AbdMsg::Reply {
+                            obj,
+                            sn: msg_sn,
+                            val,
+                            ts,
+                        } => {
+                            let Some(mut fl) = active.remove(&msg_sn) else {
+                                continue; // stale round, already finished
+                            };
+                            if fl.spec.key != obj {
+                                active.insert(msg_sn, fl);
+                                continue;
+                            }
+                            match &mut fl.machine {
+                                Machine::Broken { .. } => {
+                                    complete_op(
+                                        me,
+                                        &fl,
+                                        val,
+                                        &local,
+                                        &ring,
+                                        mon_txs,
+                                        &mut active_keys,
+                                    );
+                                }
+                                Machine::Abd(op) => {
+                                    match op.on_reply(
+                                        env.src,
+                                        msg_sn,
+                                        &val,
+                                        ts,
+                                        quorum,
+                                        me,
+                                        &mut sn_counter,
+                                    ) {
+                                        ReplyEffect::StartUpdate {
+                                            sn: new_sn,
+                                            val,
+                                            ts,
+                                            ..
+                                        } => {
+                                            bt.broadcast_span(
+                                                me,
+                                                &shard_servers[fl.shard as usize],
+                                                &AbdMsg::Update {
+                                                    obj,
+                                                    sn: new_sn,
+                                                    val,
+                                                    ts,
+                                                },
+                                                false,
+                                                fl.span,
+                                            );
+                                            active.insert(new_sn, fl);
+                                        }
+                                        ReplyEffect::NextQuery { sn: new_sn, .. } => {
+                                            bt.broadcast_span(
+                                                me,
+                                                &shard_servers[fl.shard as usize],
+                                                &AbdMsg::Query { obj, sn: new_sn },
+                                                false,
+                                                fl.span,
+                                            );
+                                            active.insert(new_sn, fl);
+                                        }
+                                        ReplyEffect::NeedChoice { .. } => {
+                                            // Drawing here would make the rng
+                                            // stream depend on arrival order;
+                                            // the store pins k = 1 so this
+                                            // state is unreachable.
+                                            unreachable!("ABD with k = 1 has no object random step")
+                                        }
+                                        ReplyEffect::Ignored | ReplyEffect::Counted => {
+                                            active.insert(msg_sn, fl);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        AbdMsg::Ack { obj, sn: msg_sn } => {
+                            let Some(mut fl) = active.remove(&msg_sn) else {
+                                continue;
+                            };
+                            if fl.spec.key != obj {
+                                active.insert(msg_sn, fl);
+                                continue;
+                            }
+                            let Machine::Abd(op) = &mut fl.machine else {
+                                active.insert(msg_sn, fl);
+                                continue;
+                            };
+                            match op.on_ack(env.src, msg_sn, quorum) {
+                                AckEffect::Complete { ret } => {
+                                    complete_op(
+                                        me,
+                                        &fl,
+                                        ret,
+                                        &local,
+                                        &ring,
+                                        mon_txs,
+                                        &mut active_keys,
+                                    );
+                                }
+                                AckEffect::Ignored | AckEffect::Counted => {
+                                    active.insert(msg_sn, fl);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Retransmit every stalled op, exempt from fault fates
+                    // so recovery traffic never consumes schedule indices.
+                    for (sn, fl) in &active {
+                        match &fl.machine {
+                            Machine::Abd(op) => {
+                                if let Some(msg) = op.retransmission() {
+                                    retrans += 1;
+                                    blunt_obs::static_counter!("store.client.retransmissions")
+                                        .inc();
+                                    ring.record_span(
+                                        FlightKind::OpRetransmit,
+                                        me.0,
+                                        u64::from(*sn),
+                                        0,
+                                        fl.span.flight_word(),
+                                    );
+                                    bt.broadcast_span(
+                                        me,
+                                        &shard_servers[fl.shard as usize],
+                                        &msg,
+                                        true,
+                                        fl.span,
+                                    );
+                                }
+                            }
+                            Machine::Broken { target } => {
+                                retrans += 1;
+                                ring.record_span(
+                                    FlightKind::OpRetransmit,
+                                    me.0,
+                                    u64::from(*sn),
+                                    0,
+                                    fl.span.flight_word(),
+                                );
+                                bt.send(
+                                    Envelope::abd(
+                                        me,
+                                        *target,
+                                        AbdMsg::Query {
+                                            obj: fl.spec.key,
+                                            sn: *sn,
+                                        },
+                                        true,
+                                    )
+                                    .with_span(fl.span),
+                                );
+                            }
+                        }
+                    }
+                    let next = wait.saturating_mul(2).min(cfg.retransmit_cap);
+                    if next == cfg.retransmit_cap && wait < cfg.retransmit_cap {
+                        blunt_obs::static_counter!("store.client.backoff_max_reached").inc();
+                    }
+                    wait = next;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("transport closed while store operations were in flight")
+                }
+            }
+        }
+        done += burst_n;
+    }
+    latency.merge(&local);
+    retransmissions.fetch_add(retrans, Ordering::Relaxed);
+}
+
+/// Seals one finished operation: latency, flight event, monitor `Return`,
+/// key release.
+fn complete_op(
+    me: Pid,
+    fl: &InFlight,
+    ret: Val,
+    local: &Histogram,
+    ring: &FlightRing,
+    mon_txs: &[Sender<Action>],
+    active_keys: &mut HashSet<u32>,
+) {
+    let lat_us = u64::try_from(fl.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    local.record(lat_us);
+    ring.record_span_key(
+        if fl.spec.is_read {
+            FlightKind::OpCompleteRead
+        } else {
+            FlightKind::OpCompleteWrite
+        },
+        me.0,
+        fl.inv.0,
+        encode_val(match &ret {
+            Val::Int(v) => Some(*v),
+            _ => None,
+        }),
+        fl.span.flight_word(),
+        u64::from(fl.spec.key.0),
+    );
+    let _ = mon_txs[fl.shard as usize].send(Action::Return {
+        inv: fl.inv,
+        val: ret,
+    });
+    active_keys.remove(&fl.spec.key.0);
+}

@@ -1,0 +1,175 @@
+//! Acceptance runs for the sharded keyed store.
+//!
+//! - keyed smoke under light faults: zero linearizability violations from
+//!   the per-shard monitors, with the fault mix actually firing;
+//! - same seed ⇒ identical transport stats and coverage, different seed ⇒
+//!   a genuinely different schedule;
+//! - batching is transport amortization only: any `batch_max` yields the
+//!   exact same fault schedule (stats AND coverage) as unbatched sends;
+//! - pipelining preserves per-key order: deep pipelines stay clean;
+//! - the intentionally-broken single-server read is caught by the
+//!   per-shard monitor on the keyed store, with a rendered window;
+//! - the same client loop over real sockets (UDS loopback) stays clean.
+
+use std::thread;
+
+use blunt_net::Addr;
+use blunt_runtime::{run_net_server, NetServeConfig, RecoveryMode};
+use blunt_store::{run_store, run_store_net, StoreConfig};
+
+#[test]
+fn keyed_smoke_under_light_faults_zero_violations() {
+    let report = run_store(&StoreConfig::smoke(0x5709_0001)).expect("valid fault config");
+    assert_eq!(report.ops, 2_000);
+    assert!(
+        report.monitor.clean(),
+        "keyed violations: {:?}",
+        report
+            .monitor
+            .violations
+            .iter()
+            .map(|v| &v.rendered)
+            .collect::<Vec<_>>()
+    );
+    // The fault mix actually fired across the sharded topology.
+    assert!(report.stats.dropped > 0, "{:?}", report.stats);
+    // Every op produced one Call and one Return into some shard monitor.
+    assert_eq!(report.monitor_actions, 2 * report.ops);
+    assert_eq!(report.latency_us.count, report.ops);
+    assert!(report.monitor.segments_ok > 0);
+    assert!(report.ops_per_sec() > 0.0);
+}
+
+#[test]
+fn same_seed_reproduces_the_schedule_different_seed_does_not() {
+    let run = |seed| run_store(&StoreConfig::smoke(seed)).expect("valid fault config");
+    let a = run(0x5709_5EED);
+    let b = run(0x5709_5EED);
+    // Fault fates live in per-link index space and client sends hit each
+    // link in program order, so the whole schedule is a pure function of
+    // the seed — retransmissions are exempt and can't perturb it.
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.coverage, b.coverage);
+    assert!(a.monitor.clean() && b.monitor.clean());
+    let c = run(0x5709_5EEE);
+    assert_ne!(a.stats, c.stats);
+}
+
+#[test]
+fn batching_never_perturbs_the_fault_schedule() {
+    let run = |batch_max| {
+        let mut cfg = StoreConfig::smoke(0x5709_BA7C);
+        cfg.batch_max = batch_max;
+        run_store(&cfg).expect("valid fault config")
+    };
+    let unbatched = run(1);
+    let batched = run(16);
+    // A batch IS its envelope sequence: fates are drawn per logical
+    // envelope in send order, so stats and coverage are identical at any
+    // batch size — batching changes framing, never the schedule.
+    assert_eq!(unbatched.stats, batched.stats);
+    assert_eq!(unbatched.coverage, batched.coverage);
+    assert!(unbatched.monitor.clean() && batched.monitor.clean());
+}
+
+#[test]
+fn deep_pipelines_preserve_per_key_order() {
+    let run = |depth| {
+        let mut cfg = StoreConfig::smoke(0x5709_D0D0);
+        cfg.pipeline_depth = depth;
+        run_store(&cfg).expect("valid fault config")
+    };
+    // Depth 1 is the sequential client; depth 8 keeps a full burst in
+    // flight. Both must linearize: the pipeline never overlaps two ops on
+    // the same key from one client, and cross-key overlap is exactly what
+    // linearizability permits.
+    for report in [run(1), run(8)] {
+        assert!(
+            report.monitor.clean(),
+            "pipelined violations: {:?}",
+            report
+                .monitor
+                .violations
+                .iter()
+                .map(|v| &v.rendered)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.ops, 2_000);
+    }
+}
+
+#[test]
+fn broken_reads_on_the_keyed_store_are_caught() {
+    let mut cfg = StoreConfig::smoke(0x5709_0BAD);
+    cfg.broken_reads = true;
+    // Concentrate the keyspace and go write-heavy: replicas that miss a
+    // dropped update stay stale, and the rotating single-server fast read
+    // exposes them to the shard's monitor.
+    cfg.keys = 8;
+    cfg.read_per_mille = 400;
+    let report = run_store(&cfg).expect("valid fault config");
+    assert!(
+        !report.monitor.violations.is_empty(),
+        "the unsafe fast read went unnoticed on the keyed store"
+    );
+    let v = &report.monitor.violations[0];
+    assert!(
+        v.rendered.contains('┌') && v.rendered.contains('└'),
+        "window rendering must show operation intervals:\n{}",
+        v.rendered
+    );
+    assert!(
+        report.violation_dump.is_some(),
+        "the first violation must capture a flight dump"
+    );
+}
+
+#[test]
+fn keyed_store_over_uds_sockets_zero_violations() {
+    let mut cfg = StoreConfig::smoke(0x5709_4E75);
+    cfg.shards = 2;
+    cfg.clients = 2;
+    cfg.ops_per_client = 250;
+    cfg.keys = 16;
+    let total = cfg.servers_total();
+    let dir = std::env::temp_dir().join(format!("blunt-store-net-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let addrs: Vec<Addr> = (0..total)
+        .map(|i| Addr::parse(dir.join(format!("s{i}.sock")).to_str().expect("utf-8 path")))
+        .collect();
+    let servers: Vec<_> = (0..total)
+        .map(|i| {
+            let scfg = NetServeConfig {
+                listen: addrs[i as usize].clone(),
+                server_id: i,
+                servers: total,
+                clients: cfg.clients,
+                peers: addrs.clone(),
+                seed: cfg.seed,
+                faults: cfg.faults,
+                recovery: RecoveryMode::Stable,
+                dump_dir: None,
+            };
+            thread::spawn(move || run_net_server(&scfg).expect("server run"))
+        })
+        .collect();
+
+    let report = run_store_net(&cfg, &addrs).expect("valid fault config");
+    for s in servers {
+        s.join().expect("server thread");
+    }
+    assert_eq!(report.ops, 500);
+    assert!(
+        report.monitor.clean(),
+        "violations over sockets: {:?}",
+        report
+            .monitor
+            .violations
+            .iter()
+            .map(|v| &v.rendered)
+            .collect::<Vec<_>>()
+    );
+    // Socket frames actually moved, and batches actually formed.
+    assert!(blunt_obs::counter("net.frames_sent").get() > 0);
+    assert!(blunt_obs::counter("store.batch.flushes").get() > 0);
+}

@@ -279,7 +279,9 @@ pub fn latency_breakdown(dump: &FlightDump) -> LatencyBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blunt_obs::flight::{encode_val, pack_msg, pack_span, MSG_ACK, MSG_UPDATE, SPAN_NONE};
+    use blunt_obs::flight::{
+        encode_val, pack_msg, pack_span, KEY_NONE, MSG_ACK, MSG_UPDATE, SPAN_NONE,
+    };
     use blunt_obs::FlightEvent;
 
     fn ev(
@@ -300,6 +302,7 @@ mod tests {
             a,
             b,
             span: SPAN_NONE,
+            key: KEY_NONE,
             proc: String::new(),
         }
     }
