@@ -10,6 +10,8 @@
 //! cargo run --release -p blunt-bench --bin chaos -- --smoke --watch 1s
 //! cargo run --release -p blunt-bench --bin chaos -- --demo-broken
 //! cargo run --release -p blunt-bench --bin chaos -- --demo-amnesia
+//! cargo run --release -p blunt-bench --bin chaos -- --store --smoke --fault-profile amnesia
+//! cargo run --release -p blunt-bench --bin chaos -- --store --demo-amnesia
 //! ```
 //!
 //! `--fault-profile none|light|heavy|amnesia` narrows the run to the two
@@ -58,8 +60,10 @@
 //!
 //! `--demo-broken` replaces the quorum read with an unsound single-server
 //! fast read; `--demo-amnesia` makes crash recovery skip WAL replay and
-//! peer catch-up. Both print the monitor's first violation window as a
-//! space-time diagram — the "show me it actually catches bugs" modes.
+//! peer catch-up — with `--store`, on exactly one shard, whose per-shard
+//! monitor must then be the one that fires. All demo modes print the
+//! monitor's first violation window as a space-time diagram — the "show
+//! me it actually catches bugs" modes.
 
 use blunt_bench::parallel_map;
 use blunt_runtime::{
@@ -80,12 +84,14 @@ const USAGE: &str = "usage: chaos [--smoke] [--seed N] [--results-out PATH] \
      [--connect ADDR,ADDR,...] [--k N] [--recovery stable|amnesia] \
      [--demo-broken | --demo-amnesia]\n\
        chaos --store [--smoke] [--keys N] [--shards N] [--pipeline-depth N] [--batch N] \\\n\
-             [--ops-per-client N] [--fault-profile none|light|heavy] [--seed N] \\\n\
-             [--connect ADDR,...] [--batch-hist-out PATH] [--demo-broken]\n\
+             [--ops-per-client N] [--fault-profile none|light|heavy|amnesia] [--seed N] \\\n\
+             [--recovery stable|amnesia] [--crash-len N] [--crash-period N] \\\n\
+             [--connect ADDR,...] [--batch-hist-out PATH] [--demo-broken | --demo-amnesia]\n\
        chaos --sweep N [--store] [--smoke] [--seed BASE] [--ops-per-client N] \\\n\
              [--fault-profile ...] [--summary-out PATH]\n\
        chaos serve --listen ADDR --server-id N --peers ADDR,ADDR,... \\\n\
-             [--servers N] [--clients N] [--seed N] [--recovery stable|amnesia] \\\n\
+             [--servers N] [--clients N] [--shard-size N] [--seed N] \\\n\
+             [--recovery stable|amnesia] \\\n\
              [--fault-profile none|light|heavy|amnesia] [--crash-len N] [--crash-period N] \\\n\
              [--dump-dir DIR]\n\
      ADDR is host:port (TCP) or a filesystem path (Unix-domain socket)";
@@ -374,13 +380,10 @@ fn parse_cli() -> Cli {
             }
         }
     }
-    if cli.store {
-        if cli.demo_amnesia {
-            usage_error("--store pins stable recovery; --demo-amnesia does not apply");
-        }
-        if cli.profile == Some(FaultProfile::Amnesia) || cli.recovery.is_some() {
-            usage_error("--store pins stable recovery; amnesia modes do not apply");
-        }
+    if cli.store && cli.demo_amnesia && cli.connect.is_some() {
+        // The keyed demo pins one shard's recovery to the broken mode,
+        // which only the in-process spawner can arrange per shard.
+        usage_error("--store --demo-amnesia runs in-process; it does not combine with --connect");
     }
     if cli.sweep.is_some() && (cli.demo_broken || cli.demo_amnesia || cli.connect.is_some()) {
         usage_error("--sweep does not combine with the demo modes or --connect");
@@ -745,6 +748,7 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
     let mut listen: Option<Addr> = None;
     let mut server_id: Option<u32> = None;
     let mut servers: u32 = 3;
+    let mut shard_size: Option<u32> = None;
     let mut clients: u32 = 4;
     let mut peers: Option<Vec<Addr>> = None;
     let mut seed: u64 = 0x0B1D_5EED;
@@ -767,6 +771,9 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
             "--listen" => listen = Some(Addr::parse(&value("--listen", &mut args))),
             "--server-id" => server_id = Some(int("--server-id", &value("--server-id", &mut args))),
             "--servers" => servers = int("--servers", &value("--servers", &mut args)),
+            "--shard-size" => {
+                shard_size = Some(int("--shard-size", &value("--shard-size", &mut args)));
+            }
             "--clients" => clients = int("--clients", &value("--clients", &mut args)),
             "--peers" => peers = Some(parse_addr_list("--peers", &value("--peers", &mut args))),
             "--seed" => seed = int("--seed", &value("--seed", &mut args)),
@@ -810,6 +817,13 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
             "serve --server-id: {server_id} is not in 0..{servers}"
         ));
     }
+    if let Some(s) = shard_size {
+        if s == 0 || s > servers || !servers.is_multiple_of(s) {
+            usage_error(&format!(
+                "serve --shard-size: {s} does not evenly divide {servers} servers"
+            ));
+        }
+    }
     let mut faults = profile.faults();
     if let Some(len) = crash_len {
         faults.crash_len = len;
@@ -829,6 +843,7 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
         listen,
         server_id,
         servers,
+        shard_size,
         clients,
         peers,
         seed,
@@ -1023,6 +1038,9 @@ fn store_config(cli: &Cli, seed: u64) -> (String, StoreConfig) {
     let suffix = match cli.profile {
         Some(p) => {
             cfg.faults = p.faults();
+            if p == FaultProfile::Amnesia {
+                cfg.recovery = RecoveryMode::amnesia();
+            }
             p.name()
         }
         // The constructors' defaults: light faults for smoke, fault-free
@@ -1049,6 +1067,19 @@ fn store_config(cli: &Cli, seed: u64) -> (String, StoreConfig) {
     }
     if let Some(n) = cli.ops_per_client {
         cfg.ops_per_client = n;
+    }
+    if cli.profile == Some(FaultProfile::Amnesia) {
+        // The register sets' amnesia windows (8 in every 200 link events)
+        // assume a handful of servers; a sharded topology runs dozens, and
+        // crash windows must stagger disjointly across ALL of them. Scale
+        // the period with the server count (and shorten the blackout) so
+        // every store shape admits a valid window layout; --crash-len /
+        // --crash-period below still override the scaled defaults.
+        cfg.faults.crash_len = 4;
+        cfg.faults.crash_period = 20 * u64::from(cfg.servers_total());
+    }
+    if let Some(r) = cli.recovery {
+        cfg.recovery = r;
     }
     if let Some(len) = cli.crash_len {
         cfg.faults.crash_len = len;
@@ -1143,12 +1174,55 @@ fn print_store(name: &str, r: &StoreReport, cfg: &StoreConfig) {
         r.monitor_actions,
         cfg.shards,
     );
+    if r.recovery.crashes > 0 {
+        println!(
+            "{:<24} recovery: crashes {} recovered {} wal lost/replayed {}/{} \
+             state queries {}  degraded ops {}",
+            "",
+            r.recovery.crashes,
+            r.recovery.recoveries,
+            r.recovery.wal_records_lost,
+            r.recovery.wal_records_replayed,
+            r.recovery.state_queries,
+            r.degraded_ops,
+        );
+        let per: Vec<String> = r
+            .shard_recoveries
+            .iter()
+            .enumerate()
+            .map(|(s, (c, rec))| format!("s{s} {c}/{rec}"))
+            .collect();
+        println!(
+            "{:<24} per-shard crashes/recoveries: {}",
+            "",
+            per.join("  ")
+        );
+    }
 }
 
-/// The store entry for the run summary: deterministic fields only, same
-/// contract as [`summary_entry`].
+/// The store entry for the run summary, same shape contract as
+/// [`summary_entry`]. For stable-recovery runs every field is
+/// seed-deterministic. Amnesia runs narrow that set: acks leave the
+/// per-link schedule (they are exempt), so the reply legs' counts start
+/// depending on how the pipelined clients interleave queries and updates
+/// — `bus.offered`/`delivered` and the server→client link coverage become
+/// timing-dependent (docs/STORE.md § determinism). What stays exact for a
+/// seed, and what the tests pin byte-for-byte: `ops`, `violations`,
+/// `monitor_actions`, `recoveries`, `shard_recoveries`,
+/// `bus.crash_events`, and every client→server link. `degraded_ops` is
+/// NOT here at all: deferral depends on wall-clock backoff timing.
 fn store_summary_entry(name: &str, r: &StoreReport, transport: &str) -> blunt_obs::Json {
     use blunt_obs::Json;
+    let shard_recoveries = r
+        .shard_recoveries
+        .iter()
+        .map(|&(crashes, recoveries)| {
+            Json::Obj(vec![
+                ("crashes".into(), Json::UInt(crashes)),
+                ("recoveries".into(), Json::UInt(recoveries)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("name".into(), Json::Str(name.into())),
         ("transport".into(), Json::Str(transport.into())),
@@ -1158,6 +1232,8 @@ fn store_summary_entry(name: &str, r: &StoreReport, transport: &str) -> blunt_ob
             Json::UInt(r.monitor.violations.len() as u64),
         ),
         ("monitor_actions".into(), Json::UInt(r.monitor_actions)),
+        ("recoveries".into(), Json::UInt(r.recovery.recoveries)),
+        ("shard_recoveries".into(), Json::Arr(shard_recoveries)),
         (
             "bus".into(),
             Json::Obj(vec![
@@ -1211,10 +1287,85 @@ fn write_batch_hist(path: &Path, name: &str, r: &StoreReport) {
     println!("batch histogram written to {}", path.display());
 }
 
+/// The keyed `--demo-amnesia` driver: a two-shard store where shard 0's
+/// recovery is intentionally broken (no WAL replay, no peer catch-up)
+/// while shard 1 recovers soundly. The broken shard's monitor must catch
+/// the stale keyed reads. Same two-client rationale as the register demo:
+/// per-link crash-window phases stay unsynchronized, so an acknowledged
+/// write can die in a wipe while a second client's read stays real-time
+/// ordered after the ack — and whether a particular run trips that
+/// coincidence is scheduling-sensitive, so sweep a few seeds and demand
+/// the catch within the budget.
+fn demo_store_amnesia(cli: &Cli) -> ExitCode {
+    println!("demo: keyed store where shard 0's recovery skips WAL replay and peer catch-up\n");
+    let mut last: Option<(StoreConfig, StoreReport)> = None;
+    for attempt in 0..8u64 {
+        let mut cfg = StoreConfig::smoke(cli.seed + attempt);
+        cfg.shards = 2;
+        cfg.clients = 2;
+        cfg.ops_per_client = 2000;
+        cfg.keys = cli.keys.unwrap_or(4);
+        cfg.read_per_mille = 400;
+        cfg.recovery = RecoveryMode::amnesia();
+        cfg.demo_shard = Some(0);
+        cfg.faults = FaultConfig::chaos();
+        cfg.faults.drop_per_mille = 200;
+        cfg.faults.delay_per_mille = 100;
+        cfg.faults.crash_len = 2;
+        cfg.faults.crash_period = 3 * u64::from(cfg.servers_total());
+        let report = match run_store(&cfg) {
+            Ok(r) => r,
+            Err(e) => usage_error(&e.to_string()),
+        };
+        print_store(
+            &format!("broken_store_amnesia[{}]", cli.seed + attempt),
+            &report,
+            &cfg,
+        );
+        if report.recovery.crashes == 0 {
+            eprintln!("\nchaos: no crash events fired — demo config is inert");
+            return ExitCode::FAILURE;
+        }
+        let caught = !report.monitor.violations.is_empty();
+        last = Some((cfg, report));
+        if caught {
+            break;
+        }
+    }
+    let (cfg, report) = last.expect("at least one attempt runs");
+    if let Some(dump) = &report.violation_dump {
+        let lanes = (cfg.servers_total() + cfg.clients + cfg.shards) as usize;
+        write_flight_dump_files(&cli.dump_dir, "broken_store_amnesia", dump, lanes);
+    }
+    match report.monitor.violations.first() {
+        Some(v) => {
+            println!(
+                "\nfirst violation window (object {:?}, segment {}):\n",
+                v.obj, v.segment
+            );
+            println!("{}", v.rendered);
+            println!(
+                "the monitor caught the shard that forgot: {} violation window(s) total",
+                report.monitor.violations.len()
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "\nchaos: the recovery that skips replay and catch-up was NOT caught — monitor bug"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The `--store` driver: one keyed-store run (in-process, or over sockets
 /// with `--connect`), with the same results/summary/exit discipline as the
 /// register sets plus the batch-size artifact.
 fn run_store_mode(cli: &Cli) -> ExitCode {
+    if cli.demo_amnesia {
+        return demo_store_amnesia(cli);
+    }
     let (name, mut cfg) = store_config(cli, cli.seed);
     if cli.demo_broken {
         cfg.broken_reads = true;
@@ -1250,11 +1401,16 @@ fn run_store_mode(cli: &Cli) -> ExitCode {
     };
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
     print_store(&name, &report, &cfg);
+    // Recoveries are gated only under an amnesia recovery mode; stable
+    // store runs keep their historical counter set (no `.recoveries` key),
+    // so the committed baselines stay byte-identical.
     record(
         &name,
         report.ops,
         report.monitor.violations.len() as u64,
-        None,
+        cfg.recovery
+            .is_amnesia()
+            .then_some(report.recovery.recoveries),
         Some(report.monitor_actions),
     );
     // Throughput and the batch-size distribution ride as phases: they are
@@ -1339,6 +1495,7 @@ fn run_sweep(cli: &Cli, n: u64) -> ExitCode {
         violations: u64,
         offered: u64,
         dropped: u64,
+        recoveries: u64,
     }
     let seeds: Vec<u64> = (0..n).map(|i| cli.seed.wrapping_add(i)).collect();
     let threads = std::thread::available_parallelism()
@@ -1359,6 +1516,7 @@ fn run_sweep(cli: &Cli, n: u64) -> ExitCode {
                 violations: r.monitor.violations.len() as u64,
                 offered: r.stats.offered,
                 dropped: r.stats.dropped,
+                recoveries: r.recovery.recoveries,
             }
         } else {
             let mut cfg = RuntimeConfig::smoke(seed);
@@ -1387,6 +1545,7 @@ fn run_sweep(cli: &Cli, n: u64) -> ExitCode {
                 violations: r.monitor.violations.len() as u64,
                 offered: r.bus.offered,
                 dropped: r.bus.dropped,
+                recoveries: r.recovery.recoveries,
             }
         }
     });
@@ -1397,11 +1556,12 @@ fn run_sweep(cli: &Cli, n: u64) -> ExitCode {
         failed += u64::from(!pass);
         println!(
             "seed {:#018x}  ops {:>7}  offered {:>8}  dropped {:>6}  \
-             violations {:>2}  {}",
+             recoveries {:>3}  violations {:>2}  {}",
             r.seed,
             r.ops,
             r.offered,
             r.dropped,
+            r.recoveries,
             r.violations,
             if pass { "pass" } else { "FAIL" },
         );
@@ -1411,12 +1571,16 @@ fn run_sweep(cli: &Cli, n: u64) -> ExitCode {
             ("violations".into(), Json::UInt(r.violations)),
             ("offered".into(), Json::UInt(r.offered)),
             ("dropped".into(), Json::UInt(r.dropped)),
+            ("recoveries".into(), Json::UInt(r.recoveries)),
             ("pass".into(), Json::Bool(pass)),
         ]));
     }
+    // Schema v2: per-run `recoveries` (docs/OBS_SCHEMA.md) — amnesia
+    // configs report how many crash-recoveries each seed exercised, so a
+    // sweep that never recovered is visible as hollow coverage.
     let doc = Json::Obj(vec![
         ("type".into(), Json::Str("chaos_sweep".into())),
-        ("schema_version".into(), Json::UInt(1)),
+        ("schema_version".into(), Json::UInt(2)),
         ("workload".into(), Json::Str(workload.into())),
         ("base_seed".into(), Json::UInt(cli.seed)),
         ("seeds".into(), Json::UInt(n)),

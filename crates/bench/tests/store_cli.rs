@@ -153,7 +153,7 @@ fn sweep_small_n_reports_every_seed_and_passes() {
 
     let doc = read_json(&summary);
     assert_eq!(doc.get("type").and_then(Json::as_str), Some("chaos_sweep"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(doc.get("workload").and_then(Json::as_str), Some("abd_k1"));
     assert_eq!(doc.get("base_seed").and_then(Json::as_u64), Some(11));
     assert_eq!(doc.get("seeds").and_then(Json::as_u64), Some(3));
@@ -170,6 +170,9 @@ fn sweep_small_n_reports_every_seed_and_passes() {
         assert_eq!(run.get("pass").and_then(Json::as_bool), Some(true));
         assert!(run.get("ops").and_then(Json::as_u64).unwrap() > 0);
         assert!(run.get("offered").and_then(Json::as_u64).unwrap() > 0);
+        // Stable-recovery sweeps report the field at zero; amnesia
+        // sweeps fill it in (covered below for the keyed store).
+        assert_eq!(run.get("recoveries").and_then(Json::as_u64), Some(0));
     }
 }
 
@@ -206,6 +209,47 @@ fn sweep_covers_the_keyed_store_too() {
 }
 
 #[test]
+fn sweep_accepts_amnesia_store_configs_and_reports_per_seed_recoveries() {
+    let dir = tmp_dir("sweep-amnesia");
+    let summary = dir.join("sweep.json");
+    let out = chaos(&[
+        "--sweep",
+        "2",
+        "--store",
+        "--smoke",
+        "--fault-profile",
+        "amnesia",
+        "--seed",
+        "48879",
+        "--ops-per-client",
+        "500",
+        "--summary-out",
+        summary.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "amnesia store sweep must stay clean:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = read_json(&summary);
+    assert_eq!(doc.get("workload").and_then(Json::as_str), Some("store"));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("failed").and_then(Json::as_u64), Some(0));
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 2);
+    for run in runs {
+        assert_eq!(run.get("violations").and_then(Json::as_u64), Some(0));
+        // Crash windows fired and every crash was recovered from — a
+        // sweep where no server ever forgot would vacuously pass.
+        assert!(
+            run.get("recoveries").and_then(Json::as_u64).unwrap() >= 1,
+            "amnesia sweep run recovered nothing"
+        );
+    }
+}
+
+#[test]
 fn store_flags_without_store_mode_are_usage_errors() {
     for flag in [
         ["--smoke", "--keys", "64"],
@@ -229,12 +273,24 @@ fn store_flags_without_store_mode_are_usage_errors() {
 }
 
 #[test]
-fn store_mode_rejects_amnesia_and_oversized_topologies() {
-    let out = chaos(&["--store", "--smoke", "--demo-amnesia"]);
+fn store_mode_rejects_remote_demo_and_oversized_topologies() {
+    // The keyed amnesia demo pins one shard's recovery to the broken
+    // mode, which only the in-process spawner can arrange per shard.
+    let out = chaos(&[
+        "--store",
+        "--demo-amnesia",
+        "--connect",
+        "/tmp/nonexistent.sock",
+    ]);
     assert_eq!(
         out.status.code(),
         Some(2),
-        "the store has no amnesia recovery path yet"
+        "--store --demo-amnesia over --connect is a usage error"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("in-process") && err.contains("--connect"),
+        "the error explains the in-process restriction: {err}"
     );
 
     // 22 shards × 3 replicas = 66 > the 64-pid responder ceiling.
@@ -244,6 +300,38 @@ fn store_mode_rejects_amnesia_and_oversized_topologies() {
         String::from_utf8_lossy(&out.stderr).contains("64-pid"),
         "the error explains the ceiling"
     );
+}
+
+#[test]
+fn store_demo_amnesia_is_caught_by_the_forgetful_shards_monitor() {
+    let dir = tmp_dir("store-demo-amnesia");
+    let out = chaos(&[
+        "--store",
+        "--demo-amnesia",
+        "--seed",
+        "48879",
+        "--results-out",
+        dir.join("BENCH.json").to_str().unwrap(),
+        "--summary-out",
+        dir.join("SUM.json").to_str().unwrap(),
+        "--batch-hist-out",
+        dir.join("hist.json").to_str().unwrap(),
+        "--dump-dir",
+        dir.join("flight").to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the per-shard monitor must catch the recovery that forgets:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("caught the shard that forgot"), "{stdout}");
+    // The violation window renders operation intervals.
+    assert!(stdout.contains('┌') && stdout.contains('└'), "{stdout}");
+    // The flight dump was written at the moment of detection.
+    let jsonl = dir.join("flight").join("broken_store_amnesia.flight.jsonl");
+    let dump_text = std::fs::read_to_string(&jsonl).expect("flight dump written");
+    assert!(blunt_obs::FlightDump::parse(&dump_text).is_ok());
 }
 
 #[test]

@@ -117,6 +117,15 @@ pub trait Transport: Send + Sync {
         let _ = client;
     }
 
+    /// Announces that the calling server process just suffered an amnesia
+    /// crash: any *volatile* transport-side state (notably per-connection
+    /// dedup windows) must be forgotten, exactly like the server's own
+    /// register state. The in-process bus keeps no such state — the
+    /// default is a no-op — but [`NetServer`] resets its connections'
+    /// dedup windows so the first retransmitted pre-crash tag is not
+    /// silently swallowed after recovery.
+    fn on_crash(&self) {}
+
     /// Releases reorder hold-backs and drains delayers — end of run,
     /// nothing will overtake them anymore.
     fn flush(&self);

@@ -134,6 +134,16 @@ impl DedupWindow {
         }
         true
     }
+
+    /// Forgets every remembered tag. Called when the server process models
+    /// an amnesia crash: dedup state is volatile, so a recovered server
+    /// must treat the first retransmission of a pre-crash tag as fresh —
+    /// keeping stale entries would silently eat the retry that the crash
+    /// itself made necessary.
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +185,19 @@ mod tests {
             "tag 1 evicted after 3 newer tags — admitted again"
         );
         assert!(!w.admit(4));
+    }
+
+    #[test]
+    fn dedup_window_reset_forgets_everything() {
+        let mut w = DedupWindow::new(4);
+        assert!(w.admit(7));
+        assert!(!w.admit(7));
+        w.reset();
+        assert!(
+            w.admit(7),
+            "a reset window must re-admit pre-crash tags — the retransmit \
+             after recovery is the frame that matters"
+        );
+        assert!(!w.admit(7), "dedup resumes normally after the reset");
     }
 }

@@ -13,7 +13,7 @@
 //! server's crash/recovery/WAL stats back with [`NetServer::goodbye`].
 
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -88,6 +88,11 @@ pub struct NetServer {
     delayer_handle: Mutex<Option<JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
     flight: Arc<FlightRecorder>,
+    /// Bumped by [`Transport::on_crash`] (an amnesia crash of this server
+    /// process); every connection loop compares against its last-seen value
+    /// and resets its dedup window when it lags — dedup state is volatile
+    /// and must not survive the crash.
+    dedup_epoch: Arc<AtomicU64>,
 }
 
 /// One accepted connection: identify the peer by its `Hello`, then pump
@@ -99,6 +104,7 @@ fn conn_loop(
     mailbox: &Sender<Envelope>,
     driver: &DriverSlot,
     stop: &AtomicBool,
+    dedup_epoch: &AtomicU64,
 ) {
     let (hello, hello_t) = match read_frame(&mut stream) {
         Ok(Some(Frame::Hello { node, t_us })) => (node, t_us),
@@ -118,8 +124,21 @@ fn conn_loop(
         });
     }
     let mut dedup = DedupWindow::new(1024);
+    let mut seen_epoch = dedup_epoch.load(Ordering::SeqCst);
     loop {
-        match read_frame(&mut stream) {
+        let frame = read_frame(&mut stream);
+        // An amnesia crash since the last frame wipes this connection's
+        // dedup memory: pre-crash clients retransmit tags this window has
+        // already admitted, and dropping them would starve recovery of
+        // exactly the retries it depends on. Checked after the blocking
+        // read so the first post-crash frame sees the fresh window.
+        let epoch = dedup_epoch.load(Ordering::SeqCst);
+        if epoch != seen_epoch {
+            seen_epoch = epoch;
+            dedup.reset();
+            blunt_obs::static_counter!("net.rpc.dedup_resets").inc();
+        }
+        match frame {
             Ok(Some(Frame::Env { tag, env, .. })) => {
                 if !dedup.admit(tag) {
                     blunt_obs::static_counter!("net.rpc.dedup_drops").inc();
@@ -176,12 +195,14 @@ impl NetServer {
         let (mailbox_tx, mailbox_rx) = mpsc::channel();
         let driver = Arc::new(DriverSlot(Mutex::new(None)));
         let stop = Arc::new(AtomicBool::new(false));
+        let dedup_epoch = Arc::new(AtomicU64::new(0));
         let me = cfg.me;
         {
             let mailbox = mailbox_tx.clone();
             let driver = Arc::clone(&driver);
             let stop = Arc::clone(&stop);
             let flight = Arc::clone(&flight);
+            let dedup_epoch = Arc::clone(&dedup_epoch);
             std::thread::spawn(move || loop {
                 let Ok(stream) = listener.accept() else {
                     return;
@@ -190,8 +211,9 @@ impl NetServer {
                 let driver = Arc::clone(&driver);
                 let stop = Arc::clone(&stop);
                 let flight = Arc::clone(&flight);
+                let dedup_epoch = Arc::clone(&dedup_epoch);
                 std::thread::spawn(move || {
-                    conn_loop(me, &flight, stream, &mailbox, &driver, &stop)
+                    conn_loop(me, &flight, stream, &mailbox, &driver, &stop, &dedup_epoch)
                 });
             });
         }
@@ -220,6 +242,7 @@ impl NetServer {
             delayer_handle: Mutex::new(None),
             stop,
             flight,
+            dedup_epoch,
         });
         server.spawn_delayer();
         Ok((server, mailbox_rx))
@@ -378,6 +401,13 @@ impl Transport for NetServer {
                 }
             }
         }
+    }
+
+    fn on_crash(&self) {
+        // Volatile transport state dies with the server: every connection
+        // loop observes the bumped epoch and resets its dedup window before
+        // admitting its next frame.
+        self.dedup_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     fn flush(&self) {

@@ -67,6 +67,11 @@ pub struct NetServeConfig {
     pub faults: FaultConfig,
     /// What a crash means for this server's state.
     pub recovery: RecoveryMode,
+    /// Replicas per shard for sharded (keyed-store) runs: server pids are
+    /// shard-major, so this server's replica group is the `shard_size`
+    /// consecutive pids containing `server_id`, and recovery catch-up asks
+    /// only those peers. `None` means unsharded — the group is all servers.
+    pub shard_size: Option<u32>,
     /// Directory for this process's own flight dump
     /// (`serve-<id>.flight.jsonl`), written when the serve loop exits —
     /// whether by the driver's `Shutdown` or by losing the driver
@@ -205,9 +210,21 @@ pub fn run_net_server(cfg: &NetServeConfig) -> io::Result<NetServeReport> {
         })
     };
 
+    let shard_size = match cfg.shard_size {
+        Some(s) => {
+            assert!(
+                s >= 1 && s <= cfg.servers && cfg.servers.is_multiple_of(s),
+                "shard size must divide the server count"
+            );
+            s
+        }
+        None => cfg.servers,
+    };
+    let shard_base = cfg.server_id / shard_size * shard_size;
+    let group: Vec<Pid> = (shard_base..shard_base + shard_size).map(Pid).collect();
     server_loop(
         Pid(cfg.server_id),
-        cfg.servers,
+        group,
         cfg.recovery,
         rx,
         srv.as_ref(),

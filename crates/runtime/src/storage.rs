@@ -399,6 +399,105 @@ mod tests {
     }
 
     #[test]
+    fn multiwal_replay_is_prefix_consistent_at_every_fsync_boundary() {
+        // Crash-mid-batch soundness for the keyed write path: record a
+        // keyed run's append/fsync script, then crash it at EVERY fsync
+        // boundary in turn and check the replay against first principles.
+        // The write-ahead ack discipline acks an update on `obj` only once
+        // an fsync covers it, and one group commit spans records from many
+        // keys — so a crash must never tear a multi-key batch: every
+        // record covered by a completed fsync survives replay (at its
+        // per-object max timestamp), and nothing appended after the last
+        // completed fsync leaks in.
+        #[derive(Clone)]
+        enum Step {
+            Append(ObjId, i64),
+            Fsync,
+        }
+
+        // A deterministic keyed workload: 64 appends over 5 keys with
+        // interleaved timestamps, group-committed every 4 appends exactly
+        // like the server loop's batch_full pressure.
+        let mut script = Vec::new();
+        let mut state = 0x5709_u64;
+        let mut pending = 0u32;
+        for i in 0..64i64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let obj = ObjId((state >> 33) as u32 % 5);
+            script.push(Step::Append(obj, i + 1));
+            pending += 1;
+            if pending == 4 {
+                script.push(Step::Fsync);
+                pending = 0;
+            }
+        }
+        let boundaries = script.iter().filter(|s| matches!(s, Step::Fsync)).count();
+        assert!(boundaries >= 8, "the script must exercise many batches");
+
+        for boundary in 0..=boundaries {
+            // Re-run the recorded script, crashing right after the
+            // `boundary`-th fsync: later appends land in the volatile
+            // suffix and are lost; later fsyncs never happen.
+            let mut wal = MultiWal::new(4);
+            let mut fsyncs = 0;
+            let mut durable_prefix: std::collections::BTreeMap<ObjId, Ts> =
+                std::collections::BTreeMap::new();
+            let mut in_flight: Vec<(ObjId, Ts)> = Vec::new();
+            for step in &script {
+                match step {
+                    Step::Append(obj, t) => {
+                        wal.append(*obj, Val::Int(*t), ts(*t));
+                        if fsyncs < boundary {
+                            in_flight.push((*obj, ts(*t)));
+                        }
+                    }
+                    Step::Fsync => {
+                        if fsyncs == boundary {
+                            break;
+                        }
+                        wal.fsync();
+                        fsyncs += 1;
+                        // Everything appended so far is now durable — the
+                        // server may ack these records from here on.
+                        for (obj, t) in in_flight.drain(..) {
+                            let e = durable_prefix.entry(obj).or_insert(Ts::ZERO);
+                            if t > *e {
+                                *e = t;
+                            }
+                        }
+                    }
+                }
+            }
+            let torn = wal.lose_unsynced();
+            if boundary < boundaries {
+                assert!(torn > 0, "a mid-batch crash loses the open batch");
+            }
+
+            // Replay must be exactly the per-object max over the durable
+            // prefix: no acked record missing (torn batch), no lost
+            // record resurrected.
+            let replayed: std::collections::BTreeMap<ObjId, Ts> = wal
+                .replay()
+                .into_iter()
+                .map(|(obj, _val, t)| (obj, t))
+                .collect();
+            assert_eq!(
+                replayed, durable_prefix,
+                "replay after crashing at fsync boundary {boundary} is not \
+                 prefix-consistent"
+            );
+            for (obj, t) in &durable_prefix {
+                assert!(
+                    wal.durable_ts(*obj) >= *t,
+                    "acked record on {obj:?} at {t:?} torn away by the crash"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn wipe_loses_everything() {
         let mut wal = Wal::new(4);
         wal.append(Val::Int(1), ts(1));

@@ -389,11 +389,12 @@ pub fn run_chaos(cfg: &RuntimeConfig) -> Result<ChaosReport, FaultConfigError> {
         let sink = Arc::clone(&recovery_sink);
         let recorder = Arc::clone(&recorder);
         let mode = cfg.recovery;
-        let server_count = cfg.servers;
+        // Single-shard topology: every server replicates with every other.
+        let group: Vec<Pid> = (0..cfg.servers).map(Pid).collect();
         servers.push(thread::spawn(move || {
             server_loop(
                 Pid(s),
-                server_count,
+                group,
                 mode,
                 rx,
                 bus.as_ref(),
@@ -726,7 +727,11 @@ struct PendingAck {
 /// One ABD replica with its durable storage and recovery machinery.
 struct Server<'a> {
     me: Pid,
-    servers: u32,
+    /// The replica group `me` belongs to (including `me`): recovery
+    /// catch-up queries exactly these peers, and the catch-up quorum is
+    /// derived from the group size. In single-shard runs this is all
+    /// servers; in the sharded store it is one shard's replicas.
+    group: Vec<Pid>,
     bus: &'a dyn Transport,
     stop: &'a AtomicBool,
     sink: &'a RecoverySink,
@@ -750,10 +755,16 @@ struct Server<'a> {
 /// ABD message names its [`ObjId`], so the same loop serves the classic
 /// single-register workload and a sharded keyed store (`blunt-store`)
 /// without a mode switch. Public so store runners can reuse it as-is.
+///
+/// `group` is the replica group this server belongs to (including `me`):
+/// recovery catch-up queries exactly these peers and derives its quorum
+/// from the group size, so a sharded store passes one shard's replicas and
+/// a recovering server never wastes catch-up rounds on servers that hold
+/// none of its keys.
 #[allow(clippy::too_many_arguments)] // a thread entry point, not an API
 pub fn server_loop(
     me: Pid,
-    servers: u32,
+    group: Vec<Pid>,
     mode: RecoveryMode,
     rx: Receiver<Envelope>,
     bus: &dyn Transport,
@@ -761,6 +772,7 @@ pub fn server_loop(
     sink: &RecoverySink,
     recorder: &FlightRecorder,
 ) {
+    assert!(group.contains(&me), "a replica group includes its own pid");
     let ring = recorder.register_current(&format!("server-{}", me.0));
     let (amnesia, fsync_interval, demo_skip) = match mode {
         RecoveryMode::Stable => (false, 1, false),
@@ -771,7 +783,7 @@ pub fn server_loop(
     };
     let mut srv = Server {
         me,
-        servers,
+        group,
         bus,
         stop,
         sink,
@@ -1010,6 +1022,9 @@ impl Server<'_> {
         let lost = self.wal.lose_unsynced();
         self.pending_acks.clear();
         self.state.forget();
+        // Volatile transport-side state (socket dedup windows) dies with
+        // the server too; the in-process bus keeps none and no-ops this.
+        self.bus.on_crash();
         self.sink.on_crash(lost as u64);
         self.ring
             .record(FlightKind::ServerCrash, self.me.0, lost as u64, 0);
@@ -1041,11 +1056,13 @@ impl Server<'_> {
         // adopt the newest. Exempt traffic: recovery never perturbs the
         // fault schedule.
         let mut nested: u64 = 0;
-        let peers: Vec<Pid> = (0..self.servers)
-            .map(Pid)
+        let peers: Vec<Pid> = self
+            .group
+            .iter()
+            .copied()
             .filter(|p| *p != self.me)
             .collect();
-        let quorum = self.servers / 2 + 1;
+        let quorum = u32::try_from(self.group.len()).expect("group fits u32") / 2 + 1;
         let needed = (quorum.saturating_sub(1) as usize).min(peers.len());
         if needed > 0 {
             self.catchup_sn += 1;

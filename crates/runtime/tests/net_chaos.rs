@@ -39,6 +39,7 @@ fn three_uds_servers_10k_ops_zero_violations_with_recovery() {
                 seed: cfg.seed,
                 faults: cfg.faults,
                 recovery: cfg.recovery,
+                shard_size: None,
                 dump_dir: None,
             };
             thread::spawn(move || run_net_server(&scfg).expect("server run"))
@@ -127,6 +128,7 @@ fn net_run_is_clean_under_stable_recovery_too() {
                 seed: cfg.seed,
                 faults: cfg.faults,
                 recovery: cfg.recovery,
+                shard_size: None,
                 dump_dir: None,
             };
             thread::spawn(move || run_net_server(&scfg).expect("server run"))

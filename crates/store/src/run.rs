@@ -35,7 +35,9 @@ use blunt_net::{
 };
 use blunt_obs::flight::encode_val;
 use blunt_obs::{FlightDump, FlightKind, FlightRecorder, FlightRing, Histogram, HistogramSnapshot};
-use blunt_runtime::{server_loop, Bus, MonitorReport, OnlineMonitor, RecoveryMode, RecoverySink};
+use blunt_runtime::{
+    server_loop, Bus, MonitorReport, OnlineMonitor, RecoveryMode, RecoverySink, RecoveryStats,
+};
 use blunt_sim::rng::{RandomSource, SplitMix64};
 
 use crate::batch::BatchingTransport;
@@ -76,6 +78,16 @@ pub struct StoreConfig {
     pub retransmit_after: Duration,
     /// Backoff ceiling for retransmission timeouts.
     pub retransmit_cap: Duration,
+    /// What a crash means for shard replicas: [`RecoveryMode::Stable`]
+    /// keeps crashes as pure message blackouts; an amnesia mode arms the
+    /// bus's crash signal and every replica runs the WAL-replay +
+    /// peer-catch-up recovery protocol within its own shard's group.
+    pub recovery: RecoveryMode,
+    /// Intentionally break ONE shard's recovery
+    /// ([`RecoveryMode::demo_amnesia`]: no replay, no catch-up) while the
+    /// others recover soundly — that shard's monitor must catch the stale
+    /// keyed reads. Requires an amnesia [`StoreConfig::recovery`].
+    pub demo_shard: Option<u32>,
 }
 
 impl StoreConfig {
@@ -98,6 +110,8 @@ impl StoreConfig {
             broken_reads: false,
             retransmit_after: Duration::from_millis(1),
             retransmit_cap: Duration::from_millis(16),
+            recovery: RecoveryMode::Stable,
+            demo_shard: None,
         }
     }
 
@@ -120,6 +134,8 @@ impl StoreConfig {
             broken_reads: false,
             retransmit_after: Duration::from_millis(1),
             retransmit_cap: Duration::from_millis(16),
+            recovery: RecoveryMode::Stable,
+            demo_shard: None,
         }
     }
 
@@ -152,6 +168,14 @@ impl StoreConfig {
             "clients × burst must fit the monitor's 64-invocation window"
         );
         assert!(self.batch_max >= 1, "a batch holds at least one envelope");
+        if let Some(d) = self.demo_shard {
+            assert!(d < self.shards, "demo shard must be one of 0..shards");
+            assert!(
+                self.recovery.is_amnesia(),
+                "a demo shard needs amnesia recovery — stable crashes never \
+                 erase state, so skipping recovery would be inert"
+            );
+        }
     }
 }
 
@@ -172,6 +196,19 @@ pub struct StoreReport {
     pub violation_dump: Option<FlightDump>,
     /// Client retransmissions (timeout recoveries).
     pub retransmissions: u64,
+    /// Operations whose pipeline start was deferred because their shard
+    /// was degraded (recovering) with its in-flight cap reached.
+    /// Timing-dependent; excluded from regression gating.
+    pub degraded_ops: u64,
+    /// Aggregate crash-recovery counters across every shard replica
+    /// (`crashes`/`recoveries` deterministic for a seed; the WAL-shaped
+    /// ones timing-dependent). All zero under stable recovery.
+    pub recovery: RecoveryStats,
+    /// Per-shard `(crashes, recoveries)`, index = shard. Deterministic for
+    /// a seed: crash windows live in link-index space and every crash runs
+    /// exactly one recovery. Empty when the tier cannot attribute them
+    /// (never — both tiers fill it; see `run_store` / `run_store_net`).
+    pub shard_recoveries: Vec<(u64, u64)>,
     /// End-to-end per-op latency distribution (µs).
     pub latency_us: HistogramSnapshot,
     /// Wall-clock duration of the run.
@@ -212,12 +249,16 @@ pub fn run_store(cfg: &StoreConfig) -> Result<StoreReport, FaultConfigError> {
         cfg.faults,
         servers_total,
         nodes,
-        false,
+        cfg.recovery.is_amnesia(),
         Arc::clone(&recorder),
     )?;
     let bus = Arc::new(bus);
     let stop = Arc::new(AtomicBool::new(false));
-    let sink = Arc::new(RecoverySink::default());
+    // One sink per shard: crash/recovery counters stay attributable to the
+    // shard whose replicas produced them.
+    let sinks: Vec<Arc<RecoverySink>> = (0..cfg.shards)
+        .map(|_| Arc::new(RecoverySink::default()))
+        .collect();
 
     let mut rx_iter = receivers.into_iter();
     let mut servers = Vec::new();
@@ -225,16 +266,25 @@ pub fn run_store(cfg: &StoreConfig) -> Result<StoreReport, FaultConfigError> {
         let rx = rx_iter.next().expect("one receiver per node");
         let bus = Arc::clone(&bus);
         let stop = Arc::clone(&stop);
-        let sink = Arc::clone(&sink);
         let recorder = Arc::clone(&recorder);
+        // The server loop is key-agnostic (its store is a per-key map), so
+        // shard membership is purely a property of who clients address:
+        // replica s serves shard s / servers_per_shard. Recovery catch-up
+        // stays within the shard — only these replicas hold the keys.
+        let shard = s / cfg.servers_per_shard;
+        let sink = Arc::clone(&sinks[shard as usize]);
+        let group: Vec<Pid> = (shard * cfg.servers_per_shard..(shard + 1) * cfg.servers_per_shard)
+            .map(Pid)
+            .collect();
+        let mode = match cfg.demo_shard {
+            Some(d) if d == shard => RecoveryMode::demo_amnesia(),
+            _ => cfg.recovery,
+        };
         servers.push(thread::spawn(move || {
-            // The server loop is key-agnostic (its store is a per-key map),
-            // so shard membership is purely a property of who clients
-            // address: replica s serves shard s / servers_per_shard.
             server_loop(
                 Pid(s),
-                servers_total,
-                RecoveryMode::Stable,
+                group,
+                mode,
                 rx,
                 bus.as_ref(),
                 &stop,
@@ -248,12 +298,47 @@ pub fn run_store(cfg: &StoreConfig) -> Result<StoreReport, FaultConfigError> {
     let transport: Arc<dyn Transport> = Arc::clone(&bus) as Arc<dyn Transport>;
     let core = drive_clients(cfg, transport, client_rxs, Arc::clone(&recorder));
 
+    // Every amnesia signal is enqueued synchronously inside a client's
+    // send, so by this point (clients joined inside `drive_clients`) all
+    // crash events are in server mailboxes; servers drain them before
+    // honoring `stop`, keeping the recovery counters deterministic.
     stop.store(true, Ordering::Relaxed);
     for s in servers {
         s.join().expect("server thread");
     }
     bus.flush();
-    Ok(core.into_report(bus.stats(), bus.coverage(), started.elapsed()))
+    let shard_recoveries: Vec<(u64, u64)> = sinks
+        .iter()
+        .map(|s| {
+            let r = s.snapshot();
+            (r.crashes, r.recoveries)
+        })
+        .collect();
+    let recovery = sum_recovery(sinks.iter().map(|s| s.snapshot()));
+    Ok(core.into_report(
+        bus.stats(),
+        bus.coverage(),
+        recovery,
+        shard_recoveries,
+        started.elapsed(),
+    ))
+}
+
+/// Folds per-shard recovery snapshots into one run-wide total, mirroring
+/// it into the `store.recovery.*` counters.
+fn sum_recovery(parts: impl Iterator<Item = RecoveryStats>) -> RecoveryStats {
+    let mut total = RecoveryStats::default();
+    for r in parts {
+        total.crashes += r.crashes;
+        total.recoveries += r.recoveries;
+        total.wal_records_lost += r.wal_records_lost;
+        total.wal_records_replayed += r.wal_records_replayed;
+        total.state_queries += r.state_queries;
+        total.catchup_aborted += r.catchup_aborted;
+    }
+    blunt_obs::static_counter!("store.recovery.crashes").add(total.crashes);
+    blunt_obs::static_counter!("store.recovery.recoveries").add(total.recoveries);
+    total
 }
 
 /// Runs the store's client side against already-listening `chaos serve`
@@ -283,7 +368,11 @@ pub fn run_store_net(cfg: &StoreConfig, addrs: &[Addr]) -> Result<StoreReport, F
             faults: cfg.faults,
             servers: addrs.to_vec(),
             clients: cfg.clients,
-            signal_crashes: false,
+            // The driver owns every client→server link, so crash-window
+            // exits are signaled from here as exempt frames ahead of the
+            // triggering frame — exactly as the in-process bus enqueues
+            // them.
+            signal_crashes: cfg.recovery.is_amnesia(),
         },
         Arc::clone(&recorder),
     )?;
@@ -293,8 +382,32 @@ pub fn run_store_net(cfg: &StoreConfig, addrs: &[Addr]) -> Result<StoreReport, F
 
     let stats = net.stats();
     let coverage = net.coverage();
-    net.shutdown(Duration::from_secs(10));
-    Ok(core.into_report(stats, coverage, started.elapsed()))
+    // Recoveries happen in the serve processes; their `Goodbye` frames
+    // carry the counters home. Pids are shard-major, so goodbye index /
+    // replicas-per-shard is the shard.
+    let goodbyes = net.shutdown(Duration::from_secs(10));
+    let mut shard_recoveries = vec![(0u64, 0u64); cfg.shards as usize];
+    let mut recovery = RecoveryStats::default();
+    for (pid, g) in goodbyes.iter().enumerate() {
+        if let Some(g) = g {
+            let shard = pid / cfg.servers_per_shard as usize;
+            shard_recoveries[shard].0 += g.crashes;
+            shard_recoveries[shard].1 += g.recoveries;
+            recovery.crashes += g.crashes;
+            recovery.recoveries += g.recoveries;
+            recovery.wal_records_lost += g.wal_lost;
+            recovery.wal_records_replayed += g.wal_replayed;
+        }
+    }
+    blunt_obs::static_counter!("store.recovery.crashes").add(recovery.crashes);
+    blunt_obs::static_counter!("store.recovery.recoveries").add(recovery.recoveries);
+    Ok(core.into_report(
+        stats,
+        coverage,
+        recovery,
+        shard_recoveries,
+        started.elapsed(),
+    ))
 }
 
 /// Everything the client side of a run produces, transport-agnostic.
@@ -304,6 +417,7 @@ struct CoreOut {
     monitor_actions: u64,
     violation_dump: Option<FlightDump>,
     retransmissions: u64,
+    degraded_ops: u64,
     latency: Histogram,
 }
 
@@ -312,6 +426,8 @@ impl CoreOut {
         self,
         stats: TransportStats,
         coverage: Coverage,
+        recovery: RecoveryStats,
+        shard_recoveries: Vec<(u64, u64)>,
         elapsed: Duration,
     ) -> StoreReport {
         StoreReport {
@@ -322,6 +438,9 @@ impl CoreOut {
             monitor_actions: self.monitor_actions,
             violation_dump: self.violation_dump,
             retransmissions: self.retransmissions,
+            degraded_ops: self.degraded_ops,
+            recovery,
+            shard_recoveries,
             latency_us: self.latency.snapshot(),
             elapsed,
         }
@@ -360,6 +479,7 @@ fn drive_clients(
 
     let barrier = Arc::new(Barrier::new(cfg.clients as usize));
     let retransmissions = Arc::new(AtomicU64::new(0));
+    let degraded_ops = Arc::new(AtomicU64::new(0));
     let latency = Histogram::unregistered();
     let mut clients = Vec::with_capacity(cfg.clients as usize);
     for (c, rx) in client_rxs.into_iter().enumerate() {
@@ -370,6 +490,7 @@ fn drive_clients(
         let barrier = Arc::clone(&barrier);
         let mon_txs = Arc::clone(&mon_txs);
         let retransmissions = Arc::clone(&retransmissions);
+        let degraded_ops = Arc::clone(&degraded_ops);
         let latency = latency.clone();
         let recorder = Arc::clone(&recorder);
         clients.push(thread::spawn(move || {
@@ -382,6 +503,7 @@ fn drive_clients(
                 &barrier,
                 &mon_txs,
                 &retransmissions,
+                &degraded_ops,
                 &latency,
                 &recorder,
             );
@@ -408,6 +530,7 @@ fn drive_clients(
         monitor_actions: actions.load(Ordering::Relaxed),
         violation_dump,
         retransmissions: retransmissions.load(Ordering::Relaxed),
+        degraded_ops: degraded_ops.load(Ordering::Relaxed),
         latency,
     }
 }
@@ -461,6 +584,61 @@ struct OpSpec {
     idx: u64,
     key: ObjId,
     is_read: bool,
+    /// Already counted toward `store.degraded_ops` (each deferred op
+    /// counts once, however many fill passes skip it).
+    deferred: bool,
+}
+
+/// Max ops a client keeps in flight on a *degraded* (recovering) shard.
+/// One probe op keeps retransmission pressure on the shard — enough to
+/// notice the moment it comes back — while the rest of the pipeline depth
+/// serves healthy shards instead of head-of-line blocking behind the
+/// recovery window.
+const DEGRADED_INFLIGHT_CAP: u32 = 1;
+
+/// Consecutive whole-backoff-window silences from a shard before the
+/// client treats it as degraded. One silence is routine under light
+/// faults (a dropped reply); two in a row — with a retransmission already
+/// outstanding — means the shard is really not answering (crash window or
+/// recovery in progress).
+const DEGRADED_AFTER_STRIKES: u32 = 2;
+
+/// Per-shard client-side liveness state: a deterministic exponential
+/// backoff clock (doubling per silent window from `retransmit_after` up to
+/// `retransmit_cap`, reset by any message from the shard's replicas) and
+/// the degraded flag that caps pipeline fill. Purely timing-local: none of
+/// this feeds the fault schedule, and deferral never changes which
+/// envelopes an op sends — only when it starts — so per-link message
+/// counts (and with them stats, coverage, and crash/recovery counts) stay
+/// seed-deterministic.
+struct ShardHealth {
+    wait: Duration,
+    /// When this shard's stalled ops are next retransmitted; `None` while
+    /// the client has nothing in flight there.
+    due: Option<Instant>,
+    in_flight: u32,
+    strikes: u32,
+    degraded: bool,
+}
+
+impl ShardHealth {
+    fn new(initial: Duration) -> ShardHealth {
+        ShardHealth {
+            wait: initial,
+            due: None,
+            in_flight: 0,
+            strikes: 0,
+            degraded: false,
+        }
+    }
+
+    /// A message from one of this shard's replicas: evidence of progress.
+    fn on_message(&mut self, initial: Duration, now: Instant) {
+        self.wait = initial;
+        self.strikes = 0;
+        self.degraded = false;
+        self.due = (self.in_flight > 0).then(|| now + self.wait);
+    }
 }
 
 /// The per-op protocol state: either the real quorum machine or the
@@ -484,6 +662,14 @@ struct InFlight {
 /// up to `pipeline_depth` of them in flight (never two on the same key),
 /// and multiplexes every reply/ack back to its op by `sn`. All protocol
 /// sends go through a per-client [`BatchingTransport`].
+///
+/// Liveness is **per shard** ([`ShardHealth`]): each shard has its own
+/// backoff clock, timeouts retransmit only that shard's stalled ops, and a
+/// shard that stays silent for [`DEGRADED_AFTER_STRIKES`] windows is
+/// *degraded* — pipeline fill then keeps at most
+/// [`DEGRADED_INFLIGHT_CAP`] ops in flight there (counted as
+/// `store.degraded_ops` deferrals) so one recovering shard never
+/// head-of-line blocks the others.
 #[allow(clippy::too_many_arguments)] // mirrors the thread context it runs in
 fn store_client_loop(
     c: u32,
@@ -494,6 +680,7 @@ fn store_client_loop(
     barrier: &Barrier,
     mon_txs: &[Sender<Action>],
     retransmissions: &AtomicU64,
+    degraded_ops: &AtomicU64,
     latency: &Histogram,
     recorder: &FlightRecorder,
 ) {
@@ -510,7 +697,9 @@ fn store_client_loop(
         .map(|s| (s * spr..(s + 1) * spr).map(Pid).collect())
         .collect();
     let local = Histogram::unregistered();
+    let initial_wait = cfg.retransmit_after.min(cfg.retransmit_cap);
     let mut retrans: u64 = 0;
+    let mut deferred: u64 = 0;
     let mut sn_counter: u32 = 0;
     let mut op_idx: u64 = 0;
     let mut done: u64 = 0;
@@ -532,21 +721,47 @@ fn store_client_loop(
                 op_idx += 1;
                 let key = ObjId(u32::try_from(rng.draw(cfg.keys as usize)).expect("key fits u32"));
                 let is_read = rng.draw(1000) < usize::from(cfg.read_per_mille);
-                OpSpec { idx, key, is_read }
+                OpSpec {
+                    idx,
+                    key,
+                    is_read,
+                    deferred: false,
+                }
             })
             .collect();
         // BTreeMap keeps timeout retransmission order deterministic.
         let mut active: BTreeMap<u32, InFlight> = BTreeMap::new();
         let mut active_keys: HashSet<u32> = HashSet::new();
-        let mut wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+        let mut health: Vec<ShardHealth> = (0..cfg.shards)
+            .map(|_| ShardHealth::new(initial_wait))
+            .collect();
 
         loop {
             // Fill the pipeline: first startable spec front-to-back,
-            // skipping keys already in flight. A skipped spec's key is
-            // active, so any later same-key spec is skipped too — per-key
-            // program order holds.
+            // skipping keys already in flight and shards that are degraded
+            // with their in-flight cap reached. A skipped spec's key stays
+            // pending, and any later same-key spec shares both its
+            // key-active and shard-degraded status — per-key program order
+            // holds.
             while active.len() < cfg.pipeline_depth as usize {
-                let Some(pos) = pending.iter().position(|s| !active_keys.contains(&s.key.0)) else {
+                let mut pos = None;
+                for (i, s) in pending.iter_mut().enumerate() {
+                    if active_keys.contains(&s.key.0) {
+                        continue;
+                    }
+                    let h = &health[ring_map.shard_for(s.key) as usize];
+                    if h.degraded && h.in_flight >= DEGRADED_INFLIGHT_CAP {
+                        if !s.deferred {
+                            s.deferred = true;
+                            deferred += 1;
+                            blunt_obs::static_counter!("store.degraded_ops").inc();
+                        }
+                        continue;
+                    }
+                    pos = Some(i);
+                    break;
+                }
+                let Some(pos) = pos else {
                     break;
                 };
                 let spec = pending.remove(pos).expect("position from this deque");
@@ -609,6 +824,13 @@ fn store_client_loop(
                     Machine::Abd(op)
                 };
                 active_keys.insert(spec.key.0);
+                {
+                    let h = &mut health[shard as usize];
+                    h.in_flight += 1;
+                    if h.due.is_none() {
+                        h.due = Some(t0 + h.wait);
+                    }
+                }
                 active.insert(
                     sn,
                     InFlight {
@@ -629,9 +851,19 @@ fn store_client_loop(
             // actually leave.
             bt.flush_pending();
 
-            match rx.recv_timeout(wait) {
+            // Sleep until the earliest shard retransmission deadline; each
+            // shard's backoff runs on its own clock.
+            let now = Instant::now();
+            let timeout = health
+                .iter()
+                .filter_map(|h| h.due)
+                .map(|d| d.saturating_duration_since(now))
+                .min()
+                .unwrap_or(initial_wait);
+            match rx.recv_timeout(timeout) {
                 Ok(env) => {
-                    wait = cfg.retransmit_after.min(cfg.retransmit_cap);
+                    let src_shard =
+                        (env.src.0 < servers_total).then(|| env.src.0 / cfg.servers_per_shard);
                     ring.record_span(
                         FlightKind::BusDeliver,
                         me.0,
@@ -639,6 +871,11 @@ fn store_client_loop(
                         env.msg.flight_label(),
                         env.span.flight_word(),
                     );
+                    // Any frame from a shard's replica is progress: reset
+                    // that shard's backoff and clear its degraded flag.
+                    if let Some(s) = src_shard {
+                        health[s as usize].on_message(initial_wait, Instant::now());
+                    }
                     let Payload::Abd(msg) = env.msg else {
                         continue; // control traffic never targets clients
                     };
@@ -667,6 +904,11 @@ fn store_client_loop(
                                         mon_txs,
                                         &mut active_keys,
                                     );
+                                    let h = &mut health[fl.shard as usize];
+                                    h.in_flight -= 1;
+                                    if h.in_flight == 0 {
+                                        h.due = None;
+                                    }
                                 }
                                 Machine::Abd(op) => {
                                     match op.on_reply(
@@ -745,6 +987,11 @@ fn store_client_loop(
                                         mon_txs,
                                         &mut active_keys,
                                     );
+                                    let h = &mut health[fl.shard as usize];
+                                    h.in_flight -= 1;
+                                    if h.in_flight == 0 {
+                                        h.due = None;
+                                    }
                                 }
                                 AckEffect::Ignored | AckEffect::Counted => {
                                     active.insert(msg_sn, fl);
@@ -754,34 +1001,35 @@ fn store_client_loop(
                         _ => {}
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    // Retransmit every stalled op, exempt from fault fates
-                    // so recovery traffic never consumes schedule indices.
-                    for (sn, fl) in &active {
-                        match &fl.machine {
-                            Machine::Abd(op) => {
-                                if let Some(msg) = op.retransmission() {
-                                    retrans += 1;
-                                    blunt_obs::static_counter!("store.client.retransmissions")
-                                        .inc();
-                                    ring.record_span(
-                                        FlightKind::OpRetransmit,
-                                        me.0,
-                                        u64::from(*sn),
-                                        0,
-                                        fl.span.flight_word(),
-                                    );
-                                    bt.broadcast_span(
-                                        me,
-                                        &shard_servers[fl.shard as usize],
-                                        &msg,
-                                        true,
-                                        fl.span,
-                                    );
-                                }
-                            }
-                            Machine::Broken { target } => {
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("transport closed while store operations were in flight")
+                }
+            }
+            // Retransmission sweep: every shard whose deadline passed gets
+            // its stalled ops rebroadcast — exempt from fault fates, so
+            // recovery traffic never consumes schedule indices — its
+            // backoff doubled, and a strike toward degraded status. Other
+            // shards' clocks are untouched: one silent shard no longer
+            // triggers retransmission storms across the healthy ones.
+            let now = Instant::now();
+            for (shard_idx, h) in health.iter_mut().enumerate() {
+                let Some(due) = h.due else {
+                    continue;
+                };
+                if due > now || h.in_flight == 0 {
+                    continue;
+                }
+                let shard_u32 = u32::try_from(shard_idx).expect("shard index fits u32");
+                for (sn, fl) in &active {
+                    if fl.shard != shard_u32 {
+                        continue;
+                    }
+                    match &fl.machine {
+                        Machine::Abd(op) => {
+                            if let Some(msg) = op.retransmission() {
                                 retrans += 1;
+                                blunt_obs::static_counter!("store.client.retransmissions").inc();
                                 ring.record_span(
                                     FlightKind::OpRetransmit,
                                     me.0,
@@ -789,36 +1037,56 @@ fn store_client_loop(
                                     0,
                                     fl.span.flight_word(),
                                 );
-                                bt.send(
-                                    Envelope::abd(
-                                        me,
-                                        *target,
-                                        AbdMsg::Query {
-                                            obj: fl.spec.key,
-                                            sn: *sn,
-                                        },
-                                        true,
-                                    )
-                                    .with_span(fl.span),
+                                bt.broadcast_span(
+                                    me,
+                                    &shard_servers[fl.shard as usize],
+                                    &msg,
+                                    true,
+                                    fl.span,
                                 );
                             }
                         }
+                        Machine::Broken { target } => {
+                            retrans += 1;
+                            ring.record_span(
+                                FlightKind::OpRetransmit,
+                                me.0,
+                                u64::from(*sn),
+                                0,
+                                fl.span.flight_word(),
+                            );
+                            bt.send(
+                                Envelope::abd(
+                                    me,
+                                    *target,
+                                    AbdMsg::Query {
+                                        obj: fl.spec.key,
+                                        sn: *sn,
+                                    },
+                                    true,
+                                )
+                                .with_span(fl.span),
+                            );
+                        }
                     }
-                    let next = wait.saturating_mul(2).min(cfg.retransmit_cap);
-                    if next == cfg.retransmit_cap && wait < cfg.retransmit_cap {
-                        blunt_obs::static_counter!("store.client.backoff_max_reached").inc();
-                    }
-                    wait = next;
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("transport closed while store operations were in flight")
+                h.strikes += 1;
+                if h.strikes >= DEGRADED_AFTER_STRIKES {
+                    h.degraded = true;
                 }
+                let next = h.wait.saturating_mul(2).min(cfg.retransmit_cap);
+                if next == cfg.retransmit_cap && h.wait < cfg.retransmit_cap {
+                    blunt_obs::static_counter!("store.client.backoff_max_reached").inc();
+                }
+                h.wait = next;
+                h.due = Some(now + h.wait);
             }
         }
         done += burst_n;
     }
     latency.merge(&local);
     retransmissions.fetch_add(retrans, Ordering::Relaxed);
+    degraded_ops.fetch_add(deferred, Ordering::Relaxed);
 }
 
 /// Seals one finished operation: latency, flight event, monitor `Return`,

@@ -125,6 +125,88 @@ fn broken_reads_on_the_keyed_store_are_caught() {
 }
 
 #[test]
+fn amnesia_recovery_on_the_keyed_store_is_clean_and_seed_deterministic() {
+    let run = || {
+        let mut cfg = StoreConfig::smoke(0x5709_A23E);
+        cfg.recovery = RecoveryMode::amnesia();
+        // Crash windows scaled to the sharded topology, mirroring the
+        // chaos CLI's amnesia profile: a handful of servers down at any
+        // instant rather than a whole shard's quorum.
+        cfg.faults.crash_len = 4;
+        cfg.faults.crash_period = 20 * u64::from(cfg.servers_total());
+        run_store(&cfg).expect("valid fault config")
+    };
+    let a = run();
+    assert!(
+        a.monitor.clean(),
+        "amnesia violations: {:?}",
+        a.monitor
+            .violations
+            .iter()
+            .map(|v| &v.rendered)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(a.ops, 2_000);
+    // Crashes actually fired, and the sound recovery path answered every
+    // one of them: replay the WAL, then catch up from a live quorum.
+    assert!(a.recovery.crashes >= 1, "{:?}", a.recovery);
+    assert_eq!(a.recovery.crashes, a.recovery.recoveries);
+    assert_eq!(
+        a.shard_recoveries.iter().map(|&(c, _)| c).sum::<u64>(),
+        a.recovery.crashes
+    );
+    for &(crashes, recoveries) in &a.shard_recoveries {
+        assert_eq!(crashes, recoveries);
+    }
+    // Crash windows live in per-link index space, so which shard crashes
+    // when — and therefore how often — is a pure function of the seed,
+    // even though ack/reply timing under pipelining is not.
+    let b = run();
+    assert_eq!(a.recovery.crashes, b.recovery.crashes);
+    assert_eq!(a.shard_recoveries, b.shard_recoveries);
+    assert_eq!(a.ops, b.ops);
+    assert!(b.monitor.clean());
+}
+
+#[test]
+fn a_shard_recovery_that_forgets_is_caught_by_that_shards_monitor() {
+    // One shard's recovery skips WAL replay and quorum catch-up
+    // (demo_shard); its per-shard monitor must be the one that fires.
+    // The lie only surfaces when a crash lands between an acked write
+    // and a later read served from the forgetful quorum, so scan a few
+    // seeds like the CLI demo does.
+    let mut caught = false;
+    for attempt in 0..8u64 {
+        let mut cfg = StoreConfig::smoke(0x5709_F09E + attempt);
+        cfg.shards = 2;
+        cfg.clients = 2;
+        cfg.ops_per_client = 2_000;
+        cfg.keys = 4;
+        cfg.read_per_mille = 400;
+        cfg.recovery = RecoveryMode::amnesia();
+        cfg.demo_shard = Some(0);
+        cfg.faults = blunt_net::FaultConfig::chaos();
+        cfg.faults.drop_per_mille = 200;
+        cfg.faults.delay_per_mille = 100;
+        cfg.faults.crash_len = 2;
+        cfg.faults.crash_period = 3 * u64::from(cfg.servers_total());
+        let report = run_store(&cfg).expect("valid fault config");
+        assert!(
+            report.recovery.crashes >= 1,
+            "demo config is inert: no crash windows fired"
+        );
+        if !report.monitor.violations.is_empty() {
+            caught = true;
+            break;
+        }
+    }
+    assert!(
+        caught,
+        "a recovery that skips WAL replay and catch-up went unnoticed"
+    );
+}
+
+#[test]
 fn keyed_store_over_uds_sockets_zero_violations() {
     let mut cfg = StoreConfig::smoke(0x5709_4E75);
     cfg.shards = 2;
@@ -148,6 +230,7 @@ fn keyed_store_over_uds_sockets_zero_violations() {
                 seed: cfg.seed,
                 faults: cfg.faults,
                 recovery: RecoveryMode::Stable,
+                shard_size: None,
                 dump_dir: None,
             };
             thread::spawn(move || run_net_server(&scfg).expect("server run"))
